@@ -1,0 +1,72 @@
+// Ablation (Secs. II-A, III): proxy-design sensitivity.
+//  1. Proxy alpha: how far does the predicted CCR drift from the real-graph
+//     (oracle) CCR as the proxy's degree distribution departs from the
+//     input's?  Motivates the multi-proxy pool + alpha-nearest lookup.
+//  2. Proxy size: the paper claims graph size is a "trivial factor" for CCR
+//     (Sec. II-A) — CCRs from proxies at different scales should agree.
+
+#include "bench_common.hpp"
+#include "core/ccr.hpp"
+#include "gen/powerlaw.hpp"
+
+using namespace pglb;
+using namespace pglb::bench;
+
+namespace {
+
+double group_ccr_ratio(const Cluster& cluster, AppKind app, const EdgeList& graph,
+                       double scale) {
+  const auto times = profile_groups_on_graph(cluster, app, graph, scale);
+  return times[0] / times[1];  // slow-over-fast time = fast machine's CCR
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0 / 256.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  check_unused_flags(cli);
+
+  const Cluster cluster(
+      {machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l")});
+  const auto target = make_corpus_graph(corpus_entry("social_network"), scale, seed);
+
+  print_header("Ablation 1 - proxy alpha sweep vs oracle CCR", "Sec. III-A3 coverage argument");
+
+  Table alpha_table({"app", "oracle CCR", "a=1.7", "a=1.95", "a=2.1", "a=2.3", "a=2.6"});
+  const double alphas[] = {1.7, 1.95, 2.1, 2.3, 2.6};
+  for (const AppKind app : kAllApps) {
+    const double oracle = group_ccr_ratio(cluster, app, target, scale);
+    Table& row = alpha_table.row().cell(short_app_name(app)).cell(oracle, 3);
+    for (const double alpha : alphas) {
+      PowerLawConfig config;
+      config.num_vertices = static_cast<VertexId>(3'200'000.0 * scale);
+      config.alpha = alpha;
+      config.seed = seed + 7;
+      const auto proxy = generate_powerlaw(config);
+      row.cell(group_ccr_ratio(cluster, app, proxy, scale), 3);
+    }
+  }
+  alpha_table.print(std::cout);
+
+  print_header("Ablation 2 - proxy size is a trivial factor for CCR", "Sec. II-A");
+
+  Table size_table({"app", "proxy@1/512", "proxy@1/256", "proxy@1/128"});
+  for (const AppKind app : kAllApps) {
+    Table& row = size_table.row().cell(short_app_name(app));
+    for (const double proxy_scale : {1.0 / 512.0, 1.0 / 256.0, 1.0 / 128.0}) {
+      PowerLawConfig config;
+      config.num_vertices = static_cast<VertexId>(3'200'000.0 * proxy_scale);
+      config.alpha = 2.1;
+      config.seed = seed + 7;
+      const auto proxy = generate_powerlaw(config);
+      row.cell(group_ccr_ratio(cluster, app, proxy, proxy_scale), 3);
+    }
+  }
+  size_table.print(std::cout);
+
+  std::cout << "\nCCR varies with the proxy's alpha (coverage matters) but is stable\n"
+               "across proxy sizes — runtime magnitude cancels out of Eq. 1.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#pragma once
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench accepts:
+//   --scale=<0..1>   corpus down-scaling factor (default 1/128 for the heavy
+//                    cluster benches, 1/64 for the lighter ones)
+//   --seed=<n>       generator seed
+// and prints the paper's reported numbers next to the reproduced ones.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "cluster/cluster.hpp"
+#include "core/estimators.hpp"
+#include "core/flow.hpp"
+#include "core/profiler.hpp"
+#include "core/proxy_suite.hpp"
+#include "gen/corpus.hpp"
+#include "machine/catalog.hpp"
+#include "util/cli.hpp"
+#include "util/math.hpp"
+#include "util/table.hpp"
+
+namespace pglb::bench {
+
+inline constexpr AppKind kAllApps[] = {AppKind::kPageRank, AppKind::kColoring,
+                                       AppKind::kConnectedComponents,
+                                       AppKind::kTriangleCount};
+
+/// Short display names in paper order.
+inline const char* short_app_name(AppKind kind) {
+  switch (kind) {
+    case AppKind::kPageRank: return "Pagerank";
+    case AppKind::kColoring: return "Coloring";
+    case AppKind::kConnectedComponents: return "CC";
+    case AppKind::kTriangleCount: return "TC";
+    case AppKind::kSssp: return "SSSP";
+    case AppKind::kKCore: return "kcore";
+  }
+  return "?";
+}
+
+struct NamedGraph {
+  std::string name;
+  EdgeList graph;
+};
+
+/// Materialise the four Table II natural-graph surrogates at `scale`.
+inline std::vector<NamedGraph> load_natural_graphs(double scale, std::uint64_t seed) {
+  std::vector<NamedGraph> graphs;
+  for (const CorpusEntry& entry : natural_graph_entries()) {
+    graphs.push_back({entry.name, make_corpus_graph(entry, scale, seed)});
+  }
+  return graphs;
+}
+
+/// Per-app mean of a metric across graphs, formatted for the summary row.
+inline double mean_of(const std::vector<double>& xs) { return mean(xs); }
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n";
+  std::cout << "(reproduces " << paper_ref << ")\n\n";
+}
+
+
+/// Print a table as aligned ASCII or CSV depending on the --csv flag.
+inline void emit_table(const Table& table, bool csv) {
+  if (csv) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+}
+
+inline void check_unused_flags(const Cli& cli) {
+  const auto unused = cli.unused_keys();
+  if (!unused.empty()) {
+    std::cerr << "unknown flags:";
+    for (const auto& k : unused) std::cerr << " --" << k;
+    std::cerr << '\n';
+    std::exit(2);
+  }
+}
+
+}  // namespace pglb::bench

@@ -1,0 +1,25 @@
+// Figure 10a: Case 2 — local cluster of Xeon Server S (4 hw threads) and
+// Xeon Server L (12 hw threads) at the same frequency.  CCRs sit near 1:3.5
+// while thread counting says 1:5, so prior work overloads the big machine:
+// it wins some runtime but wastes energy.
+
+#include "bench_common.hpp"
+#include "fig10_common.hpp"
+
+using namespace pglb;
+using namespace pglb::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0 / 256.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  check_unused_flags(cli);
+
+  print_header("Fig. 10a - Case 2: local Xeon S + L, same frequency", "Fig. 10a");
+
+  const Cluster cluster(
+      {machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l")});
+  run_local_case(cluster, scale, seed,
+                 "prior 1.27x / 8.4% energy; ccr 1.45x avg, 1.67x max / 23.6% energy");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 10b: Case 3 — projecting wimpy-core data centers: Xeon Server S
+// derated to 1.8 GHz next to Xeon Server L at 2.5 GHz.  CCRs widen past the
+// thread-count ratio for PageRank/CC/Coloring (TC lands near it), so the
+// CCR advantage over prior work grows relative to Case 2.
+
+#include "bench_common.hpp"
+#include "fig10_common.hpp"
+
+using namespace pglb;
+using namespace pglb::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0 / 256.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  check_unused_flags(cli);
+
+  print_header("Fig. 10b - Case 3: Xeon S @ 1.8 GHz + Xeon L @ 2.5 GHz", "Fig. 10b");
+
+  const Cluster cluster({with_frequency(machine_by_name("xeon_server_s"), 1.8),
+                         machine_by_name("xeon_server_l")});
+  run_local_case(cluster, scale, seed,
+                 "prior 1.37x / ~12% energy; ccr 1.58x avg / 26.4% energy");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 11: cost/performance Pareto space of the EC2 machines, per
+// application, derived purely from synthetic-proxy profiling (no rented
+// cluster needed).  Paper takeaways: the three 2xlarge machines cluster
+// together (~2x speedup, ~0.2x cost); 8xlarge is the most expensive per task;
+// 2xlarge/4xlarge are the sensible graph-workload picks.
+
+#include <set>
+
+#include "bench_common.hpp"
+#include "cost/cost_model.hpp"
+#include "cost/pareto.hpp"
+
+using namespace pglb;
+using namespace pglb::bench;
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0 / 128.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const bool csv = cli.get_bool("csv", false);
+  check_unused_flags(cli);
+
+  print_header("Fig. 11 - cost vs performance Pareto space (EC2)", "Fig. 11");
+
+  // The six EC2 machines of Table I.
+  const std::vector<MachineSpec> machines = {
+      machine_by_name("c4.xlarge"),  machine_by_name("c4.2xlarge"),
+      machine_by_name("m4.2xlarge"), machine_by_name("r3.2xlarge"),
+      machine_by_name("c4.4xlarge"), machine_by_name("c4.8xlarge")};
+
+  ProxySuite suite(scale, seed + 100);
+  const auto points = cost_efficiency(machines, kAllApps, suite, "c4.xlarge");
+
+  // Pareto dominance is judged within each application's point cloud.
+  std::set<std::size_t> on_frontier;
+  for (const AppKind app : kAllApps) {
+    std::vector<CostPoint> app_points;
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (points[i].app == app) {
+        app_points.push_back(points[i]);
+        indices.push_back(i);
+      }
+    }
+    for (const std::size_t local : pareto_frontier(app_points)) {
+      on_frontier.insert(indices[local]);
+    }
+  }
+
+  Table table({"app", "machine", "speedup vs c4.xlarge", "cost/task ($)",
+               "relative cost", "pareto"});
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CostPoint& p = points[i];
+    table.row()
+        .cell(short_app_name(p.app))
+        .cell(p.machine)
+        .cell(format_speedup(p.speedup))
+        .cell(p.cost_per_task, 5)
+        .cell(format_double(p.relative_cost, 2) + "x")
+        .cell(on_frontier.contains(i) ? "*" : "");
+  }
+  emit_table(table, csv);
+
+  std::cout << "\n'*' marks the Pareto frontier (maximise speedup, minimise cost).\n"
+               "Paper: 2xlarge ~2x speedup at ~0.2x cost; 8xlarge most expensive per\n"
+               "task; 4xlarge/2xlarge are the reasonable graph-workload candidates.\n";
+  return 0;
+}

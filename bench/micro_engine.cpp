@@ -1,0 +1,67 @@
+// Microbenchmark (google-benchmark): host-side throughput of the application
+// kernels and the finalisation step — how fast the simulator itself chews
+// through edges (distinct from the *virtual* times it reports).
+
+#include <benchmark/benchmark.h>
+
+#include "apps/registry.hpp"
+#include "gen/powerlaw.hpp"
+#include "machine/catalog.hpp"
+#include "partition/random_hash.hpp"
+#include "partition/weights.hpp"
+
+namespace {
+
+using namespace pglb;
+
+struct Fixture {
+  EdgeList graph;
+  EdgeList prepared;
+  Cluster cluster;
+  DistributedGraph dg;
+  WorkloadTraits traits;
+
+  explicit Fixture(AppKind app)
+      : cluster({machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l")}) {
+    PowerLawConfig config;
+    config.num_vertices = 20'000;
+    config.alpha = 2.1;
+    graph = generate_powerlaw(config);
+    prepared = prepare_graph_for(app, graph);
+    const auto assignment =
+        RandomHashPartitioner{}.partition(prepared, uniform_weights(cluster.size()), 1);
+    dg = build_distributed(prepared, assignment);
+    traits = traits_from_stats(compute_stats(prepared), 1.0);
+  }
+};
+
+void BM_AppKernel(benchmark::State& state) {
+  const auto app = static_cast<AppKind>(state.range(0));
+  const Fixture f(app);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_app(app, f.prepared, f.dg, f.cluster, f.traits).digest);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.prepared.num_edges()));
+  state.SetLabel(to_string(app));
+}
+BENCHMARK(BM_AppKernel)->DenseRange(0, 4, 1)->Unit(benchmark::kMillisecond);
+
+void BM_Finalization(benchmark::State& state) {
+  PowerLawConfig config;
+  config.num_vertices = static_cast<VertexId>(state.range(0));
+  config.alpha = 2.1;
+  const auto graph = generate_powerlaw(config);
+  const auto assignment =
+      RandomHashPartitioner{}.partition(graph, uniform_weights(4), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_distributed(graph, assignment).replication_factor());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graph.num_edges()));
+}
+BENCHMARK(BM_Finalization)->Arg(10'000)->Arg(50'000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// Scenario: a cloud user with a graph workload wants to pick the EC2 machine
+// type with the best cost efficiency *before* renting anything (Sec. V-C).
+// Profiles the synthetic proxies on every candidate, prints the Fig.-11-style
+// cost/performance table and recommends the Pareto-optimal picks under an
+// optional deadline.
+//
+// Usage: cloud_cost_advisor [--app=triangle_count] [--max-runtime=100]
+//        [--scale=0.004]
+
+#include <algorithm>
+#include <iostream>
+
+#include "cost/cost_model.hpp"
+#include "cost/pareto.hpp"
+#include "machine/catalog.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+using namespace pglb;
+
+namespace {
+
+AppKind app_from_string(const std::string& name) {
+  for (const AppKind kind : {AppKind::kPageRank, AppKind::kColoring,
+                             AppKind::kConnectedComponents, AppKind::kTriangleCount}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::invalid_argument("unknown app '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const double scale = cli.get_double("scale", 1.0 / 256.0);
+  const AppKind app = app_from_string(cli.get_string("app", "triangle_count"));
+  // Deadline in virtual seconds (0 = no deadline).
+  const double max_runtime = cli.get_double("max-runtime", 0.0);
+
+  const std::vector<MachineSpec> machines = {
+      machine_by_name("c4.xlarge"),  machine_by_name("c4.2xlarge"),
+      machine_by_name("m4.2xlarge"), machine_by_name("r3.2xlarge"),
+      machine_by_name("c4.4xlarge"), machine_by_name("c4.8xlarge")};
+
+  ProxySuite proxies(scale);
+  const AppKind apps[] = {app};
+  const auto points = cost_efficiency(machines, apps, proxies, "c4.xlarge");
+  const auto frontier = pareto_frontier(points);
+
+  std::cout << "Cost advisor for " << to_string(app) << " (profiled on synthetic proxies"
+            << ", no machines rented)\n\n";
+  Table table({"machine", "est. runtime (s)", "speedup", "cost/task ($)", "verdict"});
+  const CostPoint* best = nullptr;
+  for (const std::size_t i : frontier) {
+    const CostPoint& p = points[i];
+    if (max_runtime > 0.0 && p.runtime_seconds > max_runtime) continue;
+    if (best == nullptr || p.cost_per_task < best->cost_per_task) best = &p;
+  }
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CostPoint& p = points[i];
+    std::string verdict;
+    const bool pareto =
+        std::find(frontier.begin(), frontier.end(), i) != frontier.end();
+    if (max_runtime > 0.0 && p.runtime_seconds > max_runtime) {
+      verdict = "misses deadline";
+    } else if (&p == best) {
+      verdict = "RECOMMENDED";
+    } else if (pareto) {
+      verdict = "pareto-optimal";
+    } else {
+      verdict = "dominated";
+    }
+    table.row()
+        .cell(p.machine)
+        .cell(p.runtime_seconds, 1)
+        .cell(format_speedup(p.speedup))
+        .cell(p.cost_per_task, 5)
+        .cell(verdict);
+  }
+  table.print(std::cout);
+
+  if (best != nullptr) {
+    std::cout << "\nrecommendation: " << best->machine << " at $"
+              << format_double(best->cost_per_task, 5) << " per task\n";
+  } else {
+    std::cout << "\nno machine meets the deadline; relax --max-runtime\n";
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerate every paper table/figure plus the ablations and baselines.
+# Usage: scripts/run_all_experiments.sh [build-dir] [extra flags, e.g. --scale=0.01 --csv]
+set -euo pipefail
+
+build="${1:-build}"
+shift || true
+
+benches=(
+  table1_machines
+  table2_graphs
+  fig02_scaling_estimates
+  fig06_degree_distribution
+  fig08a_ccr_same_domain
+  fig08b_ccr_cross_domain
+  fig09_case1_ec2
+  fig10a_case2_local
+  fig10b_case3_freq
+  fig11_cost_pareto
+  ablation_partitioners
+  ablation_proxy_sensitivity
+  ablation_comm_aware
+  baseline_dynamic_migration
+  profiling_overhead
+)
+
+for b in "${benches[@]}"; do
+  "${build}/bench/${b}" "$@"
+done
+
+# Microbenchmarks (google-benchmark binaries take their own flags).
+for b in micro_alpha_solver micro_generator micro_engine; do
+  "${build}/bench/${b}"
+done

@@ -1,0 +1,131 @@
+#include "apps/reference.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "graph/builder.hpp"
+
+namespace pglb {
+
+std::vector<double> pagerank_reference(const EdgeList& graph, double damping,
+                                       int iterations) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return {};
+  const auto out_degree = graph.out_degrees();
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> acc(n);
+  const double base = (1.0 - damping) / static_cast<double>(n);
+  for (int it = 0; it < iterations; ++it) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (const Edge& e : graph.edges()) {
+      acc[e.dst] += rank[e.src] / static_cast<double>(out_degree[e.src]);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      rank[v] = base + damping * acc[v];
+    }
+  }
+  return rank;
+}
+
+namespace {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  VertexId find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(VertexId a, VertexId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Union by smaller root id, so the final label is the component minimum.
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+
+}  // namespace
+
+std::vector<VertexId> connected_components_reference(const EdgeList& graph) {
+  UnionFind uf(graph.num_vertices());
+  for (const Edge& e : graph.edges()) uf.unite(e.src, e.dst);
+  std::vector<VertexId> labels(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) labels[v] = uf.find(v);
+  return labels;
+}
+
+std::uint64_t count_components(std::span<const VertexId> labels) {
+  std::uint64_t count = 0;
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    if (labels[v] == v) ++count;
+  }
+  return count;
+}
+
+std::uint64_t triangle_count_reference(const EdgeList& graph) {
+  const Csr adj = build_undirected_csr(graph);  // sorted, deduped
+  std::uint64_t triangles = 0;
+  // Count each triangle once at its lowest vertex: for u < v adjacent,
+  // intersect the portions of N(u), N(v) above v.
+  for (VertexId u = 0; u < adj.num_vertices(); ++u) {
+    const auto nu = adj.neighbors(u);
+    for (const VertexId v : nu) {
+      if (v <= u) continue;
+      const auto nv = adj.neighbors(v);
+      auto iu = std::upper_bound(nu.begin(), nu.end(), v);
+      auto iv = std::upper_bound(nv.begin(), nv.end(), v);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++triangles;
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+  return triangles;
+}
+
+bool is_proper_coloring(const EdgeList& graph, std::span<const std::uint32_t> colors) {
+  if (colors.size() != graph.num_vertices()) return false;
+  for (const Edge& e : graph.edges()) {
+    if (e.src != e.dst && colors[e.src] == colors[e.dst]) return false;
+  }
+  return true;
+}
+
+EdgeList canonical_undirected(const EdgeList& graph) {
+  std::vector<Edge> edges;
+  edges.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    if (e.src == e.dst) continue;
+    edges.push_back(Edge{std::min(e.src, e.dst), std::max(e.src, e.dst)});
+  }
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return EdgeList(graph.num_vertices(), std::move(edges));
+}
+
+}  // namespace pglb

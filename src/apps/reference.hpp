@@ -1,0 +1,39 @@
+#pragma once
+// Single-node reference implementations used to validate the distributed
+// engine: the distributed runs must produce exactly the same answers
+// regardless of partitioning (BSP synchronous semantics make results
+// partition-invariant).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pglb {
+
+/// PageRank, Eq. 8 of the paper: PR(u) = (1-d)/N + d * sum PR(v)/L(v).
+/// Runs exactly `iterations` synchronous sweeps from the uniform start.
+std::vector<double> pagerank_reference(const EdgeList& graph, double damping,
+                                       int iterations);
+
+/// Connected components of the undirected view via union-find; returns the
+/// smallest vertex id in each component as its label.
+std::vector<VertexId> connected_components_reference(const EdgeList& graph);
+
+/// Number of distinct components (isolated vertices are singletons).
+std::uint64_t count_components(std::span<const VertexId> labels);
+
+/// Exact triangle count of the undirected simple view.
+std::uint64_t triangle_count_reference(const EdgeList& graph);
+
+/// True iff `colors` is a proper colouring of the undirected view
+/// (no edge joins equal colours; self-loops ignored).
+bool is_proper_coloring(const EdgeList& graph, std::span<const std::uint32_t> colors);
+
+/// Map each directed edge list to its canonical undirected simple form:
+/// (min, max) pairs, self-loops dropped, duplicates removed.  Triangle Count
+/// ingests this form (PowerGraph likewise finalises TC graphs as undirected).
+EdgeList canonical_undirected(const EdgeList& graph);
+
+}  // namespace pglb

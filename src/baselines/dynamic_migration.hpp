@@ -1,0 +1,47 @@
+#pragma once
+// Dynamic load-balancing baseline (Mizan-like, Sec. VI related work).
+//
+// The paper positions static CCR-guided ingress against systems that *react*
+// at runtime: monitor per-superstep times and migrate vertices/edges from
+// stragglers to underloaded machines, paying migration traffic.  This
+// baseline implements that policy for PageRank (a stable iterative workload,
+// the favourable case for reactive balancing):
+//
+//   after each superstep: move a fraction of the straggler's edges to the
+//   machine with the most headroom; migration costs bytes-moved over the
+//   interconnect, added to the makespan.
+//
+// The comparison the paper implies: dynamic balancing converges towards the
+// CCR-proportional split eventually, but pays for the bad early supersteps
+// plus the migration traffic — a good initial partition makes it unnecessary.
+
+#include "apps/pagerank.hpp"
+#include "cluster/cluster.hpp"
+#include "engine/distributed_graph.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+struct DynamicMigrationOptions {
+  PageRankOptions pagerank;
+  /// Fraction of the load gap moved per superstep (0 = static execution).
+  double migration_aggressiveness = 0.5;
+  /// Bytes shipped per migrated edge (edge data + vertex state + rewiring).
+  double bytes_per_migrated_edge = 64.0;
+};
+
+struct DynamicMigrationResult {
+  ExecReport report;
+  std::vector<double> ranks;
+  EdgeId edges_migrated = 0;
+  double migration_seconds = 0.0;  ///< included in report.makespan_seconds
+  /// Final per-machine edge share after all migrations.
+  std::vector<double> final_shares;
+};
+
+/// Run PageRank from the given initial assignment with reactive migration.
+DynamicMigrationResult run_pagerank_with_migration(
+    const EdgeList& graph, const PartitionAssignment& initial, const Cluster& cluster,
+    const WorkloadTraits& traits, const DynamicMigrationOptions& options = {});
+
+}  // namespace pglb

@@ -1,0 +1,41 @@
+#include "cluster/groups.hpp"
+
+#include <stdexcept>
+
+namespace pglb {
+
+std::vector<MachineGroup> group_machines(const Cluster& cluster) {
+  std::vector<MachineGroup> groups;
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    const MachineSpec& spec = cluster.machine(m);
+    bool placed = false;
+    for (MachineGroup& g : groups) {
+      if (same_group(g.representative, spec)) {
+        g.members.push_back(m);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      groups.push_back(MachineGroup{spec, {m}});
+    }
+  }
+  return groups;
+}
+
+std::vector<double> expand_group_values(const Cluster& cluster,
+                                        const std::vector<MachineGroup>& groups,
+                                        std::span<const double> group_values) {
+  if (group_values.size() != groups.size()) {
+    throw std::invalid_argument("expand_group_values: one value per group required");
+  }
+  std::vector<double> per_machine(cluster.size(), 0.0);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const MachineId m : groups[g].members) {
+      per_machine[m] = group_values[g];
+    }
+  }
+  return per_machine;
+}
+
+}  // namespace pglb

@@ -1,0 +1,26 @@
+#pragma once
+// Machine grouping (Sec. III-B): to minimise profiling overhead, machines
+// with identical specs form one group and only one representative per group
+// is profiled; its CCR applies to every member.
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace pglb {
+
+struct MachineGroup {
+  MachineSpec representative;
+  std::vector<MachineId> members;  ///< indices into the cluster
+};
+
+/// Partition the cluster's machines into identical-spec groups, in order of
+/// first appearance.
+std::vector<MachineGroup> group_machines(const Cluster& cluster);
+
+/// Expand per-group values (e.g. profiled CCRs) back to per-machine values.
+std::vector<double> expand_group_values(const Cluster& cluster,
+                                        const std::vector<MachineGroup>& groups,
+                                        std::span<const double> group_values);
+
+}  // namespace pglb

@@ -1,0 +1,29 @@
+#include "cluster/interference.hpp"
+
+#include <stdexcept>
+
+namespace pglb {
+
+InterferenceSchedule::InterferenceSchedule(std::vector<InterferenceEvent> events)
+    : events_(std::move(events)) {
+  for (const InterferenceEvent& e : events_) {
+    if (!(e.slowdown > 0.0) || e.slowdown > 1.0) {
+      throw std::invalid_argument("InterferenceSchedule: slowdown must be in (0, 1]");
+    }
+    if (e.from_step < 0 || e.to_step < e.from_step) {
+      throw std::invalid_argument("InterferenceSchedule: malformed step range");
+    }
+  }
+}
+
+double InterferenceSchedule::factor(MachineId machine, int step) const noexcept {
+  double factor = 1.0;
+  for (const InterferenceEvent& e : events_) {
+    if (e.machine == machine && step >= e.from_step && step < e.to_step) {
+      factor *= e.slowdown;
+    }
+  }
+  return factor;
+}
+
+}  // namespace pglb

@@ -1,0 +1,40 @@
+#pragma once
+// Transient interference model: multi-tenant clouds (the paper's EC2 setting)
+// see machines slow down for stretches of time — noisy neighbours, throttling,
+// background daemons.  A deterministic schedule of multiplicative slowdowns
+// lets experiments ask how *static* CCR-guided ingress degrades when the
+// profiled capabilities drift mid-run, and when reactive (Mizan-style)
+// balancing catches up — the trade-off Sec. VI gestures at.
+
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pglb {
+
+struct InterferenceEvent {
+  MachineId machine = 0;
+  /// Affected superstep range [from_step, to_step), 0-indexed.
+  int from_step = 0;
+  int to_step = 0;
+  /// Throughput multiplier while active, in (0, 1]; 0.5 = half speed.
+  double slowdown = 1.0;
+};
+
+class InterferenceSchedule {
+ public:
+  InterferenceSchedule() = default;
+  explicit InterferenceSchedule(std::vector<InterferenceEvent> events);
+
+  /// Combined throughput multiplier for machine m at superstep `step`
+  /// (overlapping events multiply).
+  double factor(MachineId machine, int step) const noexcept;
+
+  bool empty() const noexcept { return events_.empty(); }
+  const std::vector<InterferenceEvent>& events() const noexcept { return events_; }
+
+ private:
+  std::vector<InterferenceEvent> events_;
+};
+
+}  // namespace pglb

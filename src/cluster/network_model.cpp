@@ -1,0 +1,4 @@
+#include "cluster/network_model.hpp"
+
+// Header-only model; this translation unit exists so the target has a home
+// for future routing-aware extensions.

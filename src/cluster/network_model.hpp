@@ -1,0 +1,25 @@
+#pragma once
+// Interconnect model.  The paper's clusters are joined by a high-speed router
+// (Sec. IV); communication enters each superstep as mirror-synchronisation
+// traffic.  Minimising communication is explicitly out of the paper's scope
+// (Sec. III-B), so a flat bandwidth/latency model per machine suffices.
+
+namespace pglb {
+
+struct NetworkModel {
+  /// Per-machine NIC bandwidth, bytes/second (default: 10 GbE).
+  double bandwidth_bytes_per_s = 1.25e9;
+  /// Per-superstep synchronisation latency (barrier + message setup), seconds.
+  double superstep_latency_s = 0.5e-3;
+  /// Seconds the cluster spends in the shared mirror-exchange phase of one
+  /// superstep, given the total bytes moved by all machines.  The exchange is
+  /// a collective: every machine participates for its full duration, so this
+  /// cost is insensitive to load balancing — the reason the measured speedups
+  /// in the paper sit well below the pure-compute ideal.
+  double exchange_seconds(double total_bytes) const {
+    if (total_bytes <= 0.0) return 0.0;
+    return total_bytes / bandwidth_bytes_per_s + superstep_latency_s;
+  }
+};
+
+}  // namespace pglb

@@ -1,0 +1,55 @@
+#include "core/ccr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/math.hpp"
+
+namespace pglb {
+
+std::vector<double> ccr_from_times(std::span<const double> times) {
+  if (times.empty()) throw std::invalid_argument("ccr_from_times: empty time vector");
+  double slowest = 0.0;
+  for (const double t : times) {
+    if (!(t > 0.0) || !std::isfinite(t)) {
+      throw std::invalid_argument("ccr_from_times: times must be positive");
+    }
+    slowest = std::max(slowest, t);
+  }
+  std::vector<double> ccr(times.size());
+  for (std::size_t j = 0; j < times.size(); ++j) ccr[j] = slowest / times[j];
+  return ccr;
+}
+
+std::vector<double> speedups_vs_baseline(std::span<const double> times,
+                                         std::size_t baseline) {
+  if (baseline >= times.size()) {
+    throw std::invalid_argument("speedups_vs_baseline: baseline index out of range");
+  }
+  std::vector<double> speedup(times.size());
+  for (std::size_t j = 0; j < times.size(); ++j) {
+    if (!(times[j] > 0.0)) {
+      throw std::invalid_argument("speedups_vs_baseline: times must be positive");
+    }
+    speedup[j] = times[baseline] / times[j];
+  }
+  return speedup;
+}
+
+double mean_ccr_error(std::span<const double> estimated,
+                      std::span<const double> reference) {
+  if (estimated.size() != reference.size() || estimated.empty()) {
+    throw std::invalid_argument("mean_ccr_error: size mismatch");
+  }
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t j = 0; j < estimated.size(); ++j) {
+    if (estimated[j] == 1.0 && reference[j] == 1.0) continue;  // shared baseline
+    total += relative_error(estimated[j], reference[j]);
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+}  // namespace pglb

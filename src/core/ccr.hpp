@@ -1,0 +1,28 @@
+#pragma once
+// Computation Capability Ratio (Sec. II-A, Eq. 1):
+//
+//   CCR(i, j) = max_j t(i, j) / t(i, j)
+//
+// for application i on machine (group) j — the slowest machine scores 1.0 and
+// faster machines score their speedup over it.  Graph partitions distributed
+// proportionally to CCR let heterogeneous machines hit the barrier together.
+
+#include <span>
+#include <vector>
+
+namespace pglb {
+
+/// Eq. 1 over a vector of per-machine execution times.
+std::vector<double> ccr_from_times(std::span<const double> times);
+
+/// Speedups relative to times[baseline] (Fig. 2 / Fig. 8 plot these).
+std::vector<double> speedups_vs_baseline(std::span<const double> times,
+                                         std::size_t baseline);
+
+/// Mean relative error between an estimated and a reference CCR vector,
+/// skipping entries where both are the 1.0 baseline.  This is the paper's
+/// accuracy metric ("8% error" for proxies, "108%" for core counting).
+double mean_ccr_error(std::span<const double> estimated,
+                      std::span<const double> reference);
+
+}  // namespace pglb

@@ -1,0 +1,100 @@
+#include "core/comm_aware.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "partition/weights.hpp"
+
+namespace pglb {
+
+double predict_superstep_seconds(const Cluster& cluster, const AppProfile& app,
+                                 const WorkloadTraits& traits,
+                                 const ExactHistogram& degree_histogram,
+                                 EdgeId num_edges, std::span<const double> shares) {
+  if (shares.size() != cluster.size()) {
+    throw std::invalid_argument("predict_superstep_seconds: shares/cluster size mismatch");
+  }
+  // Straggler compute: each machine gathers its share of the edges.
+  double worst_compute = 0.0;
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    const double ops = shares[m] * static_cast<double>(num_edges) * traits.work_scale;
+    worst_compute = std::max(
+        worst_compute, ops / throughput_ops(cluster.machine(m), app, traits));
+  }
+  // Shared mirror exchange from the analytic replication model.
+  const auto mirrors = expected_mirrors_per_machine(degree_histogram, shares);
+  double total_mirrors = 0.0;
+  for (const double mir : mirrors) total_mirrors += mir;
+  const double bytes = 2.0 * app.bytes_per_mirror * total_mirrors * traits.work_scale;
+  return worst_compute + cluster.network().exchange_seconds(bytes);
+}
+
+CommAwareResult comm_aware_shares(const Cluster& cluster, const AppProfile& app,
+                                  const WorkloadTraits& traits,
+                                  const ExactHistogram& degree_histogram,
+                                  EdgeId num_edges,
+                                  std::span<const double> capabilities,
+                                  const CommAwareOptions& options) {
+  if (capabilities.size() != cluster.size()) {
+    throw std::invalid_argument("comm_aware_shares: capabilities/cluster size mismatch");
+  }
+  if (options.grid_points < 2 || options.theta_min >= options.theta_max) {
+    throw std::invalid_argument("comm_aware_shares: malformed search options");
+  }
+
+  auto shares_at = [&](double theta) {
+    std::vector<double> powered(capabilities.size());
+    for (std::size_t m = 0; m < capabilities.size(); ++m) {
+      powered[m] = std::pow(capabilities[m], theta);
+    }
+    return shares_from_capabilities(powered);
+  };
+
+  CommAwareResult result;
+  result.plain_ccr_predicted_seconds = predict_superstep_seconds(
+      cluster, app, traits, degree_histogram, num_edges, shares_at(1.0));
+
+  double best_theta = 1.0;
+  double best_time = result.plain_ccr_predicted_seconds;
+  for (int i = 0; i < options.grid_points; ++i) {
+    const double theta =
+        options.theta_min + (options.theta_max - options.theta_min) * i /
+                                (options.grid_points - 1);
+    const double t = predict_superstep_seconds(cluster, app, traits, degree_histogram,
+                                               num_edges, shares_at(theta));
+    if (t < best_time) {
+      best_time = t;
+      best_theta = theta;
+    }
+  }
+  // One refinement pass around the grid winner.
+  const double step = (options.theta_max - options.theta_min) /
+                      (options.grid_points - 1);
+  for (double theta = best_theta - step; theta <= best_theta + step; theta += step / 8) {
+    if (theta < options.theta_min || theta > options.theta_max) continue;
+    const double t = predict_superstep_seconds(cluster, app, traits, degree_histogram,
+                                               num_edges, shares_at(theta));
+    if (t < best_time) {
+      best_time = t;
+      best_theta = theta;
+    }
+  }
+
+  // Conservative deployment rule: the predictor assumes uniform per-edge
+  // work and BSP execution, which is coarse for degree-weighted apps (TC) and
+  // asynchronous ones (Coloring).  Only deviate from plain CCR when the
+  // predicted win is clear.
+  constexpr double kMinimumGain = 0.95;
+  if (best_time > kMinimumGain * result.plain_ccr_predicted_seconds) {
+    best_theta = 1.0;
+    best_time = result.plain_ccr_predicted_seconds;
+  }
+
+  result.theta = best_theta;
+  result.predicted_seconds = best_time;
+  result.shares = shares_at(best_theta);
+  return result;
+}
+
+}  // namespace pglb

@@ -1,0 +1,59 @@
+#pragma once
+// Communication-aware weight refinement — the paper's named future work
+// (Sec. III-B: "Minimizing communication overheads for distributed graph
+// frameworks is beyond the scope of this paper and is considered for future
+// work").
+//
+// Pure CCR shares equalise *compute* time, but mirror-exchange traffic also
+// depends on the share vector: skewing data toward fewer machines lowers
+// replication (and traffic) at the cost of compute balance.  This module
+// searches the one-parameter family
+//
+//     p_m(theta) ~ capability_m ^ theta
+//
+// (theta = 1 is plain CCR; theta > 1 concentrates data on fast machines) for
+// the theta minimising the predicted superstep time
+//
+//     max_m (p_m * W / throughput_m)  +  exchange(mirror_bytes(p))
+//
+// using the analytic replication model, i.e. without running a single trial
+// partition.
+
+#include <span>
+
+#include "cluster/cluster.hpp"
+#include "machine/app_profile.hpp"
+#include "machine/perf_model.hpp"
+#include "partition/replication_model.hpp"
+
+namespace pglb {
+
+struct CommAwareOptions {
+  double theta_min = 0.5;
+  double theta_max = 3.0;
+  int grid_points = 26;
+};
+
+struct CommAwareResult {
+  std::vector<double> shares;
+  double theta = 1.0;
+  double predicted_seconds = 0.0;       ///< per superstep, at the chosen theta
+  double plain_ccr_predicted_seconds = 0.0;  ///< same predictor at theta = 1
+};
+
+/// Predicted per-superstep time for an explicit share vector.
+double predict_superstep_seconds(const Cluster& cluster, const AppProfile& app,
+                                 const WorkloadTraits& traits,
+                                 const ExactHistogram& degree_histogram,
+                                 EdgeId num_edges, std::span<const double> shares);
+
+/// Search the theta family for the best predicted shares.
+/// `capabilities` are the profiled per-machine CCRs (Eq. 1).
+CommAwareResult comm_aware_shares(const Cluster& cluster, const AppProfile& app,
+                                  const WorkloadTraits& traits,
+                                  const ExactHistogram& degree_histogram,
+                                  EdgeId num_edges,
+                                  std::span<const double> capabilities,
+                                  const CommAwareOptions& options = {});
+
+}  // namespace pglb

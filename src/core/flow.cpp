@@ -1,0 +1,46 @@
+#include "core/flow.hpp"
+
+#include "engine/distributed_graph.hpp"
+#include "gen/alpha_solver.hpp"
+#include "util/log.hpp"
+
+namespace pglb {
+
+FlowResult run_flow(const EdgeList& graph, AppKind app, const Cluster& cluster,
+                    const CapabilityEstimator& estimator, const FlowOptions& options) {
+  FlowResult result;
+
+  // 1. Load & prepare the graph for this application.
+  const EdgeList prepared = prepare_graph_for(app, graph);
+  result.stats = compute_stats(prepared);
+  result.fitted_alpha = fit_alpha_clamped(result.stats.num_vertices, result.stats.num_edges);
+
+  // 2. Capability weights (CCR pool lookup / prior-work heuristic / uniform).
+  result.weights = estimator.weights(cluster, app, prepared, result.stats);
+
+  // 3. Partition.
+  const auto partitioner =
+      make_partitioner(options.partitioner, options.partitioner_options);
+  const auto assignment = partitioner->partition(prepared, result.weights, options.seed);
+  result.partition = compute_partition_metrics(prepared, assignment, result.weights);
+
+  // 4. Finalise (masters + mirrors) and check memory feasibility.
+  const auto dg = build_distributed(prepared, assignment);
+  result.replication_factor = dg.replication_factor();
+  const WorkloadTraits traits = traits_from_stats(result.stats, options.scale);
+  result.memory_gb = estimated_memory_gb(dg, traits.work_scale);
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    const double capacity = cluster.machine(m).mem_gb;
+    if (capacity > 0.0 && result.memory_gb[m] > capacity) {
+      result.memory_feasible = false;
+      PGLB_LOG_WARN("partition of ", result.memory_gb[m], " GB exceeds ",
+                    cluster.machine(m).name, "'s ", capacity, " GB");
+    }
+  }
+
+  // 5. Execute.
+  result.app = run_app(app, prepared, dg, cluster, traits);
+  return result;
+}
+
+}  // namespace pglb

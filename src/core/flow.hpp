@@ -1,0 +1,41 @@
+#pragma once
+// End-to-end graph-processing flow (Fig. 7b): load graph + application, pick
+// the CCR-derived weights, partition with the selected algorithm, finalise
+// masters/mirrors, execute, report.
+
+#include <memory>
+
+#include "apps/registry.hpp"
+#include "core/estimators.hpp"
+#include "partition/factory.hpp"
+#include "partition/metrics.hpp"
+
+namespace pglb {
+
+struct FlowOptions {
+  PartitionerKind partitioner = PartitionerKind::kRandomHash;
+  PartitionerOptions partitioner_options;
+  std::uint64_t seed = 1;
+  /// Down-scaling factor of the input graph (trait re-inflation).
+  double scale = 1.0;
+};
+
+struct FlowResult {
+  GraphStats stats;            ///< of the app-prepared graph
+  double fitted_alpha = 0.0;   ///< Eq. 7 fit on (V, E)
+  std::vector<double> weights; ///< partition shares actually used
+  PartitionMetrics partition;  ///< replication factor / balance achieved
+  double replication_factor = 0.0;
+  /// Estimated paper-scale partition memory per machine (GB).
+  std::vector<double> memory_gb;
+  /// False when some machine's partition exceeds its DRAM capacity
+  /// (Sec. IV's "if the graph does not exceed the memory capacity" caveat —
+  /// machines with unspecified capacity are treated as unbounded).
+  bool memory_feasible = true;
+  AppRunResult app;            ///< execution report + result digest
+};
+
+FlowResult run_flow(const EdgeList& graph, AppKind app, const Cluster& cluster,
+                    const CapabilityEstimator& estimator, const FlowOptions& options = {});
+
+}  // namespace pglb

@@ -1,0 +1,39 @@
+#include "core/online.hpp"
+
+#include "core/profiler.hpp"
+#include "gen/alpha_solver.hpp"
+#include "partition/weights.hpp"
+#include "util/log.hpp"
+
+namespace pglb {
+
+OnlineCcrManager::OnlineCcrManager(ProxySuite suite, std::span<const AppKind> apps)
+    : suite_(std::move(suite)), apps_(apps.begin(), apps.end()) {}
+
+std::size_t OnlineCcrManager::refresh(const Cluster& cluster) {
+  std::size_t runs = 0;
+  for (const AppKind app : apps_) {
+    for (const ProxySuite::Proxy& proxy : suite_.proxies()) {
+      for (const MachineSpec& machine :
+           db_.missing_machines(cluster, app, proxy.alpha)) {
+        const double seconds =
+            profile_single_machine(machine, app, proxy.graph, suite_.scale());
+        db_.record({app, proxy.alpha, machine.name}, seconds);
+        ++runs;
+        PGLB_LOG_DEBUG("online profile: ", to_string(app), " alpha=", proxy.alpha,
+                       " on ", machine.name, " -> ", seconds, "s");
+      }
+    }
+  }
+  total_runs_ += runs;
+  return runs;
+}
+
+std::vector<double> OnlineCcrEstimator::weights(const Cluster& cluster, AppKind app,
+                                                const EdgeList& /*graph*/,
+                                                const GraphStats& stats) const {
+  const double alpha = fit_alpha_clamped(stats.num_vertices, stats.num_edges);
+  return shares_from_capabilities(manager_->ccr_for(cluster, app, alpha));
+}
+
+}  // namespace pglb

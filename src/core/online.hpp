@@ -1,0 +1,67 @@
+#pragma once
+// Online CCR maintenance (Sec. III-B):
+//   "The CCR pool needs to be updated whenever computing resources in the
+//    heterogeneous cluster change.  However, re-profiling is only required
+//    if new machine types are deployed...  Varying the cluster composition
+//    among existing machines does not require CCR updates.  Given its low
+//    overhead, dynamic changes in resources can be captured by running the
+//    profiler and updating the CCR pool online at regular intervals."
+//
+// OnlineCcrManager owns a TimeDatabase and a proxy suite; refresh() profiles
+// exactly the (app, proxy, machine-type) triples that are missing for the
+// current cluster, counting how much profiling work was actually spent — the
+// incremental-cost property the paper argues for.
+
+#include <memory>
+
+#include "core/estimators.hpp"
+#include "core/proxy_suite.hpp"
+#include "core/time_database.hpp"
+
+namespace pglb {
+
+class OnlineCcrManager {
+ public:
+  OnlineCcrManager(ProxySuite suite, std::span<const AppKind> apps);
+
+  /// Load previously persisted profiling results (e.g. from a prior
+  /// deployment) before the first refresh.
+  void preload(TimeDatabase db) { db_ = std::move(db); }
+
+  /// Bring the database up to date for `cluster`: profile only machine types
+  /// with no entry yet.  Returns the number of single-machine profiling runs
+  /// executed (0 when the composition merely changed among known types).
+  std::size_t refresh(const Cluster& cluster);
+
+  /// Per-machine CCR for the current database (throws if refresh() was never
+  /// run for some machine type in the cluster).
+  std::vector<double> ccr_for(const Cluster& cluster, AppKind app,
+                              double graph_alpha) const {
+    return db_.ccr_for(cluster, app, graph_alpha);
+  }
+
+  const TimeDatabase& database() const noexcept { return db_; }
+  std::size_t total_profiling_runs() const noexcept { return total_runs_; }
+
+ private:
+  ProxySuite suite_;
+  std::vector<AppKind> apps_;
+  TimeDatabase db_;
+  std::size_t total_runs_ = 0;
+};
+
+/// Estimator adapter so the online manager plugs into run_flow() like the
+/// offline ProxyCcrEstimator.
+class OnlineCcrEstimator final : public CapabilityEstimator {
+ public:
+  explicit OnlineCcrEstimator(const OnlineCcrManager& manager) : manager_(&manager) {}
+
+  std::string name() const override { return "online_ccr"; }
+  std::vector<double> weights(const Cluster& cluster, AppKind app, const EdgeList& graph,
+                              const GraphStats& stats) const override;
+
+ private:
+  const OnlineCcrManager* manager_;
+};
+
+}  // namespace pglb

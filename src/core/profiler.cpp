@@ -1,0 +1,113 @@
+#include "core/profiler.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "apps/registry.hpp"
+#include "core/ccr.hpp"
+#include "partition/random_hash.hpp"
+
+namespace pglb {
+
+double profile_single_machine(const MachineSpec& spec, AppKind app,
+                              const EdgeList& graph, double scale) {
+  const Cluster solo{std::vector<MachineSpec>{spec}};
+  const EdgeList prepared = prepare_graph_for(app, graph);
+  const GraphStats stats = compute_stats(prepared);
+  const WorkloadTraits traits = traits_from_stats(stats, scale);
+
+  const RandomHashPartitioner partitioner;
+  const std::vector<double> weights{1.0};
+  const auto assignment = partitioner.partition(prepared, weights, /*seed=*/0);
+  const auto dg = build_distributed(prepared, assignment);
+  const auto result = run_app(app, prepared, dg, solo, traits);
+  return result.report.makespan_seconds;
+}
+
+void CcrPool::insert(Entry entry) {
+  if (entry.group_times.empty()) {
+    throw std::invalid_argument("CcrPool::insert: empty group_times");
+  }
+  if (num_groups_ == 0) {
+    num_groups_ = entry.group_times.size();
+  } else if (entry.group_times.size() != num_groups_) {
+    throw std::invalid_argument("CcrPool::insert: inconsistent group count");
+  }
+  entries_.push_back(std::move(entry));
+}
+
+bool CcrPool::has_app(AppKind app) const noexcept {
+  for (const Entry& e : entries_) {
+    if (e.app == app) return true;
+  }
+  return false;
+}
+
+std::vector<double> CcrPool::ccr_for(AppKind app, double graph_alpha) const {
+  const Entry* best = nullptr;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const Entry& e : entries_) {
+    if (e.app != app) continue;
+    const double gap = std::abs(e.proxy_alpha - graph_alpha);
+    if (gap < best_gap) {
+      best = &e;
+      best_gap = gap;
+    }
+  }
+  if (best == nullptr) {
+    throw std::out_of_range("CcrPool::ccr_for: app '" + std::string(to_string(app)) +
+                            "' not profiled");
+  }
+  return ccr_from_times(best->group_times);
+}
+
+std::vector<double> CcrPool::mean_ccr_for(AppKind app) const {
+  std::vector<double> sum;
+  std::size_t count = 0;
+  for (const Entry& e : entries_) {
+    if (e.app != app) continue;
+    const auto ccr = ccr_from_times(e.group_times);
+    if (sum.empty()) sum.assign(ccr.size(), 0.0);
+    for (std::size_t g = 0; g < ccr.size(); ++g) sum[g] += ccr[g];
+    ++count;
+  }
+  if (count == 0) {
+    throw std::out_of_range("CcrPool::mean_ccr_for: app not profiled");
+  }
+  for (double& s : sum) s /= static_cast<double>(count);
+  return sum;
+}
+
+CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
+                        std::span<const AppKind> apps) {
+  const auto groups = group_machines(cluster);
+  CcrPool pool;
+  for (const AppKind app : apps) {
+    for (const ProxySuite::Proxy& proxy : suite.proxies()) {
+      CcrPool::Entry entry;
+      entry.app = app;
+      entry.proxy_alpha = proxy.alpha;
+      entry.group_times.reserve(groups.size());
+      for (const MachineGroup& group : groups) {
+        entry.group_times.push_back(
+            profile_single_machine(group.representative, app, proxy.graph, suite.scale()));
+      }
+      pool.insert(std::move(entry));
+    }
+  }
+  return pool;
+}
+
+std::vector<double> profile_groups_on_graph(const Cluster& cluster, AppKind app,
+                                            const EdgeList& graph, double scale) {
+  const auto groups = group_machines(cluster);
+  std::vector<double> times;
+  times.reserve(groups.size());
+  for (const MachineGroup& group : groups) {
+    times.push_back(profile_single_machine(group.representative, app, graph, scale));
+  }
+  return times;
+}
+
+}  // namespace pglb

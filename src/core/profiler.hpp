@@ -1,0 +1,64 @@
+#pragma once
+// Offline profiling (Sec. III-B, Fig. 7a): run each application on each
+// synthetic proxy on ONE representative machine per group — individually, so
+// no communication interferes — and collect the runtimes into the CCR pool.
+// Profiling is a one-time cost per (application, machine type); the pool is
+// reused across every future input graph.
+
+#include <span>
+#include <vector>
+
+#include "cluster/groups.hpp"
+#include "core/proxy_suite.hpp"
+#include "machine/app_profile.hpp"
+
+namespace pglb {
+
+/// Virtual-time runtime of `app` on `graph` executed on a single machine of
+/// type `spec` (a one-machine cluster: no mirrors, no communication).
+/// `scale` is the down-scaling factor of `graph` for trait re-inflation.
+double profile_single_machine(const MachineSpec& spec, AppKind app,
+                              const EdgeList& graph, double scale);
+
+/// The CCR pool (Fig. 7a right): per application and proxy distribution, the
+/// profiled per-group runtimes; queried by the flow with the input graph's
+/// fitted alpha.
+class CcrPool {
+ public:
+  struct Entry {
+    AppKind app = AppKind::kPageRank;
+    double proxy_alpha = 0.0;
+    std::vector<double> group_times;  ///< one per machine group
+  };
+
+  void insert(Entry entry);
+
+  bool has_app(AppKind app) const noexcept;
+  std::span<const Entry> entries() const noexcept { return entries_; }
+  std::size_t num_groups() const noexcept { return num_groups_; }
+
+  /// CCR vector (Eq. 1, one per group) for `app`, using the pool entry whose
+  /// proxy alpha is nearest to `graph_alpha`.  Throws std::out_of_range if
+  /// the app was never profiled.
+  std::vector<double> ccr_for(AppKind app, double graph_alpha) const;
+
+  /// Average the per-proxy CCRs for `app` (used when no alpha is known).
+  std::vector<double> mean_ccr_for(AppKind app) const;
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t num_groups_ = 0;
+};
+
+/// Run the full profiling pass: every app x every proxy x one machine per
+/// group.
+CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
+                        std::span<const AppKind> apps);
+
+/// Profile using an arbitrary graph instead of the proxies (the "real graph"
+/// CCR of Fig. 8, and the oracle estimator).  Returns per-group times.
+std::vector<double> profile_groups_on_graph(const Cluster& cluster,
+                                            AppKind app, const EdgeList& graph,
+                                            double scale);
+
+}  // namespace pglb

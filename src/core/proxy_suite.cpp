@@ -1,0 +1,60 @@
+#include "core/proxy_suite.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "gen/powerlaw.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pglb {
+
+ProxySuite::ProxySuite(double scale, std::uint64_t seed) : scale_(scale), seed_(seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("ProxySuite: scale must be in (0, 1]");
+  }
+  for (const CorpusEntry& entry : synthetic_graph_entries()) {
+    add_proxy(entry.paper_alpha);
+  }
+}
+
+void ProxySuite::add_proxy(double alpha) {
+  const Stopwatch timer;
+  PowerLawConfig config;
+  config.num_vertices = static_cast<VertexId>(std::max<double>(
+      1000.0, std::round(3'200'000.0 * scale_)));
+  config.alpha = alpha;
+  config.seed = seed_ + proxies_.size();
+  Proxy proxy;
+  proxy.alpha = alpha;
+  proxy.graph = generate_powerlaw(config);
+  proxy.stats = compute_stats(proxy.graph);
+  proxies_.push_back(std::move(proxy));
+  generation_seconds_ += timer.seconds();
+}
+
+const ProxySuite::Proxy& ProxySuite::nearest(double alpha) const {
+  if (proxies_.empty()) throw std::logic_error("ProxySuite: no proxies");
+  const Proxy* best = nullptr;
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const Proxy& p : proxies_) {
+    const double gap = std::abs(p.alpha - alpha);
+    if (gap < best_gap) {
+      best = &p;
+      best_gap = gap;
+    }
+  }
+  return *best;
+}
+
+const ProxySuite::Proxy& ProxySuite::ensure_coverage(double alpha) {
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const Proxy& p : proxies_) best_gap = std::min(best_gap, std::abs(p.alpha - alpha));
+  if (best_gap > kCoverageMargin) {
+    add_proxy(alpha);
+    return proxies_.back();
+  }
+  return nearest(alpha);
+}
+
+}  // namespace pglb

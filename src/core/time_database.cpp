@@ -1,0 +1,129 @@
+#include "core/time_database.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "cluster/groups.hpp"
+#include "core/ccr.hpp"
+
+namespace pglb {
+
+namespace {
+
+AppKind app_from_name(const std::string& name) {
+  for (const AppKind kind : {AppKind::kPageRank, AppKind::kColoring,
+                             AppKind::kConnectedComponents, AppKind::kTriangleCount,
+                             AppKind::kSssp, AppKind::kKCore}) {
+    if (name == to_string(kind)) return kind;
+  }
+  throw std::runtime_error("TimeDatabase: unknown app name '" + name + "'");
+}
+
+}  // namespace
+
+void TimeDatabase::record(const Key& key, double seconds) {
+  if (!(seconds > 0.0) || !std::isfinite(seconds)) {
+    throw std::invalid_argument("TimeDatabase::record: time must be positive");
+  }
+  times_[key] = seconds;
+}
+
+std::optional<double> TimeDatabase::lookup(const Key& key) const {
+  const auto it = times_.find(key);
+  if (it == times_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<double> TimeDatabase::alphas_for(AppKind app) const {
+  std::vector<double> alphas;
+  for (const auto& [key, _] : times_) {
+    if (key.app == app &&
+        (alphas.empty() || alphas.back() != key.proxy_alpha)) {
+      alphas.push_back(key.proxy_alpha);
+    }
+  }
+  std::sort(alphas.begin(), alphas.end());
+  alphas.erase(std::unique(alphas.begin(), alphas.end()), alphas.end());
+  return alphas;
+}
+
+std::vector<MachineSpec> TimeDatabase::missing_machines(const Cluster& cluster,
+                                                        AppKind app,
+                                                        double proxy_alpha) const {
+  std::vector<MachineSpec> missing;
+  for (const MachineGroup& group : group_machines(cluster)) {
+    if (!has_machine(app, proxy_alpha, group.representative.name)) {
+      missing.push_back(group.representative);
+    }
+  }
+  return missing;
+}
+
+std::vector<double> TimeDatabase::ccr_for(const Cluster& cluster, AppKind app,
+                                          double graph_alpha) const {
+  const auto alphas = alphas_for(app);
+  if (alphas.empty()) {
+    throw std::out_of_range("TimeDatabase::ccr_for: app '" +
+                            std::string(to_string(app)) + "' never profiled");
+  }
+  double best_alpha = alphas.front();
+  for (const double a : alphas) {
+    if (std::abs(a - graph_alpha) < std::abs(best_alpha - graph_alpha)) best_alpha = a;
+  }
+
+  std::vector<double> per_machine(cluster.size());
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    const auto t = lookup({app, best_alpha, cluster.machine(m).name});
+    if (!t) {
+      throw std::out_of_range("TimeDatabase::ccr_for: machine '" +
+                              cluster.machine(m).name + "' not profiled for app '" +
+                              to_string(app) + "'");
+    }
+    per_machine[m] = *t;
+  }
+  return ccr_from_times(per_machine);
+}
+
+void save_time_database(const TimeDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_time_database: cannot open " + path);
+  out << "# pglb-ccr-pool v1\n";
+  out.precision(17);
+  for (const auto& [key, seconds] : db.entries()) {
+    out << to_string(key.app) << '\t' << key.proxy_alpha << '\t' << key.machine << '\t'
+        << seconds << '\n';
+  }
+  if (!out) throw std::runtime_error("save_time_database: write failed: " + path);
+}
+
+TimeDatabase load_time_database(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_time_database: cannot open " + path);
+  std::string header;
+  std::getline(in, header);
+  if (header != "# pglb-ccr-pool v1") {
+    throw std::runtime_error("load_time_database: bad header in " + path);
+  }
+  TimeDatabase db;
+  std::string line;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::istringstream ss(line);
+    std::string app_name, machine;
+    double alpha = 0.0, seconds = 0.0;
+    if (!(ss >> app_name >> alpha >> machine >> seconds)) {
+      throw std::runtime_error("load_time_database: parse error at line " +
+                               std::to_string(line_no) + " of " + path);
+    }
+    db.record({app_from_name(app_name), alpha, machine}, seconds);
+  }
+  return db;
+}
+
+}  // namespace pglb

@@ -1,0 +1,66 @@
+#pragma once
+// Machine-type-keyed profiling database — the durable form of the CCR pool.
+//
+// Section III-B observes that single-machine proxy runtimes are a property of
+// the (application, proxy, machine type) triple, independent of cluster
+// composition: "varying the cluster composition among existing machines does
+// not require CCR updates".  Storing raw times per machine type (rather than
+// per-cluster CCR vectors) makes that literal: CCRs for ANY cluster drawn
+// from profiled types are derived on demand, and only genuinely new machine
+// types ever need profiling.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "machine/app_profile.hpp"
+
+namespace pglb {
+
+class TimeDatabase {
+ public:
+  struct Key {
+    AppKind app = AppKind::kPageRank;
+    double proxy_alpha = 0.0;
+    std::string machine;  ///< MachineSpec::name
+
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void record(const Key& key, double seconds);
+
+  std::optional<double> lookup(const Key& key) const;
+
+  bool has_machine(AppKind app, double proxy_alpha, const std::string& machine) const {
+    return lookup({app, proxy_alpha, machine}).has_value();
+  }
+
+  /// Proxy alphas present for an app (sorted ascending).
+  std::vector<double> alphas_for(AppKind app) const;
+
+  /// Machine types for which *no* entry exists for (app, alpha) — the only
+  /// ones an online refresh needs to profile.
+  std::vector<MachineSpec> missing_machines(const Cluster& cluster, AppKind app,
+                                            double proxy_alpha) const;
+
+  /// Per-machine CCR vector (Eq. 1) for a cluster, using the stored times of
+  /// the nearest profiled alpha.  Throws std::out_of_range when a machine
+  /// type or the app has never been profiled.
+  std::vector<double> ccr_for(const Cluster& cluster, AppKind app,
+                              double graph_alpha) const;
+
+  std::size_t size() const noexcept { return times_.size(); }
+  const std::map<Key, double>& entries() const noexcept { return times_; }
+
+ private:
+  std::map<Key, double> times_;
+};
+
+/// TSV persistence: "app \t alpha \t machine \t seconds" per line with a
+/// versioned header.  Throws std::runtime_error on IO/parse errors.
+void save_time_database(const TimeDatabase& db, const std::string& path);
+TimeDatabase load_time_database(const std::string& path);
+
+}  // namespace pglb

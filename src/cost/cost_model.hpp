@@ -1,0 +1,39 @@
+#pragma once
+// Cost-efficiency projection (Sec. V-C, Fig. 11): profile the synthetic
+// proxies on each candidate machine and derive cost-per-task = runtime hours
+// x hourly rate, without ever renting the full menu of instances.
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/proxy_suite.hpp"
+#include "machine/app_profile.hpp"
+#include "machine/machine_spec.hpp"
+
+namespace pglb {
+
+struct CostPoint {
+  std::string machine;
+  AppKind app = AppKind::kPageRank;
+  double runtime_seconds = 0.0;   ///< profiled proxy runtime (virtual)
+  double speedup = 0.0;           ///< vs the baseline machine
+  double cost_per_task = 0.0;     ///< USD: runtime_hours * hourly rate
+  double relative_cost = 0.0;     ///< vs the most expensive machine for this app
+};
+
+/// Evaluate every machine on every app using the proxy nearest `alpha`
+/// (default: the middle proxy).  `baseline` names the speedup reference
+/// (the paper uses the smallest machine, c4.xlarge).
+std::vector<CostPoint> cost_efficiency(std::span<const MachineSpec> machines,
+                                       std::span<const AppKind> apps,
+                                       const ProxySuite& suite,
+                                       const std::string& baseline,
+                                       double alpha = 2.1);
+
+/// Cost of running a job on a whole (rented) cluster: every machine bills
+/// for the full makespan whether busy or idle — Sec. V-C's "cost efficiency
+/// of formed clusters".  Local (rate 0) machines contribute nothing.
+double cluster_cost_per_task(const Cluster& cluster, double makespan_seconds);
+
+}  // namespace pglb

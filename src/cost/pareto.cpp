@@ -1,0 +1,23 @@
+#include "cost/pareto.hpp"
+
+namespace pglb {
+
+bool dominates(const CostPoint& a, const CostPoint& b) {
+  const bool no_worse = a.speedup >= b.speedup && a.cost_per_task <= b.cost_per_task;
+  const bool strictly_better = a.speedup > b.speedup || a.cost_per_task < b.cost_per_task;
+  return no_worse && strictly_better;
+}
+
+std::vector<std::size_t> pareto_frontier(std::span<const CostPoint> points) {
+  std::vector<std::size_t> frontier;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i])) dominated = true;
+    }
+    if (!dominated) frontier.push_back(i);
+  }
+  return frontier;
+}
+
+}  // namespace pglb

@@ -1,0 +1,22 @@
+#pragma once
+// Pareto frontier over (speedup up, cost down) — the non-dominated machines a
+// cloud user should shortlist (Fig. 11's takeaway: 2xlarge/4xlarge dominate
+// 8xlarge for graph work).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "cost/cost_model.hpp"
+
+namespace pglb {
+
+/// Indices of points not dominated by any other: no other point has
+/// >= speedup AND <= cost with at least one strict.  Output preserves input
+/// order.
+std::vector<std::size_t> pareto_frontier(std::span<const CostPoint> points);
+
+/// True iff `a` dominates `b`.
+bool dominates(const CostPoint& a, const CostPoint& b);
+
+}  // namespace pglb

@@ -1,0 +1,104 @@
+#include "engine/distributed_graph.hpp"
+
+#include <stdexcept>
+
+namespace pglb {
+
+std::vector<double> estimated_memory_gb(const DistributedGraph& dg, double work_scale) {
+  if (!(work_scale >= 1.0)) {
+    throw std::invalid_argument("estimated_memory_gb: work_scale must be >= 1");
+  }
+  constexpr double kBytesPerEdge = 32.0;
+  constexpr double kBytesPerReplica = 96.0;
+  std::vector<double> gb(dg.num_machines(), 0.0);
+  for (MachineId m = 0; m < dg.num_machines(); ++m) {
+    const double replicas =
+        static_cast<double>(dg.masters_on(m)) + static_cast<double>(dg.mirrors_on(m));
+    const double bytes = work_scale * (kBytesPerEdge * static_cast<double>(
+                                           dg.local_edges(m).size()) +
+                                       kBytesPerReplica * replicas);
+    gb[m] = bytes / 1e9;
+  }
+  return gb;
+}
+
+std::uint64_t DistributedGraph::total_mirrors() const noexcept {
+  std::uint64_t total = 0;
+  for (const VertexId m : mirrors_per_machine_) total += m;
+  return total;
+}
+
+DistributedGraph build_distributed(const EdgeList& graph,
+                                   const PartitionAssignment& assignment) {
+  if (assignment.edge_to_machine.size() != graph.num_edges()) {
+    throw std::invalid_argument("build_distributed: assignment/graph size mismatch");
+  }
+  if (assignment.num_machines == 0 || assignment.num_machines > 64) {
+    throw std::invalid_argument("build_distributed: machine count must be in [1, 64]");
+  }
+
+  DistributedGraph dg;
+  dg.num_vertices_ = graph.num_vertices();
+  dg.num_machines_ = assignment.num_machines;
+  dg.num_edges_ = graph.num_edges();
+  dg.local_edges_.resize(assignment.num_machines);
+  dg.replica_mask_.assign(graph.num_vertices(), 0);
+  dg.master_.assign(graph.num_vertices(), kInvalidMachine);
+  dg.mirrors_per_machine_.assign(assignment.num_machines, 0);
+  dg.masters_per_machine_.assign(assignment.num_machines, 0);
+
+  const auto edge_counts = assignment.machine_edge_counts();
+  for (MachineId m = 0; m < assignment.num_machines; ++m) {
+    dg.local_edges_[m].reserve(edge_counts[m]);
+  }
+
+  // Per-vertex, per-machine edge tallies to pick masters.  Stored sparsely:
+  // tally[v * M + m] would be O(V*M) — acceptable for M <= 64 but wasteful;
+  // use a flat vector only when M is small, which it always is here.
+  std::vector<std::uint32_t> tallies(
+      static_cast<std::size_t>(graph.num_vertices()) * assignment.num_machines, 0);
+
+  EdgeId index = 0;
+  for (const Edge& e : graph.edges()) {
+    const MachineId m = assignment.edge_to_machine[index++];
+    dg.local_edges_[m].push_back(e);
+    dg.replica_mask_[e.src] |= std::uint64_t{1} << m;
+    dg.replica_mask_[e.dst] |= std::uint64_t{1} << m;
+    ++tallies[static_cast<std::size_t>(e.src) * assignment.num_machines + m];
+    ++tallies[static_cast<std::size_t>(e.dst) * assignment.num_machines + m];
+  }
+
+  std::uint64_t total_replicas = 0;
+  VertexId present = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const std::uint64_t mask = dg.replica_mask_[v];
+    if (mask == 0) continue;
+    ++present;
+    // Master: replica with the largest local edge tally (lowest id on ties).
+    MachineId master = kInvalidMachine;
+    std::uint32_t best_tally = 0;
+    for (MachineId m = 0; m < assignment.num_machines; ++m) {
+      if ((mask & (std::uint64_t{1} << m)) == 0) continue;
+      ++total_replicas;
+      const std::uint32_t tally =
+          tallies[static_cast<std::size_t>(v) * assignment.num_machines + m];
+      if (master == kInvalidMachine || tally > best_tally) {
+        master = m;
+        best_tally = tally;
+      }
+    }
+    dg.master_[v] = master;
+    ++dg.masters_per_machine_[master];
+    for (MachineId m = 0; m < assignment.num_machines; ++m) {
+      if (m != master && (mask & (std::uint64_t{1} << m)) != 0) {
+        ++dg.mirrors_per_machine_[m];
+      }
+    }
+  }
+  dg.replication_factor_ =
+      present == 0 ? 0.0
+                   : static_cast<double>(total_replicas) / static_cast<double>(present);
+  return dg;
+}
+
+}  // namespace pglb

@@ -1,0 +1,67 @@
+#pragma once
+// Graph finalisation (the "finalize" step in the paper's Fig. 7b flow):
+// materialise the per-machine edge partitions, decide each vertex's master
+// machine and enumerate mirrors.  Mirrors are the replicated vertex segments
+// of a vertex cut (Fig. 3) and drive the engine's communication model.
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+class DistributedGraph {
+ public:
+  DistributedGraph() = default;
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  MachineId num_machines() const noexcept { return num_machines_; }
+  EdgeId num_edges() const noexcept { return num_edges_; }
+
+  /// Edges owned by machine m, in stream order.
+  std::span<const Edge> local_edges(MachineId m) const { return local_edges_.at(m); }
+
+  /// Machines holding at least one edge of v (bitmask).
+  std::uint64_t replica_mask(VertexId v) const { return replica_mask_.at(v); }
+
+  /// Master machine of v (the replica holding most of v's edges; ties to the
+  /// lowest machine id).  kInvalidMachine for isolated vertices.
+  MachineId master(VertexId v) const { return master_.at(v); }
+
+  /// Number of mirror (non-master) replicas on machine m.
+  VertexId mirrors_on(MachineId m) const { return mirrors_per_machine_.at(m); }
+  /// Number of master vertices on machine m.
+  VertexId masters_on(MachineId m) const { return masters_per_machine_.at(m); }
+
+  std::uint64_t total_mirrors() const noexcept;
+
+  /// Average replicas per non-isolated vertex.
+  double replication_factor() const noexcept { return replication_factor_; }
+
+  friend DistributedGraph build_distributed(const EdgeList& graph,
+                                            const PartitionAssignment& assignment);
+
+ private:
+  VertexId num_vertices_ = 0;
+  MachineId num_machines_ = 0;
+  EdgeId num_edges_ = 0;
+  std::vector<std::vector<Edge>> local_edges_;
+  std::vector<std::uint64_t> replica_mask_;
+  std::vector<MachineId> master_;
+  std::vector<VertexId> mirrors_per_machine_;
+  std::vector<VertexId> masters_per_machine_;
+  double replication_factor_ = 0.0;
+};
+
+DistributedGraph build_distributed(const EdgeList& graph,
+                                   const PartitionAssignment& assignment);
+
+/// Estimated resident memory of each machine's partition, in GB, at paper
+/// scale: local edges (~32 B each in PowerGraph's adjacency + message
+/// buffers) plus vertex replicas (~96 B of state, accumulator and mirror
+/// bookkeeping).  Used for the feasibility check of Sec. IV's caveat ("if
+/// the graph does not exceed the memory capacity...").
+std::vector<double> estimated_memory_gb(const DistributedGraph& dg, double work_scale);
+
+}  // namespace pglb

@@ -1,0 +1,33 @@
+#include "engine/exec_report.hpp"
+
+#include <sstream>
+
+namespace pglb {
+
+double ExecReport::straggler_fraction(MachineId machine) const noexcept {
+  if (trace.empty()) return 0.0;
+  std::size_t stalls = 0;
+  for (const SuperstepTrace& step : trace) {
+    if (step.straggler == machine) ++stalls;
+  }
+  return static_cast<double>(stalls) / static_cast<double>(trace.size());
+}
+
+double ExecReport::idle_fraction() const noexcept {
+  double busy = 0.0, idle = 0.0;
+  for (const MachineActivity& a : per_machine) {
+    busy += a.compute_seconds + a.comm_seconds;
+    idle += a.idle_seconds;
+  }
+  const double total = busy + idle;
+  return total > 0.0 ? idle / total : 0.0;
+}
+
+std::string ExecReport::summary() const {
+  std::ostringstream os;
+  os << app_name << ": makespan=" << makespan_seconds << "s, energy=" << total_joules
+     << "J, supersteps=" << supersteps << ", idle=" << idle_fraction() * 100.0 << "%";
+  return os.str();
+}
+
+}  // namespace pglb

@@ -1,0 +1,85 @@
+#include "gen/chung_lu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pglb {
+
+namespace {
+
+/// Attachment weights w_i ~ (i+1)^(-1/(alpha-1)), the classic Chung-Lu
+/// sequence yielding degree exponent alpha, with optional lognormal jitter.
+std::vector<double> attachment_weights(const ChungLuConfig& config, Rng& rng) {
+  const double exponent = -1.0 / (config.alpha - 1.0);
+  std::vector<double> weights(config.num_vertices);
+  double total = 0.0;
+  for (VertexId i = 0; i < config.num_vertices; ++i) {
+    double w = std::pow(static_cast<double>(i) + 1.0, exponent);
+    if (config.weight_noise > 0.0) {
+      w *= std::exp(config.weight_noise * rng.next_normal());
+    }
+    weights[i] = w;
+    total += w;
+  }
+  if (config.max_degree_fraction > 0.0) {
+    // Natural cutoff: a vertex's endpoint-selection probability (w_i / total)
+    // bounds its expected degree at p_i * target_edges per direction.
+    const double cap = config.max_degree_fraction * total;
+    for (double& w : weights) w = std::min(w, cap);
+  }
+  return weights;
+}
+
+std::vector<VertexId> shuffled_ids(VertexId n, Rng& rng) {
+  std::vector<VertexId> ids(n);
+  std::iota(ids.begin(), ids.end(), VertexId{0});
+  rng.shuffle(std::span<VertexId>(ids));
+  return ids;
+}
+
+}  // namespace
+
+EdgeList generate_chung_lu(const ChungLuConfig& config) {
+  if (config.alpha <= 1.0) {
+    throw std::invalid_argument("generate_chung_lu: alpha must be > 1");
+  }
+  EdgeList graph(config.num_vertices);
+  if (config.num_vertices < 2 || config.target_edges == 0) return graph;
+
+  Rng rng(config.seed);
+  const auto weights = attachment_weights(config, rng);
+  const DiscreteSampler sampler{std::span<const double>(weights)};
+
+  // Independent id permutations decorrelate "hub as source" from "hub as
+  // destination" and from raw vertex ids.
+  const auto out_map = shuffled_ids(config.num_vertices, rng);
+  const auto in_map = shuffled_ids(config.num_vertices, rng);
+
+  const auto window = std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(config.locality_window *
+                                    static_cast<double>(config.num_vertices)));
+
+  graph.reserve(config.target_edges);
+  const std::uint64_t n = config.num_vertices;
+  while (graph.num_edges() < config.target_edges) {
+    const VertexId src = out_map[sampler.sample(rng)];
+    VertexId dst;
+    if (rng.next_bool(config.locality)) {
+      // Community rewiring: destination near the source id.
+      const std::uint64_t offset = 1 + rng.next_below(window);
+      dst = static_cast<VertexId>((src + offset) % n);
+    } else {
+      dst = in_map[sampler.sample(rng)];
+    }
+    if (dst == src) continue;
+    graph.add(src, dst);
+  }
+  return graph;
+}
+
+}  // namespace pglb

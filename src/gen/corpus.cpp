@@ -1,0 +1,128 @@
+#include "gen/corpus.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "gen/alpha_solver.hpp"
+#include "gen/chung_lu.hpp"
+#include "gen/powerlaw.hpp"
+
+namespace pglb {
+
+namespace {
+
+// Table II verbatim.  The synthetic rows' edge counts are the paper's
+// reported generator outputs; we re-derive ours from (V, alpha).
+const std::array<CorpusEntry, 4>& natural_entries() {
+  static const std::array<CorpusEntry, 4> entries = {{
+      {.name = "amazon",
+       .paper_vertices = 403'394,
+       .paper_edges = 3'387'388,
+       .paper_footprint_mb = 46.0,
+       .paper_alpha = 0.0,
+       .synthetic = false},
+      {.name = "citation",
+       .paper_vertices = 3'774'768,
+       .paper_edges = 16'518'948,
+       .paper_footprint_mb = 268.0,
+       .paper_alpha = 0.0,
+       .synthetic = false},
+      {.name = "social_network",
+       .paper_vertices = 4'847'571,
+       .paper_edges = 68'993'773,
+       .paper_footprint_mb = 1100.0,
+       .paper_alpha = 0.0,
+       .synthetic = false},
+      {.name = "wiki",
+       .paper_vertices = 2'394'385,
+       .paper_edges = 5'021'410,
+       .paper_footprint_mb = 64.0,
+       .paper_alpha = 0.0,
+       .synthetic = false},
+  }};
+  return entries;
+}
+
+const std::array<CorpusEntry, 3>& synthetic_entries() {
+  static const std::array<CorpusEntry, 3> entries = {{
+      {.name = "synthetic_one",
+       .paper_vertices = 3'200'000,
+       .paper_edges = 42'011'862,
+       .paper_footprint_mb = 1000.0,
+       .paper_alpha = 1.95,
+       .synthetic = true},
+      {.name = "synthetic_two",
+       .paper_vertices = 3'200'000,
+       .paper_edges = 15'962'000,
+       .paper_footprint_mb = 390.0,
+       .paper_alpha = 2.1,
+       .synthetic = true},
+      {.name = "synthetic_three",
+       .paper_vertices = 3'200'000,
+       .paper_edges = 7'061'000,
+       .paper_footprint_mb = 170.0,
+       .paper_alpha = 2.3,
+       .synthetic = true},
+  }};
+  return entries;
+}
+
+const CorpusEntry& friendster() {
+  static const CorpusEntry entry = {.name = "friendster",
+                                    .paper_vertices = 65'608'366,
+                                    .paper_edges = 1'806'067'135,
+                                    .paper_footprint_mb = 31'000.0,
+                                    .paper_alpha = 0.0,
+                                    .synthetic = false};
+  return entry;
+}
+
+}  // namespace
+
+std::span<const CorpusEntry> natural_graph_entries() { return natural_entries(); }
+
+const CorpusEntry& friendster_entry() { return friendster(); }
+std::span<const CorpusEntry> synthetic_graph_entries() { return synthetic_entries(); }
+
+const CorpusEntry& corpus_entry(const std::string& name) {
+  for (const CorpusEntry& e : natural_entries()) {
+    if (e.name == name) return e;
+  }
+  for (const CorpusEntry& e : synthetic_entries()) {
+    if (e.name == name) return e;
+  }
+  if (name == friendster().name) return friendster();
+  throw std::out_of_range("corpus_entry: unknown graph '" + name + "'");
+}
+
+EdgeList make_corpus_graph(const CorpusEntry& entry, double scale, std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("make_corpus_graph: scale must be in (0, 1]");
+  }
+  const auto vertices = static_cast<VertexId>(std::max<double>(
+      1000.0, std::round(static_cast<double>(entry.paper_vertices) * scale)));
+
+  if (entry.synthetic) {
+    // Proxy graphs: Algorithm 1 with the Table II alpha.
+    PowerLawConfig config;
+    config.num_vertices = vertices;
+    config.alpha = entry.paper_alpha;
+    config.seed = seed;
+    return generate_powerlaw(config);
+  }
+
+  // Natural-graph surrogate: Chung-Lu matched in mean degree and the fitted
+  // Eq. 7 alpha of the paper-scale graph.
+  const double alpha = solve_alpha(entry.paper_vertices, entry.paper_edges).alpha;
+  ChungLuConfig config;
+  config.num_vertices = vertices;
+  config.target_edges = static_cast<EdgeId>(std::max<double>(
+      1.0, std::round(static_cast<double>(entry.paper_edges) * scale)));
+  config.alpha = alpha;
+  config.seed = seed;
+  return generate_chung_lu(config);
+}
+
+}  // namespace pglb

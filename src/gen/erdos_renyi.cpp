@@ -1,0 +1,23 @@
+#include "gen/erdos_renyi.hpp"
+
+#include "util/rng.hpp"
+
+namespace pglb {
+
+EdgeList generate_erdos_renyi(const ErdosRenyiConfig& config) {
+  EdgeList graph(config.num_vertices);
+  if (config.num_vertices == 0) return graph;
+  if (config.num_vertices == 1 && !config.allow_self_loops) return graph;
+
+  Rng rng(config.seed);
+  graph.reserve(config.num_edges);
+  while (graph.num_edges() < config.num_edges) {
+    const auto src = static_cast<VertexId>(rng.next_below(config.num_vertices));
+    const auto dst = static_cast<VertexId>(rng.next_below(config.num_vertices));
+    if (!config.allow_self_loops && src == dst) continue;
+    graph.add(src, dst);
+  }
+  return graph;
+}
+
+}  // namespace pglb

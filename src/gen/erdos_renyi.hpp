@@ -1,0 +1,22 @@
+#pragma once
+// Erdos-Renyi G(n, m) generator.  Not used by the paper itself; serves as a
+// non-power-law control substrate in tests and proxy-sensitivity ablations
+// (uniform-degree graphs have no skew, isolating the skew terms of the
+// machine model).
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace pglb {
+
+struct ErdosRenyiConfig {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  std::uint64_t seed = 11;
+  bool allow_self_loops = false;
+};
+
+EdgeList generate_erdos_renyi(const ErdosRenyiConfig& config);
+
+}  // namespace pglb

@@ -1,0 +1,73 @@
+#include "gen/powerlaw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "gen/alpha_solver.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace pglb {
+
+namespace {
+
+std::uint64_t effective_max_degree(const PowerLawConfig& config) {
+  std::uint64_t cap = config.max_degree;
+  if (cap == 0) {
+    cap = config.num_vertices > 1 ? static_cast<std::uint64_t>(config.num_vertices) - 1 : 1;
+    cap = std::min<std::uint64_t>(cap, 1'000'000);
+  }
+  return std::max<std::uint64_t>(cap, 1);
+}
+
+DiscreteSampler degree_sampler(double alpha, std::uint64_t max_degree) {
+  // pdf[i] = i^-alpha for degree i in [1, max_degree] (Algorithm 1 lines 2-5).
+  std::vector<double> pdf(max_degree);
+  for (std::uint64_t d = 1; d <= max_degree; ++d) {
+    pdf[d - 1] = std::pow(static_cast<double>(d), -alpha);
+  }
+  return DiscreteSampler(pdf);
+}
+
+}  // namespace
+
+EdgeId expected_powerlaw_edges(const PowerLawConfig& config) {
+  if (config.num_vertices == 0) return 0;
+  const double mean = powerlaw_mean_degree(config.alpha, effective_max_degree(config));
+  return static_cast<EdgeId>(std::llround(mean * static_cast<double>(config.num_vertices)));
+}
+
+EdgeList generate_powerlaw(const PowerLawConfig& config) {
+  EdgeList graph(config.num_vertices);
+  if (config.num_vertices == 0) return graph;
+
+  const std::uint64_t max_degree = effective_max_degree(config);
+  const DiscreteSampler sampler = degree_sampler(config.alpha, max_degree);
+  Rng rng(config.seed);
+  graph.reserve(expected_powerlaw_edges(config));
+
+  const std::uint64_t n = config.num_vertices;
+  std::uint64_t edge_counter = 0;
+  for (VertexId u = 0; u < config.num_vertices; ++u) {
+    const std::uint64_t degree = sampler.sample(rng) + 1;  // sampler index 0 == degree 1
+    for (std::uint64_t d = 0; d < degree; ++d) {
+      // Algorithm 1 line 10: v = (u + hash) mod N, with the hash advanced
+      // per edge so distinct neighbours are produced.
+      const std::uint64_t h = hash_u64(edge_counter++, config.seed);
+      // Offset in [1, n-1] avoids self-loops by construction when disallowed.
+      std::uint64_t offset = h % n;
+      if (!config.allow_self_loops && n > 1 && offset == 0) offset = 1 + (h >> 32) % (n - 1);
+      const auto v = static_cast<VertexId>((u + offset) % n);
+      if (!config.allow_self_loops && v == u) continue;  // only possible when n == 1
+      graph.add(u, v);
+    }
+  }
+  return graph;
+}
+
+double alpha_for_target_edges(VertexId num_vertices, EdgeId target_edges) {
+  return solve_alpha(num_vertices, target_edges).alpha;
+}
+
+}  // namespace pglb

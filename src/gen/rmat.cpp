@@ -1,0 +1,47 @@
+#include "gen/rmat.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace pglb {
+
+EdgeList generate_rmat(const RmatConfig& config) {
+  if (config.scale < 1 || config.scale > 30) {
+    throw std::invalid_argument("generate_rmat: scale must be in [1, 30]");
+  }
+  const double total = config.a + config.b + config.c + config.d;
+  if (std::abs(total - 1.0) > 1e-9) {
+    throw std::invalid_argument("generate_rmat: quadrant probabilities must sum to 1");
+  }
+
+  const auto n = static_cast<VertexId>(VertexId{1} << config.scale);
+  EdgeList graph(n);
+  graph.reserve(config.num_edges);
+  Rng rng(config.seed);
+
+  while (graph.num_edges() < config.num_edges) {
+    VertexId src = 0, dst = 0;
+    for (int level = 0; level < config.scale; ++level) {
+      const double u = rng.next_double();
+      src <<= 1;
+      dst <<= 1;
+      if (u < config.a) {
+        // top-left: nothing to add
+      } else if (u < config.a + config.b) {
+        dst |= 1;
+      } else if (u < config.a + config.b + config.c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src == dst) continue;
+    graph.add(src, dst);
+  }
+  return graph;
+}
+
+}  // namespace pglb

@@ -1,0 +1,25 @@
+#pragma once
+// R-MAT (recursive matrix) generator — another skewed-graph family for
+// ablation studies on proxy coverage.
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace pglb {
+
+struct RmatConfig {
+  /// log2 of the vertex count (num_vertices = 1 << scale).
+  int scale = 16;
+  EdgeId num_edges = 0;
+  /// Quadrant probabilities; must sum to 1.  Graph500 defaults.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  std::uint64_t seed = 13;
+};
+
+EdgeList generate_rmat(const RmatConfig& config);
+
+}  // namespace pglb

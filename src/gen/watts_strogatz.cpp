@@ -1,0 +1,37 @@
+#include "gen/watts_strogatz.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace pglb {
+
+EdgeList generate_watts_strogatz(const WattsStrogatzConfig& config) {
+  if (config.neighbors < 1) {
+    throw std::invalid_argument("generate_watts_strogatz: neighbors must be >= 1");
+  }
+  if (config.rewire_probability < 0.0 || config.rewire_probability > 1.0) {
+    throw std::invalid_argument("generate_watts_strogatz: rewire probability in [0, 1]");
+  }
+  EdgeList graph(config.num_vertices);
+  const std::uint64_t n = config.num_vertices;
+  if (n < 3) return graph;
+
+  Rng rng(config.seed);
+  graph.reserve(n * config.neighbors);
+  for (VertexId u = 0; u < config.num_vertices; ++u) {
+    for (int k = 1; k <= config.neighbors; ++k) {
+      VertexId v = static_cast<VertexId>((u + k) % n);
+      if (rng.next_bool(config.rewire_probability)) {
+        // Rewire to a uniform non-self target.
+        do {
+          v = static_cast<VertexId>(rng.next_below(n));
+        } while (v == u);
+      }
+      graph.add(u, v);
+    }
+  }
+  return graph;
+}
+
+}  // namespace pglb

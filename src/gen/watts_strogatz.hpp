@@ -1,0 +1,28 @@
+#pragma once
+// Watts-Strogatz small-world generator — a *non*-power-law control.
+//
+// Sec. III-A2 warns that "generated synthetic proxy graphs and real graphs
+// need to follow similar distributions to achieve accurate profiling"; this
+// generator produces near-uniform-degree graphs to probe that limit: CCRs
+// profiled on power-law proxies should degrade on such inputs (see
+// bench/ablation_proxy_sensitivity).
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+
+namespace pglb {
+
+struct WattsStrogatzConfig {
+  VertexId num_vertices = 0;
+  /// Each vertex connects to `neighbors` successors on the ring (so the mean
+  /// out-degree is exactly `neighbors`).
+  int neighbors = 4;
+  /// Probability of rewiring each ring edge to a uniform random target.
+  double rewire_probability = 0.1;
+  std::uint64_t seed = 23;
+};
+
+EdgeList generate_watts_strogatz(const WattsStrogatzConfig& config);
+
+}  // namespace pglb

@@ -1,0 +1,76 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace pglb {
+
+namespace {
+
+Csr build_from_degrees(const EdgeList& graph, std::vector<EdgeId> degrees, bool by_src) {
+  const VertexId n = graph.num_vertices();
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degrees[v];
+
+  std::vector<VertexId> neighbors(offsets[n]);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : graph.edges()) {
+    if (by_src) {
+      neighbors[cursor[e.src]++] = e.dst;
+    } else {
+      neighbors[cursor[e.dst]++] = e.src;
+    }
+  }
+  return Csr(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace
+
+Csr build_out_csr(const EdgeList& graph) {
+  return build_from_degrees(graph, graph.out_degrees(), /*by_src=*/true);
+}
+
+Csr build_in_csr(const EdgeList& graph) {
+  return build_from_degrees(graph, graph.in_degrees(), /*by_src=*/false);
+}
+
+Csr build_undirected_csr(const EdgeList& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<EdgeId> degrees(n, 0);
+  for (const Edge& e : graph.edges()) {
+    if (e.src == e.dst) continue;
+    ++degrees[e.src];
+    ++degrees[e.dst];
+  }
+  std::vector<EdgeId> offsets(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] = offsets[v] + degrees[v];
+
+  std::vector<VertexId> neighbors(offsets[n]);
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : graph.edges()) {
+    if (e.src == e.dst) continue;
+    neighbors[cursor[e.src]++] = e.dst;
+    neighbors[cursor[e.dst]++] = e.src;
+  }
+
+  // Sort each list and remove duplicate neighbours, compacting in place.
+  std::vector<EdgeId> new_offsets(n + 1, 0);
+  EdgeId write = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    auto first = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]);
+    auto last = neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]);
+    std::sort(first, last);
+    auto unique_end = std::unique(first, last);
+    for (auto it = first; it != unique_end; ++it) {
+      neighbors[write++] = *it;
+    }
+    new_offsets[v + 1] = write;
+  }
+  neighbors.resize(write);
+
+  Csr csr(std::move(new_offsets), std::move(neighbors));
+  csr.sort_adjacency();  // already sorted per-list; marks the flag
+  return csr;
+}
+
+}  // namespace pglb

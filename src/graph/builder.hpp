@@ -1,0 +1,19 @@
+#pragma once
+// Construction of CSR views from edge lists (counting-sort based, O(V + E)).
+
+#include "graph/csr.hpp"
+#include "graph/edge_list.hpp"
+
+namespace pglb {
+
+/// Adjacency by out-edges: neighbors(v) = { u : (v, u) in E }.
+Csr build_out_csr(const EdgeList& graph);
+
+/// Adjacency by in-edges: neighbors(v) = { u : (u, v) in E }.
+Csr build_in_csr(const EdgeList& graph);
+
+/// Undirected view: every edge contributes both directions; self-loops are
+/// dropped; duplicate (v,u) pairs are removed.  Adjacency comes out sorted.
+Csr build_undirected_csr(const EdgeList& graph);
+
+}  // namespace pglb

@@ -1,0 +1,40 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pglb {
+
+Csr::Csr(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  if (offsets_.empty()) throw std::invalid_argument("Csr: offsets must have >= 1 entry");
+  if (offsets_.front() != 0) throw std::invalid_argument("Csr: offsets[0] must be 0");
+  if (!std::is_sorted(offsets_.begin(), offsets_.end())) {
+    throw std::invalid_argument("Csr: offsets must be non-decreasing");
+  }
+  if (offsets_.back() != neighbors_.size()) {
+    throw std::invalid_argument("Csr: offsets.back() must equal neighbors.size()");
+  }
+}
+
+void Csr::sort_adjacency() {
+  if (sorted_) return;
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    auto first = neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[v]);
+    auto last = neighbors_.begin() + static_cast<std::ptrdiff_t>(offsets_[v + 1]);
+    std::sort(first, last);
+  }
+  sorted_ = true;
+}
+
+EdgeId Csr::max_degree() const noexcept {
+  EdgeId best = 0;
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    best = std::max(best, offsets_[v + 1] - offsets_[v]);
+  }
+  return best;
+}
+
+}  // namespace pglb

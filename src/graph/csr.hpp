@@ -1,0 +1,47 @@
+#pragma once
+// Compressed sparse row adjacency.  The engine's reference implementations and
+// the single-machine application kernels operate on CSR; the distributed
+// engine builds per-machine CSRs over local edge partitions.
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pglb {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// offsets.size() == num_vertices + 1; neighbors.size() == offsets.back().
+  Csr(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  VertexId num_vertices() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeId num_edges() const noexcept { return neighbors_.size(); }
+
+  EdgeId degree(VertexId v) const { return offsets_.at(v + 1) - offsets_.at(v); }
+
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(neighbors_).subspan(offsets_.at(v), degree(v));
+  }
+
+  std::span<const EdgeId> offsets() const noexcept { return offsets_; }
+  std::span<const VertexId> neighbor_array() const noexcept { return neighbors_; }
+
+  /// Sort each adjacency list ascending (needed for O(d1+d2) triangle
+  /// intersections).  Idempotent.
+  void sort_adjacency();
+  bool adjacency_sorted() const noexcept { return sorted_; }
+
+  EdgeId max_degree() const noexcept;
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<VertexId> neighbors_;
+  bool sorted_ = false;
+};
+
+}  // namespace pglb

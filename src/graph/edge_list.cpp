@@ -1,0 +1,55 @@
+#include "graph/edge_list.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pglb {
+
+EdgeList::EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  for (const Edge& e : edges_) {
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      throw std::out_of_range("EdgeList: edge endpoint outside vertex space");
+    }
+  }
+}
+
+void EdgeList::add(VertexId src, VertexId dst) {
+  if (src >= num_vertices_ || dst >= num_vertices_) {
+    throw std::out_of_range("EdgeList::add: edge endpoint outside vertex space");
+  }
+  edges_.push_back(Edge{src, dst});
+}
+
+std::size_t EdgeList::dedup_and_strip_self_loops() {
+  const std::size_t before = edges_.size();
+  std::erase_if(edges_, [](const Edge& e) { return e.src == e.dst; });
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  return before - edges_.size();
+}
+
+std::vector<EdgeId> EdgeList::out_degrees() const {
+  std::vector<EdgeId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.src];
+  return deg;
+}
+
+std::vector<EdgeId> EdgeList::in_degrees() const {
+  std::vector<EdgeId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) ++deg[e.dst];
+  return deg;
+}
+
+std::vector<EdgeId> EdgeList::total_degrees() const {
+  std::vector<EdgeId> deg(num_vertices_, 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.src];
+    ++deg[e.dst];
+  }
+  return deg;
+}
+
+}  // namespace pglb

@@ -1,0 +1,54 @@
+#pragma once
+// Edge-list graph representation: the ingest format.  Streaming partitioners
+// consume edges in list order, exactly like PowerGraph's loaders.
+
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace pglb {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// num_vertices fixes the vertex-id space [0, num_vertices); edges must
+  /// stay inside it (checked in add()).
+  explicit EdgeList(VertexId num_vertices) : num_vertices_(num_vertices) {}
+
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges);
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+
+  /// Append a directed edge; throws std::out_of_range on bad endpoints.
+  void add(VertexId src, VertexId dst);
+
+  VertexId num_vertices() const noexcept { return num_vertices_; }
+  EdgeId num_edges() const noexcept { return edges_.size(); }
+  bool empty() const noexcept { return edges_.empty(); }
+
+  std::span<const Edge> edges() const noexcept { return edges_; }
+  const Edge& edge(EdgeId i) const { return edges_.at(i); }
+
+  /// Grow the vertex-id space (never shrinks).
+  void ensure_vertices(VertexId count) {
+    if (count > num_vertices_) num_vertices_ = count;
+  }
+
+  /// Remove duplicate edges and self-loops (stable order of first
+  /// occurrences is NOT preserved; edges are sorted).  Returns removed count.
+  std::size_t dedup_and_strip_self_loops();
+
+  /// Out-degree and in-degree of every vertex.
+  std::vector<EdgeId> out_degrees() const;
+  std::vector<EdgeId> in_degrees() const;
+  /// Total degree (in + out) of every vertex.
+  std::vector<EdgeId> total_degrees() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace pglb

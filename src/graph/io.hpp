@@ -1,0 +1,37 @@
+#pragma once
+// Edge-list IO.  Two formats:
+//  - SNAP-style text: one "src<TAB>dst" per line; '#' comment lines ignored.
+//    This is the format of the paper's real-world inputs (Table II).
+//  - A compact binary format (magic + counts + raw edges) for fast reload of
+//    generated corpora.
+
+#include <string>
+
+#include "graph/edge_list.hpp"
+
+namespace pglb {
+
+/// Write SNAP-style text.  Throws std::runtime_error on IO failure.
+void write_edge_list_text(const EdgeList& graph, const std::string& path);
+
+/// Read SNAP-style text.  Vertex ids are used verbatim; the vertex space is
+/// [0, max id + 1).  Throws std::runtime_error on parse/IO failure.
+EdgeList read_edge_list_text(const std::string& path);
+
+/// Binary round-trip.
+void write_edge_list_binary(const EdgeList& graph, const std::string& path);
+EdgeList read_edge_list_binary(const std::string& path);
+
+/// Size in bytes the graph would occupy as SNAP text — the paper's "memory
+/// footprint" column in Table II measures the on-disk text file.
+std::uint64_t text_footprint_bytes(const EdgeList& graph);
+
+/// MatrixMarket coordinate format ("%%MatrixMarket matrix coordinate ...").
+/// Vertex ids are 1-based on disk per the standard; entry values (for
+/// `real`/`integer` fields) are ignored on read, and `symmetric` matrices
+/// expand to both edge directions.  Throws std::runtime_error on IO/parse
+/// failure.
+void write_matrix_market(const EdgeList& graph, const std::string& path);
+EdgeList read_matrix_market(const std::string& path);
+
+}  // namespace pglb

@@ -1,0 +1,61 @@
+#include "graph/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace pglb {
+
+EdgeList apply_relabeling(const EdgeList& graph, std::span<const VertexId> forward,
+                          VertexId new_size) {
+  if (forward.size() != graph.num_vertices()) {
+    throw std::invalid_argument("apply_relabeling: mapping size mismatch");
+  }
+  EdgeList out(new_size);
+  out.reserve(graph.num_edges());
+  for (const Edge& e : graph.edges()) {
+    const VertexId src = forward[e.src];
+    const VertexId dst = forward[e.dst];
+    if (src == kInvalidVertex || dst == kInvalidVertex) continue;
+    if (src >= new_size || dst >= new_size) {
+      throw std::invalid_argument("apply_relabeling: mapped id outside new vertex space");
+    }
+    out.add(src, dst);
+  }
+  return out;
+}
+
+RelabelResult compact_vertex_ids(const EdgeList& graph) {
+  std::vector<char> present(graph.num_vertices(), 0);
+  for (const Edge& e : graph.edges()) {
+    present[e.src] = 1;
+    present[e.dst] = 1;
+  }
+  RelabelResult result;
+  result.forward.assign(graph.num_vertices(), kInvalidVertex);
+  VertexId next = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (present[v]) result.forward[v] = next++;
+  }
+  result.graph = apply_relabeling(graph, result.forward, next);
+  return result;
+}
+
+RelabelResult relabel_by_degree(const EdgeList& graph) {
+  const auto degree = graph.total_degrees();
+  std::vector<VertexId> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), VertexId{0});
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+  });
+
+  RelabelResult result;
+  result.forward.assign(graph.num_vertices(), kInvalidVertex);
+  for (VertexId rank = 0; rank < graph.num_vertices(); ++rank) {
+    result.forward[order[rank]] = rank;
+  }
+  result.graph = apply_relabeling(graph, result.forward, graph.num_vertices());
+  return result;
+}
+
+}  // namespace pglb

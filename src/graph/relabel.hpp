@@ -1,0 +1,36 @@
+#pragma once
+// Vertex relabelling utilities.  Real edge-list files (SNAP dumps) often use
+// sparse ids with large gaps; compaction normalises them into [0, n).
+// Degree-ordered relabelling is the classic cache-locality transform for
+// CSR traversals and also removes any information partitioners could leak
+// from raw id order.
+
+#include <vector>
+
+#include "graph/edge_list.hpp"
+
+namespace pglb {
+
+struct RelabelResult {
+  EdgeList graph;
+  /// old vertex id -> new vertex id (kInvalidVertex for dropped ids when
+  /// compacting: ids that never appear in any edge).
+  std::vector<VertexId> forward;
+};
+
+/// Compact the vertex space to exactly the ids that occur in edges,
+/// preserving relative order.  Isolated vertices are dropped.
+RelabelResult compact_vertex_ids(const EdgeList& graph);
+
+/// Renumber so that vertex 0 has the highest total degree, 1 the second
+/// highest, and so on (ties by old id).  Keeps the vertex-space size.
+RelabelResult relabel_by_degree(const EdgeList& graph);
+
+/// Apply an explicit old->new mapping (entries may be kInvalidVertex to drop
+/// a vertex; edges touching dropped vertices are removed).  `new_size` is the
+/// size of the output vertex space; throws std::invalid_argument when a
+/// mapped id falls outside it.
+EdgeList apply_relabeling(const EdgeList& graph, std::span<const VertexId> forward,
+                          VertexId new_size);
+
+}  // namespace pglb

@@ -1,0 +1,45 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "graph/io.hpp"
+
+namespace pglb {
+
+ExactHistogram out_degree_histogram(const EdgeList& graph) {
+  ExactHistogram hist;
+  for (const EdgeId d : graph.out_degrees()) hist.add(d);
+  return hist;
+}
+
+GraphStats compute_stats(const EdgeList& graph) {
+  GraphStats s;
+  s.num_vertices = graph.num_vertices();
+  s.num_edges = graph.num_edges();
+  if (s.num_vertices == 0) return s;
+
+  const auto out_deg = graph.out_degrees();
+  const auto total_deg = graph.total_degrees();
+  s.mean_out_degree = static_cast<double>(s.num_edges) / static_cast<double>(s.num_vertices);
+  s.max_out_degree = *std::max_element(out_deg.begin(), out_deg.end());
+  s.max_total_degree = *std::max_element(total_deg.begin(), total_deg.end());
+  s.footprint_bytes = text_footprint_bytes(graph);
+  s.degree_skew =
+      s.mean_out_degree > 0.0
+          ? static_cast<double>(s.max_out_degree) / s.mean_out_degree
+          : 0.0;
+
+  EdgeId sinks = 0;
+  for (const EdgeId d : out_deg) {
+    if (d == 0) ++sinks;
+  }
+  s.sink_fraction = static_cast<double>(sinks) / static_cast<double>(s.num_vertices);
+
+  ExactHistogram hist;
+  for (const EdgeId d : out_deg) hist.add(d);
+  const auto bins = log_bin(hist);
+  s.empirical_alpha = fit_powerlaw_exponent(bins);
+  return s;
+}
+
+}  // namespace pglb

@@ -1,0 +1,38 @@
+#pragma once
+// Graph statistics: the quantities Table II and Fig. 6 report, plus the
+// degree-skew measures the machine model consumes.
+
+#include <cstdint>
+
+#include "graph/edge_list.hpp"
+#include "util/histogram.hpp"
+
+namespace pglb {
+
+struct GraphStats {
+  VertexId num_vertices = 0;
+  EdgeId num_edges = 0;
+  double mean_out_degree = 0.0;   ///< |E| / |V|, the paper's empirical E[d]
+  EdgeId max_out_degree = 0;
+  EdgeId max_total_degree = 0;
+  std::uint64_t footprint_bytes = 0;  ///< SNAP-text footprint (Table II column)
+
+  /// Skewness of the out-degree distribution: max / mean.  Drives the
+  /// intra-machine load-imbalance term in the performance model (a handful of
+  /// ultra-high-degree vertices serialise threads).
+  double degree_skew = 0.0;
+
+  /// Empirical power-law exponent fitted to the log-binned out-degree
+  /// distribution (tail fit, least squares in log-log space).
+  double empirical_alpha = 0.0;
+
+  /// Fraction of vertices with zero out-degree.
+  double sink_fraction = 0.0;
+};
+
+GraphStats compute_stats(const EdgeList& graph);
+
+/// Exact out-degree histogram (the input to Fig. 6's log-log plot).
+ExactHistogram out_degree_histogram(const EdgeList& graph);
+
+}  // namespace pglb

@@ -1,0 +1,31 @@
+#pragma once
+// Fundamental identifier types shared by the whole library.
+
+#include <cstdint>
+#include <limits>
+
+namespace pglb {
+
+/// Vertex identifier.  32 bits comfortably covers the paper's corpus
+/// (largest graph: 4.8M vertices).
+using VertexId = std::uint32_t;
+
+/// Edge index / edge count type.  64 bits: LiveJournal-scale graphs exceed
+/// 2^32 half-edges once mirrored.
+using EdgeId = std::uint64_t;
+
+/// Index of a machine within a cluster.
+using MachineId = std::uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr MachineId kInvalidMachine = std::numeric_limits<MachineId>::max();
+
+/// A directed edge src -> dst.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+}  // namespace pglb

@@ -1,0 +1,67 @@
+#pragma once
+// Per-application resource-demand profiles.  Figure 2 of the paper shows that
+// the four MLDM applications scale very differently with machine size — the
+// whole motivation for profiling instead of reading core counts.  These
+// profiles parameterise that diversity for the analytic performance model.
+
+#include <string>
+
+namespace pglb {
+
+enum class AppKind {
+  // The paper's four evaluation applications (Sec. IV).
+  kPageRank,
+  kColoring,
+  kConnectedComponents,
+  kTriangleCount,
+  // Extension apps (Sec. III-B: any special-purpose application can be
+  // profiled and fit into the flow).
+  kSssp,
+  kKCore,
+};
+
+const char* to_string(AppKind kind);
+
+struct AppProfile {
+  std::string name;
+  AppKind kind = AppKind::kPageRank;
+
+  /// Amdahl serial fraction: per-superstep work that does not parallelise
+  /// (scheduling, frontier management).
+  double serial_fraction = 0.05;
+
+  /// Bytes of memory traffic per work-unit.  Determines where the thread
+  /// scaling hits the machine's bandwidth wall (PageRank saturates; Fig. 2).
+  double bytes_per_op = 8.0;
+
+  /// Cache amplification: extra throughput when the working set fits in LLC
+  /// (Triangle Count's neighbour hash-sets; the sharp 4xlarge->8xlarge jump).
+  double cache_amp = 0.0;
+  /// Working set per million vertices, MB (compared against MachineSpec::llc_mb).
+  double working_set_mb_per_mvertex = 0.0;
+
+  /// Sensitivity of intra-machine thread balance to degree skew: a few
+  /// ultra-high-degree vertices serialise threads.
+  double skew_sensitivity = 0.0;
+
+  /// Exponent on clock frequency.  1.0 = perfectly frequency-bound;
+  /// latency-sensitive irregular apps degrade super-linearly when the clock
+  /// (and with it the prefetch depth) drops.
+  double freq_exponent = 1.0;
+
+  /// Mirror-synchronisation message size (bytes per mirror per superstep).
+  double bytes_per_mirror = 16.0;
+
+  /// True = engine runs with per-superstep BSP barriers; false = asynchronous
+  /// (Coloring in PowerGraph), machines only synchronise at the end.
+  bool synchronous = true;
+};
+
+/// Calibrated profile for each application.
+const AppProfile& profile_for(AppKind kind);
+
+/// All profiles, paper's four first (Pagerank, Coloring, CC, TC), then
+/// extensions (SSSP).
+const AppProfile* all_profiles(std::size_t* count);
+
+}  // namespace pglb

@@ -1,0 +1,158 @@
+#include "machine/catalog.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace pglb {
+
+namespace {
+
+// Notes on calibration:
+//  * hw_threads / compute_threads / cost_per_hour are Table I verbatim
+//    (compute = hw - 2: PowerGraph reserves two logical cores for comm).
+//    Xeon Server L's row is given as 12 cores in Sec. V-B3 ("the fast machine
+//    has 12 cores"), so hw=12, compute=10; with S (hw=4, compute=2) this
+//    makes the prior-work thread ratio 1:5 and the paper's measured CCRs
+//    (~1:3.5 in Case 2) overload the big machine, as Sec. V-B2 describes.
+//  * freq/ipc reproduce Fig. 8b: c4 (Haswell 2.9 GHz) ~1.2x over m4
+//    (Broadwell 2.4 GHz); r3 (Ivy Bridge 2.5 GHz, large L3) ~1.1x.
+//  * mem_bw_gbs is *effective random-access* bandwidth (graph workloads
+//    gather-scatter; ~10-15% of streaming peak).  c4.8xlarge spans two
+//    sockets, so its random-access bandwidth gains much less than 2x
+//    (NUMA) — this produces PageRank's saturation in Fig. 2.
+//  * llc_mb: proportional LLC slice; the two-socket 8xlarge roughly doubles
+//    it, producing Triangle Count's sharp jump (Fig. 2 / 8a).
+//  * tdp/idle watts: representative package+DRAM draw for energy accounting.
+constexpr int kNumMachines = 8;
+
+const std::array<MachineSpec, kNumMachines>& catalog() {
+  static const std::array<MachineSpec, kNumMachines> machines = {{
+      {.name = "c4.xlarge",
+       .category = MachineCategory::kComputeOptimized,
+       .hw_threads = 4,
+       .compute_threads = 2,
+       .cost_per_hour = 0.209,
+       .freq_ghz = 2.9,
+       .mem_gb = 7.5,
+       .ipc_factor = 1.0,
+       .mem_bw_gbs = 1.0,
+       .llc_mb = 2.5,
+       .tdp_watts = 45.0,
+       .idle_watts = 18.0},
+      {.name = "c4.2xlarge",
+       .category = MachineCategory::kComputeOptimized,
+       .hw_threads = 8,
+       .compute_threads = 6,
+       .cost_per_hour = 0.419,
+       .freq_ghz = 2.9,
+       .mem_gb = 15.0,
+       .ipc_factor = 1.0,
+       .mem_bw_gbs = 2.0,
+       .llc_mb = 6.0,
+       .tdp_watts = 75.0,
+       .idle_watts = 28.0},
+      {.name = "m4.2xlarge",
+       .category = MachineCategory::kGeneralPurpose,
+       .hw_threads = 8,
+       .compute_threads = 6,
+       .cost_per_hour = 0.479,
+       .freq_ghz = 2.4,
+       .mem_gb = 32.0,
+       .ipc_factor = 1.0,
+       .mem_bw_gbs = 2.0,
+       .llc_mb = 7.0,
+       .tdp_watts = 80.0,
+       .idle_watts = 30.0},
+      {.name = "r3.2xlarge",
+       .category = MachineCategory::kMemoryOptimized,
+       .hw_threads = 8,
+       .compute_threads = 6,
+       .cost_per_hour = 0.665,
+       .freq_ghz = 2.5,
+       .mem_gb = 61.0,
+       .ipc_factor = 1.06,
+       .mem_bw_gbs = 2.2,
+       .llc_mb = 6.5,
+       .tdp_watts = 85.0,
+       .idle_watts = 32.0},
+      {.name = "c4.4xlarge",
+       .category = MachineCategory::kComputeOptimized,
+       .hw_threads = 16,
+       .compute_threads = 14,
+       .cost_per_hour = 0.838,
+       .freq_ghz = 2.9,
+       .mem_gb = 30.0,
+       .ipc_factor = 1.0,
+       .mem_bw_gbs = 3.6,
+       .llc_mb = 12.0,
+       .tdp_watts = 130.0,
+       .idle_watts = 45.0},
+      {.name = "c4.8xlarge",
+       .category = MachineCategory::kComputeOptimized,
+       .hw_threads = 36,
+       .compute_threads = 34,
+       .cost_per_hour = 1.675,
+       .freq_ghz = 2.9,
+       .mem_gb = 60.0,
+       .ipc_factor = 1.0,
+       .mem_bw_gbs = 4.2,
+       .llc_mb = 45.0,
+       .tdp_watts = 290.0,
+       .idle_watts = 95.0},
+      {.name = "xeon_server_s",
+       .category = MachineCategory::kLocalServer,
+       .hw_threads = 4,
+       .compute_threads = 2,
+       .cost_per_hour = 0.0,
+       .freq_ghz = 2.5,
+       .mem_gb = 32.0,
+       .ipc_factor = 1.0,
+       .mem_bw_gbs = 1.0,
+       .llc_mb = 5.0,
+       .tdp_watts = 80.0,
+       .idle_watts = 35.0},
+      {.name = "xeon_server_l",
+       .category = MachineCategory::kLocalServer,
+       .hw_threads = 12,
+       .compute_threads = 10,
+       .cost_per_hour = 0.0,
+       .freq_ghz = 2.5,
+       .mem_gb = 64.0,
+       // Slightly below the EC2 Haswells per-thread: an older-generation
+       // E5; keeps the Case 2 CCR near the paper's ~1:3.5 against the 1:5
+       // thread-count ratio.
+       .ipc_factor = 0.88,
+       .mem_bw_gbs = 3.2,
+       .llc_mb = 24.0,
+       .tdp_watts = 200.0,
+       .idle_watts = 70.0},
+  }};
+  return machines;
+}
+
+}  // namespace
+
+const MachineSpec& machine_by_name(const std::string& name) {
+  for (const MachineSpec& m : catalog()) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("machine_by_name: unknown machine '" + name + "'");
+}
+
+std::span<const MachineSpec> table1_machines() { return catalog(); }
+
+std::span<const MachineSpec> c4_family() {
+  static const std::array<MachineSpec, 4> family = {
+      machine_by_name("c4.xlarge"), machine_by_name("c4.2xlarge"),
+      machine_by_name("c4.4xlarge"), machine_by_name("c4.8xlarge")};
+  return family;
+}
+
+std::span<const MachineSpec> category_2xlarge_family() {
+  static const std::array<MachineSpec, 3> family = {
+      machine_by_name("m4.2xlarge"), machine_by_name("c4.2xlarge"),
+      machine_by_name("r3.2xlarge")};
+  return family;
+}
+
+}  // namespace pglb

@@ -1,0 +1,30 @@
+#pragma once
+// Machine catalog — Table I of the paper: the six Amazon EC2 virtual-machine
+// types and the two local Xeon servers, with the performance/energy model
+// parameters calibrated for each (see perf_model.hpp for how they are used).
+
+#include <span>
+#include <string>
+
+#include "machine/machine_spec.hpp"
+
+namespace pglb {
+
+/// Look up a machine by its Table I name: "c4.xlarge", "c4.2xlarge",
+/// "m4.2xlarge", "r3.2xlarge", "c4.4xlarge", "c4.8xlarge",
+/// "xeon_server_s", "xeon_server_l".  Throws std::out_of_range on unknown
+/// names.
+const MachineSpec& machine_by_name(const std::string& name);
+
+/// All Table I machines, EC2 first, in paper order.
+std::span<const MachineSpec> table1_machines();
+
+/// The four compute-optimized EC2 sizes used in Fig. 2 / Fig. 8a, smallest
+/// first (c4.xlarge, c4.2xlarge, c4.4xlarge, c4.8xlarge).
+std::span<const MachineSpec> c4_family();
+
+/// The three same-thread-count, different-category machines of Fig. 8b
+/// (m4.2xlarge, c4.2xlarge, r3.2xlarge) with m4 first (the paper's baseline).
+std::span<const MachineSpec> category_2xlarge_family();
+
+}  // namespace pglb

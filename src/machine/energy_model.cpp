@@ -1,0 +1,42 @@
+#include "machine/energy_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pglb {
+
+EnergyAccumulator::EnergyAccumulator(std::vector<MachineSpec> machines)
+    : machines_(std::move(machines)), energy_(machines_.size()) {}
+
+void EnergyAccumulator::record_interval(std::span<const double> busy_s, double window_s) {
+  if (busy_s.size() != machines_.size()) {
+    throw std::invalid_argument("EnergyAccumulator: busy vector size mismatch");
+  }
+  for (std::size_t m = 0; m < machines_.size(); ++m) {
+    const double busy = std::min(busy_s[m], window_s);
+    const double idle = window_s - busy;
+    energy_[m].busy_seconds += busy;
+    energy_[m].idle_seconds += idle;
+    energy_[m].joules += machines_[m].tdp_watts * busy + machines_[m].idle_watts * idle;
+  }
+}
+
+double EnergyAccumulator::total_joules() const noexcept {
+  double total = 0.0;
+  for (const MachineEnergy& e : energy_) total += e.joules;
+  return total;
+}
+
+double EnergyAccumulator::total_busy_seconds() const noexcept {
+  double total = 0.0;
+  for (const MachineEnergy& e : energy_) total += e.busy_seconds;
+  return total;
+}
+
+double EnergyAccumulator::total_idle_seconds() const noexcept {
+  double total = 0.0;
+  for (const MachineEnergy& e : energy_) total += e.idle_seconds;
+  return total;
+}
+
+}  // namespace pglb

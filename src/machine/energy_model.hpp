@@ -1,0 +1,47 @@
+#pragma once
+// Energy accounting — the substitute for the paper's Intel RAPL counters.
+//
+// A machine draws `tdp_watts` while executing (compute or communication) and
+// `idle_watts` while parked at a BSP barrier waiting for stragglers.  The
+// paper's energy savings (Sec. V-B2/B3) come precisely from shrinking that
+// idle interval, so busy/idle integration over the virtual-time schedule
+// captures the mechanism.
+
+#include <span>
+#include <vector>
+
+#include "machine/machine_spec.hpp"
+
+namespace pglb {
+
+struct MachineEnergy {
+  double busy_seconds = 0.0;
+  double idle_seconds = 0.0;
+  double joules = 0.0;
+};
+
+class EnergyAccumulator {
+ public:
+  explicit EnergyAccumulator(std::vector<MachineSpec> machines);
+
+  /// Record one barrier interval: machine m was busy for busy_s[m] seconds
+  /// out of a window of `window_s` (the straggler's time); the rest is idle.
+  void record_interval(std::span<const double> busy_s, double window_s);
+
+  /// Record fully-independent (asynchronous) execution: each machine is busy
+  /// busy_s[m] and idles until the global finish at window_s.
+  void record_async(std::span<const double> busy_s, double window_s) {
+    record_interval(busy_s, window_s);
+  }
+
+  const std::vector<MachineEnergy>& per_machine() const noexcept { return energy_; }
+  double total_joules() const noexcept;
+  double total_busy_seconds() const noexcept;
+  double total_idle_seconds() const noexcept;
+
+ private:
+  std::vector<MachineSpec> machines_;
+  std::vector<MachineEnergy> energy_;
+};
+
+}  // namespace pglb

@@ -1,0 +1,38 @@
+#include "machine/machine_spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pglb {
+
+const char* to_string(MachineCategory category) {
+  switch (category) {
+    case MachineCategory::kComputeOptimized: return "compute-optimized";
+    case MachineCategory::kGeneralPurpose: return "general-purpose";
+    case MachineCategory::kMemoryOptimized: return "memory-optimized";
+    case MachineCategory::kLocalServer: return "local-server";
+  }
+  return "unknown";
+}
+
+MachineSpec with_frequency(const MachineSpec& spec, double ghz) {
+  if (ghz <= 0.0) throw std::invalid_argument("with_frequency: frequency must be positive");
+  MachineSpec derated = spec;
+  const double ratio = ghz / spec.freq_ghz;
+  derated.freq_ghz = ghz;
+  // Wimpy-node emulation: capping the clock also drops the uncore/prefetch
+  // clocks and turbo headroom, so *effective random-access* bandwidth
+  // collapses much faster than linearly.  This reproduces the paper's Case 3
+  // observation that PR/CC/Coloring CCRs blow past the thread-count ratio
+  // when the small machine is derated, while compute-bound TC only tracks
+  // the clock (Sec. V-B3).
+  derated.mem_bw_gbs = spec.mem_bw_gbs * std::pow(ratio, 4.0);
+  derated.tdp_watts =
+      spec.idle_watts + (spec.tdp_watts - spec.idle_watts) * ratio * ratio * ratio;
+  derated.name = spec.name + "@" + std::to_string(ghz).substr(0, 3) + "GHz";
+  return derated;
+}
+
+bool same_group(const MachineSpec& a, const MachineSpec& b) { return a == b; }
+
+}  // namespace pglb

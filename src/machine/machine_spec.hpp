@@ -1,0 +1,55 @@
+#pragma once
+// Machine descriptions (Table I of the paper) plus the microarchitectural
+// parameters our virtual-cluster substrate needs.  The paper ran on real EC2
+// instances and local Xeons; we reproduce their *relative* behaviour with an
+// explicit analytic model (see perf_model.hpp).
+
+#include <string>
+
+#include "graph/types.hpp"
+
+namespace pglb {
+
+enum class MachineCategory {
+  kComputeOptimized,  ///< EC2 C family
+  kGeneralPurpose,    ///< EC2 M family
+  kMemoryOptimized,   ///< EC2 R family
+  kLocalServer,       ///< physical Xeon servers
+};
+
+const char* to_string(MachineCategory category);
+
+struct MachineSpec {
+  std::string name;
+  MachineCategory category = MachineCategory::kLocalServer;
+
+  // --- Table I columns -----------------------------------------------------
+  int hw_threads = 0;       ///< vCPUs / logical cores
+  int compute_threads = 0;  ///< hw_threads - 2 (PowerGraph reserves 2 for comm)
+  double cost_per_hour = 0; ///< USD; 0 for local machines
+
+  // --- performance-model parameters ---------------------------------------
+  double freq_ghz = 0.0;    ///< nominal clock
+  double mem_gb = 0.0;      ///< DRAM capacity (0 = unspecified/unbounded)
+  double ipc_factor = 1.0;  ///< per-thread arch efficiency relative to baseline
+  double mem_bw_gbs = 0.0;  ///< sustained memory bandwidth (GB/s)
+  double llc_mb = 0.0;      ///< last-level cache (MB, across sockets)
+
+  // --- energy-model parameters ---------------------------------------------
+  double tdp_watts = 0.0;   ///< package+DRAM power at full utilisation
+  double idle_watts = 0.0;  ///< power while waiting at a barrier
+
+  bool operator==(const MachineSpec&) const = default;
+};
+
+/// Derated copy running at `ghz` (Case 3: emulating wimpy/ARM-like servers by
+/// lowering the frequency range).  Dynamic power scales ~ f^3 (P = CV^2f with
+/// voltage tracking frequency); idle power and cache are unchanged; memory
+/// bandwidth derates linearly with the uncore clock.
+MachineSpec with_frequency(const MachineSpec& spec, double ghz);
+
+/// Two specs belong to the same profiling group (Section III-B: only one
+/// machine per group is profiled) iff they are identical.
+bool same_group(const MachineSpec& a, const MachineSpec& b);
+
+}  // namespace pglb

@@ -1,0 +1,32 @@
+#include "partition/chunking.hpp"
+
+#include <cmath>
+
+namespace pglb {
+
+PartitionAssignment ChunkingPartitioner::partition(const EdgeList& graph,
+                                                   std::span<const double> weights,
+                                                   std::uint64_t /*seed*/) const {
+  const auto shares = normalized_weights(weights);
+
+  PartitionAssignment result;
+  result.num_machines = static_cast<MachineId>(shares.size());
+  result.edge_to_machine.resize(graph.num_edges());
+
+  // Machine m owns edges [floor(cum_{m-1} * E), floor(cum_m * E)).
+  const double total = static_cast<double>(graph.num_edges());
+  EdgeId begin = 0;
+  double cumulative = 0.0;
+  for (MachineId m = 0; m < result.num_machines; ++m) {
+    cumulative += shares[m];
+    const auto end =
+        m + 1 == result.num_machines
+            ? graph.num_edges()
+            : static_cast<EdgeId>(std::llround(cumulative * total));
+    for (EdgeId i = begin; i < end; ++i) result.edge_to_machine[i] = m;
+    begin = end;
+  }
+  return result;
+}
+
+}  // namespace pglb

@@ -1,0 +1,23 @@
+#pragma once
+// Contiguous chunking partitioner (extension, not one of the paper's five).
+//
+// The simplest possible ingress — split the edge stream into contiguous
+// ranges sized by the capability weights (GraphChi/X-Stream-style sharding).
+// Deterministic, zero-state streaming, and weight-exact by construction, but
+// its locality is whatever the input order happens to contain; on hashed or
+// generator-ordered streams it replicates similarly to Random Hash.  Useful
+// as a control in partitioner ablations.
+
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+class ChunkingPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "chunking"; }
+
+  PartitionAssignment partition(const EdgeList& graph, std::span<const double> weights,
+                                std::uint64_t seed) const override;
+};
+
+}  // namespace pglb

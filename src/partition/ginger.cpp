@@ -1,0 +1,122 @@
+#include "partition/ginger.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/builder.hpp"
+#include "util/hash.hpp"
+
+namespace pglb {
+
+PartitionAssignment GingerPartitioner::partition(const EdgeList& graph,
+                                                 std::span<const double> weights,
+                                                 std::uint64_t seed) const {
+  const auto shares = normalized_weights(weights);
+  const auto cum = prefix_sum(shares);
+  const auto num_machines = static_cast<MachineId>(shares.size());
+  const VertexId n = graph.num_vertices();
+
+  const auto in_degree = graph.in_degrees();
+  const Csr in_csr = build_in_csr(graph);
+
+  // Phase-1 state: every vertex's in-edge group starts at the weighted hash
+  // of the vertex (the Hybrid pass-1 placement).
+  std::vector<MachineId> location(n);
+  for (VertexId v = 0; v < n; ++v) {
+    location[v] = static_cast<MachineId>(weighted_pick(hash_u64(v, seed), cum));
+  }
+
+  // Running vertex / edge tallies per machine for the balance penalty.
+  std::vector<double> vertex_count(num_machines, 0.0);
+  std::vector<double> edge_count(num_machines, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    vertex_count[location[v]] += 1.0;
+    if (in_degree[v] <= options_.high_degree_threshold) {
+      edge_count[location[v]] += static_cast<double>(in_degree[v]);
+    }
+  }
+  // High-degree in-edges are scattered by source hash; tally where they land.
+  for (const Edge& e : graph.edges()) {
+    if (in_degree[e.dst] > options_.high_degree_threshold) {
+      edge_count[weighted_pick(hash_u64(e.src, seed), cum)] += 1.0;
+    }
+  }
+
+  const double total_vertices = static_cast<double>(n);
+  const double total_edges = std::max<double>(1.0, static_cast<double>(graph.num_edges()));
+  const double v_per_e = total_vertices / total_edges;
+  const double avg_in_degree = total_edges / std::max(1.0, total_vertices);
+
+  // Fennel balance penalty for adding a vertex to machine i, scaled by the
+  // heterogeneity factor 1/w_i so capable machines absorb more.
+  auto normalized_load = [&](MachineId i) {
+    return (vertex_count[i] + v_per_e * edge_count[i]) / (shares[i] * 2.0 * total_vertices);
+  };
+  auto balance_penalty = [&](MachineId i) {
+    return options_.gamma * avg_in_degree * normalized_load(i);
+  };
+  // Hard guard: the linear penalty alone cannot stop locality snowballing on
+  // community-structured graphs, so machines drifting more than `slack` of
+  // their weighted share above the emptiest one drop out of the candidate
+  // set (analogous to PowerGraph's greedy balance constraint).
+  constexpr double kBalanceSlack = 0.05;
+
+  // Second round: stream low-degree vertices, moving each to its best-score
+  // machine.  Neighbour locality counts use each neighbour's *current* group
+  // location (already-reassigned neighbours reflect their new home).
+  std::vector<double> neighbor_hits(num_machines, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_degree[v] > options_.high_degree_threshold || in_degree[v] == 0) continue;
+
+    std::fill(neighbor_hits.begin(), neighbor_hits.end(), 0.0);
+    for (const VertexId u : in_csr.neighbors(v)) neighbor_hits[location[u]] += 1.0;
+
+    double min_norm_load = std::numeric_limits<double>::infinity();
+    for (MachineId i = 0; i < num_machines; ++i) {
+      min_norm_load = std::min(min_norm_load, normalized_load(i));
+    }
+
+    MachineId best = kInvalidMachine;
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::uint64_t best_tie = 0;
+    const std::uint64_t tie_hash = hash_u64(v, seed ^ 0x5eedu);
+    for (MachineId i = 0; i < num_machines; ++i) {
+      if (normalized_load(i) > min_norm_load + kBalanceSlack) continue;
+      const double score = neighbor_hits[i] - balance_penalty(i);
+      const std::uint64_t tie = hash_u64(tie_hash, i);
+      if (score > best_score || (score == best_score && tie < best_tie)) {
+        best = i;
+        best_score = score;
+        best_tie = tie;
+      }
+    }
+
+    if (best != location[v]) {
+      const auto moved_edges = static_cast<double>(in_degree[v]);
+      vertex_count[location[v]] -= 1.0;
+      edge_count[location[v]] -= moved_edges;
+      vertex_count[best] += 1.0;
+      edge_count[best] += moved_edges;
+      location[v] = best;
+    }
+  }
+
+  // Materialise the edge assignment: low-degree in-edges follow their
+  // target's final group; high-degree in-edges follow the source hash.
+  PartitionAssignment result;
+  result.num_machines = num_machines;
+  result.edge_to_machine.resize(graph.num_edges());
+  EdgeId index = 0;
+  for (const Edge& e : graph.edges()) {
+    if (in_degree[e.dst] > options_.high_degree_threshold) {
+      result.edge_to_machine[index] =
+          static_cast<MachineId>(weighted_pick(hash_u64(e.src, seed), cum));
+    } else {
+      result.edge_to_machine[index] = location[e.dst];
+    }
+    ++index;
+  }
+  return result;
+}
+
+}  // namespace pglb

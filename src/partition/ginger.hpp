@@ -1,0 +1,42 @@
+#pragma once
+// Heterogeneity-aware Ginger partitioner (Sec. II-C1; PowerLyra's Fennel-
+// style heuristic variant of Hybrid).
+//
+// High-degree vertices are handled exactly as in Hybrid (in-edges re-cut by
+// source hash).  Each low-degree vertex v is instead *reassigned* — together
+// with all its in-edges — to the machine i maximising
+//
+//     score(v, i) = |N(v) ∩ V_i| - b(i)
+//
+// where |N(v) ∩ V_i| counts v's in-neighbours currently living on i and b(i)
+// is a Fennel balance penalty over the vertices and edges already on i.  The
+// heterogeneity factor 1/CCR_i scales the penalty so a fast machine "looks
+// cheaper" and accumulates a CCR-proportional share (Sec. II-C1's
+// score-function modification).
+
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+struct GingerOptions {
+  EdgeId high_degree_threshold = 100;
+  /// Strength of the Fennel balance penalty relative to the locality gain.
+  double gamma = 1.5;
+};
+
+class GingerPartitioner final : public Partitioner {
+ public:
+  explicit GingerPartitioner(GingerOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "ginger"; }
+
+  PartitionAssignment partition(const EdgeList& graph, std::span<const double> weights,
+                                std::uint64_t seed) const override;
+
+  const GingerOptions& options() const noexcept { return options_; }
+
+ private:
+  GingerOptions options_;
+};
+
+}  // namespace pglb

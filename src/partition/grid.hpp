@@ -1,0 +1,25 @@
+#pragma once
+// Heterogeneity-aware Grid partitioner (Sec. II-B3, Fig. 5).
+//
+// Machines form a sqrt(M) x sqrt(M) grid; a *shard* is a row or column.  Each
+// vertex hashes (weight-biased) to a home machine, whose row+column form its
+// constraint set; an edge may only go to the intersection of its endpoints'
+// constraint sets, bounding each vertex's replicas to O(2 sqrt(M)) and thus
+// the communication fan-out.  Within the intersection the machine with the
+// maximum CCR-weighted score (capability share over current load) wins.
+
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+class GridPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "grid"; }
+
+  /// Throws std::invalid_argument when the machine count is not a perfect
+  /// square (the paper's stated constraint).
+  PartitionAssignment partition(const EdgeList& graph, std::span<const double> weights,
+                                std::uint64_t seed) const override;
+};
+
+}  // namespace pglb

@@ -1,0 +1,42 @@
+#pragma once
+// HDRF — High-Degree (are) Replicated First (Petroni et al., CIKM'15) —
+// extension partitioner beyond the paper's five.
+//
+// A streaming vertex-cut that favours replicating high-degree endpoints:
+// for edge (u, v) each machine p is scored
+//
+//   C(p) = C_rep(p) + lambda * C_bal(p)
+//   C_rep(p) = g(u, p) + g(v, p)
+//   g(w, p)  = (1 + (1 - theta_w)) if p already hosts w else 0,
+//              theta_w = deg(w) / (deg(u) + deg(v))   (partial degrees)
+//   C_bal(p) = (maxsize - size(p)) / (eps + maxsize - minsize)
+//
+// Heterogeneity awareness replaces raw sizes with weighted loads
+// size(p) / share(p), so a machine "fills up" relative to its capability —
+// the same CCR hook the paper adds to Oblivious.
+
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+struct HdrfOptions {
+  /// Balance weight lambda; Petroni et al. recommend ~1.
+  double lambda = 1.0;
+};
+
+class HdrfPartitioner final : public Partitioner {
+ public:
+  explicit HdrfPartitioner(HdrfOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "hdrf"; }
+
+  PartitionAssignment partition(const EdgeList& graph, std::span<const double> weights,
+                                std::uint64_t seed) const override;
+
+  const HdrfOptions& options() const noexcept { return options_; }
+
+ private:
+  HdrfOptions options_;
+};
+
+}  // namespace pglb

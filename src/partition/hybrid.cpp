@@ -1,0 +1,33 @@
+#include "partition/hybrid.hpp"
+
+#include "util/hash.hpp"
+
+namespace pglb {
+
+PartitionAssignment HybridPartitioner::partition(const EdgeList& graph,
+                                                 std::span<const double> weights,
+                                                 std::uint64_t seed) const {
+  const auto shares = normalized_weights(weights);
+  const auto cum = prefix_sum(shares);
+
+  PartitionAssignment result;
+  result.num_machines = static_cast<MachineId>(shares.size());
+  result.edge_to_machine.resize(graph.num_edges());
+
+  // Pass 1 scans the whole graph, which also yields exact in-degrees "for
+  // free" (Sec. II-C1).
+  const auto in_degree = graph.in_degrees();
+
+  EdgeId index = 0;
+  for (const Edge& e : graph.edges()) {
+    const bool high_degree = in_degree[e.dst] > options_.high_degree_threshold;
+    // Low-degree: group with the target (edge cut).  High-degree: scatter by
+    // source (vertex cut).  Both use the weight-biased hash.
+    const VertexId key = high_degree ? e.src : e.dst;
+    result.edge_to_machine[index++] =
+        static_cast<MachineId>(weighted_pick(hash_u64(key, seed), cum));
+  }
+  return result;
+}
+
+}  // namespace pglb

@@ -1,0 +1,39 @@
+#pragma once
+// Heterogeneity-aware Hybrid partitioner (Sec. II-C, from PowerLyra [15]).
+//
+// Mixed cut in two passes:
+//  1. every edge goes to the (weight-biased) hash of its *target* vertex, so
+//     low-degree vertices keep all in-edges local — an edge cut, zero mirrors
+//     for them;
+//  2. vertices whose in-degree exceeds a threshold are re-cut: each of their
+//     in-edges moves to the hash of its *source* vertex, bounding a hub's
+//     mirrors by the machine count instead of its degree — a vertex cut.
+// Heterogeneity awareness replaces both uniform hashes with weighted hashes,
+// exactly as in Random Hash.
+
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+struct HybridOptions {
+  /// In-degree above which a vertex is treated as high-degree (PowerLyra's
+  /// default threshold).
+  EdgeId high_degree_threshold = 100;
+};
+
+class HybridPartitioner final : public Partitioner {
+ public:
+  explicit HybridPartitioner(HybridOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "hybrid"; }
+
+  PartitionAssignment partition(const EdgeList& graph, std::span<const double> weights,
+                                std::uint64_t seed) const override;
+
+  const HybridOptions& options() const noexcept { return options_; }
+
+ private:
+  HybridOptions options_;
+};
+
+}  // namespace pglb

@@ -1,0 +1,55 @@
+#include "partition/metrics.hpp"
+
+#include <stdexcept>
+
+#include "partition/weights.hpp"
+
+namespace pglb {
+
+PartitionMetrics compute_partition_metrics(const EdgeList& graph,
+                                           const PartitionAssignment& assignment,
+                                           std::span<const double> target_shares) {
+  if (assignment.edge_to_machine.size() != graph.num_edges()) {
+    throw std::invalid_argument("compute_partition_metrics: assignment/graph size mismatch");
+  }
+  const MachineId num_machines = assignment.num_machines;
+  if (target_shares.size() != num_machines) {
+    throw std::invalid_argument("compute_partition_metrics: shares size mismatch");
+  }
+
+  PartitionMetrics metrics;
+  metrics.edges_per_machine = assignment.machine_edge_counts();
+
+  // Replica masks (machine count bounded at 64 across the library).
+  if (num_machines > 64) throw std::invalid_argument("compute_partition_metrics: > 64 machines");
+  std::vector<std::uint64_t> replicas(graph.num_vertices(), 0);
+  EdgeId index = 0;
+  for (const Edge& e : graph.edges()) {
+    const MachineId m = assignment.edge_to_machine[index++];
+    replicas[e.src] |= std::uint64_t{1} << m;
+    replicas[e.dst] |= std::uint64_t{1} << m;
+  }
+
+  metrics.replicas_per_machine.assign(num_machines, 0);
+  std::uint64_t total_replicas = 0;
+  VertexId present_vertices = 0;
+  for (const std::uint64_t mask : replicas) {
+    if (mask == 0) continue;
+    ++present_vertices;
+    total_replicas += static_cast<std::uint64_t>(__builtin_popcountll(mask));
+    for (MachineId m = 0; m < num_machines; ++m) {
+      if (mask & (std::uint64_t{1} << m)) ++metrics.replicas_per_machine[m];
+    }
+  }
+  metrics.replication_factor =
+      present_vertices == 0
+          ? 0.0
+          : static_cast<double>(total_replicas) / static_cast<double>(present_vertices);
+
+  metrics.weighted_imbalance = imbalance_factor(metrics.edges_per_machine, target_shares);
+  const std::vector<double> uniform(num_machines, 1.0 / static_cast<double>(num_machines));
+  metrics.uniform_imbalance = imbalance_factor(metrics.edges_per_machine, uniform);
+  return metrics;
+}
+
+}  // namespace pglb

@@ -1,0 +1,28 @@
+#pragma once
+// Partition-quality metrics: replication factor (the mirror count that drives
+// communication, Sec. II-B/Fig. 3) and balance against a target share vector.
+
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+struct PartitionMetrics {
+  std::vector<EdgeId> edges_per_machine;
+  std::vector<VertexId> replicas_per_machine;  ///< vertices present (master or mirror)
+  /// Average replicas per vertex (1.0 = pure edge cut, no mirrors).
+  double replication_factor = 0.0;
+  /// max_m(edge share / target share); 1.0 = ideal.
+  double weighted_imbalance = 0.0;
+  /// max_m(edge share * M); classic unweighted balance for reference.
+  double uniform_imbalance = 0.0;
+};
+
+PartitionMetrics compute_partition_metrics(const EdgeList& graph,
+                                           const PartitionAssignment& assignment,
+                                           std::span<const double> target_shares);
+
+}  // namespace pglb

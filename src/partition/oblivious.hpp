@@ -1,0 +1,24 @@
+#pragma once
+// Heterogeneity-aware Oblivious partitioner (Sec. II-B2).
+//
+// PowerGraph's greedy streaming vertex-cut: each edge is placed using the
+// history of prior placements (the replica sets of its endpoints) so that
+// replication stays low, while balancing machine loads.  The heterogeneity-
+// aware extension scores load as edges[m] / weight[m], so a fast machine
+// looks "emptier" until it holds its CCR-proportional share.  As the paper
+// notes, the locality heuristics mean the final balance only approximately
+// follows the weights.
+
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+class ObliviousPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "oblivious"; }
+
+  PartitionAssignment partition(const EdgeList& graph, std::span<const double> weights,
+                                std::uint64_t seed) const override;
+};
+
+}  // namespace pglb

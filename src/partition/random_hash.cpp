@@ -1,0 +1,27 @@
+#include "partition/random_hash.hpp"
+
+#include "util/hash.hpp"
+
+namespace pglb {
+
+PartitionAssignment RandomHashPartitioner::partition(const EdgeList& graph,
+                                                     std::span<const double> weights,
+                                                     std::uint64_t seed) const {
+  const auto shares = normalized_weights(weights);
+  const auto cum = prefix_sum(shares);
+
+  PartitionAssignment result;
+  result.num_machines = static_cast<MachineId>(shares.size());
+  result.edge_to_machine.resize(graph.num_edges());
+
+  // Hash on the edge *position* as well as its endpoints so multi-edges do
+  // not pile onto one machine.
+  EdgeId index = 0;
+  for (const Edge& e : graph.edges()) {
+    const std::uint64_t h = hash_combine(hash_edge(e.src, e.dst, seed), index);
+    result.edge_to_machine[index++] = static_cast<MachineId>(weighted_pick(h, cum));
+  }
+  return result;
+}
+
+}  // namespace pglb

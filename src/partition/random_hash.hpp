@@ -1,0 +1,20 @@
+#pragma once
+// Heterogeneity-aware Random Hash partitioner (Sec. II-B1, Fig. 4).
+//
+// The PowerGraph baseline hashes each edge to a machine uniformly; the
+// heterogeneity-aware extension biases the hash so each machine's probability
+// of receiving an edge equals its capability share.
+
+#include "partition/partitioner.hpp"
+
+namespace pglb {
+
+class RandomHashPartitioner final : public Partitioner {
+ public:
+  std::string name() const override { return "random_hash"; }
+
+  PartitionAssignment partition(const EdgeList& graph, std::span<const double> weights,
+                                std::uint64_t seed) const override;
+};
+
+}  // namespace pglb

@@ -1,0 +1,73 @@
+#include "partition/replication_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pglb {
+
+namespace {
+
+void validate_shares(std::span<const double> shares) {
+  double total = 0.0;
+  for (const double p : shares) {
+    if (!(p > 0.0) || p > 1.0) {
+      throw std::invalid_argument("replication_model: shares must be in (0, 1]");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-6) {
+    throw std::invalid_argument("replication_model: shares must sum to 1");
+  }
+}
+
+}  // namespace
+
+double expected_replicas(std::uint64_t degree, std::span<const double> shares) {
+  validate_shares(shares);
+  if (degree == 0) return 0.0;
+  double total = 0.0;
+  for (const double p : shares) {
+    total += 1.0 - std::pow(1.0 - p, static_cast<double>(degree));
+  }
+  return total;
+}
+
+double expected_replication_factor(const ExactHistogram& hist,
+                                   std::span<const double> shares) {
+  validate_shares(shares);
+  double replicas = 0.0;
+  double vertices = 0.0;
+  for (std::uint64_t d = 1; d <= hist.max_value(); ++d) {
+    const auto count = hist.count_of(d);
+    if (count == 0) continue;
+    replicas += static_cast<double>(count) * expected_replicas(d, shares);
+    vertices += static_cast<double>(count);
+  }
+  return vertices > 0.0 ? replicas / vertices : 0.0;
+}
+
+std::vector<double> expected_mirrors_per_machine(const ExactHistogram& hist,
+                                                 std::span<const double> shares) {
+  validate_shares(shares);
+  std::vector<double> mirrors(shares.size(), 0.0);
+  for (std::uint64_t d = 1; d <= hist.max_value(); ++d) {
+    const auto count = hist.count_of(d);
+    if (count == 0) continue;
+    for (std::size_t m = 0; m < shares.size(); ++m) {
+      const double present = 1.0 - std::pow(1.0 - shares[m], static_cast<double>(d));
+      // Master goes to machine m with probability ~ shares[m]; everything
+      // else present on m is a mirror.
+      const double mirror_prob = present * (1.0 - shares[m]);
+      mirrors[m] += static_cast<double>(count) * mirror_prob;
+    }
+  }
+  return mirrors;
+}
+
+ExactHistogram total_degree_histogram(const EdgeList& graph) {
+  ExactHistogram hist;
+  for (const EdgeId d : graph.total_degrees()) hist.add(d);
+  return hist;
+}
+
+}  // namespace pglb

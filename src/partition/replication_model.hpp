@@ -1,0 +1,39 @@
+#pragma once
+// Analytic replication model for weighted random-hash vertex cuts.
+//
+// Under Random Hash with machine probabilities p_m, a vertex of degree d has
+// a replica on machine m with probability 1 - (1 - p_m)^d, so
+//
+//   E[#replicas(v)] = sum_m (1 - (1 - p_m)^d)
+//
+// (PowerGraph's Theorem 5.2, generalised to non-uniform probabilities).
+// This predicts the replication factor — and hence the mirror traffic — of a
+// candidate weight vector WITHOUT partitioning, which the communication-aware
+// weight refinement (core/comm_aware.hpp) exploits.
+
+#include <span>
+
+#include "graph/stats.hpp"
+#include "util/histogram.hpp"
+
+namespace pglb {
+
+/// Expected replicas of a single vertex with total degree `degree`.
+double expected_replicas(std::uint64_t degree, std::span<const double> shares);
+
+/// Expected replication factor over a degree histogram (vertices with degree
+/// zero are excluded, matching compute_partition_metrics()).
+double expected_replication_factor(const ExactHistogram& total_degree_histogram,
+                                   std::span<const double> shares);
+
+/// Expected mirrors per machine: a degree-d vertex is replicated on m with
+/// probability 1-(1-p_m)^d and is master elsewhere with probability
+/// ~ (1 - p_m) of that; we approximate mirrors(m) = replicas(m) - masters(m)
+/// with masters distributed proportionally to p_m.
+std::vector<double> expected_mirrors_per_machine(
+    const ExactHistogram& total_degree_histogram, std::span<const double> shares);
+
+/// Convenience: total-degree histogram of a graph.
+ExactHistogram total_degree_histogram(const EdgeList& graph);
+
+}  // namespace pglb

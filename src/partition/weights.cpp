@@ -1,0 +1,57 @@
+#include "partition/weights.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pglb {
+
+std::vector<double> uniform_weights(MachineId num_machines) {
+  if (num_machines == 0) throw std::invalid_argument("uniform_weights: no machines");
+  return std::vector<double>(num_machines, 1.0 / static_cast<double>(num_machines));
+}
+
+std::vector<double> thread_count_weights(const Cluster& cluster) {
+  std::vector<double> weights(cluster.size());
+  for (MachineId m = 0; m < cluster.size(); ++m) {
+    weights[m] = static_cast<double>(cluster.machine(m).compute_threads);
+  }
+  return shares_from_capabilities(weights);
+}
+
+std::vector<double> shares_from_capabilities(std::span<const double> capabilities) {
+  if (capabilities.empty()) {
+    throw std::invalid_argument("shares_from_capabilities: empty capability vector");
+  }
+  double total = 0.0;
+  for (const double c : capabilities) {
+    if (!(c > 0.0) || !std::isfinite(c)) {
+      throw std::invalid_argument("shares_from_capabilities: capabilities must be positive");
+    }
+    total += c;
+  }
+  std::vector<double> shares(capabilities.begin(), capabilities.end());
+  for (double& s : shares) s /= total;
+  return shares;
+}
+
+double imbalance_factor(std::span<const EdgeId> edge_counts,
+                        std::span<const double> target_shares) {
+  if (edge_counts.size() != target_shares.size()) {
+    throw std::invalid_argument("imbalance_factor: size mismatch");
+  }
+  EdgeId total = 0;
+  for (const EdgeId c : edge_counts) total += c;
+  if (total == 0) return 1.0;
+  double worst = 0.0;
+  for (std::size_t m = 0; m < edge_counts.size(); ++m) {
+    if (target_shares[m] <= 0.0) {
+      throw std::invalid_argument("imbalance_factor: target shares must be positive");
+    }
+    const double achieved = static_cast<double>(edge_counts[m]) / static_cast<double>(total);
+    worst = std::max(worst, achieved / target_shares[m]);
+  }
+  return worst;
+}
+
+}  // namespace pglb

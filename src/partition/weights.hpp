@@ -1,0 +1,31 @@
+#pragma once
+// Capability-share weight vectors fed to the partitioners.
+//
+// Three policies, mirroring the paper's comparison:
+//  - uniform: the default PowerGraph assumption (homogeneous cluster);
+//  - thread-count: prior work [5] — share proportional to compute threads;
+//  - CCR: this paper — share proportional to profiled capability ratios.
+
+#include <span>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace pglb {
+
+/// 1/M for every machine.
+std::vector<double> uniform_weights(MachineId num_machines);
+
+/// Proportional to MachineSpec::compute_threads (LeBeane et al. [5]).
+std::vector<double> thread_count_weights(const Cluster& cluster);
+
+/// Normalise an arbitrary positive capability vector (e.g. CCRs) to shares.
+std::vector<double> shares_from_capabilities(std::span<const double> capabilities);
+
+/// max_m (achieved_share[m] / target_share[m]); 1.0 = perfectly balanced
+/// against the target.  The straggler under a capability-proportional model
+/// is the machine with the largest achieved/target ratio.
+double imbalance_factor(std::span<const EdgeId> edge_counts,
+                        std::span<const double> target_shares);
+
+}  // namespace pglb

@@ -1,0 +1,80 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pglb {
+
+Cli::Cli(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Cli::raw(const std::string& key) const {
+  queried_[key] = true;
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Cli::has(const std::string& key) const { return raw(key).has_value(); }
+
+std::string Cli::get_string(const std::string& key, std::string fallback) const {
+  const auto v = raw(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + key + " expects an integer, got '" + *v + "'");
+  }
+  return parsed;
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') {
+    throw std::invalid_argument("--" + key + " expects a number, got '" + *v + "'");
+  }
+  return parsed;
+}
+
+bool Cli::get_bool(const std::string& key, bool fallback) const {
+  const auto v = raw(key);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw std::invalid_argument("--" + key + " expects a boolean, got '" + *v + "'");
+}
+
+std::vector<std::string> Cli::unused_keys() const {
+  std::vector<std::string> unused;
+  for (const auto& [key, _] : values_) {
+    if (!queried_.contains(key)) unused.push_back(key);
+  }
+  return unused;
+}
+
+}  // namespace pglb

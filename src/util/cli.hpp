@@ -1,0 +1,42 @@
+#pragma once
+// Tiny --key=value command-line parser shared by benches and examples.
+// Unknown flags are an error (so typos in sweep scripts fail loudly).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pglb {
+
+class Cli {
+ public:
+  /// Parse argv.  Accepted forms: --key=value, --key value, --flag (bool).
+  /// Positional arguments are collected in order.
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key, std::string fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept { return positional_; }
+  const std::string& program() const noexcept { return program_; }
+
+  /// Keys seen on the command line that were never queried; call at the end
+  /// of main() to reject typos.
+  std::vector<std::string> unused_keys() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& key) const;
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pglb

@@ -1,0 +1,27 @@
+#include "util/hash.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pglb {
+
+std::size_t weighted_pick(std::uint64_t h, std::span<const double> cum_weights) noexcept {
+  if (cum_weights.empty()) return 0;
+  const double u = hash_to_unit(h) * cum_weights.back();
+  const auto it = std::upper_bound(cum_weights.begin(), cum_weights.end(), u);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cum_weights.begin(), static_cast<std::ptrdiff_t>(cum_weights.size()) - 1));
+}
+
+std::vector<double> prefix_sum(std::span<const double> weights) {
+  std::vector<double> cum;
+  cum.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    acc += w;
+    cum.push_back(acc);
+  }
+  return cum;
+}
+
+}  // namespace pglb

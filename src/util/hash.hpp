@@ -1,0 +1,47 @@
+#pragma once
+// Stateless hashing utilities used by the streaming partitioners.
+//
+// All partitioners key their decisions off deterministic hashes of vertex and
+// edge identifiers so that a partitioning is a pure function of
+// (graph, cluster, weights, seed) — the property the paper relies on when it
+// says a vertex is "hashed to" a machine or shard.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace pglb {
+
+/// 64-bit mix of a single value with a seed domain.
+constexpr std::uint64_t hash_u64(std::uint64_t value, std::uint64_t seed = 0) noexcept {
+  return splitmix64(value ^ (seed * 0x9e3779b97f4a7c15ull));
+}
+
+/// Combine two hashes (order-sensitive), boost::hash_combine style.
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return splitmix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/// Hash of an (src, dst) edge identifier.
+constexpr std::uint64_t hash_edge(std::uint64_t src, std::uint64_t dst,
+                                  std::uint64_t seed = 0) noexcept {
+  return hash_combine(hash_u64(src, seed), hash_u64(dst, seed + 1));
+}
+
+/// Map a hash to the unit interval [0, 1).
+constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Pick an index in [0, cum_weights.size()) from a hash, where cum_weights is
+/// the inclusive prefix sum of (possibly unnormalised) selection weights.
+/// This is the "weighted random hash" primitive of the heterogeneity-aware
+/// Random Hash partitioner (Fig. 4 of the paper).
+std::size_t weighted_pick(std::uint64_t h, std::span<const double> cum_weights) noexcept;
+
+/// Inclusive prefix sum helper for weighted_pick.
+std::vector<double> prefix_sum(std::span<const double> weights);
+
+}  // namespace pglb

@@ -1,0 +1,103 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pglb {
+
+void ExactHistogram::add(std::uint64_t value, std::uint64_t count) {
+  if (value >= counts_.size()) counts_.resize(value + 1, 0);
+  counts_[value] += count;
+  total_ += count;
+}
+
+double ExactHistogram::probability(std::uint64_t value) const noexcept {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count_of(value)) / static_cast<double>(total_);
+}
+
+std::vector<LogBin> log_bin(const ExactHistogram& hist, int bins_per_decade) {
+  std::vector<LogBin> bins;
+  if (hist.total() == 0 || bins_per_decade <= 0) return bins;
+
+  const double ratio = std::pow(10.0, 1.0 / bins_per_decade);
+  double lo = 1.0;
+  const auto max_v = static_cast<double>(hist.max_value());
+  while (lo <= max_v) {
+    double hi = lo * ratio;
+    // Bin covers integer values in [ceil(lo), ceil(hi) - 1].
+    const auto first = static_cast<std::uint64_t>(std::ceil(lo));
+    const auto last = static_cast<std::uint64_t>(std::ceil(hi)) - 1;
+    if (last >= first) {
+      std::uint64_t count = 0;
+      for (std::uint64_t v = first; v <= last && v <= hist.max_value(); ++v) {
+        count += hist.count_of(v);
+      }
+      if (count > 0) {
+        LogBin bin;
+        bin.bin_center = std::sqrt(static_cast<double>(first) * static_cast<double>(last));
+        bin.count = count;
+        const double width = static_cast<double>(last - first + 1);
+        bin.density = static_cast<double>(count) /
+                      (static_cast<double>(hist.total()) * width);
+        bins.push_back(bin);
+      }
+    }
+    lo = hi;
+  }
+  return bins;
+}
+
+double fit_powerlaw_exponent(std::span<const LogBin> bins, double min_value) {
+  // Ordinary least squares on (log x, log y).
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  std::size_t n = 0;
+  for (const LogBin& b : bins) {
+    if (b.bin_center < min_value || b.density <= 0.0) continue;
+    const double x = std::log(b.bin_center);
+    const double y = std::log(b.density);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  const double dn = static_cast<double>(n);
+  const double slope = (dn * sxy - sx * sy) / (dn * sxx - sx * sx);
+  return -slope;
+}
+
+std::string ascii_loglog(std::span<const LogBin> bins, int width, int height) {
+  if (bins.empty() || width < 8 || height < 4) return {};
+  double min_lx = 1e300, max_lx = -1e300, min_ly = 1e300, max_ly = -1e300;
+  for (const LogBin& b : bins) {
+    if (b.density <= 0) continue;
+    min_lx = std::min(min_lx, std::log10(b.bin_center));
+    max_lx = std::max(max_lx, std::log10(b.bin_center));
+    min_ly = std::min(min_ly, std::log10(b.density));
+    max_ly = std::max(max_ly, std::log10(b.density));
+  }
+  if (min_lx >= max_lx) max_lx = min_lx + 1;
+  if (min_ly >= max_ly) max_ly = min_ly + 1;
+
+  std::vector<std::string> rows(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width), ' '));
+  for (const LogBin& b : bins) {
+    if (b.density <= 0) continue;
+    const double fx = (std::log10(b.bin_center) - min_lx) / (max_lx - min_lx);
+    const double fy = (std::log10(b.density) - min_ly) / (max_ly - min_ly);
+    const int col = std::min(width - 1, static_cast<int>(fx * (width - 1) + 0.5));
+    const int row = std::min(height - 1, static_cast<int>((1.0 - fy) * (height - 1) + 0.5));
+    rows[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = '*';
+  }
+  std::string out;
+  for (auto& r : rows) {
+    out += "  |" + r + "\n";
+  }
+  out += "  +" + std::string(static_cast<std::size_t>(width), '-') + "\n";
+  out += "   log(degree) ->  (y: log P(d))\n";
+  return out;
+}
+
+}  // namespace pglb

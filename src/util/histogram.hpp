@@ -1,0 +1,58 @@
+#pragma once
+// Histograms for degree distributions (Fig. 6 of the paper) and load-balance
+// diagnostics.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pglb {
+
+/// Exact integer-valued histogram: counts[v] = number of samples equal to v.
+/// Suitable for degree distributions where the support is bounded by the
+/// maximum degree.
+class ExactHistogram {
+ public:
+  void add(std::uint64_t value, std::uint64_t count = 1);
+
+  std::uint64_t count_of(std::uint64_t value) const noexcept {
+    return value < counts_.size() ? counts_[value] : 0;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t max_value() const noexcept {
+    return counts_.empty() ? 0 : counts_.size() - 1;
+  }
+
+  /// P(value), i.e. count / total.
+  double probability(std::uint64_t value) const noexcept;
+
+  const std::vector<std::uint64_t>& counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// One (value, count) point of a log-binned histogram.
+struct LogBin {
+  double bin_center = 0.0;   ///< geometric center of the bin
+  std::uint64_t count = 0;   ///< samples in the bin
+  double density = 0.0;      ///< count / (total * bin_width) — comparable across bins
+};
+
+/// Log-bin an exact histogram with `bins_per_decade` bins per factor of 10.
+/// This is how Fig. 6's log-log degree plot is produced.
+std::vector<LogBin> log_bin(const ExactHistogram& hist, int bins_per_decade = 8);
+
+/// Least-squares slope of log(density) vs log(value) over log bins — a quick
+/// empirical estimate of the power-law exponent alpha (P(d) ~ d^-alpha).
+/// Returns the *positive* exponent.  Bins below `min_value` are ignored
+/// (power laws only hold in the tail).
+double fit_powerlaw_exponent(std::span<const LogBin> bins, double min_value = 2.0);
+
+/// Render a crude ASCII log-log scatter for bench output.
+std::string ascii_loglog(std::span<const LogBin> bins, int width = 60, int height = 16);
+
+}  // namespace pglb

@@ -1,0 +1,34 @@
+#pragma once
+// Minimal leveled logging.  Benches and examples use INFO; the engine logs
+// per-superstep detail at DEBUG which is off by default.
+
+#include <sstream>
+#include <string>
+
+namespace pglb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold (defaults to kInfo; PGLB_LOG=debug|info|warn|error|off
+/// in the environment overrides it at startup).
+LogLevel log_threshold() noexcept;
+void set_log_threshold(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+  if (level < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  detail::log_emit(level, os.str());
+}
+
+#define PGLB_LOG_DEBUG(...) ::pglb::log_at(::pglb::LogLevel::kDebug, __VA_ARGS__)
+#define PGLB_LOG_INFO(...) ::pglb::log_at(::pglb::LogLevel::kInfo, __VA_ARGS__)
+#define PGLB_LOG_WARN(...) ::pglb::log_at(::pglb::LogLevel::kWarn, __VA_ARGS__)
+#define PGLB_LOG_ERROR(...) ::pglb::log_at(::pglb::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace pglb

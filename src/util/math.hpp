@@ -1,0 +1,76 @@
+#pragma once
+// Small numeric helpers shared across modules (header-only).
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <stdexcept>
+
+namespace pglb {
+
+/// Compensated (Kahan-Babuska) summation: the engine accumulates millions of
+/// small virtual-time increments, so naive summation would drift.
+class KahanSum {
+ public:
+  void add(double value) noexcept {
+    const double t = sum_ + value;
+    if (std::abs(sum_) >= std::abs(value)) {
+      comp_ += (sum_ - t) + value;
+    } else {
+      comp_ += (value - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  KahanSum& operator+=(double value) noexcept {
+    add(value);
+    return *this;
+  }
+
+  double value() const noexcept { return sum_ + comp_; }
+  void reset() noexcept { sum_ = comp_ = 0.0; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+inline double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  KahanSum s;
+  for (const double x : xs) s.add(x);
+  return s.value() / static_cast<double>(xs.size());
+}
+
+inline double stdev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  KahanSum s;
+  for (const double x : xs) s.add((x - m) * (x - m));
+  return std::sqrt(s.value() / static_cast<double>(xs.size() - 1));
+}
+
+/// |a - b| / |b|, the error metric the paper uses for CCR accuracy
+/// ("<10% error", "108% error").  b is the reference value.
+inline double relative_error(double a, double b) {
+  if (b == 0.0) return a == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  return std::abs(a - b) / std::abs(b);
+}
+
+/// Geometric mean; used to summarise speedups across benchmarks.
+inline double geomean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  KahanSum logs;
+  for (const double x : xs) {
+    if (x <= 0.0) throw std::invalid_argument("geomean: values must be positive");
+    logs.add(std::log(x));
+  }
+  return std::exp(logs.value() / static_cast<double>(xs.size()));
+}
+
+inline bool approx_equal(double a, double b, double rel_tol = 1e-9, double abs_tol = 1e-12) {
+  return std::abs(a - b) <= std::max(abs_tol, rel_tol * std::max(std::abs(a), std::abs(b)));
+}
+
+}  // namespace pglb

@@ -1,0 +1,67 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pglb {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased bounded sampling.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+double Rng::next_normal() noexcept {
+  if (!std::isnan(cached_normal_)) {
+    const double v = cached_normal_;
+    cached_normal_ = std::numeric_limits<double>::quiet_NaN();
+    return v;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * next_double() - 1.0;
+    v = 2.0 * next_double() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_normal_ = v * factor;
+  return u * factor;
+}
+
+void DiscreteSampler::reset(std::span<const double> weights) {
+  cdf_.clear();
+  cdf_.reserve(weights.size());
+  double acc = 0.0;
+  for (const double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      throw std::invalid_argument("DiscreteSampler: weights must be finite and non-negative");
+    }
+    acc += w;
+    cdf_.push_back(acc);
+  }
+  if (!cdf_.empty() && acc <= 0.0) {
+    throw std::invalid_argument("DiscreteSampler: total weight must be positive");
+  }
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  if (cdf_.empty()) throw std::logic_error("DiscreteSampler: sampling from empty distribution");
+  const double u = rng.next_double() * cdf_.back();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+}  // namespace pglb

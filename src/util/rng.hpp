@@ -1,0 +1,113 @@
+#pragma once
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Everything stochastic in pglb (graph generators, hash partitioners, engine
+// tie-breaking) draws from these generators with an explicit seed so that a
+// full pipeline run is bit-reproducible.  We deliberately avoid
+// std::mt19937 + std::uniform_*_distribution because their outputs are not
+// guaranteed identical across standard library implementations.
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace pglb {
+
+/// SplitMix64 step: the canonical 64-bit finalizer, used both as a seed
+/// expander and as a cheap stateless hash.
+constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bull) noexcept { reseed(seed); }
+
+  /// Re-initialise the state from a single 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) {
+      sm = splitmix64(sm);
+      word = sm;
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p) noexcept { return next_double() < p; }
+
+  /// Standard-normal variate (Marsaglia polar method).
+  double next_normal() noexcept;
+
+  /// Fisher-Yates shuffle of a span.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Sampler over a discrete distribution given by unnormalised weights.
+/// Uses the cumulative table + binary search, mirroring the paper's
+/// `multinomial(cdf)` primitive in Algorithm 1.
+class DiscreteSampler {
+ public:
+  DiscreteSampler() = default;
+  explicit DiscreteSampler(std::span<const double> weights) { reset(weights); }
+
+  void reset(std::span<const double> weights);
+
+  /// Draw an index in [0, size()) with probability proportional to weights.
+  std::size_t sample(Rng& rng) const;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+  bool empty() const noexcept { return cdf_.empty(); }
+
+  /// Total mass of the (unnormalised) weights this sampler was built from.
+  double total_mass() const noexcept { return cdf_.empty() ? 0.0 : cdf_.back(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pglb

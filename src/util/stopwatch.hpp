@@ -1,0 +1,28 @@
+#pragma once
+// Wall-clock stopwatch for measuring *host* time (generator throughput,
+// partitioner throughput).  Virtual cluster time is tracked separately by the
+// engine; never mix the two.
+
+#include <chrono>
+
+namespace pglb {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed host seconds since construction or last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pglb

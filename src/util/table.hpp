@@ -1,0 +1,45 @@
+#pragma once
+// ASCII / CSV table rendering for the benchmark harness.  Every bench binary
+// prints the paper's table/figure as rows through this printer so the output
+// format is uniform and machine-parseable.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pglb {
+
+/// A simple column-aligned table.  Cells are strings; numeric helpers format
+/// with fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Start a new row; subsequent cell() calls append to it.
+  Table& row();
+  Table& cell(std::string text);
+  Table& cell(double value, int precision = 3);
+  Table& cell(std::int64_t value);
+  Table& cell(std::uint64_t value);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Render with aligned columns and a header rule.
+  std::string to_ascii() const;
+  /// Render as CSV (RFC-4180-ish; quotes cells containing commas).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string format_double(double value, int precision);
+std::string format_speedup(double value);   ///< e.g. "1.45x"
+std::string format_percent(double frac);    ///< 0.179 -> "17.9%"
+
+}  // namespace pglb

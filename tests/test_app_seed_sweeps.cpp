@@ -1,0 +1,93 @@
+// Seed-sweep properties across the full app suite: for every generator seed,
+// distributed results must equal the single-node references and virtual-time
+// reports must stay internally consistent.  Complements the per-app suites
+// with breadth over inputs.
+
+#include <gtest/gtest.h>
+
+#include "apps/kcore.hpp"
+#include "apps/reference.hpp"
+#include "apps/registry.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
+#include "partition/weights.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+class AppSeedSweep : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  EdgeList graph() const {
+    PowerLawConfig config;
+    config.num_vertices = 2500;
+    config.alpha = 2.1;
+    config.seed = GetParam();
+    return generate_powerlaw(config);
+  }
+};
+
+TEST_P(AppSeedSweep, AllAppsMatchReferencesUnderGingerPartitioning) {
+  const auto g = graph();
+  const auto cluster = testing::case2_cluster();
+  const WorkloadTraits traits = traits_from_stats(compute_stats(g), 1.0);
+
+  for (const AppKind app : {AppKind::kConnectedComponents, AppKind::kTriangleCount,
+                            AppKind::kKCore}) {
+    const auto prepared = prepare_graph_for(app, g);
+    const auto assignment = make_partitioner(PartitionerKind::kGinger)
+                                ->partition(prepared, uniform_weights(cluster.size()),
+                                            GetParam());
+    const auto dg = build_distributed(prepared, assignment);
+    const auto result = run_app(app, prepared, dg, cluster, traits);
+
+    switch (app) {
+      case AppKind::kConnectedComponents:
+        EXPECT_DOUBLE_EQ(result.digest, static_cast<double>(count_components(
+                                            connected_components_reference(g))));
+        break;
+      case AppKind::kTriangleCount:
+        EXPECT_DOUBLE_EQ(result.digest,
+                         static_cast<double>(triangle_count_reference(g)));
+        break;
+      case AppKind::kKCore: {
+        const auto reference = kcore_reference(g);
+        const auto max_core = *std::max_element(reference.begin(), reference.end());
+        EXPECT_DOUBLE_EQ(result.digest, static_cast<double>(max_core));
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+TEST_P(AppSeedSweep, ReportsAreInternallyConsistent) {
+  const auto g = graph();
+  const auto cluster = testing::case1_cluster();
+  const WorkloadTraits traits = traits_from_stats(compute_stats(g), 1.0);
+  for (const AppKind app : {AppKind::kPageRank, AppKind::kColoring, AppKind::kSssp}) {
+    const auto prepared = prepare_graph_for(app, g);
+    const auto assignment =
+        make_partitioner(PartitionerKind::kHdrf)
+            ->partition(prepared, uniform_weights(cluster.size()), GetParam());
+    const auto dg = build_distributed(prepared, assignment);
+    const auto result = run_app(app, prepared, dg, cluster, traits);
+
+    EXPECT_GT(result.report.makespan_seconds, 0.0) << to_string(app);
+    EXPECT_GT(result.report.total_joules, 0.0) << to_string(app);
+    EXPECT_GE(result.report.supersteps, 1) << to_string(app);
+    double busiest = 0.0;
+    for (const MachineActivity& a : result.report.per_machine) {
+      busiest = std::max(busiest, a.compute_seconds + a.comm_seconds);
+    }
+    // Makespan can never undercut the busiest machine.
+    EXPECT_GE(result.report.makespan_seconds, busiest * (1.0 - 1e-9)) << to_string(app);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AppSeedSweep,
+                         ::testing::Values(3ull, 17ull, 101ull, 977ull));
+
+}  // namespace
+}  // namespace pglb

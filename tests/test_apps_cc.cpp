@@ -1,0 +1,107 @@
+#include "apps/connected_components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+WorkloadTraits traits_of(const EdgeList& g) {
+  return traits_from_stats(compute_stats(g), 1.0);
+}
+
+DistributedGraph partition_with(const EdgeList& g, PartitionerKind kind,
+                                MachineId machines) {
+  const auto p = make_partitioner(kind);
+  const auto a = p->partition(g, std::vector<double>(machines, 1.0), 13);
+  return build_distributed(g, a);
+}
+
+TEST(ConnectedComponents, TwoTriangles) {
+  const auto g = testing::two_triangles();
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_connected_components(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.num_components, 2u);
+  EXPECT_EQ(out.labels[0], 0u);
+  EXPECT_EQ(out.labels[1], 0u);
+  EXPECT_EQ(out.labels[2], 0u);
+  EXPECT_EQ(out.labels[3], 3u);
+  EXPECT_EQ(out.labels[5], 3u);
+  EXPECT_TRUE(out.report.converged);
+}
+
+TEST(ConnectedComponents, IsolatedVerticesAreSingletons) {
+  EdgeList g(5);
+  g.add(0, 1);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_connected_components(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.num_components, 4u);  // {0,1} plus three singletons
+}
+
+class CcPartitionInvariance : public ::testing::TestWithParam<PartitionerKind> {};
+
+TEST_P(CcPartitionInvariance, MatchesUnionFindReference) {
+  PowerLawConfig config;
+  config.num_vertices = 4000;
+  config.alpha = 2.3;  // sparse enough to leave several components
+  config.seed = 23;
+  const auto g = generate_powerlaw(config);
+
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, GetParam(), cluster.size());
+  const auto out = run_connected_components(g, dg, cluster, traits_of(g));
+
+  const auto expected = connected_components_reference(g);
+  ASSERT_EQ(out.labels.size(), expected.size());
+  EXPECT_EQ(out.labels, expected);
+  EXPECT_EQ(out.num_components, count_components(expected));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, CcPartitionInvariance,
+                         ::testing::Values(PartitionerKind::kRandomHash,
+                                           PartitionerKind::kOblivious,
+                                           PartitionerKind::kHybrid,
+                                           PartitionerKind::kGinger));
+
+TEST(ConnectedComponents, LongPathNeedsManySupersteps) {
+  // Propagation distance bounds the superstep count: a path of length 60
+  // needs ~60 rounds; a star needs ~2.
+  const auto path = testing::path_graph(64);
+  const auto star = testing::star_graph(64);
+  const auto cluster = testing::case1_cluster();
+
+  const auto path_dg = partition_with(path, PartitionerKind::kRandomHash, cluster.size());
+  const auto star_dg = partition_with(star, PartitionerKind::kRandomHash, cluster.size());
+  const auto path_out = run_connected_components(path, path_dg, cluster, traits_of(path));
+  const auto star_out = run_connected_components(star, star_dg, cluster, traits_of(star));
+
+  EXPECT_GT(path_out.report.supersteps, 10);
+  EXPECT_LE(star_out.report.supersteps, 3);
+  EXPECT_EQ(path_out.num_components, 1u);
+  EXPECT_EQ(star_out.num_components, 1u);
+}
+
+TEST(ConnectedComponents, FrontierShrinksWork) {
+  // Later supersteps touch fewer active edges, so total ops must be far less
+  // than edges * supersteps.
+  PowerLawConfig config;
+  config.num_vertices = 5000;
+  config.alpha = 2.1;
+  const auto g = generate_powerlaw(config);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_connected_components(g, dg, cluster, traits_of(g));
+  ASSERT_GT(out.report.supersteps, 2);
+  EXPECT_LT(out.report.total_ops,
+            0.8 * static_cast<double>(g.num_edges()) * out.report.supersteps);
+}
+
+}  // namespace
+}  // namespace pglb

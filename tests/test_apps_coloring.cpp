@@ -1,0 +1,114 @@
+#include "apps/coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/powerlaw.hpp"
+#include "graph/builder.hpp"
+#include "partition/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+WorkloadTraits traits_of(const EdgeList& g) {
+  return traits_from_stats(compute_stats(g), 1.0);
+}
+
+DistributedGraph partition_with(const EdgeList& g, PartitionerKind kind,
+                                MachineId machines) {
+  const auto p = make_partitioner(kind);
+  const auto a = p->partition(g, std::vector<double>(machines, 1.0), 29);
+  return build_distributed(g, a);
+}
+
+TEST(Coloring, ProperOnCompleteGraph) {
+  const auto g = testing::complete_graph(6);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_coloring(g, dg, cluster, traits_of(g));
+  EXPECT_TRUE(is_proper_coloring(g, out.colors));
+  EXPECT_EQ(out.num_colors, 6u);  // K6 needs exactly 6 colours
+  EXPECT_TRUE(out.report.converged);
+}
+
+TEST(Coloring, TwoColorsSufficeOnEvenCycle) {
+  const auto g = testing::cycle_graph(40);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_coloring(g, dg, cluster, traits_of(g));
+  EXPECT_TRUE(is_proper_coloring(g, out.colors));
+  // Greedy JP may use 3 on a cycle, never more (max degree 2 + 1).
+  EXPECT_LE(out.num_colors, 3u);
+  EXPECT_GE(out.num_colors, 2u);
+}
+
+class ColoringPartitionSweep : public ::testing::TestWithParam<PartitionerKind> {};
+
+TEST_P(ColoringPartitionSweep, AlwaysProperAndBounded) {
+  PowerLawConfig config;
+  config.num_vertices = 3000;
+  config.alpha = 2.0;
+  config.seed = 31;
+  const auto g = generate_powerlaw(config);
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, GetParam(), cluster.size());
+  const auto out = run_coloring(g, dg, cluster, traits_of(g));
+
+  EXPECT_TRUE(is_proper_coloring(g, out.colors));
+  const auto adj = build_undirected_csr(g);
+  EXPECT_LE(out.num_colors, adj.max_degree() + 1);  // greedy bound
+  EXPECT_TRUE(out.report.converged);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, ColoringPartitionSweep,
+                         ::testing::Values(PartitionerKind::kRandomHash,
+                                           PartitionerKind::kOblivious,
+                                           PartitionerKind::kHybrid,
+                                           PartitionerKind::kGinger));
+
+TEST(Coloring, PrioritySeedChangesColoringNotProperness) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 500;
+  config.num_edges = 3000;
+  const auto g = generate_erdos_renyi(config);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto a = run_coloring(g, dg, cluster, traits_of(g), 1);
+  const auto b = run_coloring(g, dg, cluster, traits_of(g), 2);
+  EXPECT_TRUE(is_proper_coloring(g, a.colors));
+  EXPECT_TRUE(is_proper_coloring(g, b.colors));
+  EXPECT_NE(a.colors, b.colors);
+}
+
+TEST(Coloring, IsolatedVerticesGetColorZero) {
+  EdgeList g(4);
+  g.add(0, 1);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_coloring(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.colors[2], 0u);
+  EXPECT_EQ(out.colors[3], 0u);
+}
+
+TEST(Coloring, RunsAsynchronously) {
+  // The report reflects the async schedule: busy times may differ across
+  // machines but idle appears only at the final join.
+  PowerLawConfig config;
+  config.num_vertices = 2000;
+  config.alpha = 2.1;
+  const auto g = generate_powerlaw(config);
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_coloring(g, dg, cluster, traits_of(g));
+
+  double max_total = 0.0;
+  for (const auto& m : out.report.per_machine) {
+    max_total = std::max(max_total, m.compute_seconds + m.comm_seconds);
+  }
+  EXPECT_NEAR(out.report.makespan_seconds, max_total, max_total * 1e-9);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,109 @@
+#include "apps/kcore.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+WorkloadTraits traits_of(const EdgeList& g) {
+  return traits_from_stats(compute_stats(g), 1.0);
+}
+
+DistributedGraph partition_with(const EdgeList& g, PartitionerKind kind,
+                                MachineId machines) {
+  const auto p = make_partitioner(kind);
+  const auto a = p->partition(g, std::vector<double>(machines, 1.0), 91);
+  return build_distributed(g, a);
+}
+
+TEST(KCoreReference, KnownGraphs) {
+  // Complete graph K5: everyone coreness 4.
+  const auto k5 = kcore_reference(testing::complete_graph(5));
+  for (const auto c : k5) EXPECT_EQ(c, 4u);
+
+  // Cycle: coreness 2 everywhere.
+  const auto cyc = kcore_reference(testing::cycle_graph(12));
+  for (const auto c : cyc) EXPECT_EQ(c, 2u);
+
+  // Star: hub and spokes all coreness 1.
+  const auto star = kcore_reference(testing::star_graph(9));
+  for (const auto c : star) EXPECT_EQ(c, 1u);
+
+  // Isolated vertices: coreness 0.
+  const auto iso = kcore_reference(EdgeList(4));
+  for (const auto c : iso) EXPECT_EQ(c, 0u);
+}
+
+TEST(KCore, MatchesReferenceOnKnownGraphs) {
+  const auto cluster = testing::case1_cluster();
+  for (const auto& g : {testing::complete_graph(6), testing::cycle_graph(15),
+                        testing::two_triangles()}) {
+    const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+    const auto out = run_kcore(g, dg, cluster, traits_of(g));
+    EXPECT_EQ(out.coreness, kcore_reference(g));
+    EXPECT_TRUE(out.report.converged);
+  }
+}
+
+TEST(KCore, TwoTrianglesDegeneracy) {
+  const auto g = testing::two_triangles();
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_kcore(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.degeneracy, 2u);
+}
+
+class KCorePartitionInvariance : public ::testing::TestWithParam<PartitionerKind> {};
+
+TEST_P(KCorePartitionInvariance, MatchesPeelingReference) {
+  PowerLawConfig config;
+  config.num_vertices = 2500;
+  config.alpha = 2.0;
+  config.seed = 97;
+  const auto g = generate_powerlaw(config);
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, GetParam(), cluster.size());
+  const auto out = run_kcore(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.coreness, kcore_reference(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, KCorePartitionInvariance,
+                         ::testing::Values(PartitionerKind::kRandomHash,
+                                           PartitionerKind::kOblivious,
+                                           PartitionerKind::kHybrid,
+                                           PartitionerKind::kGinger,
+                                           PartitionerKind::kChunking));
+
+TEST(KCore, ErdosRenyiAgreesToo) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 800;
+  config.num_edges = 4000;
+  const auto g = generate_erdos_renyi(config);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kHybrid, cluster.size());
+  const auto out = run_kcore(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.coreness, kcore_reference(g));
+  EXPECT_GE(out.degeneracy, 3u);  // mean degree 10 -> a dense core exists
+}
+
+TEST(KCore, CorenessBoundedByDegree) {
+  PowerLawConfig config;
+  config.num_vertices = 2000;
+  config.alpha = 2.2;
+  const auto g = generate_powerlaw(config);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_kcore(g, dg, cluster, traits_of(g));
+  const auto degree = g.total_degrees();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_LE(out.coreness[v], degree[v]);
+  }
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,118 @@
+#include "apps/pagerank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+WorkloadTraits traits_of(const EdgeList& g) {
+  return traits_from_stats(compute_stats(g), 1.0);
+}
+
+DistributedGraph partition_with(const EdgeList& g, PartitionerKind kind,
+                                MachineId machines) {
+  const auto p = make_partitioner(kind);
+  const auto a = p->partition(g, std::vector<double>(machines, 1.0), 77);
+  return build_distributed(g, a);
+}
+
+TEST(PageRank, MatchesReferenceOnCycle) {
+  const auto g = testing::cycle_graph(10);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_pagerank(g, dg, cluster, traits_of(g));
+  // On a cycle every vertex is symmetric: rank = 1/n.
+  for (const double r : out.ranks) EXPECT_NEAR(r, 0.1, 1e-12);
+}
+
+TEST(PageRank, RanksSumToOneWithoutSinks) {
+  const auto g = testing::cycle_graph(500);
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_pagerank(g, dg, cluster, traits_of(g));
+  double total = 0.0;
+  for (const double r : out.ranks) total += r;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+class PageRankPartitionInvariance
+    : public ::testing::TestWithParam<PartitionerKind> {};
+
+TEST_P(PageRankPartitionInvariance, DistributedMatchesReference) {
+  // Synchronous BSP semantics: the answer must not depend on partitioning.
+  PowerLawConfig config;
+  config.num_vertices = 3000;
+  config.alpha = 2.1;
+  config.seed = 9;
+  const auto g = generate_powerlaw(config);
+
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, GetParam(), cluster.size());
+  PageRankOptions options;
+  options.max_iterations = 7;
+  const auto out = run_pagerank(g, dg, cluster, traits_of(g), options);
+  const auto expected = pagerank_reference(g, options.damping, options.max_iterations);
+
+  ASSERT_EQ(out.ranks.size(), expected.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(out.ranks[v], expected[v], 1e-9) << "vertex " << v;
+  }
+  EXPECT_EQ(out.report.supersteps, options.max_iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, PageRankPartitionInvariance,
+                         ::testing::Values(PartitionerKind::kRandomHash,
+                                           PartitionerKind::kOblivious,
+                                           PartitionerKind::kHybrid,
+                                           PartitionerKind::kGinger));
+
+TEST(PageRank, ToleranceStopsEarly) {
+  const auto g = testing::cycle_graph(100);  // converges instantly (uniform)
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  PageRankOptions options;
+  options.max_iterations = 50;
+  options.tolerance = 1e-12;
+  const auto out = run_pagerank(g, dg, cluster, traits_of(g), options);
+  EXPECT_TRUE(out.report.converged);
+  EXPECT_LT(out.report.supersteps, 5);
+}
+
+TEST(PageRank, HubGetsHighestRank) {
+  // Star pointing INTO vertex 0.
+  EdgeList g(50);
+  for (VertexId v = 1; v < 50; ++v) g.add(v, 0);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_pagerank(g, dg, cluster, traits_of(g));
+  for (VertexId v = 1; v < 50; ++v) EXPECT_GT(out.ranks[0], out.ranks[v]);
+}
+
+TEST(PageRank, ReportHasPositiveTimeAndEnergy) {
+  PowerLawConfig config;
+  config.num_vertices = 2000;
+  config.alpha = 2.1;
+  const auto g = generate_powerlaw(config);
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_pagerank(g, dg, cluster, traits_of(g));
+  EXPECT_GT(out.report.makespan_seconds, 0.0);
+  EXPECT_GT(out.report.total_joules, 0.0);
+  EXPECT_GT(out.report.total_ops, static_cast<double>(g.num_edges()));
+  ASSERT_EQ(out.report.per_machine.size(), 2u);
+}
+
+TEST(PageRank, MismatchedClusterRejected) {
+  const auto g = testing::cycle_graph(10);
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, 2);
+  const auto solo = testing::solo_cluster("c4.xlarge");
+  EXPECT_THROW(run_pagerank(g, dg, solo, traits_of(g)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,116 @@
+#include "apps/sssp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "core/profiler.hpp"
+#include "gen/powerlaw.hpp"
+#include "graph/builder.hpp"
+#include "partition/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+WorkloadTraits traits_of(const EdgeList& g) {
+  return traits_from_stats(compute_stats(g), 1.0);
+}
+
+DistributedGraph partition_with(const EdgeList& g, PartitionerKind kind,
+                                MachineId machines) {
+  const auto p = make_partitioner(kind);
+  const auto a = p->partition(g, std::vector<double>(machines, 1.0), 53);
+  return build_distributed(g, a);
+}
+
+/// Single-node BFS reference over the undirected view.
+std::vector<std::uint32_t> bfs_reference(const EdgeList& g, VertexId source) {
+  const Csr adj = build_undirected_csr(g);
+  std::vector<std::uint32_t> dist(g.num_vertices(), kUnreachable);
+  std::queue<VertexId> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop();
+    for (const VertexId u : adj.neighbors(v)) {
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(Sssp, PathGraphDistances) {
+  const auto g = testing::path_graph(6);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_sssp(g, dg, cluster, traits_of(g), /*source=*/0);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(out.distance[v], v);
+  EXPECT_EQ(out.reached, 6u);
+  EXPECT_TRUE(out.report.converged);
+}
+
+TEST(Sssp, UnreachableComponentStaysInfinite) {
+  const auto g = testing::two_triangles();
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_sssp(g, dg, cluster, traits_of(g), /*source=*/0);
+  EXPECT_EQ(out.reached, 3u);
+  EXPECT_EQ(out.distance[4], kUnreachable);
+}
+
+TEST(Sssp, SourceBoundsChecked) {
+  const auto g = testing::path_graph(4);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  EXPECT_THROW(run_sssp(g, dg, cluster, traits_of(g), /*source=*/4), std::out_of_range);
+}
+
+class SsspPartitionInvariance : public ::testing::TestWithParam<PartitionerKind> {};
+
+TEST_P(SsspPartitionInvariance, MatchesBfsReference) {
+  PowerLawConfig config;
+  config.num_vertices = 3000;
+  config.alpha = 2.2;
+  config.seed = 71;
+  const auto g = generate_powerlaw(config);
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, GetParam(), cluster.size());
+  const auto out = run_sssp(g, dg, cluster, traits_of(g), /*source=*/1);
+  EXPECT_EQ(out.distance, bfs_reference(g, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, SsspPartitionInvariance,
+                         ::testing::Values(PartitionerKind::kRandomHash,
+                                           PartitionerKind::kOblivious,
+                                           PartitionerKind::kHybrid,
+                                           PartitionerKind::kGinger));
+
+TEST(Sssp, StarReachesEveryoneInOneHop) {
+  const auto g = testing::star_graph(100);
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_sssp(g, dg, cluster, traits_of(g), /*source=*/0);
+  EXPECT_EQ(out.reached, 100u);
+  for (VertexId v = 1; v < 100; ++v) EXPECT_EQ(out.distance[v], 1u);
+}
+
+TEST(Sssp, ParticipatesInProfilingFlow) {
+  // The Sec. III-B extension story: a new app profiles like any other.
+  PowerLawConfig config;
+  config.num_vertices = 3000;
+  config.alpha = 2.1;
+  const auto g = generate_powerlaw(config);
+  const double slow = profile_single_machine(machine_by_name("xeon_server_s"),
+                                             AppKind::kSssp, g, 1.0 / 256.0);
+  const double fast = profile_single_machine(machine_by_name("xeon_server_l"),
+                                             AppKind::kSssp, g, 1.0 / 256.0);
+  EXPECT_GT(slow, fast);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,121 @@
+#include "apps/triangle_count.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "gen/erdos_renyi.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+WorkloadTraits traits_of(const EdgeList& g) {
+  return traits_from_stats(compute_stats(g), 1.0);
+}
+
+DistributedGraph partition_with(const EdgeList& g, PartitionerKind kind,
+                                MachineId machines) {
+  const auto p = make_partitioner(kind);
+  const auto a = p->partition(g, std::vector<double>(machines, 1.0), 37);
+  return build_distributed(g, a);
+}
+
+TEST(CanonicalUndirected, DedupsAndOrients) {
+  EdgeList g(4);
+  g.add(1, 0);
+  g.add(0, 1);  // same undirected edge
+  g.add(2, 2);  // loop
+  g.add(3, 2);
+  const auto canon = canonical_undirected(g);
+  ASSERT_EQ(canon.num_edges(), 2u);
+  EXPECT_EQ(canon.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(canon.edge(1), (Edge{2, 3}));
+}
+
+TEST(TriangleCount, RejectsNonCanonicalInput) {
+  EdgeList g(3);
+  g.add(2, 0);  // src > dst
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  EXPECT_THROW(run_triangle_count(g, dg, cluster, traits_of(g)), std::invalid_argument);
+}
+
+TEST(TriangleCount, SingleTriangle) {
+  const auto g = canonical_undirected(testing::triangle_graph());
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_triangle_count(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.total_triangles, 1u);
+  EXPECT_EQ(out.per_vertex[0], 1u);
+  EXPECT_EQ(out.per_vertex[1], 1u);
+  EXPECT_EQ(out.per_vertex[2], 1u);
+}
+
+TEST(TriangleCount, CompleteGraphFormula) {
+  // K_n has C(n,3) triangles; each vertex sits in C(n-1,2).
+  const auto g = canonical_undirected(testing::complete_graph(7));
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_triangle_count(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.total_triangles, 35u);  // C(7,3)
+  for (VertexId v = 0; v < 7; ++v) EXPECT_EQ(out.per_vertex[v], 15u);  // C(6,2)
+}
+
+TEST(TriangleCount, StarHasNoTriangles) {
+  const auto g = canonical_undirected(testing::star_graph(20));
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_triangle_count(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.total_triangles, 0u);
+}
+
+class TcPartitionInvariance : public ::testing::TestWithParam<PartitionerKind> {};
+
+TEST_P(TcPartitionInvariance, MatchesReferenceExactly) {
+  PowerLawConfig config;
+  config.num_vertices = 2000;
+  config.alpha = 2.0;
+  config.seed = 41;
+  const auto raw = generate_powerlaw(config);
+  const auto g = canonical_undirected(raw);
+
+  const auto cluster = testing::case2_cluster();
+  const auto dg = partition_with(g, GetParam(), cluster.size());
+  const auto out = run_triangle_count(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.total_triangles, triangle_count_reference(raw));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, TcPartitionInvariance,
+                         ::testing::Values(PartitionerKind::kRandomHash,
+                                           PartitionerKind::kOblivious,
+                                           PartitionerKind::kHybrid,
+                                           PartitionerKind::kGinger));
+
+TEST(TriangleCount, PerVertexSumsToThreeTimesTotal) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 300;
+  config.num_edges = 3000;
+  const auto g = canonical_undirected(generate_erdos_renyi(config));
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_triangle_count(g, dg, cluster, traits_of(g));
+
+  std::uint64_t per_vertex_sum = 0;
+  for (const std::uint64_t t : out.per_vertex) per_vertex_sum += t;
+  EXPECT_EQ(per_vertex_sum, 3 * out.total_triangles);
+  EXPECT_GT(out.total_triangles, 0u);
+}
+
+TEST(TriangleCount, SingleSuperstep) {
+  const auto g = canonical_undirected(testing::complete_graph(5));
+  const auto cluster = testing::case1_cluster();
+  const auto dg = partition_with(g, PartitionerKind::kRandomHash, cluster.size());
+  const auto out = run_triangle_count(g, dg, cluster, traits_of(g));
+  EXPECT_EQ(out.report.supersteps, 1);
+  EXPECT_GT(out.report.total_ops, 0.0);
+}
+
+}  // namespace
+}  // namespace pglb

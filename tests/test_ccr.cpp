@@ -1,0 +1,74 @@
+#include "core/ccr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pglb {
+namespace {
+
+TEST(CcrFromTimes, EquationOneSemantics) {
+  // Paper example (Sec. III-B): machine A twice as fast as baseline B -> 2:1.
+  const std::vector<double> times = {10.0, 5.0};
+  const auto ccr = ccr_from_times(times);
+  EXPECT_DOUBLE_EQ(ccr[0], 1.0);  // slowest machine anchors at 1
+  EXPECT_DOUBLE_EQ(ccr[1], 2.0);
+}
+
+TEST(CcrFromTimes, SlowestAlwaysOne) {
+  const std::vector<double> times = {3.0, 12.0, 6.0};
+  const auto ccr = ccr_from_times(times);
+  EXPECT_DOUBLE_EQ(ccr[1], 1.0);
+  EXPECT_DOUBLE_EQ(ccr[0], 4.0);
+  EXPECT_DOUBLE_EQ(ccr[2], 2.0);
+}
+
+TEST(CcrFromTimes, HomogeneousClusterIsAllOnes) {
+  const std::vector<double> times = {7.0, 7.0, 7.0};
+  for (const double c : ccr_from_times(times)) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(CcrFromTimes, RejectsBadInputs) {
+  EXPECT_THROW(ccr_from_times({}), std::invalid_argument);
+  const std::vector<double> zero = {1.0, 0.0};
+  EXPECT_THROW(ccr_from_times(zero), std::invalid_argument);
+  const std::vector<double> negative = {1.0, -2.0};
+  EXPECT_THROW(ccr_from_times(negative), std::invalid_argument);
+}
+
+TEST(Speedups, RelativeToChosenBaseline) {
+  const std::vector<double> times = {10.0, 5.0, 2.0};
+  const auto s = speedups_vs_baseline(times, 0);
+  EXPECT_DOUBLE_EQ(s[0], 1.0);
+  EXPECT_DOUBLE_EQ(s[1], 2.0);
+  EXPECT_DOUBLE_EQ(s[2], 5.0);
+  EXPECT_THROW(speedups_vs_baseline(times, 3), std::invalid_argument);
+}
+
+TEST(MeanCcrError, MatchesPaperDefinition) {
+  // Reference CCR 2.0, estimate 2.16 -> 8% error on the non-baseline entry.
+  const std::vector<double> reference = {1.0, 2.0};
+  const std::vector<double> estimate = {1.0, 2.16};
+  EXPECT_NEAR(mean_ccr_error(estimate, reference), 0.08, 1e-12);
+}
+
+TEST(MeanCcrError, SkipsSharedBaselineEntries) {
+  const std::vector<double> reference = {1.0, 4.0, 2.0};
+  const std::vector<double> estimate = {1.0, 2.0, 2.0};
+  // Only entries 1 and 2 count: errors 0.5 and 0.0 -> mean 0.25.
+  EXPECT_NEAR(mean_ccr_error(estimate, reference), 0.25, 1e-12);
+}
+
+TEST(MeanCcrError, AllBaselineGivesZero) {
+  const std::vector<double> ones = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(mean_ccr_error(ones, ones), 0.0);
+}
+
+TEST(MeanCcrError, RejectsSizeMismatch) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(mean_ccr_error(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pglb

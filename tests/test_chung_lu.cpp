@@ -1,0 +1,94 @@
+#include "gen/chung_lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "util/histogram.hpp"
+
+namespace pglb {
+namespace {
+
+ChungLuConfig base_config() {
+  ChungLuConfig config;
+  config.num_vertices = 20'000;
+  config.target_edges = 100'000;
+  config.alpha = 2.1;
+  config.seed = 3;
+  return config;
+}
+
+TEST(ChungLu, HitsTargetEdgeCountExactly) {
+  const auto g = generate_chung_lu(base_config());
+  EXPECT_EQ(g.num_edges(), 100'000u);
+  EXPECT_EQ(g.num_vertices(), 20'000u);
+}
+
+TEST(ChungLu, NoSelfLoops) {
+  const auto g = generate_chung_lu(base_config());
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ChungLu, DeterministicPerSeed) {
+  const auto a = generate_chung_lu(base_config());
+  const auto b = generate_chung_lu(base_config());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+
+  auto config = base_config();
+  config.seed = 4;
+  const auto c = generate_chung_lu(config);
+  bool any_diff = false;
+  for (EdgeId i = 0; i < a.num_edges() && !any_diff; ++i) any_diff = a.edge(i) != c.edge(i);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(ChungLu, ProducesSkewedDegrees) {
+  const auto stats = compute_stats(generate_chung_lu(base_config()));
+  EXPECT_GT(stats.degree_skew, 20.0);  // hubs exist
+}
+
+TEST(ChungLu, TailExponentRoughlyMatchesAlpha) {
+  auto config = base_config();
+  config.num_vertices = 60'000;
+  config.target_edges = 400'000;
+  config.locality = 0.0;  // isolate the Chung-Lu tail from rewiring
+  const auto g = generate_chung_lu(config);
+  const double fitted = fit_powerlaw_exponent(log_bin(out_degree_histogram(g)));
+  EXPECT_GT(fitted, 1.4);
+  EXPECT_LT(fitted, 3.0);
+}
+
+TEST(ChungLu, LocalityCreatesNearbyEdges) {
+  auto config = base_config();
+  config.locality = 1.0;  // every edge rewired locally
+  config.locality_window = 0.001;
+  const auto g = generate_chung_lu(config);
+  const auto window = static_cast<std::uint64_t>(
+      std::max(2.0, 0.001 * static_cast<double>(config.num_vertices)));
+  for (const Edge& e : g.edges()) {
+    const std::uint64_t forward_gap =
+        (static_cast<std::uint64_t>(e.dst) + config.num_vertices - e.src) %
+        config.num_vertices;
+    EXPECT_LE(forward_gap, window);
+    EXPECT_GE(forward_gap, 1u);
+  }
+}
+
+TEST(ChungLu, RejectsInvalidAlpha) {
+  auto config = base_config();
+  config.alpha = 1.0;
+  EXPECT_THROW(generate_chung_lu(config), std::invalid_argument);
+}
+
+TEST(ChungLu, TinyInputsYieldEmptyGraph) {
+  ChungLuConfig config;
+  config.num_vertices = 1;
+  config.target_edges = 10;
+  EXPECT_EQ(generate_chung_lu(config).num_edges(), 0u);
+  config.num_vertices = 100;
+  config.target_edges = 0;
+  EXPECT_EQ(generate_chung_lu(config).num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,69 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pglb {
+namespace {
+
+Cli make_cli(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  const auto cli = make_cli({"prog", "--scale=0.5", "--name=foo"});
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(cli.get_string("name", ""), "foo");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const auto cli = make_cli({"prog", "--iters", "12"});
+  EXPECT_EQ(cli.get_int("iters", 0), 12);
+}
+
+TEST(Cli, BareFlagIsTrue) {
+  const auto cli = make_cli({"prog", "--verbose"});
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const auto cli = make_cli({"prog"});
+  EXPECT_EQ(cli.get_int("iters", 7), 7);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 0.25), 0.25);
+  EXPECT_EQ(cli.get_string("name", "dflt"), "dflt");
+  EXPECT_FALSE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.has("iters"));
+}
+
+TEST(Cli, CollectsPositionals) {
+  const auto cli = make_cli({"prog", "one", "--k=v", "two"});
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "one");
+  EXPECT_EQ(cli.positional()[1], "two");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  const auto cli = make_cli({"prog", "--iters=abc", "--scale=1.2.3", "--flag=maybe"});
+  EXPECT_THROW(cli.get_int("iters", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_double("scale", 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Cli, TracksUnusedKeys) {
+  const auto cli = make_cli({"prog", "--used=1", "--typo=2"});
+  (void)cli.get_int("used", 0);
+  const auto unused = cli.unused_keys();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Cli, BooleanSpellings) {
+  const auto cli = make_cli({"prog", "--a=yes", "--b=0", "--c=false"});
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_FALSE(cli.get_bool("c", true));
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,59 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(Cluster, RejectsEmptyAndBrokenMachines) {
+  EXPECT_THROW(Cluster(std::vector<MachineSpec>{}), std::invalid_argument);
+  MachineSpec broken = machine_by_name("c4.xlarge");
+  broken.compute_threads = 0;
+  EXPECT_THROW(Cluster({broken}), std::invalid_argument);
+}
+
+TEST(Cluster, TotalComputeThreads) {
+  const auto cluster = testing::case2_cluster();  // 2 + 10
+  EXPECT_EQ(cluster.total_compute_threads(), 12);
+}
+
+TEST(Cluster, SquareDetection) {
+  const auto& m = machine_by_name("c4.xlarge");
+  EXPECT_TRUE(Cluster({m}).is_square());
+  EXPECT_FALSE(Cluster({m, m}).is_square());
+  EXPECT_FALSE(Cluster({m, m, m}).is_square());
+  EXPECT_TRUE(Cluster({m, m, m, m}).is_square());
+}
+
+TEST(Cluster, LabelJoinsNames) {
+  EXPECT_EQ(testing::case1_cluster().label(), "m4.2xlarge+c4.2xlarge");
+}
+
+TEST(Cluster, FromNamesLooksUpCatalog) {
+  const std::vector<std::string> names = {"c4.xlarge", "c4.8xlarge"};
+  const auto cluster = cluster_from_names(names);
+  ASSERT_EQ(cluster.size(), 2u);
+  EXPECT_EQ(cluster.machine(1).name, "c4.8xlarge");
+  const std::vector<std::string> bad = {"h100.monster"};
+  EXPECT_THROW(cluster_from_names(bad), std::out_of_range);
+}
+
+TEST(NetworkModel, ExchangeTimeHasBandwidthAndLatencyTerms) {
+  NetworkModel net;
+  net.bandwidth_bytes_per_s = 1e9;
+  net.superstep_latency_s = 1e-3;
+  EXPECT_DOUBLE_EQ(net.exchange_seconds(0.0), 0.0);  // no mirrors, no exchange
+  EXPECT_DOUBLE_EQ(net.exchange_seconds(1e9), 1.0 + 1e-3);
+  EXPECT_GT(net.exchange_seconds(2e9), net.exchange_seconds(1e9));
+}
+
+TEST(Cluster, MachineAccessorBoundsChecked) {
+  const auto cluster = testing::case1_cluster();
+  EXPECT_NO_THROW(cluster.machine(1));
+  EXPECT_THROW(cluster.machine(2), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,94 @@
+#include "core/comm_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/corpus.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+struct Harness {
+  Cluster cluster = testing::case2_cluster();
+  EdgeList graph = make_corpus_graph(corpus_entry("wiki"), kScale);
+  GraphStats stats;
+  WorkloadTraits traits;
+  ExactHistogram hist;
+  std::vector<double> capabilities = {1.0, 3.2};
+
+  Harness() {
+    stats = compute_stats(graph);
+    traits = traits_from_stats(stats, kScale);
+    hist = total_degree_histogram(graph);
+  }
+};
+
+TEST(CommAware, SharesAreNormalizedAndOrdered) {
+  Harness h;
+  const auto result =
+      comm_aware_shares(h.cluster, profile_for(AppKind::kConnectedComponents), h.traits,
+                        h.hist, h.graph.num_edges(), h.capabilities);
+  ASSERT_EQ(result.shares.size(), 2u);
+  EXPECT_NEAR(std::accumulate(result.shares.begin(), result.shares.end(), 0.0), 1.0, 1e-9);
+  EXPECT_GT(result.shares[1], result.shares[0]);  // fast machine keeps the lead
+}
+
+TEST(CommAware, NeverWorseThanPlainCcrUnderItsOwnPredictor) {
+  Harness h;
+  for (const AppKind app : {AppKind::kPageRank, AppKind::kConnectedComponents,
+                            AppKind::kTriangleCount}) {
+    const auto result = comm_aware_shares(h.cluster, profile_for(app), h.traits, h.hist,
+                                          h.graph.num_edges(), h.capabilities);
+    EXPECT_LE(result.predicted_seconds, result.plain_ccr_predicted_seconds + 1e-12)
+        << to_string(app);
+  }
+}
+
+TEST(CommAware, CommHeavyAppSkewsBeyondCcr) {
+  // Triangle Count ships the largest mirror messages; the optimiser should
+  // concentrate more than capability-proportional to cut replication.
+  Harness h;
+  const auto result = comm_aware_shares(h.cluster, profile_for(AppKind::kTriangleCount),
+                                        h.traits, h.hist, h.graph.num_edges(),
+                                        h.capabilities);
+  EXPECT_GE(result.theta, 1.0);
+}
+
+TEST(CommAware, PredictorMatchesHandComputation) {
+  Harness h;
+  const AppProfile& app = profile_for(AppKind::kPageRank);
+  const std::vector<double> shares = {0.25, 0.75};
+  const double predicted = predict_superstep_seconds(h.cluster, app, h.traits, h.hist,
+                                                     h.graph.num_edges(), shares);
+  // Manual: straggler compute + shared exchange.
+  double worst = 0.0;
+  for (MachineId m = 0; m < 2; ++m) {
+    const double ops = shares[m] * static_cast<double>(h.graph.num_edges()) *
+                       h.traits.work_scale;
+    worst = std::max(worst, ops / throughput_ops(h.cluster.machine(m), app, h.traits));
+  }
+  const auto mirrors = expected_mirrors_per_machine(h.hist, shares);
+  const double bytes =
+      2.0 * app.bytes_per_mirror * (mirrors[0] + mirrors[1]) * h.traits.work_scale;
+  EXPECT_NEAR(predicted, worst + h.cluster.network().exchange_seconds(bytes), 1e-12);
+}
+
+TEST(CommAware, RejectsMalformedInputs) {
+  Harness h;
+  const std::vector<double> wrong_size = {1.0};
+  EXPECT_THROW(comm_aware_shares(h.cluster, profile_for(AppKind::kPageRank), h.traits,
+                                 h.hist, h.graph.num_edges(), wrong_size),
+               std::invalid_argument);
+  CommAwareOptions bad;
+  bad.grid_points = 1;
+  EXPECT_THROW(comm_aware_shares(h.cluster, profile_for(AppKind::kPageRank), h.traits,
+                                 h.hist, h.graph.num_edges(), h.capabilities, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pglb

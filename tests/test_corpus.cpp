@@ -1,0 +1,82 @@
+#include "gen/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/alpha_solver.hpp"
+#include "graph/stats.hpp"
+#include "util/math.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(Corpus, TableTwoRowsArePresent) {
+  EXPECT_EQ(natural_graph_entries().size(), 4u);
+  EXPECT_EQ(synthetic_graph_entries().size(), 3u);
+  EXPECT_EQ(corpus_entry("amazon").paper_edges, 3'387'388u);
+  EXPECT_EQ(corpus_entry("social_network").paper_vertices, 4'847'571u);
+  EXPECT_DOUBLE_EQ(corpus_entry("synthetic_two").paper_alpha, 2.1);
+  EXPECT_THROW(corpus_entry("orkut"), std::out_of_range);
+}
+
+TEST(Corpus, ScaledNaturalGraphMatchesTargets) {
+  const double scale = 1.0 / 64.0;
+  const auto& entry = corpus_entry("amazon");
+  const auto g = make_corpus_graph(entry, scale);
+  EXPECT_NEAR(static_cast<double>(g.num_vertices()),
+              static_cast<double>(entry.paper_vertices) * scale, 2.0);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()),
+              static_cast<double>(entry.paper_edges) * scale, 2.0);
+}
+
+TEST(Corpus, MeanDegreePreservedAcrossScales) {
+  const auto& entry = corpus_entry("wiki");
+  const double paper_mean = static_cast<double>(entry.paper_edges) /
+                            static_cast<double>(entry.paper_vertices);
+  for (const double scale : {1.0 / 128.0, 1.0 / 32.0}) {
+    const auto stats = compute_stats(make_corpus_graph(entry, scale));
+    EXPECT_LT(relative_error(stats.mean_out_degree, paper_mean), 0.05)
+        << "scale=" << scale;
+  }
+}
+
+TEST(Corpus, SyntheticProxiesUseTableAlpha) {
+  const auto& entry = corpus_entry("synthetic_three");
+  const auto g = make_corpus_graph(entry, 1.0 / 64.0);
+  // Mean degree should match the truncated power-law moment for alpha = 2.3
+  // at the scaled support.
+  const double expected_mean =
+      powerlaw_mean_degree(2.3, g.num_vertices() - 1);
+  const auto stats = compute_stats(g);
+  EXPECT_LT(relative_error(stats.mean_out_degree, expected_mean), 0.15);
+}
+
+TEST(Corpus, SyntheticDensityOrderingMatchesTableTwo) {
+  // synthetic_one (alpha 1.95) is the densest, three (2.3) the sparsest.
+  const double scale = 1.0 / 64.0;
+  const auto one = make_corpus_graph(corpus_entry("synthetic_one"), scale);
+  const auto two = make_corpus_graph(corpus_entry("synthetic_two"), scale);
+  const auto three = make_corpus_graph(corpus_entry("synthetic_three"), scale);
+  EXPECT_GT(one.num_edges(), two.num_edges());
+  EXPECT_GT(two.num_edges(), three.num_edges());
+}
+
+TEST(Corpus, DeterministicPerSeed) {
+  const auto& entry = corpus_entry("citation");
+  const auto a = make_corpus_graph(entry, 1.0 / 128.0, 5);
+  const auto b = make_corpus_graph(entry, 1.0 / 128.0, 5);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId i = 0; i < a.num_edges(); i += 97) EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+TEST(Corpus, RejectsBadScale) {
+  EXPECT_THROW(make_corpus_graph(corpus_entry("amazon"), 0.0), std::invalid_argument);
+  EXPECT_THROW(make_corpus_graph(corpus_entry("amazon"), 1.5), std::invalid_argument);
+}
+
+TEST(Corpus, VertexFloorKicksInAtExtremeScales) {
+  const auto g = make_corpus_graph(corpus_entry("amazon"), 1e-4);
+  EXPECT_GE(g.num_vertices(), 1000u);
+}
+
+}  // namespace
+}  // namespace pglb

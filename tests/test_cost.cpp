@@ -1,0 +1,107 @@
+#include "cost/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cost/pareto.hpp"
+#include "machine/catalog.hpp"
+
+namespace pglb {
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+TEST(CostModel, OnePointPerMachinePerApp) {
+  ProxySuite suite(kScale);
+  const AppKind apps[] = {AppKind::kPageRank, AppKind::kColoring};
+  const auto points = cost_efficiency(c4_family(), apps, suite, "c4.xlarge");
+  EXPECT_EQ(points.size(), 8u);
+  for (const CostPoint& p : points) {
+    EXPECT_GT(p.runtime_seconds, 0.0);
+    EXPECT_GT(p.speedup, 0.0);
+    EXPECT_GE(p.cost_per_task, 0.0);
+    EXPECT_LE(p.relative_cost, 1.0);
+  }
+}
+
+TEST(CostModel, BaselineHasUnitSpeedup) {
+  ProxySuite suite(kScale);
+  const AppKind apps[] = {AppKind::kPageRank};
+  const auto points = cost_efficiency(c4_family(), apps, suite, "c4.xlarge");
+  for (const CostPoint& p : points) {
+    if (p.machine == "c4.xlarge") {
+      EXPECT_DOUBLE_EQ(p.speedup, 1.0);
+    }
+    if (p.machine == "c4.8xlarge") {
+      EXPECT_GT(p.speedup, 1.0);
+    }
+  }
+}
+
+TEST(CostModel, EightXlargeIsTheExpensiveOne) {
+  // Fig. 11's observation: 8xlarge costs most per task for graph workloads.
+  ProxySuite suite(kScale);
+  const AppKind apps[] = {AppKind::kPageRank};
+  const auto points = cost_efficiency(c4_family(), apps, suite, "c4.xlarge");
+  const CostPoint* big = nullptr;
+  for (const CostPoint& p : points) {
+    if (p.machine == "c4.8xlarge") big = &p;
+  }
+  ASSERT_NE(big, nullptr);
+  for (const CostPoint& p : points) {
+    EXPECT_LE(p.cost_per_task, big->cost_per_task * (1 + 1e-9)) << p.machine;
+  }
+  EXPECT_DOUBLE_EQ(big->relative_cost, 1.0);
+}
+
+TEST(CostModel, UnknownBaselineRejected) {
+  ProxySuite suite(kScale);
+  const AppKind apps[] = {AppKind::kPageRank};
+  EXPECT_THROW(cost_efficiency(c4_family(), apps, suite, "x1.32xlarge"),
+               std::invalid_argument);
+  EXPECT_THROW(cost_efficiency({}, apps, suite, "c4.xlarge"), std::invalid_argument);
+}
+
+TEST(ClusterCost, SumsRatesOverMakespan) {
+  const Cluster cluster({machine_by_name("c4.xlarge"), machine_by_name("c4.2xlarge")});
+  // (0.209 + 0.419) $/h for one hour.
+  EXPECT_NEAR(cluster_cost_per_task(cluster, 3600.0), 0.628, 1e-12);
+  EXPECT_DOUBLE_EQ(cluster_cost_per_task(cluster, 0.0), 0.0);
+  EXPECT_THROW(cluster_cost_per_task(cluster, -1.0), std::invalid_argument);
+}
+
+TEST(ClusterCost, LocalMachinesAreFree) {
+  const Cluster cluster({machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l")});
+  EXPECT_DOUBLE_EQ(cluster_cost_per_task(cluster, 7200.0), 0.0);
+}
+
+TEST(Pareto, DominanceSemantics) {
+  CostPoint cheap_slow{.machine = "a", .speedup = 1.0, .cost_per_task = 0.1};
+  CostPoint pricey_fast{.machine = "b", .speedup = 4.0, .cost_per_task = 0.5};
+  CostPoint dominated{.machine = "c", .speedup = 0.9, .cost_per_task = 0.2};
+  EXPECT_TRUE(dominates(cheap_slow, dominated));
+  EXPECT_FALSE(dominates(cheap_slow, pricey_fast));
+  EXPECT_FALSE(dominates(pricey_fast, cheap_slow));
+  EXPECT_FALSE(dominates(cheap_slow, cheap_slow));  // no strict improvement
+
+  const std::vector<CostPoint> points = {cheap_slow, pricey_fast, dominated};
+  const auto frontier = pareto_frontier(points);
+  EXPECT_EQ(frontier, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(Pareto, AllEqualPointsSurvive) {
+  CostPoint p{.machine = "a", .speedup = 1.0, .cost_per_task = 1.0};
+  const std::vector<CostPoint> points = {p, p, p};
+  EXPECT_EQ(pareto_frontier(points).size(), 3u);
+}
+
+TEST(Pareto, RealCostPointsYieldNonTrivialFrontier) {
+  ProxySuite suite(kScale);
+  const AppKind apps[] = {AppKind::kPageRank};
+  const auto points = cost_efficiency(c4_family(), apps, suite, "c4.xlarge");
+  const auto frontier = pareto_frontier(points);
+  EXPECT_GE(frontier.size(), 1u);
+  EXPECT_LE(frontier.size(), points.size());
+}
+
+}  // namespace
+}  // namespace pglb

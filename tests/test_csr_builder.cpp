@@ -1,0 +1,123 @@
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/erdos_renyi.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(Csr, ValidatesOffsets) {
+  EXPECT_THROW(Csr({}, {}), std::invalid_argument);                 // empty offsets
+  EXPECT_THROW(Csr({1, 2}, {0}), std::invalid_argument);            // offsets[0] != 0
+  EXPECT_THROW(Csr({0, 2, 1}, {0, 0}), std::invalid_argument);      // decreasing
+  EXPECT_THROW(Csr({0, 1}, {0, 0}), std::invalid_argument);         // back != size
+  EXPECT_NO_THROW(Csr({0}, {}));                                    // zero vertices
+}
+
+TEST(BuildOutCsr, PathGraph) {
+  const auto csr = build_out_csr(testing::path_graph(4));
+  EXPECT_EQ(csr.num_vertices(), 4u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.degree(3), 0u);
+  EXPECT_EQ(csr.neighbors(1)[0], 2u);
+}
+
+TEST(BuildInCsr, PathGraph) {
+  const auto csr = build_in_csr(testing::path_graph(4));
+  EXPECT_EQ(csr.degree(0), 0u);
+  EXPECT_EQ(csr.degree(1), 1u);
+  EXPECT_EQ(csr.neighbors(3)[0], 2u);
+}
+
+TEST(BuildUndirectedCsr, SymmetricAndSorted) {
+  EdgeList g(4);
+  g.add(0, 2);
+  g.add(3, 0);
+  const auto csr = build_undirected_csr(g);
+  EXPECT_TRUE(csr.adjacency_sorted());
+  ASSERT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.neighbors(0)[0], 2u);
+  EXPECT_EQ(csr.neighbors(0)[1], 3u);
+  EXPECT_EQ(csr.neighbors(2)[0], 0u);
+  EXPECT_EQ(csr.neighbors(3)[0], 0u);
+}
+
+TEST(BuildUndirectedCsr, DropsSelfLoopsAndDuplicates) {
+  EdgeList g(3);
+  g.add(0, 0);  // loop
+  g.add(0, 1);
+  g.add(1, 0);  // same undirected edge
+  g.add(0, 1);  // duplicate
+  const auto csr = build_undirected_csr(g);
+  EXPECT_EQ(csr.degree(0), 1u);
+  EXPECT_EQ(csr.degree(1), 1u);
+  EXPECT_EQ(csr.num_edges(), 2u);  // one edge, both directions stored
+}
+
+TEST(Csr, MaxDegree) {
+  const auto star = build_out_csr(testing::star_graph(7));
+  EXPECT_EQ(star.max_degree(), 6u);
+  EXPECT_EQ(Csr({0}, {}).max_degree(), 0u);
+}
+
+TEST(Csr, SortAdjacencyIdempotent) {
+  EdgeList g(3);
+  g.add(0, 2);
+  g.add(0, 1);
+  auto csr = build_out_csr(g);
+  EXPECT_FALSE(csr.adjacency_sorted());
+  csr.sort_adjacency();
+  EXPECT_TRUE(csr.adjacency_sorted());
+  EXPECT_EQ(csr.neighbors(0)[0], 1u);
+  csr.sort_adjacency();  // no-op
+  EXPECT_EQ(csr.neighbors(0)[1], 2u);
+}
+
+class CsrRandomGraph : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CsrRandomGraph, DegreeSumsMatchEdgeCount) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 200;
+  config.num_edges = 1000;
+  config.seed = GetParam();
+  const auto g = generate_erdos_renyi(config);
+
+  const auto out = build_out_csr(g);
+  const auto in = build_in_csr(g);
+  EXPECT_EQ(out.num_edges(), g.num_edges());
+  EXPECT_EQ(in.num_edges(), g.num_edges());
+
+  EdgeId out_sum = 0, in_sum = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    out_sum += out.degree(v);
+    in_sum += in.degree(v);
+  }
+  EXPECT_EQ(out_sum, g.num_edges());
+  EXPECT_EQ(in_sum, g.num_edges());
+}
+
+TEST_P(CsrRandomGraph, UndirectedAdjacencyIsSymmetric) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 100;
+  config.num_edges = 400;
+  config.seed = GetParam();
+  const auto g = generate_erdos_renyi(config);
+  const auto csr = build_undirected_csr(g);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (const VertexId u : csr.neighbors(v)) {
+      const auto nu = csr.neighbors(u);
+      EXPECT_TRUE(std::binary_search(nu.begin(), nu.end(), v))
+          << "missing reverse edge " << u << "->" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsrRandomGraph, ::testing::Values(1, 2, 3, 17, 99));
+
+}  // namespace
+}  // namespace pglb

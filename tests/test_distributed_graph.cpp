@@ -1,0 +1,109 @@
+#include "engine/distributed_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw.hpp"
+#include "partition/random_hash.hpp"
+#include "partition/weights.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(DistributedGraph, HandExample) {
+  // v1 has 2 edges on m0 and 1 on m1 -> master m0, mirror on m1.
+  EdgeList g(3);
+  g.add(0, 1);  // m0
+  g.add(1, 0);  // m0
+  g.add(1, 2);  // m1
+  PartitionAssignment a;
+  a.num_machines = 2;
+  a.edge_to_machine = {0, 0, 1};
+
+  const auto dg = build_distributed(g, a);
+  EXPECT_EQ(dg.num_vertices(), 3u);
+  EXPECT_EQ(dg.num_edges(), 3u);
+  EXPECT_EQ(dg.local_edges(0).size(), 2u);
+  EXPECT_EQ(dg.local_edges(1).size(), 1u);
+
+  EXPECT_EQ(dg.master(0), 0u);
+  EXPECT_EQ(dg.master(1), 0u);
+  EXPECT_EQ(dg.master(2), 1u);
+  EXPECT_EQ(dg.replica_mask(1), 0b11u);
+  EXPECT_EQ(dg.mirrors_on(1), 1u);   // v1's mirror
+  EXPECT_EQ(dg.mirrors_on(0), 0u);
+  EXPECT_EQ(dg.masters_on(0), 2u);
+  EXPECT_EQ(dg.masters_on(1), 1u);
+  EXPECT_EQ(dg.total_mirrors(), 1u);
+  EXPECT_NEAR(dg.replication_factor(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(DistributedGraph, IsolatedVertexHasNoMaster) {
+  EdgeList g(3);
+  g.add(0, 1);
+  PartitionAssignment a;
+  a.num_machines = 1;
+  a.edge_to_machine = {0};
+  const auto dg = build_distributed(g, a);
+  EXPECT_EQ(dg.master(2), kInvalidMachine);
+  EXPECT_EQ(dg.replica_mask(2), 0u);
+}
+
+TEST(DistributedGraph, EdgesArePreservedPerMachine) {
+  PowerLawConfig config;
+  config.num_vertices = 5000;
+  config.alpha = 2.1;
+  const auto g = generate_powerlaw(config);
+  const auto a = RandomHashPartitioner{}.partition(g, uniform_weights(4), 3);
+  const auto dg = build_distributed(g, a);
+
+  EdgeId total = 0;
+  for (MachineId m = 0; m < 4; ++m) total += dg.local_edges(m).size();
+  EXPECT_EQ(total, g.num_edges());
+}
+
+TEST(DistributedGraph, MastersPartitionTheNonIsolatedVertices) {
+  PowerLawConfig config;
+  config.num_vertices = 5000;
+  config.alpha = 2.1;
+  const auto g = generate_powerlaw(config);
+  const auto a = RandomHashPartitioner{}.partition(g, uniform_weights(4), 3);
+  const auto dg = build_distributed(g, a);
+
+  VertexId masters = 0;
+  for (MachineId m = 0; m < 4; ++m) masters += dg.masters_on(m);
+  VertexId present = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (dg.replica_mask(v) != 0) {
+      ++present;
+      // Master must be one of the replicas.
+      EXPECT_NE(dg.replica_mask(v) & (std::uint64_t{1} << dg.master(v)), 0u);
+    }
+  }
+  EXPECT_EQ(masters, present);
+}
+
+TEST(DistributedGraph, ReplicationFactorAtLeastOne) {
+  PowerLawConfig config;
+  config.num_vertices = 2000;
+  config.alpha = 2.2;
+  const auto g = generate_powerlaw(config);
+  const auto a = RandomHashPartitioner{}.partition(g, uniform_weights(8), 3);
+  const auto dg = build_distributed(g, a);
+  EXPECT_GE(dg.replication_factor(), 1.0);
+  EXPECT_LE(dg.replication_factor(), 8.0);
+}
+
+TEST(DistributedGraph, RejectsMalformedInputs) {
+  EdgeList g(2);
+  g.add(0, 1);
+  PartitionAssignment a;
+  a.num_machines = 0;
+  a.edge_to_machine = {0};
+  EXPECT_THROW(build_distributed(g, a), std::invalid_argument);
+  a.num_machines = 1;
+  a.edge_to_machine = {};
+  EXPECT_THROW(build_distributed(g, a), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pglb

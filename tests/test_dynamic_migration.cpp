@@ -1,0 +1,114 @@
+#include "baselines/dynamic_migration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "gen/corpus.hpp"
+#include "partition/random_hash.hpp"
+#include "partition/weights.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+struct Harness {
+  Cluster cluster = testing::case2_cluster();
+  EdgeList graph = make_corpus_graph(corpus_entry("citation"), kScale);
+  WorkloadTraits traits;
+  PartitionAssignment uniform_assignment;
+
+  Harness() {
+    traits = traits_from_stats(compute_stats(graph), kScale);
+    uniform_assignment =
+        RandomHashPartitioner{}.partition(graph, uniform_weights(cluster.size()), 3);
+  }
+};
+
+TEST(DynamicMigration, ZeroAggressivenessMatchesStaticRun) {
+  Harness s;
+  DynamicMigrationOptions options;
+  options.migration_aggressiveness = 0.0;
+  const auto result =
+      run_pagerank_with_migration(s.graph, s.uniform_assignment, s.cluster, s.traits, options);
+  EXPECT_EQ(result.edges_migrated, 0u);
+  EXPECT_DOUBLE_EQ(result.migration_seconds, 0.0);
+
+  const auto dg = build_distributed(s.graph, s.uniform_assignment);
+  const auto static_run = run_pagerank(s.graph, dg, s.cluster, s.traits);
+  EXPECT_NEAR(result.report.makespan_seconds, static_run.report.makespan_seconds,
+              static_run.report.makespan_seconds * 1e-9);
+}
+
+TEST(DynamicMigration, RanksStayCorrectUnderMigration) {
+  Harness s;
+  const auto result =
+      run_pagerank_with_migration(s.graph, s.uniform_assignment, s.cluster, s.traits);
+  PageRankOptions pr;
+  const auto expected = pagerank_reference(s.graph, pr.damping, pr.max_iterations);
+  ASSERT_EQ(result.ranks.size(), expected.size());
+  for (VertexId v = 0; v < s.graph.num_vertices(); v += 13) {
+    EXPECT_NEAR(result.ranks[v], expected[v], 1e-9);
+  }
+}
+
+TEST(DynamicMigration, ImprovesOnBadInitialPartitionDespiteCost) {
+  Harness s;
+  DynamicMigrationOptions options;
+  options.pagerank.max_iterations = 20;  // give the controller time to settle
+  const auto dynamic =
+      run_pagerank_with_migration(s.graph, s.uniform_assignment, s.cluster, s.traits, options);
+
+  DynamicMigrationOptions frozen = options;
+  frozen.migration_aggressiveness = 0.0;
+  const auto static_uniform =
+      run_pagerank_with_migration(s.graph, s.uniform_assignment, s.cluster, s.traits, frozen);
+
+  EXPECT_GT(dynamic.edges_migrated, 0u);
+  EXPECT_LT(dynamic.report.makespan_seconds, static_uniform.report.makespan_seconds);
+}
+
+TEST(DynamicMigration, ConvergesTowardCapabilityShares) {
+  Harness s;
+  DynamicMigrationOptions options;
+  options.pagerank.max_iterations = 25;
+  const auto result =
+      run_pagerank_with_migration(s.graph, s.uniform_assignment, s.cluster, s.traits, options);
+  // Fast machine ends up with clearly more than half the edges.
+  ASSERT_EQ(result.final_shares.size(), 2u);
+  EXPECT_GT(result.final_shares[1], 0.65);
+  EXPECT_NEAR(result.final_shares[0] + result.final_shares[1], 1.0, 1e-9);
+}
+
+TEST(DynamicMigration, GoodInitialPartitionMakesMigrationNearlyIdle) {
+  // The paper's thesis: with CCR-proportional ingress there is little left
+  // for the reactive controller to fix.
+  Harness s;
+  const std::vector<double> ccr_weights = {1.0, 3.2};
+  const auto ccr_assignment =
+      RandomHashPartitioner{}.partition(s.graph, ccr_weights, 3);
+  const auto from_good =
+      run_pagerank_with_migration(s.graph, ccr_assignment, s.cluster, s.traits);
+  const auto from_bad =
+      run_pagerank_with_migration(s.graph, s.uniform_assignment, s.cluster, s.traits);
+  EXPECT_LT(from_good.edges_migrated, from_bad.edges_migrated / 2);
+  EXPECT_LE(from_good.report.makespan_seconds, from_bad.report.makespan_seconds);
+}
+
+TEST(DynamicMigration, RejectsBadOptions) {
+  Harness s;
+  DynamicMigrationOptions options;
+  options.migration_aggressiveness = 1.5;
+  EXPECT_THROW(
+      run_pagerank_with_migration(s.graph, s.uniform_assignment, s.cluster, s.traits, options),
+      std::invalid_argument);
+
+  PartitionAssignment wrong = s.uniform_assignment;
+  wrong.num_machines = 5;
+  EXPECT_THROW(run_pagerank_with_migration(s.graph, wrong, s.cluster, s.traits),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pglb

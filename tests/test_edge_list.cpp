@@ -1,0 +1,90 @@
+#include "graph/edge_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(EdgeList, StartsEmpty) {
+  EdgeList g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(EdgeList, AddStoresEdges) {
+  EdgeList g(3);
+  g.add(0, 1);
+  g.add(2, 0);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{2, 0}));
+}
+
+TEST(EdgeList, AddRejectsOutOfRangeEndpoints) {
+  EdgeList g(3);
+  EXPECT_THROW(g.add(3, 0), std::out_of_range);
+  EXPECT_THROW(g.add(0, 3), std::out_of_range);
+}
+
+TEST(EdgeList, BulkConstructorValidates) {
+  std::vector<Edge> edges = {{0, 1}, {1, 5}};
+  EXPECT_THROW(EdgeList(3, edges), std::out_of_range);
+  edges[1] = {1, 2};
+  const EdgeList g(3, edges);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeList, EnsureVerticesOnlyGrows) {
+  EdgeList g(3);
+  g.ensure_vertices(10);
+  EXPECT_EQ(g.num_vertices(), 10u);
+  g.ensure_vertices(4);
+  EXPECT_EQ(g.num_vertices(), 10u);
+}
+
+TEST(EdgeList, DedupRemovesDuplicatesAndLoops) {
+  EdgeList g(4);
+  g.add(0, 1);
+  g.add(0, 1);
+  g.add(1, 1);  // self-loop
+  g.add(2, 3);
+  g.add(0, 1);
+  const std::size_t removed = g.dedup_and_strip_self_loops();
+  EXPECT_EQ(removed, 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeList, DedupKeepsDistinctDirections) {
+  EdgeList g(2);
+  g.add(0, 1);
+  g.add(1, 0);
+  EXPECT_EQ(g.dedup_and_strip_self_loops(), 0u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(EdgeList, DegreeVectors) {
+  // 0 -> 1, 0 -> 2, 1 -> 2
+  EdgeList g(3);
+  g.add(0, 1);
+  g.add(0, 2);
+  g.add(1, 2);
+  const auto out = g.out_degrees();
+  const auto in = g.in_degrees();
+  const auto total = g.total_degrees();
+  EXPECT_EQ(out, (std::vector<EdgeId>{2, 1, 0}));
+  EXPECT_EQ(in, (std::vector<EdgeId>{0, 1, 2}));
+  EXPECT_EQ(total, (std::vector<EdgeId>{2, 2, 2}));
+}
+
+TEST(EdgeList, StarDegrees) {
+  const auto g = testing::star_graph(5);
+  const auto out = g.out_degrees();
+  EXPECT_EQ(out[0], 4u);
+  for (VertexId v = 1; v < 5; ++v) EXPECT_EQ(out[v], 0u);
+}
+
+}  // namespace
+}  // namespace pglb

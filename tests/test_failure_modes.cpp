@@ -1,0 +1,132 @@
+// Failure injection and degenerate-input coverage across the whole stack:
+// the library must fail loudly (typed exceptions) on bad inputs and behave
+// sensibly on pathological-but-legal graphs.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "apps/registry.hpp"
+#include "core/flow.hpp"
+#include "core/profiler.hpp"
+#include "gen/corpus.hpp"
+#include "partition/factory.hpp"
+#include "partition/weights.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+const double kNan = std::numeric_limits<double>::quiet_NaN();
+const double kInf = std::numeric_limits<double>::infinity();
+
+TEST(FailureModes, PartitionersRejectNonFiniteWeights) {
+  EdgeList g(4);
+  g.add(0, 1);
+  for (const PartitionerKind kind : all_partitioner_kinds()) {
+    const auto p = make_partitioner(kind);
+    const std::vector<double> nan_weights = {1.0, kNan, 1.0, 1.0};
+    const std::vector<double> inf_weights = {1.0, kInf, 1.0, 1.0};
+    EXPECT_THROW(p->partition(g, nan_weights, 1), std::invalid_argument) << to_string(kind);
+    EXPECT_THROW(p->partition(g, inf_weights, 1), std::invalid_argument) << to_string(kind);
+  }
+}
+
+TEST(FailureModes, SharesRejectNonFiniteCapabilities) {
+  const std::vector<double> bad = {1.0, kNan};
+  EXPECT_THROW(shares_from_capabilities(bad), std::invalid_argument);
+}
+
+TEST(FailureModes, AllAppsHandleSingleVertexGraph) {
+  const EdgeList g(1);  // one vertex, zero edges
+  const auto cluster = testing::case1_cluster();
+  const auto a = make_partitioner(PartitionerKind::kRandomHash)
+                     ->partition(g, uniform_weights(cluster.size()), 1);
+  const auto dg = build_distributed(g, a);
+  WorkloadTraits traits;
+  for (const AppKind app : {AppKind::kPageRank, AppKind::kColoring,
+                            AppKind::kConnectedComponents, AppKind::kTriangleCount,
+                            AppKind::kSssp}) {
+    const auto prepared = prepare_graph_for(app, g);
+    const auto pa = make_partitioner(PartitionerKind::kRandomHash)
+                        ->partition(prepared, uniform_weights(cluster.size()), 1);
+    const auto pdg = build_distributed(prepared, pa);
+    EXPECT_NO_THROW(run_app(app, prepared, pdg, cluster, traits)) << to_string(app);
+  }
+}
+
+TEST(FailureModes, AllAppsHandleAllIsolatedVertices) {
+  const EdgeList g(50);  // 50 isolated vertices
+  const auto cluster = testing::case2_cluster();
+  WorkloadTraits traits;
+  for (const AppKind app : {AppKind::kPageRank, AppKind::kColoring,
+                            AppKind::kConnectedComponents, AppKind::kSssp}) {
+    const auto a = make_partitioner(PartitionerKind::kRandomHash)
+                       ->partition(g, uniform_weights(cluster.size()), 1);
+    const auto dg = build_distributed(g, a);
+    const auto result = run_app(app, g, dg, cluster, traits);
+    EXPECT_TRUE(result.report.converged) << to_string(app);
+  }
+}
+
+TEST(FailureModes, SelfLoopOnlyGraphIsHandled) {
+  EdgeList g(3);
+  g.add(0, 0);
+  g.add(1, 1);
+  const auto cluster = testing::case1_cluster();
+  WorkloadTraits traits;
+  for (const AppKind app : {AppKind::kColoring, AppKind::kConnectedComponents,
+                            AppKind::kTriangleCount}) {
+    const auto prepared = prepare_graph_for(app, g);
+    const auto a = make_partitioner(PartitionerKind::kRandomHash)
+                       ->partition(prepared, uniform_weights(cluster.size()), 1);
+    const auto dg = build_distributed(prepared, a);
+    EXPECT_NO_THROW(run_app(app, prepared, dg, cluster, traits)) << to_string(app);
+  }
+}
+
+TEST(FailureModes, FlowOnDenseTinyGraph) {
+  // Complete graph: every partitioner and app must survive maximum density.
+  const auto g = testing::complete_graph(24);
+  const auto cluster = testing::case1_cluster();
+  const UniformEstimator uniform;
+  for (const PartitionerKind kind : applicable_partitioner_kinds(cluster.size())) {
+    FlowOptions options;
+    options.partitioner = kind;
+    const auto result = run_flow(g, AppKind::kTriangleCount, cluster, uniform, options);
+    // K24 has C(24,3) = 2024 triangles.
+    EXPECT_DOUBLE_EQ(result.app.digest, 2024.0) << to_string(kind);
+  }
+}
+
+TEST(FailureModes, SixtyFourMachineCeilingEnforced) {
+  EdgeList g(4);
+  g.add(0, 1);
+  const auto p = make_partitioner(PartitionerKind::kRandomHash);
+  const auto a65 = p->partition(g, uniform_weights(65), 1);
+  // Random hash itself has no mask limit, but finalisation does.
+  EXPECT_THROW(build_distributed(g, a65), std::invalid_argument);
+  const auto a64 = p->partition(g, uniform_weights(64), 1);
+  EXPECT_NO_THROW(build_distributed(g, a64));
+}
+
+TEST(FailureModes, ProfilerRejectsUnknownScale) {
+  const auto g = testing::cycle_graph(10);
+  EXPECT_THROW(
+      profile_single_machine(machine_by_name("c4.xlarge"), AppKind::kPageRank, g, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      profile_single_machine(machine_by_name("c4.xlarge"), AppKind::kPageRank, g, 2.0),
+      std::invalid_argument);
+}
+
+TEST(FailureModes, CorpusVertexIdSpaceConsistent) {
+  // Every corpus graph must keep edges inside its declared vertex space
+  // (EdgeList::add throws otherwise, so constructing is the assertion).
+  for (const CorpusEntry& entry : natural_graph_entries()) {
+    EXPECT_NO_THROW(make_corpus_graph(entry, 1.0 / 512.0)) << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace pglb

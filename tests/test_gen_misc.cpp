@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.hpp"
+#include "gen/rmat.hpp"
+#include "graph/stats.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(ErdosRenyi, ExactEdgeCount) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 500;
+  config.num_edges = 2000;
+  const auto g = generate_erdos_renyi(config);
+  EXPECT_EQ(g.num_edges(), 2000u);
+  EXPECT_EQ(g.num_vertices(), 500u);
+}
+
+TEST(ErdosRenyi, NoSelfLoopsByDefault) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 100;
+  config.num_edges = 3000;
+  const auto g = generate_erdos_renyi(config);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(ErdosRenyi, SelfLoopsWhenAllowed) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 10;
+  config.num_edges = 2000;
+  config.allow_self_loops = true;
+  const auto g = generate_erdos_renyi(config);
+  bool saw_loop = false;
+  for (const Edge& e : g.edges()) saw_loop |= e.src == e.dst;
+  EXPECT_TRUE(saw_loop);
+}
+
+TEST(ErdosRenyi, DegeneratesGracefully) {
+  ErdosRenyiConfig config;
+  config.num_vertices = 0;
+  config.num_edges = 5;
+  EXPECT_EQ(generate_erdos_renyi(config).num_edges(), 0u);
+  config.num_vertices = 1;  // no non-loop edges exist
+  EXPECT_EQ(generate_erdos_renyi(config).num_edges(), 0u);
+}
+
+TEST(ErdosRenyi, IsUnskewedComparedToRmat) {
+  ErdosRenyiConfig er;
+  er.num_vertices = 1 << 12;
+  er.num_edges = 40'000;
+  RmatConfig rm;
+  rm.scale = 12;
+  rm.num_edges = 40'000;
+  const auto er_stats = compute_stats(generate_erdos_renyi(er));
+  const auto rm_stats = compute_stats(generate_rmat(rm));
+  EXPECT_GT(rm_stats.degree_skew, 3.0 * er_stats.degree_skew);
+}
+
+TEST(Rmat, VertexCountIsPowerOfTwo) {
+  RmatConfig config;
+  config.scale = 10;
+  config.num_edges = 5000;
+  const auto g = generate_rmat(config);
+  EXPECT_EQ(g.num_vertices(), 1024u);
+  EXPECT_EQ(g.num_edges(), 5000u);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  RmatConfig config;
+  config.scale = 0;
+  EXPECT_THROW(generate_rmat(config), std::invalid_argument);
+  config.scale = 10;
+  config.a = 0.9;  // probabilities no longer sum to 1
+  EXPECT_THROW(generate_rmat(config), std::invalid_argument);
+}
+
+TEST(Rmat, Deterministic) {
+  RmatConfig config;
+  config.scale = 10;
+  config.num_edges = 2000;
+  const auto a = generate_rmat(config);
+  const auto b = generate_rmat(config);
+  for (EdgeId i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+TEST(Rmat, NoSelfLoops) {
+  RmatConfig config;
+  config.scale = 8;
+  config.num_edges = 3000;
+  const auto g = generate_rmat(config);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,83 @@
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace pglb {
+namespace {
+
+TEST(HashU64, SeedSeparatesDomains) {
+  EXPECT_NE(hash_u64(1, 0), hash_u64(1, 1));
+  EXPECT_EQ(hash_u64(1, 5), hash_u64(1, 5));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashEdge, DirectionSensitive) {
+  EXPECT_NE(hash_edge(3, 7), hash_edge(7, 3));
+  EXPECT_EQ(hash_edge(3, 7, 42), hash_edge(3, 7, 42));
+  EXPECT_NE(hash_edge(3, 7, 42), hash_edge(3, 7, 43));
+}
+
+TEST(HashToUnit, InUnitInterval) {
+  for (std::uint64_t x : {0ull, 1ull, ~0ull, 0x8000'0000'0000'0000ull}) {
+    const double u = hash_to_unit(splitmix64(x));
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(PrefixSum, ComputesInclusivePrefix) {
+  const std::vector<double> w = {1.0, 2.0, 3.0};
+  const auto cum = prefix_sum(w);
+  ASSERT_EQ(cum.size(), 3u);
+  EXPECT_DOUBLE_EQ(cum[0], 1.0);
+  EXPECT_DOUBLE_EQ(cum[1], 3.0);
+  EXPECT_DOUBLE_EQ(cum[2], 6.0);
+}
+
+TEST(WeightedPick, EmptyWeightsReturnsZero) {
+  EXPECT_EQ(weighted_pick(123, {}), 0u);
+}
+
+TEST(WeightedPick, SingleEntryAlwaysZero) {
+  const std::vector<double> cum = {5.0};
+  for (std::uint64_t x = 0; x < 100; ++x) {
+    EXPECT_EQ(weighted_pick(splitmix64(x), cum), 0u);
+  }
+}
+
+TEST(WeightedPick, FollowsWeightDistribution) {
+  // Weights 1:3 -> expect ~25% / ~75% over many distinct hashes.
+  const std::vector<double> w = {1.0, 3.0};
+  const auto cum = prefix_sum(w);
+  std::array<int, 2> counts{};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[weighted_pick(splitmix64(i), cum)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.75, 0.01);
+}
+
+TEST(WeightedPick, ExtremeSkewStillReachesSmallMachine) {
+  const std::vector<double> w = {0.01, 0.99};
+  const auto cum = prefix_sum(w);
+  int small = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    if (weighted_pick(splitmix64(i), cum) == 0) ++small;
+  }
+  EXPECT_NEAR(small / static_cast<double>(n), 0.01, 0.003);
+}
+
+TEST(WeightedPick, DeterministicForFixedHash) {
+  const std::vector<double> w = {2.0, 1.0, 1.0};
+  const auto cum = prefix_sum(w);
+  EXPECT_EQ(weighted_pick(999, cum), weighted_pick(999, cum));
+}
+
+}  // namespace
+}  // namespace pglb

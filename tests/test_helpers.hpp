@@ -1,0 +1,86 @@
+#pragma once
+// Shared fixtures/builders for the pglb test suite.
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "graph/edge_list.hpp"
+#include "machine/catalog.hpp"
+
+namespace pglb::testing {
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+inline EdgeList path_graph(VertexId n) {
+  EdgeList g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add(v, v + 1);
+  return g;
+}
+
+/// Directed cycle over n vertices.
+inline EdgeList cycle_graph(VertexId n) {
+  EdgeList g(n);
+  for (VertexId v = 0; v < n; ++v) g.add(v, (v + 1) % n);
+  return g;
+}
+
+/// Star: hub 0 -> spokes 1..n-1.
+inline EdgeList star_graph(VertexId n) {
+  EdgeList g(n);
+  for (VertexId v = 1; v < n; ++v) g.add(0, v);
+  return g;
+}
+
+/// Complete directed graph on n vertices (u != v, both directions).
+inline EdgeList complete_graph(VertexId n) {
+  EdgeList g(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) g.add(u, v);
+    }
+  }
+  return g;
+}
+
+/// Single triangle 0-1-2 (directed one way).
+inline EdgeList triangle_graph() {
+  EdgeList g(3);
+  g.add(0, 1);
+  g.add(1, 2);
+  g.add(2, 0);
+  return g;
+}
+
+/// Two disjoint triangles {0,1,2} and {3,4,5}.
+inline EdgeList two_triangles() {
+  EdgeList g(6);
+  g.add(0, 1);
+  g.add(1, 2);
+  g.add(2, 0);
+  g.add(3, 4);
+  g.add(4, 5);
+  g.add(5, 3);
+  return g;
+}
+
+/// The paper's Case 1 cluster: m4.2xlarge + c4.2xlarge.
+inline Cluster case1_cluster() {
+  return Cluster({machine_by_name("m4.2xlarge"), machine_by_name("c4.2xlarge")});
+}
+
+/// The paper's Case 2 cluster: local Xeon S + L, same frequency.
+inline Cluster case2_cluster() {
+  return Cluster({machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l")});
+}
+
+/// The paper's Case 3 cluster: Xeon S derated to 1.8 GHz + Xeon L.
+inline Cluster case3_cluster() {
+  return Cluster({with_frequency(machine_by_name("xeon_server_s"), 1.8),
+                  machine_by_name("xeon_server_l")});
+}
+
+/// A single-machine cluster (profiling runs).
+inline Cluster solo_cluster(const std::string& name) {
+  return Cluster({machine_by_name(name)});
+}
+
+}  // namespace pglb::testing

@@ -1,0 +1,92 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(ExactHistogram, CountsAndTotals) {
+  ExactHistogram h;
+  h.add(3);
+  h.add(3);
+  h.add(5, 4);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_EQ(h.count_of(3), 2u);
+  EXPECT_EQ(h.count_of(5), 4u);
+  EXPECT_EQ(h.count_of(4), 0u);
+  EXPECT_EQ(h.count_of(99), 0u);
+  EXPECT_EQ(h.max_value(), 5u);
+}
+
+TEST(ExactHistogram, Probability) {
+  ExactHistogram h;
+  h.add(1, 3);
+  h.add(2, 1);
+  EXPECT_DOUBLE_EQ(h.probability(1), 0.75);
+  EXPECT_DOUBLE_EQ(h.probability(2), 0.25);
+  EXPECT_DOUBLE_EQ(ExactHistogram{}.probability(1), 0.0);
+}
+
+TEST(LogBin, PreservesTotalCount) {
+  ExactHistogram h;
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) h.add(1 + rng.next_below(500));
+  std::uint64_t binned = 0;
+  for (const LogBin& b : log_bin(h)) binned += b.count;
+  EXPECT_EQ(binned, h.total());
+}
+
+TEST(LogBin, EmptyHistogramYieldsNoBins) {
+  EXPECT_TRUE(log_bin(ExactHistogram{}).empty());
+}
+
+TEST(LogBin, BinCentersIncrease) {
+  ExactHistogram h;
+  for (std::uint64_t d = 1; d <= 1000; ++d) h.add(d);
+  const auto bins = log_bin(h);
+  ASSERT_GT(bins.size(), 4u);
+  for (std::size_t i = 1; i < bins.size(); ++i) {
+    EXPECT_GT(bins[i].bin_center, bins[i - 1].bin_center);
+  }
+}
+
+TEST(FitPowerlawExponent, RecoversSyntheticExponent) {
+  // Build an exact d^-2.2 histogram and check the fitted slope.
+  const double alpha = 2.2;
+  ExactHistogram h;
+  for (std::uint64_t d = 1; d <= 10'000; ++d) {
+    const auto count =
+        static_cast<std::uint64_t>(1e9 * std::pow(static_cast<double>(d), -alpha));
+    if (count > 0) h.add(d, count);
+  }
+  // Log-binning over truncated integer ranges biases the slope slightly
+  // upward; the fit is a diagnostic, not the Eq. 7 estimator.
+  const double fitted = fit_powerlaw_exponent(log_bin(h));
+  EXPECT_NEAR(fitted, alpha, 0.25);
+}
+
+TEST(FitPowerlawExponent, TooFewBinsReturnsZero) {
+  ExactHistogram h;
+  h.add(1, 10);
+  EXPECT_DOUBLE_EQ(fit_powerlaw_exponent(log_bin(h)), 0.0);
+}
+
+TEST(AsciiLogLog, ProducesPlotForData) {
+  ExactHistogram h;
+  for (std::uint64_t d = 1; d <= 100; ++d) h.add(d, 1000 / d);
+  const auto bins = log_bin(h);
+  const std::string plot = ascii_loglog(bins);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("log(degree)"), std::string::npos);
+}
+
+TEST(AsciiLogLog, EmptyInputsGiveEmptyString) {
+  EXPECT_TRUE(ascii_loglog({}).empty());
+}
+
+}  // namespace
+}  // namespace pglb

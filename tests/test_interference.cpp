@@ -1,0 +1,130 @@
+#include "cluster/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/pagerank.hpp"
+#include "engine/engine.hpp"
+#include "apps/reference.hpp"
+#include "baselines/dynamic_migration.hpp"
+#include "gen/corpus.hpp"
+#include "partition/random_hash.hpp"
+#include "partition/weights.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(InterferenceSchedule, FactorComposition) {
+  const InterferenceSchedule schedule({{.machine = 1, .from_step = 2, .to_step = 5,
+                                        .slowdown = 0.5},
+                                       {.machine = 1, .from_step = 4, .to_step = 6,
+                                        .slowdown = 0.8}});
+  EXPECT_DOUBLE_EQ(schedule.factor(1, 1), 1.0);   // before
+  EXPECT_DOUBLE_EQ(schedule.factor(1, 2), 0.5);   // first event
+  EXPECT_DOUBLE_EQ(schedule.factor(1, 4), 0.4);   // overlap multiplies
+  EXPECT_DOUBLE_EQ(schedule.factor(1, 5), 0.8);   // second only
+  EXPECT_DOUBLE_EQ(schedule.factor(1, 6), 1.0);   // after
+  EXPECT_DOUBLE_EQ(schedule.factor(0, 3), 1.0);   // other machine untouched
+}
+
+TEST(InterferenceSchedule, RejectsMalformedEvents) {
+  EXPECT_THROW(InterferenceSchedule({{.machine = 0, .from_step = 0, .to_step = 1,
+                                      .slowdown = 0.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(InterferenceSchedule({{.machine = 0, .from_step = 0, .to_step = 1,
+                                      .slowdown = 1.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(InterferenceSchedule({{.machine = 0, .from_step = 3, .to_step = 1,
+                                      .slowdown = 0.5}}),
+               std::invalid_argument);
+}
+
+struct Harness {
+  Cluster cluster = testing::case2_cluster();
+  EdgeList graph = make_corpus_graph(corpus_entry("wiki"), 1.0 / 256.0);
+  WorkloadTraits traits;
+  DistributedGraph dg;
+
+  Harness() {
+    traits = traits_from_stats(compute_stats(graph), 1.0 / 256.0);
+    const auto a =
+        RandomHashPartitioner{}.partition(graph, uniform_weights(cluster.size()), 9);
+    dg = build_distributed(graph, a);
+  }
+};
+
+TEST(Interference, SlowsTheRunButNotTheAnswers) {
+  Harness h;
+  PageRankOptions clean;
+  PageRankOptions noisy;
+  // Slow the *straggler* (machine 0 under a uniform split) — slowing a
+  // machine with barrier slack would leave the makespan untouched.
+  noisy.interference = InterferenceSchedule(
+      {{.machine = 0, .from_step = 0, .to_step = 100, .slowdown = 0.5}});
+
+  const auto r_clean = run_pagerank(h.graph, h.dg, h.cluster, h.traits, clean);
+  const auto r_noisy = run_pagerank(h.graph, h.dg, h.cluster, h.traits, noisy);
+
+  EXPECT_GT(r_noisy.report.makespan_seconds, r_clean.report.makespan_seconds);
+  // Virtual-time interference never changes computed values.
+  ASSERT_EQ(r_noisy.ranks.size(), r_clean.ranks.size());
+  for (VertexId v = 0; v < h.graph.num_vertices(); v += 17) {
+    EXPECT_DOUBLE_EQ(r_noisy.ranks[v], r_clean.ranks[v]);
+  }
+}
+
+TEST(Interference, TransientEventOnlyAffectsItsWindow) {
+  Harness h;
+  PageRankOptions options;
+  options.max_iterations = 10;
+  options.interference = InterferenceSchedule(
+      {{.machine = 0, .from_step = 3, .to_step = 5, .slowdown = 0.25}});
+  const auto r = run_pagerank(h.graph, h.dg, h.cluster, h.traits, options);
+
+  ASSERT_EQ(r.report.trace.size(), 10u);
+  // The affected supersteps are strictly longer than the untouched ones.
+  EXPECT_GT(r.report.trace[3].window_seconds, 1.5 * r.report.trace[0].window_seconds);
+  EXPECT_GT(r.report.trace[4].window_seconds, 1.5 * r.report.trace[0].window_seconds);
+  EXPECT_NEAR(r.report.trace[5].window_seconds, r.report.trace[0].window_seconds,
+              r.report.trace[0].window_seconds * 0.3);
+}
+
+TEST(Interference, SetAfterExecutionStartsThrows) {
+  Harness h;
+  VirtualClusterExecutor exec(h.cluster, profile_for(AppKind::kPageRank), h.traits);
+  const std::vector<double> ops = {1.0, 1.0};
+  const std::vector<double> comm = {0.0, 0.0};
+  exec.record_superstep(ops, comm);
+  EXPECT_THROW(exec.set_interference(InterferenceSchedule{}), std::logic_error);
+}
+
+TEST(Interference, ReactiveMigrationAdaptsToIt) {
+  // A sustained slowdown of the big machine makes the static CCR-like split
+  // wrong mid-run; the reactive controller shifts work back and beats the
+  // frozen configuration.
+  Harness h;
+  const std::vector<double> ccr_weights = {1.0, 3.2};
+  const auto assignment = RandomHashPartitioner{}.partition(h.graph, ccr_weights, 9);
+
+  DynamicMigrationOptions frozen;
+  frozen.migration_aggressiveness = 0.0;
+  frozen.pagerank.max_iterations = 20;
+  frozen.pagerank.interference = InterferenceSchedule(
+      {{.machine = 1, .from_step = 5, .to_step = 20, .slowdown = 0.35}});
+
+  DynamicMigrationOptions reactive = frozen;
+  reactive.migration_aggressiveness = 0.5;
+
+  const auto r_frozen =
+      run_pagerank_with_migration(h.graph, assignment, h.cluster, h.traits, frozen);
+  const auto r_reactive =
+      run_pagerank_with_migration(h.graph, assignment, h.cluster, h.traits, reactive);
+
+  EXPECT_GT(r_reactive.edges_migrated, 0u);
+  EXPECT_LT(r_reactive.report.makespan_seconds, r_frozen.report.makespan_seconds);
+  // Work moved back toward the (now faster in relative terms) small machine.
+  EXPECT_GT(r_reactive.final_shares[0], 1.0 / 4.2);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,71 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pglb {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_threshold()) {}
+  ~LogLevelGuard() { set_log_threshold(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, ThresholdRoundTrips) {
+  LogLevelGuard guard;
+  set_log_threshold(LogLevel::kWarn);
+  EXPECT_EQ(log_threshold(), LogLevel::kWarn);
+  set_log_threshold(LogLevel::kDebug);
+  EXPECT_EQ(log_threshold(), LogLevel::kDebug);
+}
+
+TEST(Log, BelowThresholdDoesNotFormat) {
+  // log_at must not evaluate the stream when filtered; we detect evaluation
+  // through a side effect.
+  LogLevelGuard guard;
+  set_log_threshold(LogLevel::kError);
+  int evaluations = 0;
+  auto side_effect = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  log_at(LogLevel::kDebug, side_effect());
+  // Arguments ARE evaluated (standard function call), but the stream body is
+  // skipped; what we can assert portably is that the call is safe and cheap.
+  EXPECT_EQ(evaluations, 1);
+  log_at(LogLevel::kError, "emitted at error level");
+}
+
+TEST(Log, MacrosCompileAndRun) {
+  LogLevelGuard guard;
+  set_log_threshold(LogLevel::kOff);
+  PGLB_LOG_DEBUG("debug ", 1);
+  PGLB_LOG_INFO("info ", 2.5);
+  PGLB_LOG_WARN("warn ", "text");
+  PGLB_LOG_ERROR("error ", 'c');
+  SUCCEED();
+}
+
+TEST(Log, OffSilencesEverything) {
+  LogLevelGuard guard;
+  set_log_threshold(LogLevel::kOff);
+  ::testing::internal::CaptureStderr();
+  PGLB_LOG_ERROR("should not appear");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(Log, EmitsTagAndMessage) {
+  LogLevelGuard guard;
+  set_log_threshold(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  PGLB_LOG_WARN("disk almost full: ", 93, "%");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("WARN"), std::string::npos);
+  EXPECT_NE(out.find("disk almost full: 93%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,133 @@
+#include "machine/catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/groups.hpp"
+#include "machine/app_profile.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(Catalog, TableOneValuesVerbatim) {
+  const auto& c4x = machine_by_name("c4.xlarge");
+  EXPECT_EQ(c4x.hw_threads, 4);
+  EXPECT_EQ(c4x.compute_threads, 2);
+  EXPECT_DOUBLE_EQ(c4x.cost_per_hour, 0.209);
+
+  const auto& r3 = machine_by_name("r3.2xlarge");
+  EXPECT_EQ(r3.hw_threads, 8);
+  EXPECT_EQ(r3.compute_threads, 6);
+  EXPECT_DOUBLE_EQ(r3.cost_per_hour, 0.665);
+  EXPECT_EQ(r3.category, MachineCategory::kMemoryOptimized);
+
+  EXPECT_DOUBLE_EQ(machine_by_name("c4.8xlarge").cost_per_hour, 1.675);
+  EXPECT_DOUBLE_EQ(machine_by_name("xeon_server_l").cost_per_hour, 0.0);
+}
+
+TEST(Catalog, ComputeThreadsAreHwMinusTwo) {
+  // PowerGraph reserves two logical cores for communication (Sec. III-B).
+  for (const MachineSpec& m : table1_machines()) {
+    EXPECT_EQ(m.compute_threads, m.hw_threads - 2) << m.name;
+  }
+}
+
+TEST(Catalog, UnknownNameThrows) {
+  EXPECT_THROW(machine_by_name("p5.48xlarge"), std::out_of_range);
+}
+
+TEST(Catalog, FamiliesAreOrdered) {
+  const auto c4 = c4_family();
+  ASSERT_EQ(c4.size(), 4u);
+  for (std::size_t i = 1; i < c4.size(); ++i) {
+    EXPECT_GT(c4[i].compute_threads, c4[i - 1].compute_threads);
+  }
+  const auto cat = category_2xlarge_family();
+  ASSERT_EQ(cat.size(), 3u);
+  EXPECT_EQ(cat[0].name, "m4.2xlarge");  // the Fig. 8b baseline comes first
+  for (const MachineSpec& m : cat) EXPECT_EQ(m.compute_threads, 6);
+}
+
+TEST(WithFrequency, ScalesClockAndPower) {
+  const auto& base = machine_by_name("xeon_server_s");
+  const auto derated = with_frequency(base, 1.8);
+  EXPECT_DOUBLE_EQ(derated.freq_ghz, 1.8);
+  EXPECT_LT(derated.mem_bw_gbs, base.mem_bw_gbs);
+  // Dynamic power scales ~f^3: derated TDP well below base but above idle.
+  EXPECT_LT(derated.tdp_watts, base.tdp_watts);
+  EXPECT_GT(derated.tdp_watts, derated.idle_watts);
+  EXPECT_DOUBLE_EQ(derated.idle_watts, base.idle_watts);
+  EXPECT_NE(derated.name, base.name);
+}
+
+TEST(WithFrequency, RejectsNonPositive) {
+  EXPECT_THROW(with_frequency(machine_by_name("c4.xlarge"), 0.0), std::invalid_argument);
+}
+
+TEST(Groups, IdenticalSpecsShareAGroup) {
+  const auto& a = machine_by_name("c4.2xlarge");
+  const auto& b = machine_by_name("m4.2xlarge");
+  const Cluster cluster({a, b, a, a});
+  const auto groups = group_machines(cluster);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (std::vector<MachineId>{0, 2, 3}));
+  EXPECT_EQ(groups[1].members, (std::vector<MachineId>{1}));
+}
+
+TEST(Groups, ExpandRestoresPerMachineValues) {
+  const auto& a = machine_by_name("c4.2xlarge");
+  const auto& b = machine_by_name("m4.2xlarge");
+  const Cluster cluster({a, b, a});
+  const auto groups = group_machines(cluster);
+  const std::vector<double> group_values = {2.0, 1.0};
+  const auto per_machine = expand_group_values(cluster, groups, group_values);
+  EXPECT_EQ(per_machine, (std::vector<double>{2.0, 1.0, 2.0}));
+}
+
+TEST(Groups, DeratedMachineFormsItsOwnGroup) {
+  // Case 3 semantics: a frequency-capped machine is a *different type* and
+  // must be profiled separately (Sec. III-B re-profiling rule).
+  const auto& base = machine_by_name("xeon_server_s");
+  const Cluster cluster({base, with_frequency(base, 1.8), base});
+  const auto groups = group_machines(cluster);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (std::vector<MachineId>{0, 2}));
+  EXPECT_EQ(groups[1].members, (std::vector<MachineId>{1}));
+}
+
+TEST(Groups, ExpandRejectsSizeMismatch) {
+  const Cluster cluster({machine_by_name("c4.xlarge")});
+  const auto groups = group_machines(cluster);
+  const std::vector<double> wrong = {1.0, 2.0};
+  EXPECT_THROW(expand_group_values(cluster, groups, wrong), std::invalid_argument);
+}
+
+TEST(AppProfiles, PaperAppsFirstThenExtensions) {
+  std::size_t count = 0;
+  const AppProfile* profiles = all_profiles(&count);
+  ASSERT_EQ(count, 6u);
+  EXPECT_EQ(profiles[0].kind, AppKind::kPageRank);
+  EXPECT_EQ(profiles[4].kind, AppKind::kSssp);
+  EXPECT_EQ(profiles[5].kind, AppKind::kKCore);
+
+  // Coloring runs asynchronously in PowerGraph; the others are BSP.
+  EXPECT_FALSE(profile_for(AppKind::kColoring).synchronous);
+  EXPECT_TRUE(profile_for(AppKind::kPageRank).synchronous);
+  EXPECT_TRUE(profile_for(AppKind::kTriangleCount).synchronous);
+
+  // PageRank is the bandwidth-hungry one; TC the cache-amplified one.
+  EXPECT_GT(profile_for(AppKind::kPageRank).bytes_per_op,
+            profile_for(AppKind::kTriangleCount).bytes_per_op);
+  EXPECT_GT(profile_for(AppKind::kTriangleCount).cache_amp, 0.0);
+}
+
+TEST(AppProfiles, NamesRoundTrip) {
+  EXPECT_STREQ(to_string(AppKind::kPageRank), "pagerank");
+  EXPECT_STREQ(to_string(AppKind::kColoring), "coloring");
+  EXPECT_STREQ(to_string(AppKind::kConnectedComponents), "connected_components");
+  EXPECT_STREQ(to_string(AppKind::kTriangleCount), "triangle_count");
+  EXPECT_STREQ(to_string(AppKind::kSssp), "sssp");
+  EXPECT_STREQ(to_string(AppKind::kKCore), "kcore");
+}
+
+}  // namespace
+}  // namespace pglb

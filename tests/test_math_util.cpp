@@ -1,0 +1,76 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pglb {
+namespace {
+
+TEST(KahanSum, MatchesExactSmallSums) {
+  KahanSum s;
+  s.add(1.0);
+  s.add(2.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.value(), 6.0);
+}
+
+TEST(KahanSum, CompensatesTinyIncrements) {
+  // 1 + 1e-16 * 1e4: naive double summation loses every increment.
+  KahanSum s;
+  s.add(1.0);
+  for (int i = 0; i < 10'000; ++i) s.add(1e-16);
+  EXPECT_NEAR(s.value(), 1.0 + 1e-12, 1e-15);
+
+  double naive = 1.0;
+  for (int i = 0; i < 10'000; ++i) naive += 1e-16;
+  EXPECT_DOUBLE_EQ(naive, 1.0);  // demonstrates why we need Kahan
+}
+
+TEST(KahanSum, ResetClears) {
+  KahanSum s;
+  s += 5.0;
+  s.reset();
+  EXPECT_DOUBLE_EQ(s.value(), 0.0);
+}
+
+TEST(MeanStdev, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(stdev(xs), 2.138089935, 1e-8);
+}
+
+TEST(MeanStdev, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(stdev(one), 0.0);
+}
+
+TEST(RelativeError, PaperMetricSemantics) {
+  EXPECT_NEAR(relative_error(1.08, 1.0), 0.08, 1e-12);  // "8% error"
+  EXPECT_NEAR(relative_error(2.08, 1.0), 1.08, 1e-12);  // "108% error"
+  EXPECT_NEAR(relative_error(0.5, 1.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(relative_error(1.0, 0.0)));
+}
+
+TEST(Geomean, KnownValues) {
+  const std::vector<double> xs = {1.0, 4.0};
+  EXPECT_NEAR(geomean(xs), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+}
+
+TEST(Geomean, RejectsNonPositive) {
+  const std::vector<double> xs = {1.0, 0.0};
+  EXPECT_THROW(geomean(xs), std::invalid_argument);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.001));
+  EXPECT_TRUE(approx_equal(0.0, 1e-13));
+  EXPECT_TRUE(approx_equal(1e6, 1e6 * (1 + 1e-10)));
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "gen/corpus.hpp"
+#include "partition/random_hash.hpp"
+#include "partition/weights.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+DistributedGraph make_dg(const EdgeList& g, MachineId machines) {
+  const auto a = RandomHashPartitioner{}.partition(g, uniform_weights(machines), 3);
+  return build_distributed(g, a);
+}
+
+TEST(MemoryModel, ScalesWithWorkScale) {
+  const auto g = make_corpus_graph(corpus_entry("wiki"), kScale);
+  const auto dg = make_dg(g, 2);
+  const auto at_paper = estimated_memory_gb(dg, 256.0);
+  const auto at_host = estimated_memory_gb(dg, 1.0);
+  ASSERT_EQ(at_paper.size(), 2u);
+  for (MachineId m = 0; m < 2; ++m) {
+    EXPECT_NEAR(at_paper[m], 256.0 * at_host[m], 1e-12);
+    EXPECT_GT(at_host[m], 0.0);
+  }
+  EXPECT_THROW(estimated_memory_gb(dg, 0.5), std::invalid_argument);
+}
+
+TEST(MemoryModel, PaperScaleWikiFitsEveryTableOneMachine) {
+  // wiki is 64 MB of text -> a few hundred MB resident; even c4.xlarge's
+  // 7.5 GB holds its half.
+  const auto g = make_corpus_graph(corpus_entry("wiki"), kScale);
+  const auto dg = make_dg(g, 2);
+  const auto gb = estimated_memory_gb(dg, 256.0);
+  for (const double x : gb) EXPECT_LT(x, 7.5);
+}
+
+TEST(MemoryModel, FlowFlagsOverCommittedMachines) {
+  // A toy machine with 0.001 GB of DRAM cannot hold half of wiki.
+  MachineSpec tiny = machine_by_name("xeon_server_s");
+  tiny.name = "tiny_ram";
+  tiny.mem_gb = 0.001;
+  const Cluster cluster({tiny, machine_by_name("xeon_server_l")});
+
+  const auto graph = make_corpus_graph(corpus_entry("wiki"), kScale);
+  const UniformEstimator uniform;
+  FlowOptions options;
+  options.scale = kScale;
+  const auto result = run_flow(graph, AppKind::kPageRank, cluster, uniform, options);
+  EXPECT_FALSE(result.memory_feasible);
+  ASSERT_EQ(result.memory_gb.size(), 2u);
+  EXPECT_GT(result.memory_gb[0], tiny.mem_gb);
+}
+
+TEST(MemoryModel, FlowAcceptsFeasiblePartitions) {
+  const auto graph = make_corpus_graph(corpus_entry("amazon"), kScale);
+  const auto cluster = testing::case2_cluster();  // 32 + 64 GB
+  const UniformEstimator uniform;
+  FlowOptions options;
+  options.scale = kScale;
+  const auto result = run_flow(graph, AppKind::kPageRank, cluster, uniform, options);
+  EXPECT_TRUE(result.memory_feasible);
+}
+
+TEST(MemoryModel, UnspecifiedCapacityIsUnbounded) {
+  MachineSpec unbounded = machine_by_name("xeon_server_s");
+  unbounded.name = "no_capacity_info";
+  unbounded.mem_gb = 0.0;
+  const Cluster cluster({unbounded, machine_by_name("xeon_server_l")});
+  const auto graph = make_corpus_graph(corpus_entry("social_network"), kScale);
+  const UniformEstimator uniform;
+  FlowOptions options;
+  options.scale = kScale;
+  const auto result = run_flow(graph, AppKind::kPageRank, cluster, uniform, options);
+  EXPECT_TRUE(result.memory_feasible);
+}
+
+TEST(MemoryModel, CatalogHasEc2DocumentedCapacities) {
+  EXPECT_DOUBLE_EQ(machine_by_name("r3.2xlarge").mem_gb, 61.0);  // memory-optimized
+  EXPECT_DOUBLE_EQ(machine_by_name("c4.xlarge").mem_gb, 7.5);
+  EXPECT_GT(machine_by_name("r3.2xlarge").mem_gb,
+            machine_by_name("c4.2xlarge").mem_gb);  // the R-family's point
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,93 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "gen/corpus.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+OnlineCcrManager make_manager() {
+  const AppKind apps[] = {AppKind::kPageRank};
+  return OnlineCcrManager(ProxySuite(kScale), apps);
+}
+
+TEST(OnlineCcr, FirstRefreshProfilesEveryGroup) {
+  auto manager = make_manager();
+  const auto cluster = testing::case2_cluster();
+  // 1 app x 3 proxies x 2 machine types.
+  EXPECT_EQ(manager.refresh(cluster), 6u);
+}
+
+TEST(OnlineCcr, SecondRefreshIsFree) {
+  auto manager = make_manager();
+  const auto cluster = testing::case2_cluster();
+  manager.refresh(cluster);
+  EXPECT_EQ(manager.refresh(cluster), 0u);
+  EXPECT_EQ(manager.total_profiling_runs(), 6u);
+}
+
+TEST(OnlineCcr, CompositionChangeAmongKnownTypesIsFree) {
+  // Sec. III-B: "Varying the cluster composition among existing machines
+  // does not require CCR updates."
+  auto manager = make_manager();
+  manager.refresh(testing::case2_cluster());
+  const Cluster bigger({machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l"),
+                        machine_by_name("xeon_server_l"),
+                        machine_by_name("xeon_server_s")});
+  EXPECT_EQ(manager.refresh(bigger), 0u);
+  const auto ccr = manager.ccr_for(bigger, AppKind::kPageRank, 2.1);
+  ASSERT_EQ(ccr.size(), 4u);
+  EXPECT_DOUBLE_EQ(ccr[0], ccr[3]);
+  EXPECT_DOUBLE_EQ(ccr[1], ccr[2]);
+  EXPECT_GT(ccr[1], ccr[0]);
+}
+
+TEST(OnlineCcr, NewMachineTypeProfilesIncrementally) {
+  auto manager = make_manager();
+  manager.refresh(testing::case2_cluster());
+  const Cluster upgraded({machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l"),
+                          machine_by_name("c4.4xlarge")});
+  // Only the new type, across the 3 proxies.
+  EXPECT_EQ(manager.refresh(upgraded), 3u);
+  EXPECT_NO_THROW(manager.ccr_for(upgraded, AppKind::kPageRank, 2.1));
+}
+
+TEST(OnlineCcr, PreloadedDatabaseAvoidsProfiling) {
+  auto first = make_manager();
+  const auto cluster = testing::case2_cluster();
+  first.refresh(cluster);
+
+  auto second = make_manager();
+  second.preload(first.database());
+  EXPECT_EQ(second.refresh(cluster), 0u);
+}
+
+TEST(OnlineCcr, UnprofiledClusterThrows) {
+  const auto manager = make_manager();
+  EXPECT_THROW(manager.ccr_for(testing::case2_cluster(), AppKind::kPageRank, 2.1),
+               std::out_of_range);
+}
+
+TEST(OnlineCcrEstimator, PlugsIntoTheFlow) {
+  auto manager = make_manager();
+  const auto cluster = testing::case2_cluster();
+  manager.refresh(cluster);
+
+  const auto graph = make_corpus_graph(corpus_entry("wiki"), kScale);
+  FlowOptions options;
+  options.scale = kScale;
+  const OnlineCcrEstimator online(manager);
+  const UniformEstimator uniform;
+  const auto guided = run_flow(graph, AppKind::kPageRank, cluster, online, options);
+  const auto plain = run_flow(graph, AppKind::kPageRank, cluster, uniform, options);
+  EXPECT_LT(guided.app.report.makespan_seconds, plain.app.report.makespan_seconds);
+  EXPECT_EQ(online.name(), "online_ccr");
+}
+
+}  // namespace
+}  // namespace pglb

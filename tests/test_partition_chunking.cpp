@@ -1,0 +1,71 @@
+#include "partition/chunking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
+#include "partition/metrics.hpp"
+#include "partition/weights.hpp"
+
+namespace pglb {
+namespace {
+
+EdgeList sample_graph() {
+  PowerLawConfig config;
+  config.num_vertices = 10'000;
+  config.alpha = 2.1;
+  config.seed = 81;
+  return generate_powerlaw(config);
+}
+
+TEST(Chunking, RangesAreContiguous) {
+  const auto g = sample_graph();
+  const auto a = ChunkingPartitioner{}.partition(g, uniform_weights(4), 1);
+  for (EdgeId i = 1; i < a.edge_to_machine.size(); ++i) {
+    EXPECT_LE(a.edge_to_machine[i - 1], a.edge_to_machine[i]) << "non-contiguous at " << i;
+  }
+}
+
+TEST(Chunking, WeightExactByConstruction) {
+  const auto g = sample_graph();
+  const std::vector<double> weights = {1.0, 3.5};
+  const auto a = ChunkingPartitioner{}.partition(g, weights, 1);
+  const auto metrics = compute_partition_metrics(g, a, shares_from_capabilities(weights));
+  EXPECT_LT(metrics.weighted_imbalance, 1.001);  // exact up to rounding
+}
+
+TEST(Chunking, SeedHasNoEffect) {
+  const auto g = sample_graph();
+  const auto a = ChunkingPartitioner{}.partition(g, uniform_weights(3), 1);
+  const auto b = ChunkingPartitioner{}.partition(g, uniform_weights(3), 999);
+  EXPECT_EQ(a.edge_to_machine, b.edge_to_machine);
+}
+
+TEST(Chunking, EveryMachineGetsItsRange) {
+  const auto g = sample_graph();
+  const auto a = ChunkingPartitioner{}.partition(g, uniform_weights(8), 1);
+  const auto counts = a.machine_edge_counts();
+  for (const EdgeId c : counts) EXPECT_GT(c, 0u);
+}
+
+TEST(Chunking, RegisteredAsExtensionNotPaperKind) {
+  EXPECT_EQ(all_partitioner_kinds().size(), 5u);
+  EXPECT_EQ(extended_partitioner_kinds().size(), 7u);
+  EXPECT_EQ(partitioner_from_string("chunking"), PartitionerKind::kChunking);
+  EXPECT_EQ(make_partitioner(PartitionerKind::kChunking)->name(), "chunking");
+}
+
+TEST(Chunking, HigherReplicationThanGreedyOnHashedStreams) {
+  // On generator-ordered streams, contiguous ranges carry no vertex locality:
+  // the greedy Oblivious pass must replicate less.
+  const auto g = sample_graph();
+  const auto weights = uniform_weights(4);
+  const auto chunked = ChunkingPartitioner{}.partition(g, weights, 1);
+  const auto greedy =
+      make_partitioner(PartitionerKind::kOblivious)->partition(g, weights, 1);
+  EXPECT_GT(compute_partition_metrics(g, chunked, weights).replication_factor,
+            compute_partition_metrics(g, greedy, weights).replication_factor);
+}
+
+}  // namespace
+}  // namespace pglb

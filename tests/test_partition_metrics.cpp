@@ -1,0 +1,86 @@
+#include "partition/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "partition/weights.hpp"
+
+namespace pglb {
+namespace {
+
+// Hand-checkable fixture: 4 vertices, 3 edges, 2 machines.
+//   e0 = (0,1) -> m0,  e1 = (1,2) -> m1,  e2 = (2,3) -> m0
+// Replicas: v0:{m0} v1:{m0,m1} v2:{m0,m1} v3:{m0}  -> RF = 6/4 = 1.5
+struct Fixture {
+  EdgeList graph{4};
+  PartitionAssignment assignment;
+
+  Fixture() {
+    graph.add(0, 1);
+    graph.add(1, 2);
+    graph.add(2, 3);
+    assignment.num_machines = 2;
+    assignment.edge_to_machine = {0, 1, 0};
+  }
+};
+
+TEST(PartitionMetrics, HandComputedReplicationFactor) {
+  Fixture f;
+  const auto m = compute_partition_metrics(f.graph, f.assignment, uniform_weights(2));
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.5);
+  EXPECT_EQ(m.edges_per_machine, (std::vector<EdgeId>{2, 1}));
+  EXPECT_EQ(m.replicas_per_machine, (std::vector<VertexId>{4, 2}));
+}
+
+TEST(PartitionMetrics, ImbalanceAgainstTargets) {
+  Fixture f;
+  const auto uniform = compute_partition_metrics(f.graph, f.assignment, uniform_weights(2));
+  // Machine 0 holds 2/3 of edges against a 1/2 target -> 4/3.
+  EXPECT_NEAR(uniform.weighted_imbalance, 4.0 / 3.0, 1e-12);
+  EXPECT_NEAR(uniform.uniform_imbalance, 4.0 / 3.0, 1e-12);
+
+  const std::vector<double> matched = {2.0 / 3.0, 1.0 / 3.0};
+  const auto good = compute_partition_metrics(f.graph, f.assignment, matched);
+  EXPECT_NEAR(good.weighted_imbalance, 1.0, 1e-12);
+}
+
+TEST(PartitionMetrics, IsolatedVerticesDoNotCount) {
+  EdgeList g(10);  // vertices 2..9 isolated
+  g.add(0, 1);
+  PartitionAssignment a;
+  a.num_machines = 2;
+  a.edge_to_machine = {0};
+  const auto m = compute_partition_metrics(g, a, uniform_weights(2));
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+}
+
+TEST(PartitionMetrics, PureEdgeCutHasFactorOne) {
+  EdgeList g(4);
+  g.add(0, 1);
+  g.add(2, 3);
+  PartitionAssignment a;
+  a.num_machines = 2;
+  a.edge_to_machine = {0, 1};
+  const auto m = compute_partition_metrics(g, a, uniform_weights(2));
+  EXPECT_DOUBLE_EQ(m.replication_factor, 1.0);
+}
+
+TEST(PartitionMetrics, RejectsMismatchedInputs) {
+  Fixture f;
+  PartitionAssignment short_assignment;
+  short_assignment.num_machines = 2;
+  short_assignment.edge_to_machine = {0};
+  EXPECT_THROW(compute_partition_metrics(f.graph, short_assignment, uniform_weights(2)),
+               std::invalid_argument);
+  EXPECT_THROW(compute_partition_metrics(f.graph, f.assignment, uniform_weights(3)),
+               std::invalid_argument);
+}
+
+TEST(PartitionAssignment, MachineEdgeCountsValidatesIds) {
+  PartitionAssignment a;
+  a.num_machines = 2;
+  a.edge_to_machine = {0, 5};
+  EXPECT_THROW(a.machine_edge_counts(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pglb

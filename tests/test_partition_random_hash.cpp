@@ -1,0 +1,88 @@
+#include "partition/random_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw.hpp"
+#include "partition/weights.hpp"
+#include "util/math.hpp"
+
+namespace pglb {
+namespace {
+
+EdgeList sample_graph(VertexId n = 20'000, double alpha = 2.1) {
+  PowerLawConfig config;
+  config.num_vertices = n;
+  config.alpha = alpha;
+  config.seed = 12;
+  return generate_powerlaw(config);
+}
+
+TEST(RandomHash, AssignsEveryEdge) {
+  const auto g = sample_graph();
+  const RandomHashPartitioner p;
+  const auto a = p.partition(g, uniform_weights(4), 1);
+  EXPECT_EQ(a.edge_to_machine.size(), g.num_edges());
+  EXPECT_EQ(a.num_machines, 4u);
+  for (const MachineId m : a.edge_to_machine) EXPECT_LT(m, 4u);
+}
+
+TEST(RandomHash, UniformWeightsGiveUniformLoads) {
+  const auto g = sample_graph();
+  const RandomHashPartitioner p;
+  const auto a = p.partition(g, uniform_weights(4), 1);
+  const auto counts = a.machine_edge_counts();
+  const double expected = static_cast<double>(g.num_edges()) / 4.0;
+  for (const EdgeId c : counts) {
+    EXPECT_LT(relative_error(static_cast<double>(c), expected), 0.03);
+  }
+}
+
+TEST(RandomHash, SkewedWeightsFollowCcrShares) {
+  // The heterogeneity-aware property (Fig. 4): shares track the weights.
+  const auto g = sample_graph();
+  const RandomHashPartitioner p;
+  const std::vector<double> weights = {1.0, 3.5};  // Case-2-like CCR
+  const auto a = p.partition(g, weights, 7);
+  const auto counts = a.machine_edge_counts();
+  const double total = static_cast<double>(g.num_edges());
+  EXPECT_NEAR(static_cast<double>(counts[0]) / total, 1.0 / 4.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / total, 3.5 / 4.5, 0.02);
+}
+
+TEST(RandomHash, DeterministicPerSeed) {
+  const auto g = sample_graph(2000);
+  const RandomHashPartitioner p;
+  const auto a = p.partition(g, uniform_weights(3), 5);
+  const auto b = p.partition(g, uniform_weights(3), 5);
+  EXPECT_EQ(a.edge_to_machine, b.edge_to_machine);
+  const auto c = p.partition(g, uniform_weights(3), 6);
+  EXPECT_NE(a.edge_to_machine, c.edge_to_machine);
+}
+
+TEST(RandomHash, RejectsBadWeights) {
+  const auto g = sample_graph(1000);
+  const RandomHashPartitioner p;
+  const std::vector<double> zero = {1.0, 0.0};
+  const std::vector<double> negative = {1.0, -1.0};
+  EXPECT_THROW(p.partition(g, zero, 1), std::invalid_argument);
+  EXPECT_THROW(p.partition(g, negative, 1), std::invalid_argument);
+  EXPECT_THROW(p.partition(g, {}, 1), std::invalid_argument);
+}
+
+TEST(RandomHash, SingleMachineTakesEverything) {
+  const auto g = sample_graph(1000);
+  const RandomHashPartitioner p;
+  const auto a = p.partition(g, uniform_weights(1), 1);
+  for (const MachineId m : a.edge_to_machine) EXPECT_EQ(m, 0u);
+}
+
+TEST(Weights, ImbalanceFactorSemantics) {
+  const std::vector<EdgeId> counts = {25, 75};
+  const std::vector<double> uniform = {0.5, 0.5};
+  EXPECT_DOUBLE_EQ(imbalance_factor(counts, uniform), 1.5);
+  const std::vector<double> matched = {0.25, 0.75};
+  EXPECT_DOUBLE_EQ(imbalance_factor(counts, matched), 1.0);
+}
+
+}  // namespace
+}  // namespace pglb

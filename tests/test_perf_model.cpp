@@ -1,0 +1,137 @@
+#include "machine/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/catalog.hpp"
+
+namespace pglb {
+namespace {
+
+WorkloadTraits default_traits() {
+  WorkloadTraits traits;
+  traits.num_vertices_m = 4.0;
+  traits.footprint_mb = 500.0;
+  traits.degree_skew = 10'000.0;
+  return traits;
+}
+
+TEST(Amdahl, KnownPoints) {
+  EXPECT_DOUBLE_EQ(amdahl_threads(1, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(amdahl_threads(10, 0.0), 10.0);
+  EXPECT_NEAR(amdahl_threads(10, 0.1), 10.0 / 1.9, 1e-12);
+  EXPECT_THROW(amdahl_threads(0, 0.1), std::invalid_argument);
+}
+
+TEST(Amdahl, MonotoneInThreadsBoundedByInverseSerialFraction) {
+  double prev = 0.0;
+  for (int n = 1; n <= 64; ++n) {
+    const double eff = amdahl_threads(n, 0.05);
+    EXPECT_GT(eff, prev);
+    EXPECT_LT(eff, 1.0 / 0.05);
+    prev = eff;
+  }
+}
+
+TEST(SkewBalance, OneThreadIsUnaffected) {
+  EXPECT_DOUBLE_EQ(skew_balance(1, 0.5, 1e6), 1.0);
+}
+
+TEST(SkewBalance, MoreSkewMoreThreadsWorseBalance) {
+  EXPECT_LT(skew_balance(8, 0.5, 1e5), skew_balance(8, 0.5, 10.0));
+  EXPECT_LT(skew_balance(16, 0.5, 1e4), skew_balance(2, 0.5, 1e4));
+  EXPECT_GT(skew_balance(64, 1.0, 1e7), 0.0);
+  EXPECT_THROW(skew_balance(0, 0.5, 10.0), std::invalid_argument);
+}
+
+TEST(CacheAmplification, NoAmpForCacheInsensitiveApps) {
+  const auto& machine = machine_by_name("c4.8xlarge");
+  EXPECT_DOUBLE_EQ(
+      cache_amplification(machine, profile_for(AppKind::kPageRank), default_traits()), 1.0);
+}
+
+TEST(CacheAmplification, GrowsWithLlc) {
+  const AppProfile& tc = profile_for(AppKind::kTriangleCount);
+  const auto traits = default_traits();
+  const double small =
+      cache_amplification(machine_by_name("c4.xlarge"), tc, traits);
+  const double big =
+      cache_amplification(machine_by_name("c4.8xlarge"), tc, traits);
+  EXPECT_GE(small, 1.0);
+  EXPECT_GT(big, small);
+  EXPECT_LE(big, 1.0 + tc.cache_amp);
+}
+
+TEST(CacheAmplification, SmallWorkingSetsBenefitEverywhere) {
+  const AppProfile& tc = profile_for(AppKind::kTriangleCount);
+  WorkloadTraits tiny = default_traits();
+  tiny.num_vertices_m = 0.05;  // fits in any LLC
+  const double amp = cache_amplification(machine_by_name("c4.xlarge"), tc, tiny);
+  EXPECT_GT(amp, 1.0 + 0.8 * tc.cache_amp);
+}
+
+TEST(Throughput, PositiveForAllCatalogMachinesAndApps) {
+  std::size_t count = 0;
+  const AppProfile* apps = all_profiles(&count);
+  for (const MachineSpec& m : table1_machines()) {
+    for (std::size_t a = 0; a < count; ++a) {
+      EXPECT_GT(throughput_ops(m, apps[a], default_traits()), 0.0)
+          << m.name << "/" << apps[a].name;
+    }
+  }
+}
+
+TEST(Throughput, BiggerC4IsNeverSlower) {
+  const auto traits = default_traits();
+  std::size_t count = 0;
+  const AppProfile* apps = all_profiles(&count);
+  const auto family = c4_family();
+  for (std::size_t a = 0; a < count; ++a) {
+    for (std::size_t i = 1; i < family.size(); ++i) {
+      EXPECT_GE(throughput_ops(family[i], apps[a], traits),
+                throughput_ops(family[i - 1], apps[a], traits))
+          << apps[a].name << " at " << family[i].name;
+    }
+  }
+}
+
+TEST(Throughput, FrequencyDeratingSlowsEveryApp) {
+  const auto& base = machine_by_name("xeon_server_s");
+  const auto derated = with_frequency(base, 1.8);
+  std::size_t count = 0;
+  const AppProfile* apps = all_profiles(&count);
+  for (std::size_t a = 0; a < count; ++a) {
+    EXPECT_LT(throughput_ops(derated, apps[a], default_traits()),
+              throughput_ops(base, apps[a], default_traits()))
+        << apps[a].name;
+  }
+}
+
+TEST(TraitsFromStats, ReinflatesByScale) {
+  GraphStats stats;
+  stats.num_vertices = 100'000;
+  stats.num_edges = 1'000'000;
+  stats.footprint_bytes = 10'000'000;
+  stats.degree_skew = 100.0;
+  stats.empirical_alpha = 2.0;
+
+  const auto full = traits_from_stats(stats, 1.0);
+  EXPECT_DOUBLE_EQ(full.num_vertices_m, 0.1);
+  EXPECT_DOUBLE_EQ(full.footprint_mb, 10.0);
+  EXPECT_DOUBLE_EQ(full.degree_skew, 100.0);
+
+  const auto scaled = traits_from_stats(stats, 0.25);
+  EXPECT_DOUBLE_EQ(scaled.num_vertices_m, 0.4);
+  EXPECT_DOUBLE_EQ(scaled.footprint_mb, 40.0);
+  // Tail growth (1/0.25)^(1/(2-1)) = 4x on the skew.
+  EXPECT_NEAR(scaled.degree_skew, 400.0, 1e-9);
+}
+
+TEST(TraitsFromStats, RejectsBadScale) {
+  GraphStats stats;
+  stats.num_vertices = 10;
+  EXPECT_THROW(traits_from_stats(stats, 0.0), std::invalid_argument);
+  EXPECT_THROW(traits_from_stats(stats, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,119 @@
+#include "gen/powerlaw.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.hpp"
+#include "util/histogram.hpp"
+#include "util/math.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(PowerLawGen, EmptyConfigYieldsEmptyGraph) {
+  const auto g = generate_powerlaw(PowerLawConfig{});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(PowerLawGen, DeterministicForFixedConfig) {
+  PowerLawConfig config;
+  config.num_vertices = 5000;
+  config.alpha = 2.1;
+  config.seed = 33;
+  const auto a = generate_powerlaw(config);
+  const auto b = generate_powerlaw(config);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a.edge(i), b.edge(i));
+}
+
+TEST(PowerLawGen, SeedChangesOutput) {
+  PowerLawConfig config;
+  config.num_vertices = 5000;
+  config.alpha = 2.1;
+  config.seed = 1;
+  const auto a = generate_powerlaw(config);
+  config.seed = 2;
+  const auto b = generate_powerlaw(config);
+  EXPECT_NE(a.num_edges(), b.num_edges());
+}
+
+TEST(PowerLawGen, NoSelfLoopsByDefault) {
+  PowerLawConfig config;
+  config.num_vertices = 2000;
+  config.alpha = 2.0;
+  const auto g = generate_powerlaw(config);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+}
+
+TEST(PowerLawGen, EveryVertexHasAtLeastOneOutEdge) {
+  // Algorithm 1 samples degree >= 1 for every vertex.
+  PowerLawConfig config;
+  config.num_vertices = 3000;
+  config.alpha = 2.2;
+  const auto g = generate_powerlaw(config);
+  for (const EdgeId d : g.out_degrees()) EXPECT_GE(d, 1u);
+}
+
+class PowerLawAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PowerLawAlphaSweep, EdgeCountTracksExpectation) {
+  PowerLawConfig config;
+  config.num_vertices = 50'000;
+  config.alpha = GetParam();
+  config.seed = 7;
+  const auto expected = expected_powerlaw_edges(config);
+  const auto g = generate_powerlaw(config);
+  EXPECT_GT(g.num_edges(), 0u);
+  // Multinomial degree sampling concentrates tightly; 15% covers the
+  // heavy-tailed variance at alpha near 1.95.
+  EXPECT_LT(relative_error(static_cast<double>(g.num_edges()),
+                           static_cast<double>(expected)),
+            0.15)
+      << "alpha=" << GetParam();
+}
+
+TEST_P(PowerLawAlphaSweep, DegreeDistributionFollowsTargetExponent) {
+  PowerLawConfig config;
+  config.num_vertices = 80'000;
+  config.alpha = GetParam();
+  config.seed = 11;
+  const auto g = generate_powerlaw(config);
+  const auto hist = out_degree_histogram(g);
+  const double fitted = fit_powerlaw_exponent(log_bin(hist));
+  EXPECT_NEAR(fitted, GetParam(), 0.45) << "alpha=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(TableTwoAlphas, PowerLawAlphaSweep,
+                         ::testing::Values(1.95, 2.1, 2.3));
+
+TEST(PowerLawGen, DenserForSmallerAlpha) {
+  PowerLawConfig config;
+  config.num_vertices = 30'000;
+  config.alpha = 1.95;
+  const auto dense = generate_powerlaw(config);
+  config.alpha = 2.3;
+  const auto sparse = generate_powerlaw(config);
+  EXPECT_GT(dense.num_edges(), 2 * sparse.num_edges());
+}
+
+TEST(PowerLawGen, MaxDegreeCapIsRespected) {
+  PowerLawConfig config;
+  config.num_vertices = 10'000;
+  config.alpha = 1.8;
+  config.max_degree = 50;
+  const auto g = generate_powerlaw(config);
+  for (const EdgeId d : g.out_degrees()) EXPECT_LE(d, 50u);
+}
+
+TEST(AlphaForTargetEdges, InvertsExpectedEdges) {
+  const VertexId v = 200'000;
+  const double alpha = alpha_for_target_edges(v, 2'000'000);
+  PowerLawConfig config;
+  config.num_vertices = v;
+  config.alpha = alpha;
+  const auto expected = expected_powerlaw_edges(config);
+  EXPECT_LT(relative_error(static_cast<double>(expected), 2'000'000.0), 0.02);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,112 @@
+#include "core/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;
+
+EdgeList small_graph() {
+  PowerLawConfig config;
+  config.num_vertices = 4000;
+  config.alpha = 2.1;
+  config.seed = 61;
+  return generate_powerlaw(config);
+}
+
+TEST(ProfileSingleMachine, FasterMachineProfilesFaster) {
+  const auto g = small_graph();
+  for (const AppKind app : {AppKind::kPageRank, AppKind::kConnectedComponents,
+                            AppKind::kColoring, AppKind::kTriangleCount}) {
+    const double slow = profile_single_machine(machine_by_name("xeon_server_s"), app, g, kScale);
+    const double fast = profile_single_machine(machine_by_name("xeon_server_l"), app, g, kScale);
+    EXPECT_GT(slow, fast) << to_string(app);
+  }
+}
+
+TEST(ProfileSingleMachine, DeterministicVirtualTime) {
+  const auto g = small_graph();
+  const double a =
+      profile_single_machine(machine_by_name("c4.2xlarge"), AppKind::kPageRank, g, kScale);
+  const double b =
+      profile_single_machine(machine_by_name("c4.2xlarge"), AppKind::kPageRank, g, kScale);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(CcrPool, InsertAndQueryNearestAlpha) {
+  CcrPool pool;
+  pool.insert({AppKind::kPageRank, 1.95, {10.0, 4.0}});
+  pool.insert({AppKind::kPageRank, 2.3, {10.0, 2.0}});
+
+  const auto near_dense = pool.ccr_for(AppKind::kPageRank, 1.9);
+  EXPECT_DOUBLE_EQ(near_dense[1], 2.5);  // from the 1.95 entry
+  const auto near_sparse = pool.ccr_for(AppKind::kPageRank, 2.4);
+  EXPECT_DOUBLE_EQ(near_sparse[1], 5.0);  // from the 2.3 entry
+}
+
+TEST(CcrPool, MissingAppThrows) {
+  CcrPool pool;
+  pool.insert({AppKind::kPageRank, 2.1, {1.0, 2.0}});
+  EXPECT_TRUE(pool.has_app(AppKind::kPageRank));
+  EXPECT_FALSE(pool.has_app(AppKind::kColoring));
+  EXPECT_THROW(pool.ccr_for(AppKind::kColoring, 2.1), std::out_of_range);
+  EXPECT_THROW(pool.mean_ccr_for(AppKind::kColoring), std::out_of_range);
+}
+
+TEST(CcrPool, MeanCcrAveragesProxies) {
+  CcrPool pool;
+  pool.insert({AppKind::kColoring, 1.95, {4.0, 2.0}});
+  pool.insert({AppKind::kColoring, 2.3, {8.0, 2.0}});
+  const auto mean = pool.mean_ccr_for(AppKind::kColoring);
+  // Entry 1: times {4,2} -> CCR {1, 2}; entry 2: times {8,2} -> CCR {1, 4}.
+  EXPECT_DOUBLE_EQ(mean[0], 1.0);
+  EXPECT_DOUBLE_EQ(mean[1], 3.0);
+}
+
+TEST(CcrPool, RejectsInconsistentGroupCounts) {
+  CcrPool pool;
+  pool.insert({AppKind::kPageRank, 2.1, {1.0, 2.0}});
+  EXPECT_THROW(pool.insert({AppKind::kPageRank, 2.3, {1.0}}), std::invalid_argument);
+  EXPECT_THROW(pool.insert({AppKind::kPageRank, 2.3, {}}), std::invalid_argument);
+}
+
+TEST(ProfileCluster, OneEntryPerAppPerProxy) {
+  ProxySuite suite(kScale);
+  const auto cluster = testing::case2_cluster();
+  const AppKind apps[] = {AppKind::kPageRank, AppKind::kTriangleCount};
+  const auto pool = profile_cluster(cluster, suite, apps);
+  EXPECT_EQ(pool.entries().size(), 6u);  // 2 apps x 3 proxies
+  EXPECT_EQ(pool.num_groups(), 2u);
+  for (const auto& entry : pool.entries()) {
+    EXPECT_GT(entry.group_times[0], entry.group_times[1])
+        << "xeon_server_l must out-profile xeon_server_s";
+  }
+}
+
+TEST(ProfileCluster, GroupsCollapseIdenticalMachines) {
+  ProxySuite suite(kScale);
+  const auto& m = machine_by_name("c4.2xlarge");
+  const Cluster cluster({m, m, m});  // one group only
+  const AppKind apps[] = {AppKind::kPageRank};
+  const auto pool = profile_cluster(cluster, suite, apps);
+  EXPECT_EQ(pool.num_groups(), 1u);
+  const auto ccr = pool.ccr_for(AppKind::kPageRank, 2.1);
+  EXPECT_DOUBLE_EQ(ccr[0], 1.0);
+}
+
+TEST(ProfileGroupsOnGraph, MatchesSingleMachineProfiles) {
+  const auto g = small_graph();
+  const auto cluster = testing::case2_cluster();
+  const auto times = profile_groups_on_graph(cluster, AppKind::kPageRank, g, kScale);
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(
+      times[0],
+      profile_single_machine(machine_by_name("xeon_server_s"), AppKind::kPageRank, g, kScale));
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,137 @@
+// Property-based sweeps over ALL partitioners: invariants that must hold for
+// every algorithm, seed, machine count and weight vector.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/chung_lu.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
+#include "partition/metrics.hpp"
+#include "partition/weights.hpp"
+#include "util/math.hpp"
+
+namespace pglb {
+namespace {
+
+struct Config {
+  PartitionerKind kind;
+  MachineId machines;
+  std::uint64_t seed;
+};
+
+void PrintTo(const Config& c, std::ostream* os) {
+  *os << to_string(c.kind) << "/m" << c.machines << "/s" << c.seed;
+}
+
+class PartitionerProperties : public ::testing::TestWithParam<Config> {
+ protected:
+  static EdgeList graph() {
+    PowerLawConfig config;
+    config.num_vertices = 8000;
+    config.alpha = 2.05;
+    config.seed = 3;
+    return generate_powerlaw(config);
+  }
+};
+
+TEST_P(PartitionerProperties, EveryEdgeAssignedInRange) {
+  const auto [kind, machines, seed] = GetParam();
+  const auto g = graph();
+  const auto a = make_partitioner(kind)->partition(g, uniform_weights(machines), seed);
+  ASSERT_EQ(a.edge_to_machine.size(), g.num_edges());
+  ASSERT_EQ(a.num_machines, machines);
+  for (const MachineId m : a.edge_to_machine) ASSERT_LT(m, machines);
+}
+
+TEST_P(PartitionerProperties, EdgeCountsSumToTotal) {
+  const auto [kind, machines, seed] = GetParam();
+  const auto g = graph();
+  const auto a = make_partitioner(kind)->partition(g, uniform_weights(machines), seed);
+  const auto counts = a.machine_edge_counts();
+  EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), EdgeId{0}), g.num_edges());
+}
+
+TEST_P(PartitionerProperties, DeterministicAcrossCalls) {
+  const auto [kind, machines, seed] = GetParam();
+  const auto g = graph();
+  const auto p = make_partitioner(kind);
+  const auto a = p->partition(g, uniform_weights(machines), seed);
+  const auto b = p->partition(g, uniform_weights(machines), seed);
+  EXPECT_EQ(a.edge_to_machine, b.edge_to_machine);
+}
+
+TEST_P(PartitionerProperties, RaisingAWeightNeverShrinksItsShare) {
+  // Monotonicity of heterogeneity awareness: doubling one machine's weight
+  // must not decrease the share of edges it receives.
+  const auto [kind, machines, seed] = GetParam();
+  const auto g = graph();
+  const auto p = make_partitioner(kind);
+
+  auto share_of_first = [&](std::span<const double> weights) {
+    const auto a = p->partition(g, weights, seed);
+    const auto counts = a.machine_edge_counts();
+    return static_cast<double>(counts[0]) / static_cast<double>(g.num_edges());
+  };
+
+  std::vector<double> base(machines, 1.0);
+  const double before = share_of_first(base);
+  base[0] = 2.5;
+  const double after = share_of_first(base);
+  EXPECT_GE(after, before * 0.98);  // allow heuristic jitter, forbid reversals
+  if (machines > 1) {
+    EXPECT_GT(after, 1.0 / static_cast<double>(machines));
+  }
+}
+
+TEST_P(PartitionerProperties, ReplicationFactorWithinBounds) {
+  const auto [kind, machines, seed] = GetParam();
+  const auto g = graph();
+  const auto weights = uniform_weights(machines);
+  const auto a = make_partitioner(kind)->partition(g, weights, seed);
+  const auto metrics = compute_partition_metrics(g, a, weights);
+  EXPECT_GE(metrics.replication_factor, 1.0);
+  EXPECT_LE(metrics.replication_factor, static_cast<double>(machines));
+}
+
+std::vector<Config> sweep_configs() {
+  std::vector<Config> configs;
+  for (const PartitionerKind kind : extended_partitioner_kinds()) {
+    for (const MachineId machines : {1u, 4u, 9u, 16u}) {
+      if (kind == PartitionerKind::kGrid) {
+        // grid requires square counts; all of the above are square
+      }
+      for (const std::uint64_t seed : {1ull, 42ull}) {
+        configs.push_back({kind, machines, seed});
+      }
+    }
+  }
+  return configs;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionerProperties,
+                         ::testing::ValuesIn(sweep_configs()));
+
+TEST(PartitionerProperties, EmptyGraphYieldsEmptyAssignment) {
+  const EdgeList empty(100);
+  for (const PartitionerKind kind : extended_partitioner_kinds()) {
+    const auto a = make_partitioner(kind)->partition(empty, uniform_weights(4), 1);
+    EXPECT_TRUE(a.edge_to_machine.empty()) << to_string(kind);
+  }
+}
+
+TEST(PartitionerProperties, MultigraphEdgesAllAssigned) {
+  // Repeated edges and self-loops must not break any streaming pass.
+  EdgeList g(4);
+  for (int i = 0; i < 50; ++i) g.add(0, 1);
+  g.add(2, 2);
+  g.add(3, 2);
+  for (const PartitionerKind kind : extended_partitioner_kinds()) {
+    const auto a = make_partitioner(kind)->partition(g, uniform_weights(4), 1);
+    EXPECT_EQ(a.edge_to_machine.size(), g.num_edges()) << to_string(kind);
+  }
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,71 @@
+#include "core/proxy_suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pglb {
+namespace {
+
+constexpr double kScale = 1.0 / 256.0;  // tiny proxies: tests stay fast
+
+TEST(ProxySuite, GeneratesThreeTableTwoProxies) {
+  ProxySuite suite(kScale);
+  ASSERT_EQ(suite.proxies().size(), 3u);
+  EXPECT_DOUBLE_EQ(suite.proxies()[0].alpha, 1.95);
+  EXPECT_DOUBLE_EQ(suite.proxies()[1].alpha, 2.1);
+  EXPECT_DOUBLE_EQ(suite.proxies()[2].alpha, 2.3);
+  for (const auto& proxy : suite.proxies()) {
+    EXPECT_GT(proxy.graph.num_edges(), 0u);
+    EXPECT_EQ(proxy.stats.num_vertices, proxy.graph.num_vertices());
+  }
+}
+
+TEST(ProxySuite, DensityFollowsAlphaOrdering) {
+  ProxySuite suite(kScale);
+  EXPECT_GT(suite.proxies()[0].graph.num_edges(), suite.proxies()[1].graph.num_edges());
+  EXPECT_GT(suite.proxies()[1].graph.num_edges(), suite.proxies()[2].graph.num_edges());
+}
+
+TEST(ProxySuite, NearestSelectsByAlpha) {
+  ProxySuite suite(kScale);
+  EXPECT_DOUBLE_EQ(suite.nearest(1.9).alpha, 1.95);
+  EXPECT_DOUBLE_EQ(suite.nearest(2.11).alpha, 2.1);
+  EXPECT_DOUBLE_EQ(suite.nearest(5.0).alpha, 2.3);
+}
+
+TEST(ProxySuite, EnsureCoverageReusesCoveredRange) {
+  ProxySuite suite(kScale);
+  const auto before = suite.proxies().size();
+  (void)suite.ensure_coverage(2.05);  // inside the covered band
+  EXPECT_EQ(suite.proxies().size(), before);
+}
+
+TEST(ProxySuite, EnsureCoverageExtendsForOutliers) {
+  ProxySuite suite(kScale);
+  const auto& extra = suite.ensure_coverage(3.2);  // far from {1.95, 2.1, 2.3}
+  EXPECT_EQ(suite.proxies().size(), 4u);
+  EXPECT_DOUBLE_EQ(extra.alpha, 3.2);
+  // And a second request for the same alpha is served from the pool.
+  (void)suite.ensure_coverage(3.25);
+  EXPECT_EQ(suite.proxies().size(), 4u);
+}
+
+TEST(ProxySuite, TracksGenerationTime) {
+  ProxySuite suite(kScale);
+  EXPECT_GT(suite.generation_seconds(), 0.0);
+}
+
+TEST(ProxySuite, RejectsBadScale) {
+  EXPECT_THROW(ProxySuite(0.0), std::invalid_argument);
+  EXPECT_THROW(ProxySuite(1.5), std::invalid_argument);
+}
+
+TEST(ProxySuite, DeterministicPerSeed) {
+  ProxySuite a(kScale, 5);
+  ProxySuite b(kScale, 5);
+  EXPECT_EQ(a.proxies()[0].graph.num_edges(), b.proxies()[0].graph.num_edges());
+  ProxySuite c(kScale, 6);
+  EXPECT_NE(a.proxies()[0].graph.num_edges(), c.proxies()[0].graph.num_edges());
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,82 @@
+#include "graph/relabel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/reference.hpp"
+#include "gen/powerlaw.hpp"
+#include "graph/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(CompactVertexIds, DropsGapsAndIsolatedVertices) {
+  EdgeList g(10);  // only 1, 5, 9 participate
+  g.add(1, 5);
+  g.add(5, 9);
+  const auto result = compact_vertex_ids(g);
+  EXPECT_EQ(result.graph.num_vertices(), 3u);
+  EXPECT_EQ(result.graph.num_edges(), 2u);
+  EXPECT_EQ(result.forward[1], 0u);
+  EXPECT_EQ(result.forward[5], 1u);
+  EXPECT_EQ(result.forward[9], 2u);
+  EXPECT_EQ(result.forward[0], kInvalidVertex);
+  EXPECT_EQ(result.graph.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(result.graph.edge(1), (Edge{1, 2}));
+}
+
+TEST(CompactVertexIds, NoOpOnDenseIds) {
+  const auto g = testing::cycle_graph(8);
+  const auto result = compact_vertex_ids(g);
+  EXPECT_EQ(result.graph.num_vertices(), 8u);
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(result.forward[v], v);
+}
+
+TEST(RelabelByDegree, HubBecomesVertexZero) {
+  const auto g = testing::star_graph(10);  // hub 0 already; shuffle it first
+  EdgeList shuffled(10);
+  for (const Edge& e : g.edges()) shuffled.add((e.src + 4) % 10, (e.dst + 4) % 10);
+  const auto result = relabel_by_degree(shuffled);
+  // Old hub id is 4 after shifting; it must map to new id 0.
+  EXPECT_EQ(result.forward[4], 0u);
+  const auto deg = result.graph.total_degrees();
+  for (VertexId v = 1; v < 10; ++v) EXPECT_LE(deg[v], deg[v - 1]);
+}
+
+TEST(RelabelByDegree, PreservesStructure) {
+  PowerLawConfig config;
+  config.num_vertices = 3000;
+  config.alpha = 2.1;
+  const auto g = generate_powerlaw(config);
+  const auto result = relabel_by_degree(g);
+  EXPECT_EQ(result.graph.num_edges(), g.num_edges());
+  // Triangles are a relabelling invariant.
+  EXPECT_EQ(triangle_count_reference(result.graph), triangle_count_reference(g));
+  // And so is the degree distribution (hence the fitted alpha).
+  const auto before = compute_stats(g);
+  const auto after = compute_stats(result.graph);
+  EXPECT_EQ(before.max_out_degree, after.max_out_degree);
+  EXPECT_DOUBLE_EQ(before.mean_out_degree, after.mean_out_degree);
+}
+
+TEST(ApplyRelabeling, DropsEdgesOfDroppedVertices) {
+  EdgeList g(3);
+  g.add(0, 1);
+  g.add(1, 2);
+  const std::vector<VertexId> forward = {0, kInvalidVertex, 1};
+  const auto out = apply_relabeling(g, forward, 2);
+  EXPECT_EQ(out.num_edges(), 0u);  // both edges touch dropped vertex 1
+  EXPECT_EQ(out.num_vertices(), 2u);
+}
+
+TEST(ApplyRelabeling, ValidatesInputs) {
+  EdgeList g(2);
+  g.add(0, 1);
+  const std::vector<VertexId> short_map = {0};
+  EXPECT_THROW(apply_relabeling(g, short_map, 2), std::invalid_argument);
+  const std::vector<VertexId> oob = {0, 7};
+  EXPECT_THROW(apply_relabeling(g, oob, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,107 @@
+#include "partition/replication_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/distributed_graph.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/random_hash.hpp"
+#include "partition/weights.hpp"
+#include "util/math.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(ReplicationModel, SingleMachineIsOneReplica) {
+  const std::vector<double> shares = {1.0};
+  EXPECT_DOUBLE_EQ(expected_replicas(5, shares), 1.0);
+  EXPECT_DOUBLE_EQ(expected_replicas(0, shares), 0.0);
+}
+
+TEST(ReplicationModel, DegreeOneVertexHasOneReplica) {
+  // A single edge lands on exactly one machine regardless of weights.
+  const std::vector<double> shares = {0.25, 0.75};
+  EXPECT_NEAR(expected_replicas(1, shares), 1.0, 1e-12);
+}
+
+TEST(ReplicationModel, HighDegreeVertexSaturatesAtMachineCount) {
+  const std::vector<double> shares = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(expected_replicas(1'000'000, shares), 4.0, 1e-9);
+}
+
+TEST(ReplicationModel, MonotoneInDegree) {
+  const std::vector<double> shares = {0.5, 0.3, 0.2};
+  double prev = 0.0;
+  for (const std::uint64_t d : {1ull, 2ull, 4ull, 16ull, 256ull}) {
+    const double r = expected_replicas(d, shares);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(ReplicationModel, SkewedSharesReplicateLess) {
+  // Concentrating data reduces expected replication — the effect the
+  // comm-aware refinement trades against balance.
+  const std::vector<double> uniform = {0.5, 0.5};
+  const std::vector<double> skewed = {0.1, 0.9};
+  for (const std::uint64_t d : {2ull, 4ull, 10ull}) {
+    EXPECT_LT(expected_replicas(d, skewed), expected_replicas(d, uniform)) << d;
+  }
+}
+
+TEST(ReplicationModel, RejectsMalformedShares) {
+  const std::vector<double> not_normalized = {0.5, 0.2};
+  EXPECT_THROW(expected_replicas(3, not_normalized), std::invalid_argument);
+  const std::vector<double> zero = {1.0, 0.0};
+  EXPECT_THROW(expected_replicas(3, zero), std::invalid_argument);
+}
+
+TEST(ReplicationModel, PredictsMeasuredReplicationFactor) {
+  // The model must track the measured RF of weighted Random Hash within a
+  // few percent (it is exact in expectation; sampling noise remains).
+  PowerLawConfig config;
+  config.num_vertices = 20'000;
+  config.alpha = 2.1;
+  config.seed = 77;
+  const auto g = generate_powerlaw(config);
+  const auto hist = total_degree_histogram(g);
+
+  const std::vector<std::vector<double>> share_sets = {
+      {0.25, 0.25, 0.25, 0.25}, {0.1, 0.2, 0.3, 0.4}};
+  for (const std::vector<double>& shares : share_sets) {
+    const auto assignment = RandomHashPartitioner{}.partition(g, shares, 5);
+    const auto dg = build_distributed(g, assignment);
+    const double predicted = expected_replication_factor(hist, shares);
+    EXPECT_LT(relative_error(predicted, dg.replication_factor()), 0.05);
+  }
+}
+
+TEST(ReplicationModel, MirrorsPerMachineSumBelowReplicas) {
+  PowerLawConfig config;
+  config.num_vertices = 5000;
+  config.alpha = 2.0;
+  const auto g = generate_powerlaw(config);
+  const auto hist = total_degree_histogram(g);
+  const std::vector<double> shares = {0.3, 0.7};
+  const auto mirrors = expected_mirrors_per_machine(hist, shares);
+  double mirror_total = 0.0;
+  for (const double m : mirrors) mirror_total += m;
+  // Mirrors < total replicas (every present vertex has exactly one master).
+  double replica_total = 0.0;
+  for (std::uint64_t d = 1; d <= hist.max_value(); ++d) {
+    replica_total += static_cast<double>(hist.count_of(d)) * expected_replicas(d, shares);
+  }
+  EXPECT_LT(mirror_total, replica_total);
+  EXPECT_GT(mirror_total, 0.0);
+}
+
+TEST(ReplicationModel, TotalDegreeHistogramCountsBothEndpoints) {
+  EdgeList g(3);
+  g.add(0, 1);
+  g.add(1, 2);
+  const auto hist = total_degree_histogram(g);
+  EXPECT_EQ(hist.count_of(1), 2u);  // vertices 0 and 2
+  EXPECT_EQ(hist.count_of(2), 1u);  // vertex 1
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,173 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace pglb {
+namespace {
+
+TEST(Splitmix64, IsDeterministic) {
+  EXPECT_EQ(splitmix64(0), splitmix64(0));
+  EXPECT_EQ(splitmix64(42), splitmix64(42));
+  EXPECT_NE(splitmix64(0), splitmix64(1));
+}
+
+TEST(Splitmix64, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip roughly half the output bits.
+  const std::uint64_t base = splitmix64(0x1234'5678'9abc'def0ull);
+  for (int bit = 0; bit < 64; bit += 7) {
+    const std::uint64_t flipped = splitmix64(0x1234'5678'9abc'def0ull ^ (1ull << bit));
+    const int differing = __builtin_popcountll(base ^ flipped);
+    EXPECT_GT(differing, 16) << "bit " << bit;
+    EXPECT_LT(differing, 48) << "bit " << bit;
+  }
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams) {
+  Rng a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ReseedRestartsTheStream) {
+  Rng a(7);
+  const auto first = a.next_u64();
+  a.next_u64();
+  a.reseed(7);
+  EXPECT_EQ(a.next_u64(), first);
+}
+
+TEST(Rng, DoubleIsInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanIsHalf) {
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng(3);
+  for (const std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, (1ull << 40)}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundReturnsZero) {
+  Rng rng(3);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng rng(4);
+  std::array<int, 7> counts{};
+  const int n = 70'000;
+  for (int i = 0; i < n; ++i) ++counts[rng.next_below(7)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 7.0, n / 7.0 * 0.1);
+  }
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const auto v = rng.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalHasZeroMeanUnitVariance) {
+  Rng rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.next_normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(7);
+  std::vector<int> items(100);
+  std::iota(items.begin(), items.end(), 0);
+  auto shuffled = items;
+  rng.shuffle(std::span<int>(shuffled));
+  EXPECT_NE(shuffled, items);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  const std::vector<double> weights = {1.0, 2.0, 7.0};
+  DiscreteSampler sampler{std::span<const double>(weights)};
+  Rng rng(8);
+  std::array<int, 3> counts{};
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(DiscreteSampler, ZeroWeightEntriesNeverSampled) {
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  DiscreteSampler sampler{std::span<const double>(weights)};
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.sample(rng), 1u);
+}
+
+TEST(DiscreteSampler, RejectsNegativeWeights) {
+  const std::vector<double> weights = {1.0, -0.5};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>(weights)}, std::invalid_argument);
+}
+
+TEST(DiscreteSampler, RejectsAllZeroWeights) {
+  const std::vector<double> weights = {0.0, 0.0};
+  EXPECT_THROW(DiscreteSampler{std::span<const double>(weights)}, std::invalid_argument);
+}
+
+TEST(DiscreteSampler, EmptySamplerThrowsOnSample) {
+  DiscreteSampler sampler;
+  Rng rng(10);
+  EXPECT_TRUE(sampler.empty());
+  EXPECT_THROW(sampler.sample(rng), std::logic_error);
+}
+
+TEST(DiscreteSampler, TotalMassIsWeightSum) {
+  const std::vector<double> weights = {1.5, 2.5};
+  DiscreteSampler sampler{std::span<const double>(weights)};
+  EXPECT_DOUBLE_EQ(sampler.total_mass(), 4.0);
+}
+
+}  // namespace
+}  // namespace pglb

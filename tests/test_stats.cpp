@@ -1,0 +1,75 @@
+#include "graph/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/powerlaw.hpp"
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+TEST(Stats, EmptyGraph) {
+  const auto s = compute_stats(EdgeList{});
+  EXPECT_EQ(s.num_vertices, 0u);
+  EXPECT_EQ(s.num_edges, 0u);
+}
+
+TEST(Stats, StarGraphShape) {
+  const auto g = testing::star_graph(11);  // hub with out-degree 10
+  const auto s = compute_stats(g);
+  EXPECT_EQ(s.num_vertices, 11u);
+  EXPECT_EQ(s.num_edges, 10u);
+  EXPECT_EQ(s.max_out_degree, 10u);
+  EXPECT_NEAR(s.mean_out_degree, 10.0 / 11.0, 1e-12);
+  EXPECT_NEAR(s.degree_skew, 10.0 / (10.0 / 11.0), 1e-9);
+  EXPECT_NEAR(s.sink_fraction, 10.0 / 11.0, 1e-12);  // all spokes are sinks
+  EXPECT_EQ(s.max_total_degree, 10u);
+}
+
+TEST(Stats, CycleGraphIsUnskewed) {
+  const auto s = compute_stats(testing::cycle_graph(20));
+  EXPECT_DOUBLE_EQ(s.mean_out_degree, 1.0);
+  EXPECT_EQ(s.max_out_degree, 1u);
+  EXPECT_DOUBLE_EQ(s.degree_skew, 1.0);
+  EXPECT_DOUBLE_EQ(s.sink_fraction, 0.0);
+}
+
+TEST(Stats, FootprintMatchesIoEstimate) {
+  const auto g = testing::complete_graph(12);
+  const auto s = compute_stats(g);
+  EXPECT_GT(s.footprint_bytes, 0u);
+  // Every edge line is at least 4 bytes ("a\tb\n").
+  EXPECT_GE(s.footprint_bytes, 4 * g.num_edges());
+}
+
+TEST(Stats, PowerLawGraphAlphaIsRecoveredApproximately) {
+  PowerLawConfig config;
+  config.num_vertices = 60'000;
+  config.alpha = 2.1;
+  config.seed = 5;
+  const auto g = generate_powerlaw(config);
+  const auto s = compute_stats(g);
+  // The log-log tail fit is crude; accept a generous band around the truth.
+  EXPECT_GT(s.empirical_alpha, 1.6);
+  EXPECT_LT(s.empirical_alpha, 2.7);
+}
+
+TEST(Stats, DegreeHistogramTotalsVertices) {
+  const auto g = testing::star_graph(8);
+  const auto h = out_degree_histogram(g);
+  EXPECT_EQ(h.total(), 8u);
+  EXPECT_EQ(h.count_of(7), 1u);  // the hub
+  EXPECT_EQ(h.count_of(0), 7u);  // the spokes
+}
+
+TEST(Stats, SkewOrderingAcrossGraphFamilies) {
+  PowerLawConfig pl;
+  pl.num_vertices = 20'000;
+  pl.alpha = 2.0;
+  const auto skewed = compute_stats(generate_powerlaw(pl));
+  const auto flat = compute_stats(testing::cycle_graph(20'000));
+  EXPECT_GT(skewed.degree_skew, 10.0 * flat.degree_skew);
+}
+
+}  // namespace
+}  // namespace pglb

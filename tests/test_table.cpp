@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pglb {
+namespace {
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"name", "value"});
+  t.row().cell("alpha").cell(1.5, 1);
+  t.row().cell("beta").cell(std::int64_t{42});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("| name"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, TooManyCellsRejected) {
+  Table t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), std::logic_error);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"a", "b"});
+  t.row().cell("x,y").cell("say \"hi\"");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t({"a", "b"});
+  t.row().cell("1").cell("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, PrintWritesToStream) {
+  Table t({"h"});
+  t.row().cell("v");
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_FALSE(os.str().empty());
+}
+
+TEST(Formatters, SpeedupAndPercent) {
+  EXPECT_EQ(format_speedup(1.45), "1.45x");
+  EXPECT_EQ(format_percent(0.179), "17.9%");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+}  // namespace
+}  // namespace pglb

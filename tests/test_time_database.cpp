@@ -1,0 +1,121 @@
+#include "core/time_database.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "test_helpers.hpp"
+
+namespace pglb {
+namespace {
+
+TimeDatabase sample_db() {
+  TimeDatabase db;
+  db.record({AppKind::kPageRank, 2.1, "xeon_server_s"}, 10.0);
+  db.record({AppKind::kPageRank, 2.1, "xeon_server_l"}, 2.5);
+  db.record({AppKind::kPageRank, 1.95, "xeon_server_s"}, 20.0);
+  db.record({AppKind::kPageRank, 1.95, "xeon_server_l"}, 4.0);
+  return db;
+}
+
+TEST(TimeDatabase, RecordAndLookup) {
+  const auto db = sample_db();
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_DOUBLE_EQ(*db.lookup({AppKind::kPageRank, 2.1, "xeon_server_s"}), 10.0);
+  EXPECT_FALSE(db.lookup({AppKind::kColoring, 2.1, "xeon_server_s"}).has_value());
+}
+
+TEST(TimeDatabase, RecordOverwrites) {
+  TimeDatabase db;
+  db.record({AppKind::kPageRank, 2.1, "m"}, 1.0);
+  db.record({AppKind::kPageRank, 2.1, "m"}, 2.0);
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_DOUBLE_EQ(*db.lookup({AppKind::kPageRank, 2.1, "m"}), 2.0);
+}
+
+TEST(TimeDatabase, RejectsNonPositiveTimes) {
+  TimeDatabase db;
+  EXPECT_THROW(db.record({AppKind::kPageRank, 2.1, "m"}, 0.0), std::invalid_argument);
+  EXPECT_THROW(db.record({AppKind::kPageRank, 2.1, "m"}, -1.0), std::invalid_argument);
+}
+
+TEST(TimeDatabase, AlphasForAppSortedUnique) {
+  const auto db = sample_db();
+  EXPECT_EQ(db.alphas_for(AppKind::kPageRank), (std::vector<double>{1.95, 2.1}));
+  EXPECT_TRUE(db.alphas_for(AppKind::kColoring).empty());
+}
+
+TEST(TimeDatabase, CcrDerivedForAnyComposition) {
+  const auto db = sample_db();
+  // Composition 1: one of each.
+  const auto two = testing::case2_cluster();
+  const auto ccr2 = db.ccr_for(two, AppKind::kPageRank, 2.1);
+  EXPECT_DOUBLE_EQ(ccr2[0], 1.0);
+  EXPECT_DOUBLE_EQ(ccr2[1], 4.0);
+  // Composition 2: S + L + L — no re-profiling, CCR still derivable.
+  const Cluster three({machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l"),
+                       machine_by_name("xeon_server_l")});
+  const auto ccr3 = db.ccr_for(three, AppKind::kPageRank, 2.1);
+  EXPECT_EQ(ccr3, (std::vector<double>{1.0, 4.0, 4.0}));
+}
+
+TEST(TimeDatabase, NearestAlphaSelected) {
+  const auto db = sample_db();
+  const auto cluster = testing::case2_cluster();
+  // 1.9 is closer to the 1.95 entries (CCR 5.0) than to 2.1 (CCR 4.0).
+  const auto ccr = db.ccr_for(cluster, AppKind::kPageRank, 1.9);
+  EXPECT_DOUBLE_EQ(ccr[1], 5.0);
+}
+
+TEST(TimeDatabase, MissingMachineThrows) {
+  const auto db = sample_db();
+  const auto cluster = testing::case1_cluster();  // m4/c4: never profiled
+  EXPECT_THROW(db.ccr_for(cluster, AppKind::kPageRank, 2.1), std::out_of_range);
+  EXPECT_THROW(db.ccr_for(testing::case2_cluster(), AppKind::kColoring, 2.1),
+               std::out_of_range);
+}
+
+TEST(TimeDatabase, MissingMachinesListsOnlyUnknownTypes) {
+  const auto db = sample_db();
+  const Cluster mixed({machine_by_name("xeon_server_s"), machine_by_name("c4.xlarge"),
+                       machine_by_name("c4.xlarge")});
+  const auto missing = db.missing_machines(mixed, AppKind::kPageRank, 2.1);
+  ASSERT_EQ(missing.size(), 1u);  // c4.xlarge once, despite two instances
+  EXPECT_EQ(missing[0].name, "c4.xlarge");
+}
+
+TEST(TimeDatabase, SaveLoadRoundTrip) {
+  const auto db = sample_db();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pglb_pool_test.tsv").string();
+  save_time_database(db, path);
+  const auto loaded = load_time_database(path);
+  EXPECT_EQ(loaded.size(), db.size());
+  EXPECT_DOUBLE_EQ(*loaded.lookup({AppKind::kPageRank, 1.95, "xeon_server_l"}), 4.0);
+  std::filesystem::remove(path);
+}
+
+TEST(TimeDatabase, LoadRejectsCorruptFiles) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto bad_header = (dir / "pglb_pool_bad1.tsv").string();
+  {
+    std::ofstream out(bad_header);
+    out << "not a pool file\n";
+  }
+  EXPECT_THROW(load_time_database(bad_header), std::runtime_error);
+  std::filesystem::remove(bad_header);
+
+  const auto bad_row = (dir / "pglb_pool_bad2.tsv").string();
+  {
+    std::ofstream out(bad_row);
+    out << "# pglb-ccr-pool v1\npagerank\tnot_a_number\tm\t1.0\n";
+  }
+  EXPECT_THROW(load_time_database(bad_row), std::runtime_error);
+  std::filesystem::remove(bad_row);
+
+  EXPECT_THROW(load_time_database("/no/such/file.tsv"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pglb

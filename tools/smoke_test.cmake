@@ -1,0 +1,33 @@
+# End-to-end CLI smoke test: generate -> stats -> profile -> partition -> run.
+# Driven by ctest (see CMakeLists.txt in this directory).
+
+function(run_step)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "step failed (${code}): ${ARGV}\n${out}\n${err}")
+  endif()
+endfunction()
+
+set(graph ${WORKDIR}/smoke_graph.txt)
+set(pool ${WORKDIR}/smoke_pool.tsv)
+set(assignment ${WORKDIR}/smoke_assignment.txt)
+
+run_step(${PGLB} generate --type=powerlaw --vertices=5000 --alpha=2.1 --out=${graph})
+run_step(${PGLB} stats --graph=${graph})
+run_step(${PGLB} profile --machines=xeon_server_s,xeon_server_l --apps=pagerank
+         --scale=0.001 --out=${pool})
+run_step(${PGLB} partition --graph=${graph} --machines=xeon_server_s,xeon_server_l
+         --algorithm=hybrid --weights=${pool} --out=${assignment})
+run_step(${PGLB} run --graph=${graph} --app=pagerank
+         --machines=xeon_server_s,xeon_server_l --estimator=ccr --pool=${pool}
+         --algorithm=hybrid --scale=0.001)
+
+# Format conversions + relabelling round trip.
+set(mtx ${WORKDIR}/smoke_graph.mtx)
+set(relabelled ${WORKDIR}/smoke_relabel.bin)
+run_step(${PGLB} relabel --graph=${graph} --mode=degree --out=${mtx})
+run_step(${PGLB} relabel --graph=${mtx} --mode=compact --out=${relabelled})
+run_step(${PGLB} stats --graph=${relabelled})
+
+file(REMOVE ${graph} ${pool} ${assignment} ${mtx} ${relabelled})
