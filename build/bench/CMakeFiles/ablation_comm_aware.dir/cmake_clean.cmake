@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_comm_aware.dir/ablation_comm_aware.cpp.o"
+  "CMakeFiles/ablation_comm_aware.dir/ablation_comm_aware.cpp.o.d"
+  "ablation_comm_aware"
+  "ablation_comm_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_comm_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

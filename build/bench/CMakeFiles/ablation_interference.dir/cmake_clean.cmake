@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_interference.dir/ablation_interference.cpp.o"
+  "CMakeFiles/ablation_interference.dir/ablation_interference.cpp.o.d"
+  "ablation_interference"
+  "ablation_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partitioners.dir/ablation_partitioners.cpp.o"
+  "CMakeFiles/ablation_partitioners.dir/ablation_partitioners.cpp.o.d"
+  "ablation_partitioners"
+  "ablation_partitioners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

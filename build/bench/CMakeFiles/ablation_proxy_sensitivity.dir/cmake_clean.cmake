@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_proxy_sensitivity.dir/ablation_proxy_sensitivity.cpp.o"
+  "CMakeFiles/ablation_proxy_sensitivity.dir/ablation_proxy_sensitivity.cpp.o.d"
+  "ablation_proxy_sensitivity"
+  "ablation_proxy_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proxy_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

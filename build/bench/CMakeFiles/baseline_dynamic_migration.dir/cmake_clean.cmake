@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_dynamic_migration.dir/baseline_dynamic_migration.cpp.o"
+  "CMakeFiles/baseline_dynamic_migration.dir/baseline_dynamic_migration.cpp.o.d"
+  "baseline_dynamic_migration"
+  "baseline_dynamic_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_dynamic_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

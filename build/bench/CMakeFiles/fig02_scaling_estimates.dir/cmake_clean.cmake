@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_scaling_estimates.dir/fig02_scaling_estimates.cpp.o"
+  "CMakeFiles/fig02_scaling_estimates.dir/fig02_scaling_estimates.cpp.o.d"
+  "fig02_scaling_estimates"
+  "fig02_scaling_estimates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_scaling_estimates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08a_ccr_same_domain.dir/fig08a_ccr_same_domain.cpp.o"
+  "CMakeFiles/fig08a_ccr_same_domain.dir/fig08a_ccr_same_domain.cpp.o.d"
+  "fig08a_ccr_same_domain"
+  "fig08a_ccr_same_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08a_ccr_same_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

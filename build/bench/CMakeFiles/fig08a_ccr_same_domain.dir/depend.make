@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08a_ccr_same_domain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08b_ccr_cross_domain.dir/fig08b_ccr_cross_domain.cpp.o"
+  "CMakeFiles/fig08b_ccr_cross_domain.dir/fig08b_ccr_cross_domain.cpp.o.d"
+  "fig08b_ccr_cross_domain"
+  "fig08b_ccr_cross_domain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08b_ccr_cross_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

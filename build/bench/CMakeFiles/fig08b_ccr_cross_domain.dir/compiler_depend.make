@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig08b_ccr_cross_domain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08b_ccr_cross_domain.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_case1_ec2.dir/fig09_case1_ec2.cpp.o"
+  "CMakeFiles/fig09_case1_ec2.dir/fig09_case1_ec2.cpp.o.d"
+  "fig09_case1_ec2"
+  "fig09_case1_ec2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_case1_ec2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_case1_ec2.
+# This may be replaced when dependencies are built.

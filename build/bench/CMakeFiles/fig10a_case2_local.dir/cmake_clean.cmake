@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10a_case2_local.dir/fig10a_case2_local.cpp.o"
+  "CMakeFiles/fig10a_case2_local.dir/fig10a_case2_local.cpp.o.d"
+  "fig10a_case2_local"
+  "fig10a_case2_local.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10a_case2_local.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

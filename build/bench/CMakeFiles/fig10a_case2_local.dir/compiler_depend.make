@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10a_case2_local.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10a_case2_local.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10b_case3_freq.dir/fig10b_case3_freq.cpp.o"
+  "CMakeFiles/fig10b_case3_freq.dir/fig10b_case3_freq.cpp.o.d"
+  "fig10b_case3_freq"
+  "fig10b_case3_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10b_case3_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig10b_case3_freq.
+# This may be replaced when dependencies are built.

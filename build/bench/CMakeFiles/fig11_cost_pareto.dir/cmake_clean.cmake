@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cost_pareto.dir/fig11_cost_pareto.cpp.o"
+  "CMakeFiles/fig11_cost_pareto.dir/fig11_cost_pareto.cpp.o.d"
+  "fig11_cost_pareto"
+  "fig11_cost_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cost_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_alpha_solver.dir/micro_alpha_solver.cpp.o"
+  "CMakeFiles/micro_alpha_solver.dir/micro_alpha_solver.cpp.o.d"
+  "micro_alpha_solver"
+  "micro_alpha_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_alpha_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profiling_overhead.dir/profiling_overhead.cpp.o"
+  "CMakeFiles/profiling_overhead.dir/profiling_overhead.cpp.o.d"
+  "profiling_overhead"
+  "profiling_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profiling_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_machines.dir/table1_machines.cpp.o"
+  "CMakeFiles/table1_machines.dir/table1_machines.cpp.o.d"
+  "table1_machines"
+  "table1_machines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

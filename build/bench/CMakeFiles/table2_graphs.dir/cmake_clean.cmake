@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_graphs.dir/table2_graphs.cpp.o"
+  "CMakeFiles/table2_graphs.dir/table2_graphs.cpp.o.d"
+  "table2_graphs"
+  "table2_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

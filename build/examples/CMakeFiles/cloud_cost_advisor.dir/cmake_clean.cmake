@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_cost_advisor.dir/cloud_cost_advisor.cpp.o"
+  "CMakeFiles/cloud_cost_advisor.dir/cloud_cost_advisor.cpp.o.d"
+  "cloud_cost_advisor"
+  "cloud_cost_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_cost_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cloud_cost_advisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_app_sssp.dir/custom_app_sssp.cpp.o"
+  "CMakeFiles/custom_app_sssp.dir/custom_app_sssp.cpp.o.d"
+  "custom_app_sssp"
+  "custom_app_sssp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_app_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_energy_planner.dir/datacenter_energy_planner.cpp.o"
+  "CMakeFiles/datacenter_energy_planner.dir/datacenter_energy_planner.cpp.o.d"
+  "datacenter_energy_planner"
+  "datacenter_energy_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_energy_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_cluster_study.dir/heterogeneous_cluster_study.cpp.o"
+  "CMakeFiles/heterogeneous_cluster_study.dir/heterogeneous_cluster_study.cpp.o.d"
+  "heterogeneous_cluster_study"
+  "heterogeneous_cluster_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_cluster_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

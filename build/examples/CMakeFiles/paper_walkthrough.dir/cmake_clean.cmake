@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_walkthrough.dir/paper_walkthrough.cpp.o"
+  "CMakeFiles/paper_walkthrough.dir/paper_walkthrough.cpp.o.d"
+  "paper_walkthrough"
+  "paper_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/straggler_postmortem.dir/straggler_postmortem.cpp.o"
+  "CMakeFiles/straggler_postmortem.dir/straggler_postmortem.cpp.o.d"
+  "straggler_postmortem"
+  "straggler_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/straggler_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/coloring.cpp" "src/CMakeFiles/pglb.dir/apps/coloring.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/coloring.cpp.o.d"
+  "/root/repo/src/apps/connected_components.cpp" "src/CMakeFiles/pglb.dir/apps/connected_components.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/connected_components.cpp.o.d"
+  "/root/repo/src/apps/kcore.cpp" "src/CMakeFiles/pglb.dir/apps/kcore.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/kcore.cpp.o.d"
+  "/root/repo/src/apps/pagerank.cpp" "src/CMakeFiles/pglb.dir/apps/pagerank.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/pagerank.cpp.o.d"
+  "/root/repo/src/apps/reference.cpp" "src/CMakeFiles/pglb.dir/apps/reference.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/reference.cpp.o.d"
+  "/root/repo/src/apps/registry.cpp" "src/CMakeFiles/pglb.dir/apps/registry.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/registry.cpp.o.d"
+  "/root/repo/src/apps/sssp.cpp" "src/CMakeFiles/pglb.dir/apps/sssp.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/sssp.cpp.o.d"
+  "/root/repo/src/apps/triangle_count.cpp" "src/CMakeFiles/pglb.dir/apps/triangle_count.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/apps/triangle_count.cpp.o.d"
+  "/root/repo/src/baselines/dynamic_migration.cpp" "src/CMakeFiles/pglb.dir/baselines/dynamic_migration.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/baselines/dynamic_migration.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/pglb.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/groups.cpp" "src/CMakeFiles/pglb.dir/cluster/groups.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/cluster/groups.cpp.o.d"
+  "/root/repo/src/cluster/interference.cpp" "src/CMakeFiles/pglb.dir/cluster/interference.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/cluster/interference.cpp.o.d"
+  "/root/repo/src/cluster/network_model.cpp" "src/CMakeFiles/pglb.dir/cluster/network_model.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/cluster/network_model.cpp.o.d"
+  "/root/repo/src/core/ccr.cpp" "src/CMakeFiles/pglb.dir/core/ccr.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/ccr.cpp.o.d"
+  "/root/repo/src/core/comm_aware.cpp" "src/CMakeFiles/pglb.dir/core/comm_aware.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/comm_aware.cpp.o.d"
+  "/root/repo/src/core/estimators.cpp" "src/CMakeFiles/pglb.dir/core/estimators.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/estimators.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/CMakeFiles/pglb.dir/core/flow.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/flow.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/CMakeFiles/pglb.dir/core/online.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/online.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/CMakeFiles/pglb.dir/core/profiler.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/profiler.cpp.o.d"
+  "/root/repo/src/core/proxy_suite.cpp" "src/CMakeFiles/pglb.dir/core/proxy_suite.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/proxy_suite.cpp.o.d"
+  "/root/repo/src/core/time_database.cpp" "src/CMakeFiles/pglb.dir/core/time_database.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/core/time_database.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/CMakeFiles/pglb.dir/cost/cost_model.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/cost/cost_model.cpp.o.d"
+  "/root/repo/src/cost/pareto.cpp" "src/CMakeFiles/pglb.dir/cost/pareto.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/cost/pareto.cpp.o.d"
+  "/root/repo/src/engine/distributed_graph.cpp" "src/CMakeFiles/pglb.dir/engine/distributed_graph.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/engine/distributed_graph.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/CMakeFiles/pglb.dir/engine/engine.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/engine/engine.cpp.o.d"
+  "/root/repo/src/engine/exec_report.cpp" "src/CMakeFiles/pglb.dir/engine/exec_report.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/engine/exec_report.cpp.o.d"
+  "/root/repo/src/gen/alpha_solver.cpp" "src/CMakeFiles/pglb.dir/gen/alpha_solver.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/gen/alpha_solver.cpp.o.d"
+  "/root/repo/src/gen/chung_lu.cpp" "src/CMakeFiles/pglb.dir/gen/chung_lu.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/gen/chung_lu.cpp.o.d"
+  "/root/repo/src/gen/corpus.cpp" "src/CMakeFiles/pglb.dir/gen/corpus.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/gen/corpus.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/CMakeFiles/pglb.dir/gen/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/gen/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/powerlaw.cpp" "src/CMakeFiles/pglb.dir/gen/powerlaw.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/gen/powerlaw.cpp.o.d"
+  "/root/repo/src/gen/rmat.cpp" "src/CMakeFiles/pglb.dir/gen/rmat.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/gen/rmat.cpp.o.d"
+  "/root/repo/src/gen/watts_strogatz.cpp" "src/CMakeFiles/pglb.dir/gen/watts_strogatz.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/gen/watts_strogatz.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/CMakeFiles/pglb.dir/graph/builder.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/graph/builder.cpp.o.d"
+  "/root/repo/src/graph/csr.cpp" "src/CMakeFiles/pglb.dir/graph/csr.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/graph/csr.cpp.o.d"
+  "/root/repo/src/graph/edge_list.cpp" "src/CMakeFiles/pglb.dir/graph/edge_list.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/graph/edge_list.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/pglb.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/relabel.cpp" "src/CMakeFiles/pglb.dir/graph/relabel.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/graph/relabel.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/pglb.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/machine/app_profile.cpp" "src/CMakeFiles/pglb.dir/machine/app_profile.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/machine/app_profile.cpp.o.d"
+  "/root/repo/src/machine/catalog.cpp" "src/CMakeFiles/pglb.dir/machine/catalog.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/machine/catalog.cpp.o.d"
+  "/root/repo/src/machine/energy_model.cpp" "src/CMakeFiles/pglb.dir/machine/energy_model.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/machine/energy_model.cpp.o.d"
+  "/root/repo/src/machine/machine_spec.cpp" "src/CMakeFiles/pglb.dir/machine/machine_spec.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/machine/machine_spec.cpp.o.d"
+  "/root/repo/src/machine/perf_model.cpp" "src/CMakeFiles/pglb.dir/machine/perf_model.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/machine/perf_model.cpp.o.d"
+  "/root/repo/src/partition/chunking.cpp" "src/CMakeFiles/pglb.dir/partition/chunking.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/chunking.cpp.o.d"
+  "/root/repo/src/partition/factory.cpp" "src/CMakeFiles/pglb.dir/partition/factory.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/factory.cpp.o.d"
+  "/root/repo/src/partition/ginger.cpp" "src/CMakeFiles/pglb.dir/partition/ginger.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/ginger.cpp.o.d"
+  "/root/repo/src/partition/grid.cpp" "src/CMakeFiles/pglb.dir/partition/grid.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/grid.cpp.o.d"
+  "/root/repo/src/partition/hdrf.cpp" "src/CMakeFiles/pglb.dir/partition/hdrf.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/hdrf.cpp.o.d"
+  "/root/repo/src/partition/hybrid.cpp" "src/CMakeFiles/pglb.dir/partition/hybrid.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/hybrid.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/CMakeFiles/pglb.dir/partition/metrics.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/metrics.cpp.o.d"
+  "/root/repo/src/partition/oblivious.cpp" "src/CMakeFiles/pglb.dir/partition/oblivious.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/oblivious.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/pglb.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/partition/random_hash.cpp" "src/CMakeFiles/pglb.dir/partition/random_hash.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/random_hash.cpp.o.d"
+  "/root/repo/src/partition/replication_model.cpp" "src/CMakeFiles/pglb.dir/partition/replication_model.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/replication_model.cpp.o.d"
+  "/root/repo/src/partition/weights.cpp" "src/CMakeFiles/pglb.dir/partition/weights.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/partition/weights.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/pglb.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/hash.cpp" "src/CMakeFiles/pglb.dir/util/hash.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/util/hash.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/pglb.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/pglb.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pglb.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/pglb.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/pglb.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

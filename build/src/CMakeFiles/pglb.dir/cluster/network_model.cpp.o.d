@@ -1,0 +1,3 @@
+src/CMakeFiles/pglb.dir/cluster/network_model.cpp.o: \
+ /root/repo/src/cluster/network_model.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/cluster/network_model.hpp

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alpha_solver.dir/test_alpha_solver.cpp.o"
+  "CMakeFiles/test_alpha_solver.dir/test_alpha_solver.cpp.o.d"
+  "test_alpha_solver"
+  "test_alpha_solver.pdb"
+  "test_alpha_solver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alpha_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_seed_sweeps.dir/test_app_seed_sweeps.cpp.o"
+  "CMakeFiles/test_app_seed_sweeps.dir/test_app_seed_sweeps.cpp.o.d"
+  "test_app_seed_sweeps"
+  "test_app_seed_sweeps.pdb"
+  "test_app_seed_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_seed_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

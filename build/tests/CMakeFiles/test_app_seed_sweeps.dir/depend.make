@@ -1,0 +1,2 @@
+# Empty dependencies file for test_app_seed_sweeps.
+# This may be replaced when dependencies are built.

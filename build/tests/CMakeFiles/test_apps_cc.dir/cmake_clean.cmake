@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_cc.dir/test_apps_cc.cpp.o"
+  "CMakeFiles/test_apps_cc.dir/test_apps_cc.cpp.o.d"
+  "test_apps_cc"
+  "test_apps_cc.pdb"
+  "test_apps_cc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

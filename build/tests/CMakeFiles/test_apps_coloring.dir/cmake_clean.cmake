@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_coloring.dir/test_apps_coloring.cpp.o"
+  "CMakeFiles/test_apps_coloring.dir/test_apps_coloring.cpp.o.d"
+  "test_apps_coloring"
+  "test_apps_coloring.pdb"
+  "test_apps_coloring[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_coloring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

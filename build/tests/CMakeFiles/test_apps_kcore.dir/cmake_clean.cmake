@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_kcore.dir/test_apps_kcore.cpp.o"
+  "CMakeFiles/test_apps_kcore.dir/test_apps_kcore.cpp.o.d"
+  "test_apps_kcore"
+  "test_apps_kcore.pdb"
+  "test_apps_kcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_kcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_pagerank.dir/test_apps_pagerank.cpp.o"
+  "CMakeFiles/test_apps_pagerank.dir/test_apps_pagerank.cpp.o.d"
+  "test_apps_pagerank"
+  "test_apps_pagerank.pdb"
+  "test_apps_pagerank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_sssp.dir/test_apps_sssp.cpp.o"
+  "CMakeFiles/test_apps_sssp.dir/test_apps_sssp.cpp.o.d"
+  "test_apps_sssp"
+  "test_apps_sssp.pdb"
+  "test_apps_sssp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_sssp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_tc.dir/test_apps_tc.cpp.o"
+  "CMakeFiles/test_apps_tc.dir/test_apps_tc.cpp.o.d"
+  "test_apps_tc"
+  "test_apps_tc.pdb"
+  "test_apps_tc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ccr.dir/test_ccr.cpp.o"
+  "CMakeFiles/test_ccr.dir/test_ccr.cpp.o.d"
+  "test_ccr"
+  "test_ccr.pdb"
+  "test_ccr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ccr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

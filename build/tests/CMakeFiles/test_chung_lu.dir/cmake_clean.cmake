@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chung_lu.dir/test_chung_lu.cpp.o"
+  "CMakeFiles/test_chung_lu.dir/test_chung_lu.cpp.o.d"
+  "test_chung_lu"
+  "test_chung_lu.pdb"
+  "test_chung_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chung_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

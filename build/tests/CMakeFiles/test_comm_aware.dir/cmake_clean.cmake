@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_aware.dir/test_comm_aware.cpp.o"
+  "CMakeFiles/test_comm_aware.dir/test_comm_aware.cpp.o.d"
+  "test_comm_aware"
+  "test_comm_aware.pdb"
+  "test_comm_aware[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

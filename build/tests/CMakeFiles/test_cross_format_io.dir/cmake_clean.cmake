@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_format_io.dir/test_cross_format_io.cpp.o"
+  "CMakeFiles/test_cross_format_io.dir/test_cross_format_io.cpp.o.d"
+  "test_cross_format_io"
+  "test_cross_format_io.pdb"
+  "test_cross_format_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_format_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

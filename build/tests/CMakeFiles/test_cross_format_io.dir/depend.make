@@ -1,0 +1,2 @@
+# Empty dependencies file for test_cross_format_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr_builder.dir/test_csr_builder.cpp.o"
+  "CMakeFiles/test_csr_builder.dir/test_csr_builder.cpp.o.d"
+  "test_csr_builder"
+  "test_csr_builder.pdb"
+  "test_csr_builder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_migration.dir/test_dynamic_migration.cpp.o"
+  "CMakeFiles/test_dynamic_migration.dir/test_dynamic_migration.cpp.o.d"
+  "test_dynamic_migration"
+  "test_dynamic_migration.pdb"
+  "test_dynamic_migration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

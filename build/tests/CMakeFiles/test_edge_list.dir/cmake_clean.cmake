@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_edge_list.dir/test_edge_list.cpp.o"
+  "CMakeFiles/test_edge_list.dir/test_edge_list.cpp.o.d"
+  "test_edge_list"
+  "test_edge_list.pdb"
+  "test_edge_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_edge_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

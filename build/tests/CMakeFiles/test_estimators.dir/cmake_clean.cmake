@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_estimators.dir/test_estimators.cpp.o"
+  "CMakeFiles/test_estimators.dir/test_estimators.cpp.o.d"
+  "test_estimators"
+  "test_estimators.pdb"
+  "test_estimators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

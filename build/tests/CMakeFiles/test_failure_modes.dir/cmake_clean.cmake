@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_modes.dir/test_failure_modes.cpp.o"
+  "CMakeFiles/test_failure_modes.dir/test_failure_modes.cpp.o.d"
+  "test_failure_modes"
+  "test_failure_modes.pdb"
+  "test_failure_modes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gen_misc.dir/test_gen_misc.cpp.o"
+  "CMakeFiles/test_gen_misc.dir/test_gen_misc.cpp.o.d"
+  "test_gen_misc"
+  "test_gen_misc.pdb"
+  "test_gen_misc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gen_misc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math_util.dir/test_math_util.cpp.o"
+  "CMakeFiles/test_math_util.dir/test_math_util.cpp.o.d"
+  "test_math_util"
+  "test_math_util.pdb"
+  "test_math_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

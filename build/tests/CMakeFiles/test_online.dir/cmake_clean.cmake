@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online.dir/test_online.cpp.o"
+  "CMakeFiles/test_online.dir/test_online.cpp.o.d"
+  "test_online"
+  "test_online.pdb"
+  "test_online[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_chunking.dir/test_partition_chunking.cpp.o"
+  "CMakeFiles/test_partition_chunking.dir/test_partition_chunking.cpp.o.d"
+  "test_partition_chunking"
+  "test_partition_chunking.pdb"
+  "test_partition_chunking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_chunking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

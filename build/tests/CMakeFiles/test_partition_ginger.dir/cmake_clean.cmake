@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_ginger.dir/test_partition_ginger.cpp.o"
+  "CMakeFiles/test_partition_ginger.dir/test_partition_ginger.cpp.o.d"
+  "test_partition_ginger"
+  "test_partition_ginger.pdb"
+  "test_partition_ginger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_ginger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_grid.dir/test_partition_grid.cpp.o"
+  "CMakeFiles/test_partition_grid.dir/test_partition_grid.cpp.o.d"
+  "test_partition_grid"
+  "test_partition_grid.pdb"
+  "test_partition_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

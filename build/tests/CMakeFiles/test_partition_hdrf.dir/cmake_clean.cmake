@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_hdrf.dir/test_partition_hdrf.cpp.o"
+  "CMakeFiles/test_partition_hdrf.dir/test_partition_hdrf.cpp.o.d"
+  "test_partition_hdrf"
+  "test_partition_hdrf.pdb"
+  "test_partition_hdrf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_hdrf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

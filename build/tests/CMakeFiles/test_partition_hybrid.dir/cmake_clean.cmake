@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_hybrid.dir/test_partition_hybrid.cpp.o"
+  "CMakeFiles/test_partition_hybrid.dir/test_partition_hybrid.cpp.o.d"
+  "test_partition_hybrid"
+  "test_partition_hybrid.pdb"
+  "test_partition_hybrid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

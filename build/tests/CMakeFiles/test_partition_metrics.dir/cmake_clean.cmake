@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_metrics.dir/test_partition_metrics.cpp.o"
+  "CMakeFiles/test_partition_metrics.dir/test_partition_metrics.cpp.o.d"
+  "test_partition_metrics"
+  "test_partition_metrics.pdb"
+  "test_partition_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

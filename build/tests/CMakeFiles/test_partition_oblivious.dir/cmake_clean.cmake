@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_oblivious.dir/test_partition_oblivious.cpp.o"
+  "CMakeFiles/test_partition_oblivious.dir/test_partition_oblivious.cpp.o.d"
+  "test_partition_oblivious"
+  "test_partition_oblivious.pdb"
+  "test_partition_oblivious[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

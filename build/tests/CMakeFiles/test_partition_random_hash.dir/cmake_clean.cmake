@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition_random_hash.dir/test_partition_random_hash.cpp.o"
+  "CMakeFiles/test_partition_random_hash.dir/test_partition_random_hash.cpp.o.d"
+  "test_partition_random_hash"
+  "test_partition_random_hash.pdb"
+  "test_partition_random_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition_random_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_powerlaw_gen.dir/test_powerlaw_gen.cpp.o"
+  "CMakeFiles/test_powerlaw_gen.dir/test_powerlaw_gen.cpp.o.d"
+  "test_powerlaw_gen"
+  "test_powerlaw_gen.pdb"
+  "test_powerlaw_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_powerlaw_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_partitioners.dir/test_property_partitioners.cpp.o"
+  "CMakeFiles/test_property_partitioners.dir/test_property_partitioners.cpp.o.d"
+  "test_property_partitioners"
+  "test_property_partitioners.pdb"
+  "test_property_partitioners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_partitioners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

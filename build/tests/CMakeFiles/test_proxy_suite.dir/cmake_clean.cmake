@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proxy_suite.dir/test_proxy_suite.cpp.o"
+  "CMakeFiles/test_proxy_suite.dir/test_proxy_suite.cpp.o.d"
+  "test_proxy_suite"
+  "test_proxy_suite.pdb"
+  "test_proxy_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proxy_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

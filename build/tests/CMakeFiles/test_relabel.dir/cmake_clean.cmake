@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relabel.dir/test_relabel.cpp.o"
+  "CMakeFiles/test_relabel.dir/test_relabel.cpp.o.d"
+  "test_relabel"
+  "test_relabel.pdb"
+  "test_relabel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

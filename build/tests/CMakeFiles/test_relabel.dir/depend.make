@@ -1,0 +1,2 @@
+# Empty dependencies file for test_relabel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold_sweeps.dir/test_threshold_sweeps.cpp.o"
+  "CMakeFiles/test_threshold_sweeps.dir/test_threshold_sweeps.cpp.o.d"
+  "test_threshold_sweeps"
+  "test_threshold_sweeps.pdb"
+  "test_threshold_sweeps[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_time_database.dir/test_time_database.cpp.o"
+  "CMakeFiles/test_time_database.dir/test_time_database.cpp.o.d"
+  "test_time_database"
+  "test_time_database.pdb"
+  "test_time_database[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_time_database.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

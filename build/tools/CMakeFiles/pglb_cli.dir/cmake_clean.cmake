@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pglb_cli.dir/pglb_cli.cpp.o"
+  "CMakeFiles/pglb_cli.dir/pglb_cli.cpp.o.d"
+  "pglb"
+  "pglb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pglb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_machines "/root/repo/build/tools/pglb" "machines")
+set_tests_properties(cli_machines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_alpha "/root/repo/build/tools/pglb" "alpha" "--vertices=1000000" "--edges=10000000")
+set_tests_properties(cli_alpha PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_generate_stats_run "/usr/bin/cmake" "-DPGLB=/root/repo/build/tools/pglb" "-DWORKDIR=/root/repo/build/tools" "-P" "/root/repo/tools/smoke_test.cmake")
+set_tests_properties(cli_generate_stats_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
