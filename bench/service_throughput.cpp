@@ -1,0 +1,89 @@
+// Microbenchmarks of the planning service: warm-cache planner latency (the
+// steady-state cost of one plan once its profile is cached), the protocol
+// round trip, and end-to-end server throughput at varying worker counts.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "service/server.hpp"
+
+namespace {
+
+using namespace pglb;
+
+PlannerOptions bench_options() {
+  PlannerOptions options;
+  options.proxy_scale = 0.002;  // tiny proxies: profiling cost stays bounded
+  return options;
+}
+
+PlanRequest sample_request(int variant) {
+  PlanRequest request;
+  request.id = "bench";
+  request.app = variant % 2 == 0 ? AppKind::kPageRank : AppKind::kColoring;
+  request.machines = variant % 4 < 2
+                         ? std::vector<std::string>{"m4.2xlarge", "c4.2xlarge"}
+                         : std::vector<std::string>{"xeon_server_s", "xeon_server_l"};
+  request.vertices = 1'000'000;
+  request.edges = 10'000'000;
+  return request;
+}
+
+/// Planner::plan with the profile already cached — the hot path every
+/// repeated request takes.
+void BM_planner_warm_cache(benchmark::State& state) {
+  Planner planner(bench_options());
+  const PlanRequest request = sample_request(0);
+  planner.plan(request);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(request));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_planner_warm_cache);
+
+/// Parse + serialize round trip without any planning.
+void BM_protocol_round_trip(benchmark::State& state) {
+  const std::string line = serialize_request(sample_request(0));
+  Planner planner(bench_options());
+  const PlanResponse response = planner.plan(parse_plan_request(line));
+  const std::string response_line = serialize_response(response);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parse_plan_request(line));
+    benchmark::DoNotOptimize(parse_plan_response(response_line));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_protocol_round_trip);
+
+/// End-to-end submit()->future throughput through the bounded queue and the
+/// worker pool, request mix of 4 cached profiles.
+void BM_server_throughput(benchmark::State& state) {
+  ServiceMetrics metrics;
+  Planner planner(bench_options(), &metrics);
+  ServerOptions server_options;
+  server_options.threads = static_cast<int>(state.range(0));
+  PlanServer server(planner, metrics, server_options);
+  std::vector<std::string> lines;
+  for (int v = 0; v < 4; ++v) {
+    lines.push_back(serialize_request(sample_request(v)));
+    server.submit(lines.back()).get();  // warm every profile
+  }
+  constexpr int kBatch = 64;
+  for (auto _ : state) {
+    std::vector<std::future<std::string>> pending;
+    pending.reserve(kBatch);
+    for (int i = 0; i < kBatch; ++i) {
+      pending.push_back(server.submit(lines[static_cast<std::size_t>(i) % lines.size()]));
+    }
+    for (auto& future : pending) benchmark::DoNotOptimize(future.get());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_server_throughput)->Arg(1)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -44,7 +44,7 @@ bool CcrPool::has_app(AppKind app) const noexcept {
   return false;
 }
 
-std::vector<double> CcrPool::ccr_for(AppKind app, double graph_alpha) const {
+const CcrPool::Entry* CcrPool::entry_for(AppKind app, double graph_alpha) const noexcept {
   const Entry* best = nullptr;
   double best_gap = std::numeric_limits<double>::infinity();
   for (const Entry& e : entries_) {
@@ -55,6 +55,11 @@ std::vector<double> CcrPool::ccr_for(AppKind app, double graph_alpha) const {
       best_gap = gap;
     }
   }
+  return best;
+}
+
+std::vector<double> CcrPool::ccr_for(AppKind app, double graph_alpha) const {
+  const Entry* best = entry_for(app, graph_alpha);
   if (best == nullptr) {
     throw std::out_of_range("CcrPool::ccr_for: app '" + std::string(to_string(app)) +
                             "' not profiled");

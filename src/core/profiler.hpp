@@ -37,6 +37,11 @@ class CcrPool {
   std::span<const Entry> entries() const noexcept { return entries_; }
   std::size_t num_groups() const noexcept { return num_groups_; }
 
+  /// Pool entry for `app` whose proxy alpha is nearest to `graph_alpha`, or
+  /// nullptr if the app was never profiled.  Exposes which proxy a lookup
+  /// resolves to — the stable identity callers can cache against.
+  const Entry* entry_for(AppKind app, double graph_alpha) const noexcept;
+
   /// CCR vector (Eq. 1, one per group) for `app`, using the pool entry whose
   /// proxy alpha is nearest to `graph_alpha`.  Throws std::out_of_range if
   /// the app was never profiled.

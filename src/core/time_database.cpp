@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -12,18 +13,15 @@
 
 namespace pglb {
 
-namespace {
-
-AppKind app_from_name(const std::string& name) {
-  for (const AppKind kind : {AppKind::kPageRank, AppKind::kColoring,
-                             AppKind::kConnectedComponents, AppKind::kTriangleCount,
-                             AppKind::kSssp, AppKind::kKCore}) {
-    if (name == to_string(kind)) return kind;
-  }
-  throw std::runtime_error("TimeDatabase: unknown app name '" + name + "'");
+std::string canonical_alpha(double alpha) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", alpha);
+  return buffer;
 }
 
-}  // namespace
+std::string TimeDatabase::Key::stable_string() const {
+  return std::string(to_string(app)) + "|" + canonical_alpha(proxy_alpha) + "|" + machine;
+}
 
 void TimeDatabase::record(const Key& key, double seconds) {
   if (!(seconds > 0.0) || !std::isfinite(seconds)) {
@@ -63,17 +61,24 @@ std::vector<MachineSpec> TimeDatabase::missing_machines(const Cluster& cluster,
   return missing;
 }
 
-std::vector<double> TimeDatabase::ccr_for(const Cluster& cluster, AppKind app,
-                                          double graph_alpha) const {
+std::optional<double> TimeDatabase::nearest_alpha(AppKind app, double graph_alpha) const {
   const auto alphas = alphas_for(app);
-  if (alphas.empty()) {
-    throw std::out_of_range("TimeDatabase::ccr_for: app '" +
-                            std::string(to_string(app)) + "' never profiled");
-  }
+  if (alphas.empty()) return std::nullopt;
   double best_alpha = alphas.front();
   for (const double a : alphas) {
     if (std::abs(a - graph_alpha) < std::abs(best_alpha - graph_alpha)) best_alpha = a;
   }
+  return best_alpha;
+}
+
+std::vector<double> TimeDatabase::ccr_for(const Cluster& cluster, AppKind app,
+                                          double graph_alpha) const {
+  const auto nearest = nearest_alpha(app, graph_alpha);
+  if (!nearest) {
+    throw std::out_of_range("TimeDatabase::ccr_for: app '" +
+                            std::string(to_string(app)) + "' never profiled");
+  }
+  const double best_alpha = *nearest;
 
   std::vector<double> per_machine(cluster.size());
   for (MachineId m = 0; m < cluster.size(); ++m) {
@@ -121,7 +126,12 @@ TimeDatabase load_time_database(const std::string& path) {
       throw std::runtime_error("load_time_database: parse error at line " +
                                std::to_string(line_no) + " of " + path);
     }
-    db.record({app_from_name(app_name), alpha, machine}, seconds);
+    const auto app = try_app_from_name(app_name);
+    if (!app) {
+      throw std::runtime_error("load_time_database: unknown app name '" + app_name +
+                               "' at line " + std::to_string(line_no) + " of " + path);
+    }
+    db.record({*app, alpha, machine}, seconds);
   }
   return db;
 }

@@ -19,6 +19,11 @@
 
 namespace pglb {
 
+/// Fixed-precision ("%.6g") rendering of a proxy alpha — the canonical form
+/// used inside stable profile-cache keys, so 2.1 always maps to "2.1"
+/// regardless of how it was computed.
+std::string canonical_alpha(double alpha);
+
 class TimeDatabase {
  public:
   struct Key {
@@ -27,6 +32,10 @@ class TimeDatabase {
     std::string machine;  ///< MachineSpec::name
 
     auto operator<=>(const Key&) const = default;
+
+    /// Canonical "app|alpha|machine" form — a stable string identity usable
+    /// as a cache key across processes (alpha via canonical_alpha()).
+    std::string stable_string() const;
   };
 
   void record(const Key& key, double seconds);
@@ -39,6 +48,10 @@ class TimeDatabase {
 
   /// Proxy alphas present for an app (sorted ascending).
   std::vector<double> alphas_for(AppKind app) const;
+
+  /// The profiled alpha closest to `graph_alpha` (what ccr_for() will use),
+  /// or nullopt when the app was never profiled.
+  std::optional<double> nearest_alpha(AppKind app, double graph_alpha) const;
 
   /// Machine types for which *no* entry exists for (app, alpha) — the only
   /// ones an online refresh needs to profile.

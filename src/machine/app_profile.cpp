@@ -19,6 +19,29 @@ const char* to_string(AppKind kind) {
 
 namespace {
 
+constexpr std::array<AppKind, 6> kAllAppKinds = {
+    AppKind::kPageRank,  AppKind::kColoring, AppKind::kConnectedComponents,
+    AppKind::kTriangleCount, AppKind::kSssp, AppKind::kKCore};
+
+}  // namespace
+
+std::optional<AppKind> try_app_from_name(const std::string& name) {
+  for (const AppKind kind : kAllAppKinds) {
+    if (name == to_string(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+AppKind app_from_name(const std::string& name) {
+  const auto kind = try_app_from_name(name);
+  if (!kind) throw std::invalid_argument("unknown app '" + name + "'");
+  return *kind;
+}
+
+std::span<const AppKind> all_app_kinds() { return kAllAppKinds; }
+
+namespace {
+
 // Calibration targets (shapes from Fig. 2 / Fig. 8a, baseline c4.xlarge):
 //  - PageRank: speedup saturates between c4.4xlarge and c4.8xlarge
 //    (bandwidth-bound: high bytes_per_op).

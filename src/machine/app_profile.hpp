@@ -4,6 +4,8 @@
 // whole motivation for profiling instead of reading core counts.  These
 // profiles parameterise that diversity for the analytic performance model.
 
+#include <optional>
+#include <span>
 #include <string>
 
 namespace pglb {
@@ -21,6 +23,15 @@ enum class AppKind {
 };
 
 const char* to_string(AppKind kind);
+
+/// Inverse of to_string(); nullopt on unknown names.
+std::optional<AppKind> try_app_from_name(const std::string& name);
+
+/// Inverse of to_string(); throws std::invalid_argument on unknown names.
+AppKind app_from_name(const std::string& name);
+
+/// Every AppKind in declaration order (paper's four, then extensions).
+std::span<const AppKind> all_app_kinds();
 
 struct AppProfile {
   std::string name;

@@ -1,0 +1,103 @@
+#include "service/metrics.hpp"
+
+#include <cmath>
+
+#include "service/protocol.hpp"
+
+namespace pglb {
+
+namespace {
+constexpr double kBucketsPerOctave = 8.0;
+}
+
+std::uint64_t LatencyHistogram::bucket_of(double microseconds) {
+  if (!(microseconds > 0.0)) return 0;
+  const double bucket = std::floor(kBucketsPerOctave * std::log2(1.0 + microseconds));
+  return bucket > 0.0 ? static_cast<std::uint64_t>(bucket) : 0;
+}
+
+double LatencyHistogram::bucket_floor_us(std::uint64_t bucket) {
+  return std::exp2(static_cast<double>(bucket) / kBucketsPerOctave) - 1.0;
+}
+
+void LatencyHistogram::record_seconds(double seconds) {
+  buckets_.add(bucket_of(seconds * 1e6));
+}
+
+double LatencyHistogram::quantile_seconds(double q) const {
+  const std::uint64_t total = buckets_.total();
+  if (total == 0) return 0.0;
+  const double clamped = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  const auto rank = static_cast<std::uint64_t>(std::ceil(clamped * total));
+  std::uint64_t seen = 0;
+  const auto& counts = buckets_.counts();
+  for (std::uint64_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (seen >= rank) return bucket_floor_us(b) / 1e6;
+  }
+  return bucket_floor_us(buckets_.max_value()) / 1e6;
+}
+
+void ServiceMetrics::count(std::string_view name, std::uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_[std::string(name)] += delta;
+}
+
+void ServiceMetrics::observe(std::string_view stage, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_[std::string(stage)].record_seconds(seconds);
+}
+
+std::uint64_t ServiceMetrics::counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it != counters_.end() ? it->second : 0;
+}
+
+std::string ServiceMetrics::to_json(const std::string& extra) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    append_json_number(out, static_cast<double>(value));
+  }
+  out += "},\"stages\":{";
+  first = true;
+  for (const auto& [stage, histogram] : stages_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, stage);
+    out += ":{\"count\":";
+    append_json_number(out, static_cast<double>(histogram.count()));
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"p50_us", 0.50},
+          std::pair<const char*, double>{"p90_us", 0.90},
+          std::pair<const char*, double>{"p99_us", 0.99}}) {
+      out += ",\"";
+      out += label;
+      out += "\":";
+      append_json_number(out, std::round(histogram.quantile_seconds(q) * 1e6));
+    }
+    out.push_back('}');
+  }
+  out.push_back('}');
+  if (!extra.empty()) {
+    out.push_back(',');
+    out += extra;
+  }
+  out.push_back('}');
+  return out;
+}
+
+StageTimer::StageTimer(ServiceMetrics* metrics, std::string_view stage)
+    : metrics_(metrics), stage_(stage) {}
+
+StageTimer::~StageTimer() {
+  if (metrics_ != nullptr) metrics_->observe(stage_, watch_.seconds());
+}
+
+}  // namespace pglb

@@ -1,0 +1,79 @@
+#pragma once
+// Service metrics registry: named counters plus per-stage latency histograms,
+// dumpable on demand as deterministic JSON (sorted names, fixed key order).
+//
+// Latencies are recorded into geometric buckets (8 per octave, ~9% relative
+// resolution) layered over util/histogram's ExactHistogram — bucket indices
+// are small integers, so the exact histogram machinery applies unchanged
+// while a 1 us .. 1000 s range needs only ~240 buckets.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/histogram.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pglb {
+
+class LatencyHistogram {
+ public:
+  void record_seconds(double seconds);
+
+  std::uint64_t count() const noexcept { return buckets_.total(); }
+
+  /// Latency at quantile q in [0, 1], as the representative (geometric lower
+  /// bound) of the bucket containing it.  0 when empty.
+  double quantile_seconds(double q) const;
+
+  const ExactHistogram& buckets() const noexcept { return buckets_; }
+
+  /// Bucket mapping, exposed for tests: microseconds -> index and back.
+  static std::uint64_t bucket_of(double microseconds);
+  static double bucket_floor_us(std::uint64_t bucket);
+
+ private:
+  ExactHistogram buckets_;  ///< value = geometric bucket index
+};
+
+class ServiceMetrics {
+ public:
+  /// Add `delta` to counter `name` (created on first use).
+  void count(std::string_view name, std::uint64_t delta = 1);
+
+  /// Record one latency observation for stage `stage`.
+  void observe(std::string_view stage, double seconds);
+
+  std::uint64_t counter(std::string_view name) const;
+
+  /// Snapshot as one-line JSON:
+  ///   {"counters":{...},"stages":{"plan":{"count":N,"p50_us":...,...}}}
+  /// Extra top-level fields (e.g. cache stats) can be injected by the caller
+  /// via `extra`, a pre-serialized JSON fragment like "\"cache\":{...}".
+  std::string to_json(const std::string& extra = "") const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, LatencyHistogram, std::less<>> stages_;
+};
+
+/// RAII stage timer: records the elapsed host time into `metrics` when it
+/// goes out of scope (no-op when metrics is null).
+class StageTimer {
+ public:
+  StageTimer(ServiceMetrics* metrics, std::string_view stage);
+  ~StageTimer();
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  ServiceMetrics* metrics_;
+  std::string stage_;
+  Stopwatch watch_;
+};
+
+}  // namespace pglb

@@ -1,0 +1,187 @@
+#include "service/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "cluster/cluster.hpp"
+#include "core/ccr.hpp"
+#include "core/profiler.hpp"
+#include "core/time_database.hpp"
+#include "cost/cost_model.hpp"
+#include "gen/alpha_solver.hpp"
+#include "machine/catalog.hpp"
+#include "partition/replication_model.hpp"
+#include "partition/weights.hpp"
+
+namespace pglb {
+
+Planner::Planner(PlannerOptions options, ServiceMetrics* metrics)
+    : options_(options),
+      metrics_(metrics),
+      suite_(options.proxy_scale, options.proxy_seed),
+      cache_(options.cache_capacity) {}
+
+namespace {
+
+/// Sorted, deduplicated machine-class names — the cluster-composition-free
+/// identity the profile cache keys on.
+std::vector<std::string> machine_classes(const std::vector<std::string>& machines) {
+  std::vector<std::string> classes = machines;
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  return classes;
+}
+
+std::string join_classes(const std::vector<std::string>& classes) {
+  std::string out;
+  for (const std::string& c : classes) {
+    if (!out.empty()) out.push_back('+');
+    out += c;
+  }
+  return out;
+}
+
+/// Paper guidance (Fig. 9): the high-degree-aware streaming cuts win on
+/// power-law graphs; a single machine needs no vertex cut at all.
+PartitionerKind recommend_partitioner(const PlanRequest& request,
+                                      MachineId num_machines) {
+  if (request.partitioner) return *request.partitioner;
+  if (num_machines == 1) return PartitionerKind::kChunking;
+  return PartitionerKind::kHybrid;
+}
+
+}  // namespace
+
+double Planner::resolve_proxy_alpha(double alpha) {
+  std::lock_guard<std::mutex> lock(suite_mutex_);
+  return suite_.ensure_coverage(alpha).alpha;
+}
+
+double Planner::request_alpha(const PlanRequest& request) {
+  if (request.alpha) return *request.alpha;
+  const std::string memo_key =
+      std::to_string(request.vertices) + "/" + std::to_string(request.edges);
+  {
+    std::lock_guard<std::mutex> lock(alpha_mutex_);
+    const auto it = alpha_memo_.find(memo_key);
+    if (it != alpha_memo_.end()) return it->second;
+  }
+  const auto vertices = static_cast<VertexId>(
+      std::min<std::uint64_t>(request.vertices, std::numeric_limits<VertexId>::max()));
+  const double alpha = fit_alpha_clamped(vertices, request.edges);
+  std::lock_guard<std::mutex> lock(alpha_mutex_);
+  if (alpha_memo_.size() >= 4096) alpha_memo_.clear();  // crude bound; refit is cheap
+  alpha_memo_.emplace(memo_key, alpha);
+  return alpha;
+}
+
+std::string Planner::profile_key(const PlanRequest& request) {
+  const double proxy_alpha = resolve_proxy_alpha(request_alpha(request));
+  return join_classes(machine_classes(request.machines)) + "|" +
+         to_string(request.app) + "|" + canonical_alpha(proxy_alpha);
+}
+
+ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
+                                        AppKind app, double proxy_alpha,
+                                        const std::string& key) {
+  return cache_.get(key, [&]() -> ProfileCache::EntryPtr {
+    const StageTimer timer(metrics_, "profile");
+
+    // Snapshot the proxy under the suite lock (ensure_coverage from another
+    // thread may reallocate the proxy vector), then profile lock-free.
+    EdgeList proxy_graph{0};
+    GraphStats proxy_stats;
+    {
+      std::lock_guard<std::mutex> lock(suite_mutex_);
+      const ProxySuite::Proxy& proxy = suite_.nearest(proxy_alpha);
+      proxy_graph = proxy.graph;
+      proxy_stats = proxy.stats;
+    }
+
+    auto entry = std::make_shared<ProfileEntry>();
+    entry->proxy_alpha = proxy_alpha;
+    entry->proxy_full_edges =
+        static_cast<double>(proxy_stats.num_edges) / options_.proxy_scale;
+    entry->proxy_full_vertices =
+        static_cast<double>(proxy_stats.num_vertices) / options_.proxy_scale;
+    entry->proxy_total_degree = total_degree_histogram(proxy_graph);
+    for (const std::string& name : classes) {
+      const double seconds = profile_single_machine(machine_by_name(name), app,
+                                                    proxy_graph, options_.proxy_scale);
+      entry->class_times.emplace_back(name, seconds);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->count("profile_runs", classes.size());
+    }
+    return entry;
+  });
+}
+
+PlanResponse Planner::plan(const PlanRequest& request) {
+  PlanResponse response;
+  response.id = request.id;
+  try {
+    const Cluster cluster = cluster_from_names(request.machines);
+    const double alpha = request_alpha(request);
+    const double proxy_alpha = resolve_proxy_alpha(alpha);
+
+    const auto classes = machine_classes(request.machines);
+    const std::string key = join_classes(classes) + "|" + to_string(request.app) +
+                            "|" + canonical_alpha(proxy_alpha);
+    const ProfileCache::EntryPtr entry = profile(classes, request.app, proxy_alpha, key);
+
+    // Expand per-class proxy runtimes to the cluster's machine order.
+    std::vector<double> times(cluster.size(), 0.0);
+    for (MachineId m = 0; m < cluster.size(); ++m) {
+      const std::string& name = cluster.machine(m).name;
+      for (const auto& [class_name, seconds] : entry->class_times) {
+        if (class_name == name) {
+          times[m] = seconds;
+          break;
+        }
+      }
+    }
+
+    response.ok = true;
+    response.app = to_string(request.app);
+    response.fitted_alpha = alpha;
+    response.proxy_alpha = proxy_alpha;
+    response.ccr = ccr_from_times(times);
+    response.weights = shares_from_capabilities(response.ccr);
+    response.partitioner =
+        to_string(recommend_partitioner(request, cluster.size()));
+    response.replication_factor =
+        expected_replication_factor(entry->proxy_total_degree, response.weights);
+
+    // Compute-bound makespan estimate: machine m handles share w_m of a graph
+    // (E_req / E_proxy) times the profiled proxy's size, so it finishes in
+    // t_m * w_m * ratio; the barrier waits for the slowest.  Under CCR
+    // weights all terms are equal — the balanced ideal the paper targets.
+    // When the request carries no graph size, estimates are at proxy scale.
+    const double edges_req = request.edges > 0 ? static_cast<double>(request.edges)
+                                               : entry->proxy_full_edges;
+    const double work_ratio = edges_req / entry->proxy_full_edges;
+    double makespan = 0.0;
+    for (MachineId m = 0; m < cluster.size(); ++m) {
+      makespan = std::max(makespan, times[m] * response.weights[m] * work_ratio);
+    }
+    response.makespan_seconds = makespan;
+
+    double total_watts = 0.0;
+    for (const MachineSpec& machine : cluster.machines()) {
+      total_watts += machine.tdp_watts;
+    }
+    response.energy_joules = makespan * total_watts;
+    response.cost_usd = cluster_cost_per_task(cluster, makespan);
+  } catch (const std::exception& e) {
+    response = PlanResponse{};
+    response.id = request.id;
+    response.ok = false;
+    response.error = e.what();
+    if (metrics_ != nullptr) metrics_->count("plan_errors");
+  }
+  return response;
+}
+
+}  // namespace pglb

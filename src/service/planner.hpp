@@ -1,0 +1,79 @@
+#pragma once
+// The planning service's brain: one thread-safe API over the whole
+// proxy-guided pipeline.  A request names a cluster (catalog machine names),
+// an application, and the input graph's statistics; the planner answers with
+// per-machine CCR weights, a recommended partitioner, and predicted
+// makespan / replication / energy / cost — without ever seeing the graph,
+// exactly the property that makes the paper's method deployable as a
+// service.
+//
+// The expensive stage (synthetic-proxy profiling, Sec. III-B) is memoized in
+// an LRU cache keyed on (machine-class set, app, proxy alpha); repeated
+// requests over known machine classes reduce to arithmetic.  All derived
+// numbers are computed from the cached ProfileEntry alone, so a cached plan
+// is byte-identical to a freshly profiled one.
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/proxy_suite.hpp"
+#include "service/metrics.hpp"
+#include "service/profile_cache.hpp"
+#include "service/protocol.hpp"
+
+namespace pglb {
+
+struct PlannerOptions {
+  /// Proxy down-scaling factor (trait re-inflation keeps predictions at
+  /// paper scale; smaller = cheaper profiling on a miss).
+  double proxy_scale = 1.0 / 256.0;
+  std::uint64_t proxy_seed = 17;
+  std::size_t cache_capacity = 64;
+};
+
+class Planner {
+ public:
+  explicit Planner(PlannerOptions options = {}, ServiceMetrics* metrics = nullptr);
+
+  /// Serve one request.  Request-level problems (unknown machine name, ...)
+  /// come back as error responses; this never throws for bad requests.
+  /// Thread-safe; concurrent calls that miss on the same profile key block
+  /// on a single profiling run (single-flight).
+  PlanResponse plan(const PlanRequest& request);
+
+  /// Stable cache key a request resolves to: "class+class|app|alpha" with
+  /// machine classes sorted and deduplicated and the proxy alpha in
+  /// canonical_alpha() form.  Exposed for tests and cache diagnostics.
+  std::string profile_key(const PlanRequest& request);
+
+  ProfileCacheStats cache_stats() const { return cache_.stats(); }
+  const PlannerOptions& options() const noexcept { return options_; }
+
+ private:
+  /// Resolve the proxy that covers `alpha` (generating one on demand) and
+  /// return its alpha.  Guarded by suite_mutex_.
+  double resolve_proxy_alpha(double alpha);
+
+  /// The request's alpha: given directly, or fitted from (V, E).  The Newton
+  /// solve behind fit_alpha_clamped costs O(support) per iteration, so fitted
+  /// values are memoized per (V, E) — it would otherwise dominate the
+  /// warm-cache path.
+  double request_alpha(const PlanRequest& request);
+
+  ProfileCache::EntryPtr profile(const std::vector<std::string>& classes, AppKind app,
+                                 double proxy_alpha, const std::string& key);
+
+  PlannerOptions options_;
+  ServiceMetrics* metrics_;
+
+  std::mutex suite_mutex_;  ///< guards suite_ (ensure_coverage mutates it)
+  ProxySuite suite_;
+
+  std::mutex alpha_mutex_;  ///< guards alpha_memo_
+  std::unordered_map<std::string, double> alpha_memo_;
+
+  ProfileCache cache_;
+};
+
+}  // namespace pglb

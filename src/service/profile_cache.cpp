@@ -1,0 +1,73 @@
+#include "service/profile_cache.hpp"
+
+#include <stdexcept>
+
+namespace pglb {
+
+ProfileCache::ProfileCache(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("ProfileCache: capacity must be positive");
+  }
+}
+
+ProfileCache::EntryPtr ProfileCache::get(const std::string& key,
+                                         const std::function<EntryPtr()>& compute) {
+  std::shared_future<EntryPtr> future;
+  std::promise<EntryPtr> promise;
+  std::uint64_t my_slot_id = 0;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++hits_;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      future = it->second->future;
+    } else {
+      ++misses_;
+      owner = true;
+      my_slot_id = next_slot_id_++;
+      future = promise.get_future().share();
+      lru_.push_front(Slot{key, my_slot_id, future});
+      index_[key] = lru_.begin();
+      if (lru_.size() > capacity_) {
+        // Evict the least recently used slot.  A still-computing victim stays
+        // alive through its shared_future; it just loses cache residency.
+        const auto victim = std::prev(lru_.end());
+        index_.erase(victim->key);
+        lru_.erase(victim);
+        ++evictions_;
+      }
+    }
+  }
+
+  if (!owner) return future.get();  // blocks if the owner is still profiling
+
+  try {
+    promise.set_value(compute());
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    // Un-cache the failed computation so a later request retries; the slot id
+    // guards against erasing a fresh slot that replaced ours after eviction.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end() && it->second->id == my_slot_id) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+  return future.get();
+}
+
+ProfileCacheStats ProfileCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ProfileCacheStats{hits_, misses_, evictions_, lru_.size(), capacity_};
+}
+
+void ProfileCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+}  // namespace pglb

@@ -1,0 +1,90 @@
+#pragma once
+// LRU cache over proxy-profiling results, keyed on the stable string form of
+// (machine-class set, application, proxy alpha).  Profiling is the expensive
+// stage of a planning request (Sec. III-B's one-time cost); everything after
+// it is arithmetic.  Since single-machine proxy runtimes are independent of
+// cluster composition, every cluster drawn from the same machine classes
+// shares one entry — the service-side mirror of the paper's observation that
+// "varying the cluster composition among existing machines does not require
+// CCR updates".
+//
+// Concurrency: get() is single-flight.  The first thread to miss a key
+// inserts a shared_future and computes the entry outside the cache lock;
+// concurrent requests for the same key block on that future instead of
+// re-profiling.  A failed computation is erased so later requests retry.
+
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/histogram.hpp"
+
+namespace pglb {
+
+/// One profiled (machine-class set, app, proxy) combination: everything the
+/// planner needs to derive a full plan for ANY cluster built from these
+/// classes, without touching the proxy suite again.
+struct ProfileEntry {
+  double proxy_alpha = 0.0;
+  /// Machine-class name -> profiled single-machine proxy runtime (seconds).
+  std::vector<std::pair<std::string, double>> class_times;
+  /// Paper-scale (re-inflated) size of the proxy the times were measured on;
+  /// scales the makespan prediction to the request's graph size.
+  double proxy_full_edges = 0.0;
+  double proxy_full_vertices = 0.0;
+  /// Total-degree histogram of the proxy, input to the analytic replication
+  /// model (partition/replication_model.hpp).
+  ExactHistogram proxy_total_degree;
+};
+
+struct ProfileCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t size = 0;
+  std::size_t capacity = 0;
+
+  double hit_rate() const noexcept {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0.0 ? static_cast<double>(hits) / total : 0.0;
+  }
+};
+
+class ProfileCache {
+ public:
+  using EntryPtr = std::shared_ptr<const ProfileEntry>;
+
+  explicit ProfileCache(std::size_t capacity);
+
+  /// Return the entry for `key`, computing it via `compute` on a miss.
+  /// Throws whatever `compute` throws (and leaves the key uncached).
+  EntryPtr get(const std::string& key, const std::function<EntryPtr()>& compute);
+
+  ProfileCacheStats stats() const;
+
+  /// Drop every entry (counters are kept).
+  void clear();
+
+ private:
+  struct Slot {
+    std::string key;
+    std::uint64_t id = 0;  ///< distinguishes re-inserted keys on the error path
+    std::shared_future<EntryPtr> future;
+  };
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  std::list<Slot> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  std::uint64_t next_slot_id_ = 1;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace pglb

@@ -1,0 +1,466 @@
+#include "service/protocol.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <span>
+
+namespace pglb {
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+// --- parser ----------------------------------------------------------------
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ProtocolError("JSON parse error at byte " + std::to_string(pos_) + ": " +
+                        message);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue(parse_string());
+      case 't':
+        if (consume_literal("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+      default: return JsonValue(parse_number());
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue::Object object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object.emplace_back(std::move(key), parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return JsonValue(std::move(object));
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue::Array array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return JsonValue(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = peek();
+      ++pos_;
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("unescaped control character");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char escape = peek();
+      ++pos_;
+      switch (escape) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + i];
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("invalid \\u escape digit");
+    }
+    pos_ += 4;
+    // UTF-8 encode the BMP code point (surrogate pairs are rejected — the
+    // protocol is ASCII in practice).
+    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes unsupported");
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_ || start == pos_) {
+      pos_ = start;
+      fail("invalid number");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+void append_json_string(std::string& out, std::string_view value) {
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "0";  // JSON has no inf/nan; the planner never produces them
+    return;
+  }
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  out.append(buffer, ec == std::errc() ? end : buffer);
+}
+
+// --- request ---------------------------------------------------------------
+
+namespace {
+
+double require_number(const JsonValue& value, const char* key) {
+  if (!value.is_number()) {
+    throw ProtocolError(std::string("field '") + key + "' must be a number");
+  }
+  return value.as_number();
+}
+
+std::uint64_t require_count(const JsonValue& value, const char* key) {
+  const double n = require_number(value, key);
+  if (n < 0.0 || n != std::floor(n)) {
+    throw ProtocolError(std::string("field '") + key +
+                        "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(n);
+}
+
+const std::string& require_string(const JsonValue& value, const char* key) {
+  if (!value.is_string()) {
+    throw ProtocolError(std::string("field '") + key + "' must be a string");
+  }
+  return value.as_string();
+}
+
+void append_double_array(std::string& out, std::span<const double> values) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_json_number(out, values[i]);
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+PlanRequest parse_plan_request(const std::string& line) {
+  const JsonValue document = parse_json(line);
+  if (!document.is_object()) throw ProtocolError("request must be a JSON object");
+
+  PlanRequest request;
+  bool saw_vertices = false, saw_edges = false;
+  for (const auto& [key, value] : document.as_object()) {
+    if (key == "type") {
+      const std::string& type = require_string(value, "type");
+      if (type == "plan") request.type = RequestType::kPlan;
+      else if (type == "metrics") request.type = RequestType::kMetrics;
+      else throw ProtocolError("unknown request type '" + type + "'");
+    } else if (key == "id") {
+      request.id = require_string(value, "id");
+    } else if (key == "app") {
+      const auto app = try_app_from_name(require_string(value, "app"));
+      if (!app) throw ProtocolError("unknown app '" + value.as_string() + "'");
+      request.app = *app;
+    } else if (key == "machines") {
+      if (!value.is_array()) throw ProtocolError("field 'machines' must be an array");
+      for (const JsonValue& name : value.as_array()) {
+        request.machines.push_back(require_string(name, "machines[]"));
+      }
+    } else if (key == "alpha") {
+      const double alpha = require_number(value, "alpha");
+      if (!(alpha > 1.0)) throw ProtocolError("field 'alpha' must be > 1");
+      request.alpha = alpha;
+    } else if (key == "vertices") {
+      request.vertices = require_count(value, "vertices");
+      saw_vertices = true;
+    } else if (key == "edges") {
+      request.edges = require_count(value, "edges");
+      saw_edges = true;
+    } else if (key == "partitioner") {
+      try {
+        request.partitioner = partitioner_from_string(require_string(value, "partitioner"));
+      } catch (const std::invalid_argument& e) {
+        throw ProtocolError(e.what());
+      }
+    } else {
+      throw ProtocolError("unknown request field '" + key + "'");
+    }
+  }
+
+  if (request.type == RequestType::kMetrics) return request;
+
+  const JsonValue* app_field = document.find("app");
+  if (app_field == nullptr) throw ProtocolError("missing required field 'app'");
+  if (request.machines.empty()) {
+    throw ProtocolError("missing required field 'machines' (non-empty array)");
+  }
+  if (!request.alpha && !(saw_vertices && saw_edges)) {
+    throw ProtocolError("request needs either 'alpha' or both 'vertices' and 'edges'");
+  }
+  if (saw_vertices && request.vertices == 0) {
+    throw ProtocolError("field 'vertices' must be positive");
+  }
+  return request;
+}
+
+std::string serialize_request(const PlanRequest& request) {
+  std::string out = "{";
+  if (request.type == RequestType::kMetrics) {
+    out += "\"type\":\"metrics\"";
+    if (!request.id.empty()) {
+      out += ",\"id\":";
+      append_json_string(out, request.id);
+    }
+    out += "}";
+    return out;
+  }
+  out += "\"id\":";
+  append_json_string(out, request.id);
+  out += ",\"app\":";
+  append_json_string(out, to_string(request.app));
+  out += ",\"machines\":[";
+  for (std::size_t i = 0; i < request.machines.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_json_string(out, request.machines[i]);
+  }
+  out += "]";
+  if (request.alpha) {
+    out += ",\"alpha\":";
+    append_json_number(out, *request.alpha);
+  }
+  if (request.vertices != 0 || request.edges != 0) {
+    out += ",\"vertices\":";
+    append_json_number(out, static_cast<double>(request.vertices));
+    out += ",\"edges\":";
+    append_json_number(out, static_cast<double>(request.edges));
+  }
+  if (request.partitioner) {
+    out += ",\"partitioner\":";
+    append_json_string(out, to_string(*request.partitioner));
+  }
+  out += "}";
+  return out;
+}
+
+// --- response --------------------------------------------------------------
+
+std::string serialize_response(const PlanResponse& response) {
+  std::string out = "{\"id\":";
+  append_json_string(out, response.id);
+  if (!response.ok) {
+    out += ",\"status\":\"error\",\"error\":";
+    append_json_string(out, response.error);
+    out += "}";
+    return out;
+  }
+  out += ",\"status\":\"ok\",\"app\":";
+  append_json_string(out, response.app);
+  out += ",\"alpha\":";
+  append_json_number(out, response.fitted_alpha);
+  out += ",\"proxy_alpha\":";
+  append_json_number(out, response.proxy_alpha);
+  out += ",\"ccr\":";
+  append_double_array(out, response.ccr);
+  out += ",\"weights\":";
+  append_double_array(out, response.weights);
+  out += ",\"partitioner\":";
+  append_json_string(out, response.partitioner);
+  out += ",\"replication_factor\":";
+  append_json_number(out, response.replication_factor);
+  out += ",\"makespan_seconds\":";
+  append_json_number(out, response.makespan_seconds);
+  out += ",\"energy_joules\":";
+  append_json_number(out, response.energy_joules);
+  out += ",\"cost_usd\":";
+  append_json_number(out, response.cost_usd);
+  out += "}";
+  return out;
+}
+
+PlanResponse parse_plan_response(const std::string& line) {
+  const JsonValue document = parse_json(line);
+  if (!document.is_object()) throw ProtocolError("response must be a JSON object");
+
+  PlanResponse response;
+  const auto number_or = [&](const char* key, double fallback) {
+    const JsonValue* v = document.find(key);
+    return v != nullptr ? require_number(*v, key) : fallback;
+  };
+  const auto string_or = [&](const char* key, const std::string& fallback) {
+    const JsonValue* v = document.find(key);
+    return v != nullptr ? require_string(*v, key) : fallback;
+  };
+
+  response.id = string_or("id", "");
+  response.ok = string_or("status", "") == "ok";
+  response.error = string_or("error", "");
+  response.app = string_or("app", "");
+  response.fitted_alpha = number_or("alpha", 0.0);
+  response.proxy_alpha = number_or("proxy_alpha", 0.0);
+  response.partitioner = string_or("partitioner", "");
+  response.replication_factor = number_or("replication_factor", 0.0);
+  response.makespan_seconds = number_or("makespan_seconds", 0.0);
+  response.energy_joules = number_or("energy_joules", 0.0);
+  response.cost_usd = number_or("cost_usd", 0.0);
+  for (const char* key : {"ccr", "weights"}) {
+    const JsonValue* v = document.find(key);
+    if (v == nullptr) continue;
+    if (!v->is_array()) throw ProtocolError(std::string("field '") + key +
+                                            "' must be an array");
+    auto& target = std::string_view(key) == "ccr" ? response.ccr : response.weights;
+    for (const JsonValue& entry : v->as_array()) {
+      target.push_back(require_number(entry, key));
+    }
+  }
+  return response;
+}
+
+std::string serialize_error(const std::string& id, const std::string& message) {
+  PlanResponse response;
+  response.id = id;
+  response.ok = false;
+  response.error = message;
+  return serialize_response(response);
+}
+
+}  // namespace pglb

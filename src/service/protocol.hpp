@@ -1,0 +1,127 @@
+#pragma once
+// Line-delimited JSON protocol of the planning service (docs/SERVICE.md):
+// one request object per input line, one response object per output line.
+// Parser and serializer are hand-rolled so the service has zero external
+// dependencies and byte-stable output — the same plan always serializes to
+// the same bytes (fixed key order, shortest-round-trip doubles), which is
+// what lets a cached plan be compared byte-for-byte against a fresh one.
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "machine/app_profile.hpp"
+#include "partition/factory.hpp"
+
+namespace pglb {
+
+/// Malformed request text or a request that violates the protocol schema.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Minimal JSON document tree.  Objects preserve key order; numbers are
+/// doubles (the protocol never needs more than 53 bits of integer).
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(double d) : value_(d) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(Array a) : value_(std::move(a)) {}
+  JsonValue(Object o) : value_(std::move(o)) {}
+
+  bool is_null() const noexcept { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const noexcept { return std::holds_alternative<bool>(value_); }
+  bool is_number() const noexcept { return std::holds_alternative<double>(value_); }
+  bool is_string() const noexcept { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const noexcept { return std::holds_alternative<Array>(value_); }
+  bool is_object() const noexcept { return std::holds_alternative<Object>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const Array& as_array() const { return std::get<Array>(value_); }
+  const Object& as_object() const { return std::get<Object>(value_); }
+
+  /// First value under `key` in an object, or nullptr when absent.
+  const JsonValue* find(std::string_view key) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+};
+
+/// Parse one complete JSON document; trailing non-whitespace or any syntax
+/// error throws ProtocolError with the byte offset.
+JsonValue parse_json(std::string_view text);
+
+/// Append `value` to `out` with JSON string escaping.
+void append_json_string(std::string& out, std::string_view value);
+
+/// Append a double in shortest round-trip form (std::to_chars): "0.35",
+/// "2.1", "1e+20" — deterministic across calls, never locale-dependent.
+void append_json_number(std::string& out, double value);
+
+// --- planning requests -----------------------------------------------------
+
+enum class RequestType { kPlan, kMetrics };
+
+struct PlanRequest {
+  RequestType type = RequestType::kPlan;
+  std::string id;                       ///< echoed back verbatim
+  AppKind app = AppKind::kPageRank;
+  std::vector<std::string> machines;    ///< catalog names, defines MachineId order
+  std::optional<double> alpha;          ///< power-law exponent of the input graph
+  std::uint64_t vertices = 0;           ///< graph stats; used to fit alpha when
+  std::uint64_t edges = 0;              ///< `alpha` is absent, and to scale estimates
+  std::optional<PartitionerKind> partitioner;  ///< force instead of recommending
+};
+
+/// Parse + validate one request line.  Requires: `app`, non-empty `machines`,
+/// and either `alpha` or both `vertices` and `edges` (metrics requests need
+/// neither).  Unknown keys are an error, so client typos fail loudly.
+PlanRequest parse_plan_request(const std::string& line);
+
+/// Inverse of parse_plan_request (used by the load generator and tests).
+std::string serialize_request(const PlanRequest& request);
+
+// --- planning responses ----------------------------------------------------
+
+struct PlanResponse {
+  std::string id;
+  bool ok = false;
+  std::string error;                    ///< set when !ok
+
+  std::string app;
+  double fitted_alpha = 0.0;            ///< request alpha (given or fitted from V/E)
+  double proxy_alpha = 0.0;             ///< proxy distribution the plan profiled against
+  std::vector<double> ccr;              ///< per machine, Eq. 1
+  std::vector<double> weights;          ///< normalized partition shares
+  std::string partitioner;              ///< recommended (or forced) algorithm
+  double replication_factor = 0.0;      ///< predicted, analytic model
+  double makespan_seconds = 0.0;        ///< predicted, balanced execution
+  double energy_joules = 0.0;
+  double cost_usd = 0.0;
+};
+
+/// One-line JSON with fixed key order.  Deliberately excludes any cache-hit
+/// marker: a plan served from cache must be byte-identical to one computed
+/// fresh (hit rates are reported via the metrics endpoint instead).
+std::string serialize_response(const PlanResponse& response);
+
+/// Parse a response line back into the struct (load generator and tests).
+PlanResponse parse_plan_response(const std::string& line);
+
+/// Canned error response for a request that could not even be parsed.
+std::string serialize_error(const std::string& id, const std::string& message);
+
+}  // namespace pglb

@@ -1,0 +1,129 @@
+#include "service/server.hpp"
+
+#include <utility>
+
+namespace pglb {
+
+PlanServer::PlanServer(Planner& planner, ServiceMetrics& metrics, ServerOptions options)
+    : planner_(planner), metrics_(metrics), queue_(options.queue_capacity) {
+  const int threads = options.threads > 0 ? options.threads : 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PlanServer::~PlanServer() { stop(); }
+
+void PlanServer::stop() {
+  queue_.close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void PlanServer::worker_loop() {
+  while (auto job = queue_.pop()) {
+    job->done.set_value(handle_line(job->line));
+  }
+}
+
+std::future<std::string> PlanServer::submit(std::string request_line) {
+  Job job;
+  job.line = std::move(request_line);
+  std::future<std::string> result = job.done.get_future();
+  if (!queue_.push(std::move(job))) {
+    // Stopped server: answer inline instead of abandoning the promise.
+    std::promise<std::string> done;
+    done.set_value(serialize_error("", "server is shutting down"));
+    return done.get_future();
+  }
+  return result;
+}
+
+std::string PlanServer::handle_line(const std::string& line) {
+  const StageTimer total(&metrics_, "total");
+  metrics_.count("requests_total");
+  PlanRequest request;
+  try {
+    const StageTimer timer(&metrics_, "parse");
+    request = parse_plan_request(line);
+  } catch (const std::exception& e) {
+    metrics_.count("requests_failed");
+    return serialize_error("", e.what());
+  }
+
+  if (request.type == RequestType::kMetrics) {
+    const ProfileCacheStats cache = planner_.cache_stats();
+    std::string extra = "\"cache\":{\"hits\":";
+    append_json_number(extra, static_cast<double>(cache.hits));
+    extra += ",\"misses\":";
+    append_json_number(extra, static_cast<double>(cache.misses));
+    extra += ",\"evictions\":";
+    append_json_number(extra, static_cast<double>(cache.evictions));
+    extra += ",\"size\":";
+    append_json_number(extra, static_cast<double>(cache.size));
+    extra += ",\"capacity\":";
+    append_json_number(extra, static_cast<double>(cache.capacity));
+    extra += ",\"hit_rate\":";
+    append_json_number(extra, cache.hit_rate());
+    extra += "}";
+    return metrics_.to_json(extra);
+  }
+
+  PlanResponse response;
+  {
+    const StageTimer timer(&metrics_, "plan");
+    response = planner_.plan(request);
+  }
+  if (!response.ok) metrics_.count("requests_failed");
+
+  const StageTimer timer(&metrics_, "serialize");
+  return serialize_response(response);
+}
+
+std::size_t PlanServer::serve_stream(std::istream& in, std::ostream& out) {
+  // In-order response writer on its own thread, so a slow request at the
+  // head of the line never stops the reader from keeping the workers fed.
+  std::mutex mutex;
+  std::condition_variable pending_cv;
+  std::deque<std::future<std::string>> pending;
+  bool done_reading = false;
+
+  std::thread writer([&] {
+    while (true) {
+      std::future<std::string> next;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        pending_cv.wait(lock, [&] { return !pending.empty() || done_reading; });
+        if (pending.empty()) return;
+        next = std::move(pending.front());
+        pending.pop_front();
+      }
+      out << next.get() << '\n' << std::flush;
+    }
+  });
+
+  std::size_t served = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto future = submit(std::move(line));
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      pending.push_back(std::move(future));
+    }
+    pending_cv.notify_one();
+    ++served;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    done_reading = true;
+  }
+  pending_cv.notify_one();
+  writer.join();
+  return served;
+}
+
+}  // namespace pglb

@@ -1,0 +1,118 @@
+#pragma once
+// Concurrent front-end of the planning service: a bounded work queue feeding
+// a worker-thread pool.  Each worker parses a request line, plans it, and
+// serializes the response; per-request results are deterministic regardless
+// of scheduling because the Planner derives every number from the immutable
+// cached ProfileEntry.
+//
+// Backpressure: submit() blocks while the queue is at capacity, so a fast
+// producer cannot grow memory without bound — the service degrades to the
+// planner's throughput instead of falling over.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <istream>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/metrics.hpp"
+#include "service/planner.hpp"
+
+namespace pglb {
+
+/// Blocking MPMC queue with a hard capacity bound.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Blocks while full.  Returns false if the queue was closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while empty.  Empty optional = closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Wake every waiter; pushes fail from now on, pops drain the backlog.
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+struct ServerOptions {
+  int threads = 4;
+  std::size_t queue_capacity = 256;
+};
+
+class PlanServer {
+ public:
+  /// The planner and metrics must outlive the server.
+  PlanServer(Planner& planner, ServiceMetrics& metrics, ServerOptions options = {});
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Enqueue one raw request line; the future yields the response line.
+  /// Blocks while the queue is at capacity.  Never throws into the future:
+  /// malformed input yields a serialized error response.
+  std::future<std::string> submit(std::string request_line);
+
+  /// Pump a whole stream: one request per input line, one response per
+  /// output line, in input order (responses are reordered after the parallel
+  /// workers).  Returns the number of requests served.
+  std::size_t serve_stream(std::istream& in, std::ostream& out);
+
+  /// Close the queue and join the workers (idempotent; the destructor calls
+  /// it).  Pending jobs are drained before the workers exit.
+  void stop();
+
+ private:
+  struct Job {
+    std::string line;
+    std::promise<std::string> done;
+  };
+
+  void worker_loop();
+  std::string handle_line(const std::string& line);
+
+  Planner& planner_;
+  ServiceMetrics& metrics_;
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace pglb

@@ -1,0 +1,244 @@
+// Profile cache (LRU + single-flight) and the Planner built on top of it:
+// hit/miss accounting, eviction, key stability, and the byte-identical
+// cached-vs-fresh plan guarantee.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "service/planner.hpp"
+#include "service/profile_cache.hpp"
+
+namespace pglb {
+namespace {
+
+ProfileCache::EntryPtr entry_with_alpha(double alpha) {
+  auto entry = std::make_shared<ProfileEntry>();
+  entry->proxy_alpha = alpha;
+  return entry;
+}
+
+TEST(ProfileCache, ZeroCapacityRejected) {
+  EXPECT_THROW(ProfileCache(0), std::invalid_argument);
+}
+
+TEST(ProfileCache, HitAndMissAccounting) {
+  ProfileCache cache(4);
+  int computes = 0;
+  const auto compute = [&] { ++computes; return entry_with_alpha(2.0); };
+
+  EXPECT_DOUBLE_EQ(cache.get("k1", compute)->proxy_alpha, 2.0);
+  EXPECT_EQ(computes, 1);
+  cache.get("k1", compute);
+  cache.get("k1", compute);
+  EXPECT_EQ(computes, 1);  // served from cache, compute not re-run
+
+  const ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.size, 1u);
+  EXPECT_EQ(stats.capacity, 4u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 2.0 / 3.0);
+}
+
+TEST(ProfileCache, LruEviction) {
+  ProfileCache cache(2);
+  int computes = 0;
+  const auto compute = [&] { ++computes; return entry_with_alpha(2.0); };
+
+  cache.get("a", compute);
+  cache.get("b", compute);
+  cache.get("a", compute);  // refresh a: LRU order is now [a, b]
+  cache.get("c", compute);  // evicts b
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().size, 2u);
+
+  computes = 0;
+  cache.get("a", compute);
+  cache.get("c", compute);
+  EXPECT_EQ(computes, 0);  // both survived
+  cache.get("b", compute);
+  EXPECT_EQ(computes, 1);  // b was the evicted one
+}
+
+TEST(ProfileCache, FailedComputeIsRetried) {
+  ProfileCache cache(4);
+  std::atomic<int> attempts{0};
+  const auto failing = [&]() -> ProfileCache::EntryPtr {
+    ++attempts;
+    throw std::runtime_error("profiling exploded");
+  };
+  EXPECT_THROW(cache.get("k", failing), std::runtime_error);
+  EXPECT_THROW(cache.get("k", failing), std::runtime_error);
+  EXPECT_EQ(attempts.load(), 2);  // failure was not cached
+
+  const auto ok = [&] { return entry_with_alpha(2.3); };
+  EXPECT_DOUBLE_EQ(cache.get("k", ok)->proxy_alpha, 2.3);
+}
+
+TEST(ProfileCache, SingleFlightUnderContention) {
+  ProfileCache cache(4);
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<ProfileCache::EntryPtr> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] = cache.get("shared", [&] {
+        ++computes;
+        return entry_with_alpha(1.95);
+      });
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(computes.load(), 1);  // exactly one profiling run
+  for (const auto& result : results) {
+    EXPECT_EQ(result.get(), results[0].get());  // everyone shares the entry
+  }
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, static_cast<std::uint64_t>(kThreads - 1));
+}
+
+TEST(ProfileCache, ClearKeepsCounters) {
+  ProfileCache cache(4);
+  cache.get("k", [] { return entry_with_alpha(2.0); });
+  cache.clear();
+  EXPECT_EQ(cache.stats().size, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  cache.get("k", [] { return entry_with_alpha(2.0); });
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+// --- Planner over the cache ------------------------------------------------
+
+PlannerOptions tiny_options() {
+  PlannerOptions options;
+  options.proxy_scale = 0.002;  // keep profiling misses fast in tests
+  return options;
+}
+
+PlanRequest basic_request() {
+  PlanRequest request;
+  request.id = "t1";
+  request.app = AppKind::kPageRank;
+  request.machines = {"m4.2xlarge", "c4.2xlarge"};
+  request.vertices = 1'000'000;
+  request.edges = 10'000'000;
+  return request;
+}
+
+TEST(PlannerCache, RepeatRequestsHit) {
+  Planner planner(tiny_options());
+  const PlanRequest request = basic_request();
+  EXPECT_TRUE(planner.plan(request).ok);
+  EXPECT_TRUE(planner.plan(request).ok);
+  EXPECT_TRUE(planner.plan(request).ok);
+  const ProfileCacheStats stats = planner.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 2u);
+}
+
+TEST(PlannerCache, CachedPlanByteIdenticalToFresh) {
+  const PlanRequest request = basic_request();
+
+  Planner warm(tiny_options());
+  const std::string first = serialize_response(warm.plan(request));   // miss
+  const std::string cached = serialize_response(warm.plan(request));  // hit
+  EXPECT_EQ(cached, first);
+
+  // A brand-new planner (empty cache) profiles from scratch and must still
+  // produce the exact same bytes.
+  Planner fresh(tiny_options());
+  EXPECT_EQ(serialize_response(fresh.plan(request)), first);
+
+  EXPECT_EQ(warm.cache_stats().hits, 1u);
+  EXPECT_EQ(fresh.cache_stats().hits, 0u);
+}
+
+TEST(PlannerCache, KeyIgnoresClusterComposition) {
+  // The paper's observation: CCR profiles depend on machine *classes*, not on
+  // how many of each the cluster has.  [A,B], [B,A] and [A,A,B] share a key.
+  Planner planner(tiny_options());
+  PlanRequest request = basic_request();
+  const std::string key = planner.profile_key(request);
+
+  PlanRequest reordered = request;
+  reordered.machines = {"c4.2xlarge", "m4.2xlarge"};
+  EXPECT_EQ(planner.profile_key(reordered), key);
+
+  PlanRequest duplicated = request;
+  duplicated.machines = {"m4.2xlarge", "m4.2xlarge", "c4.2xlarge"};
+  EXPECT_EQ(planner.profile_key(duplicated), key);
+
+  planner.plan(request);
+  planner.plan(reordered);
+  planner.plan(duplicated);
+  EXPECT_EQ(planner.cache_stats().misses, 1u);
+  EXPECT_EQ(planner.cache_stats().hits, 2u);
+}
+
+TEST(PlannerCache, KeySeparatesAppAndCluster) {
+  Planner planner(tiny_options());
+  const PlanRequest request = basic_request();
+
+  PlanRequest other_app = request;
+  other_app.app = AppKind::kColoring;
+  EXPECT_NE(planner.profile_key(other_app), planner.profile_key(request));
+
+  PlanRequest other_cluster = request;
+  other_cluster.machines = {"xeon_server_s", "xeon_server_l"};
+  EXPECT_NE(planner.profile_key(other_cluster), planner.profile_key(request));
+}
+
+TEST(PlannerCache, NearbyAlphasShareAProxy) {
+  // Graphs whose fitted alphas resolve to the same proxy share a profile —
+  // that is what pushes real-workload hit rates past 90%.
+  Planner planner(tiny_options());
+  PlanRequest a = basic_request();
+  a.alpha = 2.08;
+  PlanRequest b = basic_request();
+  b.alpha = 2.12;
+  EXPECT_EQ(planner.profile_key(a), planner.profile_key(b));
+  planner.plan(a);
+  planner.plan(b);
+  EXPECT_EQ(planner.cache_stats().misses, 1u);
+  EXPECT_EQ(planner.cache_stats().hits, 1u);
+}
+
+TEST(PlannerCache, ErrorsDoNotPolluteCache) {
+  Planner planner(tiny_options());
+  PlanRequest bad = basic_request();
+  bad.machines = {"not_a_machine"};
+  const PlanResponse response = planner.plan(bad);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.id, "t1");
+  EXPECT_FALSE(response.error.empty());
+  EXPECT_EQ(planner.cache_stats().misses, 0u);
+  EXPECT_EQ(planner.cache_stats().size, 0u);
+}
+
+TEST(PlannerCache, PlanFieldsAreConsistent) {
+  Planner planner(tiny_options());
+  const PlanResponse response = planner.plan(basic_request());
+  ASSERT_TRUE(response.ok);
+  ASSERT_EQ(response.ccr.size(), 2u);
+  ASSERT_EQ(response.weights.size(), 2u);
+  // Eq. 1: slowest machine pinned at 1, everything else at least as capable.
+  EXPECT_DOUBLE_EQ(*std::min_element(response.ccr.begin(), response.ccr.end()), 1.0);
+  double weight_sum = 0.0;
+  for (const double w : response.weights) weight_sum += w;
+  EXPECT_NEAR(weight_sum, 1.0, 1e-9);
+  EXPECT_GT(response.replication_factor, 1.0);
+  EXPECT_GT(response.makespan_seconds, 0.0);
+  EXPECT_GT(response.energy_joules, 0.0);
+  EXPECT_GT(response.cost_usd, 0.0);
+  EXPECT_EQ(response.partitioner, "hybrid");
+}
+
+}  // namespace
+}  // namespace pglb

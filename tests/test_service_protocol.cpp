@@ -1,0 +1,252 @@
+// Protocol layer of the planning service: hand-rolled JSON parser and the
+// byte-stable request/response serializers.
+
+#include <gtest/gtest.h>
+
+#include "service/protocol.hpp"
+
+namespace pglb {
+namespace {
+
+// --- JSON parser -----------------------------------------------------------
+
+TEST(ParseJson, Scalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_TRUE(parse_json("true").as_bool());
+  EXPECT_FALSE(parse_json("false").as_bool());
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(ParseJson, NestedStructure) {
+  const JsonValue doc = parse_json(R"({"a":[1,2,{"b":"c"}],"d":{"e":null}})");
+  ASSERT_TRUE(doc.is_object());
+  const JsonValue* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(doc.find("d")->find("e")->is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(ParseJson, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
+}
+
+TEST(ParseJson, WhitespaceTolerant) {
+  const JsonValue doc = parse_json(" { \"k\" :\t[ 1 , 2 ] }\n");
+  EXPECT_EQ(doc.find("k")->as_array().size(), 2u);
+}
+
+TEST(ParseJson, MalformedInputsThrow) {
+  EXPECT_THROW(parse_json(""), ProtocolError);
+  EXPECT_THROW(parse_json("{"), ProtocolError);
+  EXPECT_THROW(parse_json("{\"a\":}"), ProtocolError);
+  EXPECT_THROW(parse_json("[1,]"), ProtocolError);
+  EXPECT_THROW(parse_json("\"unterminated"), ProtocolError);
+  EXPECT_THROW(parse_json("tru"), ProtocolError);
+  EXPECT_THROW(parse_json("1.2.3"), ProtocolError);
+  EXPECT_THROW(parse_json("{} trailing"), ProtocolError);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), ProtocolError);
+  EXPECT_THROW(parse_json("\"bad \\q escape\""), ProtocolError);
+  EXPECT_THROW(parse_json("\"\\ud800\""), ProtocolError);  // surrogates rejected
+  EXPECT_THROW(parse_json("{1:2}"), ProtocolError);
+}
+
+TEST(ParseJson, ErrorsCarryByteOffset) {
+  try {
+    parse_json("{\"a\": nope}");
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+TEST(AppendJsonNumber, ShortestRoundTrip) {
+  std::string out;
+  append_json_number(out, 0.35);
+  EXPECT_EQ(out, "0.35");
+  out.clear();
+  append_json_number(out, 3.0);
+  EXPECT_EQ(out, "3");
+  out.clear();
+  append_json_number(out, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(parse_json(out).as_number(), 1.0 / 3.0);
+}
+
+TEST(AppendJsonString, EscapesControlCharacters) {
+  std::string out;
+  append_json_string(out, "a\"b\\c\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\u0001\"");
+  EXPECT_EQ(parse_json(out).as_string(), "a\"b\\c\x01");
+}
+
+// --- request parsing -------------------------------------------------------
+
+TEST(ParsePlanRequest, FullRequest) {
+  const PlanRequest request = parse_plan_request(
+      R"({"id":"r1","app":"pagerank","machines":["m4.2xlarge","c4.2xlarge"],)"
+      R"("vertices":1000,"edges":5000,"partitioner":"hybrid"})");
+  EXPECT_EQ(request.type, RequestType::kPlan);
+  EXPECT_EQ(request.id, "r1");
+  EXPECT_EQ(request.app, AppKind::kPageRank);
+  ASSERT_EQ(request.machines.size(), 2u);
+  EXPECT_EQ(request.machines[0], "m4.2xlarge");
+  EXPECT_FALSE(request.alpha.has_value());
+  EXPECT_EQ(request.vertices, 1000u);
+  EXPECT_EQ(request.edges, 5000u);
+  ASSERT_TRUE(request.partitioner.has_value());
+  EXPECT_EQ(*request.partitioner, PartitionerKind::kHybrid);
+}
+
+TEST(ParsePlanRequest, AlphaInsteadOfCounts) {
+  const PlanRequest request = parse_plan_request(
+      R"({"app":"coloring","machines":["c4.xlarge"],"alpha":2.1})");
+  ASSERT_TRUE(request.alpha.has_value());
+  EXPECT_DOUBLE_EQ(*request.alpha, 2.1);
+}
+
+TEST(ParsePlanRequest, MetricsNeedsNothingElse) {
+  const PlanRequest request = parse_plan_request(R"({"type":"metrics"})");
+  EXPECT_EQ(request.type, RequestType::kMetrics);
+}
+
+TEST(ParsePlanRequest, MissingFields) {
+  // no app
+  EXPECT_THROW(parse_plan_request(R"({"machines":["c4.xlarge"],"alpha":2})"),
+               ProtocolError);
+  // no machines
+  EXPECT_THROW(parse_plan_request(R"({"app":"pagerank","alpha":2})"), ProtocolError);
+  // empty machines
+  EXPECT_THROW(parse_plan_request(R"({"app":"pagerank","machines":[],"alpha":2})"),
+               ProtocolError);
+  // neither alpha nor vertices+edges
+  EXPECT_THROW(parse_plan_request(R"({"app":"pagerank","machines":["c4.xlarge"]})"),
+               ProtocolError);
+  EXPECT_THROW(
+      parse_plan_request(R"({"app":"pagerank","machines":["c4.xlarge"],"edges":5})"),
+      ProtocolError);
+}
+
+TEST(ParsePlanRequest, InvalidValues) {
+  // unknown key fails loudly
+  EXPECT_THROW(parse_plan_request(
+                   R"({"app":"pagerank","machines":["c4.xlarge"],"alpha":2,"hue":3})"),
+               ProtocolError);
+  EXPECT_THROW(parse_plan_request(
+                   R"({"app":"frobnicate","machines":["c4.xlarge"],"alpha":2})"),
+               ProtocolError);
+  // alpha must exceed 1 (truncated power law diverges otherwise)
+  EXPECT_THROW(parse_plan_request(
+                   R"({"app":"pagerank","machines":["c4.xlarge"],"alpha":0.9})"),
+               ProtocolError);
+  // vertices must be a positive integer
+  EXPECT_THROW(
+      parse_plan_request(
+          R"({"app":"pagerank","machines":["c4.xlarge"],"vertices":0,"edges":5})"),
+      ProtocolError);
+  EXPECT_THROW(
+      parse_plan_request(
+          R"({"app":"pagerank","machines":["c4.xlarge"],"vertices":1.5,"edges":5})"),
+      ProtocolError);
+  EXPECT_THROW(parse_plan_request(
+                   R"({"app":"pagerank","machines":["c4.xlarge"],"alpha":2,)"
+                   R"("partitioner":"magic"})"),
+               ProtocolError);
+  EXPECT_THROW(parse_plan_request(R"({"type":"reboot"})"), ProtocolError);
+  EXPECT_THROW(parse_plan_request("[1,2,3]"), ProtocolError);
+  EXPECT_THROW(parse_plan_request("not json at all"), ProtocolError);
+}
+
+TEST(RequestRoundTrip, SerializeThenParse) {
+  PlanRequest request;
+  request.id = "round \"trip\"";
+  request.app = AppKind::kTriangleCount;
+  request.machines = {"m4.2xlarge", "c4.2xlarge", "m4.2xlarge"};
+  request.alpha = 2.2;
+  request.vertices = 123456;
+  request.edges = 7890123;
+  request.partitioner = PartitionerKind::kHdrf;
+
+  const PlanRequest parsed = parse_plan_request(serialize_request(request));
+  EXPECT_EQ(parsed.id, request.id);
+  EXPECT_EQ(parsed.app, request.app);
+  EXPECT_EQ(parsed.machines, request.machines);
+  ASSERT_TRUE(parsed.alpha.has_value());
+  EXPECT_DOUBLE_EQ(*parsed.alpha, *request.alpha);
+  EXPECT_EQ(parsed.vertices, request.vertices);
+  EXPECT_EQ(parsed.edges, request.edges);
+  ASSERT_TRUE(parsed.partitioner.has_value());
+  EXPECT_EQ(*parsed.partitioner, *request.partitioner);
+}
+
+TEST(RequestRoundTrip, MetricsRequest) {
+  PlanRequest request;
+  request.type = RequestType::kMetrics;
+  EXPECT_EQ(serialize_request(request), R"({"type":"metrics"})");
+  EXPECT_EQ(parse_plan_request(serialize_request(request)).type, RequestType::kMetrics);
+}
+
+// --- response serialization ------------------------------------------------
+
+PlanResponse sample_response() {
+  PlanResponse response;
+  response.id = "r9";
+  response.ok = true;
+  response.app = "pagerank";
+  response.fitted_alpha = 2.05;
+  response.proxy_alpha = 2.1;
+  response.ccr = {1.0, 1.25};
+  response.weights = {0.4444, 0.5556};
+  response.partitioner = "hybrid";
+  response.replication_factor = 1.98;
+  response.makespan_seconds = 0.5;
+  response.energy_joules = 73.4;
+  response.cost_usd = 0.00012;
+  return response;
+}
+
+TEST(ResponseRoundTrip, OkResponse) {
+  const PlanResponse original = sample_response();
+  const std::string line = serialize_response(original);
+  const PlanResponse parsed = parse_plan_response(line);
+  EXPECT_EQ(parsed.id, original.id);
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.app, original.app);
+  EXPECT_DOUBLE_EQ(parsed.fitted_alpha, original.fitted_alpha);
+  EXPECT_DOUBLE_EQ(parsed.proxy_alpha, original.proxy_alpha);
+  EXPECT_EQ(parsed.ccr, original.ccr);
+  EXPECT_EQ(parsed.weights, original.weights);
+  EXPECT_EQ(parsed.partitioner, original.partitioner);
+  EXPECT_DOUBLE_EQ(parsed.replication_factor, original.replication_factor);
+  EXPECT_DOUBLE_EQ(parsed.makespan_seconds, original.makespan_seconds);
+  EXPECT_DOUBLE_EQ(parsed.energy_joules, original.energy_joules);
+  EXPECT_DOUBLE_EQ(parsed.cost_usd, original.cost_usd);
+}
+
+TEST(ResponseRoundTrip, ByteStable) {
+  // The same response must always serialize to the same bytes — that is what
+  // makes "cached plan == fresh plan" testable at the byte level.
+  const std::string a = serialize_response(sample_response());
+  const std::string b = serialize_response(sample_response());
+  EXPECT_EQ(a, b);
+  // And re-serializing the parsed form reproduces the bytes exactly
+  // (shortest-round-trip doubles survive the round trip).
+  EXPECT_EQ(serialize_response(parse_plan_response(a)), a);
+}
+
+TEST(ResponseRoundTrip, ErrorResponse) {
+  const std::string line = serialize_error("bad-1", "unknown machine 'quantum9'");
+  const PlanResponse parsed = parse_plan_response(line);
+  EXPECT_EQ(parsed.id, "bad-1");
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.error, "unknown machine 'quantum9'");
+}
+
+}  // namespace
+}  // namespace pglb

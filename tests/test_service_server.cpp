@@ -1,0 +1,198 @@
+// PlanServer: bounded queue semantics, stream serving in input order, and
+// determinism of per-request results under concurrent load.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+
+namespace pglb {
+namespace {
+
+PlannerOptions tiny_options() {
+  PlannerOptions options;
+  options.proxy_scale = 0.002;
+  return options;
+}
+
+std::string plan_line(int variant, int sequence) {
+  PlanRequest request;
+  request.id = "q" + std::to_string(sequence);
+  request.app = variant % 2 == 0 ? AppKind::kPageRank : AppKind::kColoring;
+  request.machines = variant % 4 < 2
+                         ? std::vector<std::string>{"m4.2xlarge", "c4.2xlarge"}
+                         : std::vector<std::string>{"xeon_server_s", "xeon_server_l"};
+  request.vertices = 1'000'000;
+  request.edges = 10'000'000 + static_cast<std::uint64_t>(variant % 4) * 1'000'000;
+  return serialize_request(request);
+}
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+}
+
+TEST(BoundedQueue, PushBlocksUntilPopped) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));
+  std::thread producer([&] { EXPECT_TRUE(queue.push(2)); });  // blocks: full
+  EXPECT_EQ(queue.pop(), 1);
+  EXPECT_EQ(queue.pop(), 2);
+  producer.join();
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> queue(4);
+  queue.push(1);
+  queue.push(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(3));        // closed: rejected
+  EXPECT_EQ(queue.pop(), 1);          // backlog still drains
+  EXPECT_EQ(queue.pop(), 2);
+  EXPECT_EQ(queue.pop(), std::nullopt);  // drained + closed
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_EQ(queue.pop(), std::nullopt); });
+  queue.close();
+  consumer.join();
+}
+
+TEST(PlanServer, SubmitAnswersOneRequest) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+
+  const PlanResponse response =
+      parse_plan_response(server.submit(plan_line(0, 0)).get());
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.id, "q0");
+  EXPECT_EQ(metrics.counter("requests_total"), 1u);
+  EXPECT_EQ(metrics.counter("requests_failed"), 0u);
+}
+
+TEST(PlanServer, MalformedLineYieldsErrorAndServiceContinues) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+
+  const PlanResponse bad = parse_plan_response(server.submit("{oops").get());
+  EXPECT_FALSE(bad.ok);
+  EXPECT_FALSE(bad.error.empty());
+  EXPECT_EQ(metrics.counter("requests_failed"), 1u);
+
+  EXPECT_TRUE(parse_plan_response(server.submit(plan_line(0, 1)).get()).ok);
+}
+
+TEST(PlanServer, MetricsRequestReturnsRegistrySnapshot) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+  server.submit(plan_line(0, 0)).get();
+
+  const JsonValue snapshot =
+      parse_json(server.submit(R"({"type":"metrics"})").get());
+  ASSERT_TRUE(snapshot.is_object());
+  EXPECT_DOUBLE_EQ(snapshot.find("counters")->find("requests_total")->as_number(), 2.0);
+  ASSERT_NE(snapshot.find("stages"), nullptr);
+  EXPECT_GE(snapshot.find("stages")->find("plan")->find("count")->as_number(), 1.0);
+  const JsonValue* cache = snapshot.find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_DOUBLE_EQ(cache->find("misses")->as_number(), 1.0);
+}
+
+TEST(PlanServer, SubmitAfterStopAnswersShutdownError) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+  server.stop();
+  const PlanResponse response =
+      parse_plan_response(server.submit(plan_line(0, 0)).get());
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.error.find("shutting down"), std::string::npos);
+}
+
+TEST(PlanServer, ServeStreamKeepsInputOrder) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 4, .queue_capacity = 16});
+
+  std::ostringstream input_text;
+  constexpr int kRequests = 12;
+  for (int i = 0; i < kRequests; ++i) {
+    input_text << plan_line(i % 4, i) << "\n";
+  }
+  input_text << "\n";  // blank lines are skipped, not answered
+  std::istringstream in(input_text.str());
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), static_cast<std::size_t>(kRequests));
+
+  std::istringstream responses(out.str());
+  std::string line;
+  int i = 0;
+  while (std::getline(responses, line)) {
+    const PlanResponse response = parse_plan_response(line);
+    EXPECT_TRUE(response.ok);
+    // Workers finish out of order; the writer restores input order.
+    EXPECT_EQ(response.id, "q" + std::to_string(i));
+    ++i;
+  }
+  EXPECT_EQ(i, kRequests);
+}
+
+TEST(PlanServer, ConcurrentIdenticalMixIsDeterministic) {
+  // Reference answers from a single-threaded planner...
+  Planner reference(tiny_options());
+  std::map<int, std::string> expected;
+  for (int v = 0; v < 4; ++v) {
+    expected[v] = serialize_response(reference.plan(parse_plan_request(plan_line(v, 0))));
+  }
+
+  // ...must match every answer produced under concurrent load, regardless of
+  // scheduling, cache state, or which worker handles which request.
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 4, .queue_capacity = 32});
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 16;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::string>> got(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<std::string>> pending;
+      for (int i = 0; i < kPerClient; ++i) {
+        pending.push_back(server.submit(plan_line((c + i) % 4, 0)));
+      }
+      for (auto& future : pending) {
+        got[static_cast<std::size_t>(c)].push_back(future.get());
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      EXPECT_EQ(got[static_cast<std::size_t>(c)][static_cast<std::size_t>(i)],
+                expected[(c + i) % 4])
+          << "client " << c << " request " << i;
+    }
+  }
+
+  // 4 distinct (class set, app, proxy) keys in the mix -> exactly 4 misses.
+  const ProfileCacheStats stats = planner.cache_stats();
+  EXPECT_EQ(stats.misses, 4u);
+  EXPECT_EQ(stats.hits, static_cast<std::uint64_t>(kClients * kPerClient - 4));
+}
+
+}  // namespace
+}  // namespace pglb

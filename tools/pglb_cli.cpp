@@ -39,15 +39,6 @@ using namespace pglb;
 
 namespace {
 
-AppKind parse_app(const std::string& name) {
-  for (const AppKind kind : {AppKind::kPageRank, AppKind::kColoring,
-                             AppKind::kConnectedComponents, AppKind::kTriangleCount,
-                             AppKind::kSssp, AppKind::kKCore}) {
-    if (name == to_string(kind)) return kind;
-  }
-  throw std::invalid_argument("unknown app '" + name + "'");
-}
-
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> out;
   std::stringstream ss(text);
@@ -191,7 +182,7 @@ int cmd_profile(const Cli& cli) {
   for (const std::string& name :
        split_csv(cli.get_string("apps", "pagerank,coloring,connected_components,"
                                         "triangle_count"))) {
-    apps.push_back(parse_app(name));
+    apps.push_back(app_from_name(name));
   }
 
   OnlineCcrManager manager(ProxySuite(scale), apps);
@@ -231,7 +222,7 @@ int cmd_partition(const Cli& cli) {
   const std::string path = cli.get_string("graph", "");
   if (path.empty()) throw std::invalid_argument("--graph=FILE is required");
   const Cluster cluster = cluster_from_flag(cli);
-  const AppKind app = parse_app(cli.get_string("app", "pagerank"));
+  const AppKind app = app_from_name(cli.get_string("app", "pagerank"));
   const auto kind = partitioner_from_string(cli.get_string("algorithm", "hybrid"));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
 
@@ -270,7 +261,7 @@ int cmd_run(const Cli& cli) {
   const std::string path = cli.get_string("graph", "");
   if (path.empty()) throw std::invalid_argument("--graph=FILE is required");
   const Cluster cluster = cluster_from_flag(cli);
-  const AppKind app = parse_app(cli.get_string("app", "pagerank"));
+  const AppKind app = app_from_name(cli.get_string("app", "pagerank"));
   const double scale = cli.get_double("scale", 1.0);
 
   FlowOptions options;

@@ -1,0 +1,293 @@
+// pglb_loadgen — replay a deterministic planning-request mix against the
+// service and report throughput, latency percentiles, and the profile-cache
+// hit rate.
+//
+//   pglb_loadgen --requests=1000 --threads=4                 # in-process
+//   pglb_loadgen --requests=1000 --threads=4 --server=./pglb_serve
+//
+// The mix cycles over --distinct combinations of (cluster, app, graph), so a
+// long run is dominated by repeated requests — the service's intended
+// traffic shape — and the cache hit rate converges to 1 - distinct/requests.
+// Exits non-zero if any request fails.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+#ifdef __unix__
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <ext/stdio_filebuf.h>
+#endif
+
+using namespace pglb;
+
+namespace {
+
+/// The fixed request mix: combo i cycles clusters fastest, then apps, then
+/// graph sizes, covering the paper's Case 1-3 cluster shapes.
+PlanRequest request_for(std::size_t combo, std::size_t sequence) {
+  static const std::vector<std::vector<std::string>> kClusters = {
+      {"xeon_server_s", "xeon_server_l"},
+      {"m4.2xlarge", "c4.2xlarge"},
+      {"c4.xlarge", "c4.2xlarge", "c4.4xlarge", "c4.8xlarge"},
+      {"m4.2xlarge", "c4.2xlarge", "r3.2xlarge"},
+  };
+  static const std::vector<AppKind> kApps = {
+      AppKind::kPageRank, AppKind::kColoring, AppKind::kConnectedComponents,
+      AppKind::kTriangleCount};
+  static const std::vector<std::pair<std::uint64_t, std::uint64_t>> kGraphs = {
+      {1'000'000, 10'000'000}, {4'847'571, 68'993'773}, {3'072'441, 117'185'083}};
+
+  PlanRequest request;
+  request.id = "load-" + std::to_string(sequence);
+  request.machines = kClusters[combo % kClusters.size()];
+  request.app = kApps[(combo / kClusters.size()) % kApps.size()];
+  const auto& [vertices, edges] =
+      kGraphs[(combo / (kClusters.size() * kApps.size())) % kGraphs.size()];
+  request.vertices = vertices;
+  request.edges = edges;
+  return request;
+}
+
+struct LoadReport {
+  std::vector<double> latencies_s;
+  std::size_t failed = 0;
+  double wall_seconds = 0.0;
+  double cache_hits = 0.0;
+  double cache_misses = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+LoadReport run_in_process(std::size_t requests, int threads, std::size_t distinct,
+                          const PlannerOptions& planner_options,
+                          const ServerOptions& server_options) {
+  ServiceMetrics metrics;
+  Planner planner(planner_options, &metrics);
+  PlanServer server(planner, metrics, server_options);
+
+  LoadReport report;
+  report.latencies_s.resize(requests);
+  std::vector<std::size_t> failures(static_cast<std::size_t>(threads), 0);
+  std::atomic<std::size_t> next{0};
+
+  const Stopwatch wall;
+  std::vector<std::thread> clients;
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests) return;
+        const std::string line = serialize_request(request_for(i % distinct, i));
+        const Stopwatch timer;
+        const std::string response_line = server.submit(line).get();
+        report.latencies_s[i] = timer.seconds();
+        const PlanResponse response = parse_plan_response(response_line);
+        if (!response.ok) {
+          ++failures[static_cast<std::size_t>(t)];
+          if (failures[static_cast<std::size_t>(t)] == 1) {
+            std::cerr << "first failure: " << response_line << "\n";
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  report.wall_seconds = wall.seconds();
+  for (const std::size_t f : failures) report.failed += f;
+
+  const ProfileCacheStats cache = planner.cache_stats();
+  report.cache_hits = static_cast<double>(cache.hits);
+  report.cache_misses = static_cast<double>(cache.misses);
+  report.cache_hit_rate = cache.hit_rate();
+  return report;
+}
+
+#ifdef __unix__
+/// Drive an external `pglb_serve` over pipes: responses come back in input
+/// order, so request i's latency is send[i] -> i-th response line.
+LoadReport run_against_server(const std::string& server_path, std::size_t requests,
+                              int threads, std::size_t distinct, double scale) {
+  int to_child[2], from_child[2];
+  if (pipe(to_child) != 0 || pipe(from_child) != 0) {
+    throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
+  }
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    const std::string threads_flag = "--threads=" + std::to_string(threads);
+    const std::string scale_flag = "--scale=" + std::to_string(scale);
+    execl(server_path.c_str(), server_path.c_str(), threads_flag.c_str(),
+          scale_flag.c_str(), static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+
+  __gnu_cxx::stdio_filebuf<char> out_buf(to_child[1], std::ios::out);
+  __gnu_cxx::stdio_filebuf<char> in_buf(from_child[0], std::ios::in);
+  std::ostream to_server(&out_buf);
+  std::istream from_server(&in_buf);
+
+  LoadReport report;
+  report.latencies_s.resize(requests);
+  std::vector<double> send_time(requests + 1, 0.0);
+
+  // Windowed pipelining: keep at most 2*threads requests in flight so the
+  // send timestamps stay meaningful as queueing delay, not just write time.
+  const std::size_t window = static_cast<std::size_t>(threads) * 2;
+  std::mutex mutex;
+  std::condition_variable received_cv;
+  std::size_t received = 0;
+  std::string metrics_line;
+
+  const Stopwatch wall;
+  std::thread reader([&] {
+    std::string line;
+    std::size_t i = 0;
+    while (i < requests + 1 && std::getline(from_server, line)) {
+      if (i < requests) {
+        double sent = 0.0;
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          sent = send_time[i];
+        }
+        report.latencies_s[i] = wall.seconds() - sent;
+        const PlanResponse response = parse_plan_response(line);
+        if (!response.ok) {
+          ++report.failed;
+          if (report.failed == 1) std::cerr << "first failure: " << line << "\n";
+        }
+      } else {
+        metrics_line = line;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        received = ++i;
+      }
+      received_cv.notify_one();
+    }
+  });
+
+  for (std::size_t i = 0; i < requests; ++i) {
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      received_cv.wait(lock, [&] { return i - received < window; });
+      send_time[i] = wall.seconds();
+    }
+    to_server << serialize_request(request_for(i % distinct, i)) << '\n' << std::flush;
+  }
+  PlanRequest metrics_request;
+  metrics_request.type = RequestType::kMetrics;
+  to_server << serialize_request(metrics_request) << '\n' << std::flush;
+  out_buf.close();  // EOF -> server drains and exits
+
+  reader.join();
+  report.wall_seconds = wall.seconds();
+  int status = 0;
+  waitpid(pid, &status, 0);
+
+  if (!metrics_line.empty()) {
+    const JsonValue metrics = parse_json(metrics_line);
+    if (const JsonValue* cache = metrics.find("cache")) {
+      if (const JsonValue* v = cache->find("hits")) report.cache_hits = v->as_number();
+      if (const JsonValue* v = cache->find("misses")) {
+        report.cache_misses = v->as_number();
+      }
+      if (const JsonValue* v = cache->find("hit_rate")) {
+        report.cache_hit_rate = v->as_number();
+      }
+    }
+  }
+  return report;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    const auto requests = static_cast<std::size_t>(cli.get_int("requests", 1000));
+    const int threads = static_cast<int>(cli.get_int("threads", 4));
+    const auto distinct =
+        static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("distinct", 8)));
+    const std::string server_path = cli.get_string("server", "");
+
+    PlannerOptions planner_options;
+    planner_options.proxy_scale = cli.get_double("scale", 1.0 / 256.0);
+    planner_options.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 64));
+
+    ServerOptions server_options;
+    server_options.threads = threads;
+    server_options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 256));
+
+    const auto unused = cli.unused_keys();
+    if (!unused.empty()) {
+      std::cerr << "pglb_loadgen: unknown flag --" << unused.front() << "\n";
+      return 2;
+    }
+
+    LoadReport report;
+    if (server_path.empty()) {
+      report = run_in_process(requests, threads, distinct, planner_options,
+                              server_options);
+    } else {
+#ifdef __unix__
+      report = run_against_server(server_path, requests, threads, distinct,
+                                  planner_options.proxy_scale);
+#else
+      std::cerr << "pglb_loadgen: --server mode is only available on POSIX builds\n";
+      return 2;
+#endif
+    }
+
+    std::vector<double> sorted = report.latencies_s;
+    std::sort(sorted.begin(), sorted.end());
+    const double throughput =
+        report.wall_seconds > 0.0 ? static_cast<double>(requests) / report.wall_seconds
+                                  : 0.0;
+
+    Table table({"metric", "value"});
+    table.row().cell("requests").cell(static_cast<std::uint64_t>(requests));
+    table.row().cell("failed").cell(static_cast<std::uint64_t>(report.failed));
+    table.row().cell("wall seconds").cell(report.wall_seconds, 3);
+    table.row().cell("throughput req/s").cell(throughput, 1);
+    table.row().cell("p50 latency ms").cell(percentile(sorted, 0.50) * 1e3, 3);
+    table.row().cell("p90 latency ms").cell(percentile(sorted, 0.90) * 1e3, 3);
+    table.row().cell("p99 latency ms").cell(percentile(sorted, 0.99) * 1e3, 3);
+    table.row().cell("cache hits").cell(report.cache_hits, 0);
+    table.row().cell("cache misses").cell(report.cache_misses, 0);
+    table.row().cell("cache hit rate").cell(format_percent(report.cache_hit_rate));
+    table.print(std::cout);
+
+    return report.failed == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "pglb_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,121 @@
+// pglb_serve — the planning service front-end.  Reads one JSON request per
+// line (stdin by default, or a TCP socket with --listen), answers one JSON
+// response per line in input order, and exits at EOF.  See docs/SERVICE.md
+// for the protocol.
+//
+//   pglb_serve --threads=4 --queue=256 --scale=0.004 < requests.jsonl
+//   pglb_serve --listen=7447 --threads=8
+//
+// A line {"type":"metrics"} returns the metrics registry (request counts,
+// per-stage latency percentiles, profile-cache hit rate) without planning.
+
+#include <iostream>
+
+#include "service/server.hpp"
+#include "util/cli.hpp"
+
+#ifdef __unix__
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <ext/stdio_filebuf.h>  // libstdc++: iostream over a file descriptor
+#endif
+
+using namespace pglb;
+
+namespace {
+
+#ifdef __unix__
+/// Accept TCP connections on `port` one at a time, running the line protocol
+/// over each connection until the peer closes it.  Serves forever.
+int serve_socket(PlanServer& server, int port) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "pglb_serve: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int enable = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address), sizeof(address)) < 0 ||
+      ::listen(listener, 8) < 0) {
+    std::cerr << "pglb_serve: bind/listen on port " << port << ": "
+              << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  std::cerr << "pglb_serve: listening on 127.0.0.1:" << port << "\n";
+  while (true) {
+    const int connection = ::accept(listener, nullptr, nullptr);
+    if (connection < 0) continue;
+    __gnu_cxx::stdio_filebuf<char> in_buf(connection, std::ios::in);
+    __gnu_cxx::stdio_filebuf<char> out_buf(::dup(connection), std::ios::out);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    const std::size_t served = server.serve_stream(in, out);
+    std::cerr << "pglb_serve: connection closed after " << served << " requests\n";
+  }
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    PlannerOptions planner_options;
+    planner_options.proxy_scale = cli.get_double("scale", 1.0 / 256.0);
+    planner_options.proxy_seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
+    planner_options.cache_capacity =
+        static_cast<std::size_t>(cli.get_int("cache", 64));
+
+    ServerOptions server_options;
+    server_options.threads = static_cast<int>(cli.get_int("threads", 4));
+    server_options.queue_capacity =
+        static_cast<std::size_t>(cli.get_int("queue", 256));
+
+    const bool dump_metrics = cli.get_bool("dump-metrics", false);
+    const int port = static_cast<int>(cli.get_int("listen", 0));
+
+    const auto unused = cli.unused_keys();
+    if (!unused.empty()) {
+      std::cerr << "pglb_serve: unknown flag --" << unused.front() << "\n";
+      return 2;
+    }
+
+    ServiceMetrics metrics;
+    Planner planner(planner_options, &metrics);
+    PlanServer server(planner, metrics, server_options);
+
+    if (port != 0) {
+#ifdef __unix__
+      return serve_socket(server, port);
+#else
+      std::cerr << "pglb_serve: --listen is only available on POSIX builds\n";
+      return 2;
+#endif
+    }
+
+    server.serve_stream(std::cin, std::cout);
+    if (dump_metrics) {
+      const ProfileCacheStats cache = planner.cache_stats();
+      std::string extra = "\"cache\":{\"hits\":";
+      append_json_number(extra, static_cast<double>(cache.hits));
+      extra += ",\"misses\":";
+      append_json_number(extra, static_cast<double>(cache.misses));
+      extra += ",\"hit_rate\":";
+      append_json_number(extra, cache.hit_rate());
+      extra += "}";
+      std::cerr << metrics.to_json(extra) << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pglb_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -31,3 +31,36 @@ run_step(${PGLB} relabel --graph=${mtx} --mode=compact --out=${relabelled})
 run_step(${PGLB} stats --graph=${relabelled})
 
 file(REMOVE ${graph} ${pool} ${assignment} ${mtx} ${relabelled})
+
+# Planning service round trip: three requests through pglb_serve's line
+# protocol, answered in order with the expected statuses.
+if(PGLB_SERVE)
+  set(requests ${WORKDIR}/smoke_requests.jsonl)
+  set(responses ${WORKDIR}/smoke_responses.jsonl)
+  file(WRITE ${requests}
+"{\"id\":\"s1\",\"app\":\"pagerank\",\"machines\":[\"xeon_server_s\",\"xeon_server_l\"],\"vertices\":1000000,\"edges\":10000000}
+{\"id\":\"s2\",\"app\":\"coloring\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"alpha\":2.1}
+{\"id\":\"s3\",\"app\":\"pagerank\",\"machines\":[\"no_such_machine\"],\"alpha\":2.1}
+")
+  execute_process(COMMAND ${PGLB_SERVE} --threads=2 --scale=0.002
+                  INPUT_FILE ${requests} OUTPUT_FILE ${responses}
+                  RESULT_VARIABLE code ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "pglb_serve failed (${code}):\n${err}")
+  endif()
+  file(STRINGS ${responses} response_lines)
+  list(LENGTH response_lines num_responses)
+  if(NOT num_responses EQUAL 3)
+    message(FATAL_ERROR "expected 3 service responses, got ${num_responses}")
+  endif()
+  foreach(pair "0;s1;ok" "1;s2;ok" "2;s3;error")
+    list(GET pair 0 index)
+    list(GET pair 1 id)
+    list(GET pair 2 status)
+    list(GET response_lines ${index} line)
+    if(NOT line MATCHES "\"id\":\"${id}\",\"status\":\"${status}\"")
+      message(FATAL_ERROR "response ${index} should be id=${id} status=${status}: ${line}")
+    endif()
+  endforeach()
+  file(REMOVE ${requests} ${responses})
+endif()
