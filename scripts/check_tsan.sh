@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# ThreadSanitizer gate for the thread-pool and service concurrency code.
+#
+# Configures a dedicated build tree with -DPGLB_SANITIZE=thread, builds the
+# tsan-labelled test binaries, and runs `ctest -L tsan`.  Run from the repo
+# root:
+#
+#   scripts/check_tsan.sh [build-dir]
+#
+# The build tree (default: build-tsan) is kept between runs for fast
+# incremental re-checks.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DPGLB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target test_thread_pool test_parallel_determinism test_service_server
+ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j"$(nproc)"
+echo "check_tsan: all tsan-labelled tests passed"

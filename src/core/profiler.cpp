@@ -7,6 +7,7 @@
 #include "apps/registry.hpp"
 #include "core/ccr.hpp"
 #include "partition/random_hash.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pglb {
 
@@ -19,7 +20,8 @@ double profile_single_machine(const MachineSpec& spec, AppKind app,
 
   const RandomHashPartitioner partitioner;
   const std::vector<double> weights{1.0};
-  const auto assignment = partitioner.partition(prepared, weights, /*seed=*/0);
+  const auto assignment =
+      partitioner.partition(prepared, weights, kProfilingPartitionSeed);
   const auto dg = build_distributed(prepared, assignment);
   const auto result = run_app(app, prepared, dg, solo, traits);
   return result.report.makespan_seconds;
@@ -85,19 +87,36 @@ std::vector<double> CcrPool::mean_ccr_for(AppKind app) const {
 }
 
 CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
-                        std::span<const AppKind> apps) {
+                        std::span<const AppKind> apps, ThreadPool* thread_pool) {
   const auto groups = group_machines(cluster);
+  const auto proxies = suite.proxies();
+
+  // Flatten the (app, proxy, group) fan-out: every cell is an independent
+  // single-machine virtual execution writing its own slot.
+  const std::size_t cells = apps.size() * proxies.size() * groups.size();
+  std::vector<double> times(cells, 0.0);
+  parallel_for(pool_or_global(thread_pool), cells, 1,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t cell = begin; cell < end; ++cell) {
+                   const std::size_t g = cell % groups.size();
+                   const std::size_t p = (cell / groups.size()) % proxies.size();
+                   const std::size_t a = cell / (groups.size() * proxies.size());
+                   times[cell] = profile_single_machine(groups[g].representative, apps[a],
+                                                        proxies[p].graph, suite.scale());
+                 }
+               });
+
+  // Assemble in the serial iteration order (app-major, then proxy).
   CcrPool pool;
+  std::size_t cell = 0;
   for (const AppKind app : apps) {
-    for (const ProxySuite::Proxy& proxy : suite.proxies()) {
+    for (const ProxySuite::Proxy& proxy : proxies) {
       CcrPool::Entry entry;
       entry.app = app;
       entry.proxy_alpha = proxy.alpha;
-      entry.group_times.reserve(groups.size());
-      for (const MachineGroup& group : groups) {
-        entry.group_times.push_back(
-            profile_single_machine(group.representative, app, proxy.graph, suite.scale()));
-      }
+      entry.group_times.assign(times.begin() + static_cast<std::ptrdiff_t>(cell),
+                               times.begin() + static_cast<std::ptrdiff_t>(cell + groups.size()));
+      cell += groups.size();
       pool.insert(std::move(entry));
     }
   }
@@ -105,13 +124,16 @@ CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
 }
 
 std::vector<double> profile_groups_on_graph(const Cluster& cluster, AppKind app,
-                                            const EdgeList& graph, double scale) {
+                                            const EdgeList& graph, double scale,
+                                            ThreadPool* thread_pool) {
   const auto groups = group_machines(cluster);
-  std::vector<double> times;
-  times.reserve(groups.size());
-  for (const MachineGroup& group : groups) {
-    times.push_back(profile_single_machine(group.representative, app, graph, scale));
-  }
+  std::vector<double> times(groups.size(), 0.0);
+  parallel_for(pool_or_global(thread_pool), groups.size(), 1,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t g = begin; g < end; ++g) {
+                   times[g] = profile_single_machine(groups[g].representative, app, graph, scale);
+                 }
+               });
   return times;
 }
 

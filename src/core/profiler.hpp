@@ -14,6 +14,18 @@
 
 namespace pglb {
 
+class ThreadPool;
+
+/// Seed of the random-hash partition inside every profiling pass.  Fixed by
+/// design, NOT plumbed from the pipeline seed: a profile entry must be a pure
+/// function of (machine class, app, proxy) so that (a) the service's profile
+/// cache — whose key deliberately carries no seed — always serves bytes
+/// identical to a fresh run, and (b) CCR stays a hardware property rather
+/// than a sampling artifact.  On a one-machine cluster the partition is
+/// degenerate anyway (every edge lands on machine 0), so no information is
+/// lost.  tests/test_profiler.cpp pins this contract.
+inline constexpr std::uint64_t kProfilingPartitionSeed = 0;
+
 /// Virtual-time runtime of `app` on `graph` executed on a single machine of
 /// type `spec` (a one-machine cluster: no mirrors, no communication).
 /// `scale` is the down-scaling factor of `graph` for trait re-inflation.
@@ -56,14 +68,17 @@ class CcrPool {
 };
 
 /// Run the full profiling pass: every app x every proxy x one machine per
-/// group.
+/// group.  Each (app, proxy, group) cell is an independent virtual execution,
+/// so cells fan out over `pool` (nullptr = the global pool); results land in
+/// per-cell slots and are assembled in the serial iteration order, so the
+/// pool is bit-identical at any thread count.
 CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
-                        std::span<const AppKind> apps);
+                        std::span<const AppKind> apps, ThreadPool* pool = nullptr);
 
 /// Profile using an arbitrary graph instead of the proxies (the "real graph"
 /// CCR of Fig. 8, and the oracle estimator).  Returns per-group times.
 std::vector<double> profile_groups_on_graph(const Cluster& cluster,
                                             AppKind app, const EdgeList& graph,
-                                            double scale);
+                                            double scale, ThreadPool* pool = nullptr);
 
 }  // namespace pglb

@@ -11,6 +11,8 @@
 
 namespace pglb {
 
+class ThreadPool;
+
 class ProxySuite {
  public:
   struct Proxy {
@@ -19,8 +21,12 @@ class ProxySuite {
     GraphStats stats;
   };
 
-  /// Generate the three Table II proxies at `scale`.
-  explicit ProxySuite(double scale = kDefaultScale, std::uint64_t seed = 17);
+  /// Generate the three Table II proxies at `scale`.  The proxies are
+  /// independent generator runs (seed + index) built concurrently over `pool`
+  /// (nullptr = the global pool); graphs and stats are bit-identical at any
+  /// thread count.
+  explicit ProxySuite(double scale = kDefaultScale, std::uint64_t seed = 17,
+                      ThreadPool* pool = nullptr);
 
   std::span<const Proxy> proxies() const noexcept { return proxies_; }
   double scale() const noexcept { return scale_; }
@@ -41,6 +47,7 @@ class ProxySuite {
   double generation_seconds() const noexcept { return generation_seconds_; }
 
  private:
+  Proxy make_proxy(double alpha, std::uint64_t seed, ThreadPool* pool) const;
   void add_proxy(double alpha);
 
   double scale_ = 1.0;

@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <fstream>
 #include <limits>
-#include <sstream>
 #include <stdexcept>
+#include <string_view>
+#include <vector>
 
 #include "cluster/groups.hpp"
 #include "core/ccr.hpp"
+#include "util/parse.hpp"
 
 namespace pglb {
 
@@ -97,10 +99,11 @@ void save_time_database(const TimeDatabase& db, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_time_database: cannot open " + path);
   out << "# pglb-ccr-pool v1\n";
-  out.precision(17);
+  // format_double keeps the file byte-stable and '.'-pointed under any
+  // process locale (ofstream << double would honour the global locale).
   for (const auto& [key, seconds] : db.entries()) {
-    out << to_string(key.app) << '\t' << key.proxy_alpha << '\t' << key.machine << '\t'
-        << seconds << '\n';
+    out << to_string(key.app) << '\t' << format_double(key.proxy_alpha) << '\t'
+        << key.machine << '\t' << format_double(seconds) << '\n';
   }
   if (!out) throw std::runtime_error("save_time_database: write failed: " + path);
 }
@@ -119,19 +122,34 @@ TimeDatabase load_time_database(const std::string& path) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line.front() == '#') continue;
-    std::istringstream ss(line);
-    std::string app_name, machine;
-    double alpha = 0.0, seconds = 0.0;
-    if (!(ss >> app_name >> alpha >> machine >> seconds)) {
+    // Whitespace-split into (app, alpha, machine, seconds); numbers parse via
+    // from_chars so a comma-decimal process locale cannot corrupt the pool.
+    std::vector<std::string_view> fields;
+    const std::string_view view = line;
+    for (std::size_t i = 0; i < view.size();) {
+      const std::size_t start = view.find_first_not_of(" \t", i);
+      if (start == std::string_view::npos) break;
+      const std::size_t stop = view.find_first_of(" \t", start);
+      fields.push_back(view.substr(start, stop - start));
+      i = stop == std::string_view::npos ? view.size() : stop;
+    }
+    std::optional<double> alpha, seconds;
+    if (fields.size() == 4) {
+      alpha = parse_double(fields[1]);
+      seconds = parse_double(fields[3]);
+    }
+    if (!alpha || !seconds) {
       throw std::runtime_error("load_time_database: parse error at line " +
                                std::to_string(line_no) + " of " + path);
     }
+    const std::string app_name(fields[0]);
+    const std::string machine(fields[2]);
     const auto app = try_app_from_name(app_name);
     if (!app) {
       throw std::runtime_error("load_time_database: unknown app name '" + app_name +
                                "' at line " + std::to_string(line_no) + " of " + path);
     }
-    db.record({*app, alpha, machine}, seconds);
+    db.record({*app, *alpha, machine}, *seconds);
   }
   return db;
 }

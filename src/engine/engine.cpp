@@ -3,7 +3,15 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/thread_pool.hpp"
+
 namespace pglb {
+
+namespace {
+/// Per-machine accounting shards only on clusters big enough to repay the
+/// fan-out; the common test clusters (a handful of machines) stay inline.
+constexpr std::size_t kMachineGrain = 64;
+}  // namespace
 
 VirtualClusterExecutor::VirtualClusterExecutor(const Cluster& cluster, const AppProfile& app,
                                                const WorkloadTraits& traits)
@@ -41,20 +49,29 @@ void VirtualClusterExecutor::record_superstep(std::span<const double> ops,
   for (const double b : comm_bytes) total_bytes += b;
   const double exchange = cluster_->network().exchange_seconds(work_scale_ * total_bytes);
 
+  // Per-machine accounting: every machine owns its busy[m]/activity_[m]
+  // slots, so the loop shards freely.  Only total_ops_ is a cross-machine
+  // float reduction; it is summed afterwards in machine order, keeping the
+  // report bit-identical at any thread count.
   std::vector<double> busy(cluster_->size());
-  for (MachineId m = 0; m < cluster_->size(); ++m) {
-    // work_scale re-inflates counts measured on a scaled-down graph to paper
-    // scale, keeping the compute/exchange proportions scale-invariant.
-    // Interference derates this machine's throughput for this superstep.
-    const double effective =
-        throughputs_[m] * interference_.factor(m, supersteps_);
-    const double compute = work_scale_ * ops[m] / effective;
-    busy[m] = compute + exchange;
-    activity_[m].compute_seconds += compute;
-    activity_[m].comm_seconds += exchange;
-    activity_[m].ops += ops[m];
-    total_ops_ += ops[m];
-  }
+  parallel_for(pool_or_global(pool_), cluster_->size(), kMachineGrain,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t m = begin; m < end; ++m) {
+                   // work_scale re-inflates counts measured on a scaled-down
+                   // graph to paper scale, keeping the compute/exchange
+                   // proportions scale-invariant.  Interference derates this
+                   // machine's throughput for this superstep.
+                   const double effective =
+                       throughputs_[m] * interference_.factor(static_cast<MachineId>(m),
+                                                              supersteps_);
+                   const double compute = work_scale_ * ops[m] / effective;
+                   busy[m] = compute + exchange;
+                   activity_[m].compute_seconds += compute;
+                   activity_[m].comm_seconds += exchange;
+                   activity_[m].ops += ops[m];
+                 }
+               });
+  for (const double o : ops) total_ops_ += o;
   ++supersteps_;
 
   if (app_->synchronous) {

@@ -21,6 +21,8 @@
 
 namespace pglb {
 
+class ThreadPool;
+
 class VirtualClusterExecutor {
  public:
   VirtualClusterExecutor(const Cluster& cluster, const AppProfile& app,
@@ -33,6 +35,11 @@ class VirtualClusterExecutor {
   /// Inject a transient-slowdown schedule (multi-tenant interference).  Must
   /// be called before the first superstep.
   void set_interference(InterferenceSchedule schedule);
+
+  /// Shard per-machine superstep accounting over `pool` (nullptr = the global
+  /// pool).  Reports are bit-identical at any thread count: machines own
+  /// their activity slots and cross-machine float sums stay in machine order.
+  void set_thread_pool(ThreadPool* pool) noexcept { pool_ = pool; }
 
   /// Record one superstep: ops[m] work-units computed and comm_bytes[m]
   /// mirror traffic moved by machine m.
@@ -47,6 +54,7 @@ class VirtualClusterExecutor {
  private:
   const Cluster* cluster_;
   const AppProfile* app_;
+  ThreadPool* pool_ = nullptr;
   double work_scale_ = 1.0;
   std::vector<double> throughputs_;
   InterferenceSchedule interference_;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pglb {
 
@@ -14,18 +15,29 @@ namespace {
 
 /// Attachment weights w_i ~ (i+1)^(-1/(alpha-1)), the classic Chung-Lu
 /// sequence yielding degree exponent alpha, with optional lognormal jitter.
-std::vector<double> attachment_weights(const ChungLuConfig& config, Rng& rng) {
+/// The pow()/exp() pass is the generator's compute hot spot; each slot is
+/// independent, so it shards freely, and the total is summed afterwards in
+/// the same left-to-right order as before — bit-identical at any thread
+/// count.  Only the normal draws stay serial (one sequential RNG stream).
+std::vector<double> attachment_weights(const ChungLuConfig& config, Rng& rng,
+                                       ThreadPool* pool) {
   const double exponent = -1.0 / (config.alpha - 1.0);
   std::vector<double> weights(config.num_vertices);
-  double total = 0.0;
-  for (VertexId i = 0; i < config.num_vertices; ++i) {
-    double w = std::pow(static_cast<double>(i) + 1.0, exponent);
-    if (config.weight_noise > 0.0) {
-      w *= std::exp(config.weight_noise * rng.next_normal());
-    }
-    weights[i] = w;
-    total += w;
+  std::vector<double> noise;
+  if (config.weight_noise > 0.0) {
+    noise.resize(config.num_vertices);
+    for (double& z : noise) z = rng.next_normal();
   }
+  parallel_for(pool_or_global(pool), config.num_vertices, 8192,
+               [&](std::size_t begin, std::size_t end) {
+                 for (std::size_t i = begin; i < end; ++i) {
+                   double w = std::pow(static_cast<double>(i) + 1.0, exponent);
+                   if (!noise.empty()) w *= std::exp(config.weight_noise * noise[i]);
+                   weights[i] = w;
+                 }
+               });
+  double total = 0.0;
+  for (const double w : weights) total += w;
   if (config.max_degree_fraction > 0.0) {
     // Natural cutoff: a vertex's endpoint-selection probability (w_i / total)
     // bounds its expected degree at p_i * target_edges per direction.
@@ -44,7 +56,7 @@ std::vector<VertexId> shuffled_ids(VertexId n, Rng& rng) {
 
 }  // namespace
 
-EdgeList generate_chung_lu(const ChungLuConfig& config) {
+EdgeList generate_chung_lu(const ChungLuConfig& config, ThreadPool* pool) {
   if (config.alpha <= 1.0) {
     throw std::invalid_argument("generate_chung_lu: alpha must be > 1");
   }
@@ -52,7 +64,7 @@ EdgeList generate_chung_lu(const ChungLuConfig& config) {
   if (config.num_vertices < 2 || config.target_edges == 0) return graph;
 
   Rng rng(config.seed);
-  const auto weights = attachment_weights(config, rng);
+  const auto weights = attachment_weights(config, rng, pool);
   const DiscreteSampler sampler{std::span<const double>(weights)};
 
   // Independent id permutations decorrelate "hub as source" from "hub as

@@ -16,6 +16,8 @@
 
 namespace pglb {
 
+class ThreadPool;
+
 struct ChungLuConfig {
   VertexId num_vertices = 0;
   EdgeId target_edges = 0;
@@ -36,6 +38,8 @@ struct ChungLuConfig {
   std::uint64_t seed = 7;
 };
 
-EdgeList generate_chung_lu(const ChungLuConfig& config);
+/// Deterministic for a fixed config at any `pool` thread count (nullptr =
+/// the global pool); the weight table shards, edge sampling is one stream.
+EdgeList generate_chung_lu(const ChungLuConfig& config, ThreadPool* pool = nullptr);
 
 }  // namespace pglb

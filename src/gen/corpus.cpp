@@ -97,7 +97,8 @@ const CorpusEntry& corpus_entry(const std::string& name) {
   throw std::out_of_range("corpus_entry: unknown graph '" + name + "'");
 }
 
-EdgeList make_corpus_graph(const CorpusEntry& entry, double scale, std::uint64_t seed) {
+EdgeList make_corpus_graph(const CorpusEntry& entry, double scale, std::uint64_t seed,
+                           ThreadPool* pool) {
   if (scale <= 0.0 || scale > 1.0) {
     throw std::invalid_argument("make_corpus_graph: scale must be in (0, 1]");
   }
@@ -110,7 +111,7 @@ EdgeList make_corpus_graph(const CorpusEntry& entry, double scale, std::uint64_t
     config.num_vertices = vertices;
     config.alpha = entry.paper_alpha;
     config.seed = seed;
-    return generate_powerlaw(config);
+    return generate_powerlaw(config, pool);
   }
 
   // Natural-graph surrogate: Chung-Lu matched in mean degree and the fitted
@@ -122,7 +123,7 @@ EdgeList make_corpus_graph(const CorpusEntry& entry, double scale, std::uint64_t
       1.0, std::round(static_cast<double>(entry.paper_edges) * scale)));
   config.alpha = alpha;
   config.seed = seed;
-  return generate_chung_lu(config);
+  return generate_chung_lu(config, pool);
 }
 
 }  // namespace pglb

@@ -19,6 +19,8 @@
 
 namespace pglb {
 
+class ThreadPool;
+
 struct CorpusEntry {
   std::string name;
   VertexId paper_vertices = 0;
@@ -44,9 +46,10 @@ const CorpusEntry& corpus_entry(const std::string& name);
 const CorpusEntry& friendster_entry();
 
 /// Materialise a corpus graph at `scale` (vertices and edges multiplied by
-/// scale, minimum 1k vertices).  Deterministic per (entry, scale, seed).
+/// scale, minimum 1k vertices).  Deterministic per (entry, scale, seed) at
+/// any `pool` thread count (nullptr = the global pool).
 EdgeList make_corpus_graph(const CorpusEntry& entry, double scale,
-                           std::uint64_t seed = 1);
+                           std::uint64_t seed = 1, ThreadPool* pool = nullptr);
 
 /// Default scale for tests/benches on small hosts.
 inline constexpr double kDefaultScale = 1.0 / 64.0;

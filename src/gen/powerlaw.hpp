@@ -16,6 +16,8 @@
 
 namespace pglb {
 
+class ThreadPool;
+
 struct PowerLawConfig {
   VertexId num_vertices = 0;
   double alpha = 2.1;
@@ -29,8 +31,11 @@ struct PowerLawConfig {
 /// law.  Used by the proxy suite to size proxies against Table II.
 EdgeId expected_powerlaw_edges(const PowerLawConfig& config);
 
-/// Generate the proxy graph (deterministic for a fixed config).
-EdgeList generate_powerlaw(const PowerLawConfig& config);
+/// Generate the proxy graph.  Deterministic for a fixed config: degrees come
+/// from the seeded serial stream, edge targets from a stateless per-edge hash
+/// stream, so the result is bit-identical at any `pool` thread count (nullptr
+/// = the global pool).
+EdgeList generate_powerlaw(const PowerLawConfig& config, ThreadPool* pool = nullptr);
 
 /// Invert expected_powerlaw_edges: find the alpha whose expected edge count
 /// matches `target_edges` (uses the Eq. 7 Newton solver).

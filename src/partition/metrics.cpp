@@ -1,14 +1,22 @@
 #include "partition/metrics.hpp"
 
+#include <atomic>
 #include <stdexcept>
 
 #include "partition/weights.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pglb {
 
+namespace {
+constexpr std::size_t kEdgeGrain = 1 << 15;
+constexpr std::size_t kVertexGrain = 1 << 15;
+}  // namespace
+
 PartitionMetrics compute_partition_metrics(const EdgeList& graph,
                                            const PartitionAssignment& assignment,
-                                           std::span<const double> target_shares) {
+                                           std::span<const double> target_shares,
+                                           ThreadPool* pool) {
   if (assignment.edge_to_machine.size() != graph.num_edges()) {
     throw std::invalid_argument("compute_partition_metrics: assignment/graph size mismatch");
   }
@@ -20,25 +28,55 @@ PartitionMetrics compute_partition_metrics(const EdgeList& graph,
   PartitionMetrics metrics;
   metrics.edges_per_machine = assignment.machine_edge_counts();
 
-  // Replica masks (machine count bounded at 64 across the library).
+  // Replica masks (machine count bounded at 64 across the library).  Bit-OR
+  // is commutative, so concurrent atomic fetch_or from any shard interleaving
+  // produces the same final masks as the serial pass.
   if (num_machines > 64) throw std::invalid_argument("compute_partition_metrics: > 64 machines");
+  ThreadPool& tp = pool_or_global(pool);
   std::vector<std::uint64_t> replicas(graph.num_vertices(), 0);
-  EdgeId index = 0;
-  for (const Edge& e : graph.edges()) {
-    const MachineId m = assignment.edge_to_machine[index++];
-    replicas[e.src] |= std::uint64_t{1} << m;
-    replicas[e.dst] |= std::uint64_t{1} << m;
-  }
+  const auto edges = graph.edges();
+  parallel_for(tp, edges.size(), kEdgeGrain, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t index = begin; index < end; ++index) {
+      const Edge& e = edges[index];
+      const std::uint64_t bit = std::uint64_t{1} << assignment.edge_to_machine[index];
+      std::atomic_ref<std::uint64_t>(replicas[e.src]).fetch_or(bit, std::memory_order_relaxed);
+      std::atomic_ref<std::uint64_t>(replicas[e.dst]).fetch_or(bit, std::memory_order_relaxed);
+    }
+  });
+
+  // Popcount pass: integer partials per shard, folded in shard order.
+  struct Partial {
+    std::uint64_t total_replicas = 0;
+    VertexId present_vertices = 0;
+    std::vector<VertexId> per_machine;
+  };
+  const std::size_t shards = shard_count(replicas.size(), kVertexGrain);
+  std::vector<Partial> partials(shards);
+  parallel_for(tp, replicas.size(), kVertexGrain, [&](std::size_t begin, std::size_t end) {
+    Partial& part = partials[begin / kVertexGrain];
+    part.per_machine.assign(num_machines, 0);
+    for (std::size_t v = begin; v < end; ++v) {
+      const std::uint64_t mask = replicas[v];
+      if (mask == 0) continue;
+      ++part.present_vertices;
+      part.total_replicas += static_cast<std::uint64_t>(__builtin_popcountll(mask));
+      for (MachineId m = 0; m < num_machines; ++m) {
+        if (mask & (std::uint64_t{1} << m)) ++part.per_machine[m];
+      }
+    }
+  });
 
   metrics.replicas_per_machine.assign(num_machines, 0);
   std::uint64_t total_replicas = 0;
   VertexId present_vertices = 0;
-  for (const std::uint64_t mask : replicas) {
-    if (mask == 0) continue;
-    ++present_vertices;
-    total_replicas += static_cast<std::uint64_t>(__builtin_popcountll(mask));
+  for (const Partial& part : partials) {
+    // On the inline path a single call covers the whole range, leaving the
+    // remaining partials untouched (empty per_machine).
+    if (part.per_machine.empty()) continue;
+    total_replicas += part.total_replicas;
+    present_vertices += part.present_vertices;
     for (MachineId m = 0; m < num_machines; ++m) {
-      if (mask & (std::uint64_t{1} << m)) ++metrics.replicas_per_machine[m];
+      metrics.replicas_per_machine[m] += part.per_machine[m];
     }
   }
   metrics.replication_factor =

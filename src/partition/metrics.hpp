@@ -10,6 +10,8 @@
 
 namespace pglb {
 
+class ThreadPool;
+
 struct PartitionMetrics {
   std::vector<EdgeId> edges_per_machine;
   std::vector<VertexId> replicas_per_machine;  ///< vertices present (master or mirror)
@@ -21,8 +23,12 @@ struct PartitionMetrics {
   double uniform_imbalance = 0.0;
 };
 
+/// Metrics are bit-identical at any `pool` thread count (nullptr = the global
+/// pool): replica masks accumulate via commutative atomic bit-OR, and the
+/// integer popcount pass folds per-shard partials in shard order.
 PartitionMetrics compute_partition_metrics(const EdgeList& graph,
                                            const PartitionAssignment& assignment,
-                                           std::span<const double> target_shares);
+                                           std::span<const double> target_shares,
+                                           ThreadPool* pool = nullptr);
 
 }  // namespace pglb

@@ -19,7 +19,9 @@ namespace pglb {
 Planner::Planner(PlannerOptions options, ServiceMetrics* metrics)
     : options_(options),
       metrics_(metrics),
-      suite_(options.proxy_scale, options.proxy_seed),
+      owned_pool_(options.threads > 0 ? std::make_unique<ThreadPool>(options.threads)
+                                      : nullptr),
+      suite_(options.proxy_scale, options.proxy_seed, owned_pool_.get()),
       cache_(options.cache_capacity) {}
 
 namespace {
@@ -106,10 +108,19 @@ ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
     entry->proxy_full_vertices =
         static_cast<double>(proxy_stats.num_vertices) / options_.proxy_scale;
     entry->proxy_total_degree = total_degree_histogram(proxy_graph);
-    for (const std::string& name : classes) {
-      const double seconds = profile_single_machine(machine_by_name(name), app,
-                                                    proxy_graph, options_.proxy_scale);
-      entry->class_times.emplace_back(name, seconds);
+    // Each class profile is an independent single-machine virtual run; fan
+    // out over the planner's pool into per-class slots, then emplace in class
+    // order so the entry is byte-stable at any thread count.
+    std::vector<double> class_seconds(classes.size(), 0.0);
+    parallel_for(thread_pool(), classes.size(), 1,
+                 [&](std::size_t begin, std::size_t end) {
+                   for (std::size_t i = begin; i < end; ++i) {
+                     class_seconds[i] = profile_single_machine(
+                         machine_by_name(classes[i]), app, proxy_graph, options_.proxy_scale);
+                   }
+                 });
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+      entry->class_times.emplace_back(classes[i], class_seconds[i]);
     }
     if (metrics_ != nullptr) {
       metrics_->count("profile_runs", classes.size());

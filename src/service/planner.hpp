@@ -21,6 +21,7 @@
 #include "service/metrics.hpp"
 #include "service/profile_cache.hpp"
 #include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pglb {
 
@@ -30,6 +31,11 @@ struct PlannerOptions {
   double proxy_scale = 1.0 / 256.0;
   std::uint64_t proxy_seed = 17;
   std::size_t cache_capacity = 64;
+  /// Worker threads for proxy generation and profiling fan-out.  0 shares the
+  /// process-wide pool (PGLB_THREADS env, default hardware concurrency); > 0
+  /// gives this planner its own pool of that size.  Responses are
+  /// bit-identical at any setting.
+  unsigned threads = 0;
 };
 
 class Planner {
@@ -50,6 +56,10 @@ class Planner {
   ProfileCacheStats cache_stats() const { return cache_.stats(); }
   const PlannerOptions& options() const noexcept { return options_; }
 
+  /// The pool this planner fans work out on (its own, or the global one).
+  /// Shared with every pipeline stage the planner drives.
+  ThreadPool& thread_pool() noexcept { return pool_or_global(owned_pool_.get()); }
+
  private:
   /// Resolve the proxy that covers `alpha` (generating one on demand) and
   /// return its alpha.  Guarded by suite_mutex_.
@@ -66,6 +76,10 @@ class Planner {
 
   PlannerOptions options_;
   ServiceMetrics* metrics_;
+
+  /// Present only when options_.threads > 0; declared before suite_ so proxy
+  /// generation can already fan out over it during construction.
+  std::unique_ptr<ThreadPool> owned_pool_;
 
   std::mutex suite_mutex_;  ///< guards suite_ (ensure_coverage mutates it)
   ProxySuite suite_;

@@ -153,7 +153,7 @@ class JsonParser {
     }
   }
 
-  std::string parse_unicode_escape() {
+  unsigned read_hex4() {
     if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
@@ -165,19 +165,39 @@ class JsonParser {
       else fail("invalid \\u escape digit");
     }
     pos_ += 4;
-    // UTF-8 encode the BMP code point (surrogate pairs are rejected — the
-    // protocol is ASCII in practice).
-    if (code >= 0xD800 && code <= 0xDFFF) fail("surrogate \\u escapes unsupported");
+    return code;
+  }
+
+  std::string parse_unicode_escape() {
+    const unsigned code = read_hex4();
+    std::uint32_t point = code;
+    if (code >= 0xDC00 && code <= 0xDFFF) fail("lone low surrogate \\u escape");
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // RFC 8259 surrogate pair: a high surrogate must be chased by an
+      // escaped low surrogate; together they name one non-BMP code point.
+      if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u') {
+        fail("high surrogate not followed by \\u low surrogate");
+      }
+      pos_ += 2;
+      const unsigned low = read_hex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate in \\u pair");
+      point = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    }
     std::string out;
-    if (code < 0x80) {
-      out.push_back(static_cast<char>(code));
-    } else if (code < 0x800) {
-      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    if (point < 0x80) {
+      out.push_back(static_cast<char>(point));
+    } else if (point < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (point >> 6)));
+      out.push_back(static_cast<char>(0x80 | (point & 0x3F)));
+    } else if (point < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (point >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (point & 0x3F)));
     } else {
-      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+      out.push_back(static_cast<char>(0xF0 | (point >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((point >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((point >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (point & 0x3F)));
     }
     return out;
   }

@@ -1,7 +1,8 @@
 #include "util/cli.hpp"
 
-#include <cstdlib>
 #include <stdexcept>
+
+#include "util/parse.hpp"
 
 namespace pglb {
 
@@ -42,23 +43,21 @@ std::string Cli::get_string(const std::string& key, std::string fallback) const 
 std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
   const auto v = raw(key);
   if (!v) return fallback;
-  char* end = nullptr;
-  const std::int64_t parsed = std::strtoll(v->c_str(), &end, 10);
-  if (end == v->c_str() || *end != '\0') {
+  const auto parsed = parse_int(*v);
+  if (!parsed) {
     throw std::invalid_argument("--" + key + " expects an integer, got '" + *v + "'");
   }
-  return parsed;
+  return *parsed;
 }
 
 double Cli::get_double(const std::string& key, double fallback) const {
   const auto v = raw(key);
   if (!v) return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v->c_str(), &end);
-  if (end == v->c_str() || *end != '\0') {
+  const auto parsed = parse_double(*v);
+  if (!parsed) {
     throw std::invalid_argument("--" + key + " expects a number, got '" + *v + "'");
   }
-  return parsed;
+  return *parsed;
 }
 
 bool Cli::get_bool(const std::string& key, bool fallback) const {

@@ -1,0 +1,64 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <version>
+
+#if !defined(__cpp_lib_to_chars) && defined(__unix__)
+#include <cstdlib>
+#include <locale.h>  // newlocale/strtod_l live in the C header on glibc
+#endif
+
+namespace pglb {
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+#if defined(__cpp_lib_to_chars)
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || end != text.data() + text.size()) return std::nullopt;
+  return value;
+#else
+  // Fallback: strtod pinned to the "C" locale so the decimal point is '.'
+  // even when the process locale says ','.
+  const std::string owned(text);
+#if defined(__unix__)
+  static const locale_t c_locale = ::newlocale(LC_ALL_MASK, "C", locale_t{0});
+  char* end = nullptr;
+  const double value = ::strtod_l(owned.c_str(), &end, c_locale);
+#else
+  char* end = nullptr;
+  const double value = std::strtod(owned.c_str(), &end);
+#endif
+  if (end == owned.c_str() || *end != '\0') return std::nullopt;
+  return value;
+#endif
+}
+
+std::optional<std::int64_t> parse_int(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || end != text.data() + text.size()) return std::nullopt;
+  return value;
+}
+
+std::string format_double(double value) {
+#if defined(__cpp_lib_to_chars)
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
+  return std::string(buffer, ec == std::errc() ? end : buffer);
+#else
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // %.17g follows the C locale of the process; normalise a comma decimal
+  // point back to '.' so output stays byte-stable.
+  std::string out(buffer);
+  for (char& c : out) {
+    if (c == ',') c = '.';
+  }
+  return out;
+#endif
+}
+
+}  // namespace pglb

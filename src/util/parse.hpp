@@ -1,0 +1,31 @@
+#pragma once
+// Locale-independent number parsing and formatting.
+//
+// std::strtod and iostream extraction honour the process locale: under e.g.
+// LC_NUMERIC=de_DE a "2.1" silently parses as 2 (the decimal point is ','
+// there).  Every number the library reads from flags or TSV files is in the
+// C locale ("." decimal point), so parsing goes through std::from_chars,
+// which is locale-independent by specification; a strtod fallback pinned to
+// the "C" locale covers toolchains without floating-point from_chars.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pglb {
+
+/// Parse `text` as a double in the C locale.  The whole string must be
+/// consumed (no trailing characters); empty input or partial parses return
+/// nullopt.  Accepts everything std::from_chars general format does:
+/// "2.1", "-3e-4", "inf", "nan".
+std::optional<double> parse_double(std::string_view text);
+
+/// Parse `text` as a base-10 signed integer; whole string, C locale.
+std::optional<std::int64_t> parse_int(std::string_view text);
+
+/// Shortest round-trip decimal form of `value` ("2.1", "1e+20"), always with
+/// a '.' decimal point regardless of the process locale.
+std::string format_double(double value);
+
+}  // namespace pglb

@@ -1,0 +1,173 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+
+namespace pglb {
+
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() : previous(t_in_parallel_region) { t_in_parallel_region = true; }
+  ~RegionGuard() { t_in_parallel_region = previous; }
+  bool previous;
+};
+
+}  // namespace
+
+/// One fan-out: a fixed shard count claimed from a shared atomic counter.
+struct ThreadPool::Region {
+  std::size_t total = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next{0};       ///< next unclaimed shard
+  std::atomic<std::size_t> completed{0};  ///< shards finished (ran or skipped)
+  std::atomic<std::size_t> refs{0};       ///< workers still holding a pointer
+  std::atomic<bool> failed{false};
+
+  std::mutex mutex;
+  std::condition_variable done;
+  std::exception_ptr exception;
+};
+
+struct ThreadPool::State {
+  std::mutex mutex;                ///< guards region/stop + worker wakeup
+  std::condition_variable wake;
+  Region* region = nullptr;        ///< the single active fan-out, if any
+  bool stop = false;
+  std::mutex fan_out_mutex;        ///< serializes top-level run_shards callers
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : threads_(threads != 0 ? threads : std::max(1u, std::thread::hardware_concurrency())),
+      state_(std::make_unique<State>()) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->stop = true;
+  }
+  state_->wake.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+bool ThreadPool::in_parallel_region() noexcept { return t_in_parallel_region; }
+
+void ThreadPool::execute_shards(Region& region) {
+  while (true) {
+    const std::size_t shard = region.next.fetch_add(1, std::memory_order_relaxed);
+    if (shard >= region.total) break;
+    if (!region.failed.load(std::memory_order_relaxed)) {
+      try {
+        (*region.fn)(shard);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(region.mutex);
+        if (!region.exception) region.exception = std::current_exception();
+        region.failed.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (region.completed.fetch_add(1, std::memory_order_acq_rel) + 1 == region.total) {
+      // Last shard: wake the waiting caller.
+      std::lock_guard<std::mutex> lock(region.mutex);
+      region.done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  const RegionGuard nested_guard;  // nested fan-outs from shards run inline
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  while (true) {
+    state_->wake.wait(lock, [&] {
+      return state_->stop ||
+             (state_->region != nullptr &&
+              state_->region->next.load(std::memory_order_relaxed) < state_->region->total);
+    });
+    if (state_->stop) return;
+    Region* region = state_->region;
+    region->refs.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
+
+    execute_shards(*region);
+    {
+      // Notify under the lock: once we release it the caller may destroy the
+      // region, so this must be our last touch.
+      std::lock_guard<std::mutex> region_lock(region->mutex);
+      region->refs.fetch_sub(1, std::memory_order_acq_rel);
+      region->done.notify_all();
+    }
+
+    lock.lock();
+  }
+}
+
+void ThreadPool::run_shards(std::size_t num_shards,
+                            const std::function<void(std::size_t)>& fn) {
+  if (num_shards == 0) return;
+  if (threads_ <= 1 || num_shards == 1 || t_in_parallel_region) {
+    // Serial path: same shard traversal order as the parallel one, and the
+    // same region marking so nesting behaves identically at any pool size.
+    const RegionGuard nested_guard;
+    for (std::size_t shard = 0; shard < num_shards; ++shard) fn(shard);
+    return;
+  }
+
+  // One fan-out owns the workers at a time; concurrent top-level callers
+  // queue here instead of interleaving shards of unrelated regions.
+  std::lock_guard<std::mutex> fan_out_lock(state_->fan_out_mutex);
+
+  Region region;
+  region.total = num_shards;
+  region.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->region = &region;
+  }
+  state_->wake.notify_all();
+
+  {
+    const RegionGuard nested_guard;
+    execute_shards(region);
+  }
+
+  {
+    // Wait for stragglers AND for every worker to drop its Region pointer —
+    // the region lives on this stack frame.
+    std::unique_lock<std::mutex> region_lock(region.mutex);
+    region.done.wait(region_lock, [&] {
+      return region.completed.load(std::memory_order_acquire) == region.total &&
+             region.refs.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    state_->region = nullptr;
+  }
+  if (region.exception) std::rethrow_exception(region.exception);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    const char* env = std::getenv("PGLB_THREADS");
+    if (env != nullptr) {
+      const long value = std::strtol(env, nullptr, 10);
+      if (value >= 1) return static_cast<unsigned>(value);
+    }
+    return 0u;  // auto
+  }());
+  return pool;
+}
+
+}  // namespace pglb

@@ -1,0 +1,133 @@
+#pragma once
+// Deterministic shared thread pool for the profile -> partition -> run
+// pipeline.
+//
+// Design rules that make parallel results bit-identical to serial ones at any
+// thread count:
+//
+//  * Work is split into STATIC shards whose boundaries depend only on the
+//    problem size and a fixed grain — never on the thread count.  Threads
+//    claim shards dynamically (self-scheduling steal from a shared counter),
+//    but each shard's content and output slot are fixed, so scheduling order
+//    cannot change results.
+//  * Shards write disjoint output slots; cross-shard reductions are combined
+//    IN SHARD ORDER (ordered_kahan_sum), so floating-point association is a
+//    pure function of the shard layout.
+//  * Nested parallel_for calls from inside a pool worker run inline and
+//    serially — the outer fan-out already owns the hardware, and inlining
+//    keeps the pool deadlock-free without a multi-level scheduler.
+//
+// The calling thread always participates, so ThreadPool(n) spawns n-1
+// workers and ThreadPool(1) is pure inline serial execution.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace pglb {
+
+class ThreadPool {
+ public:
+  /// `threads` is the total parallelism including the caller; 0 picks
+  /// std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned threads() const noexcept { return threads_; }
+
+  /// Execute fn(shard) for every shard in [0, num_shards), distributed over
+  /// the workers and the calling thread.  Blocks until all shards are done;
+  /// the first exception thrown by any shard is rethrown here.  Concurrent
+  /// top-level callers are serialized (one fan-out owns the pool at a time);
+  /// calls from inside a shard run inline.
+  void run_shards(std::size_t num_shards, const std::function<void(std::size_t)>& fn);
+
+  /// True on a thread currently executing inside a run_shards region (worker
+  /// or participating caller) — such threads must not fan out again.
+  static bool in_parallel_region() noexcept;
+
+ private:
+  struct Region;
+
+  void worker_loop();
+  static void execute_shards(Region& region);
+
+  unsigned threads_;
+  std::vector<std::thread> workers_;
+  struct State;
+  std::unique_ptr<State> state_;
+};
+
+/// The process-wide pool, sized by the PGLB_THREADS environment variable
+/// (default: hardware concurrency).  PGLB_THREADS=1 disables parallelism.
+ThreadPool& global_pool();
+
+/// `pool` if non-null, else the global pool — the convention every parallel
+/// entry point in the library uses for its optional pool parameter.
+inline ThreadPool& pool_or_global(ThreadPool* pool) {
+  return pool != nullptr ? *pool : global_pool();
+}
+
+/// Static shard layout: boundaries depend only on (n, grain), never on the
+/// thread count, so per-shard partial results are thread-count-invariant.
+inline std::size_t shard_count(std::size_t n, std::size_t grain) {
+  return grain == 0 ? 0 : (n + grain - 1) / grain;
+}
+
+/// Run fn(begin, end) over the static shards of [0, n) with the given grain.
+/// fn must only write state owned by its own index range.
+template <typename Fn>
+void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain, Fn&& fn) {
+  if (n == 0) return;
+  const std::size_t shards = shard_count(n, grain);
+  if (shards <= 1 || pool.threads() <= 1) {
+    fn(std::size_t{0}, n);
+    return;
+  }
+  pool.run_shards(shards, [&](std::size_t shard) {
+    const std::size_t begin = shard * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    fn(begin, end);
+  });
+}
+
+/// Ordered parallel reduction: Kahan-sum each static shard independently,
+/// then Kahan-combine the per-shard partials in shard order.  The result is
+/// a pure function of (n, grain, values) — identical at every thread count.
+/// NOTE: the association differs from a single serial Kahan pass, so use
+/// this for NEW reductions, not to replace an existing serial sum whose
+/// exact bits are pinned by tests.
+template <typename Getter>
+double ordered_kahan_sum(ThreadPool& pool, std::size_t n, std::size_t grain,
+                         Getter&& value_at) {
+  if (n == 0) return 0.0;
+  const std::size_t shards = shard_count(n, grain);
+  std::vector<double> partials(shards, 0.0);
+  parallel_for(pool, n, grain, [&](std::size_t begin, std::size_t end) {
+    KahanSum sum;
+    for (std::size_t i = begin; i < end; ++i) sum.add(value_at(i));
+    partials[begin / grain] = sum.value();
+  });
+  KahanSum total;
+  for (const double p : partials) total.add(p);
+  return total.value();
+}
+
+/// Seed for shard `shard` of a parallel stochastic stage: an independent
+/// stream derived from the base seed by splitmix64, so sharded generation is
+/// deterministic per (base_seed, shard) and stitching in shard order gives a
+/// thread-count-invariant result.
+constexpr std::uint64_t shard_seed(std::uint64_t base_seed, std::uint64_t shard) noexcept {
+  return splitmix64(base_seed ^ splitmix64(shard + 0x51ed2701a9e5a3c5ull));
+}
+
+}  // namespace pglb

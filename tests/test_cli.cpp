@@ -2,8 +2,34 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
+#include "util/parse.hpp"
+
 namespace pglb {
 namespace {
+
+/// Switch LC_NUMERIC to a comma-decimal locale for one test, restoring the
+/// previous locale on destruction.  available() is false when the host has no
+/// such locale installed (the test then skips).
+class CommaLocaleGuard {
+ public:
+  CommaLocaleGuard() : previous_(std::setlocale(LC_NUMERIC, nullptr)) {
+    for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+      if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+        available_ = true;
+        return;
+      }
+    }
+  }
+  ~CommaLocaleGuard() { std::setlocale(LC_NUMERIC, previous_.c_str()); }
+  bool available() const noexcept { return available_; }
+
+ private:
+  std::string previous_;
+  bool available_ = false;
+};
 
 Cli make_cli(std::initializer_list<const char*> args) {
   std::vector<const char*> argv(args);
@@ -58,11 +84,49 @@ TEST(Cli, TracksUnusedKeys) {
   EXPECT_EQ(unused[0], "typo");
 }
 
+TEST(Cli, NumberParsingIsLocaleIndependent) {
+  // Regression: get_double used std::strtod, which under a comma-decimal
+  // locale stops at '.' — "--alpha=2.1" then failed to parse.
+  const CommaLocaleGuard guard;
+  if (!guard.available()) GTEST_SKIP() << "no comma-decimal locale installed";
+  const auto cli = make_cli({"prog", "--alpha=2.1", "--iters=12", "--comma=2,5"});
+  EXPECT_DOUBLE_EQ(cli.get_double("alpha", 0.0), 2.1);
+  EXPECT_EQ(cli.get_int("iters", 0), 12);
+  // A comma is not a decimal separator on the command line in any locale.
+  EXPECT_THROW(cli.get_double("comma", 0.0), std::invalid_argument);
+}
+
 TEST(Cli, BooleanSpellings) {
   const auto cli = make_cli({"prog", "--a=yes", "--b=0", "--c=false"});
   EXPECT_TRUE(cli.get_bool("a", false));
   EXPECT_FALSE(cli.get_bool("b", true));
   EXPECT_FALSE(cli.get_bool("c", true));
+}
+
+TEST(Parse, DoubleWholeStringOnly) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.1"), 2.1);
+  EXPECT_DOUBLE_EQ(*parse_double("-3e-4"), -3e-4);
+  EXPECT_DOUBLE_EQ(*parse_double("0.00390625"), 0.00390625);
+  EXPECT_FALSE(parse_double("").has_value());
+  EXPECT_FALSE(parse_double("2.1x").has_value());
+  EXPECT_FALSE(parse_double("1.2.3").has_value());
+  EXPECT_FALSE(parse_double("2,1").has_value());  // comma is never a decimal point
+}
+
+TEST(Parse, IntWholeStringOnly) {
+  EXPECT_EQ(*parse_int("42"), 42);
+  EXPECT_EQ(*parse_int("-7"), -7);
+  EXPECT_FALSE(parse_int("4.2").has_value());
+  EXPECT_FALSE(parse_int("abc").has_value());
+  EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Parse, FormatDoubleRoundTripsWithDot) {
+  for (const double v : {2.1, 1.0 / 3.0, 6.1151409509545154, 1e300, -0.0}) {
+    const std::string text = format_double(v);
+    EXPECT_EQ(text.find(','), std::string::npos) << text;
+    EXPECT_EQ(*parse_double(text), v) << text;  // shortest round-trip is exact
+  }
 }
 
 }  // namespace

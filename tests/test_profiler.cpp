@@ -37,6 +37,23 @@ TEST(ProfileSingleMachine, DeterministicVirtualTime) {
   EXPECT_DOUBLE_EQ(a, b);
 }
 
+TEST(ProfileSingleMachine, PartitionSeedIsFixedByDesign) {
+  // A profile entry must be a pure function of (machine class, app, proxy):
+  // the service's profile cache keys carry no seed, so a cached entry has to
+  // be byte-identical to a fresh run, and CCR is meant to capture hardware,
+  // not partition sampling.  The partition seed is therefore a pinned
+  // constant, not plumbed from the pipeline seed.  On the one-machine
+  // profiling cluster the partition is degenerate anyway (every edge lands on
+  // machine 0), so no information is lost by fixing it.
+  EXPECT_EQ(kProfilingPartitionSeed, 0u);
+  const auto g = small_graph();
+  const double a =
+      profile_single_machine(machine_by_name("xeon_server_s"), AppKind::kPageRank, g, kScale);
+  const double b =
+      profile_single_machine(machine_by_name("xeon_server_s"), AppKind::kPageRank, g, kScale);
+  EXPECT_EQ(a, b);
+}
+
 TEST(CcrPool, InsertAndQueryNearestAlpha) {
   CcrPool pool;
   pool.insert({AppKind::kPageRank, 1.95, {10.0, 4.0}});

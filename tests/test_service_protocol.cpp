@@ -38,6 +38,33 @@ TEST(ParseJson, StringEscapes) {
   EXPECT_EQ(parse_json(R"("\u0041\u00e9")").as_string(), "A\xc3\xa9");
 }
 
+TEST(ParseJson, SurrogatePairsDecodeToUtf8) {
+  // RFC 8259: characters above the BMP are escaped as a UTF-16 surrogate
+  // pair.  U+1F600 (grinning face) = F0 9F 98 80 in UTF-8.
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").as_string(), "\xf0\x9f\x98\x80");
+  // Pairs at the low and high ends of the supplementary range.
+  EXPECT_EQ(parse_json("\"\\ud800\\udc00\"").as_string(), "\xf0\x90\x80\x80");  // U+10000
+  EXPECT_EQ(parse_json("\"\\udbff\\udfff\"").as_string(), "\xf4\x8f\xbf\xbf");  // U+10FFFF
+  // Pairs compose with surrounding text and other escapes.
+  EXPECT_EQ(parse_json("\"id-\\ud83d\\ude00\\t!\"").as_string(),
+            "id-\xf0\x9f\x98\x80\t!");
+  // Round-trip: the serializer emits raw UTF-8 (byte-stable, no re-escaping),
+  // which reparses to the same bytes.
+  std::string out;
+  append_json_string(out, "\xf0\x9f\x98\x80");
+  EXPECT_EQ(out, "\"\xf0\x9f\x98\x80\"");
+  EXPECT_EQ(parse_json(out).as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(ParseJson, MalformedSurrogatesRejected) {
+  EXPECT_THROW(parse_json("\"\\ud800\""), ProtocolError);         // lone high
+  EXPECT_THROW(parse_json("\"\\ude00\""), ProtocolError);         // lone low
+  EXPECT_THROW(parse_json("\"\\ud800\\u0041\""), ProtocolError);  // high + non-low
+  EXPECT_THROW(parse_json("\"\\ud800\\ud800\""), ProtocolError);  // high + high
+  EXPECT_THROW(parse_json("\"\\ud800x\""), ProtocolError);        // high + raw char
+  EXPECT_THROW(parse_json("\"\\ud83d\\ude0\""), ProtocolError);   // short low escape
+}
+
 TEST(ParseJson, WhitespaceTolerant) {
   const JsonValue doc = parse_json(" { \"k\" :\t[ 1 , 2 ] }\n");
   EXPECT_EQ(doc.find("k")->as_array().size(), 2u);
@@ -54,7 +81,7 @@ TEST(ParseJson, MalformedInputsThrow) {
   EXPECT_THROW(parse_json("{} trailing"), ProtocolError);
   EXPECT_THROW(parse_json("{\"a\":1,}"), ProtocolError);
   EXPECT_THROW(parse_json("\"bad \\q escape\""), ProtocolError);
-  EXPECT_THROW(parse_json("\"\\ud800\""), ProtocolError);  // surrogates rejected
+  EXPECT_THROW(parse_json("\"\\ud800\""), ProtocolError);  // lone surrogate rejected
   EXPECT_THROW(parse_json("{1:2}"), ProtocolError);
 }
 

@@ -1,0 +1,151 @@
+// ThreadPool correctness: coverage, nesting, exceptions, concurrent callers,
+// and the determinism contracts (static shard layout, ordered reductions,
+// derived shard seeds).
+
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace pglb {
+namespace {
+
+TEST(ThreadPool, RunShardsExecutesEveryShardExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kShards = 257;
+  std::vector<std::atomic<int>> hits(kShards);
+  pool.run_shards(kShards, [&](std::size_t shard) { hits[shard].fetch_add(1); });
+  for (std::size_t s = 0; s < kShards; ++s) EXPECT_EQ(hits[s].load(), 1) << s;
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInlineInShardOrder) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1u);
+  std::vector<std::size_t> order;
+  pool.run_shards(8, [&](std::size_t shard) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    order.push_back(shard);
+  });
+  std::vector<std::size_t> expected(8);
+  std::iota(expected.begin(), expected.end(), std::size_t{0});
+  EXPECT_EQ(order, expected);
+  EXPECT_FALSE(ThreadPool::in_parallel_region());
+}
+
+TEST(ThreadPool, ParallelForCoversTheWholeRange) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10'001;
+  std::vector<int> marks(kN, 0);
+  parallel_for(pool, kN, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++marks[i];
+  });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(marks[i], 1) << i;
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<double> out(64, 0.0);
+  parallel_for(pool, 64, 8, [&](std::size_t begin, std::size_t end) {
+    EXPECT_TRUE(ThreadPool::in_parallel_region());
+    // A nested fan-out must not deadlock; it runs inline on this thread.
+    parallel_for(pool, end - begin, 2, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) out[begin + i] = static_cast<double>(begin + i);
+    });
+  });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<double>(i));
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_shards(32,
+                      [&](std::size_t shard) {
+                        if (shard == 7) throw std::runtime_error("shard 7 failed");
+                      }),
+      std::runtime_error);
+  // The pool stays usable after a failed region.
+  std::atomic<int> count{0};
+  pool.run_shards(16, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ConcurrentTopLevelCallersAreSerializedAndCorrect) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4096;
+  std::vector<int> a(kN, 0), b(kN, 0);
+  std::thread other([&] {
+    parallel_for(pool, kN, 32, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) ++a[i];
+    });
+  });
+  parallel_for(pool, kN, 32, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++b[i];
+  });
+  other.join();
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(a[i], 1) << i;
+    ASSERT_EQ(b[i], 1) << i;
+  }
+}
+
+TEST(ThreadPool, OrderedKahanSumIsThreadCountInvariant) {
+  constexpr std::size_t kN = 9'973;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    values[i] = std::sin(static_cast<double>(i)) * 1e-3 + 1.0 / (1.0 + static_cast<double>(i));
+  }
+  const auto sum_with = [&](unsigned threads) {
+    ThreadPool pool(threads);
+    return ordered_kahan_sum(pool, kN, 128, [&](std::size_t i) { return values[i]; });
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));  // exact bit equality
+  EXPECT_EQ(serial, sum_with(8));
+}
+
+TEST(ThreadPool, ShardSeedsAreDistinctDerivedStreams) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t shard = 0; shard < 1000; ++shard) {
+    seeds.insert(shard_seed(42, shard));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);                    // no collisions in practice
+  EXPECT_EQ(shard_seed(42, 7), shard_seed(42, 7));   // pure function
+  EXPECT_NE(shard_seed(42, 7), shard_seed(43, 7));   // base seed matters
+}
+
+TEST(ThreadPool, ShardCountLayout) {
+  EXPECT_EQ(shard_count(0, 64), 0u);
+  EXPECT_EQ(shard_count(1, 64), 1u);
+  EXPECT_EQ(shard_count(64, 64), 1u);
+  EXPECT_EQ(shard_count(65, 64), 2u);
+  EXPECT_EQ(shard_count(10, 0), 0u);
+}
+
+TEST(ThreadPool, StressManyConsecutiveRegions) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.run_shards(16, [&](std::size_t shard) { total.fetch_add(shard); });
+  }
+  EXPECT_EQ(total.load(), 200u * (15u * 16u / 2u));
+}
+
+TEST(ThreadPool, GlobalPoolIsASingleton) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.threads(), 1u);
+  EXPECT_EQ(&pool_or_global(nullptr), &a);
+  ThreadPool own(2);
+  EXPECT_EQ(&pool_or_global(&own), &own);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <filesystem>
 #include <fstream>
+#include <string>
 
 #include "test_helpers.hpp"
 
@@ -94,6 +96,46 @@ TEST(TimeDatabase, SaveLoadRoundTrip) {
   EXPECT_EQ(loaded.size(), db.size());
   EXPECT_DOUBLE_EQ(*loaded.lookup({AppKind::kPageRank, 1.95, "xeon_server_l"}), 4.0);
   std::filesystem::remove(path);
+}
+
+TEST(TimeDatabase, SaveLoadIsLocaleIndependent) {
+  // Regression: the TSV writer/reader used iostream formatting, so under a
+  // comma-decimal locale the file was written (and re-parsed) with ','
+  // decimal points, breaking interchange with C-locale processes.
+  const std::string previous = std::setlocale(LC_NUMERIC, nullptr);
+  bool available = false;
+  for (const char* name : {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      available = true;
+      break;
+    }
+  }
+  if (!available) GTEST_SKIP() << "no comma-decimal locale installed";
+
+  const auto db = sample_db();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pglb_pool_locale.tsv").string();
+  save_time_database(db, path);
+  const auto loaded = load_time_database(path);
+  std::filesystem::remove(path);
+  std::setlocale(LC_NUMERIC, previous.c_str());
+
+  EXPECT_EQ(loaded.size(), db.size());
+  EXPECT_DOUBLE_EQ(*loaded.lookup({AppKind::kPageRank, 2.1, "xeon_server_s"}), 10.0);
+  EXPECT_DOUBLE_EQ(*loaded.lookup({AppKind::kPageRank, 1.95, "xeon_server_l"}), 4.0);
+}
+
+TEST(TimeDatabase, SavedFileUsesDotDecimalPoints) {
+  const auto db = sample_db();
+  const auto path =
+      (std::filesystem::temp_directory_path() / "pglb_pool_dots.tsv").string();
+  save_time_database(db, path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  std::filesystem::remove(path);
+  EXPECT_EQ(content.find(','), std::string::npos);
+  EXPECT_NE(content.find("1.95"), std::string::npos);
 }
 
 TEST(TimeDatabase, LoadRejectsCorruptFiles) {

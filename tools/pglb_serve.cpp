@@ -4,7 +4,12 @@
 // for the protocol.
 //
 //   pglb_serve --threads=4 --queue=256 --scale=0.004 < requests.jsonl
-//   pglb_serve --listen=7447 --threads=8
+//   pglb_serve --listen=7447 --threads=8 --pool-threads=4
+//
+// --threads is the number of concurrent request workers; --pool-threads sizes
+// the planner's compute pool for proxy generation and profiling fan-out
+// (0 = the process-wide pool, PGLB_THREADS env overrides its size).  Plans
+// are bit-identical at any thread setting.
 //
 // A line {"type":"metrics"} returns the metrics registry (request counts,
 // per-stage latency percentiles, profile-cache hit rate) without planning.
@@ -73,6 +78,8 @@ int main(int argc, char** argv) {
     planner_options.proxy_seed = static_cast<std::uint64_t>(cli.get_int("seed", 17));
     planner_options.cache_capacity =
         static_cast<std::size_t>(cli.get_int("cache", 64));
+    planner_options.threads =
+        static_cast<unsigned>(cli.get_int("pool-threads", 0));
 
     ServerOptions server_options;
     server_options.threads = static_cast<int>(cli.get_int("threads", 4));
