@@ -98,7 +98,10 @@ std::vector<double> TimeDatabase::ccr_for(const Cluster& cluster, AppKind app,
 void save_time_database(const TimeDatabase& db, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("save_time_database: cannot open " + path);
-  out << "# pglb-ccr-pool v1\n";
+  // v2: numbers are written in shortest round-trip form (format_double); v1
+  // wrote precision(17) iostream output.  Both encode identical values, but
+  // the bytes differ, so the header version flags which build wrote the file.
+  out << "# pglb-ccr-pool v2\n";
   // format_double keeps the file byte-stable and '.'-pointed under any
   // process locale (ofstream << double would honour the global locale).
   for (const auto& [key, seconds] : db.entries()) {
@@ -113,7 +116,9 @@ TimeDatabase load_time_database(const std::string& path) {
   if (!in) throw std::runtime_error("load_time_database: cannot open " + path);
   std::string header;
   std::getline(in, header);
-  if (header != "# pglb-ccr-pool v1") {
+  // v1 files (written by older builds) parse identically — only the byte
+  // encoding of the numbers changed in v2 — so keep accepting them.
+  if (header != "# pglb-ccr-pool v2" && header != "# pglb-ccr-pool v1") {
     throw std::runtime_error("load_time_database: bad header in " + path);
   }
   TimeDatabase db;

@@ -70,9 +70,7 @@ PartitionMetrics compute_partition_metrics(const EdgeList& graph,
   std::uint64_t total_replicas = 0;
   VertexId present_vertices = 0;
   for (const Partial& part : partials) {
-    // On the inline path a single call covers the whole range, leaving the
-    // remaining partials untouched (empty per_machine).
-    if (part.per_machine.empty()) continue;
+    // parallel_for visits every shard even inline, so each partial is filled.
     total_replicas += part.total_replicas;
     present_vertices += part.present_vertices;
     for (MachineId m = 0; m < num_machines; ++m) {

@@ -11,7 +11,29 @@
 
 namespace pglb {
 
+namespace {
+
+// strtoll/strtod — the parsers these functions replaced — skip leading
+// whitespace and accept an explicit '+' sign; from_chars does neither, so
+// normalise the prefix here to keep inputs like `--threads " +4"` parsing.
+// Everything else stays strict: decimal only (no 0x), full consumption, no
+// trailing whitespace.
+std::string_view drop_space_and_plus(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t' ||
+                           text.front() == '\n' || text.front() == '\v' ||
+                           text.front() == '\f' || text.front() == '\r')) {
+    text.remove_prefix(1);
+  }
+  if (text.size() >= 2 && text.front() == '+' && text[1] != '+' && text[1] != '-') {
+    text.remove_prefix(1);
+  }
+  return text;
+}
+
+}  // namespace
+
 std::optional<double> parse_double(std::string_view text) {
+  text = drop_space_and_plus(text);
   if (text.empty()) return std::nullopt;
 #if defined(__cpp_lib_to_chars)
   double value = 0.0;
@@ -36,6 +58,7 @@ std::optional<double> parse_double(std::string_view text) {
 }
 
 std::optional<std::int64_t> parse_int(std::string_view text) {
+  text = drop_space_and_plus(text);
   if (text.empty()) return std::nullopt;
   std::int64_t value = 0;
   const auto [end, ec] = std::from_chars(text.data(), text.data() + text.size(), value);

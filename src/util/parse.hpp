@@ -18,10 +18,13 @@ namespace pglb {
 /// Parse `text` as a double in the C locale.  The whole string must be
 /// consumed (no trailing characters); empty input or partial parses return
 /// nullopt.  Accepts everything std::from_chars general format does:
-/// "2.1", "-3e-4", "inf", "nan".
+/// "2.1", "-3e-4", "inf", "nan" — plus leading whitespace and an explicit
+/// '+' sign for strtod compatibility.  Hex floats ("0x1p3") are rejected.
 std::optional<double> parse_double(std::string_view text);
 
 /// Parse `text` as a base-10 signed integer; whole string, C locale.
+/// Leading whitespace and an explicit '+' sign are accepted for strtoll
+/// compatibility.
 std::optional<std::int64_t> parse_int(std::string_view text);
 
 /// Shortest round-trip decimal form of `value` ("2.1", "1e+20"), always with

@@ -143,17 +143,29 @@ void ThreadPool::run_shards(std::size_t num_shards,
   }
 
   {
-    // Wait for stragglers AND for every worker to drop its Region pointer —
-    // the region lives on this stack frame.
+    // Wait for stragglers to finish the claimed shards.
     std::unique_lock<std::mutex> region_lock(region.mutex);
     region.done.wait(region_lock, [&] {
-      return region.completed.load(std::memory_order_acquire) == region.total &&
-             region.refs.load(std::memory_order_acquire) == 0;
+      return region.completed.load(std::memory_order_acquire) == region.total;
     });
   }
   {
+    // Unpublish BEFORE draining refs.  A worker grabs the region pointer and
+    // increments refs inside one state_->mutex critical section, so a worker
+    // that has passed the wake predicate but not yet incremented refs is
+    // invisible to a refs==0 check; unpublishing first (under the same mutex)
+    // guarantees no further worker can grab the region, and the drain below
+    // then covers every holder.
     std::lock_guard<std::mutex> lock(state_->mutex);
     state_->region = nullptr;
+  }
+  {
+    // Drain: the region lives on this stack frame, so every worker must drop
+    // its pointer before we return.
+    std::unique_lock<std::mutex> region_lock(region.mutex);
+    region.done.wait(region_lock, [&] {
+      return region.refs.load(std::memory_order_acquire) == 0;
+    });
   }
   if (region.exception) std::rethrow_exception(region.exception);
 }

@@ -84,12 +84,16 @@ inline std::size_t shard_count(std::size_t n, std::size_t grain) {
 }
 
 /// Run fn(begin, end) over the static shards of [0, n) with the given grain.
-/// fn must only write state owned by its own index range.
+/// fn must only write state owned by its own index range.  fn is called once
+/// PER SHARD even when execution is inline (1 thread, nested region): the
+/// call structure is a pure function of (n, grain), so per-shard partials —
+/// and with them ordered reductions — are bit-identical at every thread
+/// count, not merely when the collapsed association happens to agree.
 template <typename Fn>
 void parallel_for(ThreadPool& pool, std::size_t n, std::size_t grain, Fn&& fn) {
   if (n == 0) return;
   const std::size_t shards = shard_count(n, grain);
-  if (shards <= 1 || pool.threads() <= 1) {
+  if (shards <= 1) {
     fn(std::size_t{0}, n);
     return;
   }

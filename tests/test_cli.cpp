@@ -4,6 +4,7 @@
 
 #include <clocale>
 #include <string>
+#include <version>
 
 #include "util/parse.hpp"
 
@@ -119,6 +120,35 @@ TEST(Parse, IntWholeStringOnly) {
   EXPECT_FALSE(parse_int("4.2").has_value());
   EXPECT_FALSE(parse_int("abc").has_value());
   EXPECT_FALSE(parse_int("").has_value());
+}
+
+TEST(Parse, AcceptsStrtolCompatiblePrefix) {
+  // strtoll/strtod accepted leading whitespace and an explicit '+' sign;
+  // the from_chars-based parsers keep accepting those (`--threads +4`).
+  EXPECT_EQ(*parse_int("+4"), 4);
+  EXPECT_EQ(*parse_int(" \t42"), 42);
+  EXPECT_EQ(*parse_int("  +7"), 7);
+  EXPECT_DOUBLE_EQ(*parse_double("+2.1"), 2.1);
+  EXPECT_DOUBLE_EQ(*parse_double(" 2.1"), 2.1);
+  EXPECT_DOUBLE_EQ(*parse_double("+.5"), 0.5);
+  // Only one sign, no inner/trailing whitespace, no whitespace-only input.
+  EXPECT_FALSE(parse_int("+").has_value());
+  EXPECT_FALSE(parse_int("+-4").has_value());
+  EXPECT_FALSE(parse_int("++4").has_value());
+  EXPECT_FALSE(parse_int("+ 4").has_value());
+  EXPECT_FALSE(parse_int("4 ").has_value());
+  EXPECT_FALSE(parse_int("   ").has_value());
+  EXPECT_FALSE(parse_double("+-2.1").has_value());
+  EXPECT_FALSE(parse_double("2.1 ").has_value());
+}
+
+TEST(Parse, RejectsHexPrefix) {
+  // Stricter than strtod: numbers are decimal only ("0x10" was never valid
+  // for ints — strtoll ran base 10 — and hex floats are deliberately out).
+  EXPECT_FALSE(parse_int("0x10").has_value());
+#if defined(__cpp_lib_to_chars)
+  EXPECT_FALSE(parse_double("0x1p3").has_value());  // strtod fallback differs
+#endif
 }
 
 TEST(Parse, FormatDoubleRoundTripsWithDot) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numeric>
@@ -110,6 +111,38 @@ TEST(ThreadPool, OrderedKahanSumIsThreadCountInvariant) {
   EXPECT_EQ(serial, sum_with(8));
 }
 
+TEST(ThreadPool, OrderedKahanSumInvariantOnAdversarialInput) {
+  // Regression: parallel_for's old 1-thread shortcut collapsed the shard
+  // layout into one fn(0, n) call, so the serial result was a single Kahan
+  // pass while >1 threads folded per-shard partials — a different FP
+  // association.  These magnitude-staggered values make the two associations
+  // disagree unless the shard layout is preserved at every thread count.
+  constexpr std::size_t kN = 1024;
+  constexpr std::size_t kGrain = 64;
+  std::vector<double> values(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    const double sign = (i % 2 == 0) ? 1.0 : -1.0;
+    values[i] = sign * std::ldexp(1.0 + static_cast<double>(i % 7) / 8.0,
+                                  static_cast<int>(i % 53) - 26);
+  }
+  const auto sum_with = [&](unsigned threads) {
+    ThreadPool pool(threads);
+    return ordered_kahan_sum(pool, kN, kGrain, [&](std::size_t i) { return values[i]; });
+  };
+  const double serial = sum_with(1);
+  EXPECT_EQ(serial, sum_with(2));
+  EXPECT_EQ(serial, sum_with(3));
+  EXPECT_EQ(serial, sum_with(8));
+  // And the serial result really is the per-shard fold, not a collapsed pass.
+  KahanSum expected;
+  for (std::size_t begin = 0; begin < kN; begin += kGrain) {
+    KahanSum shard;
+    for (std::size_t i = begin; i < std::min(kN, begin + kGrain); ++i) shard.add(values[i]);
+    expected.add(shard.value());
+  }
+  EXPECT_EQ(serial, expected.value());
+}
+
 TEST(ThreadPool, ShardSeedsAreDistinctDerivedStreams) {
   std::set<std::uint64_t> seeds;
   for (std::uint64_t shard = 0; shard < 1000; ++shard) {
@@ -135,6 +168,20 @@ TEST(ThreadPool, StressManyConsecutiveRegions) {
     pool.run_shards(16, [&](std::size_t shard) { total.fetch_add(shard); });
   }
   EXPECT_EQ(total.load(), 200u * (15u * 16u / 2u));
+}
+
+TEST(ThreadPool, StressTinyRegionsDoNotRaceRegionTeardown) {
+  // Regression: run_shards could observe completed==total && refs==0 and tear
+  // down the stack-allocated region while a late-waking worker — already past
+  // the wake predicate but not yet counted in refs — still held a pointer.
+  // Tiny regions maximize that window: the caller usually claims every shard
+  // itself before any worker wakes.  Validated under TSan via `ctest -L tsan`.
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 2000; ++round) {
+    pool.run_shards(2, [&](std::size_t shard) { total.fetch_add(shard + 1); });
+  }
+  EXPECT_EQ(total.load(), 2000u * 3u);
 }
 
 TEST(ThreadPool, GlobalPoolIsASingleton) {

@@ -138,6 +138,31 @@ TEST(TimeDatabase, SavedFileUsesDotDecimalPoints) {
   EXPECT_NE(content.find("1.95"), std::string::npos);
 }
 
+TEST(TimeDatabase, WritesV2HeaderAndStillLoadsV1Files) {
+  // v2 flags the switch from precision(17) iostream numbers to shortest
+  // round-trip form; v1 files written by older builds must keep loading.
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto v2_path = (dir / "pglb_pool_v2.tsv").string();
+  save_time_database(sample_db(), v2_path);
+  {
+    std::ifstream in(v2_path);
+    std::string header;
+    std::getline(in, header);
+    EXPECT_EQ(header, "# pglb-ccr-pool v2");
+  }
+  std::filesystem::remove(v2_path);
+
+  const auto v1_path = (dir / "pglb_pool_v1.tsv").string();
+  {
+    std::ofstream out(v1_path);
+    out << "# pglb-ccr-pool v1\n"
+        << "pagerank\t2.1000000000000001\txeon_server_s\t10\n";
+  }
+  const auto loaded = load_time_database(v1_path);
+  std::filesystem::remove(v1_path);
+  EXPECT_DOUBLE_EQ(*loaded.lookup({AppKind::kPageRank, 2.1, "xeon_server_s"}), 10.0);
+}
+
 TEST(TimeDatabase, LoadRejectsCorruptFiles) {
   const auto dir = std::filesystem::temp_directory_path();
   const auto bad_header = (dir / "pglb_pool_bad1.tsv").string();
