@@ -1,0 +1,60 @@
+// Microbenchmark (google-benchmark): per-span cost of the tracer in its
+// three states — compiled in but runtime-disabled (the default for every
+// pipeline run: one relaxed atomic load), runtime-enabled (two clock reads
+// plus a buffer slot write), and emit_complete with caller-supplied
+// timestamps (no clock reads).
+//
+// The enabled benchmarks use fixed iteration counts: the tracer's per-thread
+// buffers cap at Tracer::kMaxSpansPerThread spans and clear() moves a
+// watermark without replenishing capacity, so letting google-benchmark pick
+// the iteration count could silently saturate the buffer and measure the
+// dropped-span path instead.
+
+#include <benchmark/benchmark.h>
+
+#include "obs/trace.hpp"
+
+namespace {
+
+using namespace pglb;
+
+// Comfortably below kMaxSpansPerThread (1 << 18) per benchmark so every
+// measured span takes the record path, never the drop path.
+constexpr std::int64_t kEnabledIterations = 1 << 15;
+
+void BM_SpanDisabled(benchmark::State& state) {
+  set_tracing_enabled(false);
+  for (auto _ : state) {
+    PGLB_TRACE_SPAN("bench.disabled", "bench");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanDisabled)->Unit(benchmark::kNanosecond);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  Tracer::instance().clear();
+  set_tracing_enabled(true);
+  for (auto _ : state) {
+    PGLB_TRACE_SPAN("bench.enabled", "bench");
+  }
+  set_tracing_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpanEnabled)->Iterations(kEnabledIterations)->Unit(benchmark::kNanosecond);
+
+void BM_EmitComplete(benchmark::State& state) {
+  Tracer::instance().clear();
+  set_tracing_enabled(true);
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    Tracer::instance().emit_complete("bench.complete", "bench", t, t + 10);
+    t += 10;
+  }
+  set_tracing_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EmitComplete)->Iterations(kEnabledIterations)->Unit(benchmark::kNanosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

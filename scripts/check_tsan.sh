@@ -16,6 +16,6 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DPGLB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_thread_pool test_parallel_determinism test_service_server
+  --target test_thread_pool test_parallel_determinism test_service_server test_obs_trace
 ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j"$(nproc)"
 echo "check_tsan: all tsan-labelled tests passed"

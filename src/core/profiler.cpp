@@ -6,6 +6,8 @@
 
 #include "apps/registry.hpp"
 #include "core/ccr.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "partition/random_hash.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,6 +15,11 @@ namespace pglb {
 
 double profile_single_machine(const MachineSpec& spec, AppKind app,
                               const EdgeList& graph, double scale) {
+  // One profiling cell = one single-machine virtual execution; the span and
+  // counter cover every caller (suite profiling, oracle estimation, the
+  // planning service's per-class fan-out).
+  PGLB_TRACE_SPAN("profile.cell", "profiler");
+  global_registry().count("profiler.cells");
   const Cluster solo{std::vector<MachineSpec>{spec}};
   const EdgeList prepared = prepare_graph_for(app, graph);
   const GraphStats stats = compute_stats(prepared);
@@ -88,6 +95,7 @@ std::vector<double> CcrPool::mean_ccr_for(AppKind app) const {
 
 CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
                         std::span<const AppKind> apps, ThreadPool* thread_pool) {
+  PGLB_TRACE_SPAN("profile.cluster", "profiler");
   const auto groups = group_machines(cluster);
   const auto proxies = suite.proxies();
 
@@ -126,6 +134,7 @@ CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
 std::vector<double> profile_groups_on_graph(const Cluster& cluster, AppKind app,
                                             const EdgeList& graph, double scale,
                                             ThreadPool* thread_pool) {
+  PGLB_TRACE_SPAN("profile.groups", "profiler");
   const auto groups = group_machines(cluster);
   std::vector<double> times(groups.size(), 0.0);
   parallel_for(pool_or_global(thread_pool), groups.size(), 1,

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "gen/powerlaw.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,6 +36,10 @@ ProxySuite::ProxySuite(double scale, std::uint64_t seed, ThreadPool* pool)
 
 ProxySuite::Proxy ProxySuite::make_proxy(double alpha, std::uint64_t seed,
                                          ThreadPool* pool) const {
+  // arg = alpha in milli-units (spans carry one integer payload).
+  PGLB_TRACE_SPAN_ARG("proxy.generate", "proxy",
+                      static_cast<std::uint64_t>(alpha * 1000.0));
+  global_registry().count("proxy.generated");
   PowerLawConfig config;
   config.num_vertices = static_cast<VertexId>(std::max<double>(
       1000.0, std::round(3'200'000.0 * scale_)));

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pglb {
@@ -38,6 +40,10 @@ void VirtualClusterExecutor::set_interference(InterferenceSchedule schedule) {
 
 void VirtualClusterExecutor::record_superstep(std::span<const double> ops,
                                               std::span<const double> comm_bytes) {
+  // Host time of the accounting pass, arg = superstep index.  The virtual
+  // BSP schedule itself is bridged separately (append_trace_spans).
+  PGLB_TRACE_SPAN_ARG("engine.superstep", "engine",
+                      static_cast<std::uint64_t>(supersteps_));
   if (finished_) throw std::logic_error("record_superstep after finish()");
   if (ops.size() != cluster_->size() || comm_bytes.size() != cluster_->size()) {
     throw std::invalid_argument("record_superstep: per-machine vector size mismatch");
@@ -100,6 +106,8 @@ void VirtualClusterExecutor::record_superstep(std::span<const double> ops,
 ExecReport VirtualClusterExecutor::finish(std::string app_name, bool converged) {
   if (finished_) throw std::logic_error("finish() called twice");
   finished_ = true;
+  global_registry().count("engine.runs");
+  global_registry().count("engine.supersteps", static_cast<std::uint64_t>(supersteps_));
 
   if (!app_->synchronous) {
     // Async: the run ends when the busiest machine drains its work.

@@ -1,6 +1,9 @@
 #include "engine/exec_report.hpp"
 
+#include <cmath>
 #include <sstream>
+
+#include "obs/trace.hpp"
 
 namespace pglb {
 
@@ -21,6 +24,24 @@ double ExecReport::idle_fraction() const noexcept {
   }
   const double total = busy + idle;
   return total > 0.0 ? idle / total : 0.0;
+}
+
+void append_trace_spans(const ExecReport& report, std::int32_t track) {
+  if (!tracing_enabled() || report.trace.empty()) return;
+  Tracer& tracer = Tracer::instance();
+  auto to_ns = [](double seconds) {
+    return static_cast<std::uint64_t>(std::llround(seconds * 1e9));
+  };
+  double t = 0.0;
+  for (const SuperstepTrace& step : report.trace) {
+    const std::uint64_t start = to_ns(t);
+    const std::uint64_t end = to_ns(t + step.window_seconds);
+    tracer.emit_complete("superstep", "virtual", start, end,
+                         static_cast<std::uint64_t>(step.straggler), track);
+    const std::uint64_t exchange_start = to_ns(t + step.window_seconds - step.exchange_seconds);
+    tracer.emit_complete("exchange", "virtual", exchange_start, end, kTraceNoArg, track);
+    t += step.window_seconds;
+  }
 }
 
 std::string ExecReport::summary() const {

@@ -2,6 +2,7 @@
 // Execution report of one distributed application run: the virtual-time and
 // energy numbers that every evaluation figure (9, 10) is built from.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,5 +48,13 @@ struct ExecReport {
 
   std::string summary() const;
 };
+
+/// Bridge a run's synchronous superstep schedule into the span tracer as
+/// virtual-time spans on track `track` of the "virtual cluster" process
+/// (pid 2 of the Chrome trace): one "superstep" span per barrier window
+/// (arg = straggler machine) with a nested "exchange" span for the
+/// mirror-sync tail.  No-op when tracing is disabled or the trace is empty
+/// (asynchronous apps record no barriers).
+void append_trace_spans(const ExecReport& report, std::int32_t track = 0);
 
 }  // namespace pglb

@@ -1,0 +1,83 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json.hpp"
+
+namespace pglb {
+
+namespace {
+
+constexpr int kHostPid = 1;
+constexpr int kVirtualPid = 2;
+
+void append_metadata(std::string& out, int pid, const char* process_name) {
+  out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+  append_json_number(out, pid);
+  out += ",\"tid\":0,\"args\":{\"name\":";
+  append_json_string(out, process_name);
+  out += "}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const SpanEvent> events) {
+  std::vector<SpanEvent> sorted(events.begin(), events.end());
+  std::sort(sorted.begin(), sorted.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    const int pid_a = a.vtrack < 0 ? kHostPid : kVirtualPid;
+    const int pid_b = b.vtrack < 0 ? kHostPid : kVirtualPid;
+    if (pid_a != pid_b) return pid_a < pid_b;
+    const std::uint32_t tid_a = a.vtrack < 0 ? a.tid : static_cast<std::uint32_t>(a.vtrack);
+    const std::uint32_t tid_b = b.vtrack < 0 ? b.tid : static_cast<std::uint32_t>(b.vtrack);
+    if (tid_a != tid_b) return tid_a < tid_b;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    // Longer span first so nested children follow their parent.
+    const std::uint64_t dur_a = a.end_ns - a.start_ns;
+    const std::uint64_t dur_b = b.end_ns - b.start_ns;
+    if (dur_a != dur_b) return dur_a > dur_b;
+    return std::string_view(a.name) < std::string_view(b.name);
+  });
+
+  std::string out = "{\"traceEvents\":[";
+  append_metadata(out, kHostPid, "pglb host");
+  out.push_back(',');
+  append_metadata(out, kVirtualPid, "pglb virtual cluster");
+  for (const SpanEvent& event : sorted) {
+    out.push_back(',');
+    out += "{\"name\":";
+    append_json_string(out, event.name != nullptr ? event.name : "?");
+    out += ",\"cat\":";
+    append_json_string(out, event.category != nullptr ? event.category : "pglb");
+    out += ",\"ph\":\"X\",\"pid\":";
+    append_json_number(out, event.vtrack < 0 ? kHostPid : kVirtualPid);
+    out += ",\"tid\":";
+    append_json_number(out, event.vtrack < 0 ? static_cast<double>(event.tid)
+                                             : static_cast<double>(event.vtrack));
+    out += ",\"ts\":";
+    append_json_number(out, static_cast<double>(event.start_ns) / 1e3);
+    out += ",\"dur\":";
+    const std::uint64_t dur =
+        event.end_ns >= event.start_ns ? event.end_ns - event.start_ns : 0;
+    append_json_number(out, static_cast<double>(dur) / 1e3);
+    if (event.arg != kTraceNoArg) {
+      out += ",\"args\":{\"v\":";
+      append_json_number(out, static_cast<double>(event.arg));
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+void write_chrome_trace(const std::string& path) {
+  const std::vector<SpanEvent> events = Tracer::instance().snapshot();
+  std::ofstream file(path, std::ios::binary);
+  if (!file) throw std::runtime_error("cannot open trace file " + path);
+  file << chrome_trace_json(events) << "\n";
+  if (!file) throw std::runtime_error("failed writing trace file " + path);
+}
+
+}  // namespace pglb

@@ -1,0 +1,24 @@
+#pragma once
+// Chrome trace-event export: serialize a span snapshot into the JSON object
+// format that chrome://tracing and Perfetto load directly.  Host spans land
+// under pid 1 ("pglb host", one tid per emitting thread); virtual-cluster
+// spans bridged from ExecReport land under pid 2 ("pglb virtual cluster",
+// one tid per synthetic track).
+
+#include <span>
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace pglb {
+
+/// Serialize `events` as a complete Chrome trace-event JSON document.
+/// Events are sorted by (pid, tid, ts, dur descending, name) so the output
+/// is stable for a given span set; ts/dur are microseconds.
+std::string chrome_trace_json(std::span<const SpanEvent> events);
+
+/// Snapshot the process-wide tracer and write it to `path`.  Throws
+/// std::runtime_error if the file cannot be written.
+void write_chrome_trace(const std::string& path);
+
+}  // namespace pglb

@@ -1,8 +1,8 @@
-#include "service/metrics.hpp"
+#include "obs/registry.hpp"
 
 #include <cmath>
 
-#include "service/protocol.hpp"
+#include "util/json.hpp"
 
 namespace pglb {
 
@@ -38,23 +38,39 @@ double LatencyHistogram::quantile_seconds(double q) const {
   return bucket_floor_us(buckets_.max_value()) / 1e6;
 }
 
-void ServiceMetrics::count(std::string_view name, std::uint64_t delta) {
+void Registry::count(std::string_view name, std::uint64_t delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   counters_[std::string(name)] += delta;
 }
 
-void ServiceMetrics::observe(std::string_view stage, double seconds) {
+void Registry::set_gauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[std::string(name)] = value;
+}
+
+void Registry::observe(std::string_view stage, double seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   stages_[std::string(stage)].record_seconds(seconds);
 }
 
-std::uint64_t ServiceMetrics::counter(std::string_view name) const {
+std::uint64_t Registry::counter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = counters_.find(name);
   return it != counters_.end() ? it->second : 0;
 }
 
-std::string ServiceMetrics::to_json(const std::string& extra) const {
+double Registry::gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second : 0.0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::string Registry::to_json(const std::string& extra) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -64,6 +80,15 @@ std::string ServiceMetrics::to_json(const std::string& extra) const {
     append_json_string(out, name);
     out.push_back(':');
     append_json_number(out, static_cast<double>(value));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    append_json_number(out, value);
   }
   out += "},\"stages\":{";
   first = true;
@@ -93,11 +118,11 @@ std::string ServiceMetrics::to_json(const std::string& extra) const {
   return out;
 }
 
-StageTimer::StageTimer(ServiceMetrics* metrics, std::string_view stage)
-    : metrics_(metrics), stage_(stage) {}
-
-StageTimer::~StageTimer() {
-  if (metrics_ != nullptr) metrics_->observe(stage_, watch_.seconds());
+Registry& global_registry() {
+  // Leaked so threads outliving main() (detached pool workers during
+  // teardown) can never touch a destroyed registry.
+  static Registry* registry = new Registry();
+  return *registry;
 }
 
 }  // namespace pglb

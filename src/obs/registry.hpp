@@ -1,0 +1,108 @@
+#pragma once
+// Process-wide metrics registry: named counters, gauges, and latency
+// histograms, dumpable on demand as deterministic JSON (sorted names, fixed
+// key order).  This generalizes the old service-only ServiceMetrics — the
+// planning service is now a thin client of this registry, and every pipeline
+// stage (profiler, partitioners, engine, thread pool) reports into the
+// process-wide instance returned by global_registry().
+//
+// Latencies are recorded into geometric buckets (8 per octave, ~9% relative
+// resolution) layered over util/histogram's ExactHistogram — bucket indices
+// are small integers, so the exact histogram machinery applies unchanged
+// while a 1 us .. 1000 s range needs only ~240 buckets.
+//
+// Naming scheme (docs/OBSERVABILITY.md): dot-separated "subsystem.metric"
+// for pipeline metrics ("pool.fanouts", "profiler.cells"); the service keeps
+// its original flat names ("requests_total") for protocol stability.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/histogram.hpp"
+#include "util/stopwatch.hpp"
+
+namespace pglb {
+
+class LatencyHistogram {
+ public:
+  void record_seconds(double seconds);
+
+  std::uint64_t count() const noexcept { return buckets_.total(); }
+
+  /// Latency at quantile q in [0, 1], as the representative (geometric lower
+  /// bound) of the bucket containing it.  0 when empty.
+  double quantile_seconds(double q) const;
+
+  const ExactHistogram& buckets() const noexcept { return buckets_; }
+
+  /// Bucket mapping, exposed for tests: microseconds -> index and back.
+  /// Defined for the full double range: zero and negative inputs land in
+  /// bucket 0 and sub-microsecond inputs in the first octave (buckets 0-7) —
+  /// the histogram never rejects a sample.
+  static std::uint64_t bucket_of(double microseconds);
+  static double bucket_floor_us(std::uint64_t bucket);
+
+ private:
+  ExactHistogram buckets_;  ///< value = geometric bucket index
+};
+
+class Registry {
+ public:
+  /// Add `delta` to counter `name` (created on first use).
+  void count(std::string_view name, std::uint64_t delta = 1);
+
+  /// Set gauge `name` to `value` (created on first use).
+  void set_gauge(std::string_view name, double value);
+
+  /// Record one latency observation for stage `stage`.
+  void observe(std::string_view stage, double seconds);
+
+  std::uint64_t counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+
+  /// Sorted (name, value) snapshot of every counter — the stable order
+  /// pglb_loadgen prints registry deltas in.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+  /// Snapshot as one-line JSON with deterministic key ordering (names sorted,
+  /// fixed key order inside each stage):
+  ///   {"counters":{...},"gauges":{...},
+  ///    "stages":{"plan":{"count":N,"p50_us":...,...}}}
+  /// Extra top-level fields (e.g. cache stats) can be injected by the caller
+  /// via `extra`, a pre-serialized JSON fragment like "\"cache\":{...}".
+  std::string to_json(const std::string& extra = "") const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, LatencyHistogram, std::less<>> stages_;
+};
+
+/// The process-wide registry every pipeline stage reports into.
+Registry& global_registry();
+
+/// RAII stage timer: records the elapsed host time into `registry` when it
+/// goes out of scope (no-op when registry is null).
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry* registry, std::string_view stage)
+      : registry_(registry), stage_(stage) {}
+  ~ScopedTimer() {
+    if (registry_ != nullptr) registry_->observe(stage_, watch_.seconds());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry* registry_;
+  std::string stage_;
+  Stopwatch watch_;
+};
+
+}  // namespace pglb

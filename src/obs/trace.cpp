@@ -1,0 +1,193 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace pglb {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled([] {
+    const char* env = std::getenv("PGLB_TRACE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }());
+  return enabled;
+}
+
+}  // namespace
+
+bool tracing_enabled() noexcept {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_tracing_enabled(bool enabled) noexcept {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+/// Per-thread span store: a grow-only linked list of fixed-size chunks.  The
+/// owning thread is the only writer; it publishes each record with a release
+/// store of `published`, so readers that acquire `published` see every slot
+/// (and every chunk link) written before it.  Chunks are never freed or
+/// reused — clear() only moves the `cleared` watermark — which is what makes
+/// concurrent snapshots race-free without any reader/writer lock.
+struct Tracer::ThreadBuffer {
+  static constexpr std::uint64_t kChunkSpans = 1024;
+
+  struct Chunk {
+    SpanRecord spans[kChunkSpans];
+    std::atomic<Chunk*> next{nullptr};
+  };
+
+  explicit ThreadBuffer(std::uint32_t thread_id) : tid(thread_id) {}
+  ~ThreadBuffer() {
+    Chunk* chunk = head.load(std::memory_order_acquire);
+    while (chunk != nullptr) {
+      Chunk* next = chunk->next.load(std::memory_order_acquire);
+      delete chunk;
+      chunk = next;
+    }
+  }
+
+  void append(const SpanRecord& record) {
+    const std::uint64_t n = owner_count;
+    if (n >= kMaxSpansPerThread) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (n % kChunkSpans == 0) {
+      Chunk* chunk = new Chunk();
+      if (owner_tail != nullptr) {
+        owner_tail->next.store(chunk, std::memory_order_release);
+      } else {
+        head.store(chunk, std::memory_order_release);
+      }
+      owner_tail = chunk;
+    }
+    owner_tail->spans[n % kChunkSpans] = record;
+    owner_count = n + 1;
+    published.store(n + 1, std::memory_order_release);
+  }
+
+  const std::uint32_t tid;
+
+  // Owner-thread state (no concurrent access).
+  std::uint64_t owner_count = 0;
+  Chunk* owner_tail = nullptr;
+
+  // Shared with readers.
+  std::atomic<Chunk*> head{nullptr};
+  std::atomic<std::uint64_t> published{0};
+  std::atomic<std::uint64_t> cleared{0};
+  std::atomic<std::uint64_t> dropped{0};
+  std::atomic<std::uint64_t> dropped_cleared{0};
+};
+
+struct Tracer::Impl {
+  std::chrono::steady_clock::time_point epoch = std::chrono::steady_clock::now();
+  mutable std::mutex buffers_mutex;  ///< guards the buffer list, not the buffers
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+Tracer::Tracer() : impl_(new Impl()) {}
+
+Tracer& Tracer::instance() {
+  // Leaked: spans may be emitted from threads that outlive main()'s statics.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - impl_->epoch)
+                                        .count());
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  thread_local ThreadBuffer* buffer = [this] {
+    std::lock_guard<std::mutex> lock(impl_->buffers_mutex);
+    const auto tid = static_cast<std::uint32_t>(impl_->buffers.size());
+    impl_->buffers.push_back(std::make_unique<ThreadBuffer>(tid));
+    return impl_->buffers.back().get();
+  }();
+  return *buffer;
+}
+
+void Tracer::emit(const SpanRecord& record) { local_buffer().append(record); }
+
+void Tracer::emit_complete(const char* name, const char* category,
+                           std::uint64_t start_ns, std::uint64_t end_ns,
+                           std::uint64_t arg, std::int32_t vtrack) {
+  if (!tracing_enabled()) return;
+  SpanRecord record;
+  record.name = name;
+  record.category = category;
+  record.start_ns = start_ns;
+  record.end_ns = end_ns;
+  record.arg = arg;
+  record.vtrack = vtrack;
+  emit(record);
+}
+
+std::vector<SpanEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->buffers_mutex);
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : impl_->buffers) {
+    const std::uint64_t published = buffer->published.load(std::memory_order_acquire);
+    const std::uint64_t cleared = buffer->cleared.load(std::memory_order_acquire);
+    if (published <= cleared) continue;
+    events.reserve(events.size() + (published - cleared));
+    ThreadBuffer::Chunk* chunk = buffer->head.load(std::memory_order_acquire);
+    for (std::uint64_t i = 0; i < published && chunk != nullptr;
+         chunk = chunk->next.load(std::memory_order_acquire)) {
+      const std::uint64_t in_chunk =
+          std::min(published - i, ThreadBuffer::kChunkSpans);
+      for (std::uint64_t s = 0; s < in_chunk; ++s, ++i) {
+        if (i < cleared) continue;
+        SpanEvent event;
+        static_cast<SpanRecord&>(event) = chunk->spans[s];
+        event.tid = buffer->tid;
+        events.push_back(event);
+      }
+    }
+  }
+  return events;
+}
+
+std::uint64_t Tracer::spans_recorded() const {
+  std::lock_guard<std::mutex> lock(impl_->buffers_mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : impl_->buffers) {
+    const std::uint64_t published = buffer->published.load(std::memory_order_acquire);
+    const std::uint64_t cleared = buffer->cleared.load(std::memory_order_acquire);
+    total += published > cleared ? published - cleared : 0;
+  }
+  return total;
+}
+
+std::uint64_t Tracer::spans_dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->buffers_mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : impl_->buffers) {
+    const std::uint64_t dropped = buffer->dropped.load(std::memory_order_relaxed);
+    const std::uint64_t cleared = buffer->dropped_cleared.load(std::memory_order_relaxed);
+    total += dropped > cleared ? dropped - cleared : 0;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(impl_->buffers_mutex);
+  for (const auto& buffer : impl_->buffers) {
+    buffer->cleared.store(buffer->published.load(std::memory_order_acquire),
+                          std::memory_order_release);
+    buffer->dropped_cleared.store(buffer->dropped.load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+  }
+}
+
+}  // namespace pglb

@@ -1,0 +1,150 @@
+#pragma once
+// Low-overhead span tracer: RAII scoped spans written to per-thread buffers
+// (no lock on the hot path), drained on demand into Chrome trace-event JSON
+// (obs/chrome_trace.hpp) loadable in chrome://tracing or Perfetto.
+//
+// Cost model:
+//  * Compiled out: -DPGLB_DISABLE_TRACING turns every PGLB_TRACE_SPAN macro
+//    into nothing; the runtime API below stays link-compatible.
+//  * Runtime disabled (the default): one relaxed atomic load per span.
+//  * Enabled: a steady_clock read at scope entry/exit plus one slot write
+//    into the emitting thread's chunked buffer — the only synchronization is
+//    a release store of the buffer's published count (chunk allocation, every
+//    kChunkSpans spans, takes a short buffer-local mutex).
+//
+// Enable at runtime with set_tracing_enabled(true) or the PGLB_TRACE
+// environment variable (any value except "" and "0").
+//
+// Tracing is purely observational: spans record what happened, they never
+// feed back into any computed value — determinism goldens hold bit-for-bit
+// with tracing on or off at any thread count
+// (tests/test_obs_trace.cpp pins this).
+//
+// Span names and categories must be string literals (or otherwise outlive
+// the tracer): records store the pointer, not a copy, to keep the hot path
+// allocation-free.
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace pglb {
+
+inline constexpr std::uint64_t kTraceNoArg = ~std::uint64_t{0};
+
+/// One completed span.  Host spans (vtrack < 0) carry nanoseconds since the
+/// tracer epoch on the emitting thread; virtual spans (vtrack >= 0) carry
+/// virtual-cluster nanoseconds on a synthetic track (see
+/// ExecReport bridging in engine/exec_report.hpp).
+struct SpanRecord {
+  const char* name = nullptr;      ///< static storage required
+  const char* category = nullptr;  ///< static storage required
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint64_t arg = kTraceNoArg;  ///< optional numeric payload (kTraceNoArg = none)
+  std::int32_t vtrack = -1;         ///< -1 = host span on the emitting thread
+};
+
+/// Snapshot element: the record plus the stable id of the emitting thread.
+struct SpanEvent : SpanRecord {
+  std::uint32_t tid = 0;
+};
+
+/// Global runtime switch (process-wide, lazily seeded from PGLB_TRACE).
+bool tracing_enabled() noexcept;
+void set_tracing_enabled(bool enabled) noexcept;
+
+class Tracer {
+ public:
+  /// The process-wide tracer (leaked singleton: safe to emit from any thread
+  /// at any point of the process lifetime).
+  static Tracer& instance();
+
+  /// Nanoseconds since the tracer epoch (steady clock, monotonic).
+  std::uint64_t now_ns() const noexcept;
+
+  /// Record one completed span into the calling thread's buffer.  Lock-free;
+  /// drops (and counts) the span once the per-thread capacity is exhausted.
+  void emit(const SpanRecord& record);
+
+  /// Convenience: emit with explicit timestamps if tracing is enabled.
+  void emit_complete(const char* name, const char* category,
+                     std::uint64_t start_ns, std::uint64_t end_ns,
+                     std::uint64_t arg = kTraceNoArg, std::int32_t vtrack = -1);
+
+  /// All spans published since the last clear(), across every thread that
+  /// ever emitted.  Safe to call concurrently with emission: a concurrent
+  /// span is either fully included or not at all.
+  std::vector<SpanEvent> snapshot() const;
+
+  std::uint64_t spans_recorded() const;  ///< published and not cleared
+  std::uint64_t spans_dropped() const;   ///< lost to the per-thread capacity
+
+  /// Discard every currently-published span (watermark move; buffers are
+  /// retained, so per-thread capacity is NOT replenished).
+  void clear();
+
+  /// Per-thread span capacity; beyond it spans are dropped, not reallocated.
+  static constexpr std::uint64_t kMaxSpansPerThread = std::uint64_t{1} << 18;
+
+ private:
+  Tracer();
+  struct ThreadBuffer;
+  struct Impl;
+  ThreadBuffer& local_buffer();
+
+  Impl* impl_;
+};
+
+/// RAII scoped span: captures the start time at construction (when tracing is
+/// enabled) and emits the completed span at destruction.  Constructing with
+/// tracing disabled costs one relaxed atomic load.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, const char* category = "pglb",
+                     std::uint64_t arg = kTraceNoArg) noexcept {
+    if (tracing_enabled()) {
+      name_ = name;
+      category_ = category;
+      arg_ = arg;
+      start_ns_ = Tracer::instance().now_ns();
+    }
+  }
+
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      Tracer& tracer = Tracer::instance();
+      SpanRecord record;
+      record.name = name_;
+      record.category = category_;
+      record.start_ns = start_ns_;
+      record.end_ns = tracer.now_ns();
+      record.arg = arg_;
+      tracer.emit(record);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  std::uint64_t arg_ = kTraceNoArg;
+  std::uint64_t start_ns_ = 0;
+};
+
+// Scoped-span macros: compile out entirely under -DPGLB_DISABLE_TRACING.
+#if defined(PGLB_DISABLE_TRACING)
+#define PGLB_TRACE_SPAN(name, category) ((void)0)
+#define PGLB_TRACE_SPAN_ARG(name, category, arg) ((void)0)
+#else
+#define PGLB_OBS_CONCAT2(a, b) a##b
+#define PGLB_OBS_CONCAT(a, b) PGLB_OBS_CONCAT2(a, b)
+#define PGLB_TRACE_SPAN(name, category) \
+  const ::pglb::TraceSpan PGLB_OBS_CONCAT(pglb_trace_span_, __LINE__)(name, category)
+#define PGLB_TRACE_SPAN_ARG(name, category, arg) \
+  const ::pglb::TraceSpan PGLB_OBS_CONCAT(pglb_trace_span_, __LINE__)(name, category, arg)
+#endif
+
+}  // namespace pglb

@@ -2,11 +2,14 @@
 
 #include <cmath>
 
+#include "obs/trace.hpp"
+
 namespace pglb {
 
 PartitionAssignment ChunkingPartitioner::partition(const EdgeList& graph,
                                                    std::span<const double> weights,
                                                    std::uint64_t /*seed*/) const {
+  PGLB_TRACE_SPAN("partition.chunking", "partition");
   const auto shares = normalized_weights(weights);
 
   PartitionAssignment result;

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "graph/builder.hpp"
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace pglb {
@@ -11,6 +12,7 @@ namespace pglb {
 PartitionAssignment GingerPartitioner::partition(const EdgeList& graph,
                                                  std::span<const double> weights,
                                                  std::uint64_t seed) const {
+  PGLB_TRACE_SPAN("partition.ginger", "partition");
   const auto shares = normalized_weights(weights);
   const auto cum = prefix_sum(shares);
   const auto num_machines = static_cast<MachineId>(shares.size());

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace pglb {
@@ -29,6 +30,7 @@ ConstraintMask constraint_of(MachineId home, MachineId side) {
 PartitionAssignment GridPartitioner::partition(const EdgeList& graph,
                                                std::span<const double> weights,
                                                std::uint64_t seed) const {
+  PGLB_TRACE_SPAN("partition.grid", "partition");
   const auto shares = normalized_weights(weights);
   const auto num_machines = static_cast<MachineId>(shares.size());
   const auto side =

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace pglb {
@@ -11,6 +12,7 @@ namespace pglb {
 PartitionAssignment HdrfPartitioner::partition(const EdgeList& graph,
                                                std::span<const double> weights,
                                                std::uint64_t seed) const {
+  PGLB_TRACE_SPAN("partition.hdrf", "partition");
   const auto shares = normalized_weights(weights);
   const auto num_machines = static_cast<MachineId>(shares.size());
   if (num_machines > 64) throw std::invalid_argument("hdrf: at most 64 machines supported");

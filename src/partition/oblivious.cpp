@@ -3,6 +3,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace pglb {
@@ -39,6 +40,7 @@ MachineId best_in_mask(ReplicaMask mask, std::span<const EdgeId> loads,
 PartitionAssignment ObliviousPartitioner::partition(const EdgeList& graph,
                                                     std::span<const double> weights,
                                                     std::uint64_t seed) const {
+  PGLB_TRACE_SPAN("partition.oblivious", "partition");
   const auto shares = normalized_weights(weights);
   if (shares.size() > kMaxMachines) {
     throw std::invalid_argument("oblivious: at most 64 machines supported");

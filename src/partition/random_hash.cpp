@@ -1,5 +1,6 @@
 #include "partition/random_hash.hpp"
 
+#include "obs/trace.hpp"
 #include "util/hash.hpp"
 
 namespace pglb {
@@ -7,6 +8,7 @@ namespace pglb {
 PartitionAssignment RandomHashPartitioner::partition(const EdgeList& graph,
                                                      std::span<const double> weights,
                                                      std::uint64_t seed) const {
+  PGLB_TRACE_SPAN("partition.random_hash", "partition");
   const auto shares = normalized_weights(weights);
   const auto cum = prefix_sum(shares);
 

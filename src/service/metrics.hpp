@@ -1,79 +1,55 @@
 #pragma once
-// Service metrics registry: named counters plus per-stage latency histograms,
-// dumpable on demand as deterministic JSON (sorted names, fixed key order).
-//
-// Latencies are recorded into geometric buckets (8 per octave, ~9% relative
-// resolution) layered over util/histogram's ExactHistogram — bucket indices
-// are small integers, so the exact histogram machinery applies unchanged
-// while a 1 us .. 1000 s range needs only ~240 buckets.
+// Service-facing metrics facade: a thin client of the process-wide
+// observability registry (obs/registry.hpp).  Each ServiceMetrics owns its
+// own Registry so two servers in one process (tests, the load generator's
+// in-process mode) stay isolated; the counter/stage machinery, latency
+// bucketing, and deterministic JSON snapshot all live in obs.
 
 #include <cstdint>
-#include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
-#include "util/histogram.hpp"
-#include "util/stopwatch.hpp"
+#include "obs/registry.hpp"
 
 namespace pglb {
-
-class LatencyHistogram {
- public:
-  void record_seconds(double seconds);
-
-  std::uint64_t count() const noexcept { return buckets_.total(); }
-
-  /// Latency at quantile q in [0, 1], as the representative (geometric lower
-  /// bound) of the bucket containing it.  0 when empty.
-  double quantile_seconds(double q) const;
-
-  const ExactHistogram& buckets() const noexcept { return buckets_; }
-
-  /// Bucket mapping, exposed for tests: microseconds -> index and back.
-  static std::uint64_t bucket_of(double microseconds);
-  static double bucket_floor_us(std::uint64_t bucket);
-
- private:
-  ExactHistogram buckets_;  ///< value = geometric bucket index
-};
 
 class ServiceMetrics {
  public:
   /// Add `delta` to counter `name` (created on first use).
-  void count(std::string_view name, std::uint64_t delta = 1);
+  void count(std::string_view name, std::uint64_t delta = 1) {
+    registry_.count(name, delta);
+  }
 
   /// Record one latency observation for stage `stage`.
-  void observe(std::string_view stage, double seconds);
+  void observe(std::string_view stage, double seconds) {
+    registry_.observe(stage, seconds);
+  }
 
-  std::uint64_t counter(std::string_view name) const;
+  std::uint64_t counter(std::string_view name) const { return registry_.counter(name); }
 
-  /// Snapshot as one-line JSON:
-  ///   {"counters":{...},"stages":{"plan":{"count":N,"p50_us":...,...}}}
-  /// Extra top-level fields (e.g. cache stats) can be injected by the caller
-  /// via `extra`, a pre-serialized JSON fragment like "\"cache\":{...}".
-  std::string to_json(const std::string& extra = "") const;
+  /// Snapshot as one-line JSON with deterministic key ordering:
+  ///   {"counters":{...},"gauges":{...},"stages":{...}}
+  /// `extra` injects pre-serialized top-level fields (e.g. cache stats).
+  std::string to_json(const std::string& extra = "") const {
+    return registry_.to_json(extra);
+  }
+
+  /// The underlying registry, for callers that need gauges or raw snapshots.
+  Registry& registry() noexcept { return registry_; }
+  const Registry& registry() const noexcept { return registry_; }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, LatencyHistogram, std::less<>> stages_;
+  Registry registry_;
 };
 
-/// RAII stage timer: records the elapsed host time into `metrics` when it
-/// goes out of scope (no-op when metrics is null).
+/// RAII stage timer over a ServiceMetrics (no-op when metrics is null).
 class StageTimer {
  public:
-  StageTimer(ServiceMetrics* metrics, std::string_view stage);
-  ~StageTimer();
-
-  StageTimer(const StageTimer&) = delete;
-  StageTimer& operator=(const StageTimer&) = delete;
+  StageTimer(ServiceMetrics* metrics, std::string_view stage)
+      : timer_(metrics != nullptr ? &metrics->registry() : nullptr, stage) {}
 
  private:
-  ServiceMetrics* metrics_;
-  std::string stage_;
-  Stopwatch watch_;
+  ScopedTimer timer_;
 };
 
 }  // namespace pglb

@@ -11,6 +11,7 @@
 #include "cost/cost_model.hpp"
 #include "gen/alpha_solver.hpp"
 #include "machine/catalog.hpp"
+#include "obs/trace.hpp"
 #include "partition/replication_model.hpp"
 #include "partition/weights.hpp"
 
@@ -87,7 +88,10 @@ std::string Planner::profile_key(const PlanRequest& request) {
 ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
                                         AppKind app, double proxy_alpha,
                                         const std::string& key) {
-  return cache_.get(key, [&]() -> ProfileCache::EntryPtr {
+  PGLB_TRACE_SPAN("planner.profile", "planner");
+  bool computed = false;
+  auto entry_ptr = cache_.get(key, [&]() -> ProfileCache::EntryPtr {
+    computed = true;
     const StageTimer timer(metrics_, "profile");
 
     // Snapshot the proxy under the suite lock (ensure_coverage from another
@@ -127,6 +131,10 @@ ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
     }
     return entry;
   });
+  if (metrics_ != nullptr) {
+    metrics_->count(computed ? "profile_cache_misses" : "profile_cache_hits");
+  }
+  return entry_ptr;
 }
 
 PlanResponse Planner::plan(const PlanRequest& request) {

@@ -231,39 +231,9 @@ JsonValue parse_json(std::string_view text) {
   return JsonParser(text).parse_document();
 }
 
-void append_json_string(std::string& out, std::string_view value) {
-  out.push_back('"');
-  for (const char c : value) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\b': out += "\\b"; break;
-      case '\f': out += "\\f"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  out.push_back('"');
-}
-
-void append_json_number(std::string& out, double value) {
-  if (!std::isfinite(value)) {
-    out += "0";  // JSON has no inf/nan; the planner never produces them
-    return;
-  }
-  char buffer[32];
-  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), value);
-  out.append(buffer, ec == std::errc() ? end : buffer);
-}
+// append_json_string / append_json_number live in util/json.cpp — the
+// protocol shares one escaper and one number formatter with every other
+// JSON-emitting subsystem (metrics registry, Chrome-trace exporter).
 
 // --- request ---------------------------------------------------------------
 

@@ -16,6 +16,7 @@
 
 #include "machine/app_profile.hpp"
 #include "partition/factory.hpp"
+#include "util/json.hpp"
 
 namespace pglb {
 
@@ -64,12 +65,8 @@ class JsonValue {
 /// error throws ProtocolError with the byte offset.
 JsonValue parse_json(std::string_view text);
 
-/// Append `value` to `out` with JSON string escaping.
-void append_json_string(std::string& out, std::string_view value);
-
-/// Append a double in shortest round-trip form (std::to_chars): "0.35",
-/// "2.1", "1e+20" — deterministic across calls, never locale-dependent.
-void append_json_number(std::string& out, double value);
+// append_json_string / append_json_number are provided by util/json.hpp
+// (included above) — one shared escaper for every JSON emitter.
 
 // --- planning requests -----------------------------------------------------
 

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace pglb {
 
 PlanServer::PlanServer(Planner& planner, ServiceMetrics& metrics, ServerOptions options)
@@ -43,10 +45,12 @@ std::future<std::string> PlanServer::submit(std::string request_line) {
 }
 
 std::string PlanServer::handle_line(const std::string& line) {
+  PGLB_TRACE_SPAN("serve.request", "serve");
   const StageTimer total(&metrics_, "total");
   metrics_.count("requests_total");
   PlanRequest request;
   try {
+    PGLB_TRACE_SPAN("serve.parse", "serve");
     const StageTimer timer(&metrics_, "parse");
     request = parse_plan_request(line);
   } catch (const std::exception& e) {
@@ -68,17 +72,27 @@ std::string PlanServer::handle_line(const std::string& line) {
     append_json_number(extra, static_cast<double>(cache.capacity));
     extra += ",\"hit_rate\":";
     append_json_number(extra, cache.hit_rate());
+    extra += "},\"trace\":{\"enabled\":";
+    append_json_number(extra, tracing_enabled() ? 1.0 : 0.0);
+    extra += ",\"spans\":";
+    append_json_number(extra,
+                       static_cast<double>(Tracer::instance().spans_recorded()));
+    extra += ",\"dropped\":";
+    append_json_number(extra,
+                       static_cast<double>(Tracer::instance().spans_dropped()));
     extra += "}";
     return metrics_.to_json(extra);
   }
 
   PlanResponse response;
   {
+    PGLB_TRACE_SPAN("serve.plan", "serve");
     const StageTimer timer(&metrics_, "plan");
     response = planner_.plan(request);
   }
   if (!response.ok) metrics_.count("requests_failed");
 
+  PGLB_TRACE_SPAN("serve.serialize", "serve");
   const StageTimer timer(&metrics_, "serialize");
   return serialize_response(response);
 }

@@ -1,0 +1,23 @@
+#pragma once
+// Shared JSON serialization primitives.  Every subsystem that emits JSON —
+// the service protocol, the metrics registry, the Chrome-trace exporter —
+// must route strings through this one escaper so a hostile name (quotes,
+// backslashes, control characters) can never corrupt a snapshot, and numbers
+// through the one shortest-round-trip formatter so output is byte-stable and
+// locale-independent.
+
+#include <string>
+#include <string_view>
+
+namespace pglb {
+
+/// Append `value` to `out` as a quoted JSON string with full escaping
+/// (quote, backslash, \b \f \n \r \t, and \u00XX for other control bytes).
+void append_json_string(std::string& out, std::string_view value);
+
+/// Append a double in shortest round-trip form (std::to_chars): "0.35",
+/// "2.1", "1e+20" — deterministic across calls, never locale-dependent.
+/// Non-finite values serialize as 0 (JSON has no inf/nan).
+void append_json_number(std::string& out, double value);
+
+}  // namespace pglb

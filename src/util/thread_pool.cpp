@@ -6,6 +6,9 @@
 #include <exception>
 #include <mutex>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
 namespace pglb {
 
 namespace {
@@ -90,6 +93,10 @@ void ThreadPool::worker_loop() {
   const RegionGuard nested_guard;  // nested fan-outs from shards run inline
   std::unique_lock<std::mutex> lock(state_->mutex);
   while (true) {
+    // Queue wait vs run time: the gap between going idle and claiming the
+    // next region is the worker's queue wait.
+    const std::uint64_t wait_start =
+        tracing_enabled() ? Tracer::instance().now_ns() : 0;
     state_->wake.wait(lock, [&] {
       return state_->stop ||
              (state_->region != nullptr &&
@@ -100,7 +107,14 @@ void ThreadPool::worker_loop() {
     region->refs.fetch_add(1, std::memory_order_relaxed);
     lock.unlock();
 
-    execute_shards(*region);
+    if (wait_start != 0) {
+      Tracer::instance().emit_complete("pool.worker.wait", "pool", wait_start,
+                                       Tracer::instance().now_ns());
+    }
+    {
+      PGLB_TRACE_SPAN("pool.worker.run", "pool");
+      execute_shards(*region);
+    }
     {
       // Notify under the lock: once we release it the caller may destroy the
       // region, so this must be our last touch.
@@ -116,6 +130,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::run_shards(std::size_t num_shards,
                             const std::function<void(std::size_t)>& fn) {
   if (num_shards == 0) return;
+  // Counted before the serial/parallel split: run_shards is called the same
+  // way at every pool size, so these totals are thread-count-invariant.
+  global_registry().count("pool.fanouts");
+  global_registry().count("pool.shards", static_cast<std::uint64_t>(num_shards));
   if (threads_ <= 1 || num_shards == 1 || t_in_parallel_region) {
     // Serial path: same shard traversal order as the parallel one, and the
     // same region marking so nesting behaves identically at any pool size.
@@ -126,7 +144,12 @@ void ThreadPool::run_shards(std::size_t num_shards,
 
   // One fan-out owns the workers at a time; concurrent top-level callers
   // queue here instead of interleaving shards of unrelated regions.
-  std::lock_guard<std::mutex> fan_out_lock(state_->fan_out_mutex);
+  std::unique_lock<std::mutex> fan_out_lock(state_->fan_out_mutex, std::defer_lock);
+  {
+    PGLB_TRACE_SPAN("pool.wait", "pool");
+    fan_out_lock.lock();
+  }
+  PGLB_TRACE_SPAN_ARG("pool.run", "pool", static_cast<std::uint64_t>(num_shards));
 
   Region region;
   region.total = num_shards;
@@ -179,6 +202,11 @@ ThreadPool& global_pool() {
     }
     return 0u;  // auto
   }());
+  static const bool registered = [] {
+    global_registry().set_gauge("pool.threads", static_cast<double>(pool.threads()));
+    return true;
+  }();
+  (void)registered;
   return pool;
 }
 

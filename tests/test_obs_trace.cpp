@@ -1,0 +1,227 @@
+// Span tracer: disabled-span no-op, runtime toggle, concurrent emission
+// safety (run under the tsan ctest label), Chrome export validity, and the
+// tentpole invariant — tracing is purely observational, so determinism
+// goldens hold bit-for-bit with tracing on or off at any thread count.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/profiler.hpp"
+#include "gen/powerlaw.hpp"
+#include "machine/catalog.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
+#include "partition/chunking.hpp"
+#include "partition/weights.hpp"
+#include "service/protocol.hpp"
+#include "util/hash.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pglb {
+namespace {
+
+/// Restores the tracing switch on scope exit so tests compose in any order.
+struct TracingGuard {
+  TracingGuard() : previous(tracing_enabled()) {}
+  ~TracingGuard() { set_tracing_enabled(previous); }
+  bool previous;
+};
+
+std::uint64_t edge_digest(const EdgeList& g) {
+  std::uint64_t h = hash_u64(g.num_vertices(), 0xABCD);
+  for (const Edge& e : g.edges()) h = hash_combine(h, hash_edge(e.src, e.dst));
+  return h;
+}
+
+EdgeList golden_powerlaw(ThreadPool* pool) {
+  PowerLawConfig config;
+  config.num_vertices = 5000;
+  config.alpha = 2.1;
+  config.seed = 42;
+  return generate_powerlaw(config, pool);
+}
+
+TEST(TraceRuntime, DisabledSpansRecordNothing) {
+  const TracingGuard guard;
+  set_tracing_enabled(false);
+  const std::uint64_t before = Tracer::instance().spans_recorded();
+  for (int i = 0; i < 100; ++i) {
+    PGLB_TRACE_SPAN("noop", "test");
+  }
+  EXPECT_EQ(Tracer::instance().spans_recorded(), before);
+}
+
+#ifndef PGLB_DISABLE_TRACING
+
+TEST(TraceRuntime, EnabledSpansAreRecorded) {
+  const TracingGuard guard;
+  set_tracing_enabled(true);
+  const std::uint64_t before = Tracer::instance().spans_recorded();
+  {
+    PGLB_TRACE_SPAN("outer", "test");
+    PGLB_TRACE_SPAN_ARG("inner", "test", 7);
+  }
+  set_tracing_enabled(false);
+  EXPECT_EQ(Tracer::instance().spans_recorded(), before + 2);
+
+  bool saw_inner = false;
+  for (const SpanEvent& event : Tracer::instance().snapshot()) {
+    if (std::string(event.name) == "inner") {
+      saw_inner = true;
+      EXPECT_EQ(event.arg, 7u);
+      EXPECT_GE(event.end_ns, event.start_ns);
+      EXPECT_EQ(event.vtrack, -1);
+    }
+  }
+  EXPECT_TRUE(saw_inner);
+}
+
+TEST(TraceRuntime, ClearMovesTheWatermark) {
+  const TracingGuard guard;
+  set_tracing_enabled(true);
+  { PGLB_TRACE_SPAN("pre-clear", "test"); }
+  set_tracing_enabled(false);
+  ASSERT_GT(Tracer::instance().spans_recorded(), 0u);
+  Tracer::instance().clear();
+  EXPECT_EQ(Tracer::instance().spans_recorded(), 0u);
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+}
+
+// Concurrent emission from many threads while another thread snapshots: the
+// per-thread buffers must neither lose published spans nor tear records.
+// Runs under `ctest -L tsan` via scripts/check_tsan.sh.
+TEST(TraceConcurrency, ParallelEmissionIsLossless) {
+  const TracingGuard guard;
+  Tracer::instance().clear();
+  set_tracing_enabled(true);
+
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 10'000;
+  const std::uint64_t before = Tracer::instance().spans_recorded();
+
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < kThreads; ++t) {
+    emitters.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        PGLB_TRACE_SPAN("burst", "test");
+      }
+    });
+  }
+  // Concurrent readers: snapshots taken mid-emission must be well-formed.
+  for (int round = 0; round < 50; ++round) {
+    for (const SpanEvent& event : Tracer::instance().snapshot()) {
+      ASSERT_NE(event.name, nullptr);
+      ASSERT_GE(event.end_ns, event.start_ns);
+    }
+  }
+  for (std::thread& emitter : emitters) emitter.join();
+  set_tracing_enabled(false);
+
+  EXPECT_EQ(Tracer::instance().spans_recorded() - before,
+            static_cast<std::uint64_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(Tracer::instance().spans_dropped(), 0u);
+}
+
+TEST(ChromeTrace, ExportsValidSortedJson) {
+  const TracingGuard guard;
+  Tracer::instance().clear();
+  set_tracing_enabled(true);
+  {
+    PGLB_TRACE_SPAN("parent", "test");
+    PGLB_TRACE_SPAN_ARG("child", "test", 3);
+  }
+  Tracer::instance().emit_complete("virtual-span", "virtual", 1000, 2000,
+                                   kTraceNoArg, /*vtrack=*/0);
+  set_tracing_enabled(false);
+
+  const auto events = Tracer::instance().snapshot();
+  const std::string json = chrome_trace_json(events);
+  const JsonValue parsed = parse_json(json);  // throws on malformed output
+  const JsonValue* trace_events = parsed.find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+
+  bool saw_host_meta = false, saw_virtual_meta = false, saw_span = false;
+  for (const JsonValue& event : trace_events->as_array()) {
+    const std::string ph = event.find("ph")->as_string();
+    if (ph == "M") {
+      const double pid = event.find("pid")->as_number();
+      saw_host_meta = saw_host_meta || pid == 1.0;
+      saw_virtual_meta = saw_virtual_meta || pid == 2.0;
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    EXPECT_GE(event.find("ts")->as_number(), 0.0);
+    EXPECT_GE(event.find("dur")->as_number(), 0.0);
+    saw_span = true;
+  }
+  EXPECT_TRUE(saw_host_meta);
+  EXPECT_TRUE(saw_virtual_meta);
+  EXPECT_TRUE(saw_span);
+  EXPECT_EQ(json, chrome_trace_json(events));  // byte-stable for a span set
+}
+
+// The mini-pipeline of the acceptance criterion: profiling, a partitioner
+// pass, and a virtual engine run must each leave their spans in the trace.
+TEST(ChromeTrace, PipelineStagesLeaveSpans) {
+  const TracingGuard guard;
+  Tracer::instance().clear();
+  set_tracing_enabled(true);
+
+  ThreadPool pool(2);
+  const EdgeList graph = golden_powerlaw(&pool);
+  profile_single_machine(machine_by_name("xeon_server_s"), AppKind::kPageRank,
+                         graph, 0.002);
+  const ChunkingPartitioner partitioner;
+  partitioner.partition(graph, uniform_weights(2), 1);
+  set_tracing_enabled(false);
+
+  bool saw_profile = false, saw_partition = false, saw_superstep = false;
+  for (const SpanEvent& event : Tracer::instance().snapshot()) {
+    const std::string name = event.name;
+    saw_profile = saw_profile || name == "profile.cell";
+    saw_partition = saw_partition || name == "partition.chunking";
+    saw_superstep = saw_superstep || name == "engine.superstep";
+  }
+  EXPECT_TRUE(saw_profile);
+  EXPECT_TRUE(saw_partition);
+  EXPECT_TRUE(saw_superstep);
+}
+
+#endif  // PGLB_DISABLE_TRACING
+
+// The tentpole invariant: tracing is purely observational.  The generator
+// golden (from test_parallel_determinism) must hold bit-for-bit with tracing
+// enabled at every thread count.
+TEST(TraceDeterminism, GoldensHoldWithTracingEnabled) {
+  const TracingGuard guard;
+  for (const bool enabled : {false, true}) {
+    set_tracing_enabled(enabled);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      const EdgeList g = golden_powerlaw(&pool);
+      EXPECT_EQ(g.num_edges(), 19128u) << enabled << "/" << threads;
+      EXPECT_EQ(edge_digest(g), 0x9a127e2dd78af95full) << enabled << "/" << threads;
+    }
+  }
+}
+
+TEST(TraceDeterminism, ProfilerMatchesWithTracingToggled) {
+  const TracingGuard guard;
+  ThreadPool pool(4);
+  const EdgeList graph = golden_powerlaw(&pool);
+
+  set_tracing_enabled(false);
+  const double reference = profile_single_machine(
+      machine_by_name("xeon_server_s"), AppKind::kPageRank, graph, 0.002);
+  set_tracing_enabled(true);
+  const double traced = profile_single_machine(
+      machine_by_name("xeon_server_s"), AppKind::kPageRank, graph, 0.002);
+  set_tracing_enabled(false);
+  EXPECT_EQ(traced, reference);  // exact bit equality
+}
+
+}  // namespace
+}  // namespace pglb

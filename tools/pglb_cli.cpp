@@ -30,6 +30,8 @@
 #include "graph/io.hpp"
 #include "graph/relabel.hpp"
 #include "machine/catalog.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "partition/weights.hpp"
 #include "util/cli.hpp"
 #include "util/histogram.hpp"
@@ -308,6 +310,7 @@ int cmd_run(const Cli& cli) {
   }
 
   const FlowResult result = run_flow(graph, app, cluster, *estimator, options);
+  append_trace_spans(result.app.report);
   std::cout << result.app.report.summary() << "\n";
   std::cout << "result digest: " << result.app.digest << "\n";
   std::cout << "replication factor: " << format_double(result.replication_factor, 3)
@@ -347,20 +350,33 @@ int usage() {
 
 }  // namespace
 
+int dispatch(const std::string& command, const Cli& cli) {
+  if (command == "generate") return cmd_generate(cli);
+  if (command == "stats") return cmd_stats(cli);
+  if (command == "alpha") return cmd_alpha(cli);
+  if (command == "machines") return cmd_machines(cli);
+  if (command == "profile") return cmd_profile(cli);
+  if (command == "partition") return cmd_partition(cli);
+  if (command == "run") return cmd_run(cli);
+  if (command == "relabel") return cmd_relabel(cli);
+  return usage();
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
   const Cli cli(argc - 1, argv + 1);
   try {
-    if (command == "generate") return cmd_generate(cli);
-    if (command == "stats") return cmd_stats(cli);
-    if (command == "alpha") return cmd_alpha(cli);
-    if (command == "machines") return cmd_machines(cli);
-    if (command == "profile") return cmd_profile(cli);
-    if (command == "partition") return cmd_partition(cli);
-    if (command == "run") return cmd_run(cli);
-    if (command == "relabel") return cmd_relabel(cli);
-    return usage();
+    // --trace-out=FILE on any command: record spans for the whole invocation
+    // and export them as a Chrome trace (chrome://tracing, Perfetto).
+    const std::string trace_out = cli.get_string("trace-out", "");
+    if (!trace_out.empty()) set_tracing_enabled(true);
+    const int status = dispatch(command, cli);
+    if (!trace_out.empty()) {
+      write_chrome_trace(trace_out);
+      std::cerr << "trace written to " << trace_out << "\n";
+    }
+    return status;
   } catch (const std::exception& e) {
     std::cerr << "pglb " << command << ": " << e.what() << "\n";
     return 1;

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
@@ -68,7 +69,29 @@ struct LoadReport {
   double cache_hits = 0.0;
   double cache_misses = 0.0;
   double cache_hit_rate = 0.0;
+  /// Per-service counters (requests_total, profile_cache_*); in-process only.
+  std::vector<std::pair<std::string, std::uint64_t>> service_counters;
 };
+
+/// Nonzero counter deltas of the process-wide registry across the run — what
+/// the planner's pipeline actually did (proxy generation, profiling fan-out,
+/// pool usage) as opposed to per-request service accounting.
+std::vector<std::pair<std::string, std::uint64_t>> counter_deltas(
+    const std::vector<std::pair<std::string, std::uint64_t>>& before,
+    const std::vector<std::pair<std::string, std::uint64_t>>& after) {
+  std::vector<std::pair<std::string, std::uint64_t>> deltas;
+  for (const auto& [name, value] : after) {
+    std::uint64_t prior = 0;
+    for (const auto& [b_name, b_value] : before) {
+      if (b_name == name) {
+        prior = b_value;
+        break;
+      }
+    }
+    if (value > prior) deltas.emplace_back(name, value - prior);
+  }
+  return deltas;
+}
 
 double percentile(std::vector<double>& sorted, double q) {
   if (sorted.empty()) return 0.0;
@@ -117,6 +140,7 @@ LoadReport run_in_process(std::size_t requests, int threads, std::size_t distinc
   report.cache_hits = static_cast<double>(cache.hits);
   report.cache_misses = static_cast<double>(cache.misses);
   report.cache_hit_rate = cache.hit_rate();
+  report.service_counters = metrics.registry().counters();
   return report;
 }
 
@@ -252,6 +276,8 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    const auto registry_before = global_registry().counters();
+
     LoadReport report;
     if (server_path.empty()) {
       report = run_in_process(requests, threads, distinct, planner_options,
@@ -284,6 +310,19 @@ int main(int argc, char** argv) {
     table.row().cell("cache misses").cell(report.cache_misses, 0);
     table.row().cell("cache hit rate").cell(format_percent(report.cache_hit_rate));
     table.print(std::cout);
+
+    const auto deltas = counter_deltas(registry_before, global_registry().counters());
+    if (!deltas.empty() || !report.service_counters.empty()) {
+      Table counters({"counter", "delta"});
+      for (const auto& [name, value] : deltas) {
+        counters.row().cell(name).cell(value);
+      }
+      for (const auto& [name, value] : report.service_counters) {
+        counters.row().cell("service." + name).cell(value);
+      }
+      std::cout << "\n";
+      counters.print(std::cout);
+    }
 
     return report.failed == 0 ? 0 : 1;
   } catch (const std::exception& e) {

@@ -13,9 +13,13 @@
 //
 // A line {"type":"metrics"} returns the metrics registry (request counts,
 // per-stage latency percentiles, profile-cache hit rate) without planning.
+// --trace-out=FILE records spans for the whole run and writes a Chrome trace
+// at EOF (stdin mode); see docs/OBSERVABILITY.md.
 
 #include <iostream>
 
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
 
@@ -88,6 +92,8 @@ int main(int argc, char** argv) {
 
     const bool dump_metrics = cli.get_bool("dump-metrics", false);
     const int port = static_cast<int>(cli.get_int("listen", 0));
+    const std::string trace_out = cli.get_string("trace-out", "");
+    if (!trace_out.empty()) set_tracing_enabled(true);
 
     const auto unused = cli.unused_keys();
     if (!unused.empty()) {
@@ -119,6 +125,10 @@ int main(int argc, char** argv) {
       append_json_number(extra, cache.hit_rate());
       extra += "}";
       std::cerr << metrics.to_json(extra) << "\n";
+    }
+    if (!trace_out.empty()) {
+      write_chrome_trace(trace_out);
+      std::cerr << "pglb_serve: trace written to " << trace_out << "\n";
     }
     return 0;
   } catch (const std::exception& e) {

@@ -23,6 +23,20 @@ run_step(${PGLB} run --graph=${graph} --app=pagerank
          --machines=xeon_server_s,xeon_server_l --estimator=ccr --pool=${pool}
          --algorithm=hybrid --scale=0.001)
 
+# Chrome-trace export: an oracle run profiles inline, so one invocation emits
+# profiler, partitioner, and engine spans into a single valid trace file.
+set(trace ${WORKDIR}/smoke_trace.json)
+run_step(${PGLB} run --graph=${graph} --app=pagerank
+         --machines=xeon_server_s,xeon_server_l --estimator=oracle
+         --algorithm=hybrid --scale=0.001 --trace-out=${trace})
+file(READ ${trace} trace_json)
+foreach(needle "\"traceEvents\"" "profile.cell" "partition.hybrid" "engine.superstep")
+  if(NOT trace_json MATCHES "${needle}")
+    message(FATAL_ERROR "trace file is missing ${needle}")
+  endif()
+endforeach()
+file(REMOVE ${trace})
+
 # Format conversions + relabelling round trip.
 set(mtx ${WORKDIR}/smoke_graph.mtx)
 set(relabelled ${WORKDIR}/smoke_relabel.bin)
@@ -41,6 +55,7 @@ if(PGLB_SERVE)
 "{\"id\":\"s1\",\"app\":\"pagerank\",\"machines\":[\"xeon_server_s\",\"xeon_server_l\"],\"vertices\":1000000,\"edges\":10000000}
 {\"id\":\"s2\",\"app\":\"coloring\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"alpha\":2.1}
 {\"id\":\"s3\",\"app\":\"pagerank\",\"machines\":[\"no_such_machine\"],\"alpha\":2.1}
+{\"type\":\"metrics\"}
 ")
   execute_process(COMMAND ${PGLB_SERVE} --threads=2 --scale=0.002
                   INPUT_FILE ${requests} OUTPUT_FILE ${responses}
@@ -50,8 +65,8 @@ if(PGLB_SERVE)
   endif()
   file(STRINGS ${responses} response_lines)
   list(LENGTH response_lines num_responses)
-  if(NOT num_responses EQUAL 3)
-    message(FATAL_ERROR "expected 3 service responses, got ${num_responses}")
+  if(NOT num_responses EQUAL 4)
+    message(FATAL_ERROR "expected 4 service responses, got ${num_responses}")
   endif()
   foreach(pair "0;s1;ok" "1;s2;ok" "2;s3;error")
     list(GET pair 0 index)
@@ -60,6 +75,13 @@ if(PGLB_SERVE)
     list(GET response_lines ${index} line)
     if(NOT line MATCHES "\"id\":\"${id}\",\"status\":\"${status}\"")
       message(FATAL_ERROR "response ${index} should be id=${id} status=${status}: ${line}")
+    endif()
+  endforeach()
+  # The metrics exposition must report the served requests and cache state.
+  list(GET response_lines 3 metrics_line)
+  foreach(needle "\"counters\"" "\"requests_total\":" "\"cache\"" "\"hits\"" "\"misses\"" "\"trace\"")
+    if(NOT metrics_line MATCHES "${needle}")
+      message(FATAL_ERROR "metrics response is missing ${needle}: ${metrics_line}")
     endif()
   endforeach()
   file(REMOVE ${requests} ${responses})
