@@ -2,8 +2,9 @@
 # ThreadSanitizer gate for the thread-pool and service concurrency code.
 #
 # Configures a dedicated build tree with -DPGLB_SANITIZE=thread, builds the
-# tsan-labelled test binaries, and runs `ctest -L tsan`.  Run from the repo
-# root:
+# tsan- and fault-labelled test binaries, and runs `ctest -L "tsan|fault"` —
+# the fault-injection suite exercises exactly the cross-thread cancellation
+# and breaker paths tsan is here to watch.  Run from the repo root:
 #
 #   scripts/check_tsan.sh [build-dir]
 #
@@ -16,6 +17,7 @@ BUILD_DIR="${1:-build-tsan}"
 
 cmake -B "$BUILD_DIR" -S . -DPGLB_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target test_thread_pool test_parallel_determinism test_service_server test_obs_trace
-ctest --test-dir "$BUILD_DIR" -L tsan --output-on-failure -j"$(nproc)"
-echo "check_tsan: all tsan-labelled tests passed"
+  --target test_thread_pool test_parallel_determinism test_service_server \
+           test_obs_trace test_resilience test_service_resilience
+ctest --test-dir "$BUILD_DIR" -L 'tsan|fault' --output-on-failure -j"$(nproc)"
+echo "check_tsan: all tsan- and fault-labelled tests passed"

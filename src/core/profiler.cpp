@@ -9,15 +9,23 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "partition/random_hash.hpp"
+#include "util/fault.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pglb {
 
 double profile_single_machine(const MachineSpec& spec, AppKind app,
-                              const EdgeList& graph, double scale) {
+                              const EdgeList& graph, double scale,
+                              const CancelToken* cancel) {
   // One profiling cell = one single-machine virtual execution; the span and
   // counter cover every caller (suite profiling, oracle estimation, the
-  // planning service's per-class fan-out).
+  // planning service's per-class fan-out).  Cancellation is checked at cell
+  // granularity: a cell that has started always completes (its output is
+  // bit-identical to an undeadlined run), and a stuck cell is simulated by
+  // the "profiler.cell" fault site rather than interrupted for real.
+  check_cancel(cancel, "profiler.cell");
+  fault_point("profiler.cell");
+  check_cancel(cancel, "profiler.cell");  // a stall may have eaten the budget
   PGLB_TRACE_SPAN("profile.cell", "profiler");
   global_registry().count("profiler.cells");
   const Cluster solo{std::vector<MachineSpec>{spec}};
@@ -94,13 +102,15 @@ std::vector<double> CcrPool::mean_ccr_for(AppKind app) const {
 }
 
 CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
-                        std::span<const AppKind> apps, ThreadPool* thread_pool) {
+                        std::span<const AppKind> apps, ThreadPool* thread_pool,
+                        const CancelToken* cancel) {
   PGLB_TRACE_SPAN("profile.cluster", "profiler");
   const auto groups = group_machines(cluster);
   const auto proxies = suite.proxies();
 
   // Flatten the (app, proxy, group) fan-out: every cell is an independent
-  // single-machine virtual execution writing its own slot.
+  // single-machine virtual execution writing its own slot.  A CancelledError
+  // (or injected fault) from any cell is rethrown by the fan-out.
   const std::size_t cells = apps.size() * proxies.size() * groups.size();
   std::vector<double> times(cells, 0.0);
   parallel_for(pool_or_global(thread_pool), cells, 1,
@@ -110,7 +120,8 @@ CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
                    const std::size_t p = (cell / groups.size()) % proxies.size();
                    const std::size_t a = cell / (groups.size() * proxies.size());
                    times[cell] = profile_single_machine(groups[g].representative, apps[a],
-                                                        proxies[p].graph, suite.scale());
+                                                        proxies[p].graph, suite.scale(),
+                                                        cancel);
                  }
                });
 
@@ -133,14 +144,16 @@ CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
 
 std::vector<double> profile_groups_on_graph(const Cluster& cluster, AppKind app,
                                             const EdgeList& graph, double scale,
-                                            ThreadPool* thread_pool) {
+                                            ThreadPool* thread_pool,
+                                            const CancelToken* cancel) {
   PGLB_TRACE_SPAN("profile.groups", "profiler");
   const auto groups = group_machines(cluster);
   std::vector<double> times(groups.size(), 0.0);
   parallel_for(pool_or_global(thread_pool), groups.size(), 1,
                [&](std::size_t begin, std::size_t end) {
                  for (std::size_t g = begin; g < end; ++g) {
-                   times[g] = profile_single_machine(groups[g].representative, app, graph, scale);
+                   times[g] = profile_single_machine(groups[g].representative, app, graph,
+                                                     scale, cancel);
                  }
                });
   return times;

@@ -11,6 +11,7 @@
 #include "cluster/groups.hpp"
 #include "core/proxy_suite.hpp"
 #include "machine/app_profile.hpp"
+#include "util/deadline.hpp"
 
 namespace pglb {
 
@@ -29,8 +30,11 @@ inline constexpr std::uint64_t kProfilingPartitionSeed = 0;
 /// Virtual-time runtime of `app` on `graph` executed on a single machine of
 /// type `spec` (a one-machine cluster: no mirrors, no communication).
 /// `scale` is the down-scaling factor of `graph` for trait re-inflation.
+/// Each cell checks `cancel` before running (cooperative deadline support)
+/// and carries the "profiler.cell" fault-injection site.
 double profile_single_machine(const MachineSpec& spec, AppKind app,
-                              const EdgeList& graph, double scale);
+                              const EdgeList& graph, double scale,
+                              const CancelToken* cancel = nullptr);
 
 /// The CCR pool (Fig. 7a right): per application and proxy distribution, the
 /// profiled per-group runtimes; queried by the flow with the input graph's
@@ -72,13 +76,17 @@ class CcrPool {
 /// so cells fan out over `pool` (nullptr = the global pool); results land in
 /// per-cell slots and are assembled in the serial iteration order, so the
 /// pool is bit-identical at any thread count.
+/// `cancel` is polled per cell; a fired token aborts the remaining cells and
+/// rethrows CancelledError from the fan-out.
 CcrPool profile_cluster(const Cluster& cluster, const ProxySuite& suite,
-                        std::span<const AppKind> apps, ThreadPool* pool = nullptr);
+                        std::span<const AppKind> apps, ThreadPool* pool = nullptr,
+                        const CancelToken* cancel = nullptr);
 
 /// Profile using an arbitrary graph instead of the proxies (the "real graph"
 /// CCR of Fig. 8, and the oracle estimator).  Returns per-group times.
 std::vector<double> profile_groups_on_graph(const Cluster& cluster,
                                             AppKind app, const EdgeList& graph,
-                                            double scale, ThreadPool* pool = nullptr);
+                                            double scale, ThreadPool* pool = nullptr,
+                                            const CancelToken* cancel = nullptr);
 
 }  // namespace pglb

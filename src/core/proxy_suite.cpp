@@ -7,6 +7,7 @@
 #include "gen/powerlaw.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,7 +36,13 @@ ProxySuite::ProxySuite(double scale, std::uint64_t seed, ThreadPool* pool)
 }
 
 ProxySuite::Proxy ProxySuite::make_proxy(double alpha, std::uint64_t seed,
-                                         ThreadPool* pool) const {
+                                         ThreadPool* pool,
+                                         const CancelToken* cancel) const {
+  // Cancellation is checked once up front: generation either runs to
+  // completion (output identical to an undeadlined run) or never starts.
+  check_cancel(cancel, "proxy.gen");
+  fault_point("proxy.gen");
+  check_cancel(cancel, "proxy.gen");  // a stall may have eaten the budget
   // arg = alpha in milli-units (spans carry one integer payload).
   PGLB_TRACE_SPAN_ARG("proxy.generate", "proxy",
                       static_cast<std::uint64_t>(alpha * 1000.0));
@@ -52,9 +59,9 @@ ProxySuite::Proxy ProxySuite::make_proxy(double alpha, std::uint64_t seed,
   return proxy;
 }
 
-void ProxySuite::add_proxy(double alpha) {
+void ProxySuite::add_proxy(double alpha, const CancelToken* cancel) {
   const Stopwatch timer;
-  proxies_.push_back(make_proxy(alpha, seed_ + proxies_.size(), nullptr));
+  proxies_.push_back(make_proxy(alpha, seed_ + proxies_.size(), nullptr, cancel));
   generation_seconds_ += timer.seconds();
 }
 
@@ -72,11 +79,12 @@ const ProxySuite::Proxy& ProxySuite::nearest(double alpha) const {
   return *best;
 }
 
-const ProxySuite::Proxy& ProxySuite::ensure_coverage(double alpha) {
+const ProxySuite::Proxy& ProxySuite::ensure_coverage(double alpha,
+                                                     const CancelToken* cancel) {
   double best_gap = std::numeric_limits<double>::infinity();
   for (const Proxy& p : proxies_) best_gap = std::min(best_gap, std::abs(p.alpha - alpha));
   if (best_gap > kCoverageMargin) {
-    add_proxy(alpha);
+    add_proxy(alpha, cancel);
     return proxies_.back();
   }
   return nearest(alpha);

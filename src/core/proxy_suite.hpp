@@ -8,6 +8,7 @@
 
 #include "gen/corpus.hpp"
 #include "graph/stats.hpp"
+#include "util/deadline.hpp"
 
 namespace pglb {
 
@@ -39,16 +40,19 @@ class ProxySuite {
   static constexpr double kCoverageMargin = 0.25;
 
   /// Return the nearest proxy, generating a new one first if `alpha` is
-  /// outside the covered range.
-  const Proxy& ensure_coverage(double alpha);
+  /// outside the covered range.  `cancel` is polled before any on-demand
+  /// generation starts (the "proxy.gen" site), so a deadlined request never
+  /// pays for a proxy it cannot use.
+  const Proxy& ensure_coverage(double alpha, const CancelToken* cancel = nullptr);
 
   /// Host seconds spent generating proxies so far (the paper reports 67 s for
   /// its three full-size proxies).
   double generation_seconds() const noexcept { return generation_seconds_; }
 
  private:
-  Proxy make_proxy(double alpha, std::uint64_t seed, ThreadPool* pool) const;
-  void add_proxy(double alpha);
+  Proxy make_proxy(double alpha, std::uint64_t seed, ThreadPool* pool,
+                   const CancelToken* cancel = nullptr) const;
+  void add_proxy(double alpha, const CancelToken* cancel = nullptr);
 
   double scale_ = 1.0;
   std::uint64_t seed_ = 0;

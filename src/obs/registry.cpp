@@ -65,6 +65,12 @@ double Registry::gauge(std::string_view name) const {
   return it != gauges_.end() ? it->second : 0.0;
 }
 
+double Registry::stage_quantile_seconds(std::string_view stage, double q) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(stage);
+  return it != stages_.end() ? it->second.quantile_seconds(q) : 0.0;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {counters_.begin(), counters_.end()};

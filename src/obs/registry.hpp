@@ -64,6 +64,11 @@ class Registry {
   std::uint64_t counter(std::string_view name) const;
   double gauge(std::string_view name) const;
 
+  /// Latency at quantile `q` for stage `stage`, or 0 when the stage has no
+  /// observations yet.  Admission control uses p50("total") to size its
+  /// suggested retry-after.
+  double stage_quantile_seconds(std::string_view stage, double q) const;
+
   /// Sorted (name, value) snapshot of every counter — the stable order
   /// pglb_loadgen prints registry deltas in.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "obs/trace.hpp"
+#include "util/deadline.hpp"
 #include "util/hash.hpp"
 
 namespace pglb {
@@ -27,6 +28,8 @@ PartitionAssignment HdrfPartitioner::partition(const EdgeList& graph,
 
   EdgeId index = 0;
   for (const Edge& e : graph.edges()) {
+    // Amortized ambient deadline poll (see docs/ROBUSTNESS.md).
+    if ((index & 0x3FFF) == 0) poll_cancellation("partition.hdrf");
     ++partial_degree[e.src];
     ++partial_degree[e.dst];
     const double du = static_cast<double>(partial_degree[e.src]);

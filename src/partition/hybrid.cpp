@@ -1,6 +1,7 @@
 #include "partition/hybrid.hpp"
 
 #include "obs/trace.hpp"
+#include "util/deadline.hpp"
 #include "util/hash.hpp"
 
 namespace pglb {
@@ -22,6 +23,9 @@ PartitionAssignment HybridPartitioner::partition(const EdgeList& graph,
 
   EdgeId index = 0;
   for (const Edge& e : graph.edges()) {
+    // Amortized ambient deadline poll; the assignment produced so far is
+    // discarded on cancellation, so determinism is unaffected.
+    if ((index & 0x3FFF) == 0) poll_cancellation("partition.hybrid");
     const bool high_degree = in_degree[e.dst] > options_.high_degree_threshold;
     // Low-degree: group with the target (edge cut).  High-degree: scatter by
     // source (vertex cut).  Both use the weight-biased hash.

@@ -11,6 +11,7 @@
 #include "cost/cost_model.hpp"
 #include "gen/alpha_solver.hpp"
 #include "machine/catalog.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "partition/replication_model.hpp"
 #include "partition/weights.hpp"
@@ -23,7 +24,7 @@ Planner::Planner(PlannerOptions options, ServiceMetrics* metrics)
       owned_pool_(options.threads > 0 ? std::make_unique<ThreadPool>(options.threads)
                                       : nullptr),
       suite_(options.proxy_scale, options.proxy_seed, owned_pool_.get()),
-      cache_(options.cache_capacity) {}
+      cache_(options.cache_capacity, options.breaker) {}
 
 namespace {
 
@@ -56,9 +57,9 @@ PartitionerKind recommend_partitioner(const PlanRequest& request,
 
 }  // namespace
 
-double Planner::resolve_proxy_alpha(double alpha) {
+double Planner::resolve_proxy_alpha(double alpha, const CancelToken* cancel) {
   std::lock_guard<std::mutex> lock(suite_mutex_);
-  return suite_.ensure_coverage(alpha).alpha;
+  return suite_.ensure_coverage(alpha, cancel).alpha;
 }
 
 double Planner::request_alpha(const PlanRequest& request) {
@@ -87,7 +88,8 @@ std::string Planner::profile_key(const PlanRequest& request) {
 
 ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
                                         AppKind app, double proxy_alpha,
-                                        const std::string& key) {
+                                        const std::string& key,
+                                        const CancelToken* cancel) {
   PGLB_TRACE_SPAN("planner.profile", "planner");
   bool computed = false;
   auto entry_ptr = cache_.get(key, [&]() -> ProfileCache::EntryPtr {
@@ -120,7 +122,8 @@ ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
                  [&](std::size_t begin, std::size_t end) {
                    for (std::size_t i = begin; i < end; ++i) {
                      class_seconds[i] = profile_single_machine(
-                         machine_by_name(classes[i]), app, proxy_graph, options_.proxy_scale);
+                         machine_by_name(classes[i]), app, proxy_graph,
+                         options_.proxy_scale, cancel);
                    }
                  });
     for (std::size_t i = 0; i < classes.size(); ++i) {
@@ -130,25 +133,83 @@ ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
       metrics_->count("profile_runs", classes.size());
     }
     return entry;
-  });
+  }, cancel);
   if (metrics_ != nullptr) {
     metrics_->count(computed ? "profile_cache_misses" : "profile_cache_hits");
   }
   return entry_ptr;
 }
 
+PlanResponse Planner::degraded_plan(const PlanRequest& request,
+                                    const Cluster& cluster, double alpha,
+                                    double proxy_alpha) {
+  // CCR-free fallback (ISSUE: graceful degradation).  The weights are the
+  // thread-count heuristic of LeBeane et al. — computed by the very same
+  // thread_count_weights() the ThreadCountEstimator baseline uses, so a
+  // degraded plan is bit-identical to that baseline.  Predicted
+  // makespan/energy/cost stay 0: without a profile there is nothing honest to
+  // predict, and clients must not mistake a heuristic plan for a modelled one.
+  PlanResponse response;
+  response.id = request.id;
+  response.ok = true;
+  response.status = PlanStatus::kOk;
+  response.app = to_string(request.app);
+  response.fitted_alpha = alpha;
+  response.proxy_alpha = proxy_alpha;
+  try {
+    response.weights = thread_count_weights(cluster);
+    // Pseudo-CCR proportional to thread counts (slowest class = 1.0, matching
+    // the Eq. 1 convention) so downstream consumers see a consistent shape.
+    double min_threads = std::numeric_limits<double>::infinity();
+    for (const MachineSpec& machine : cluster.machines()) {
+      min_threads = std::min(min_threads, static_cast<double>(machine.compute_threads));
+    }
+    response.ccr.reserve(cluster.size());
+    for (const MachineSpec& machine : cluster.machines()) {
+      response.ccr.push_back(static_cast<double>(machine.compute_threads) / min_threads);
+    }
+    response.degraded = "thread_count";
+  } catch (const std::exception&) {
+    response.weights = uniform_weights(cluster.size());
+    response.ccr.assign(cluster.size(), 1.0);
+    response.degraded = "uniform";
+  }
+  response.partitioner = to_string(recommend_partitioner(request, cluster.size()));
+  if (metrics_ != nullptr) metrics_->count("planner.degraded");
+  global_registry().count("planner.degraded");
+  return response;
+}
+
 PlanResponse Planner::plan(const PlanRequest& request) {
   PlanResponse response;
   response.id = request.id;
+  // Arm the request's cooperative deadline.  The token travels two ways:
+  // explicitly into the profiling fan-out (thread-locals do not cross pool
+  // workers) and ambiently via CancelScope for poll_cancellation() sites on
+  // this thread (partitioner loops).
+  const std::uint64_t timeout_ms =
+      request.timeout_ms ? *request.timeout_ms : options_.default_timeout_ms;
+  const CancelToken token(timeout_ms > 0 ? Deadline::after_ms(timeout_ms)
+                                         : Deadline::never());
+  const CancelScope scope(token);
   try {
     const Cluster cluster = cluster_from_names(request.machines);
     const double alpha = request_alpha(request);
-    const double proxy_alpha = resolve_proxy_alpha(alpha);
-
-    const auto classes = machine_classes(request.machines);
-    const std::string key = join_classes(classes) + "|" + to_string(request.app) +
-                            "|" + canonical_alpha(proxy_alpha);
-    const ProfileCache::EntryPtr entry = profile(classes, request.app, proxy_alpha, key);
+    double proxy_alpha = 0.0;
+    ProfileCache::EntryPtr entry;
+    try {
+      proxy_alpha = resolve_proxy_alpha(alpha, &token);
+      const auto classes = machine_classes(request.machines);
+      const std::string key = join_classes(classes) + "|" + to_string(request.app) +
+                              "|" + canonical_alpha(proxy_alpha);
+      entry = profile(classes, request.app, proxy_alpha, key, &token);
+    } catch (const CancelledError&) {
+      throw;  // deadline expiry is a typed timeout, never a degraded plan
+    } catch (const std::exception&) {
+      // Profiling failed (injected fault, generator error, breaker open):
+      // fall back rather than fail — a heuristic plan beats no plan.
+      return degraded_plan(request, cluster, alpha, proxy_alpha);
+    }
 
     // Expand per-class proxy runtimes to the cluster's machine order.
     std::vector<double> times(cluster.size(), 0.0);
@@ -163,6 +224,7 @@ PlanResponse Planner::plan(const PlanRequest& request) {
     }
 
     response.ok = true;
+    response.status = PlanStatus::kOk;
     response.app = to_string(request.app);
     response.fitted_alpha = alpha;
     response.proxy_alpha = proxy_alpha;
@@ -193,10 +255,19 @@ PlanResponse Planner::plan(const PlanRequest& request) {
     }
     response.energy_joules = makespan * total_watts;
     response.cost_usd = cluster_cost_per_task(cluster, makespan);
+  } catch (const CancelledError& e) {
+    response = PlanResponse{};
+    response.id = request.id;
+    response.ok = false;
+    response.status = PlanStatus::kTimeout;
+    response.error = e.what();
+    if (metrics_ != nullptr) metrics_->count("service.timeouts");
+    global_registry().count("service.timeouts");
   } catch (const std::exception& e) {
     response = PlanResponse{};
     response.id = request.id;
     response.ok = false;
+    response.status = PlanStatus::kError;
     response.error = e.what();
     if (metrics_ != nullptr) metrics_->count("plan_errors");
   }

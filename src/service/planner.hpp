@@ -25,6 +25,8 @@
 
 namespace pglb {
 
+class Cluster;
+
 struct PlannerOptions {
   /// Proxy down-scaling factor (trait re-inflation keeps predictions at
   /// paper scale; smaller = cheaper profiling on a miss).
@@ -36,6 +38,12 @@ struct PlannerOptions {
   /// gives this planner its own pool of that size.  Responses are
   /// bit-identical at any setting.
   unsigned threads = 0;
+  /// Deadline applied to requests that carry no timeout_ms of their own.
+  /// 0 = no deadline (docs/ROBUSTNESS.md).
+  std::uint64_t default_timeout_ms = 0;
+  /// Per-profile-key circuit breaker configuration (threshold, cooldown,
+  /// injectable clock) — forwarded to the profile cache.
+  BreakerOptions breaker;
 };
 
 class Planner {
@@ -46,6 +54,14 @@ class Planner {
   /// come back as error responses; this never throws for bad requests.
   /// Thread-safe; concurrent calls that miss on the same profile key block
   /// on a single profiling run (single-flight).
+  ///
+  /// Resilience semantics (docs/ROBUSTNESS.md):
+  ///  - the request's timeout_ms (or options.default_timeout_ms) arms a
+  ///    cooperative deadline; expiry yields a typed "timeout" response;
+  ///  - a profiling failure, injected fault, or open circuit breaker yields a
+  ///    DEGRADED ok-response: thread-count heuristic weights (bit-identical
+  ///    to the ThreadCountEstimator baseline) stamped degraded="thread_count"
+  ///    (or "uniform" if even the heuristic fails).
   PlanResponse plan(const PlanRequest& request);
 
   /// Stable cache key a request resolves to: "class+class|app|alpha" with
@@ -63,7 +79,7 @@ class Planner {
  private:
   /// Resolve the proxy that covers `alpha` (generating one on demand) and
   /// return its alpha.  Guarded by suite_mutex_.
-  double resolve_proxy_alpha(double alpha);
+  double resolve_proxy_alpha(double alpha, const CancelToken* cancel = nullptr);
 
   /// The request's alpha: given directly, or fitted from (V, E).  The Newton
   /// solve behind fit_alpha_clamped costs O(support) per iteration, so fitted
@@ -72,7 +88,13 @@ class Planner {
   double request_alpha(const PlanRequest& request);
 
   ProfileCache::EntryPtr profile(const std::vector<std::string>& classes, AppKind app,
-                                 double proxy_alpha, const std::string& key);
+                                 double proxy_alpha, const std::string& key,
+                                 const CancelToken* cancel = nullptr);
+
+  /// Fallback plan when profiling is unavailable (failure, fault, breaker
+  /// open): thread-count weights, or uniform if even those fail.
+  PlanResponse degraded_plan(const PlanRequest& request, const Cluster& cluster,
+                             double alpha, double proxy_alpha);
 
   PlannerOptions options_;
   ServiceMetrics* metrics_;

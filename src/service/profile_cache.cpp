@@ -1,17 +1,71 @@
 #include "service/profile_cache.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "util/fault.hpp"
 
 namespace pglb {
 
-ProfileCache::ProfileCache(std::size_t capacity) : capacity_(capacity) {
+ProfileCache::ProfileCache(std::size_t capacity, BreakerOptions breaker)
+    : capacity_(capacity), breaker_options_(std::move(breaker)) {
   if (capacity == 0) {
     throw std::invalid_argument("ProfileCache: capacity must be positive");
+  }
+  if (breaker_options_.failure_threshold <= 0) {
+    throw std::invalid_argument("ProfileCache: failure_threshold must be positive");
+  }
+}
+
+std::uint64_t ProfileCache::now_ms() const {
+  if (breaker_options_.clock_ms) return breaker_options_.clock_ms();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void ProfileCache::admit_or_reject(const std::string& key) {
+  const auto it = breakers_.find(key);
+  if (it == breakers_.end() || !it->second.open) return;
+  Breaker& breaker = it->second;
+  const std::uint64_t elapsed = now_ms() - breaker.opened_at_ms;
+  if (elapsed < breaker_options_.cooldown_ms) {
+    ++breaker_rejections_;
+    throw BreakerOpenError(key, breaker_options_.cooldown_ms - elapsed);
+  }
+  // Cooldown over: half-open.  Admit exactly one trial; concurrent callers
+  // are still shed until the trial resolves.
+  if (breaker.trial_in_flight) {
+    ++breaker_rejections_;
+    throw BreakerOpenError(key, 1);
+  }
+  breaker.trial_in_flight = true;
+}
+
+void ProfileCache::record_outcome(const std::string& key, bool success) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (success) {
+    breakers_.erase(key);  // fresh start: closed, zero failures
+    return;
+  }
+  Breaker& breaker = breakers_[key];
+  ++breaker.consecutive_failures;
+  breaker.trial_in_flight = false;
+  const bool should_open =
+      breaker.open ||  // a failed half-open trial re-opens immediately
+      breaker.consecutive_failures >= breaker_options_.failure_threshold;
+  if (should_open) {
+    breaker.open = true;
+    breaker.opened_at_ms = now_ms();
+    ++breaker_opens_;
   }
 }
 
 ProfileCache::EntryPtr ProfileCache::get(const std::string& key,
-                                         const std::function<EntryPtr()>& compute) {
+                                         const std::function<EntryPtr()>& compute,
+                                         const CancelToken* cancel) {
   std::shared_future<EntryPtr> future;
   std::promise<EntryPtr> promise;
   std::uint64_t my_slot_id = 0;
@@ -24,6 +78,7 @@ ProfileCache::EntryPtr ProfileCache::get(const std::string& key,
       lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
       future = it->second->future;
     } else {
+      admit_or_reject(key);  // may throw BreakerOpenError
       ++misses_;
       owner = true;
       my_slot_id = next_slot_id_++;
@@ -41,33 +96,65 @@ ProfileCache::EntryPtr ProfileCache::get(const std::string& key,
     }
   }
 
-  if (!owner) return future.get();  // blocks if the owner is still profiling
+  if (!owner) {
+    if (cancel == nullptr) return future.get();  // blocks while owner profiles
+    // Deadline-aware wait: poll the token so a wedged owner cannot drag this
+    // request past its deadline.  The owner keeps computing; only the wait is
+    // abandoned.
+    while (true) {
+      cancel->check("cache.wait");
+      const double remaining = cancel->deadline().remaining_seconds();
+      const auto slice = std::chrono::duration<double>(
+          std::clamp(remaining, 0.0005, 0.005));
+      if (future.wait_for(slice) == std::future_status::ready) return future.get();
+    }
+  }
 
   try {
-    promise.set_value(compute());
+    EntryPtr value = compute();
+    fault_point("cache.insert");
+    promise.set_value(std::move(value));
+    record_outcome(key, true);
   } catch (...) {
     promise.set_exception(std::current_exception());
-    // Un-cache the failed computation so a later request retries; the slot id
-    // guards against erasing a fresh slot that replaced ours after eviction.
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = index_.find(key);
-    if (it != index_.end() && it->second->id == my_slot_id) {
-      lru_.erase(it->second);
-      index_.erase(it);
+    {
+      // Un-cache the failed computation so a later request retries; the slot
+      // id guards against erasing a fresh slot that replaced ours after
+      // eviction.
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = index_.find(key);
+      if (it != index_.end() && it->second->id == my_slot_id) {
+        lru_.erase(it->second);
+        index_.erase(it);
+      }
     }
+    record_outcome(key, false);
   }
   return future.get();
 }
 
 ProfileCacheStats ProfileCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return ProfileCacheStats{hits_, misses_, evictions_, lru_.size(), capacity_};
+  return ProfileCacheStats{hits_,          misses_,
+                           evictions_,     breaker_opens_,
+                           breaker_rejections_, lru_.size(),
+                           capacity_};
+}
+
+BreakerState ProfileCache::breaker_state(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = breakers_.find(key);
+  if (it == breakers_.end() || !it->second.open) return BreakerState::kClosed;
+  const std::uint64_t elapsed = now_ms() - it->second.opened_at_ms;
+  return elapsed >= breaker_options_.cooldown_ms ? BreakerState::kHalfOpen
+                                                 : BreakerState::kOpen;
 }
 
 void ProfileCache::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  breakers_.clear();
 }
 
 }  // namespace pglb

@@ -12,6 +12,18 @@
 // inserts a shared_future and computes the entry outside the cache lock;
 // concurrent requests for the same key block on that future instead of
 // re-profiling.  A failed computation is erased so later requests retry.
+//
+// Resilience (docs/ROBUSTNESS.md):
+//  * Waiters can pass a CancelToken; a waiter whose deadline passes while the
+//    owner is still profiling throws CancelledError instead of blocking on a
+//    possibly wedged computation.
+//  * A per-key circuit breaker guards the compute path: `failure_threshold`
+//    consecutive failures (exceptions, including timeouts) open the breaker,
+//    and while it is open get() throws BreakerOpenError immediately — callers
+//    degrade instead of queueing behind a known-bad profile.  After
+//    `cooldown_ms` the breaker goes half-open and admits ONE trial compute;
+//    success closes it, failure re-opens it for another cooldown.  The clock
+//    is injectable so tests drive transitions on a virtual timeline.
 
 #include <functional>
 #include <future>
@@ -22,6 +34,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/deadline.hpp"
 #include "util/histogram.hpp"
 
 namespace pglb {
@@ -42,10 +55,39 @@ struct ProfileEntry {
   ExactHistogram proxy_total_degree;
 };
 
+/// get() on a key whose breaker is open: the computation has failed
+/// repeatedly and is in cooldown; callers should degrade, not retry.
+class BreakerOpenError : public std::runtime_error {
+ public:
+  BreakerOpenError(const std::string& key, std::uint64_t retry_in_ms)
+      : std::runtime_error("circuit breaker open for profile '" + key +
+                           "' (retry in " + std::to_string(retry_in_ms) + " ms)"),
+        retry_in_ms_(retry_in_ms) {}
+
+  std::uint64_t retry_in_ms() const noexcept { return retry_in_ms_; }
+
+ private:
+  std::uint64_t retry_in_ms_;
+};
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+struct BreakerOptions {
+  /// Consecutive compute failures on one key that open its breaker.
+  int failure_threshold = 3;
+  /// How long an open breaker rejects before admitting a half-open trial.
+  std::uint64_t cooldown_ms = 10'000;
+  /// Monotonic milliseconds source; null = steady clock.  Tests inject a
+  /// virtual clock so open -> half-open -> closed transitions are exact.
+  std::function<std::uint64_t()> clock_ms;
+};
+
 struct ProfileCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t breaker_opens = 0;       ///< closed/half-open -> open edges
+  std::uint64_t breaker_rejections = 0;  ///< get() calls shed by an open breaker
   std::size_t size = 0;
   std::size_t capacity = 0;
 
@@ -59,15 +101,23 @@ class ProfileCache {
  public:
   using EntryPtr = std::shared_ptr<const ProfileEntry>;
 
-  explicit ProfileCache(std::size_t capacity);
+  explicit ProfileCache(std::size_t capacity, BreakerOptions breaker = {});
 
   /// Return the entry for `key`, computing it via `compute` on a miss.
-  /// Throws whatever `compute` throws (and leaves the key uncached).
-  EntryPtr get(const std::string& key, const std::function<EntryPtr()>& compute);
+  /// Throws whatever `compute` throws (and leaves the key uncached), throws
+  /// BreakerOpenError when the key's breaker is open, and — when `cancel` is
+  /// given — throws CancelledError if the token fires while waiting on
+  /// another thread's in-flight computation of the same key.
+  EntryPtr get(const std::string& key, const std::function<EntryPtr()>& compute,
+               const CancelToken* cancel = nullptr);
 
   ProfileCacheStats stats() const;
 
-  /// Drop every entry (counters are kept).
+  /// Breaker state of `key` right now (kClosed for unknown keys).  An open
+  /// breaker whose cooldown has elapsed reports kHalfOpen.
+  BreakerState breaker_state(const std::string& key) const;
+
+  /// Drop every entry and every breaker record (counters are kept).
   void clear();
 
  private:
@@ -77,14 +127,30 @@ class ProfileCache {
     std::shared_future<EntryPtr> future;
   };
 
+  struct Breaker {
+    int consecutive_failures = 0;
+    bool open = false;
+    bool trial_in_flight = false;  ///< half-open admitted one compute
+    std::uint64_t opened_at_ms = 0;
+  };
+
+  std::uint64_t now_ms() const;
+  /// Pre-compute breaker gate; throws BreakerOpenError (caller holds mutex_).
+  void admit_or_reject(const std::string& key);
+  void record_outcome(const std::string& key, bool success);
+
   mutable std::mutex mutex_;
   std::size_t capacity_;
+  BreakerOptions breaker_options_;
   std::list<Slot> lru_;  ///< front = most recently used
   std::unordered_map<std::string, std::list<Slot>::iterator> index_;
+  std::unordered_map<std::string, Breaker> breakers_;
   std::uint64_t next_slot_id_ = 1;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t breaker_opens_ = 0;
+  std::uint64_t breaker_rejections_ = 0;
 };
 
 }  // namespace pglb

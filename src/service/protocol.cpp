@@ -312,6 +312,10 @@ PlanRequest parse_plan_request(const std::string& line) {
       } catch (const std::invalid_argument& e) {
         throw ProtocolError(e.what());
       }
+    } else if (key == "timeout_ms") {
+      const std::uint64_t timeout = require_count(value, "timeout_ms");
+      if (timeout == 0) throw ProtocolError("field 'timeout_ms' must be positive");
+      request.timeout_ms = timeout;
     } else {
       throw ProtocolError("unknown request field '" + key + "'");
     }
@@ -368,18 +372,43 @@ std::string serialize_request(const PlanRequest& request) {
     out += ",\"partitioner\":";
     append_json_string(out, to_string(*request.partitioner));
   }
+  if (request.timeout_ms) {
+    out += ",\"timeout_ms\":";
+    append_json_number(out, static_cast<double>(*request.timeout_ms));
+  }
   out += "}";
   return out;
 }
 
 // --- response --------------------------------------------------------------
 
+std::string_view to_string(PlanStatus status) noexcept {
+  switch (status) {
+    case PlanStatus::kOk: return "ok";
+    case PlanStatus::kError: return "error";
+    case PlanStatus::kTimeout: return "timeout";
+    case PlanStatus::kOverloaded: return "overloaded";
+  }
+  return "error";
+}
+
 std::string serialize_response(const PlanResponse& response) {
   std::string out = "{\"id\":";
   append_json_string(out, response.id);
   if (!response.ok) {
-    out += ",\"status\":\"error\",\"error\":";
+    // kOk with ok=false cannot serialize as "ok"; keep the pair consistent.
+    const PlanStatus status =
+        response.status == PlanStatus::kOk ? PlanStatus::kError : response.status;
+    out += ",\"status\":";
+    append_json_string(out, std::string(to_string(status)));
+    out += ",\"error\":";
     append_json_string(out, response.error);
+    if (status == PlanStatus::kOverloaded) {
+      out += ",\"queue_depth\":";
+      append_json_number(out, static_cast<double>(response.queue_depth));
+      out += ",\"retry_after_ms\":";
+      append_json_number(out, static_cast<double>(response.retry_after_ms));
+    }
     out += "}";
     return out;
   }
@@ -395,6 +424,12 @@ std::string serialize_response(const PlanResponse& response) {
   append_double_array(out, response.weights);
   out += ",\"partitioner\":";
   append_json_string(out, response.partitioner);
+  if (!response.degraded.empty()) {
+    // Omitted entirely on the normal path, so a non-degraded plan's bytes are
+    // unchanged from the pre-resilience protocol.
+    out += ",\"degraded\":";
+    append_json_string(out, response.degraded);
+  }
   out += ",\"replication_factor\":";
   append_json_number(out, response.replication_factor);
   out += ",\"makespan_seconds\":";
@@ -422,8 +457,18 @@ PlanResponse parse_plan_response(const std::string& line) {
   };
 
   response.id = string_or("id", "");
-  response.ok = string_or("status", "") == "ok";
+  const std::string status = string_or("status", "");
+  if (status == "ok") response.status = PlanStatus::kOk;
+  else if (status == "timeout") response.status = PlanStatus::kTimeout;
+  else if (status == "overloaded") response.status = PlanStatus::kOverloaded;
+  else response.status = PlanStatus::kError;
+  response.ok = response.status == PlanStatus::kOk;
   response.error = string_or("error", "");
+  response.degraded = string_or("degraded", "");
+  response.queue_depth =
+      static_cast<std::uint64_t>(number_or("queue_depth", 0.0));
+  response.retry_after_ms =
+      static_cast<std::uint64_t>(number_or("retry_after_ms", 0.0));
   response.app = string_or("app", "");
   response.fitted_alpha = number_or("alpha", 0.0);
   response.proxy_alpha = number_or("proxy_alpha", 0.0);
@@ -449,7 +494,20 @@ std::string serialize_error(const std::string& id, const std::string& message) {
   PlanResponse response;
   response.id = id;
   response.ok = false;
+  response.status = PlanStatus::kError;
   response.error = message;
+  return serialize_response(response);
+}
+
+std::string serialize_overloaded(const std::string& id, std::uint64_t queue_depth,
+                                 std::uint64_t retry_after_ms) {
+  PlanResponse response;
+  response.id = id;
+  response.ok = false;
+  response.status = PlanStatus::kOverloaded;
+  response.error = "queue at capacity, retry later";
+  response.queue_depth = queue_depth;
+  response.retry_after_ms = retry_after_ms;
   return serialize_response(response);
 }
 

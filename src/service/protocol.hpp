@@ -81,6 +81,10 @@ struct PlanRequest {
   std::uint64_t vertices = 0;           ///< graph stats; used to fit alpha when
   std::uint64_t edges = 0;              ///< `alpha` is absent, and to scale estimates
   std::optional<PartitionerKind> partitioner;  ///< force instead of recommending
+  /// Per-request deadline in milliseconds; a plan that cannot finish in time
+  /// comes back as a typed "timeout" response instead of blocking.  Absent =
+  /// the server's --default-timeout-ms (docs/ROBUSTNESS.md).
+  std::optional<std::uint64_t> timeout_ms;
 };
 
 /// Parse + validate one request line.  Requires: `app`, non-empty `machines`,
@@ -93,10 +97,25 @@ std::string serialize_request(const PlanRequest& request);
 
 // --- planning responses ----------------------------------------------------
 
+/// Typed response outcomes (the "status" field; docs/ROBUSTNESS.md):
+///  - ok:         a plan (possibly degraded — see PlanResponse::degraded);
+///  - error:      malformed request or unrecoverable planning failure;
+///  - timeout:    the request's deadline passed before a plan was ready;
+///  - overloaded: admission control shed the request (queue at capacity).
+enum class PlanStatus { kOk, kError, kTimeout, kOverloaded };
+
+std::string_view to_string(PlanStatus status) noexcept;
+
 struct PlanResponse {
   std::string id;
-  bool ok = false;
+  bool ok = false;                      ///< status == kOk (kept in sync)
+  PlanStatus status = PlanStatus::kError;
   std::string error;                    ///< set when !ok
+  /// Non-empty when the planner fell back after a profiling failure:
+  /// "thread_count" (LeBeane et al. heuristic weights) or "uniform".
+  std::string degraded;
+  std::uint64_t queue_depth = 0;        ///< kOverloaded: depth observed at shed
+  std::uint64_t retry_after_ms = 0;     ///< kOverloaded: suggested backoff
 
   std::string app;
   double fitted_alpha = 0.0;            ///< request alpha (given or fitted from V/E)
@@ -120,5 +139,9 @@ PlanResponse parse_plan_response(const std::string& line);
 
 /// Canned error response for a request that could not even be parsed.
 std::string serialize_error(const std::string& id, const std::string& message);
+
+/// Canned "overloaded" response for a request shed by admission control.
+std::string serialize_overloaded(const std::string& id, std::uint64_t queue_depth,
+                                 std::uint64_t retry_after_ms);
 
 }  // namespace pglb

@@ -1,13 +1,19 @@
 #include "service/server.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 
 namespace pglb {
 
 PlanServer::PlanServer(Planner& planner, ServiceMetrics& metrics, ServerOptions options)
-    : planner_(planner), metrics_(metrics), queue_(options.queue_capacity) {
+    : planner_(planner),
+      metrics_(metrics),
+      options_(options),
+      queue_(options.queue_capacity) {
   const int threads = options.threads > 0 ? options.threads : 1;
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -31,10 +37,42 @@ void PlanServer::worker_loop() {
   }
 }
 
+std::string PlanServer::shed_response(const std::string& line) {
+  metrics_.count("service.shed");
+  global_registry().count("service.shed");
+  // Best-effort id echo so the client can correlate the shed with its
+  // request; a line too malformed to parse sheds with an empty id.
+  std::string id;
+  try {
+    const JsonValue doc = parse_json(line);
+    if (const JsonValue* value = doc.find("id"); value != nullptr && value->is_string()) {
+      id = value->as_string();
+    }
+  } catch (const std::exception&) {
+  }
+  const std::size_t depth = queue_.size();
+  // Suggested backoff: the backlog ahead of this client times the typical
+  // (p50) end-to-end request latency.  Before any request completes there is
+  // no latency signal yet, so fall back to a token 10 ms.
+  const double p50 = metrics_.registry().stage_quantile_seconds("total", 0.5);
+  const double per_request_ms = p50 > 0.0 ? p50 * 1000.0 : 10.0;
+  const auto retry_after_ms = static_cast<std::uint64_t>(
+      std::max(1.0, std::ceil(static_cast<double>(depth) * per_request_ms)));
+  return serialize_overloaded(id, depth, retry_after_ms);
+}
+
 std::future<std::string> PlanServer::submit(std::string request_line) {
   Job job;
   job.line = std::move(request_line);
   std::future<std::string> result = job.done.get_future();
+  if (options_.shed_when_full) {
+    if (!queue_.try_push(job)) {
+      std::promise<std::string> done;
+      done.set_value(shed_response(job.line));
+      return done.get_future();
+    }
+    return result;
+  }
   if (!queue_.push(std::move(job))) {
     // Stopped server: answer inline instead of abandoning the promise.
     std::promise<std::string> done;
@@ -52,6 +90,7 @@ std::string PlanServer::handle_line(const std::string& line) {
   try {
     PGLB_TRACE_SPAN("serve.parse", "serve");
     const StageTimer timer(&metrics_, "parse");
+    fault_point("server.parse");
     request = parse_plan_request(line);
   } catch (const std::exception& e) {
     metrics_.count("requests_failed");
@@ -72,6 +111,15 @@ std::string PlanServer::handle_line(const std::string& line) {
     append_json_number(extra, static_cast<double>(cache.capacity));
     extra += ",\"hit_rate\":";
     append_json_number(extra, cache.hit_rate());
+    extra += ",\"breaker_opens\":";
+    append_json_number(extra, static_cast<double>(cache.breaker_opens));
+    extra += ",\"breaker_rejections\":";
+    append_json_number(extra, static_cast<double>(cache.breaker_rejections));
+    extra += "},\"faults\":{\"enabled\":";
+    append_json_number(extra, FaultRegistry::instance().enabled() ? 1.0 : 0.0);
+    extra += ",\"injected\":";
+    append_json_number(extra,
+                       static_cast<double>(FaultRegistry::instance().injected_total()));
     extra += "},\"trace\":{\"enabled\":";
     append_json_number(extra, tracing_enabled() ? 1.0 : 0.0);
     extra += ",\"spans\":";

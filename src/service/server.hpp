@@ -42,6 +42,16 @@ class BoundedQueue {
     return true;
   }
 
+  /// Non-blocking push: false when full or closed (`item` is left intact so
+  /// the caller can shed it with a typed response instead of dropping it).
+  bool try_push(T& item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || items_.size() >= capacity_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks while empty.  Empty optional = closed and drained.
   std::optional<T> pop() {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -63,8 +73,15 @@ class BoundedQueue {
 
   std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Items currently queued (a snapshot; exact only for the caller's own
+  /// reasoning, e.g. the shed response's queue_depth field).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
  private:
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable not_full_;
   std::condition_variable not_empty_;
   std::deque<T> items_;
@@ -75,6 +92,11 @@ class BoundedQueue {
 struct ServerOptions {
   int threads = 4;
   std::size_t queue_capacity = 256;
+  /// Admission control (docs/ROBUSTNESS.md): when true, submit() sheds
+  /// instead of blocking once the queue is at capacity — the caller gets an
+  /// immediate "overloaded" response carrying the observed queue depth and a
+  /// suggested retry-after.  Default keeps the original backpressure.
+  bool shed_when_full = false;
 };
 
 class PlanServer {
@@ -87,7 +109,8 @@ class PlanServer {
   PlanServer& operator=(const PlanServer&) = delete;
 
   /// Enqueue one raw request line; the future yields the response line.
-  /// Blocks while the queue is at capacity.  Never throws into the future:
+  /// Blocks while the queue is at capacity (or sheds with an "overloaded"
+  /// response when options.shed_when_full).  Never throws into the future:
   /// malformed input yields a serialized error response.
   std::future<std::string> submit(std::string request_line);
 
@@ -108,9 +131,11 @@ class PlanServer {
 
   void worker_loop();
   std::string handle_line(const std::string& line);
+  std::string shed_response(const std::string& line);
 
   Planner& planner_;
   ServiceMetrics& metrics_;
+  ServerOptions options_;
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
 };

@@ -1,0 +1,18 @@
+#include "util/deadline.hpp"
+
+namespace pglb {
+
+namespace {
+thread_local const CancelToken* t_current_token = nullptr;
+}  // namespace
+
+CancelScope::CancelScope(const CancelToken& token) noexcept
+    : previous_(t_current_token) {
+  t_current_token = &token;
+}
+
+CancelScope::~CancelScope() { t_current_token = previous_; }
+
+const CancelToken* CancelScope::current() noexcept { return t_current_token; }
+
+}  // namespace pglb

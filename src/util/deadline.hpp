@@ -1,0 +1,160 @@
+#pragma once
+// Cooperative deadlines and cancellation for the planning pipeline.
+//
+// A Deadline is a point on the steady clock (or "never"); a CancelToken is a
+// copyable handle over shared state that fires when the deadline passes or
+// when someone calls cancel().  Cancellation is cooperative: long-running
+// stages poll the token between units of work (a profiling cell, a proxy
+// generation, a block of partitioned edges) and bail out with a typed
+// CancelledError, which the service layer turns into a "timeout" response
+// instead of a hang.  Nothing is ever interrupted mid-unit, so all outputs
+// that ARE produced stay bit-identical to an undeadlined run.
+//
+// Two polling styles:
+//  * explicit: pass `const CancelToken*` down the call chain (used across
+//    thread-pool fan-outs, where thread-locals do not propagate);
+//  * ambient: CancelScope installs a token as the calling thread's current
+//    cancellation context and poll_cancellation() checks it — used by
+//    partitioner loops, which are pure functions that should not grow a
+//    cancellation parameter in every implementation.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace pglb {
+
+/// Thrown when a cooperative check observes an expired deadline or a manual
+/// cancel().  `site` names the check point that noticed (e.g. "profiler.cell").
+class CancelledError : public std::runtime_error {
+ public:
+  enum class Reason { kDeadline, kCancelled };
+
+  CancelledError(Reason reason, std::string site)
+      : std::runtime_error(std::string(reason == Reason::kDeadline
+                                           ? "deadline exceeded at "
+                                           : "cancelled at ") +
+                           site),
+        reason_(reason),
+        site_(std::move(site)) {}
+
+  Reason reason() const noexcept { return reason_; }
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  Reason reason_;
+  std::string site_;
+};
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Default-constructed deadlines never expire.
+  Deadline() : at_(Clock::time_point::max()) {}
+
+  static Deadline never() { return Deadline(); }
+
+  static Deadline after(Clock::duration d) {
+    Deadline deadline;
+    deadline.at_ = Clock::now() + d;
+    return deadline;
+  }
+
+  static Deadline after_ms(std::uint64_t ms) {
+    return after(std::chrono::milliseconds(ms));
+  }
+
+  bool is_never() const noexcept { return at_ == Clock::time_point::max(); }
+  bool expired() const noexcept { return !is_never() && Clock::now() >= at_; }
+
+  /// Seconds until expiry: +inf when never, <= 0 when already expired.
+  double remaining_seconds() const noexcept {
+    if (is_never()) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(at_ - Clock::now()).count();
+  }
+
+  Clock::time_point time_point() const noexcept { return at_; }
+
+ private:
+  Clock::time_point at_;
+};
+
+/// Copyable cancellation handle; copies share one flag, so cancelling any
+/// copy fires them all.  A token fires when its deadline passes OR cancel()
+/// is called, whichever comes first.  Thread-safe.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<State>()) {}
+  explicit CancelToken(Deadline deadline) : CancelToken() {
+    state_->deadline = deadline;
+  }
+
+  void cancel() const noexcept {
+    state_->cancelled.store(true, std::memory_order_relaxed);
+  }
+
+  bool cancel_requested() const noexcept {
+    return state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    return cancel_requested() || state_->deadline.expired();
+  }
+
+  const Deadline& deadline() const noexcept { return state_->deadline; }
+
+  /// Throw CancelledError if the token has fired.  Manual cancellation wins
+  /// over deadline expiry when both apply (the caller asked first).
+  void check(const char* site) const {
+    if (cancel_requested()) throw CancelledError(CancelledError::Reason::kCancelled, site);
+    if (state_->deadline.expired()) {
+      throw CancelledError(CancelledError::Reason::kDeadline, site);
+    }
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    Deadline deadline;
+  };
+  std::shared_ptr<State> state_;
+};
+
+/// check() through an optional token — the convention for explicit threading
+/// (nullptr = no cancellation, compiles to one branch).
+inline void check_cancel(const CancelToken* token, const char* site) {
+  if (token != nullptr) token->check(site);
+}
+
+/// RAII: install `token` as the calling thread's ambient cancellation
+/// context; restores the previous context on destruction (scopes nest).
+/// The context does NOT propagate to thread-pool workers — fan-out loops
+/// take the explicit `const CancelToken*` instead.
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken& token) noexcept;
+  ~CancelScope();
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// The innermost installed token on this thread, or nullptr.
+  static const CancelToken* current() noexcept;
+
+ private:
+  const CancelToken* previous_;
+};
+
+/// Poll the ambient cancellation context (no-op when none is installed).
+/// Cheap enough for inner loops when amortized (poll every few thousand
+/// iterations, not every one).
+inline void poll_cancellation(const char* site) {
+  if (const CancelToken* token = CancelScope::current()) token->check(site);
+}
+
+}  // namespace pglb

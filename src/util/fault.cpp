@@ -1,0 +1,197 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/registry.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+namespace pglb {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& fragment, const std::string& why) {
+  throw std::invalid_argument("fault spec '" + fragment + "': " + why);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64_or(const std::string& fragment, const std::string& text) {
+  const auto value = parse_int(text);
+  if (!value || *value < 0) bad_spec(fragment, "'" + text + "' is not a count");
+  return static_cast<std::uint64_t>(*value);
+}
+
+void parse_action(const std::string& fragment, const std::string& text, FaultSpec& spec) {
+  const auto parts = split(text, ':');
+  if (parts[0] == "fail") {
+    if (parts.size() != 1) bad_spec(fragment, "fail takes no argument");
+    spec.action = FaultSpec::Action::kFail;
+  } else if (parts[0] == "stall") {
+    if (parts.size() != 2) bad_spec(fragment, "stall needs ':<milliseconds>'");
+    spec.action = FaultSpec::Action::kStall;
+    spec.stall_ms = parse_u64_or(fragment, parts[1]);
+  } else {
+    bad_spec(fragment, "unknown action '" + parts[0] + "' (fail, stall:<ms>)");
+  }
+}
+
+void parse_trigger(const std::string& fragment, const std::string& text,
+                   FaultSpec& spec) {
+  const auto parts = split(text, ':');
+  if (parts[0] == "always") {
+    if (parts.size() != 1) bad_spec(fragment, "always takes no argument");
+    spec.trigger = FaultSpec::Trigger::kAlways;
+  } else if (parts[0] == "nth") {
+    if (parts.size() != 2) bad_spec(fragment, "nth needs ':<n>'");
+    spec.trigger = FaultSpec::Trigger::kNth;
+    spec.nth = parse_u64_or(fragment, parts[1]);
+    if (spec.nth == 0) bad_spec(fragment, "nth is 1-based");
+  } else if (parts[0] == "prob") {
+    if (parts.size() != 2 && parts.size() != 3) {
+      bad_spec(fragment, "prob needs ':<p>[:<seed>]'");
+    }
+    spec.trigger = FaultSpec::Trigger::kProb;
+    const auto p = parse_double(parts[1]);
+    if (!p || !(*p >= 0.0 && *p <= 1.0)) {
+      bad_spec(fragment, "probability must be in [0, 1]");
+    }
+    spec.probability = *p;
+    if (parts.size() == 3) spec.seed = parse_u64_or(fragment, parts[2]);
+  } else {
+    bad_spec(fragment, "unknown trigger '" + parts[0] +
+                           "' (always, nth:<n>, prob:<p>[:<seed>])");
+  }
+}
+
+}  // namespace
+
+std::vector<FaultSpec> parse_fault_specs(const std::string& text) {
+  std::vector<FaultSpec> specs;
+  for (const std::string& fragment : split(text, ';')) {
+    if (fragment.empty()) continue;
+    const std::size_t eq = fragment.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      bad_spec(fragment, "expected 'site=action[@trigger]'");
+    }
+    FaultSpec spec;
+    spec.site = fragment.substr(0, eq);
+    const std::string behavior = fragment.substr(eq + 1);
+    const std::size_t at = behavior.find('@');
+    parse_action(fragment, behavior.substr(0, at), spec);
+    if (at != std::string::npos) parse_trigger(fragment, behavior.substr(at + 1), spec);
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+FaultRegistry& FaultRegistry::instance() {
+  static FaultRegistry* registry = [] {
+    auto* r = new FaultRegistry();
+    if (const char* env = std::getenv("PGLB_FAULTS")) {
+      if (env[0] != '\0') r->configure(std::string(env));
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+void FaultRegistry::configure(std::vector<FaultSpec> specs) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  for (FaultSpec& spec : specs) {
+    Armed armed;
+    armed.rng_state = splitmix64(spec.seed);
+    armed.spec = std::move(spec);
+    sites_[armed.spec.site] = std::move(armed);
+  }
+  enabled_.store(!sites_.empty(), std::memory_order_relaxed);
+}
+
+void FaultRegistry::arm(FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Armed armed;
+  armed.rng_state = splitmix64(spec.seed);
+  armed.spec = std::move(spec);
+  sites_[armed.spec.site] = std::move(armed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void FaultRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sites_.clear();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void FaultRegistry::on_hit(std::string_view site) {
+  FaultSpec::Action action = FaultSpec::Action::kFail;
+  std::uint64_t stall_ms = 0;
+  std::string site_name;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = sites_.find(std::string(site));
+    if (it == sites_.end()) return;
+    Armed& armed = it->second;
+    ++armed.hits;
+    bool fires = false;
+    switch (armed.spec.trigger) {
+      case FaultSpec::Trigger::kAlways: fires = true; break;
+      case FaultSpec::Trigger::kNth: fires = armed.hits == armed.spec.nth; break;
+      case FaultSpec::Trigger::kProb: {
+        armed.rng_state = splitmix64(armed.rng_state);
+        const double draw =
+            static_cast<double>(armed.rng_state >> 11) * 0x1.0p-53;
+        fires = draw < armed.spec.probability;
+        break;
+      }
+    }
+    if (!fires) return;
+    ++armed.fired;
+    action = armed.spec.action;
+    stall_ms = armed.spec.stall_ms;
+    site_name = armed.spec.site;
+  }
+  // Count + act outside the lock: a stall must not serialize other sites.
+  global_registry().count("fault.injected");
+  if (action == FaultSpec::Action::kStall) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    return;
+  }
+  throw FaultInjectedError(site_name);
+}
+
+std::uint64_t FaultRegistry::hit_count(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(std::string(site));
+  return it != sites_.end() ? it->second.hits : 0;
+}
+
+std::uint64_t FaultRegistry::injected_count(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = sites_.find(std::string(site));
+  return it != sites_.end() ? it->second.fired : 0;
+}
+
+std::uint64_t FaultRegistry::injected_total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, armed] : sites_) total += armed.fired;
+  return total;
+}
+
+}  // namespace pglb

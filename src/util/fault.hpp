@@ -1,0 +1,131 @@
+#pragma once
+// Deterministic fault injection for resilience testing (docs/ROBUSTNESS.md).
+//
+// Production code marks its failure-relevant points with
+// fault_point("site.name"); a disarmed registry makes that a single relaxed
+// atomic load (and -DPGLB_DISABLE_FAULTS compiles it out entirely).  Tests —
+// or an operator via the PGLB_FAULTS environment variable — arm sites with a
+// trigger and an action, and the next matching hit fails or stalls exactly
+// where a real fault would.
+//
+// Spec grammar (PGLB_FAULTS and FaultRegistry::configure):
+//
+//   spec     = site '=' action [ '@' trigger ] ( ';' spec )*
+//   action   = 'fail' | 'stall:' <milliseconds>
+//   trigger  = 'always'                  (default)
+//            | 'nth:' <n>                fires on the nth hit only (1-based)
+//            | 'prob:' <p> [ ':' seed ]  fires with probability p, seeded RNG
+//
+//   PGLB_FAULTS="profiler.cell=fail@nth:2;server.parse=fail@prob:0.25:7"
+//   PGLB_FAULTS="profiler.cell=stall:100"        # every profiling cell is stuck
+//
+// Everything is deterministic: hit counting is per-site and the probability
+// trigger draws from its own seeded generator, so a given spec fires on the
+// same hit sequence in every run.  Fired injections count into the global
+// metrics registry ("fault.injected") and per-site via injected_count().
+//
+// Current sites: profiler.cell, proxy.gen, cache.insert, server.parse.
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include <atomic>
+
+namespace pglb {
+
+/// Thrown by a fired `fail` injection; carries the site that failed.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+
+  const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
+struct FaultSpec {
+  enum class Action { kFail, kStall };
+  enum class Trigger { kAlways, kNth, kProb };
+
+  std::string site;
+  Action action = Action::kFail;
+  std::uint64_t stall_ms = 0;  ///< kStall only
+  Trigger trigger = Trigger::kAlways;
+  std::uint64_t nth = 1;       ///< kNth only (1-based hit index)
+  double probability = 0.0;    ///< kProb only
+  std::uint64_t seed = 1;      ///< kProb only
+};
+
+/// Parse a PGLB_FAULTS-style spec string; throws std::invalid_argument with
+/// the offending fragment on malformed input.  Empty input -> empty list.
+std::vector<FaultSpec> parse_fault_specs(const std::string& text);
+
+class FaultRegistry {
+ public:
+  /// The process-wide registry.  On first use it arms itself from the
+  /// PGLB_FAULTS environment variable (empty/unset = disarmed).
+  static FaultRegistry& instance();
+
+  /// Replace the armed set with `specs` (resets hit counters).
+  void configure(std::vector<FaultSpec> specs);
+
+  /// Parse + configure in one step.
+  void configure(const std::string& spec_text) {
+    configure(parse_fault_specs(spec_text));
+  }
+
+  /// Arm one more site (keeps existing sites; replaces a same-named one).
+  void arm(FaultSpec spec);
+
+  /// Disarm everything; fault_point() reverts to its one-load fast path.
+  void clear();
+
+  /// Fast path gate: true while any site is armed.
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Slow path of fault_point(): count the hit and, if the trigger matches,
+  /// perform the action (throw FaultInjectedError, or sleep stall_ms).
+  void on_hit(std::string_view site);
+
+  /// Times `site` was evaluated / actually fired since it was armed.
+  std::uint64_t hit_count(std::string_view site) const;
+  std::uint64_t injected_count(std::string_view site) const;
+
+  /// Total fired injections across every armed site (the metrics endpoint's
+  /// "faults.injected" field).
+  std::uint64_t injected_total() const;
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint64_t hits = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t rng_state = 0;  ///< kProb only
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Armed> sites_;
+  std::atomic<bool> enabled_{false};
+};
+
+/// Cooperative injection point.  Disabled registry: one relaxed load.
+/// -DPGLB_DISABLE_FAULTS: nothing at all.
+inline void fault_point(std::string_view site) {
+#ifndef PGLB_DISABLE_FAULTS
+  FaultRegistry& registry = FaultRegistry::instance();
+  if (registry.enabled()) registry.on_hit(site);
+#else
+  (void)site;
+#endif
+}
+
+}  // namespace pglb

@@ -272,7 +272,76 @@ TEST(ResponseRoundTrip, ErrorResponse) {
   const PlanResponse parsed = parse_plan_response(line);
   EXPECT_EQ(parsed.id, "bad-1");
   EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.status, PlanStatus::kError);
   EXPECT_EQ(parsed.error, "unknown machine 'quantum9'");
+}
+
+TEST(RequestRoundTrip, TimeoutMs) {
+  PlanRequest request;
+  request.id = "t1";
+  request.app = AppKind::kPageRank;
+  request.machines = {"m4.2xlarge"};
+  request.alpha = 2.1;
+  request.timeout_ms = 250;
+
+  const PlanRequest parsed = parse_plan_request(serialize_request(request));
+  ASSERT_TRUE(parsed.timeout_ms.has_value());
+  EXPECT_EQ(*parsed.timeout_ms, 250u);
+
+  // Absent timeout stays absent (and off the wire).
+  request.timeout_ms.reset();
+  const std::string line = serialize_request(request);
+  EXPECT_EQ(line.find("timeout_ms"), std::string::npos);
+  EXPECT_FALSE(parse_plan_request(line).timeout_ms.has_value());
+}
+
+TEST(ParsePlanRequest, RejectsNonPositiveTimeout) {
+  const std::string line =
+      R"({"id":"x","app":"pagerank","machines":["m4.2xlarge"],"alpha":2.1,"timeout_ms":0})";
+  EXPECT_THROW(parse_plan_request(line), ProtocolError);
+}
+
+TEST(ResponseRoundTrip, TimeoutResponse) {
+  PlanResponse response;
+  response.id = "t2";
+  response.ok = false;
+  response.status = PlanStatus::kTimeout;
+  response.error = "deadline exceeded at profiler.cell";
+
+  const std::string line = serialize_response(response);
+  EXPECT_NE(line.find("\"status\":\"timeout\""), std::string::npos);
+  const PlanResponse parsed = parse_plan_response(line);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.status, PlanStatus::kTimeout);
+  EXPECT_EQ(parsed.error, response.error);
+}
+
+TEST(ResponseRoundTrip, OverloadedResponse) {
+  const std::string line = serialize_overloaded("o1", 17, 340);
+  const PlanResponse parsed = parse_plan_response(line);
+  EXPECT_FALSE(parsed.ok);
+  EXPECT_EQ(parsed.status, PlanStatus::kOverloaded);
+  EXPECT_EQ(parsed.id, "o1");
+  EXPECT_EQ(parsed.queue_depth, 17u);
+  EXPECT_EQ(parsed.retry_after_ms, 340u);
+  EXPECT_FALSE(parsed.error.empty());
+}
+
+TEST(ResponseRoundTrip, DegradedTagSurvivesAndEmptyStaysOffTheWire) {
+  PlanResponse response = sample_response();
+  ASSERT_TRUE(response.degraded.empty());
+  // Non-degraded ok responses must serialize without the field at all — the
+  // pre-resilience byte layout (cached-plan comparisons depend on it).
+  const std::string plain = serialize_response(response);
+  EXPECT_EQ(plain.find("degraded"), std::string::npos);
+
+  response.degraded = "thread_count";
+  const std::string tagged = serialize_response(response);
+  EXPECT_NE(tagged.find("\"degraded\":\"thread_count\""), std::string::npos);
+  const PlanResponse parsed = parse_plan_response(tagged);
+  EXPECT_TRUE(parsed.ok);
+  EXPECT_EQ(parsed.status, PlanStatus::kOk);
+  EXPECT_EQ(parsed.degraded, "thread_count");
 }
 
 }  // namespace

@@ -1,0 +1,389 @@
+// Service-level resilience (docs/ROBUSTNESS.md): profile-cache negative
+// paths under concurrency, circuit-breaker transitions on a virtual clock,
+// planner degradation and typed timeouts under injected faults, and
+// admission-control shedding on the server.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "machine/catalog.hpp"
+#include "partition/weights.hpp"
+#include "service/server.hpp"
+#include "util/fault.hpp"
+
+namespace pglb {
+namespace {
+
+struct FaultGuard {
+  ~FaultGuard() { FaultRegistry::instance().clear(); }
+};
+
+ProfileCache::EntryPtr make_entry(double alpha) {
+  auto entry = std::make_shared<ProfileEntry>();
+  entry->proxy_alpha = alpha;
+  return entry;
+}
+
+PlannerOptions tiny_options() {
+  PlannerOptions options;
+  options.proxy_scale = 0.002;
+  return options;
+}
+
+PlanRequest plan_request(const std::string& id) {
+  PlanRequest request;
+  request.id = id;
+  request.app = AppKind::kPageRank;
+  request.machines = {"m4.2xlarge", "c4.2xlarge"};
+  request.vertices = 1'000'000;
+  request.edges = 10'000'000;
+  return request;
+}
+
+// --- ProfileCache negative paths -------------------------------------------
+
+TEST(ProfileCacheResilience, ConcurrentWaitersSeeOwnerFailureThenRetrySucceeds) {
+  ProfileCache cache(4);
+  std::atomic<int> computes{0};
+  std::atomic<bool> owner_entered{false};
+
+  // Owner takes the slot, waits until the waiters are queued, then fails.
+  std::atomic<int> waiters_started{0};
+  constexpr int kWaiters = 4;
+  const auto failing_compute = [&]() -> ProfileCache::EntryPtr {
+    computes.fetch_add(1);
+    owner_entered.store(true);
+    while (waiters_started.load() < kWaiters) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    throw std::runtime_error("profiling exploded");
+  };
+
+  std::thread owner([&] {
+    EXPECT_THROW(cache.get("key", failing_compute), std::runtime_error);
+  });
+  while (!owner_entered.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::vector<std::thread> waiters;
+  std::atomic<int> waiter_failures{0};
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      waiters_started.fetch_add(1);
+      try {
+        cache.get("key", [&] {
+          computes.fetch_add(1);
+          return make_entry(2.1);
+        });
+      } catch (const std::runtime_error&) {
+        waiter_failures.fetch_add(1);
+      }
+    });
+  }
+  owner.join();
+  for (std::thread& w : waiters) w.join();
+
+  // Single-flight: every waiter either shared the owner's failure or (having
+  // arrived after the erase) recomputed.  Nobody hangs; a later get retries
+  // and succeeds.
+  EXPECT_GE(waiter_failures.load(), 0);
+  const auto entry = cache.get("key", [&] {
+    computes.fetch_add(1);
+    return make_entry(2.1);
+  });
+  EXPECT_DOUBLE_EQ(entry->proxy_alpha, 2.1);
+  EXPECT_GE(computes.load(), 2) << "failed computation must not be cached";
+}
+
+TEST(ProfileCacheResilience, WaiterWithExpiredDeadlineStopsWaiting) {
+  ProfileCache cache(4);
+  std::atomic<bool> release{false};
+  std::atomic<bool> owner_entered{false};
+
+  std::thread owner([&] {
+    cache.get("key", [&]() -> ProfileCache::EntryPtr {
+      owner_entered.store(true);
+      while (!release.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      return make_entry(1.95);
+    });
+  });
+  while (!owner_entered.load()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  // The owner is wedged; a deadlined waiter must bail out typed, not block.
+  const CancelToken token(Deadline::after_ms(30));
+  EXPECT_THROW(cache.get("key", [] { return make_entry(0.0); }, &token),
+               CancelledError);
+
+  release.store(true);
+  owner.join();
+  // The owner's result still landed in the cache for future callers.
+  const auto entry = cache.get("key", [] { return make_entry(0.0); });
+  EXPECT_DOUBLE_EQ(entry->proxy_alpha, 1.95);
+}
+
+// --- circuit breaker -------------------------------------------------------
+
+TEST(BreakerTransitions, OpensAfterThresholdRejectsThenHalfOpenCloses) {
+  auto clock_now = std::make_shared<std::atomic<std::uint64_t>>(0);
+  BreakerOptions breaker;
+  breaker.failure_threshold = 2;
+  breaker.cooldown_ms = 1'000;
+  breaker.clock_ms = [clock_now] { return clock_now->load(); };
+  ProfileCache cache(4, breaker);
+
+  const auto fail = []() -> ProfileCache::EntryPtr {
+    throw std::runtime_error("boom");
+  };
+
+  EXPECT_THROW(cache.get("k", fail), std::runtime_error);
+  EXPECT_EQ(cache.breaker_state("k"), BreakerState::kClosed);
+  EXPECT_THROW(cache.get("k", fail), std::runtime_error);
+  EXPECT_EQ(cache.breaker_state("k"), BreakerState::kOpen);
+  EXPECT_EQ(cache.stats().breaker_opens, 1u);
+
+  // Open: immediate rejection with the remaining cooldown, no compute run.
+  std::atomic<int> computes{0};
+  try {
+    cache.get("k", [&] {
+      computes.fetch_add(1);
+      return make_entry(0.0);
+    });
+    FAIL() << "expected BreakerOpenError";
+  } catch (const BreakerOpenError& e) {
+    EXPECT_EQ(e.retry_in_ms(), 1'000u);
+  }
+  EXPECT_EQ(computes.load(), 0);
+  EXPECT_EQ(cache.stats().breaker_rejections, 1u);
+
+  // Other keys are unaffected (the breaker is per-key).
+  EXPECT_DOUBLE_EQ(cache.get("other", [] { return make_entry(3.0); })->proxy_alpha, 3.0);
+
+  // Cooldown elapses on the virtual clock: half-open admits one trial, and a
+  // successful trial closes the breaker for good.
+  clock_now->store(1'000);
+  EXPECT_EQ(cache.breaker_state("k"), BreakerState::kHalfOpen);
+  const auto entry = cache.get("k", [&] {
+    computes.fetch_add(1);
+    return make_entry(2.3);
+  });
+  EXPECT_DOUBLE_EQ(entry->proxy_alpha, 2.3);
+  EXPECT_EQ(cache.breaker_state("k"), BreakerState::kClosed);
+}
+
+TEST(BreakerTransitions, FailedHalfOpenTrialReopens) {
+  auto clock_now = std::make_shared<std::atomic<std::uint64_t>>(0);
+  BreakerOptions breaker;
+  breaker.failure_threshold = 1;
+  breaker.cooldown_ms = 500;
+  breaker.clock_ms = [clock_now] { return clock_now->load(); };
+  ProfileCache cache(4, breaker);
+
+  const auto fail = []() -> ProfileCache::EntryPtr {
+    throw std::runtime_error("boom");
+  };
+
+  EXPECT_THROW(cache.get("k", fail), std::runtime_error);
+  EXPECT_EQ(cache.breaker_state("k"), BreakerState::kOpen);
+
+  clock_now->store(500);  // half-open; the trial fails -> re-open
+  EXPECT_THROW(cache.get("k", fail), std::runtime_error);
+  EXPECT_EQ(cache.breaker_state("k"), BreakerState::kOpen);
+  EXPECT_THROW(cache.get("k", fail), BreakerOpenError);
+  EXPECT_EQ(cache.stats().breaker_opens, 2u);
+
+  clock_now->store(1'000);  // second cooldown; successful trial closes
+  EXPECT_DOUBLE_EQ(cache.get("k", [] { return make_entry(1.0); })->proxy_alpha, 1.0);
+  EXPECT_EQ(cache.breaker_state("k"), BreakerState::kClosed);
+}
+
+// --- planner degradation and timeouts --------------------------------------
+
+TEST(PlannerResilience, ProfilingFaultYieldsThreadCountDegradedPlan) {
+  const FaultGuard guard;
+  FaultRegistry::instance().configure("profiler.cell=fail");
+
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  const PlanRequest request = plan_request("d1");
+  const PlanResponse response = planner.plan(request);
+
+  EXPECT_TRUE(response.ok);
+  EXPECT_EQ(response.status, PlanStatus::kOk);
+  EXPECT_EQ(response.degraded, "thread_count");
+  EXPECT_EQ(metrics.counter("planner.degraded"), 1u);
+
+  // Acceptance criterion: degraded weights are bit-identical to the
+  // thread-count baseline estimator's weight vector.
+  const Cluster cluster = cluster_from_names(request.machines);
+  const std::vector<double> expected = thread_count_weights(cluster);
+  ASSERT_EQ(response.weights.size(), expected.size());
+  for (std::size_t m = 0; m < expected.size(); ++m) {
+    EXPECT_EQ(response.weights[m], expected[m]) << "machine " << m;
+  }
+  ASSERT_EQ(response.ccr.size(), cluster.size());
+  EXPECT_FALSE(response.partitioner.empty());
+  EXPECT_DOUBLE_EQ(response.makespan_seconds, 0.0);  // nothing honest to predict
+
+  // Faults off again: the same planner recovers to a full plan (the failed
+  // profile was never cached).
+  FaultRegistry::instance().clear();
+  const PlanResponse recovered = planner.plan(request);
+  EXPECT_TRUE(recovered.ok);
+  EXPECT_TRUE(recovered.degraded.empty());
+  EXPECT_GT(recovered.makespan_seconds, 0.0);
+}
+
+TEST(PlannerResilience, DegradedResponseRoundTripsThroughProtocol) {
+  const FaultGuard guard;
+  FaultRegistry::instance().configure("profiler.cell=fail");
+  Planner planner(tiny_options());
+  const PlanResponse response = planner.plan(plan_request("d2"));
+  ASSERT_EQ(response.degraded, "thread_count");
+
+  const PlanResponse decoded = parse_plan_response(serialize_response(response));
+  EXPECT_TRUE(decoded.ok);
+  EXPECT_EQ(decoded.degraded, "thread_count");
+  EXPECT_EQ(decoded.weights, response.weights);
+}
+
+TEST(PlannerResilience, StuckProfileWithDeadlineYieldsTypedTimeout) {
+  const FaultGuard guard;
+  // Every profiling cell is stuck for 200 ms; the request allows 20 ms.
+  FaultRegistry::instance().configure("profiler.cell=stall:200");
+
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanRequest request = plan_request("t1");
+  request.timeout_ms = 20;
+
+  const PlanResponse response = planner.plan(request);
+  EXPECT_FALSE(response.ok);
+  EXPECT_EQ(response.status, PlanStatus::kTimeout);
+  EXPECT_NE(response.error.find("deadline"), std::string::npos) << response.error;
+  EXPECT_EQ(metrics.counter("service.timeouts"), 1u);
+}
+
+TEST(PlannerResilience, DefaultTimeoutAppliesWhenRequestCarriesNone) {
+  const FaultGuard guard;
+  FaultRegistry::instance().configure("profiler.cell=stall:200");
+
+  PlannerOptions options = tiny_options();
+  options.default_timeout_ms = 20;
+  ServiceMetrics metrics;
+  Planner planner(options, &metrics);
+
+  const PlanResponse response = planner.plan(plan_request("t2"));
+  EXPECT_EQ(response.status, PlanStatus::kTimeout);
+}
+
+TEST(PlannerResilience, TimeoutTripsBreakerSoNextRequestDegradesFast) {
+  const FaultGuard guard;
+  FaultRegistry::instance().configure("profiler.cell=stall:200");
+
+  PlannerOptions options = tiny_options();
+  options.breaker.failure_threshold = 1;  // one timeout opens the key
+  ServiceMetrics metrics;
+  Planner planner(options, &metrics);
+
+  PlanRequest first = plan_request("b1");
+  first.timeout_ms = 20;
+  EXPECT_EQ(planner.plan(first).status, PlanStatus::kTimeout);
+
+  // Same profile key, no deadline: the open breaker rejects the compute
+  // immediately and the planner degrades instead of stalling 200 ms again.
+  const auto start = std::chrono::steady_clock::now();
+  const PlanResponse second = planner.plan(plan_request("b2"));
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_TRUE(second.ok);
+  EXPECT_EQ(second.degraded, "thread_count");
+  EXPECT_LT(elapsed.count(), 150) << "breaker-open path must not re-profile";
+  EXPECT_GE(planner.cache_stats().breaker_rejections, 1u);
+}
+
+// --- server admission control ----------------------------------------------
+
+TEST(ServerResilience, ShedsWithTypedOverloadedResponseWhenQueueIsFull) {
+  const FaultGuard guard;
+  // One worker, wedged on its first request for ~300 ms.
+  FaultRegistry::instance().configure("profiler.cell=stall:300");
+
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  ServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  options.shed_when_full = true;
+  PlanServer server(planner, metrics, options);
+
+  // First request: dequeued by the (single) worker, now stalling.
+  auto first = server.submit(serialize_request(plan_request("s0")));
+  while (metrics.counter("requests_total") < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Second request parks in the queue (capacity 1); the third must shed.
+  auto second = server.submit(serialize_request(plan_request("s1")));
+  const std::string shed_line = server.submit(serialize_request(plan_request("s2"))).get();
+
+  const PlanResponse shed = parse_plan_response(shed_line);
+  EXPECT_FALSE(shed.ok);
+  EXPECT_EQ(shed.status, PlanStatus::kOverloaded);
+  EXPECT_EQ(shed.id, "s2") << "shed response must echo the request id";
+  EXPECT_GE(shed.queue_depth, 1u);
+  EXPECT_GE(shed.retry_after_ms, 1u);
+  EXPECT_GE(metrics.counter("service.shed"), 1u);
+
+  // The accepted requests still complete (degraded or ok, but answered).
+  EXPECT_FALSE(first.get().empty());
+  EXPECT_FALSE(second.get().empty());
+}
+
+TEST(ServerResilience, ParseFaultYieldsErrorResponseAndServiceContinues) {
+  const FaultGuard guard;
+  FaultRegistry::instance().configure("server.parse=fail@nth:1");
+
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+
+  const PlanResponse faulted =
+      parse_plan_response(server.submit(serialize_request(plan_request("f1"))).get());
+  EXPECT_FALSE(faulted.ok);
+  EXPECT_NE(faulted.error.find("injected fault"), std::string::npos);
+
+  const PlanResponse next =
+      parse_plan_response(server.submit(serialize_request(plan_request("f2"))).get());
+  EXPECT_TRUE(next.ok);
+}
+
+TEST(ServerResilience, MetricsSnapshotCarriesResilienceCounters) {
+  const FaultGuard guard;
+  FaultRegistry::instance().configure("profiler.cell=fail");
+
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+  server.submit(serialize_request(plan_request("m1"))).get();  // degraded
+
+  const JsonValue snapshot =
+      parse_json(server.submit(R"({"type":"metrics"})").get());
+  ASSERT_TRUE(snapshot.is_object());
+  EXPECT_GE(snapshot.find("counters")->find("planner.degraded")->as_number(), 1.0);
+  const JsonValue* faults = snapshot.find("faults");
+  ASSERT_NE(faults, nullptr);
+  EXPECT_DOUBLE_EQ(faults->find("enabled")->as_number(), 1.0);
+  EXPECT_GE(faults->find("injected")->as_number(), 1.0);
+  const JsonValue* cache = snapshot.find("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_NE(cache->find("breaker_opens"), nullptr);
+  ASSERT_NE(cache->find("breaker_rejections"), nullptr);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -31,6 +31,7 @@
 #include "graph/relabel.hpp"
 #include "machine/catalog.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "partition/weights.hpp"
 #include "util/cli.hpp"
@@ -371,10 +372,16 @@ int main(int argc, char** argv) {
     // and export them as a Chrome trace (chrome://tracing, Perfetto).
     const std::string trace_out = cli.get_string("trace-out", "");
     if (!trace_out.empty()) set_tracing_enabled(true);
+    // --dump-registry on any command: print the process-wide metrics registry
+    // snapshot (counters, gauges, stage latencies) to stderr after the run.
+    const bool dump_registry = cli.get_bool("dump-registry", false);
     const int status = dispatch(command, cli);
     if (!trace_out.empty()) {
       write_chrome_trace(trace_out);
       std::cerr << "trace written to " << trace_out << "\n";
+    }
+    if (dump_registry) {
+      std::cerr << global_registry().to_json() << "\n";
     }
     return status;
   } catch (const std::exception& e) {

@@ -8,13 +8,20 @@
 // The mix cycles over --distinct combinations of (cluster, app, graph), so a
 // long run is dominated by repeated requests — the service's intended
 // traffic shape — and the cache hit rate converges to 1 - distinct/requests.
-// Exits non-zero if any request fails.
+// Exits non-zero if any request fails with an "error" status.  Typed
+// "timeout"/"overloaded" responses and degraded plans are resilience
+// behaviour, not failures — they are counted and reported separately.
+//
+// Resilience knobs (docs/ROBUSTNESS.md): --timeout-ms stamps a per-request
+// deadline on every request; --shed turns on admission control (in-process
+// and --server mode both).
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <iostream>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
@@ -64,7 +71,10 @@ PlanRequest request_for(std::size_t combo, std::size_t sequence) {
 
 struct LoadReport {
   std::vector<double> latencies_s;
-  std::size_t failed = 0;
+  std::size_t failed = 0;      ///< "error" status responses only
+  std::size_t degraded = 0;    ///< ok responses with a non-empty degraded tag
+  std::size_t timeouts = 0;    ///< typed "timeout" responses
+  std::size_t overloaded = 0;  ///< typed "overloaded" responses (shed)
   double wall_seconds = 0.0;
   double cache_hits = 0.0;
   double cache_misses = 0.0;
@@ -99,7 +109,34 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[rank];
 }
 
+/// Fold one response into the per-outcome tallies.  `first_error` guards the
+/// one-time diagnostic print of the first hard failure.
+void tally_response(const PlanResponse& response, const std::string& line,
+                    std::atomic<std::size_t>& failed,
+                    std::atomic<std::size_t>& degraded,
+                    std::atomic<std::size_t>& timeouts,
+                    std::atomic<std::size_t>& overloaded,
+                    std::atomic<bool>& first_error) {
+  switch (response.status) {
+    case PlanStatus::kOk:
+      if (!response.degraded.empty()) degraded.fetch_add(1);
+      break;
+    case PlanStatus::kTimeout:
+      timeouts.fetch_add(1);
+      break;
+    case PlanStatus::kOverloaded:
+      overloaded.fetch_add(1);
+      break;
+    case PlanStatus::kError:
+      if (failed.fetch_add(1) == 0 && !first_error.exchange(true)) {
+        std::cerr << "first failure: " << line << "\n";
+      }
+      break;
+  }
+}
+
 LoadReport run_in_process(std::size_t requests, int threads, std::size_t distinct,
+                          std::uint64_t timeout_ms,
                           const PlannerOptions& planner_options,
                           const ServerOptions& server_options) {
   ServiceMetrics metrics;
@@ -108,33 +145,35 @@ LoadReport run_in_process(std::size_t requests, int threads, std::size_t distinc
 
   LoadReport report;
   report.latencies_s.resize(requests);
-  std::vector<std::size_t> failures(static_cast<std::size_t>(threads), 0);
+  std::atomic<std::size_t> failed{0}, degraded{0}, timeouts{0}, overloaded{0};
+  std::atomic<bool> first_error{false};
   std::atomic<std::size_t> next{0};
 
   const Stopwatch wall;
   std::vector<std::thread> clients;
   for (int t = 0; t < threads; ++t) {
-    clients.emplace_back([&, t] {
+    clients.emplace_back([&] {
       while (true) {
         const std::size_t i = next.fetch_add(1);
         if (i >= requests) return;
-        const std::string line = serialize_request(request_for(i % distinct, i));
+        PlanRequest request = request_for(i % distinct, i);
+        if (timeout_ms > 0) request.timeout_ms = timeout_ms;
+        const std::string line = serialize_request(request);
         const Stopwatch timer;
         const std::string response_line = server.submit(line).get();
         report.latencies_s[i] = timer.seconds();
         const PlanResponse response = parse_plan_response(response_line);
-        if (!response.ok) {
-          ++failures[static_cast<std::size_t>(t)];
-          if (failures[static_cast<std::size_t>(t)] == 1) {
-            std::cerr << "first failure: " << response_line << "\n";
-          }
-        }
+        tally_response(response, response_line, failed, degraded, timeouts,
+                       overloaded, first_error);
       }
     });
   }
   for (std::thread& client : clients) client.join();
   report.wall_seconds = wall.seconds();
-  for (const std::size_t f : failures) report.failed += f;
+  report.failed = failed.load();
+  report.degraded = degraded.load();
+  report.timeouts = timeouts.load();
+  report.overloaded = overloaded.load();
 
   const ProfileCacheStats cache = planner.cache_stats();
   report.cache_hits = static_cast<double>(cache.hits);
@@ -148,7 +187,9 @@ LoadReport run_in_process(std::size_t requests, int threads, std::size_t distinc
 /// Drive an external `pglb_serve` over pipes: responses come back in input
 /// order, so request i's latency is send[i] -> i-th response line.
 LoadReport run_against_server(const std::string& server_path, std::size_t requests,
-                              int threads, std::size_t distinct, double scale) {
+                              int threads, std::size_t distinct, double scale,
+                              std::size_t queue_capacity, std::uint64_t timeout_ms,
+                              bool shed) {
   int to_child[2], from_child[2];
   if (pipe(to_child) != 0 || pipe(from_child) != 0) {
     throw std::runtime_error(std::string("pipe: ") + std::strerror(errno));
@@ -162,11 +203,17 @@ LoadReport run_against_server(const std::string& server_path, std::size_t reques
     close(to_child[1]);
     close(from_child[0]);
     close(from_child[1]);
-    const std::string threads_flag = "--threads=" + std::to_string(threads);
-    const std::string scale_flag = "--scale=" + std::to_string(scale);
-    execl(server_path.c_str(), server_path.c_str(), threads_flag.c_str(),
-          scale_flag.c_str(), static_cast<char*>(nullptr));
-    std::perror("execl");
+    std::vector<std::string> args = {server_path,
+                                     "--threads=" + std::to_string(threads),
+                                     "--scale=" + std::to_string(scale),
+                                     "--queue=" + std::to_string(queue_capacity)};
+    if (shed) args.emplace_back("--shed");
+    std::vector<char*> argv_child;
+    argv_child.reserve(args.size() + 1);
+    for (std::string& arg : args) argv_child.push_back(arg.data());
+    argv_child.push_back(nullptr);
+    execv(server_path.c_str(), argv_child.data());
+    std::perror("execv");
     _exit(127);
   }
   close(to_child[0]);
@@ -183,11 +230,18 @@ LoadReport run_against_server(const std::string& server_path, std::size_t reques
 
   // Windowed pipelining: keep at most 2*threads requests in flight so the
   // send timestamps stay meaningful as queueing delay, not just write time.
-  const std::size_t window = static_cast<std::size_t>(threads) * 2;
+  // When shedding is under test the window must be able to overflow the
+  // server queue (threads in service + queue_capacity waiting + extras shed).
+  const std::size_t window =
+      shed ? static_cast<std::size_t>(threads) + queue_capacity + 4
+           : static_cast<std::size_t>(threads) * 2;
   std::mutex mutex;
   std::condition_variable received_cv;
   std::size_t received = 0;
   std::string metrics_line;
+
+  std::atomic<std::size_t> failed{0}, degraded{0}, timeouts{0}, overloaded{0};
+  std::atomic<bool> first_error{false};
 
   const Stopwatch wall;
   std::thread reader([&] {
@@ -202,10 +256,8 @@ LoadReport run_against_server(const std::string& server_path, std::size_t reques
         }
         report.latencies_s[i] = wall.seconds() - sent;
         const PlanResponse response = parse_plan_response(line);
-        if (!response.ok) {
-          ++report.failed;
-          if (report.failed == 1) std::cerr << "first failure: " << line << "\n";
-        }
+        tally_response(response, line, failed, degraded, timeouts, overloaded,
+                       first_error);
       } else {
         metrics_line = line;
       }
@@ -223,7 +275,9 @@ LoadReport run_against_server(const std::string& server_path, std::size_t reques
       received_cv.wait(lock, [&] { return i - received < window; });
       send_time[i] = wall.seconds();
     }
-    to_server << serialize_request(request_for(i % distinct, i)) << '\n' << std::flush;
+    PlanRequest request = request_for(i % distinct, i);
+    if (timeout_ms > 0) request.timeout_ms = timeout_ms;
+    to_server << serialize_request(request) << '\n' << std::flush;
   }
   PlanRequest metrics_request;
   metrics_request.type = RequestType::kMetrics;
@@ -232,6 +286,10 @@ LoadReport run_against_server(const std::string& server_path, std::size_t reques
 
   reader.join();
   report.wall_seconds = wall.seconds();
+  report.failed = failed.load();
+  report.degraded = degraded.load();
+  report.timeouts = timeouts.load();
+  report.overloaded = overloaded.load();
   int status = 0;
   waitpid(pid, &status, 0);
 
@@ -261,6 +319,8 @@ int main(int argc, char** argv) {
     const auto distinct =
         static_cast<std::size_t>(std::max<std::int64_t>(1, cli.get_int("distinct", 8)));
     const std::string server_path = cli.get_string("server", "");
+    const auto timeout_ms = static_cast<std::uint64_t>(cli.get_int("timeout-ms", 0));
+    const bool shed = cli.get_bool("shed", false);
 
     PlannerOptions planner_options;
     planner_options.proxy_scale = cli.get_double("scale", 1.0 / 256.0);
@@ -269,6 +329,7 @@ int main(int argc, char** argv) {
     ServerOptions server_options;
     server_options.threads = threads;
     server_options.queue_capacity = static_cast<std::size_t>(cli.get_int("queue", 256));
+    server_options.shed_when_full = shed;
 
     const auto unused = cli.unused_keys();
     if (!unused.empty()) {
@@ -280,12 +341,13 @@ int main(int argc, char** argv) {
 
     LoadReport report;
     if (server_path.empty()) {
-      report = run_in_process(requests, threads, distinct, planner_options,
-                              server_options);
+      report = run_in_process(requests, threads, distinct, timeout_ms,
+                              planner_options, server_options);
     } else {
 #ifdef __unix__
       report = run_against_server(server_path, requests, threads, distinct,
-                                  planner_options.proxy_scale);
+                                  planner_options.proxy_scale,
+                                  server_options.queue_capacity, timeout_ms, shed);
 #else
       std::cerr << "pglb_loadgen: --server mode is only available on POSIX builds\n";
       return 2;
@@ -301,6 +363,9 @@ int main(int argc, char** argv) {
     Table table({"metric", "value"});
     table.row().cell("requests").cell(static_cast<std::uint64_t>(requests));
     table.row().cell("failed").cell(static_cast<std::uint64_t>(report.failed));
+    table.row().cell("degraded").cell(static_cast<std::uint64_t>(report.degraded));
+    table.row().cell("timeouts").cell(static_cast<std::uint64_t>(report.timeouts));
+    table.row().cell("overloaded").cell(static_cast<std::uint64_t>(report.overloaded));
     table.row().cell("wall seconds").cell(report.wall_seconds, 3);
     table.row().cell("throughput req/s").cell(throughput, 1);
     table.row().cell("p50 latency ms").cell(percentile(sorted, 0.50) * 1e3, 3);
@@ -314,11 +379,20 @@ int main(int argc, char** argv) {
     const auto deltas = counter_deltas(registry_before, global_registry().counters());
     if (!deltas.empty() || !report.service_counters.empty()) {
       Table counters({"counter", "delta"});
+      std::set<std::string> listed;
       for (const auto& [name, value] : deltas) {
         counters.row().cell(name).cell(value);
+        listed.insert(name);
       }
       for (const auto& [name, value] : report.service_counters) {
-        counters.row().cell("service." + name).cell(value);
+        // Flat legacy names get the "service." prefix; dotted names
+        // (service.timeouts, planner.degraded) are already namespaced.
+        const std::string label =
+            name.find('.') != std::string::npos ? name : "service." + name;
+        // Resilience counters are mirrored into the global registry; skip
+        // the service-local copy so each counter appears once.
+        if (!listed.insert(label).second) continue;
+        counters.row().cell(label).cell(value);
       }
       std::cout << "\n";
       counters.print(std::cout);

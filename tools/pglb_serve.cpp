@@ -14,9 +14,18 @@
 // A line {"type":"metrics"} returns the metrics registry (request counts,
 // per-stage latency percentiles, profile-cache hit rate) without planning.
 // --trace-out=FILE records spans for the whole run and writes a Chrome trace
-// at EOF (stdin mode); see docs/OBSERVABILITY.md.
+// at EOF (stdin mode) or on SIGINT/SIGTERM (socket mode); see
+// docs/OBSERVABILITY.md.
+//
+// Resilience flags (docs/ROBUSTNESS.md):
+//   --default-timeout-ms=N  deadline for requests without their own timeout_ms
+//   --shed                  shed with "overloaded" responses instead of
+//                           blocking when the queue is at capacity
 
+#include <chrono>
+#include <csignal>
 #include <iostream>
+#include <thread>
 
 #include "obs/chrome_trace.hpp"
 #include "obs/trace.hpp"
@@ -37,8 +46,33 @@ using namespace pglb;
 namespace {
 
 #ifdef __unix__
+/// Graceful-shutdown state: the handler flips the flag and closes the
+/// listener, which makes the blocking accept() fail — the loop then stops
+/// accepting and main drains in-flight work before exiting.
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_listener_fd = -1;
+
+extern "C" void handle_stop_signal(int) {
+  g_stop = 1;
+  const int fd = g_listener_fd;
+  if (fd >= 0) {
+    g_listener_fd = -1;
+    ::close(fd);  // async-signal-safe; unblocks accept()
+  }
+}
+
+void install_stop_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: accept() must return EINTR/EBADF
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
 /// Accept TCP connections on `port` one at a time, running the line protocol
-/// over each connection until the peer closes it.  Serves forever.
+/// over each connection until the peer closes it.  Serves until SIGINT or
+/// SIGTERM (0) or a fatal listener error (1).
 int serve_socket(PlanServer& server, int port) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
@@ -58,10 +92,35 @@ int serve_socket(PlanServer& server, int port) {
     ::close(listener);
     return 1;
   }
+  g_listener_fd = listener;
+  install_stop_handlers();
   std::cerr << "pglb_serve: listening on 127.0.0.1:" << port << "\n";
   while (true) {
     const int connection = ::accept(listener, nullptr, nullptr);
-    if (connection < 0) continue;
+    if (g_stop) {
+      if (connection >= 0) ::close(connection);
+      break;
+    }
+    if (connection < 0) {
+      const int error = errno;
+      // Retrying every errno unconditionally would busy-spin on fatal ones
+      // (EBADF, EINVAL).  Classify instead: EINTR retries immediately,
+      // transient resource pressure retries after a breather, anything else
+      // is fatal.
+      if (error == EINTR) continue;
+      if (error == ECONNABORTED || error == EAGAIN || error == EWOULDBLOCK ||
+          error == EMFILE || error == ENFILE || error == ENOBUFS ||
+          error == ENOMEM) {
+        std::cerr << "pglb_serve: accept: " << std::strerror(error)
+                  << " (retrying)\n";
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        continue;
+      }
+      std::cerr << "pglb_serve: accept: " << std::strerror(error) << "\n";
+      g_listener_fd = -1;
+      ::close(listener);
+      return 1;
+    }
     __gnu_cxx::stdio_filebuf<char> in_buf(connection, std::ios::in);
     __gnu_cxx::stdio_filebuf<char> out_buf(::dup(connection), std::ios::out);
     std::istream in(&in_buf);
@@ -69,6 +128,11 @@ int serve_socket(PlanServer& server, int port) {
     const std::size_t served = server.serve_stream(in, out);
     std::cerr << "pglb_serve: connection closed after " << served << " requests\n";
   }
+  // Signal path: the handler already closed the listener; drain the queue so
+  // every accepted request gets its response before the process exits.
+  std::cerr << "pglb_serve: stop signal received, draining\n";
+  server.stop();
+  return 0;
 }
 #endif
 
@@ -84,11 +148,14 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("cache", 64));
     planner_options.threads =
         static_cast<unsigned>(cli.get_int("pool-threads", 0));
+    planner_options.default_timeout_ms =
+        static_cast<std::uint64_t>(cli.get_int("default-timeout-ms", 0));
 
     ServerOptions server_options;
     server_options.threads = static_cast<int>(cli.get_int("threads", 4));
     server_options.queue_capacity =
         static_cast<std::size_t>(cli.get_int("queue", 256));
+    server_options.shed_when_full = cli.get_bool("shed", false);
 
     const bool dump_metrics = cli.get_bool("dump-metrics", false);
     const int port = static_cast<int>(cli.get_int("listen", 0));
@@ -107,7 +174,13 @@ int main(int argc, char** argv) {
 
     if (port != 0) {
 #ifdef __unix__
-      return serve_socket(server, port);
+      const int status = serve_socket(server, port);
+      // Graceful-shutdown path (satellite: drain, then flush the trace).
+      if (!trace_out.empty()) {
+        write_chrome_trace(trace_out);
+        std::cerr << "pglb_serve: trace written to " << trace_out << "\n";
+      }
+      return status;
 #else
       std::cerr << "pglb_serve: --listen is only available on POSIX builds\n";
       return 2;
