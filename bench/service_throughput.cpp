@@ -4,9 +4,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "fleet/local_backend.hpp"
+#include "fleet/router.hpp"
 #include "service/server.hpp"
 
 namespace {
@@ -83,6 +86,42 @@ void BM_server_throughput(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kBatch);
 }
 BENCHMARK(BM_server_throughput)->Arg(1)->Arg(2)->Arg(4);
+
+/// Warm-cache routing through the fleet layer (docs/FLEET.md): the cost the
+/// router adds on top of a replica's own submit()->get().  Counters expose
+/// the route-latency distribution from the registry's full bucket vectors
+/// (stage_buckets), not just a point quantile.
+void BM_router_warm_fleet(benchmark::State& state) {
+  Registry router_metrics;
+  RouterOptions options;
+  options.probe_interval_ms = 0;
+  Router router(options, &router_metrics);
+  for (int k = 0; k < static_cast<int>(state.range(0)); ++k) {
+    router.add_backend(std::make_shared<LocalBackend>("b" + std::to_string(k),
+                                                      bench_options()));
+  }
+  std::vector<std::string> lines;
+  for (int v = 0; v < 4; ++v) {
+    lines.push_back(serialize_request(sample_request(v)));
+    router.route(lines.back());  // warm the owning replica's profile cache
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(lines[i++ % lines.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+
+  const auto buckets = router_metrics.stage_buckets("router.route");
+  std::uint64_t observations = 0;
+  for (const LatencyBucket& bucket : buckets) observations += bucket.count;
+  state.counters["route_p50_us"] =
+      router_metrics.stage_quantile_seconds("router.route", 0.50) * 1e6;
+  state.counters["route_p99_us"] =
+      router_metrics.stage_quantile_seconds("router.route", 0.99) * 1e6;
+  state.counters["route_buckets"] = static_cast<double>(buckets.size());
+  state.counters["route_observations"] = static_cast<double>(observations);
+}
+BENCHMARK(BM_router_warm_fleet)->Arg(1)->Arg(3);
 
 }  // namespace
 

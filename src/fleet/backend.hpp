@@ -1,0 +1,51 @@
+#pragma once
+// Transport abstraction of the fleet layer (docs/FLEET.md): a Backend is one
+// planning-service replica reachable over the line-JSON protocol — submit a
+// raw request line, get a future for the raw response line.  The router only
+// ever sees this interface, so the same routing/hedging/failover logic runs
+// against in-process replicas (LocalBackend, tests and benches) and real
+// `pglb_serve --listen` processes (TcpBackend).
+//
+// Error contract: transport problems (dead peer, broken pipe, connect
+// refusal) surface as a BackendError thrown OUT OF THE FUTURE, never as a
+// fabricated protocol response — the router must be able to tell "the
+// backend answered badly" (typed response, returned to the client) from "the
+// backend is gone" (failover + health bookkeeping).
+
+#include <future>
+#include <stdexcept>
+#include <string>
+
+namespace pglb {
+
+/// Transport-level failure of one backend: the request may or may not have
+/// executed remotely (plans are idempotent, so the router is free to retry
+/// elsewhere).
+class BackendError : public std::runtime_error {
+ public:
+  BackendError(const std::string& backend, const std::string& what)
+      : std::runtime_error("backend '" + backend + "': " + what),
+        backend_(backend) {}
+
+  const std::string& backend() const noexcept { return backend_; }
+
+ private:
+  std::string backend_;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Stable display/registry name ("b0", "127.0.0.1:7581", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Enqueue one raw request line.  The future yields the raw response line
+  /// or throws BackendError on transport failure.  Thread-safe; responses on
+  /// one backend preserve submission order (the line protocol answers in
+  /// input order), which is what lets TcpBackend multiplex one persistent
+  /// connection with FIFO matching.
+  virtual std::future<std::string> submit(std::string line) = 0;
+};
+
+}  // namespace pglb

@@ -1,0 +1,103 @@
+#include "fleet/hashing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/proxy_suite.hpp"
+#include "core/time_database.hpp"
+#include "gen/alpha_solver.hpp"
+#include "service/protocol.hpp"
+#include "util/hash.hpp"
+
+namespace pglb {
+
+namespace {
+
+/// Table II proxy alphas — the suite every backend deploys at startup
+/// (core/proxy_suite.cpp seeds exactly these three).
+constexpr double kSuiteAlphas[] = {1.95, 2.1, 2.3};
+
+}  // namespace
+
+std::uint64_t hash_bytes(std::string_view text) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+double routing_proxy_alpha(double alpha) noexcept {
+  double best = kSuiteAlphas[0];
+  double best_gap = std::numeric_limits<double>::infinity();
+  for (const double suite_alpha : kSuiteAlphas) {
+    const double gap = std::abs(alpha - suite_alpha);
+    if (gap < best_gap) {
+      best = suite_alpha;
+      best_gap = gap;
+    }
+  }
+  return best_gap <= ProxySuite::kCoverageMargin ? best : alpha;
+}
+
+std::string routing_key(const PlanRequest& request) {
+  // Same shape as Planner::profile_key(): sorted+deduped classes, app name,
+  // canonical proxy alpha.
+  std::vector<std::string> classes = request.machines;
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  std::string key;
+  for (const std::string& c : classes) {
+    if (!key.empty()) key.push_back('+');
+    key += c;
+  }
+  key.push_back('|');
+  key += to_string(request.app);
+  key.push_back('|');
+  double alpha;
+  if (request.alpha) {
+    alpha = *request.alpha;
+  } else if (request.vertices > 0 && request.edges > 0) {
+    const auto vertices = static_cast<VertexId>(std::min<std::uint64_t>(
+        request.vertices, std::numeric_limits<VertexId>::max()));
+    alpha = fit_alpha_clamped(vertices, request.edges);
+  } else {
+    alpha = 0.0;  // metrics requests carry no graph; key is still stable
+  }
+  key += canonical_alpha(routing_proxy_alpha(alpha));
+  return key;
+}
+
+std::vector<std::size_t> rank_backends(std::string_view key,
+                                       std::span<const std::string> names,
+                                       std::span<const double> weights) {
+  struct Ranked {
+    double score;
+    std::uint64_t hash;
+    std::size_t index;
+  };
+  const std::uint64_t key_hash = hash_bytes(key);
+  std::vector<Ranked> ranked;
+  ranked.reserve(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::uint64_t h = hash_combine(key_hash, hash_bytes(names[i]));
+    // Clamp the unit hash away from 0 so ln() stays finite; 1 is unreachable
+    // (hash_to_unit yields [0, 1)).
+    const double u = std::max(hash_to_unit(h), 0x1.0p-53);
+    const double w = i < weights.size() && weights[i] > 0.0 ? weights[i] : 1.0;
+    ranked.push_back({-w / std::log(u), h, i});
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.hash != b.hash) return a.hash > b.hash;
+    return a.index < b.index;
+  });
+  std::vector<std::size_t> order;
+  order.reserve(ranked.size());
+  for (const Ranked& r : ranked) order.push_back(r.index);
+  return order;
+}
+
+}  // namespace pglb

@@ -1,0 +1,61 @@
+#pragma once
+// Request→backend placement for the fleet router (docs/FLEET.md).
+//
+// Two pieces:
+//
+//  1. routing_key(request): a pure mirror of the planner's profile-cache key
+//     (classes|app|alpha).  Requests that would share a profile-cache entry on
+//     a backend produce the same routing key, so sending equal keys to the
+//     same backend concentrates cache hits instead of spraying the same
+//     profile across the fleet.
+//
+//  2. rank_backends(key, names, weights): weighted rendezvous (highest random
+//     weight) hashing.  Every (key, backend) pair gets an independent hash;
+//     the backend with the best score wins.  Removing a backend only moves
+//     the keys that backend owned — no global reshuffle — and the per-backend
+//     weight skews ownership share in proportion (a CCR-style knob: give a
+//     big replica weight 2.0 and it owns ~2x the key space).
+//
+// Both functions are deterministic and state-free: any router instance, on
+// any host, ranks the same fleet identically.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pglb {
+
+struct PlanRequest;
+
+/// FNV-1a 64-bit over the bytes of `text` (stable across platforms; the
+/// rendezvous scores must not depend on std::hash).
+std::uint64_t hash_bytes(std::string_view text) noexcept;
+
+/// The proxy alpha a backend will resolve this request alpha to, assuming the
+/// stock Table II suite: the nearest of {1.95, 2.1, 2.3} when within
+/// ProxySuite::kCoverageMargin, otherwise `alpha` itself (the backend would
+/// generate an on-demand proxy at exactly that alpha).  Pure — it cannot see
+/// on-demand proxies a backend grew at runtime, so two out-of-range alphas
+/// within the margin of each other may key apart here while colliding on the
+/// backend.  That costs a cache hit, never correctness.
+double routing_proxy_alpha(double alpha) noexcept;
+
+/// Mirror of Planner::profile_key(): "class1+class2|app|alpha" with classes
+/// sorted and deduplicated, alpha in canonical_alpha() form after
+/// routing_proxy_alpha().  Metrics requests (no machines/app constraints
+/// enforced by the parser) still produce a stable key.
+std::string routing_key(const PlanRequest& request);
+
+/// Rendezvous ranking: all backend indices ordered best-first for `key`.
+/// `weights` may be empty (uniform) or one positive weight per backend.
+/// Score for backend i is -w_i / ln(u_i) with u_i a unit hash of
+/// (key, names[i]) — the standard weighted-HRW transform, where backend i's
+/// win probability is proportional to w_i.  Ties (identical scores) break by
+/// hash then index, so the order is total and deterministic.
+std::vector<std::size_t> rank_backends(std::string_view key,
+                                       std::span<const std::string> names,
+                                       std::span<const double> weights = {});
+
+}  // namespace pglb

@@ -1,0 +1,15 @@
+#include "fleet/local_backend.hpp"
+
+namespace pglb {
+
+LocalBackend::LocalBackend(std::string name, PlannerOptions planner_options,
+                           ServerOptions server_options)
+    : name_(std::move(name)),
+      planner_(planner_options, &metrics_),
+      server_(planner_, metrics_, server_options) {}
+
+std::future<std::string> LocalBackend::submit(std::string line) {
+  return server_.submit(std::move(line));
+}
+
+}  // namespace pglb

@@ -1,0 +1,39 @@
+#pragma once
+// In-process backend: a full Planner + PlanServer stack behind the Backend
+// interface.  This is what tests and benches route against — N LocalBackends
+// are N genuinely independent replicas (separate profile caches, separate
+// metrics), minus the TCP hop, so routing properties (cache-hit
+// concentration, byte-identical plans, failover) can be asserted
+// deterministically without sockets or child processes.
+
+#include <future>
+#include <memory>
+#include <string>
+
+#include "fleet/backend.hpp"
+#include "service/planner.hpp"
+#include "service/server.hpp"
+
+namespace pglb {
+
+class LocalBackend : public Backend {
+ public:
+  LocalBackend(std::string name, PlannerOptions planner_options = {},
+               ServerOptions server_options = {});
+
+  const std::string& name() const override { return name_; }
+  std::future<std::string> submit(std::string line) override;
+
+  /// This replica's own metrics (profile_cache_hits / _misses live here) —
+  /// the per-backend counters the hit-rate assertions read.
+  ServiceMetrics& metrics() noexcept { return metrics_; }
+  Planner& planner() noexcept { return planner_; }
+
+ private:
+  std::string name_;
+  ServiceMetrics metrics_;
+  Planner planner_;
+  PlanServer server_;
+};
+
+}  // namespace pglb

@@ -1,0 +1,135 @@
+#include "fleet/registry.hpp"
+
+#include <chrono>
+
+#include "util/json.hpp"
+
+namespace pglb {
+
+namespace {
+
+std::uint64_t steady_now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string_view to_string(BackendState state) noexcept {
+  switch (state) {
+    case BackendState::kUp: return "up";
+    case BackendState::kDown: return "down";
+    case BackendState::kDraining: return "draining";
+  }
+  return "unknown";
+}
+
+FleetRegistry::FleetRegistry(FleetOptions options) : options_(std::move(options)) {
+  if (!options_.clock_ms) options_.clock_ms = steady_now_ms;
+}
+
+std::size_t FleetRegistry::add(std::shared_ptr<Backend> backend, double weight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t index = backends_.size();
+  names_.push_back(backend->name());
+  weights_.push_back(weight > 0.0 ? weight : 1.0);
+  backends_.push_back(std::move(backend));
+  health_.emplace_back();
+  return index;
+}
+
+std::uint64_t FleetRegistry::backoff_ms(std::uint64_t consecutive_failures) const {
+  std::uint64_t window = options_.base_backoff_ms;
+  // Doubling capped at max; the shift bound avoids overflow on long outages.
+  for (std::uint64_t i = 1; i < consecutive_failures && i < 32; ++i) {
+    window *= 2;
+    if (window >= options_.max_backoff_ms) return options_.max_backoff_ms;
+  }
+  return window < options_.max_backoff_ms ? window : options_.max_backoff_ms;
+}
+
+bool FleetRegistry::eligible(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Health& h = health_[index];
+  if (h.draining) return false;
+  return options_.clock_ms() >= h.not_before_ms;
+}
+
+bool FleetRegistry::probe_due(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Health& h = health_[index];
+  if (h.state == BackendState::kDown) return options_.clock_ms() >= h.not_before_ms;
+  return true;  // up and draining backends are always probed (liveness)
+}
+
+void FleetRegistry::record_success(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health& h = health_[index];
+  h.state = h.draining ? BackendState::kDraining : BackendState::kUp;
+  h.consecutive_failures = 0;
+  h.not_before_ms = 0;
+  ++h.successes;
+}
+
+void FleetRegistry::record_failure(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health& h = health_[index];
+  h.state = h.draining ? BackendState::kDraining : BackendState::kDown;
+  ++h.consecutive_failures;
+  ++h.failures;
+  h.not_before_ms = options_.clock_ms() + backoff_ms(h.consecutive_failures);
+}
+
+void FleetRegistry::defer(std::size_t index, std::uint64_t retry_after_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health& h = health_[index];
+  const std::uint64_t until = options_.clock_ms() + retry_after_ms;
+  if (until > h.not_before_ms) h.not_before_ms = until;
+}
+
+void FleetRegistry::set_draining(std::size_t index, bool draining) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health& h = health_[index];
+  h.draining = draining;
+  if (draining) {
+    h.state = BackendState::kDraining;
+  } else {
+    h.state = h.consecutive_failures > 0 ? BackendState::kDown : BackendState::kUp;
+  }
+}
+
+BackendStatus FleetRegistry::status(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Health& h = health_[index];
+  return {names_[index],          weights_[index], h.state,
+          h.consecutive_failures, h.not_before_ms, h.successes,
+          h.failures};
+}
+
+std::string FleetRegistry::status_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "[";
+  for (std::size_t i = 0; i < health_.size(); ++i) {
+    const Health& h = health_[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"name\":";
+    append_json_string(out, names_[i]);
+    out += ",\"state\":\"";
+    out += to_string(h.state);
+    out += "\",\"weight\":";
+    append_json_number(out, weights_[i]);
+    out += ",\"successes\":";
+    append_json_number(out, static_cast<double>(h.successes));
+    out += ",\"failures\":";
+    append_json_number(out, static_cast<double>(h.failures));
+    out += ",\"consecutive_failures\":";
+    append_json_number(out, static_cast<double>(h.consecutive_failures));
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace pglb

@@ -1,0 +1,125 @@
+#pragma once
+// Backend bookkeeping of the fleet router (docs/FLEET.md): which replicas
+// exist, their rendezvous weights, and their health.
+//
+// Health model: a backend is up, down, or draining.
+//  - up:       eligible for routing.
+//  - down:     a transport failure (or failed probe) was observed; ineligible
+//              until its backoff window passes, at which point ONE caller may
+//              probe through (exponential backoff on consecutive failures, so
+//              a dead replica costs O(log) reconnect attempts, not one per
+//              request).
+//  - draining: administratively excluded from NEW requests (planned restart,
+//              scale-in) while in-flight work finishes.  Health probes keep
+//              running so an operator can see it is still alive.
+//
+// Typed backpressure integrates here too: when a backend answers
+// "overloaded" with retry_after_ms, defer() parks it (still up, but
+// ineligible) until that horizon passes — the router retries elsewhere
+// immediately and honours the backend's own hint instead of hammering it.
+//
+// Time is injectable (options.clock_ms) so tests drive backoff and
+// retry-after windows on a virtual clock, the same idiom as
+// BreakerOptions::clock_ms (docs/ROBUSTNESS.md).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fleet/backend.hpp"
+
+namespace pglb {
+
+enum class BackendState { kUp, kDown, kDraining };
+
+std::string_view to_string(BackendState state) noexcept;
+
+struct FleetOptions {
+  /// First backoff window after a failure; doubles per consecutive failure.
+  std::uint64_t base_backoff_ms = 100;
+  /// Backoff ceiling.
+  std::uint64_t max_backoff_ms = 5'000;
+  /// Injectable monotonic clock (milliseconds).  Defaults to steady_clock.
+  std::function<std::uint64_t()> clock_ms;
+};
+
+/// Point-in-time health of one backend, as reported by status_json().
+struct BackendStatus {
+  std::string name;
+  double weight = 1.0;
+  BackendState state = BackendState::kUp;
+  std::uint64_t consecutive_failures = 0;
+  std::uint64_t not_before_ms = 0;  ///< next eligible attempt (0 = now)
+  std::uint64_t successes = 0;      ///< requests + probes answered
+  std::uint64_t failures = 0;       ///< transport failures observed
+};
+
+class FleetRegistry {
+ public:
+  explicit FleetRegistry(FleetOptions options = {});
+
+  /// Register a backend with a rendezvous weight.  Returns its index.  All
+  /// backends must be added before routing starts (indices are stable).
+  std::size_t add(std::shared_ptr<Backend> backend, double weight = 1.0);
+
+  std::size_t size() const noexcept { return backends_.size(); }
+  Backend& backend(std::size_t index) const { return *backends_[index]; }
+  const std::vector<std::string>& names() const noexcept { return names_; }
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+  /// True when `index` may receive a NEW request now: up (or down with its
+  /// backoff window expired — the probe-through path) and not draining and
+  /// not parked by a retry-after hint.
+  bool eligible(std::size_t index) const;
+
+  /// True when `index` should be health-probed now: anything not up whose
+  /// window expired, plus every up backend (liveness confirmation).
+  bool probe_due(std::size_t index) const;
+
+  /// A request or probe succeeded: transition to up, reset failure count.
+  /// Draining is sticky — success keeps a draining backend draining.
+  void record_success(std::size_t index);
+
+  /// A transport failure: transition to down and push not_before out by the
+  /// exponential backoff for the (incremented) consecutive-failure count.
+  void record_failure(std::size_t index);
+
+  /// The backend shed with "overloaded": park it (no state change) until
+  /// now + retry_after_ms.
+  void defer(std::size_t index, std::uint64_t retry_after_ms);
+
+  void set_draining(std::size_t index, bool draining);
+
+  BackendStatus status(std::size_t index) const;
+
+  /// One-line JSON array of per-backend status, deterministic key order:
+  ///   [{"name":...,"state":...,"weight":...,"failures":...,...},...]
+  std::string status_json() const;
+
+  std::uint64_t now_ms() const { return options_.clock_ms(); }
+
+ private:
+  struct Health {
+    BackendState state = BackendState::kUp;
+    bool draining = false;
+    std::uint64_t consecutive_failures = 0;
+    std::uint64_t not_before_ms = 0;
+    std::uint64_t successes = 0;
+    std::uint64_t failures = 0;
+  };
+
+  std::uint64_t backoff_ms(std::uint64_t consecutive_failures) const;
+
+  FleetOptions options_;
+  std::vector<std::shared_ptr<Backend>> backends_;
+  std::vector<std::string> names_;
+  std::vector<double> weights_;
+  mutable std::mutex mutex_;
+  std::vector<Health> health_;
+};
+
+}  // namespace pglb

@@ -1,0 +1,250 @@
+#include "fleet/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "fleet/hashing.hpp"
+#include "obs/trace.hpp"
+#include "service/protocol.hpp"
+
+namespace pglb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The serializer emits a fixed key order, so a substring probe is an exact
+/// status test — no parse needed on the hot path.
+bool is_overloaded_response(const std::string& response) {
+  return response.find("\"status\":\"overloaded\"") != std::string::npos;
+}
+
+std::uint64_t overloaded_retry_after_ms(const std::string& response) {
+  try {
+    return parse_plan_response(response).retry_after_ms;
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+Router::Router(RouterOptions options, Registry* metrics)
+    : options_(options), metrics_(metrics), fleet_(options.fleet) {}
+
+Router::~Router() { stop(); }
+
+void Router::count(std::string_view name, std::uint64_t delta) {
+  if (metrics_ != nullptr) metrics_->count(name, delta);
+}
+
+std::size_t Router::add_backend(std::shared_ptr<Backend> backend, double weight) {
+  return fleet_.add(std::move(backend), weight);
+}
+
+std::string Router::route(const std::string& line) {
+  TraceSpan span("router.route", "fleet");
+  const ScopedTimer timer(metrics_, "router.route");
+  count("router.requests");
+
+  // Routing key + deadline.  Unparseable lines still route (keyed on their
+  // raw bytes): the backend's typed error response is the contract, and it
+  // must be byte-identical to what a direct client would have seen.
+  std::string key;
+  std::string request_id;
+  std::uint64_t deadline_ms = options_.default_deadline_ms;
+  try {
+    const PlanRequest request = parse_plan_request(line);
+    key = routing_key(request);
+    request_id = request.id;
+    if (request.timeout_ms) deadline_ms = *request.timeout_ms;
+  } catch (const std::exception&) {
+    key = line;
+  }
+
+  const auto order = rank_backends(key, fleet_.names(), fleet_.weights());
+  const std::size_t max_attempts =
+      options_.max_attempts == 0 ? order.size()
+                                 : std::min(options_.max_attempts, order.size());
+
+  const auto start = Clock::now();
+  const auto deadline = deadline_ms == 0
+                            ? Clock::time_point::max()
+                            : start + std::chrono::milliseconds(deadline_ms);
+  const bool may_hedge = options_.hedge_delay_ms > 0 && max_attempts > 1;
+  const auto hedge_at =
+      may_hedge ? start + std::chrono::milliseconds(options_.hedge_delay_ms)
+                : Clock::time_point::max();
+
+  struct InFlight {
+    std::size_t index;
+    bool is_hedge;
+    std::future<std::string> future;
+  };
+  std::vector<InFlight> inflight;
+  std::size_t cursor = 0;    // next rank to consider
+  std::size_t attempts = 0;  // distinct backends contacted (hedge included)
+  bool hedged = false;
+  std::string last_overloaded;
+
+  const auto launch = [&](bool is_hedge) -> bool {
+    while (cursor < order.size() && attempts < max_attempts) {
+      const std::size_t index = order[cursor++];
+      if (!fleet_.eligible(index)) continue;
+      ++attempts;
+      count("fleet." + fleet_.names()[index] + ".routed");
+      inflight.push_back(
+          {index, is_hedge, fleet_.backend(index).submit(line)});
+      return true;
+    }
+    return false;
+  };
+
+  if (!launch(false)) {
+    // Every backend is down, draining, or parked: tell the client to retry
+    // once the shortest backoff window could have passed.
+    count("router.unroutable");
+    return serialize_overloaded(request_id, 0, options_.fleet.base_backoff_ms);
+  }
+
+  for (;;) {
+    // Harvest any finished attempt (ready futures first, FIFO among ready).
+    bool progressed = false;
+    for (std::size_t i = 0; i < inflight.size();) {
+      if (inflight[i].future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        ++i;
+        continue;
+      }
+      InFlight attempt = std::move(inflight[i]);
+      inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(i));
+      progressed = true;
+      try {
+        std::string response = attempt.future.get();
+        fleet_.record_success(attempt.index);
+        if (is_overloaded_response(response)) {
+          // Typed backpressure: honour the backend's own retry-after hint,
+          // fail over to the next replica meanwhile.
+          fleet_.defer(attempt.index, overloaded_retry_after_ms(response));
+          count("router.overloaded");
+          last_overloaded = std::move(response);
+          continue;
+        }
+        if (attempt.is_hedge) count("router.hedge_wins");
+        if (tracing_enabled()) {
+          span.set_sarg(intern_trace_label(fleet_.names()[attempt.index]));
+        }
+        return response;
+      } catch (const BackendError&) {
+        fleet_.record_failure(attempt.index);
+        count("router.backend_errors");
+      }
+    }
+
+    if (inflight.empty()) {
+      if (launch(false)) {
+        count("router.failovers");
+        continue;
+      }
+      // Attempt chain exhausted.  An overloaded answer beats a synthetic
+      // error: it is typed, truthful, and carries a retry hint.
+      if (!last_overloaded.empty()) return last_overloaded;
+      count("router.exhausted");
+      PlanResponse response;
+      response.id = request_id;
+      response.ok = false;
+      response.status = PlanStatus::kError;
+      response.error = "fleet: all backends failed";
+      return serialize_response(response);
+    }
+    if (progressed) continue;
+
+    const auto now = Clock::now();
+    if (now >= deadline) {
+      // One line per request, always: expire the chain with a typed timeout
+      // exactly as a single overwhelmed backend would.
+      count("router.deadline_expired");
+      PlanResponse response;
+      response.id = request_id;
+      response.ok = false;
+      response.status = PlanStatus::kTimeout;
+      response.error = "router: deadline of " + std::to_string(deadline_ms) +
+                       " ms exceeded";
+      return serialize_response(response);
+    }
+    if (!hedged && now >= hedge_at) {
+      hedged = true;  // at most one duplicate per request
+      if (launch(true)) count("router.hedges");
+    }
+
+    auto wake = std::min(deadline, now + std::chrono::milliseconds(1));
+    if (!hedged) wake = std::min(wake, hedge_at);
+    inflight.front().future.wait_until(wake);
+  }
+}
+
+std::size_t Router::probe_once() {
+  std::size_t healthy = 0;
+  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+    if (!fleet_.probe_due(i)) continue;
+    count("router.probes");
+    auto future =
+        fleet_.backend(i).submit(R"({"type":"metrics","id":"fleet-probe"})");
+    if (future.wait_for(std::chrono::milliseconds(options_.probe_timeout_ms)) !=
+        std::future_status::ready) {
+      // The response, if it ever comes, is consumed by the channel's FIFO
+      // matching; the probe itself counts as a failure.
+      fleet_.record_failure(i);
+      count("router.probe_failures");
+      continue;
+    }
+    try {
+      future.get();
+      fleet_.record_success(i);
+      ++healthy;
+    } catch (const BackendError&) {
+      fleet_.record_failure(i);
+      count("router.probe_failures");
+    }
+  }
+  return healthy;
+}
+
+void Router::start() {
+  if (options_.probe_interval_ms == 0 || prober_.joinable()) return;
+  stopping_ = false;
+  prober_ = std::thread([this] { prober_loop(); });
+}
+
+void Router::prober_loop() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stopping_) {
+    lock.unlock();
+    probe_once();
+    lock.lock();
+    stop_cv_.wait_for(lock,
+                      std::chrono::milliseconds(options_.probe_interval_ms),
+                      [&] { return stopping_; });
+  }
+}
+
+void Router::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+std::string Router::fleet_json() const {
+  std::string out = "{\"backends\":";
+  out += fleet_.status_json();
+  out += ",\"hedge_delay_ms\":" + std::to_string(options_.hedge_delay_ms);
+  out += ",\"probe_interval_ms\":" + std::to_string(options_.probe_interval_ms);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace pglb

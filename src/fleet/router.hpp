@@ -1,0 +1,106 @@
+#pragma once
+// The fleet router (docs/FLEET.md): fronts N planning backends with
+// cache-affine placement, health checking, hedged retries, and typed-aware
+// failover.
+//
+//  - Placement: rendezvous-ranks the fleet on the request's routing key
+//    (fleet/hashing.hpp) so requests sharing a profile-cache entry land on
+//    the same replica — the profile cache stays hot instead of being diluted
+//    K ways.
+//  - Failover: a transport failure (BackendError) marks the backend down
+//    (exponential backoff, fleet/registry.hpp) and retries the next-ranked
+//    replica.  A typed "overloaded" response parks the backend for its own
+//    retry_after_ms hint and fails over likewise.  Typed "error"/"timeout"
+//    responses are the backend's answer, not a transport problem — they are
+//    returned to the client untouched.
+//  - Hedging: if the first replica has not answered within hedge_delay_ms,
+//    ONE duplicate is sent to the next-ranked replica and the first response
+//    wins.  Plans are deterministic, so both replicas would produce the same
+//    bytes — hedging changes tail latency, never the answer.
+//  - Deadline: the request's own timeout_ms (or the router default) bounds
+//    the whole attempt chain; on expiry the router synthesizes a typed
+//    "timeout" response, so clients always get one line per request.
+//
+// route() is thread-safe and blocking (one caller thread per in-flight
+// request, the same model as PlanServer::serve_stream's workers).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fleet/registry.hpp"
+#include "obs/registry.hpp"
+
+namespace pglb {
+
+struct RouterOptions {
+  /// Deadline for requests that do not carry timeout_ms.  0 = unbounded.
+  std::uint64_t default_deadline_ms = 30'000;
+  /// Send one duplicate to the next-ranked replica after this long without a
+  /// response.  0 disables hedging.
+  std::uint64_t hedge_delay_ms = 0;
+  /// Distinct backends contacted per request (failovers and the hedge each
+  /// consume a slot).  0 = every backend.
+  std::size_t max_attempts = 0;
+  /// Background health-probe cadence.  0 disables the prober thread.
+  std::uint64_t probe_interval_ms = 500;
+  /// How long a probe may wait for its metrics response.
+  std::uint64_t probe_timeout_ms = 2'000;
+  /// Health/backoff tuning, including the injectable clock.
+  FleetOptions fleet;
+};
+
+class Router {
+ public:
+  /// Counters and latency stages are recorded into `metrics` (may be null).
+  explicit Router(RouterOptions options = {}, Registry* metrics = nullptr);
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Register a backend (before routing starts).  Returns its index.
+  std::size_t add_backend(std::shared_ptr<Backend> backend, double weight = 1.0);
+
+  /// Route one raw request line; always returns exactly one response line.
+  /// Unparseable lines are still forwarded (keyed on their raw bytes) so the
+  /// backend's own typed error response reaches the client byte-identical to
+  /// the single-backend path.
+  std::string route(const std::string& line);
+
+  /// Start the background prober (no-op when probe_interval_ms == 0).
+  void start();
+
+  /// Stop the prober and stop accepting work (idempotent; destructor calls it).
+  void stop();
+
+  /// Probe every due backend once, synchronously.  Returns the number of
+  /// healthy responses.  The prober thread calls this on its cadence; tests
+  /// call it directly for deterministic health transitions.
+  std::size_t probe_once();
+
+  FleetRegistry& fleet() noexcept { return fleet_; }
+
+  /// {"backends":[...status_json...],"hedge_delay_ms":...} — the fleet block
+  /// pglb_router splices into its metrics responses.
+  std::string fleet_json() const;
+
+ private:
+  void count(std::string_view name, std::uint64_t delta = 1);
+  void prober_loop();
+
+  RouterOptions options_;
+  Registry* metrics_;
+  FleetRegistry fleet_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread prober_;
+};
+
+}  // namespace pglb

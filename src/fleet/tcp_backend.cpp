@@ -1,0 +1,127 @@
+#include "fleet/tcp_backend.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pglb {
+
+TcpBackend::TcpBackend(std::string name, std::uint16_t port, std::string host)
+    : name_(std::move(name)), host_(std::move(host)), port_(port) {}
+
+TcpBackend::~TcpBackend() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Wake the reader; it owns closing the descriptor on its way out.
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    fail_pending_locked("backend shut down");
+  }
+  if (reader_.joinable()) reader_.join();
+}
+
+bool TcpBackend::connect_locked(std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *error = "bad host '" + host_ + "'";
+    return false;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    *error = std::string("connect: ") + std::strerror(saved);
+    return false;
+  }
+  // Lines are small and latency-sensitive; never wait on Nagle.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  reader_ = std::thread([this, fd] { reader_loop(fd); });
+  return true;
+}
+
+void TcpBackend::fail_pending_locked(const std::string& what) {
+  for (std::promise<std::string>& promise : pending_) {
+    promise.set_exception(std::make_exception_ptr(BackendError(name_, what)));
+  }
+  pending_.clear();
+}
+
+void TcpBackend::reader_loop(int fd) {
+  std::string buffer;
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;  // EOF or error: the stream ordering is gone
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
+         start = nl + 1) {
+      std::string line = buffer.substr(start, nl - start);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.empty()) continue;  // unsolicited line; drop
+      pending_.front().set_value(std::move(line));
+      pending_.pop_front();
+    }
+    buffer.erase(0, start);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  fail_pending_locked("connection lost");
+  if (fd_ == fd) fd_ = -1;
+  ::close(fd);
+}
+
+std::future<std::string> TcpBackend::submit(std::string line) {
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (fd_ < 0) {
+    // Reap the previous connection's reader before starting a new one.  Done
+    // outside the lock: the exiting reader takes the mutex for its cleanup.
+    std::thread old;
+    old.swap(reader_);
+    lock.unlock();
+    if (old.joinable()) old.join();
+    lock.lock();
+    std::string error;
+    if (fd_ < 0 && !connect_locked(&error)) {
+      promise.set_exception(std::make_exception_ptr(BackendError(name_, error)));
+      return future;
+    }
+  }
+
+  line.push_back('\n');
+  // Queue the promise BEFORE writing: the response can race back on the
+  // reader thread the instant the last byte lands.
+  pending_.push_back(std::move(promise));
+  std::size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string what = std::string("send: ") + std::strerror(errno);
+      fail_pending_locked(what);  // includes the promise just queued
+      ::shutdown(fd_, SHUT_RDWR);  // reader notices and closes the fd
+      break;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return future;
+}
+
+}  // namespace pglb

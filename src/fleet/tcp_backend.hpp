@@ -1,0 +1,58 @@
+#pragma once
+// TCP backend: one `pglb_serve --listen <port>` process behind the Backend
+// interface, multiplexed over a single persistent loopback connection.
+//
+// The line protocol answers in input order per connection (PlanServer's
+// serve_stream reorders worker output), so the channel needs no request ids
+// on the wire: submit() appends the line and queues a promise; a reader
+// thread fulfils promises strictly FIFO as response lines arrive.  Requests
+// from many router threads pipeline on the one connection — exactly the
+// windowed-pipelining shape pglb_loadgen uses, now wrapped in a reusable
+// class.
+//
+// Failure semantics: any read or write error fails EVERY pending promise
+// with BackendError (ordering is unrecoverable once the stream breaks) and
+// tears the connection down; the next submit() transparently reconnects.
+// The router turns those BackendErrors into failover + health bookkeeping.
+
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fleet/backend.hpp"
+
+namespace pglb {
+
+class TcpBackend : public Backend {
+ public:
+  /// Does not connect — the first submit() does (so a fleet can be declared
+  /// before its processes finish starting).
+  TcpBackend(std::string name, std::uint16_t port,
+             std::string host = "127.0.0.1");
+  ~TcpBackend() override;
+
+  TcpBackend(const TcpBackend&) = delete;
+  TcpBackend& operator=(const TcpBackend&) = delete;
+
+  const std::string& name() const override { return name_; }
+  std::future<std::string> submit(std::string line) override;
+
+ private:
+  bool connect_locked(std::string* error);
+  void fail_pending_locked(const std::string& what);
+  void reader_loop(int fd);
+
+  std::string name_;
+  std::string host_;
+  std::uint16_t port_;
+
+  std::mutex mutex_;
+  int fd_ = -1;                                 // -1 = disconnected
+  std::deque<std::promise<std::string>> pending_;
+  std::thread reader_;
+};
+
+}  // namespace pglb

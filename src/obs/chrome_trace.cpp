@@ -61,9 +61,17 @@ std::string chrome_trace_json(std::span<const SpanEvent> events) {
     const std::uint64_t dur =
         event.end_ns >= event.start_ns ? event.end_ns - event.start_ns : 0;
     append_json_number(out, static_cast<double>(dur) / 1e3);
-    if (event.arg != kTraceNoArg) {
-      out += ",\"args\":{\"v\":";
-      append_json_number(out, static_cast<double>(event.arg));
+    if (event.arg != kTraceNoArg || event.sarg != nullptr) {
+      out += ",\"args\":{";
+      if (event.arg != kTraceNoArg) {
+        out += "\"v\":";
+        append_json_number(out, static_cast<double>(event.arg));
+        if (event.sarg != nullptr) out.push_back(',');
+      }
+      if (event.sarg != nullptr) {
+        out += "\"label\":";
+        append_json_string(out, event.sarg);
+      }
       out += "}";
     }
     out += "}";

@@ -24,6 +24,16 @@ void LatencyHistogram::record_seconds(double seconds) {
   buckets_.add(bucket_of(seconds * 1e6));
 }
 
+std::vector<LatencyBucket> LatencyHistogram::nonzero_buckets() const {
+  std::vector<LatencyBucket> out;
+  const auto& counts = buckets_.counts();
+  for (std::uint64_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    out.push_back({b, bucket_floor_us(b), counts[b]});
+  }
+  return out;
+}
+
 double LatencyHistogram::quantile_seconds(double q) const {
   const std::uint64_t total = buckets_.total();
   if (total == 0) return 0.0;
@@ -71,12 +81,29 @@ double Registry::stage_quantile_seconds(std::string_view stage, double q) const 
   return it != stages_.end() ? it->second.quantile_seconds(q) : 0.0;
 }
 
+std::vector<LatencyBucket> Registry::stage_buckets(std::string_view stage) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(stage);
+  return it != stages_.end() ? it->second.nonzero_buckets()
+                             : std::vector<LatencyBucket>{};
+}
+
+std::vector<std::string> Registry::stage_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(stages_.size());
+  for (const auto& [name, histogram] : stages_) {
+    if (histogram.count() > 0) names.push_back(name);
+  }
+  return names;
+}
+
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return {counters_.begin(), counters_.end()};
 }
 
-std::string Registry::to_json(const std::string& extra) const {
+std::string Registry::to_json(const std::string& extra, bool include_buckets) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
@@ -112,6 +139,21 @@ std::string Registry::to_json(const std::string& extra) const {
       out += label;
       out += "\":";
       append_json_number(out, std::round(histogram.quantile_seconds(q) * 1e6));
+    }
+    if (include_buckets) {
+      // Sparse [floor_us, count] pairs: the whole distribution, ascending.
+      out += ",\"buckets\":[";
+      bool first_bucket = true;
+      for (const LatencyBucket& bucket : histogram.nonzero_buckets()) {
+        if (!first_bucket) out.push_back(',');
+        first_bucket = false;
+        out.push_back('[');
+        append_json_number(out, bucket.floor_us);
+        out.push_back(',');
+        append_json_number(out, static_cast<double>(bucket.count));
+        out.push_back(']');
+      }
+      out.push_back(']');
     }
     out.push_back('}');
   }

@@ -27,6 +27,15 @@
 
 namespace pglb {
 
+/// One occupied latency bucket: geometric index, inclusive lower bound in
+/// microseconds, and observation count — the unit of the full-distribution
+/// export (snapshots carry every occupied bucket, not just point quantiles).
+struct LatencyBucket {
+  std::uint64_t bucket = 0;
+  double floor_us = 0.0;
+  std::uint64_t count = 0;
+};
+
 class LatencyHistogram {
  public:
   void record_seconds(double seconds);
@@ -36,6 +45,9 @@ class LatencyHistogram {
   /// Latency at quantile q in [0, 1], as the representative (geometric lower
   /// bound) of the bucket containing it.  0 when empty.
   double quantile_seconds(double q) const;
+
+  /// Sparse distribution: every occupied bucket in ascending index order.
+  std::vector<LatencyBucket> nonzero_buckets() const;
 
   const ExactHistogram& buckets() const noexcept { return buckets_; }
 
@@ -69,6 +81,14 @@ class Registry {
   /// suggested retry-after.
   double stage_quantile_seconds(std::string_view stage, double q) const;
 
+  /// Full latency distribution of `stage` as its occupied buckets (empty for
+  /// unknown stages) — what the fleet's per-backend latency reports and the
+  /// cost/Pareto benches plot instead of point quantiles.
+  std::vector<LatencyBucket> stage_buckets(std::string_view stage) const;
+
+  /// Sorted names of every stage with at least one observation.
+  std::vector<std::string> stage_names() const;
+
   /// Sorted (name, value) snapshot of every counter — the stable order
   /// pglb_loadgen prints registry deltas in.
   std::vector<std::pair<std::string, std::uint64_t>> counters() const;
@@ -79,7 +99,11 @@ class Registry {
   ///    "stages":{"plan":{"count":N,"p50_us":...,...}}}
   /// Extra top-level fields (e.g. cache stats) can be injected by the caller
   /// via `extra`, a pre-serialized JSON fragment like "\"cache\":{...}".
-  std::string to_json(const std::string& extra = "") const;
+  /// `include_buckets` appends the full distribution to every stage as
+  /// "buckets":[[floor_us,count],...] (occupied buckets only); default off so
+  /// the classic quantile-only snapshot stays byte-identical.
+  std::string to_json(const std::string& extra = "",
+                      bool include_buckets = false) const;
 
  private:
   mutable std::mutex mutex_;

@@ -5,17 +5,25 @@
 #include <cstdlib>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <unordered_set>
 
 namespace pglb {
 
 namespace {
 
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
 std::atomic<bool>& enabled_flag() {
-  static std::atomic<bool> enabled([] {
-    const char* env = std::getenv("PGLB_TRACE");
-    return env != nullptr && env[0] != '\0' &&
-           !(env[0] == '0' && env[1] == '\0');
-  }());
+  static std::atomic<bool> enabled(env_flag("PGLB_TRACE"));
+  return enabled;
+}
+
+std::atomic<bool>& ring_reuse_flag() {
+  static std::atomic<bool> enabled(env_flag("PGLB_TRACE_RING"));
   return enabled;
 }
 
@@ -29,12 +37,42 @@ void set_tracing_enabled(bool enabled) noexcept {
   enabled_flag().store(enabled, std::memory_order_relaxed);
 }
 
+bool trace_ring_reuse() noexcept {
+  return ring_reuse_flag().load(std::memory_order_relaxed);
+}
+
+void set_trace_ring_reuse(bool enabled) noexcept {
+  ring_reuse_flag().store(enabled, std::memory_order_relaxed);
+}
+
+const char* intern_trace_label(std::string_view text) {
+  // Leaked pool (same lifetime argument as the Tracer singleton): pointers
+  // into it stay valid for spans emitted from threads outliving main().
+  // std::unordered_set<std::string> never moves its element storage, so the
+  // returned c_str() pointers are stable across rehashes.
+  static std::mutex* mutex = new std::mutex();
+  static auto* pool = new std::unordered_set<std::string>();
+  std::lock_guard<std::mutex> lock(*mutex);
+  return pool->emplace(text).first->c_str();
+}
+
 /// Per-thread span store: a grow-only linked list of fixed-size chunks.  The
 /// owning thread is the only writer; it publishes each record with a release
 /// store of `published`, so readers that acquire `published` see every slot
-/// (and every chunk link) written before it.  Chunks are never freed or
-/// reused — clear() only moves the `cleared` watermark — which is what makes
-/// concurrent snapshots race-free without any reader/writer lock.
+/// (and every chunk link) written before it.  Chunks are never freed, and in
+/// the default mode never reused — clear() only moves the `cleared`
+/// watermark — which is what makes concurrent snapshots race-free without any
+/// reader/writer lock.
+///
+/// Ring reuse (opt-in, trace_ring_reuse()): clear() additionally sets
+/// `rewind_pending`, and the owner rewinds to its first chunk at the start of
+/// its next append.  Safety argument: clear() sets cleared = published under
+/// the tracer's buffers_mutex before scheduling the rewind, so every reader
+/// (which also holds buffers_mutex) either finishes before the rewind is
+/// scheduled or observes published <= cleared and never touches the slots the
+/// owner is about to overwrite.  The rewind stores published = 0 BEFORE
+/// cleared = 0; a reader that later acquires published = k therefore also
+/// sees cleared = 0 and reads only the k freshly written slots.
 struct Tracer::ThreadBuffer {
   static constexpr std::uint64_t kChunkSpans = 1024;
 
@@ -54,23 +92,49 @@ struct Tracer::ThreadBuffer {
   }
 
   void append(const SpanRecord& record) {
+    if (rewind_pending.load(std::memory_order_relaxed)) rewind();
     const std::uint64_t n = owner_count;
     if (n >= kMaxSpansPerThread) {
       dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     if (n % kChunkSpans == 0) {
-      Chunk* chunk = new Chunk();
-      if (owner_tail != nullptr) {
-        owner_tail->next.store(chunk, std::memory_order_release);
+      if (n == 0) {
+        // First span ever, or first span after a rewind: (re)start at the
+        // head chunk.  Only the owner ever stores head, so a relaxed
+        // same-thread load is sufficient.
+        Chunk* first = head.load(std::memory_order_relaxed);
+        if (first == nullptr) {
+          first = new Chunk();
+          head.store(first, std::memory_order_release);
+        }
+        owner_tail = first;
       } else {
-        head.store(chunk, std::memory_order_release);
+        // Reuse the next chunk when a previous lap already allocated it.
+        Chunk* next = owner_tail->next.load(std::memory_order_relaxed);
+        if (next == nullptr) {
+          next = new Chunk();
+          owner_tail->next.store(next, std::memory_order_release);
+        }
+        owner_tail = next;
       }
-      owner_tail = chunk;
     }
     owner_tail->spans[n % kChunkSpans] = record;
     owner_count = n + 1;
     published.store(n + 1, std::memory_order_release);
+  }
+
+  /// Owner-thread response to a ring-mode clear(): restart at the head chunk
+  /// with a fresh span and drop budget.  Store order (published before
+  /// cleared) is what keeps concurrent snapshots off the recycled slots.
+  void rewind() {
+    rewind_pending.store(false, std::memory_order_relaxed);
+    owner_count = 0;
+    owner_tail = nullptr;  // re-established by the n == 0 branch of append()
+    published.store(0, std::memory_order_release);
+    cleared.store(0, std::memory_order_release);
+    dropped.store(0, std::memory_order_relaxed);
+    dropped_cleared.store(0, std::memory_order_relaxed);
   }
 
   const std::uint32_t tid;
@@ -85,6 +149,7 @@ struct Tracer::ThreadBuffer {
   std::atomic<std::uint64_t> cleared{0};
   std::atomic<std::uint64_t> dropped{0};
   std::atomic<std::uint64_t> dropped_cleared{0};
+  std::atomic<bool> rewind_pending{false};
 };
 
 struct Tracer::Impl {
@@ -121,7 +186,8 @@ void Tracer::emit(const SpanRecord& record) { local_buffer().append(record); }
 
 void Tracer::emit_complete(const char* name, const char* category,
                            std::uint64_t start_ns, std::uint64_t end_ns,
-                           std::uint64_t arg, std::int32_t vtrack) {
+                           std::uint64_t arg, std::int32_t vtrack,
+                           const char* sarg) {
   if (!tracing_enabled()) return;
   SpanRecord record;
   record.name = name;
@@ -130,6 +196,7 @@ void Tracer::emit_complete(const char* name, const char* category,
   record.end_ns = end_ns;
   record.arg = arg;
   record.vtrack = vtrack;
+  record.sarg = sarg;
   emit(record);
 }
 
@@ -181,12 +248,16 @@ std::uint64_t Tracer::spans_dropped() const {
 }
 
 void Tracer::clear() {
+  const bool ring = trace_ring_reuse();
   std::lock_guard<std::mutex> lock(impl_->buffers_mutex);
   for (const auto& buffer : impl_->buffers) {
     buffer->cleared.store(buffer->published.load(std::memory_order_acquire),
                           std::memory_order_release);
     buffer->dropped_cleared.store(buffer->dropped.load(std::memory_order_relaxed),
                                   std::memory_order_relaxed);
+    // Ring mode: ask the owner to restart at its first chunk on its next
+    // span, replenishing its capacity (see the ThreadBuffer safety note).
+    if (ring) buffer->rewind_pending.store(true, std::memory_order_relaxed);
   }
 }
 

@@ -15,6 +15,14 @@
 // Enable at runtime with set_tracing_enabled(true) or the PGLB_TRACE
 // environment variable (any value except "" and "0").
 //
+// Long-running sessions: per-thread capacity is a fixed kMaxSpansPerThread
+// and clear() normally only moves a watermark, so a day-long traced service
+// that periodically flushes eventually drops everything.  Opt in to
+// ring-style chunk reuse with set_trace_ring_reuse(true) (or PGLB_TRACE_RING)
+// and clear() also schedules a rewind: each emitting thread, on its next
+// span, rewinds to its first chunk and overwrites — capacity is replenished
+// and memory stays bounded by the chunks already allocated.
+//
 // Tracing is purely observational: spans record what happened, they never
 // feed back into any computed value — determinism goldens hold bit-for-bit
 // with tracing on or off at any thread count
@@ -26,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 namespace pglb {
@@ -42,6 +51,8 @@ struct SpanRecord {
   std::uint64_t start_ns = 0;
   std::uint64_t end_ns = 0;
   std::uint64_t arg = kTraceNoArg;  ///< optional numeric payload (kTraceNoArg = none)
+  const char* sarg = nullptr;       ///< optional string payload; static storage
+                                    ///< required (literal or intern_trace_label)
   std::int32_t vtrack = -1;         ///< -1 = host span on the emitting thread
 };
 
@@ -53,6 +64,18 @@ struct SpanEvent : SpanRecord {
 /// Global runtime switch (process-wide, lazily seeded from PGLB_TRACE).
 bool tracing_enabled() noexcept;
 void set_tracing_enabled(bool enabled) noexcept;
+
+/// Ring-reuse switch (process-wide, lazily seeded from PGLB_TRACE_RING).
+/// While enabled, Tracer::clear() replenishes per-thread span capacity by
+/// scheduling a chunk rewind instead of just moving the watermark.
+bool trace_ring_reuse() noexcept;
+void set_trace_ring_reuse(bool enabled) noexcept;
+
+/// Intern a dynamic string for use as a span's string arg.  Returns a stable,
+/// process-lifetime pointer; repeated calls with equal text return the same
+/// pointer.  Intended for bounded label sets (backend names, partitioner
+/// shapes) — do NOT intern unbounded per-request data, the pool never shrinks.
+const char* intern_trace_label(std::string_view text);
 
 class Tracer {
  public:
@@ -70,7 +93,8 @@ class Tracer {
   /// Convenience: emit with explicit timestamps if tracing is enabled.
   void emit_complete(const char* name, const char* category,
                      std::uint64_t start_ns, std::uint64_t end_ns,
-                     std::uint64_t arg = kTraceNoArg, std::int32_t vtrack = -1);
+                     std::uint64_t arg = kTraceNoArg, std::int32_t vtrack = -1,
+                     const char* sarg = nullptr);
 
   /// All spans published since the last clear(), across every thread that
   /// ever emitted.  Safe to call concurrently with emission: a concurrent
@@ -80,8 +104,12 @@ class Tracer {
   std::uint64_t spans_recorded() const;  ///< published and not cleared
   std::uint64_t spans_dropped() const;   ///< lost to the per-thread capacity
 
-  /// Discard every currently-published span (watermark move; buffers are
-  /// retained, so per-thread capacity is NOT replenished).
+  /// Discard every currently-published span.  Default mode: a watermark move
+  /// only — buffers are retained and per-thread capacity is NOT replenished.
+  /// With trace_ring_reuse() enabled, additionally schedules a rewind: each
+  /// emitting thread restarts at its first chunk on its next span, reusing
+  /// the already-allocated chunks, so capacity is replenished without
+  /// unbounded memory growth.
   void clear();
 
   /// Per-thread span capacity; beyond it spans are dropped, not reallocated.
@@ -102,13 +130,21 @@ class Tracer {
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name, const char* category = "pglb",
-                     std::uint64_t arg = kTraceNoArg) noexcept {
+                     std::uint64_t arg = kTraceNoArg,
+                     const char* sarg = nullptr) noexcept {
     if (tracing_enabled()) {
       name_ = name;
       category_ = category;
       arg_ = arg;
+      sarg_ = sarg;
       start_ns_ = Tracer::instance().now_ns();
     }
+  }
+
+  /// Attach a string payload after construction (e.g. once the routed
+  /// backend is known).  No-op when tracing was disabled at entry.
+  void set_sarg(const char* sarg) noexcept {
+    if (name_ != nullptr) sarg_ = sarg;
   }
 
   ~TraceSpan() {
@@ -120,6 +156,7 @@ class TraceSpan {
       record.start_ns = start_ns_;
       record.end_ns = tracer.now_ns();
       record.arg = arg_;
+      record.sarg = sarg_;
       tracer.emit(record);
     }
   }
@@ -131,6 +168,7 @@ class TraceSpan {
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   std::uint64_t arg_ = kTraceNoArg;
+  const char* sarg_ = nullptr;
   std::uint64_t start_ns_ = 0;
 };
 
@@ -138,6 +176,7 @@ class TraceSpan {
 #if defined(PGLB_DISABLE_TRACING)
 #define PGLB_TRACE_SPAN(name, category) ((void)0)
 #define PGLB_TRACE_SPAN_ARG(name, category, arg) ((void)0)
+#define PGLB_TRACE_SPAN_SARG(name, category, sarg) ((void)0)
 #else
 #define PGLB_OBS_CONCAT2(a, b) a##b
 #define PGLB_OBS_CONCAT(a, b) PGLB_OBS_CONCAT2(a, b)
@@ -145,6 +184,12 @@ class TraceSpan {
   const ::pglb::TraceSpan PGLB_OBS_CONCAT(pglb_trace_span_, __LINE__)(name, category)
 #define PGLB_TRACE_SPAN_ARG(name, category, arg) \
   const ::pglb::TraceSpan PGLB_OBS_CONCAT(pglb_trace_span_, __LINE__)(name, category, arg)
+// String-payload span: `sarg` must have static storage (string literal or
+// intern_trace_label).  The expression is evaluated unconditionally — intern
+// once at setup time and pass the pointer, not per span.
+#define PGLB_TRACE_SPAN_SARG(name, category, sarg)                  \
+  const ::pglb::TraceSpan PGLB_OBS_CONCAT(pglb_trace_span_, __LINE__)( \
+      name, category, ::pglb::kTraceNoArg, sarg)
 #endif
 
 }  // namespace pglb

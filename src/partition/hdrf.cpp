@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "obs/trace.hpp"
 #include "util/deadline.hpp"
@@ -13,7 +14,11 @@ namespace pglb {
 PartitionAssignment HdrfPartitioner::partition(const EdgeList& graph,
                                                std::span<const double> weights,
                                                std::uint64_t seed) const {
-  PGLB_TRACE_SPAN("partition.hdrf", "partition");
+  PGLB_TRACE_SPAN_SARG(
+      "partition.hdrf", "partition",
+      tracing_enabled()
+          ? intern_trace_label("machines=" + std::to_string(weights.size()))
+          : nullptr);
   const auto shares = normalized_weights(weights);
   const auto num_machines = static_cast<MachineId>(shares.size());
   if (num_machines > 64) throw std::invalid_argument("hdrf: at most 64 machines supported");

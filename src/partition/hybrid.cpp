@@ -1,5 +1,7 @@
 #include "partition/hybrid.hpp"
 
+#include <string>
+
 #include "obs/trace.hpp"
 #include "util/deadline.hpp"
 #include "util/hash.hpp"
@@ -9,7 +11,13 @@ namespace pglb {
 PartitionAssignment HybridPartitioner::partition(const EdgeList& graph,
                                                  std::span<const double> weights,
                                                  std::uint64_t seed) const {
-  PGLB_TRACE_SPAN("partition.hybrid", "partition");
+  // Label carries the machine count (bounded label set, interned once per
+  // distinct count); the guard keeps the disabled-tracing path allocation-free.
+  PGLB_TRACE_SPAN_SARG(
+      "partition.hybrid", "partition",
+      tracing_enabled()
+          ? intern_trace_label("machines=" + std::to_string(weights.size()))
+          : nullptr);
   const auto shares = normalized_weights(weights);
   const auto cum = prefix_sum(shares);
 

@@ -29,9 +29,11 @@ class ServiceMetrics {
 
   /// Snapshot as one-line JSON with deterministic key ordering:
   ///   {"counters":{...},"gauges":{...},"stages":{...}}
-  /// `extra` injects pre-serialized top-level fields (e.g. cache stats).
-  std::string to_json(const std::string& extra = "") const {
-    return registry_.to_json(extra);
+  /// `extra` injects pre-serialized top-level fields (e.g. cache stats);
+  /// `include_buckets` adds the full per-stage latency distributions.
+  std::string to_json(const std::string& extra = "",
+                      bool include_buckets = false) const {
+    return registry_.to_json(extra, include_buckets);
   }
 
   /// The underlying registry, for callers that need gauges or raw snapshots.

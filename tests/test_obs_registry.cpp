@@ -150,6 +150,66 @@ TEST(LatencyHistogram, RecordSecondsHandlesNegative) {
   EXPECT_DOUBLE_EQ(histogram.quantile_seconds(0.99), 0.0);
 }
 
+// --- full-distribution bucket export (fleet satellite) ---------------------
+
+TEST(LatencyHistogram, NonzeroBucketsAreSparseSortedAndComplete) {
+  LatencyHistogram histogram;
+  histogram.record_seconds(1e-6);   // ~1 us
+  histogram.record_seconds(1e-6);
+  histogram.record_seconds(1e-3);   // ~1 ms
+  histogram.record_seconds(1.0);    // ~1 s
+
+  const auto buckets = histogram.nonzero_buckets();
+  ASSERT_EQ(buckets.size(), 3u);  // occupied buckets only, no zero runs
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i > 0) EXPECT_LT(buckets[i - 1].bucket, buckets[i].bucket);
+    EXPECT_DOUBLE_EQ(buckets[i].floor_us,
+                     LatencyHistogram::bucket_floor_us(buckets[i].bucket));
+    total += buckets[i].count;
+  }
+  EXPECT_EQ(total, histogram.count());  // nothing dropped, nothing doubled
+  EXPECT_EQ(buckets.front().count, 2u);
+}
+
+TEST(Registry, StageBucketsExposeFullDistribution) {
+  Registry registry;
+  registry.observe("route", 1e-6);
+  registry.observe("route", 2e-3);
+  EXPECT_TRUE(registry.stage_buckets("unknown").empty());
+
+  const auto buckets = registry.stage_buckets("route");
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].count + buckets[1].count, 2u);
+
+  const auto names = registry.stage_names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "route");
+}
+
+TEST(Registry, JsonBucketsAreOptInAndParseable) {
+  Registry registry;
+  registry.observe("plan", 5e-4);
+  registry.observe("plan", 5e-4);
+
+  // Default snapshot stays byte-identical to the classic quantile-only form.
+  const std::string plain = registry.to_json();
+  EXPECT_EQ(plain.find("\"buckets\""), std::string::npos);
+
+  const std::string with_buckets = registry.to_json("", /*include_buckets=*/true);
+  EXPECT_EQ(with_buckets, registry.to_json("", true));  // deterministic
+  const JsonValue parsed = parse_json(with_buckets);
+  const JsonValue* stage = parsed.find("stages")->find("plan");
+  ASSERT_NE(stage, nullptr);
+  const JsonValue* buckets = stage->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->as_array().size(), 1u);
+  const auto& pair = buckets->as_array()[0].as_array();
+  ASSERT_EQ(pair.size(), 2u);  // [floor_us, count]
+  EXPECT_GT(pair[0].as_number(), 0.0);
+  EXPECT_EQ(pair[1].as_number(), 2.0);
+}
+
 TEST(LatencyHistogram, QuantilesAreMonotone) {
   LatencyHistogram histogram;
   for (int i = 1; i <= 1000; ++i) {

@@ -30,6 +30,13 @@ struct TracingGuard {
   bool previous;
 };
 
+/// Same for the ring-reuse switch.
+struct RingGuard {
+  RingGuard() : previous(trace_ring_reuse()) {}
+  ~RingGuard() { set_trace_ring_reuse(previous); }
+  bool previous;
+};
+
 std::uint64_t edge_digest(const EdgeList& g) {
   std::uint64_t h = hash_u64(g.num_vertices(), 0xABCD);
   for (const Edge& e : g.edges()) h = hash_combine(h, hash_edge(e.src, e.dst));
@@ -188,6 +195,78 @@ TEST(ChromeTrace, PipelineStagesLeaveSpans) {
   EXPECT_TRUE(saw_profile);
   EXPECT_TRUE(saw_partition);
   EXPECT_TRUE(saw_superstep);
+}
+
+TEST(TraceRuntime, StringArgsAreRecordedAndInterned) {
+  const TracingGuard guard;
+  Tracer::instance().clear();
+  // Interning is idempotent: equal text, same stable pointer.
+  const char* label = intern_trace_label("backend-7");
+  EXPECT_EQ(label, intern_trace_label(std::string("backend-") + "7"));
+
+  set_tracing_enabled(true);
+  { PGLB_TRACE_SPAN_SARG("routed", "test", label); }
+  {
+    TraceSpan span("late-bound", "test");
+    // The router idiom: attach the label once the backend is known.
+    span.set_sarg(intern_trace_label("machines=4"));
+  }
+  set_tracing_enabled(false);
+
+  bool saw_routed = false, saw_late = false;
+  for (const SpanEvent& event : Tracer::instance().snapshot()) {
+    const std::string name = event.name;
+    if (name == "routed") {
+      saw_routed = true;
+      EXPECT_EQ(event.sarg, label);  // pointer-stable, no copy
+    }
+    if (name == "late-bound") {
+      saw_late = true;
+      ASSERT_NE(event.sarg, nullptr);
+      EXPECT_STREQ(event.sarg, "machines=4");
+    }
+  }
+  EXPECT_TRUE(saw_routed);
+  EXPECT_TRUE(saw_late);
+
+  // The Chrome export carries the payload as an args "label" entry.
+  const std::string json = chrome_trace_json(Tracer::instance().snapshot());
+  EXPECT_NE(json.find("\"label\":\"backend-7\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"machines=4\""), std::string::npos);
+}
+
+// Ring-reuse satellite: with set_trace_ring_reuse(true), clear() replenishes
+// per-thread capacity by rewinding to the first chunk, so a long-running
+// service that flushes periodically never starts dropping.  Each round must
+// see exactly its own spans — nothing lost, nothing resurrected.
+TEST(TraceRing, ClearReplenishesCapacityViaChunkRewind) {
+  const TracingGuard guard;
+  const RingGuard ring_guard;
+  set_trace_ring_reuse(true);
+  Tracer::instance().clear();
+  set_tracing_enabled(true);
+
+  constexpr int kRounds = 3;
+  constexpr int kSpansPerRound = 1000;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int i = 0; i < kSpansPerRound; ++i) {
+      PGLB_TRACE_SPAN("ring-span", "test");
+    }
+    EXPECT_EQ(Tracer::instance().spans_recorded(),
+              static_cast<std::uint64_t>(kSpansPerRound))
+        << "round " << round;
+    const auto events = Tracer::instance().snapshot();
+    EXPECT_EQ(events.size(), static_cast<std::size_t>(kSpansPerRound))
+        << "round " << round;
+    for (const SpanEvent& event : events) {
+      ASSERT_STREQ(event.name, "ring-span");
+      ASSERT_GE(event.end_ns, event.start_ns);
+    }
+    Tracer::instance().clear();
+    EXPECT_EQ(Tracer::instance().spans_recorded(), 0u);
+  }
+  set_tracing_enabled(false);
+  EXPECT_EQ(Tracer::instance().spans_dropped(), 0u);
 }
 
 #endif  // PGLB_DISABLE_TRACING

@@ -15,16 +15,28 @@
 // Resilience knobs (docs/ROBUSTNESS.md): --timeout-ms stamps a per-request
 // deadline on every request; --shed turns on admission control (in-process
 // and --server mode both).
+//
+// Fleet mode (docs/FLEET.md): --router=K spawns K `pglb_serve --listen`
+// backends (binary from --server), routes the same mix through an in-process
+// fleet Router with hedging and health probes, KILLS one backend mid-run and
+// restarts it, and reports per-backend routing counts and cache hit rates on
+// top of the usual tallies.  Typed failover means the kill must produce zero
+// "error" responses — the run still exits 0.
+//
+//   pglb_loadgen --requests=200 --router=3 --server=./pglb_serve --scale=0.004
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <iostream>
+#include <memory>
 #include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
+#include "fleet/router.hpp"
+#include "fleet/tcp_backend.hpp"
 #include "obs/registry.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
@@ -32,6 +44,10 @@
 #include "util/table.hpp"
 
 #ifdef __unix__
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -81,6 +97,17 @@ struct LoadReport {
   double cache_hit_rate = 0.0;
   /// Per-service counters (requests_total, profile_cache_*); in-process only.
   std::vector<std::pair<std::string, std::uint64_t>> service_counters;
+  /// Fleet mode (--router): per-backend "name: routed / hits / misses" rows
+  /// plus the route-latency distribution as occupied buckets.
+  struct BackendReport {
+    std::string name;
+    std::uint64_t routed = 0;
+    double cache_hits = 0.0;
+    double cache_misses = 0.0;
+    bool alive = true;
+  };
+  std::vector<BackendReport> backends;
+  std::vector<LatencyBucket> route_buckets;
 };
 
 /// Nonzero counter deltas of the process-wide registry across the run — what
@@ -307,6 +334,200 @@ LoadReport run_against_server(const std::string& server_path, std::size_t reques
   }
   return report;
 }
+
+// --- fleet mode -------------------------------------------------------------
+
+struct ServeChild {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+ServeChild spawn_serve(const std::string& serve_path, std::uint16_t port,
+                       int threads, double scale, std::size_t queue) {
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    std::vector<std::string> args = {serve_path,
+                                     "--listen=" + std::to_string(port),
+                                     "--threads=" + std::to_string(threads),
+                                     "--scale=" + std::to_string(scale),
+                                     "--queue=" + std::to_string(queue)};
+    std::vector<char*> argv_child;
+    argv_child.reserve(args.size() + 1);
+    for (std::string& arg : args) argv_child.push_back(arg.data());
+    argv_child.push_back(nullptr);
+    execv(serve_path.c_str(), argv_child.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  return {pid, port};
+}
+
+void wait_listening(std::uint16_t port, std::uint64_t timeout_ms) {
+  for (std::uint64_t waited = 0;; waited += 50) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port);
+      const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      ::close(fd);
+      if (rc == 0) return;
+    }
+    if (waited >= timeout_ms) {
+      throw std::runtime_error("backend on port " + std::to_string(port) +
+                               " did not start listening");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+/// Route the mix through an in-process fleet Router over K spawned backends.
+/// Backend 0 is SIGKILLed at ~40% of the run and restarted at ~70% — the
+/// router must absorb both transitions with typed responses only.
+LoadReport run_against_router(const std::string& serve_path, std::size_t requests,
+                              int threads, std::size_t distinct, double scale,
+                              std::size_t queue_capacity, std::uint64_t timeout_ms,
+                              std::size_t fleet_size, std::uint16_t base_port,
+                              std::uint64_t hedge_ms) {
+  std::vector<ServeChild> children;
+  const auto kill_children = [&] {
+    for (ServeChild& child : children) {
+      if (child.pid > 0) kill(child.pid, SIGKILL);
+    }
+    for (ServeChild& child : children) {
+      int status = 0;
+      if (child.pid > 0) waitpid(child.pid, &status, 0);
+      child.pid = -1;
+    }
+  };
+  try {
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      const auto port = static_cast<std::uint16_t>(base_port + k);
+      children.push_back(spawn_serve(serve_path, port, threads, scale, queue_capacity));
+    }
+    for (const ServeChild& child : children) wait_listening(child.port, 30'000);
+
+    RouterOptions options;
+    options.hedge_delay_ms = hedge_ms;
+    options.probe_interval_ms = 100;
+    Registry router_metrics;
+    auto router = std::make_unique<Router>(options, &router_metrics);
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      router->add_backend(std::make_shared<TcpBackend>("b" + std::to_string(k),
+                                                       children[k].port));
+    }
+    router->start();
+
+    LoadReport report;
+    report.latencies_s.resize(requests);
+    std::atomic<std::size_t> failed{0}, degraded{0}, timeouts{0}, overloaded{0};
+    std::atomic<bool> first_error{false};
+    std::atomic<std::size_t> next{0};
+    const std::size_t kill_at = requests * 2 / 5;
+    const std::size_t restart_at = requests * 7 / 10;
+    std::mutex fleet_mutex;  // guards children[0] across kill/restart threads
+
+    const Stopwatch wall;
+    std::vector<std::thread> clients;
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= requests) return;
+          if (i == kill_at && fleet_size > 1) {
+            // Hard failure, not a drain: SIGKILL mid-connection.  The router
+            // sees BackendError, marks b0 down, and fails over.
+            std::lock_guard<std::mutex> lock(fleet_mutex);
+            kill(children[0].pid, SIGKILL);
+            int status = 0;
+            waitpid(children[0].pid, &status, 0);
+            children[0].pid = -1;
+            std::cerr << "loadgen: killed backend b0 at request " << i << "\n";
+          }
+          if (i == restart_at && fleet_size > 1) {
+            std::lock_guard<std::mutex> lock(fleet_mutex);
+            if (children[0].pid < 0) {
+              children[0] = spawn_serve(serve_path, children[0].port, threads,
+                                        scale, queue_capacity);
+              wait_listening(children[0].port, 30'000);
+              std::cerr << "loadgen: restarted backend b0 at request " << i << "\n";
+            }
+          }
+          PlanRequest request = request_for(i % distinct, i);
+          if (timeout_ms > 0) request.timeout_ms = timeout_ms;
+          const std::string line = serialize_request(request);
+          const Stopwatch timer;
+          const std::string response_line = router->route(line);
+          report.latencies_s[i] = timer.seconds();
+          const PlanResponse response = parse_plan_response(response_line);
+          tally_response(response, response_line, failed, degraded, timeouts,
+                         overloaded, first_error);
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    report.wall_seconds = wall.seconds();
+    report.failed = failed.load();
+    report.degraded = degraded.load();
+    report.timeouts = timeouts.load();
+    report.overloaded = overloaded.load();
+
+    // Per-backend routing counts (router side) and cache stats (backend
+    // side, via a metrics request — a restarted backend reports its fresh
+    // cache, which is the honest number).
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      LoadReport::BackendReport backend;
+      backend.name = "b" + std::to_string(k);
+      backend.routed = router_metrics.counter("fleet." + backend.name + ".routed");
+      backend.alive = children[k].pid > 0;
+      if (backend.alive) {
+        try {
+          auto future = router->fleet().backend(k).submit(
+              R"({"type":"metrics","id":"loadgen-final"})");
+          const JsonValue metrics = parse_json(future.get());
+          if (const JsonValue* cache = metrics.find("cache")) {
+            if (const JsonValue* v = cache->find("hits")) {
+              backend.cache_hits = v->as_number();
+            }
+            if (const JsonValue* v = cache->find("misses")) {
+              backend.cache_misses = v->as_number();
+            }
+          }
+        } catch (const std::exception&) {
+          backend.alive = false;
+        }
+      }
+      report.cache_hits += backend.cache_hits;
+      report.cache_misses += backend.cache_misses;
+      report.backends.push_back(std::move(backend));
+    }
+    const double cache_total = report.cache_hits + report.cache_misses;
+    report.cache_hit_rate = cache_total > 0.0 ? report.cache_hits / cache_total : 0.0;
+    report.route_buckets = router_metrics.stage_buckets("router.route");
+    report.service_counters = router_metrics.counters();
+
+    router->stop();
+    // Close the persistent connections BEFORE reaping: a backend blocked in
+    // serve_stream needs the peer to disconnect to reach its drain path.
+    router.reset();
+    // Graceful this time: SIGTERM and reap, the drain contract under test in
+    // the smoke runs.
+    for (ServeChild& child : children) {
+      if (child.pid > 0) kill(child.pid, SIGTERM);
+    }
+    for (ServeChild& child : children) {
+      int status = 0;
+      if (child.pid > 0) waitpid(child.pid, &status, 0);
+      child.pid = -1;
+    }
+    return report;
+  } catch (...) {
+    kill_children();
+    throw;
+  }
+}
 #endif
 
 }  // namespace
@@ -321,6 +542,9 @@ int main(int argc, char** argv) {
     const std::string server_path = cli.get_string("server", "");
     const auto timeout_ms = static_cast<std::uint64_t>(cli.get_int("timeout-ms", 0));
     const bool shed = cli.get_bool("shed", false);
+    const auto fleet_size = static_cast<std::size_t>(cli.get_int("router", 0));
+    const auto base_port = static_cast<std::uint16_t>(cli.get_int("base-port", 7611));
+    const auto hedge_ms = static_cast<std::uint64_t>(cli.get_int("hedge-ms", 0));
 
     PlannerOptions planner_options;
     planner_options.proxy_scale = cli.get_double("scale", 1.0 / 256.0);
@@ -340,7 +564,21 @@ int main(int argc, char** argv) {
     const auto registry_before = global_registry().counters();
 
     LoadReport report;
-    if (server_path.empty()) {
+    if (fleet_size > 0) {
+#ifdef __unix__
+      if (server_path.empty()) {
+        std::cerr << "pglb_loadgen: --router needs --server=PATH to pglb_serve\n";
+        return 2;
+      }
+      report = run_against_router(server_path, requests, threads, distinct,
+                                  planner_options.proxy_scale,
+                                  server_options.queue_capacity, timeout_ms,
+                                  fleet_size, base_port, hedge_ms);
+#else
+      std::cerr << "pglb_loadgen: --router mode is only available on POSIX builds\n";
+      return 2;
+#endif
+    } else if (server_path.empty()) {
       report = run_in_process(requests, threads, distinct, timeout_ms,
                               planner_options, server_options);
     } else {
@@ -396,6 +634,32 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
       counters.print(std::cout);
+    }
+
+    if (!report.backends.empty()) {
+      Table fleet({"backend", "routed", "hits", "misses", "hit rate", "state"});
+      for (const LoadReport::BackendReport& backend : report.backends) {
+        const double total = backend.cache_hits + backend.cache_misses;
+        fleet.row()
+            .cell(backend.name)
+            .cell(backend.routed)
+            .cell(backend.cache_hits, 0)
+            .cell(backend.cache_misses, 0)
+            .cell(format_percent(total > 0.0 ? backend.cache_hits / total : 0.0))
+            .cell(backend.alive ? "up" : "down");
+      }
+      std::cout << "\n";
+      fleet.print(std::cout);
+    }
+    if (!report.route_buckets.empty()) {
+      // Full route-latency distribution (obs satellite): occupied geometric
+      // buckets as floor_us:count pairs, ascending.
+      std::cout << "\nroute latency buckets:";
+      for (const LatencyBucket& bucket : report.route_buckets) {
+        std::cout << ' ' << static_cast<std::uint64_t>(bucket.floor_us) << ':'
+                  << bucket.count;
+      }
+      std::cout << "\n";
     }
 
     return report.failed == 0 ? 0 : 1;

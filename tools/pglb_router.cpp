@@ -1,0 +1,341 @@
+// pglb_router — front a fleet of pglb_serve backends with cache-affine
+// routing, health checks, hedged retries, and failover (docs/FLEET.md).
+// Speaks the same line protocol as pglb_serve: one JSON request per stdin
+// line, one JSON response per stdout line, in input order, exit at EOF.
+//
+//   pglb_router --spawn=3 --serve=./pglb_serve --base-port=7601 --scale=0.004
+//   pglb_router --backends=7601,7602,7603
+//
+// --spawn=K forks K `pglb_serve --listen` children on consecutive ports and
+// reaps them at exit; --backends attaches to an already-running fleet.  A
+// {"type":"metrics"} line answers from the ROUTER's registry (router.* and
+// per-backend fleet.* counters, route latency with full bucket vectors) plus
+// a "fleet" block with per-backend health — it never forwards, so it works
+// even with every backend down.
+//
+// SIGINT/SIGTERM: stop reading, answer everything in flight, send the
+// spawned children SIGTERM and reap them, then exit 0 — the same graceful
+// drain contract as pglb_serve.
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/router.hpp"
+#include "fleet/tcp_backend.hpp"
+#include "service/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/parse.hpp"
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <csignal>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+using namespace pglb;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void handle_stop_signal(int) {
+  g_stop = 1;
+  // Unblocks the blocking stdin read; the main loop then drains and exits.
+  ::close(STDIN_FILENO);
+}
+
+void install_stop_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: the read must return
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+struct ChildProcess {
+  pid_t pid = -1;
+  std::uint16_t port = 0;
+};
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) {
+      tokens.push_back(text.substr(start));
+      break;
+    }
+    tokens.push_back(text.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return tokens;
+}
+
+ChildProcess spawn_serve(const std::string& serve_path, std::uint16_t port,
+                         int threads, double scale, std::size_t queue,
+                         bool shed) {
+  const pid_t pid = ::fork();
+  if (pid < 0) throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    std::vector<std::string> args = {serve_path,
+                                     "--listen=" + std::to_string(port),
+                                     "--threads=" + std::to_string(threads),
+                                     "--scale=" + std::to_string(scale),
+                                     "--queue=" + std::to_string(queue)};
+    if (shed) args.emplace_back("--shed");
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(serve_path.c_str(), argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  return {pid, port};
+}
+
+/// Poll-connect until the backend accepts (it may still be generating its
+/// proxy suite).  Throws after `timeout_ms`.
+void wait_listening(std::uint16_t port, std::uint64_t timeout_ms) {
+  for (std::uint64_t waited = 0;; waited += 50) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port);
+      const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      ::close(fd);
+      if (rc == 0) return;
+    }
+    if (waited >= timeout_ms) {
+      throw std::runtime_error("backend on port " + std::to_string(port) +
+                               " did not start listening");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+/// Pump stdin->stdout through router.route() on `threads` workers, emitting
+/// responses in input order (the serve_stream contract).
+std::size_t pump(Router& router, Registry& metrics, int threads,
+                 bool metrics_buckets) {
+  std::mutex mutex;
+  std::condition_variable work_cv;
+  std::condition_variable out_cv;
+  std::deque<std::pair<std::size_t, std::string>> backlog;
+  std::map<std::size_t, std::string> done;
+  std::size_t active = 0;  // dequeued but not yet in `done`
+  bool eof = false;
+  std::size_t next_out = 0;
+  const auto all_drained = [&] { return eof && backlog.empty() && active == 0 && done.empty(); };
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        std::pair<std::size_t, std::string> job;
+        {
+          std::unique_lock<std::mutex> lock(mutex);
+          work_cv.wait(lock, [&] { return !backlog.empty() || eof; });
+          if (backlog.empty()) return;
+          job = std::move(backlog.front());
+          backlog.pop_front();
+          ++active;
+        }
+        std::string response;
+        bool is_metrics = false;
+        try {
+          is_metrics = parse_plan_request(job.second).type == RequestType::kMetrics;
+        } catch (const std::exception&) {
+        }
+        if (is_metrics) {
+          // Router-side view: counters, route latency (with the full bucket
+          // vectors), and per-backend health.  Deliberately not forwarded.
+          response =
+              metrics.to_json("\"fleet\":" + router.fleet_json(), metrics_buckets);
+        } else {
+          response = router.route(job.second);
+        }
+        {
+          std::lock_guard<std::mutex> lock(mutex);
+          done.emplace(job.first, std::move(response));
+          --active;
+        }
+        out_cv.notify_one();
+      }
+    });
+  }
+
+  std::size_t sequence = 0;
+  std::thread writer([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      out_cv.wait(lock, [&] { return done.count(next_out) != 0 || all_drained(); });
+      const auto it = done.find(next_out);
+      if (it == done.end()) {
+        if (all_drained()) return;
+        continue;
+      }
+      const std::string line = std::move(it->second);
+      done.erase(it);
+      ++next_out;
+      lock.unlock();
+      std::cout << line << '\n' << std::flush;
+      lock.lock();
+    }
+  });
+
+  std::string line;
+  while (!g_stop && std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      backlog.emplace_back(sequence++, line);
+    }
+    work_cv.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    eof = true;
+  }
+  work_cv.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  out_cv.notify_all();  // writer may be waiting on work that will never come
+  writer.join();
+  return sequence;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  std::vector<ChildProcess> children;
+  try {
+    const auto spawn = static_cast<std::size_t>(cli.get_int("spawn", 0));
+    const std::string backends_csv = cli.get_string("backends", "");
+    const std::string serve_path = cli.get_string("serve", "./pglb_serve");
+    const auto base_port = static_cast<std::uint16_t>(cli.get_int("base-port", 7601));
+    const int threads = static_cast<int>(cli.get_int("threads", 4));
+    const int backend_threads = static_cast<int>(cli.get_int("backend-threads", 4));
+    const double scale = cli.get_double("scale", 1.0 / 256.0);
+    const auto queue = static_cast<std::size_t>(cli.get_int("queue", 256));
+    const bool shed = cli.get_bool("shed", false);
+    const std::string weights_csv = cli.get_string("weights", "");
+    const bool metrics_buckets = cli.get_bool("metrics-buckets", true);
+
+    RouterOptions options;
+    options.default_deadline_ms =
+        static_cast<std::uint64_t>(cli.get_int("default-timeout-ms", 30'000));
+    options.hedge_delay_ms = static_cast<std::uint64_t>(cli.get_int("hedge-ms", 0));
+    options.max_attempts = static_cast<std::size_t>(cli.get_int("max-attempts", 0));
+    options.probe_interval_ms =
+        static_cast<std::uint64_t>(cli.get_int("probe-ms", 500));
+
+    const auto unused = cli.unused_keys();
+    if (!unused.empty()) {
+      std::cerr << "pglb_router: unknown flag --" << unused.front() << "\n";
+      return 2;
+    }
+    if ((spawn == 0) == backends_csv.empty()) {
+      std::cerr << "pglb_router: need exactly one of --spawn=K or --backends=p1,p2\n";
+      return 2;
+    }
+
+    std::vector<std::uint16_t> ports;
+    if (spawn > 0) {
+      for (std::size_t k = 0; k < spawn; ++k) {
+        const auto port = static_cast<std::uint16_t>(base_port + k);
+        children.push_back(
+            spawn_serve(serve_path, port, backend_threads, scale, queue, shed));
+        ports.push_back(port);
+      }
+      for (const std::uint16_t port : ports) wait_listening(port, 30'000);
+    } else {
+      for (const std::string& token : split_csv(backends_csv)) {
+        const auto port = parse_int(token);
+        if (!port || *port <= 0 || *port > 65535) {
+          std::cerr << "pglb_router: bad port '" << token << "'\n";
+          return 2;
+        }
+        ports.push_back(static_cast<std::uint16_t>(*port));
+      }
+    }
+
+    std::vector<double> weights;
+    if (!weights_csv.empty()) {
+      for (const std::string& token : split_csv(weights_csv)) {
+        const auto weight = parse_double(token);
+        if (!weight || *weight <= 0.0) {
+          std::cerr << "pglb_router: bad weight '" << token << "'\n";
+          return 2;
+        }
+        weights.push_back(*weight);
+      }
+      if (weights.size() != ports.size()) {
+        std::cerr << "pglb_router: --weights needs one value per backend\n";
+        return 2;
+      }
+    }
+
+    Registry metrics;
+    auto router = std::make_unique<Router>(options, &metrics);
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      router->add_backend(
+          std::make_shared<TcpBackend>("b" + std::to_string(i), ports[i]),
+          weights.empty() ? 1.0 : weights[i]);
+    }
+    install_stop_handlers();
+    router->start();
+    std::cerr << "pglb_router: fronting " << ports.size() << " backend(s)\n";
+
+    const std::size_t served = pump(*router, metrics, threads, metrics_buckets);
+    router->stop();
+    // Tear the router down BEFORE reaping: destroying the TcpBackends closes
+    // the persistent connections, which is what lets a backend blocked in
+    // serve_stream reach its own drain path.
+    router.reset();
+    std::cerr << "pglb_router: drained after " << served << " request(s)\n";
+
+    for (const ChildProcess& child : children) ::kill(child.pid, SIGTERM);
+    for (const ChildProcess& child : children) {
+      int status = 0;
+      ::waitpid(child.pid, &status, 0);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "pglb_router: " << e.what() << "\n";
+    for (const ChildProcess& child : children) {
+      if (child.pid > 0) ::kill(child.pid, SIGKILL);
+    }
+    for (const ChildProcess& child : children) {
+      int status = 0;
+      if (child.pid > 0) ::waitpid(child.pid, &status, 0);
+    }
+    return 1;
+  }
+}
+
+#else  // !__unix__
+
+int main() {
+  std::cerr << "pglb_router: only available on POSIX builds\n";
+  return 2;
+}
+
+#endif

@@ -51,6 +51,7 @@ namespace {
 /// accepting and main drains in-flight work before exiting.
 volatile std::sig_atomic_t g_stop = 0;
 volatile std::sig_atomic_t g_listener_fd = -1;
+volatile std::sig_atomic_t g_connection_fd = -1;
 
 extern "C" void handle_stop_signal(int) {
   g_stop = 1;
@@ -59,6 +60,12 @@ extern "C" void handle_stop_signal(int) {
     g_listener_fd = -1;
     ::close(fd);  // async-signal-safe; unblocks accept()
   }
+  // The signal may land on a worker thread, in which case the main thread's
+  // blocking read on the active connection is NOT interrupted — shut the
+  // connection down (async-signal-safe) so serve_stream sees EOF and the
+  // drain path runs no matter which thread took the signal.
+  const int conn = g_connection_fd;
+  if (conn >= 0) ::shutdown(conn, SHUT_RD);
 }
 
 void install_stop_handlers() {
@@ -121,11 +128,13 @@ int serve_socket(PlanServer& server, int port) {
       ::close(listener);
       return 1;
     }
+    g_connection_fd = connection;
     __gnu_cxx::stdio_filebuf<char> in_buf(connection, std::ios::in);
     __gnu_cxx::stdio_filebuf<char> out_buf(::dup(connection), std::ios::out);
     std::istream in(&in_buf);
     std::ostream out(&out_buf);
     const std::size_t served = server.serve_stream(in, out);
+    g_connection_fd = -1;
     std::cerr << "pglb_serve: connection closed after " << served << " requests\n";
   }
   // Signal path: the handler already closed the listener; drain the queue so

@@ -86,3 +86,71 @@ if(PGLB_SERVE)
   endforeach()
   file(REMOVE ${requests} ${responses})
 endif()
+
+# Fleet smoke (docs/FLEET.md): pglb_router --spawn=3 fronting three pglb_serve
+# children.  Drives the long-lived process over a FIFO so the test can: plan,
+# read the router-side metrics (with the "fleet" health block), SIGKILL one
+# backend, verify the next plan still succeeds (failover), then SIGTERM the
+# router and insist on a clean drain (exit 0, children reaped).
+if(PGLB_ROUTER AND EXISTS "/bin/bash")  # script mode: UNIX is not defined here
+  set(router_script ${WORKDIR}/router_smoke.sh)
+  file(WRITE ${router_script}
+"set -eu
+cd '${WORKDIR}'
+rm -f rin rout.jsonl rerr.log
+mkfifo rin
+exec 3<>rin   # hold the write end open: router stdin must not see EOF
+'${PGLB_ROUTER}' --spawn=3 --serve='${PGLB_SERVE}' --base-port=7641 \\
+    --backend-threads=2 --scale=0.002 --probe-ms=100 <rin >rout.jsonl 2>rerr.log &
+RPID=$!
+for i in $(seq 1 600); do
+  grep -q 'fronting 3' rerr.log 2>/dev/null && break; sleep 0.1
+done
+grep -q 'fronting 3' rerr.log
+
+send() { printf '%s\\n' \"$1\" >&3; }
+await_lines() {
+  for i in $(seq 1 600); do
+    [ \"$(wc -l <rout.jsonl)\" -ge \"$1\" ] && return 0; sleep 0.1
+  done
+  echo 'timed out waiting for router responses' >&2; exit 1
+}
+
+send '{\"id\":\"r1\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}'
+send '{\"type\":\"metrics\",\"id\":\"m1\"}'
+await_lines 2
+grep -q '\"id\":\"r1\",\"status\":\"ok\"' rout.jsonl
+grep -q '\"fleet\":{\"backends\":' rout.jsonl   # router-side metrics, never forwarded
+
+kill -KILL \"$(pgrep -f 'listen=7641' | head -1)\"   # one backend dies mid-run
+send '{\"id\":\"r2\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}'
+await_lines 3
+grep -q '\"id\":\"r2\",\"status\":\"ok\"' rout.jsonl  # failover kept planning
+
+kill -TERM \"$RPID\"
+wait \"$RPID\"                                  # set -e: non-zero exit fails here
+grep -q 'drained after' rerr.log
+if pgrep -f 'listen=764[123]' >/dev/null; then
+  echo 'pglb_serve children survived the drain' >&2; exit 1
+fi
+
+# One-shot pipe mode: stdin hits EOF while responses are still in flight, so
+# the drain must wait for dequeued-but-unfinished work (regression: the
+# writer once exited on eof+empty-queues and dropped in-flight responses).
+printf '%s\\n%s\\n' \\
+  '{\"id\":\"p1\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}' \\
+  '{\"id\":\"p2\",\"app\":\"pagerank\",\"machines\":[\"bogus_box\"],\"vertices\":10,\"edges\":10}' \\
+  | '${PGLB_ROUTER}' --spawn=1 --serve='${PGLB_SERVE}' --base-port=7645 \\
+      --backend-threads=2 --scale=0.002 >pipe.jsonl 2>/dev/null
+[ \"$(wc -l <pipe.jsonl)\" -eq 2 ]             # one line per request, always
+grep -q '\"id\":\"p1\",\"status\":\"ok\"' pipe.jsonl
+grep -q '\"id\":\"p2\",\"status\":\"error\"' pipe.jsonl  # typed error passthrough
+")
+  execute_process(COMMAND bash ${router_script}
+                  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "router smoke failed (${code}):\n${out}\n${err}")
+  endif()
+  file(REMOVE ${router_script} ${WORKDIR}/rin ${WORKDIR}/rout.jsonl
+       ${WORKDIR}/rerr.log ${WORKDIR}/pipe.jsonl)
+endif()
