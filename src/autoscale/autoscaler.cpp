@@ -1,0 +1,170 @@
+#include "autoscale/autoscaler.hpp"
+
+#include <algorithm>
+
+#include "machine/catalog.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace pglb {
+
+Autoscaler::Autoscaler(AutoscalerOptions options, Registry* metrics)
+    : options_(std::move(options)), metrics_(metrics) {}
+
+void Autoscaler::set_gauge(std::string_view name, double value) {
+  if (metrics_ != nullptr) metrics_->set_gauge(name, value);
+}
+
+void Autoscaler::count(std::string_view name) {
+  if (metrics_ != nullptr) metrics_->count(name);
+}
+
+ScaleDecision Autoscaler::decide(const FleetSample& sample) {
+  TraceSpan span("autoscale.decide", "autoscale");
+  std::lock_guard<std::mutex> lock(mutex_);
+  count("autoscale.samples");
+
+  // Active = serving traffic.  Draining replicas neither carry load nor count
+  // toward the replica bounds (their slot is already on its way out).
+  std::size_t active = 0;
+  double load = 0.0;
+  for (const BackendSample& backend : sample.backends) {
+    if (backend.state == BackendState::kDraining) continue;
+    ++active;
+    load += static_cast<double>(backend.inflight) +
+            static_cast<double>(backend.queue_depth);
+  }
+  replicas_ = active;
+  const double pressure = active > 0 ? load / static_cast<double>(active) : 0.0;
+
+  if (pressure >= options_.pressure_threshold) {
+    ++pressure_streak_;
+    idle_streak_ = 0;
+  } else if (pressure <= options_.idle_threshold) {
+    ++idle_streak_;
+    pressure_streak_ = 0;
+  } else {
+    pressure_streak_ = 0;
+    idle_streak_ = 0;
+  }
+  set_gauge("autoscale.replicas", static_cast<double>(active));
+  set_gauge("autoscale.pressure", pressure);
+  set_gauge("autoscale.pressure_streak", pressure_streak_);
+  set_gauge("autoscale.idle_streak", idle_streak_);
+
+  // Rank the catalog every sample, not only when scaling: the pareto status
+  // block tracks the live (cost, p99) tradeoff as the observed p99 moves.
+  const double base_tput = throughput_ops(machine_by_name(options_.base_spec),
+                                          profile_for(options_.policy.reference_app),
+                                          options_.policy.traits);
+  double capacity = 0.0;
+  for (const BackendSample& backend : sample.backends) {
+    if (backend.state == BackendState::kDraining) continue;
+    capacity += backend.spec_name.empty()
+                    ? base_tput
+                    : throughput_ops(machine_by_name(backend.spec_name),
+                                     profile_for(options_.policy.reference_app),
+                                     options_.policy.traits);
+  }
+  last_ranking_ =
+      rank_candidates(options_.policy, capacity, sample.p99_route_s);
+
+  const auto hold = [&](const std::string& reason) -> ScaleDecision {
+    count("autoscale.holds");
+    last_decision_ = "hold:" + reason;
+    return Hold{reason};
+  };
+
+  if (acted_ && sample.now_ms < last_action_ms_ + options_.cooldown_ms) {
+    // Streaks keep accumulating through the cooldown — sustained pressure may
+    // act the moment the window closes — but no action fires inside it.
+    return hold("cooldown");
+  }
+
+  if (pressure_streak_ >= options_.sustain_samples) {
+    if (active >= options_.max_replicas) return hold("at-max");
+    if (last_ranking_.empty()) return hold("no-candidates");
+    const ScaleCandidate& best = last_ranking_.front();
+    pressure_streak_ = 0;
+    idle_streak_ = 0;
+    last_action_ms_ = sample.now_ms;
+    acted_ = true;
+    ++scale_ups_;
+    count("autoscale.scale_ups");
+    last_decision_ = "scale_up:" + best.spec.name;
+    const double weight =
+        base_tput > 0.0 ? best.throughput_ops / base_tput : 1.0;
+    return ScaleUp{best.spec, weight};
+  }
+
+  if (idle_streak_ >= options_.idle_samples) {
+    if (active <= options_.min_replicas) return hold("at-floor");
+    // Scale in LIFO: the most recently added replica carries the fewest
+    // long-lived cache keys (rendezvous re-homes only ITS keys on drain).
+    // Only an idle replica may go — draining under in-flight work would turn
+    // typed responses into transport failures.
+    for (std::size_t i = sample.backends.size(); i-- > 0;) {
+      const BackendSample& backend = sample.backends[i];
+      if (backend.state == BackendState::kDraining) continue;
+      if (backend.inflight > 0) continue;
+      pressure_streak_ = 0;
+      idle_streak_ = 0;
+      last_action_ms_ = sample.now_ms;
+      acted_ = true;
+      ++drains_;
+      count("autoscale.drains");
+      last_decision_ = "drain:" + backend.name;
+      return DrainReplica{backend.name, i};
+    }
+    return hold("idle-busy");
+  }
+
+  if (pressure_streak_ > 0) return hold("pressure");
+  if (idle_streak_ > 0) return hold("idle");
+  return hold("steady");
+}
+
+std::string Autoscaler::status_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"policy\":\"";
+  out += to_string(options_.policy.policy);
+  out += "\",\"replicas\":";
+  append_json_number(out, static_cast<double>(replicas_));
+  out += ",\"min_replicas\":";
+  append_json_number(out, static_cast<double>(options_.min_replicas));
+  out += ",\"max_replicas\":";
+  append_json_number(out, static_cast<double>(options_.max_replicas));
+  out += ",\"pressure_streak\":";
+  append_json_number(out, static_cast<double>(pressure_streak_));
+  out += ",\"idle_streak\":";
+  append_json_number(out, static_cast<double>(idle_streak_));
+  out += ",\"scale_ups\":";
+  append_json_number(out, static_cast<double>(scale_ups_));
+  out += ",\"drains\":";
+  append_json_number(out, static_cast<double>(drains_));
+  out += ",\"last_decision\":";
+  append_json_string(out, last_decision_);
+  out += ",\"pareto\":";
+  out += pareto_json(options_.policy, last_ranking_);
+  out.push_back('}');
+  return out;
+}
+
+FleetSample sample_fleet(const FleetRegistry& fleet, const Registry& metrics) {
+  FleetSample sample;
+  sample.now_ms = fleet.now_ms();
+  sample.p99_route_s = metrics.stage_quantile_seconds("router.route", 0.99);
+  const std::size_t n = fleet.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const BackendStatus status = fleet.status(i);
+    BackendSample backend;
+    backend.name = status.name;
+    backend.state = status.state;
+    backend.inflight = status.inflight;
+    backend.queue_depth = status.queue_depth;
+    sample.backends.push_back(std::move(backend));
+  }
+  return sample;
+}
+
+}  // namespace pglb

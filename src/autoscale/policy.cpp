@@ -1,0 +1,144 @@
+#include "autoscale/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cost/pareto.hpp"
+#include "machine/catalog.hpp"
+#include "util/json.hpp"
+
+namespace pglb {
+
+const char* to_string(ScalePolicy policy) noexcept {
+  switch (policy) {
+    case ScalePolicy::kCost: return "cost";
+    case ScalePolicy::kLatency: return "latency";
+  }
+  return "unknown";
+}
+
+ScalePolicy scale_policy_from_name(const std::string& name) {
+  if (name == "cost") return ScalePolicy::kCost;
+  if (name == "latency") return ScalePolicy::kLatency;
+  throw std::invalid_argument("unknown scale policy: " + name);
+}
+
+std::vector<MachineSpec> rentable_catalog() {
+  std::vector<MachineSpec> rentable;
+  for (const MachineSpec& spec : table1_machines()) {
+    if (spec.cost_per_hour > 0.0) rentable.push_back(spec);
+  }
+  return rentable;
+}
+
+double dollars_per_hour(const MachineSpec& spec, const PolicyOptions& options) {
+  return spec.cost_per_hour +
+         spec.tdp_watts / 1000.0 * options.energy_usd_per_kwh;
+}
+
+std::vector<ScaleCandidate> rank_candidates(const PolicyOptions& options,
+                                            double fleet_capacity_ops,
+                                            double observed_p99_s) {
+  const AppProfile& app = profile_for(options.reference_app);
+  std::vector<ScaleCandidate> candidates;
+  for (const MachineSpec& spec : rentable_catalog()) {
+    ScaleCandidate c;
+    c.spec = spec;
+    c.usd_per_hour = dollars_per_hour(spec, options);
+    c.throughput_ops = throughput_ops(spec, app, options.traits);
+    // M/M/1-flavoured capacity scaling: latency shrinks with the share of
+    // total capacity the incumbent fleet keeps after this machine joins.
+    c.predicted_p99_s =
+        fleet_capacity_ops > 0.0
+            ? observed_p99_s * fleet_capacity_ops /
+                  (fleet_capacity_ops + c.throughput_ops)
+            : 0.0;
+    switch (options.policy) {
+      case ScalePolicy::kCost:
+        c.score = c.usd_per_hour > 0.0 ? c.throughput_ops / c.usd_per_hour : 0.0;
+        break;
+      case ScalePolicy::kLatency:
+        // Predicted p99 is monotone-decreasing in throughput, so raw
+        // throughput is the latency score even before any p99 is observed.
+        c.score = c.throughput_ops;
+        break;
+    }
+    candidates.push_back(std::move(c));
+  }
+
+  // Frontier over (cost up is bad, throughput up is good).  Predicted p99 is
+  // a fixed monotone transform of throughput, so this IS the (cost, p99)
+  // frontier the status block reports.
+  std::vector<CostPoint> points;
+  points.reserve(candidates.size());
+  for (const ScaleCandidate& c : candidates) {
+    CostPoint p;
+    p.machine = c.spec.name;
+    p.app = options.reference_app;
+    p.runtime_seconds = c.predicted_p99_s;
+    p.speedup = c.throughput_ops;
+    p.cost_per_task = c.usd_per_hour;
+    points.push_back(std::move(p));
+  }
+  for (const std::size_t index : pareto_frontier(points)) {
+    candidates[index].on_frontier = true;
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ScaleCandidate& a, const ScaleCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.usd_per_hour != b.usd_per_hour) {
+                return a.usd_per_hour < b.usd_per_hour;
+              }
+              return a.spec.name < b.spec.name;
+            });
+  return candidates;
+}
+
+namespace {
+
+void append_candidate(std::string& out, const ScaleCandidate& c,
+                      bool with_score) {
+  out += "{\"machine\":";
+  append_json_string(out, c.spec.name);
+  out += ",\"usd_per_hour\":";
+  append_json_number(out, c.usd_per_hour);
+  out += ",\"throughput_ops\":";
+  append_json_number(out, c.throughput_ops);
+  out += ",\"predicted_p99_s\":";
+  append_json_number(out, c.predicted_p99_s);
+  if (with_score) {
+    out += ",\"score\":";
+    append_json_number(out, c.score);
+    out += ",\"on_frontier\":";
+    out += c.on_frontier ? "true" : "false";
+  }
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string pareto_json(const PolicyOptions& options,
+                        std::span<const ScaleCandidate> candidates) {
+  std::string out = "{\"policy\":\"";
+  out += to_string(options.policy);
+  out += "\",\"reference_app\":";
+  append_json_string(out, to_string(options.reference_app));
+  out += ",\"frontier\":[";
+  bool first = true;
+  for (const ScaleCandidate& c : candidates) {
+    if (!c.on_frontier) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    append_candidate(out, c, /*with_score=*/false);
+  }
+  out += "],\"candidates\":[";
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    append_candidate(out, candidates[i], /*with_score=*/true);
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace pglb

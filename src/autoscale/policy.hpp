@@ -1,0 +1,86 @@
+#pragma once
+// Cost-aware scale-up policy (docs/AUTOSCALE.md): which instance type should
+// the autoscaler add next?
+//
+// This is the paper's Fig. 11 cost-efficiency analysis run *online*.  Each
+// rentable machine in the Table I catalog is scored against the fleet's
+// observed load: predicted marginal throughput comes from the analytic
+// performance model (machine/perf_model.hpp), dollars per hour from the
+// catalog rate plus the energy model's full-utilisation wattage priced at a
+// grid rate.  The resulting (cost, predicted p99) points feed the same
+// pareto_frontier() the offline cost bench uses, so the live `pareto`
+// metrics block is the Figure-style tradeoff, observable while scaling.
+//
+// Everything here is pure math over the catalog — deterministic, no clock,
+// no processes — so ranking is unit-testable byte-for-byte.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/app_profile.hpp"
+#include "machine/machine_spec.hpp"
+#include "machine/perf_model.hpp"
+
+namespace pglb {
+
+enum class ScalePolicy {
+  kCost,     ///< maximise predicted throughput per dollar (default)
+  kLatency,  ///< minimise predicted fleet p99, cost as tie-break
+};
+
+const char* to_string(ScalePolicy policy) noexcept;
+
+/// Inverse of to_string(); throws std::invalid_argument on unknown names
+/// ("cost" | "latency").
+ScalePolicy scale_policy_from_name(const std::string& name);
+
+struct PolicyOptions {
+  /// Application whose profile parameterises the throughput prediction.
+  AppKind reference_app = AppKind::kPageRank;
+  /// Workload shape at paper scale (perf_model.hpp).
+  WorkloadTraits traits;
+  /// Grid price used to convert the machine's TDP into $/hour on top of the
+  /// rental rate ($0.12/kWh ~ US industrial average).
+  double energy_usd_per_kwh = 0.12;
+  ScalePolicy policy = ScalePolicy::kCost;
+};
+
+/// One scored catalog machine.
+struct ScaleCandidate {
+  MachineSpec spec;
+  double usd_per_hour = 0.0;       ///< rental + energy-at-TDP
+  double throughput_ops = 0.0;     ///< predicted marginal ops/s
+  double predicted_p99_s = 0.0;    ///< fleet p99 if this machine joins
+  double score = 0.0;              ///< policy-dependent, higher is better
+  bool on_frontier = false;        ///< member of the (cost, p99) frontier
+};
+
+/// The machines the autoscaler may rent: catalog entries with a nonzero
+/// hourly rate (the local Xeons cannot be spawned on demand).
+std::vector<MachineSpec> rentable_catalog();
+
+/// Effective $/hour of `spec` under `options`: rental rate plus TDP watts
+/// priced at the grid rate.
+double dollars_per_hour(const MachineSpec& spec, const PolicyOptions& options);
+
+/// Score every rentable machine against the fleet's current state and sort
+/// best-first (score desc, then $/hour asc, then name asc — a total order,
+/// so ranking is deterministic).  `fleet_capacity_ops` is the summed model
+/// throughput of the replicas already serving; `observed_p99_s` the router's
+/// current route p99.  The queueing approximation: adding capacity C' to
+/// capacity C scales the p99 by C / (C + C').
+std::vector<ScaleCandidate> rank_candidates(const PolicyOptions& options,
+                                            double fleet_capacity_ops,
+                                            double observed_p99_s);
+
+/// One-line JSON of the ranked candidates and their (cost, p99) frontier,
+/// deterministic key order — the `pareto` block of the autoscaler's status:
+///   {"policy":"cost","reference_app":"pagerank",
+///    "frontier":[{"machine":...,"usd_per_hour":...,"predicted_p99_s":...,
+///                 "throughput_ops":...},...],
+///    "candidates":[...same shape with "score" and "on_frontier"...]}
+std::string pareto_json(const PolicyOptions& options,
+                        std::span<const ScaleCandidate> candidates);
+
+}  // namespace pglb

@@ -40,6 +40,26 @@ std::size_t FleetRegistry::add(std::shared_ptr<Backend> backend, double weight) 
   return index;
 }
 
+std::size_t FleetRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backends_.size();
+}
+
+std::shared_ptr<Backend> FleetRegistry::backend(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return backends_[index];
+}
+
+FleetMembership FleetRegistry::membership() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {names_, weights_};
+}
+
+std::string FleetRegistry::name(std::size_t index) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return names_[index];
+}
+
 std::uint64_t FleetRegistry::backoff_ms(std::uint64_t consecutive_failures) const {
   std::uint64_t window = options_.base_backoff_ms;
   // Doubling capped at max; the shift bound avoids overflow on long outages.
@@ -70,6 +90,7 @@ void FleetRegistry::record_success(std::size_t index) {
   h.state = h.draining ? BackendState::kDraining : BackendState::kUp;
   h.consecutive_failures = 0;
   h.not_before_ms = 0;
+  h.queue_depth = 0;  // a served request means the shed condition cleared
   ++h.successes;
 }
 
@@ -82,11 +103,25 @@ void FleetRegistry::record_failure(std::size_t index) {
   h.not_before_ms = options_.clock_ms() + backoff_ms(h.consecutive_failures);
 }
 
-void FleetRegistry::defer(std::size_t index, std::uint64_t retry_after_ms) {
+void FleetRegistry::defer(std::size_t index, std::uint64_t retry_after_ms,
+                          std::uint64_t queue_depth) {
   std::lock_guard<std::mutex> lock(mutex_);
   Health& h = health_[index];
   const std::uint64_t until = options_.clock_ms() + retry_after_ms;
   if (until > h.not_before_ms) h.not_before_ms = until;
+  if (queue_depth > 0) h.queue_depth = queue_depth;
+}
+
+std::uint64_t FleetRegistry::begin_attempt(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ++health_[index].inflight;
+}
+
+std::uint64_t FleetRegistry::end_attempt(std::size_t index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health& h = health_[index];
+  if (h.inflight > 0) --h.inflight;
+  return h.inflight;
 }
 
 void FleetRegistry::set_draining(std::size_t index, bool draining) {
@@ -105,7 +140,7 @@ BackendStatus FleetRegistry::status(std::size_t index) const {
   const Health& h = health_[index];
   return {names_[index],          weights_[index], h.state,
           h.consecutive_failures, h.not_before_ms, h.successes,
-          h.failures};
+          h.failures,             h.inflight,      h.queue_depth};
 }
 
 std::string FleetRegistry::status_json() const {
@@ -126,6 +161,10 @@ std::string FleetRegistry::status_json() const {
     append_json_number(out, static_cast<double>(h.failures));
     out += ",\"consecutive_failures\":";
     append_json_number(out, static_cast<double>(h.consecutive_failures));
+    out += ",\"inflight\":";
+    append_json_number(out, static_cast<double>(h.inflight));
+    out += ",\"queue_depth\":";
+    append_json_number(out, static_cast<double>(h.queue_depth));
     out.push_back('}');
   }
   out.push_back(']');

@@ -18,6 +18,12 @@
 // ineligible) until that horizon passes — the router retries elsewhere
 // immediately and honours the backend's own hint instead of hammering it.
 //
+// Membership is dynamic: the autoscaler (docs/AUTOSCALE.md) adds replicas
+// while requests are routing, so every read that spans the backend list goes
+// through a snapshot (membership()) or a locked accessor — indices are
+// stable (slots are only appended, never removed; scale-in drains a slot and
+// leaves it for a later rejoin).
+//
 // Time is injectable (options.clock_ms) so tests drive backoff and
 // retry-after windows on a virtual clock, the same idiom as
 // BreakerOptions::clock_ms (docs/ROBUSTNESS.md).
@@ -56,20 +62,31 @@ struct BackendStatus {
   std::uint64_t not_before_ms = 0;  ///< next eligible attempt (0 = now)
   std::uint64_t successes = 0;      ///< requests + probes answered
   std::uint64_t failures = 0;       ///< transport failures observed
+  std::uint64_t inflight = 0;       ///< router attempts launched, not harvested
+  std::uint64_t queue_depth = 0;    ///< last depth a shed response reported
+};
+
+/// Point-in-time copy of the backend list for one routing decision — ranking
+/// must see one consistent (names, weights) pair even while the autoscaler
+/// appends replicas concurrently.
+struct FleetMembership {
+  std::vector<std::string> names;
+  std::vector<double> weights;
 };
 
 class FleetRegistry {
  public:
   explicit FleetRegistry(FleetOptions options = {});
 
-  /// Register a backend with a rendezvous weight.  Returns its index.  All
-  /// backends must be added before routing starts (indices are stable).
+  /// Register a backend with a rendezvous weight.  Returns its index.
+  /// Thread-safe: the autoscaler adds replicas while requests route; indices
+  /// already handed out stay valid (append-only).
   std::size_t add(std::shared_ptr<Backend> backend, double weight = 1.0);
 
-  std::size_t size() const noexcept { return backends_.size(); }
-  Backend& backend(std::size_t index) const { return *backends_[index]; }
-  const std::vector<std::string>& names() const noexcept { return names_; }
-  const std::vector<double>& weights() const noexcept { return weights_; }
+  std::size_t size() const;
+  std::shared_ptr<Backend> backend(std::size_t index) const;
+  FleetMembership membership() const;
+  std::string name(std::size_t index) const;
 
   /// True when `index` may receive a NEW request now: up (or down with its
   /// backoff window expired — the probe-through path) and not draining and
@@ -89,10 +106,19 @@ class FleetRegistry {
   void record_failure(std::size_t index);
 
   /// The backend shed with "overloaded": park it (no state change) until
-  /// now + retry_after_ms.
-  void defer(std::size_t index, std::uint64_t retry_after_ms);
+  /// now + retry_after_ms, and remember the queue depth it reported (the
+  /// autoscaler's shed-pressure signal; cleared by the next success).
+  void defer(std::size_t index, std::uint64_t retry_after_ms,
+             std::uint64_t queue_depth = 0);
 
   void set_draining(std::size_t index, bool draining);
+
+  /// Router attempt accounting: one launched (+1) / harvested or abandoned
+  /// (-1) attempt on `index`.  Returns the new in-flight count — the
+  /// queue-depth proxy the autoscaler samples and the router mirrors into
+  /// the obs registry as the fleet.<name>.inflight gauge.
+  std::uint64_t begin_attempt(std::size_t index);
+  std::uint64_t end_attempt(std::size_t index);
 
   BackendStatus status(std::size_t index) const;
 
@@ -110,6 +136,8 @@ class FleetRegistry {
     std::uint64_t not_before_ms = 0;
     std::uint64_t successes = 0;
     std::uint64_t failures = 0;
+    std::uint64_t inflight = 0;
+    std::uint64_t queue_depth = 0;
   };
 
   std::uint64_t backoff_ms(std::uint64_t consecutive_failures) const;

@@ -20,11 +20,17 @@ bool is_overloaded_response(const std::string& response) {
   return response.find("\"status\":\"overloaded\"") != std::string::npos;
 }
 
-std::uint64_t overloaded_retry_after_ms(const std::string& response) {
+struct OverloadHint {
+  std::uint64_t retry_after_ms = 0;
+  std::uint64_t queue_depth = 0;
+};
+
+OverloadHint overloaded_hint(const std::string& response) {
   try {
-    return parse_plan_response(response).retry_after_ms;
+    const PlanResponse parsed = parse_plan_response(response);
+    return {parsed.retry_after_ms, parsed.queue_depth};
   } catch (const std::exception&) {
-    return 0;
+    return {};
   }
 }
 
@@ -37,6 +43,21 @@ Router::~Router() { stop(); }
 
 void Router::count(std::string_view name, std::uint64_t delta) {
   if (metrics_ != nullptr) metrics_->count(name, delta);
+}
+
+void Router::set_inflight_gauge(const std::string& backend, std::uint64_t value) {
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("fleet." + backend + ".inflight",
+                        static_cast<double>(value));
+  }
+}
+
+void Router::set_queue_depth_gauge(const std::string& backend,
+                                   std::uint64_t value) {
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("fleet." + backend + ".queue_depth",
+                        static_cast<double>(value));
+  }
 }
 
 std::size_t Router::add_backend(std::shared_ptr<Backend> backend, double weight) {
@@ -63,7 +84,11 @@ std::string Router::route(const std::string& line) {
     key = line;
   }
 
-  const auto order = rank_backends(key, fleet_.names(), fleet_.weights());
+  // One consistent membership snapshot per request: the autoscaler may append
+  // replicas mid-flight, and ranking must not see names and weights from two
+  // different fleet generations.
+  const FleetMembership fleet = fleet_.membership();
+  const auto order = rank_backends(key, fleet.names, fleet.weights);
   const std::size_t max_attempts =
       options_.max_attempts == 0 ? order.size()
                                  : std::min(options_.max_attempts, order.size());
@@ -88,14 +113,36 @@ std::string Router::route(const std::string& line) {
   bool hedged = false;
   std::string last_overloaded;
 
+  // Attempt accounting: launched minus harvested, mirrored into the obs
+  // registry as the per-backend fleet.<name>.inflight gauge (the queue-depth
+  // proxy the autoscaler samples).  Attempts still pending when the request
+  // resolves (a losing hedge, an abandoned straggler) are released by the
+  // scope guard — their responses drain through the backend's FIFO matching
+  // without a router-side observer.
+  const auto harvest_attempt = [&](std::size_t index) {
+    set_inflight_gauge(fleet.names[index], fleet_.end_attempt(index));
+  };
+  struct AbandonGuard {
+    Router* router;
+    const FleetMembership& fleet_names;
+    std::vector<InFlight>* inflight;
+    ~AbandonGuard() {
+      for (const InFlight& attempt : *inflight) {
+        router->set_inflight_gauge(fleet_names.names[attempt.index],
+                                   router->fleet_.end_attempt(attempt.index));
+      }
+    }
+  } abandon_guard{this, fleet, &inflight};
+
   const auto launch = [&](bool is_hedge) -> bool {
     while (cursor < order.size() && attempts < max_attempts) {
       const std::size_t index = order[cursor++];
       if (!fleet_.eligible(index)) continue;
       ++attempts;
-      count("fleet." + fleet_.names()[index] + ".routed");
+      count("fleet." + fleet.names[index] + ".routed");
+      set_inflight_gauge(fleet.names[index], fleet_.begin_attempt(index));
       inflight.push_back(
-          {index, is_hedge, fleet_.backend(index).submit(line)});
+          {index, is_hedge, fleet_.backend(index)->submit(line)});
       return true;
     }
     return false;
@@ -120,20 +167,26 @@ std::string Router::route(const std::string& line) {
       InFlight attempt = std::move(inflight[i]);
       inflight.erase(inflight.begin() + static_cast<std::ptrdiff_t>(i));
       progressed = true;
+      harvest_attempt(attempt.index);
       try {
         std::string response = attempt.future.get();
-        fleet_.record_success(attempt.index);
         if (is_overloaded_response(response)) {
-          // Typed backpressure: honour the backend's own retry-after hint,
-          // fail over to the next replica meanwhile.
-          fleet_.defer(attempt.index, overloaded_retry_after_ms(response));
+          // Typed backpressure: honour the backend's own retry-after hint
+          // (remembering the depth it reported for the autoscaler), fail
+          // over to the next replica meanwhile.
+          fleet_.record_success(attempt.index);
+          const OverloadHint hint = overloaded_hint(response);
+          fleet_.defer(attempt.index, hint.retry_after_ms, hint.queue_depth);
+          set_queue_depth_gauge(fleet.names[attempt.index], hint.queue_depth);
           count("router.overloaded");
           last_overloaded = std::move(response);
           continue;
         }
+        fleet_.record_success(attempt.index);
+        set_queue_depth_gauge(fleet.names[attempt.index], 0);
         if (attempt.is_hedge) count("router.hedge_wins");
         if (tracing_enabled()) {
-          span.set_sarg(intern_trace_label(fleet_.names()[attempt.index]));
+          span.set_sarg(intern_trace_label(fleet.names[attempt.index]));
         }
         return response;
       } catch (const BackendError&) {
@@ -186,11 +239,12 @@ std::string Router::route(const std::string& line) {
 
 std::size_t Router::probe_once() {
   std::size_t healthy = 0;
-  for (std::size_t i = 0; i < fleet_.size(); ++i) {
+  const std::size_t known = fleet_.size();  // replicas added later probe next round
+  for (std::size_t i = 0; i < known; ++i) {
     if (!fleet_.probe_due(i)) continue;
     count("router.probes");
     auto future =
-        fleet_.backend(i).submit(R"({"type":"metrics","id":"fleet-probe"})");
+        fleet_.backend(i)->submit(R"({"type":"metrics","id":"fleet-probe"})");
     if (future.wait_for(std::chrono::milliseconds(options_.probe_timeout_ms)) !=
         std::future_status::ready) {
       // The response, if it ever comes, is consumed by the channel's FIFO

@@ -91,6 +91,11 @@ class Router {
 
  private:
   void count(std::string_view name, std::uint64_t delta = 1);
+  /// Mirror per-backend attempt accounting into first-class obs gauges
+  /// (fleet.<name>.inflight / fleet.<name>.queue_depth) so the autoscaler and
+  /// `metrics` requests read them uniformly alongside the fleet health block.
+  void set_inflight_gauge(const std::string& backend, std::uint64_t value);
+  void set_queue_depth_gauge(const std::string& backend, std::uint64_t value);
   void prober_loop();
 
   RouterOptions options_;

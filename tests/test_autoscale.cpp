@@ -1,0 +1,342 @@
+// Autoscaler decision-loop tests (docs/AUTOSCALE.md).  Everything here runs
+// on a virtual clock carried IN the samples — no processes, no sleeps: the
+// same sample sequence must always produce the same decision sequence.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <variant>
+
+#include "autoscale/autoscaler.hpp"
+#include "autoscale/policy.hpp"
+#include "cost/pareto.hpp"
+#include "fleet/hashing.hpp"
+#include "fleet/registry.hpp"
+#include "machine/catalog.hpp"
+#include "obs/registry.hpp"
+
+namespace pglb {
+namespace {
+
+BackendSample backend(const std::string& name, std::uint64_t inflight,
+                      std::uint64_t queue_depth = 0,
+                      BackendState state = BackendState::kUp) {
+  BackendSample sample;
+  sample.name = name;
+  sample.state = state;
+  sample.inflight = inflight;
+  sample.queue_depth = queue_depth;
+  return sample;
+}
+
+FleetSample sample(std::uint64_t now_ms, std::vector<BackendSample> backends,
+                   double p99_s = 0.050) {
+  FleetSample s;
+  s.now_ms = now_ms;
+  s.p99_route_s = p99_s;
+  s.backends = std::move(backends);
+  return s;
+}
+
+AutoscalerOptions tuned() {
+  AutoscalerOptions options;
+  options.min_replicas = 1;
+  options.max_replicas = 4;
+  options.pressure_threshold = 4.0;
+  options.idle_threshold = 0.5;
+  options.sustain_samples = 3;
+  options.idle_samples = 2;
+  options.cooldown_ms = 1'000;
+  return options;
+}
+
+// --- hysteresis -------------------------------------------------------------
+
+TEST(Autoscaler, PressureMustSustainBeforeScaleUp) {
+  Autoscaler scaler(tuned());
+  // Two pressured samples: not enough (sustain_samples = 3).
+  EXPECT_TRUE(std::holds_alternative<Hold>(
+      scaler.decide(sample(0, {backend("b0", 8)}))));
+  EXPECT_TRUE(std::holds_alternative<Hold>(
+      scaler.decide(sample(100, {backend("b0", 8)}))));
+  // A calm sample resets the streak...
+  EXPECT_TRUE(std::holds_alternative<Hold>(
+      scaler.decide(sample(200, {backend("b0", 2)}))));
+  // ...so two more pressured samples still hold, and the third scales.
+  EXPECT_TRUE(std::holds_alternative<Hold>(
+      scaler.decide(sample(300, {backend("b0", 8)}))));
+  EXPECT_TRUE(std::holds_alternative<Hold>(
+      scaler.decide(sample(400, {backend("b0", 8)}))));
+  const ScaleDecision decision = scaler.decide(sample(500, {backend("b0", 8)}));
+  ASSERT_TRUE(std::holds_alternative<ScaleUp>(decision));
+  EXPECT_FALSE(std::get<ScaleUp>(decision).spec.name.empty());
+  EXPECT_GT(std::get<ScaleUp>(decision).weight, 0.0);
+}
+
+TEST(Autoscaler, ShedQueueDepthCountsAsPressure) {
+  // A backend that sheds reports queue depth with zero router in-flight: the
+  // scaler must still see pressure.
+  Autoscaler scaler(tuned());
+  for (std::uint64_t t = 0; t < 2; ++t) {
+    scaler.decide(sample(t * 100, {backend("b0", 0, /*queue_depth=*/9)}));
+  }
+  const ScaleDecision decision =
+      scaler.decide(sample(200, {backend("b0", 0, 9)}));
+  EXPECT_TRUE(std::holds_alternative<ScaleUp>(decision));
+}
+
+// --- cooldown ---------------------------------------------------------------
+
+TEST(Autoscaler, CooldownBlocksBackToBackActions) {
+  Autoscaler scaler(tuned());
+  for (std::uint64_t t = 0; t < 2; ++t) {
+    scaler.decide(sample(t * 100, {backend("b0", 8)}));
+  }
+  ASSERT_TRUE(std::holds_alternative<ScaleUp>(
+      scaler.decide(sample(200, {backend("b0", 8)}))));
+
+  // Pressure persists, but the cooldown window (1000 ms) holds everything.
+  for (std::uint64_t t = 300; t < 1'200; t += 100) {
+    const ScaleDecision decision =
+        scaler.decide(sample(t, {backend("b0", 8), backend("b1", 8)}));
+    ASSERT_TRUE(std::holds_alternative<Hold>(decision)) << "t=" << t;
+  }
+  // Streaks accumulated through the cooldown: the first sample past the
+  // window acts immediately.
+  const ScaleDecision after =
+      scaler.decide(sample(1'200, {backend("b0", 8), backend("b1", 8)}));
+  EXPECT_TRUE(std::holds_alternative<ScaleUp>(after));
+}
+
+// --- replica bounds ---------------------------------------------------------
+
+TEST(Autoscaler, MaxReplicasCapsScaleUp) {
+  AutoscalerOptions options = tuned();
+  options.max_replicas = 2;
+  Autoscaler scaler(options);
+  const std::vector<BackendSample> fleet = {backend("b0", 8), backend("b1", 8)};
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    const ScaleDecision decision = scaler.decide(sample(t * 100, fleet));
+    ASSERT_TRUE(std::holds_alternative<Hold>(decision)) << "t=" << t;
+  }
+}
+
+TEST(Autoscaler, MinReplicasIsTheFloorForDrains) {
+  Autoscaler scaler(tuned());  // min_replicas = 1, idle_samples = 2
+  for (std::uint64_t t = 0; t < 6; ++t) {
+    const ScaleDecision decision =
+        scaler.decide(sample(t * 100, {backend("b0", 0)}));
+    ASSERT_TRUE(std::holds_alternative<Hold>(decision)) << "t=" << t;
+  }
+}
+
+TEST(Autoscaler, SustainedIdleDrainsNewestIdleReplica) {
+  Autoscaler scaler(tuned());  // idle_samples = 2
+  // b2 is newest but busy; b1 is the newest IDLE replica — the drain victim.
+  const std::vector<BackendSample> fleet = {
+      backend("b0", 0), backend("b1", 0), backend("b2", 1)};
+  // Mean load 1/3 <= idle threshold: streak builds.
+  EXPECT_TRUE(std::holds_alternative<Hold>(scaler.decide(sample(0, fleet))));
+  const ScaleDecision decision = scaler.decide(sample(100, fleet));
+  ASSERT_TRUE(std::holds_alternative<DrainReplica>(decision));
+  EXPECT_EQ(std::get<DrainReplica>(decision).backend, "b1");
+  EXPECT_EQ(std::get<DrainReplica>(decision).index, 1u);
+}
+
+TEST(Autoscaler, DrainingReplicasDoNotCountTowardBoundsOrPressure) {
+  AutoscalerOptions options = tuned();
+  options.max_replicas = 2;
+  Autoscaler scaler(options);
+  // Two active + one draining: still below max (draining slot is on its way
+  // out), and the draining backend's load is ignored.
+  const std::vector<BackendSample> fleet = {
+      backend("b0", 8), backend("b1", 8, 0, BackendState::kDraining)};
+  scaler.decide(sample(0, fleet));
+  scaler.decide(sample(100, fleet));
+  const ScaleDecision decision = scaler.decide(sample(200, fleet));
+  EXPECT_TRUE(std::holds_alternative<ScaleUp>(decision));
+}
+
+// --- cost policy ------------------------------------------------------------
+
+TEST(ScalePolicy, RankingIsDeterministic) {
+  PolicyOptions options;
+  const auto a = rank_candidates(options, 1e8, 0.050);
+  const auto b = rank_candidates(options, 1e8, 0.050);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.name, b[i].spec.name);
+    EXPECT_EQ(a[i].score, b[i].score);
+    EXPECT_EQ(a[i].on_frontier, b[i].on_frontier);
+  }
+}
+
+TEST(ScalePolicy, RentableCatalogExcludesLocalMachines) {
+  for (const MachineSpec& spec : rentable_catalog()) {
+    EXPECT_GT(spec.cost_per_hour, 0.0) << spec.name;
+  }
+  EXPECT_FALSE(rentable_catalog().empty());
+}
+
+TEST(ScalePolicy, CostPolicyRanksByThroughputPerDollar) {
+  PolicyOptions options;
+  options.policy = ScalePolicy::kCost;
+  const auto ranked = rank_candidates(options, 1e8, 0.050);
+  ASSERT_GE(ranked.size(), 2u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+    EXPECT_NEAR(ranked[i].score,
+                ranked[i].throughput_ops / ranked[i].usd_per_hour, 1e-9);
+  }
+}
+
+TEST(ScalePolicy, LatencyPolicyRanksByPredictedThroughput) {
+  PolicyOptions options;
+  options.policy = ScalePolicy::kLatency;
+  const auto ranked = rank_candidates(options, 1e8, 0.050);
+  ASSERT_GE(ranked.size(), 2u);
+  // Latency score is raw throughput: predicted p99 must be non-decreasing
+  // down the ranking.
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].predicted_p99_s, ranked[i].predicted_p99_s);
+  }
+}
+
+TEST(ScalePolicy, FrontierMembersAreNotDominated) {
+  PolicyOptions options;
+  const auto ranked = rank_candidates(options, 1e8, 0.050);
+  std::size_t on_frontier = 0;
+  for (const ScaleCandidate& a : ranked) {
+    if (!a.on_frontier) continue;
+    ++on_frontier;
+    for (const ScaleCandidate& b : ranked) {
+      // No candidate may offer >= throughput at <= cost (one strict).
+      const bool dominates_a =
+          b.throughput_ops >= a.throughput_ops && b.usd_per_hour <= a.usd_per_hour &&
+          (b.throughput_ops > a.throughput_ops || b.usd_per_hour < a.usd_per_hour);
+      EXPECT_FALSE(dominates_a) << b.spec.name << " dominates " << a.spec.name;
+    }
+  }
+  EXPECT_GE(on_frontier, 1u);
+}
+
+TEST(ScalePolicy, ParetoJsonIsDeterministicAndPopulated) {
+  PolicyOptions options;
+  const auto ranked = rank_candidates(options, 1e8, 0.050);
+  const std::string a = pareto_json(options, ranked);
+  const std::string b = pareto_json(options, ranked);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"frontier\":[{"), std::string::npos);
+  EXPECT_NE(a.find("\"policy\":\"cost\""), std::string::npos);
+}
+
+TEST(ScalePolicy, NameRoundTrip) {
+  EXPECT_EQ(scale_policy_from_name("cost"), ScalePolicy::kCost);
+  EXPECT_EQ(scale_policy_from_name("latency"), ScalePolicy::kLatency);
+  EXPECT_THROW(scale_policy_from_name("speed"), std::invalid_argument);
+}
+
+// --- status / metrics -------------------------------------------------------
+
+TEST(Autoscaler, StatusJsonIsDeterministicAcrossInstances) {
+  Autoscaler a(tuned());
+  Autoscaler b(tuned());
+  for (std::uint64_t t = 0; t < 4; ++t) {
+    const FleetSample s = sample(t * 100, {backend("b0", 8)});
+    a.decide(s);
+    b.decide(s);
+  }
+  EXPECT_EQ(a.status_json(), b.status_json());
+  EXPECT_NE(a.status_json().find("\"pareto\":{"), std::string::npos);
+}
+
+TEST(Autoscaler, CountersAndGaugesLandInTheRegistry) {
+  Registry metrics;
+  Autoscaler scaler(tuned(), &metrics);
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    scaler.decide(sample(t * 100, {backend("b0", 8)}));
+  }
+  EXPECT_EQ(metrics.counter("autoscale.samples"), 3u);
+  EXPECT_EQ(metrics.counter("autoscale.scale_ups"), 1u);
+  EXPECT_EQ(metrics.gauge("autoscale.replicas"), 1.0);
+  EXPECT_EQ(metrics.gauge("autoscale.pressure"), 8.0);
+}
+
+// --- fleet sampling ---------------------------------------------------------
+
+class NullBackend : public Backend {
+ public:
+  explicit NullBackend(std::string name) : name_(std::move(name)) {}
+  const std::string& name() const override { return name_; }
+  std::future<std::string> submit(std::string) override {
+    std::promise<std::string> promise;
+    promise.set_value("{}");
+    return promise.get_future();
+  }
+
+ private:
+  std::string name_;
+};
+
+TEST(FleetSampling, SampleReflectsInflightQueueDepthAndVirtualClock) {
+  auto clock = std::make_shared<std::uint64_t>(1'234);
+  FleetOptions options;
+  options.clock_ms = [clock] { return *clock; };
+  FleetRegistry fleet(options);
+  fleet.add(std::make_shared<NullBackend>("b0"));
+  fleet.add(std::make_shared<NullBackend>("b1"));
+  fleet.begin_attempt(0);
+  fleet.begin_attempt(0);
+  fleet.defer(1, 100, /*queue_depth=*/7);
+  Registry metrics;
+  metrics.observe("router.route", 0.030);
+
+  const FleetSample s = sample_fleet(fleet, metrics);
+  EXPECT_EQ(s.now_ms, 1'234u);
+  ASSERT_EQ(s.backends.size(), 2u);
+  EXPECT_EQ(s.backends[0].name, "b0");
+  EXPECT_EQ(s.backends[0].inflight, 2u);
+  EXPECT_EQ(s.backends[1].queue_depth, 7u);
+  EXPECT_GT(s.p99_route_s, 0.0);
+
+  fleet.end_attempt(0);
+  EXPECT_EQ(sample_fleet(fleet, metrics).backends[0].inflight, 1u);
+}
+
+// --- drain-then-rejoin key re-homing ---------------------------------------
+
+TEST(DrainRejoin, OnlyTheDrainedReplicasKeysReHome) {
+  // Rendezvous property the drain/rejoin cycle relies on: removing b2 from
+  // the eligible set re-homes exactly the keys b2 owned, and rejoining
+  // restores the original placement bit-for-bit.
+  const std::vector<std::string> names = {"b0", "b1", "b2"};
+  const std::vector<double> weights = {1.0, 1.0, 1.0};
+
+  std::size_t rehomed = 0;
+  std::size_t owned_by_b2 = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    const auto before = rank_backends(key, names, weights);
+    // Draining b2 = b2 ineligible: traffic lands on the next-ranked backend.
+    const std::size_t with_b2 = before[0];
+    const std::size_t without_b2 = before[0] != 2 ? before[0] : before[1];
+    if (with_b2 == 2) {
+      ++owned_by_b2;
+      EXPECT_NE(without_b2, 2u);
+      ++rehomed;
+    } else {
+      EXPECT_EQ(with_b2, without_b2) << key;  // everyone else keeps their home
+    }
+    // Rejoin: the full ranking is a pure function of (key, names, weights).
+    const auto after = rank_backends(key, names, weights);
+    EXPECT_EQ(before, after);
+  }
+  EXPECT_GT(owned_by_b2, 0u);
+  EXPECT_EQ(rehomed, owned_by_b2);
+}
+
+}  // namespace
+}  // namespace pglb

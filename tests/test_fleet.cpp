@@ -223,7 +223,8 @@ TEST(FleetRegistryHealth, StatusJsonIsDeterministic) {
   fleet.record_failure(0);
   EXPECT_EQ(fleet.status_json(),
             "[{\"name\":\"b0\",\"state\":\"down\",\"weight\":2,"
-            "\"successes\":0,\"failures\":1,\"consecutive_failures\":1}]");
+            "\"successes\":0,\"failures\":1,\"consecutive_failures\":1,"
+            "\"inflight\":0,\"queue_depth\":0}]");
 }
 
 // --- routing guarantees -----------------------------------------------------

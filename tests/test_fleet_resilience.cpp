@@ -141,10 +141,11 @@ TEST(FleetResilience, FailoverOnTransportErrorYieldsHealthyPlan) {
 
   // Craft a request that rendezvous-ranks a DEAD backend first, so failover
   // is guaranteed to be exercised (not just possible).
-  const PlanRequest request = request_ranked_first_on(
-      router.fleet().names(), router.fleet().weights(), 0);
-  const auto order = rank_backends(routing_key(request), router.fleet().names(),
-                                   router.fleet().weights());
+  const FleetMembership fleet = router.fleet().membership();
+  const PlanRequest request =
+      request_ranked_first_on(fleet.names, fleet.weights, 0);
+  const auto order =
+      rank_backends(routing_key(request), fleet.names, fleet.weights);
   std::uint64_t dead_before_ok = 0;
   for (const std::size_t index : order) {
     if (index == healthy) break;
@@ -229,8 +230,9 @@ TEST(FleetResilience, OverloadedFailsOverToHealthyReplica) {
   router.add_backend(
       std::make_shared<LocalBackend>("ok0", tiny_options(), small_server()));
 
-  const PlanRequest request = request_ranked_first_on(
-      router.fleet().names(), router.fleet().weights(), 0);
+  const FleetMembership fleet = router.fleet().membership();
+  const PlanRequest request =
+      request_ranked_first_on(fleet.names, fleet.weights, 0);
   const PlanResponse response =
       parse_plan_response(router.route(serialize_request(request)));
   EXPECT_TRUE(response.ok);

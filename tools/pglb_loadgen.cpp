@@ -24,9 +24,26 @@
 // "error" responses — the run still exits 0.
 //
 //   pglb_loadgen --requests=200 --router=3 --server=./pglb_serve --scale=0.004
+//
+// The kill/restart schedule is configurable: --kill-at=P / --restart-at=P
+// (percent of the run; outside (0,100) disables that event).  --wave=QPS
+// paces arrivals on a half-sine "diurnal" wave peaking at QPS instead of the
+// closed loop, and --churn gives every request a unique out-of-coverage
+// alpha (a guaranteed profile miss — sustained planning work).
+//
+// Autoscale mode (docs/AUTOSCALE.md): --autoscale runs the closed-loop
+// Autoscaler against the spawned fleet — scale-ups spawn extra backends on
+// the next ports, drains SIGTERM them — and the run only exits 0 if the
+// fleet scaled up at least once, drained back to the floor after the wave,
+// and produced a populated (cost, p99) Pareto frontier, with zero "error"
+// responses throughout:
+//
+//   pglb_loadgen --requests=96 --router=1 --server=./pglb_serve \
+//     --autoscale --wave=60 --churn --max-replicas=3
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <iostream>
 #include <memory>
@@ -35,6 +52,8 @@
 #include <thread>
 #include <vector>
 
+#include "autoscale/autoscaler.hpp"
+#include "core/proxy_suite.hpp"
 #include "fleet/router.hpp"
 #include "fleet/tcp_backend.hpp"
 #include "obs/registry.hpp"
@@ -108,6 +127,13 @@ struct LoadReport {
   };
   std::vector<BackendReport> backends;
   std::vector<LatencyBucket> route_buckets;
+  /// Autoscale mode: convergence evidence for the wave gate.
+  bool autoscaled = false;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t drains = 0;
+  std::size_t final_replicas = 0;
+  std::size_t floor_replicas = 0;
+  std::size_t frontier_size = 0;  ///< machines on the live (cost, p99) frontier
 };
 
 /// Nonzero counter deltas of the process-wide registry across the run — what
@@ -383,14 +409,27 @@ void wait_listening(std::uint16_t port, std::uint64_t timeout_ms) {
   }
 }
 
+/// Fleet-mode knobs beyond the basic spawn parameters: the configurable
+/// kill/restart schedule, the wave arrival shape, cache churn, and the
+/// autoscale convergence mode.
+struct RouterRunOptions {
+  std::size_t kill_at_pct = 40;     ///< SIGKILL b0 at this % of the run
+  std::size_t restart_at_pct = 70;  ///< restart b0 at this % of the run
+  double wave_peak_qps = 0.0;       ///< >0: half-sine arrival wave, else closed loop
+  bool churn = false;               ///< unique out-of-coverage alpha per request
+  bool autoscale = false;
+  std::uint64_t autoscale_ms = 50;  ///< controller sampling cadence
+  AutoscalerOptions autoscaler;     ///< min_replicas is overwritten with the floor
+};
+
 /// Route the mix through an in-process fleet Router over K spawned backends.
-/// Backend 0 is SIGKILLed at ~40% of the run and restarted at ~70% — the
+/// Backend 0 is SIGKILLed / restarted on the configured schedule — the
 /// router must absorb both transitions with typed responses only.
 LoadReport run_against_router(const std::string& serve_path, std::size_t requests,
                               int threads, std::size_t distinct, double scale,
                               std::size_t queue_capacity, std::uint64_t timeout_ms,
                               std::size_t fleet_size, std::uint16_t base_port,
-                              std::uint64_t hedge_ms) {
+                              std::uint64_t hedge_ms, const RouterRunOptions& run) {
   std::vector<ServeChild> children;
   const auto kill_children = [&] {
     for (ServeChild& child : children) {
@@ -425,11 +464,111 @@ LoadReport run_against_router(const std::string& serve_path, std::size_t request
     std::atomic<std::size_t> failed{0}, degraded{0}, timeouts{0}, overloaded{0};
     std::atomic<bool> first_error{false};
     std::atomic<std::size_t> next{0};
-    const std::size_t kill_at = requests * 2 / 5;
-    const std::size_t restart_at = requests * 7 / 10;
-    std::mutex fleet_mutex;  // guards children[0] across kill/restart threads
+    // A percentage outside (0, 100) maps to `requests`, which no request
+    // index ever equals — the event simply never fires.
+    const std::size_t kill_at =
+        run.kill_at_pct > 0 && run.kill_at_pct < 100
+            ? requests * run.kill_at_pct / 100
+            : requests;
+    const std::size_t restart_at =
+        run.restart_at_pct > 0 && run.restart_at_pct < 100
+            ? requests * run.restart_at_pct / 100
+            : requests;
+    std::mutex fleet_mutex;  // guards `children` across kill/restart/autoscale
+
+    // Diurnal wave: open-loop send times along a half-sine peaking at
+    // wave_peak_qps mid-run, floored at 5% of peak so the tail still drains.
+    std::vector<double> send_at;
+    if (run.wave_peak_qps > 0.0) {
+      send_at.resize(requests);
+      constexpr double kPi = 3.14159265358979323846;
+      double t = 0.0;
+      for (std::size_t i = 0; i < requests; ++i) {
+        const double phase =
+            kPi * (static_cast<double>(i) + 0.5) / static_cast<double>(requests);
+        const double rate = run.wave_peak_qps * std::max(0.05, std::sin(phase));
+        t += 1.0 / rate;
+        send_at[i] = t;
+      }
+    }
 
     const Stopwatch wall;
+
+    // Autoscale controller: sample -> decide -> actuate, the same loop
+    // pglb_router runs, scoped to this in-process fleet.
+    std::unique_ptr<Autoscaler> autoscaler;
+    std::mutex as_mutex;
+    std::condition_variable as_cv;
+    bool as_stop = false;
+    std::thread controller;
+    if (run.autoscale) {
+      AutoscalerOptions as_options = run.autoscaler;
+      as_options.min_replicas = fleet_size;
+      autoscaler = std::make_unique<Autoscaler>(as_options, &router_metrics);
+      controller = std::thread([&] {
+        std::unique_lock<std::mutex> lock(as_mutex);
+        while (!as_stop) {
+          as_cv.wait_for(lock, std::chrono::milliseconds(run.autoscale_ms),
+                         [&] { return as_stop; });
+          if (as_stop) return;
+          lock.unlock();
+          const FleetSample sample =
+              sample_fleet(router->fleet(), router_metrics);
+          const ScaleDecision decision = autoscaler->decide(sample);
+          if (const auto* up = std::get_if<ScaleUp>(&decision)) {
+            std::lock_guard<std::mutex> fleet_lock(fleet_mutex);
+            // Rejoin a drained slot (same port, same keys rendezvous back)
+            // before renting a fresh one on the next port.
+            std::size_t rejoin = children.size();
+            for (std::size_t k = 0; k < children.size(); ++k) {
+              if (children[k].pid < 0 &&
+                  router->fleet().status(k).state == BackendState::kDraining) {
+                rejoin = k;
+                break;
+              }
+            }
+            try {
+              if (rejoin < children.size()) {
+                children[rejoin] = spawn_serve(serve_path, children[rejoin].port,
+                                               threads, scale, queue_capacity);
+                wait_listening(children[rejoin].port, 30'000);
+                router->fleet().set_draining(rejoin, false);
+                router->fleet().record_success(rejoin);
+                std::cerr << "loadgen: autoscale: scale-up b" << rejoin
+                          << " (rejoin)\n";
+              } else {
+                const auto port =
+                    static_cast<std::uint16_t>(base_port + children.size());
+                children.push_back(
+                    spawn_serve(serve_path, port, threads, scale, queue_capacity));
+                wait_listening(port, 30'000);
+                const std::string name = "b" + std::to_string(children.size() - 1);
+                router->add_backend(std::make_shared<TcpBackend>(name, port),
+                                    up->weight);
+                std::cerr << "loadgen: autoscale: scale-up " << name << " ("
+                          << up->spec.name << ")\n";
+              }
+            } catch (const std::exception& e) {
+              std::cerr << "loadgen: autoscale: scale-up failed: " << e.what()
+                        << "\n";
+            }
+          } else if (const auto* drain = std::get_if<DrainReplica>(&decision)) {
+            std::lock_guard<std::mutex> fleet_lock(fleet_mutex);
+            if (drain->index < children.size() &&
+                children[drain->index].pid > 0) {
+              router->fleet().set_draining(drain->index, true);
+              kill(children[drain->index].pid, SIGTERM);
+              int status = 0;
+              waitpid(children[drain->index].pid, &status, 0);
+              children[drain->index].pid = -1;
+              std::cerr << "loadgen: autoscale: drained " << drain->backend
+                        << "\n";
+            }
+          }
+          lock.lock();
+        }
+      });
+    }
     std::vector<std::thread> clients;
     for (int t = 0; t < threads; ++t) {
       clients.emplace_back([&] {
@@ -455,7 +594,25 @@ LoadReport run_against_router(const std::string& serve_path, std::size_t request
               std::cerr << "loadgen: restarted backend b0 at request " << i << "\n";
             }
           }
+          if (!send_at.empty()) {
+            // Open-loop pacing: hold this slot until the wave schedule says
+            // request i arrives.
+            for (;;) {
+              const double remain = send_at[i] - wall.seconds();
+              if (remain <= 0.0) break;
+              std::this_thread::sleep_for(
+                  std::chrono::duration<double>(std::min(remain, 0.005)));
+            }
+          }
           PlanRequest request = request_for(i % distinct, i);
+          if (run.churn) {
+            // Unique alpha spaced beyond ProxySuite::kCoverageMargin from
+            // every other request's: each is a guaranteed coverage miss, so
+            // the backend generates and profiles a fresh proxy — sustained
+            // planning work no cache can absorb.
+            request.alpha = 3.0 + 2.0 * ProxySuite::kCoverageMargin *
+                                      static_cast<double>(i + 1);
+          }
           if (timeout_ms > 0) request.timeout_ms = timeout_ms;
           const std::string line = serialize_request(request);
           const Stopwatch timer;
@@ -474,17 +631,48 @@ LoadReport run_against_router(const std::string& serve_path, std::size_t request
     report.timeouts = timeouts.load();
     report.overloaded = overloaded.load();
 
+    if (autoscaler) {
+      // Convergence: the wave has passed; give the controller time to drain
+      // the extra replicas back to the floor before judging the run.
+      const Stopwatch settle;
+      while (settle.seconds() < 20.0) {
+        if (static_cast<std::size_t>(router_metrics.gauge(
+                "autoscale.replicas")) <= fleet_size) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      {
+        std::lock_guard<std::mutex> lock(as_mutex);
+        as_stop = true;
+      }
+      as_cv.notify_all();
+      controller.join();
+      report.autoscaled = true;
+      report.scale_ups = router_metrics.counter("autoscale.scale_ups");
+      report.drains = router_metrics.counter("autoscale.drains");
+      report.final_replicas =
+          static_cast<std::size_t>(router_metrics.gauge("autoscale.replicas"));
+      report.floor_replicas = fleet_size;
+      const JsonValue status = parse_json(autoscaler->status_json());
+      if (const JsonValue* pareto = status.find("pareto")) {
+        if (const JsonValue* frontier = pareto->find("frontier")) {
+          report.frontier_size = frontier->as_array().size();
+        }
+      }
+    }
+
     // Per-backend routing counts (router side) and cache stats (backend
     // side, via a metrics request — a restarted backend reports its fresh
     // cache, which is the honest number).
-    for (std::size_t k = 0; k < fleet_size; ++k) {
+    for (std::size_t k = 0; k < children.size(); ++k) {
       LoadReport::BackendReport backend;
       backend.name = "b" + std::to_string(k);
       backend.routed = router_metrics.counter("fleet." + backend.name + ".routed");
       backend.alive = children[k].pid > 0;
       if (backend.alive) {
         try {
-          auto future = router->fleet().backend(k).submit(
+          auto future = router->fleet().backend(k)->submit(
               R"({"type":"metrics","id":"loadgen-final"})");
           const JsonValue metrics = parse_json(future.get());
           if (const JsonValue* cache = metrics.find("cache")) {
@@ -546,6 +734,26 @@ int main(int argc, char** argv) {
     const auto base_port = static_cast<std::uint16_t>(cli.get_int("base-port", 7611));
     const auto hedge_ms = static_cast<std::uint64_t>(cli.get_int("hedge-ms", 0));
 
+    RouterRunOptions run;
+    run.kill_at_pct = static_cast<std::size_t>(cli.get_int("kill-at", 40));
+    run.restart_at_pct = static_cast<std::size_t>(cli.get_int("restart-at", 70));
+    run.wave_peak_qps = cli.get_double("wave", 0.0);
+    run.churn = cli.get_bool("churn", false);
+    run.autoscale = cli.get_bool("autoscale", false);
+    run.autoscale_ms = static_cast<std::uint64_t>(cli.get_int("autoscale-ms", 50));
+    run.autoscaler.max_replicas =
+        static_cast<std::size_t>(cli.get_int("max-replicas", 4));
+    run.autoscaler.policy.policy =
+        scale_policy_from_name(cli.get_string("scale-policy", "cost"));
+    run.autoscaler.pressure_threshold = cli.get_double("pressure", 2.0);
+    run.autoscaler.idle_threshold = cli.get_double("idle", 0.25);
+    run.autoscaler.sustain_samples =
+        static_cast<std::uint32_t>(cli.get_int("sustain", 2));
+    run.autoscaler.idle_samples =
+        static_cast<std::uint32_t>(cli.get_int("idle-samples", 5));
+    run.autoscaler.cooldown_ms =
+        static_cast<std::uint64_t>(cli.get_int("cooldown-ms", 500));
+
     PlannerOptions planner_options;
     planner_options.proxy_scale = cli.get_double("scale", 1.0 / 256.0);
     planner_options.cache_capacity = static_cast<std::size_t>(cli.get_int("cache", 64));
@@ -573,7 +781,7 @@ int main(int argc, char** argv) {
       report = run_against_router(server_path, requests, threads, distinct,
                                   planner_options.proxy_scale,
                                   server_options.queue_capacity, timeout_ms,
-                                  fleet_size, base_port, hedge_ms);
+                                  fleet_size, base_port, hedge_ms, run);
 #else
       std::cerr << "pglb_loadgen: --router mode is only available on POSIX builds\n";
       return 2;
@@ -612,6 +820,14 @@ int main(int argc, char** argv) {
     table.row().cell("cache hits").cell(report.cache_hits, 0);
     table.row().cell("cache misses").cell(report.cache_misses, 0);
     table.row().cell("cache hit rate").cell(format_percent(report.cache_hit_rate));
+    if (report.autoscaled) {
+      table.row().cell("scale-ups").cell(report.scale_ups);
+      table.row().cell("drains").cell(report.drains);
+      table.row().cell("final replicas").cell(
+          static_cast<std::uint64_t>(report.final_replicas));
+      table.row().cell("pareto frontier").cell(
+          static_cast<std::uint64_t>(report.frontier_size));
+    }
     table.print(std::cout);
 
     const auto deltas = counter_deltas(registry_before, global_registry().counters());
@@ -662,6 +878,20 @@ int main(int argc, char** argv) {
       std::cout << "\n";
     }
 
+    if (report.autoscaled) {
+      // The convergence gate: the wave must have forced at least one
+      // scale-up, the fleet must be back at the floor, and the live Pareto
+      // block must be populated.
+      if (report.scale_ups == 0 ||
+          report.final_replicas > report.floor_replicas ||
+          report.frontier_size == 0) {
+        std::cerr << "pglb_loadgen: autoscale did not converge (scale_ups="
+                  << report.scale_ups << ", final=" << report.final_replicas
+                  << "/" << report.floor_replicas
+                  << ", frontier=" << report.frontier_size << ")\n";
+        return 1;
+      }
+    }
     return report.failed == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::cerr << "pglb_loadgen: " << e.what() << "\n";

@@ -16,8 +16,17 @@
 // SIGINT/SIGTERM: stop reading, answer everything in flight, send the
 // spawned children SIGTERM and reap them, then exit 0 — the same graceful
 // drain contract as pglb_serve.
+//
+// --autoscale (spawn mode only) runs the closed-loop autoscaler
+// (docs/AUTOSCALE.md): a controller thread samples fleet pressure on a
+// cadence and acts on its decisions — scale-up spawns another pglb_serve on
+// the next port (or rejoins a previously drained slot), drain marks a
+// replica draining, SIGTERMs it, and reaps it.  Rendezvous hashing re-homes
+// only the drained replica's keys.  The metrics response gains an
+// "autoscale" block with the live (cost, p99) Pareto frontier.
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -29,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "autoscale/autoscaler.hpp"
 #include "fleet/router.hpp"
 #include "fleet/tcp_backend.hpp"
 #include "service/protocol.hpp"
@@ -134,7 +144,7 @@ void wait_listening(std::uint16_t port, std::uint64_t timeout_ms) {
 /// Pump stdin->stdout through router.route() on `threads` workers, emitting
 /// responses in input order (the serve_stream contract).
 std::size_t pump(Router& router, Registry& metrics, int threads,
-                 bool metrics_buckets) {
+                 bool metrics_buckets, const Autoscaler* autoscaler) {
   std::mutex mutex;
   std::condition_variable work_cv;
   std::condition_variable out_cv;
@@ -167,8 +177,11 @@ std::size_t pump(Router& router, Registry& metrics, int threads,
         if (is_metrics) {
           // Router-side view: counters, route latency (with the full bucket
           // vectors), and per-backend health.  Deliberately not forwarded.
-          response =
-              metrics.to_json("\"fleet\":" + router.fleet_json(), metrics_buckets);
+          std::string extra = "\"fleet\":" + router.fleet_json();
+          if (autoscaler != nullptr) {
+            extra += ",\"autoscale\":" + autoscaler->status_json();
+          }
+          response = metrics.to_json(extra, metrics_buckets);
         } else {
           response = router.route(job.second);
         }
@@ -239,6 +252,24 @@ int main(int argc, char** argv) {
     const std::string weights_csv = cli.get_string("weights", "");
     const bool metrics_buckets = cli.get_bool("metrics-buckets", true);
 
+    const bool autoscale = cli.get_bool("autoscale", false);
+    AutoscalerOptions as_options;
+    as_options.max_replicas =
+        static_cast<std::size_t>(cli.get_int("max-replicas", 4));
+    as_options.policy.policy =
+        scale_policy_from_name(cli.get_string("scale-policy", "cost"));
+    as_options.pressure_threshold = cli.get_double("pressure", 4.0);
+    as_options.idle_threshold = cli.get_double("idle", 0.5);
+    as_options.sustain_samples =
+        static_cast<std::uint32_t>(cli.get_int("sustain", 3));
+    as_options.idle_samples =
+        static_cast<std::uint32_t>(cli.get_int("idle-samples", 5));
+    as_options.cooldown_ms =
+        static_cast<std::uint64_t>(cli.get_int("cooldown-ms", 2'000));
+    as_options.base_spec = cli.get_string("base-spec", "c4.2xlarge");
+    const auto autoscale_ms =
+        static_cast<std::uint64_t>(cli.get_int("autoscale-ms", 200));
+
     RouterOptions options;
     options.default_deadline_ms =
         static_cast<std::uint64_t>(cli.get_int("default-timeout-ms", 30'000));
@@ -254,6 +285,11 @@ int main(int argc, char** argv) {
     }
     if ((spawn == 0) == backends_csv.empty()) {
       std::cerr << "pglb_router: need exactly one of --spawn=K or --backends=p1,p2\n";
+      return 2;
+    }
+    if (autoscale && spawn == 0) {
+      std::cerr << "pglb_router: --autoscale needs --spawn (the scaler owns "
+                   "the replica processes)\n";
       return 2;
     }
 
@@ -304,7 +340,116 @@ int main(int argc, char** argv) {
     router->start();
     std::cerr << "pglb_router: fronting " << ports.size() << " backend(s)\n";
 
-    const std::size_t served = pump(*router, metrics, threads, metrics_buckets);
+    // --- autoscale controller ------------------------------------------------
+    // Samples fleet pressure on a cadence, asks the (pure) Autoscaler for a
+    // decision, and actuates it with the same spawn / SIGTERM-drain machinery
+    // the rest of this tool uses.  The controller is the only mutator of
+    // `children` while it runs; main touches them again only after join.
+    std::unique_ptr<Autoscaler> autoscaler;
+    std::vector<std::string> replica_specs(ports.size(), "");
+    std::mutex as_mutex;
+    std::condition_variable as_cv;
+    bool as_stop = false;
+    std::thread controller;
+    if (autoscale) {
+      as_options.min_replicas = spawn;  // the floor is what the user spawned
+      autoscaler = std::make_unique<Autoscaler>(as_options, &metrics);
+      controller = std::thread([&] {
+        std::unique_lock<std::mutex> lock(as_mutex);
+        while (!as_stop) {
+          as_cv.wait_for(lock, std::chrono::milliseconds(autoscale_ms),
+                         [&] { return as_stop; });
+          if (as_stop) return;
+          lock.unlock();
+          FleetSample sample = sample_fleet(router->fleet(), metrics);
+          for (std::size_t i = 0;
+               i < sample.backends.size() && i < replica_specs.size(); ++i) {
+            sample.backends[i].spec_name = replica_specs[i];
+          }
+          const ScaleDecision decision = autoscaler->decide(sample);
+          if (const auto* up = std::get_if<ScaleUp>(&decision)) {
+            // Prefer rejoining a drained slot (same port, weight, and spec —
+            // its keys rendezvous straight back); otherwise spawn a fresh
+            // replica on the next port with the policy's chosen spec.
+            std::size_t rejoin = children.size();
+            for (std::size_t i = 0; i < children.size(); ++i) {
+              if (children[i].pid < 0 &&
+                  router->fleet().status(i).state == BackendState::kDraining) {
+                rejoin = i;
+                break;
+              }
+            }
+            try {
+              if (rejoin < children.size()) {
+                children[rejoin] = spawn_serve(serve_path, children[rejoin].port,
+                                               backend_threads, scale, queue, shed);
+                wait_listening(children[rejoin].port, 30'000);
+                router->fleet().set_draining(rejoin, false);
+                // wait_listening just proved liveness; clear the failure
+                // backoff the prober accrued against the empty slot.
+                router->fleet().record_success(rejoin);
+                std::cerr << "pglb_router: autoscale: scale-up b" << rejoin
+                          << " (rejoin) on port " << children[rejoin].port
+                          << "\n";
+              } else {
+                const auto port =
+                    static_cast<std::uint16_t>(base_port + children.size());
+                children.push_back(spawn_serve(serve_path, port, backend_threads,
+                                               scale, queue, shed));
+                wait_listening(port, 30'000);
+                const std::string name = "b" + std::to_string(replica_specs.size());
+                router->add_backend(std::make_shared<TcpBackend>(name, port),
+                                    up->weight);
+                replica_specs.push_back(up->spec.name);
+                std::cerr << "pglb_router: autoscale: scale-up " << name << " ("
+                          << up->spec.name << ") on port " << port << "\n";
+              }
+            } catch (const std::exception& e) {
+              std::cerr << "pglb_router: autoscale: scale-up failed: "
+                        << e.what() << "\n";
+            }
+          } else if (const auto* drain = std::get_if<DrainReplica>(&decision)) {
+            if (drain->index < children.size() &&
+                children[drain->index].pid > 0) {
+              router->fleet().set_draining(drain->index, true);
+              ::kill(children[drain->index].pid, SIGTERM);
+              int status = 0;
+              ::waitpid(children[drain->index].pid, &status, 0);
+              children[drain->index].pid = -1;
+              std::cerr << "pglb_router: autoscale: drained " << drain->backend
+                        << "\n";
+            }
+          }
+          lock.lock();
+        }
+      });
+    }
+    // Joins the controller on every exit path BEFORE the router (whose
+    // pointer it captured) is destroyed.
+    struct ControllerJoiner {
+      std::thread* thread;
+      std::mutex* mutex;
+      std::condition_variable* cv;
+      bool* stop;
+      ~ControllerJoiner() {
+        if (!thread->joinable()) return;
+        {
+          std::lock_guard<std::mutex> lock(*mutex);
+          *stop = true;
+        }
+        cv->notify_all();
+        thread->join();
+      }
+    } controller_joiner{&controller, &as_mutex, &as_cv, &as_stop};
+
+    const std::size_t served =
+        pump(*router, metrics, threads, metrics_buckets, autoscaler.get());
+    {
+      std::lock_guard<std::mutex> lock(as_mutex);
+      as_stop = true;
+    }
+    as_cv.notify_all();
+    if (controller.joinable()) controller.join();
     router->stop();
     // Tear the router down BEFORE reaping: destroying the TcpBackends closes
     // the persistent connections, which is what lets a backend blocked in
@@ -312,10 +457,14 @@ int main(int argc, char** argv) {
     router.reset();
     std::cerr << "pglb_router: drained after " << served << " request(s)\n";
 
-    for (const ChildProcess& child : children) ::kill(child.pid, SIGTERM);
+    // Drained slots carry pid -1: skip them (kill(-1) would signal the whole
+    // process group).
+    for (const ChildProcess& child : children) {
+      if (child.pid > 0) ::kill(child.pid, SIGTERM);
+    }
     for (const ChildProcess& child : children) {
       int status = 0;
-      ::waitpid(child.pid, &status, 0);
+      if (child.pid > 0) ::waitpid(child.pid, &status, 0);
     }
     return 0;
   } catch (const std::exception& e) {

@@ -153,4 +153,72 @@ grep -q '\"id\":\"p2\",\"status\":\"error\"' pipe.jsonl  # typed error passthrou
   endif()
   file(REMOVE ${router_script} ${WORKDIR}/rin ${WORKDIR}/rout.jsonl
        ${WORKDIR}/rerr.log ${WORKDIR}/pipe.jsonl)
+
+  # Autoscale smoke (docs/AUTOSCALE.md): pglb_router --autoscale over a
+  # one-replica floor.  A burst of coverage-missing plans (distinct alphas,
+  # two apps each at --scale=0.01) builds queue pressure; the control loop
+  # must scale up to max-replicas=3 (two extra replicas), drain back to the
+  # floor once the burst passes, and expose a populated (cost, p99) Pareto
+  # block in the router-side metrics (ports 7651+).
+  set(autoscale_script ${WORKDIR}/autoscale_smoke.sh)
+  file(WRITE ${autoscale_script}
+"set -eu
+cd '${WORKDIR}'
+rm -f asin asout.jsonl aserr.log
+mkfifo asin
+exec 3<>asin  # hold the write end open: router stdin must not see EOF
+'${PGLB_ROUTER}' --spawn=1 --autoscale --max-replicas=3 --serve='${PGLB_SERVE}' \\
+    --base-port=7651 --scale=0.01 --threads=8 --autoscale-ms=20 --sustain=2 \\
+    --idle-samples=5 --cooldown-ms=200 --pressure=1.5 --idle=0.2 \\
+    <asin >asout.jsonl 2>aserr.log &
+RPID=$!
+# A failed check must not leak the router or its replicas onto the smoke
+# ports: later runs would bind-collide and fail confusingly.
+trap 'set +e; kill -KILL \"$RPID\" 2>/dev/null; pkill -KILL -f \"listen=765[123]\" 2>/dev/null; true' EXIT
+for i in $(seq 1 600); do
+  grep -q 'fronting 1' aserr.log 2>/dev/null && break; sleep 0.1
+done
+grep -q 'fronting 1' aserr.log
+
+# 96 alphas spaced beyond the proxy coverage margin: every plan generates and
+# profiles a fresh proxy, so the burst holds queue pressure on the fleet.
+awk 'BEGIN { for (i = 0; i < 96; i++)
+  printf(\"{\\\"id\\\":\\\"q%d\\\",\\\"app\\\":\\\"%s\\\",\\\"alpha\\\":%.1f,\\\"machines\\\":[\\\"c4.2xlarge\\\"]}\\n\",
+         i, (i % 2 ? \"coloring\" : \"pagerank\"), 3.5 + 0.5 * i) }' >&3
+for i in $(seq 1 900); do
+  [ \"$(wc -l <asout.jsonl)\" -ge 96 ] && break; sleep 0.1
+done
+[ \"$(wc -l <asout.jsonl)\" -ge 96 ]
+if grep -q '\"status\":\"error\"' asout.jsonl; then
+  echo 'autoscale smoke: a plan request failed' >&2; exit 1
+fi
+
+for i in $(seq 1 300); do  # idle hysteresis drains the extras back to floor
+  [ \"$(grep -c 'autoscale: drained' aserr.log)\" -ge 2 ] && break; sleep 0.1
+done
+[ \"$(grep -c 'autoscale: scale-up' aserr.log)\" -ge 2 ]  # floor -> 3 replicas
+[ \"$(grep -c 'autoscale: drained' aserr.log)\" -ge 2 ]   # ...and back down
+
+printf '{\"type\":\"metrics\",\"id\":\"am\"}\\n' >&3
+for i in $(seq 1 600); do
+  [ \"$(wc -l <asout.jsonl)\" -ge 97 ] && break; sleep 0.1
+done
+tail -1 asout.jsonl | grep -q '\"autoscale\":{'
+tail -1 asout.jsonl | grep -q '\"pareto\":{'
+tail -1 asout.jsonl | grep -q '\"frontier\":\\[{'
+
+kill -TERM \"$RPID\"
+wait \"$RPID\"                                  # set -e: non-zero exit fails here
+grep -q 'drained after' aserr.log
+if pgrep -f 'listen=765[123]' >/dev/null; then
+  echo 'pglb_serve replicas survived the drain' >&2; exit 1
+fi
+")
+  execute_process(COMMAND bash ${autoscale_script}
+                  RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "autoscale smoke failed (${code}):\n${out}\n${err}")
+  endif()
+  file(REMOVE ${autoscale_script} ${WORKDIR}/asin ${WORKDIR}/asout.jsonl
+       ${WORKDIR}/aserr.log)
 endif()
