@@ -1,9 +1,16 @@
 // Microbenchmarks of the planning service: warm-cache planner latency (the
 // steady-state cost of one plan once its profile is cached), the protocol
-// round trip, and end-to-end server throughput at varying worker counts.
+// round trip, end-to-end server throughput at varying worker counts, and the
+// wire-transport comparison (line-JSON vs the multiplexed binary framing,
+// docs/WIRE.md).
+//
+// `service_throughput --transport-gate` skips the benchmarks and runs the
+// transport acceptance gate instead: at concurrency 8 the binary transport
+// must not be slower than line-JSON (ctest test wire_transport_gate).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <vector>
@@ -11,6 +18,18 @@
 #include "fleet/local_backend.hpp"
 #include "fleet/router.hpp"
 #include "service/server.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <deque>
+#include <ext/stdio_filebuf.h>  // libstdc++: iostream over a file descriptor
+#include <thread>
+
+#include "fleet/tcp_backend.hpp"
+#endif
 
 namespace {
 
@@ -123,6 +142,128 @@ void BM_router_warm_fleet(benchmark::State& state) {
 }
 BENCHMARK(BM_router_warm_fleet)->Arg(1)->Arg(3);
 
+#ifdef __unix__
+
+/// One closed-loop run over a real socket stream: a PlanServer serving a
+/// socketpair on its own thread, a TcpBackend client keeping `concurrency`
+/// requests in flight until `total` have completed.  Returns the wall seconds
+/// of the timed loop (profiles pre-warmed; the handshake happens before the
+/// clock starts).
+double measure_transport_seconds(WireMode mode, std::size_t concurrency,
+                                 std::size_t total) {
+  ServiceMetrics metrics;
+  Planner planner(bench_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 4, .queue_capacity = 256});
+
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return -1.0;
+  std::thread serving([&server, fd = fds[1]] {
+    __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
+    __gnu_cxx::stdio_filebuf<char> out_buf(::dup(fd), std::ios::out);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    server.serve_stream(in, out);
+  });
+
+  double seconds = 0.0;
+  {
+    TcpBackend backend("bench", fds[0], mode);
+    std::vector<std::string> lines;
+    for (int v = 0; v < 4; ++v) {
+      lines.push_back(serialize_request(sample_request(v)));
+      backend.submit(lines.back()).get();  // warm profile + handshake
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::deque<std::future<std::string>> inflight;
+    std::size_t sent = 0;
+    std::size_t completed = 0;
+    while (completed < total) {
+      while (inflight.size() < concurrency && sent < total) {
+        inflight.push_back(backend.submit(lines[sent % lines.size()]));
+        ++sent;
+      }
+      inflight.front().get();
+      inflight.pop_front();
+      ++completed;
+    }
+    seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            start)
+                  .count();
+  }  // backend teardown closes its end; the server sees EOF and returns
+  serving.join();
+  return seconds;
+}
+
+/// Whole-stack transport round trips: range(0) picks the transport
+/// (0 = line-JSON, 1 = binary frames), range(1) the in-flight concurrency.
+void BM_tcp_transport(benchmark::State& state) {
+  const WireMode mode =
+      state.range(0) == 0 ? WireMode::kLineJson : WireMode::kBinary;
+  const auto concurrency = static_cast<std::size_t>(state.range(1));
+  constexpr std::size_t kTotal = 512;
+  for (auto _ : state) {
+    state.SetIterationTime(measure_transport_seconds(mode, concurrency, kTotal));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kTotal));
+}
+BENCHMARK(BM_tcp_transport)
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->UseManualTime()
+    ->Unit(benchmark::kMillisecond);
+
+/// The PR acceptance gate (docs/WIRE.md): with 8 requests in flight, the
+/// multiplexed binary transport must not be slower than line-JSON.  Best of
+/// three runs per transport to shave scheduler noise; 0.85x tolerance so the
+/// gate trips on regressions, not on CI jitter.
+int run_transport_gate() {
+  constexpr std::size_t kConcurrency = 8;
+  constexpr std::size_t kRequests = 1024;
+  const auto best_throughput = [&](WireMode mode) {
+    double best = 1e100;
+    for (int run = 0; run < 3; ++run) {
+      const double seconds =
+          measure_transport_seconds(mode, kConcurrency, kRequests);
+      if (seconds > 0.0 && seconds < best) best = seconds;
+    }
+    return static_cast<double>(kRequests) / best;
+  };
+  const double line_rps = best_throughput(WireMode::kLineJson);
+  const double binary_rps = best_throughput(WireMode::kBinary);
+  std::printf(
+      "transport-gate: line-json %.0f req/s, binary %.0f req/s (%.2fx) at "
+      "concurrency %zu\n",
+      line_rps, binary_rps, binary_rps / line_rps, kConcurrency);
+  if (binary_rps < 0.85 * line_rps) {
+    std::fprintf(stderr,
+                 "transport-gate: FAIL — binary framing is slower than the "
+                 "line protocol it replaces\n");
+    return 1;
+  }
+  return 0;
+}
+
+#endif  // __unix__
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--transport-gate") {
+#ifdef __unix__
+      return run_transport_gate();
+#else
+      std::printf("transport-gate: POSIX-only, skipping\n");
+      return 0;
+#endif
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,10 +1,11 @@
 #pragma once
 // Transport abstraction of the fleet layer (docs/FLEET.md): a Backend is one
-// planning-service replica reachable over the line-JSON protocol — submit a
-// raw request line, get a future for the raw response line.  The router only
-// ever sees this interface, so the same routing/hedging/failover logic runs
-// against in-process replicas (LocalBackend, tests and benches) and real
-// `pglb_serve --listen` processes (TcpBackend).
+// planning-service replica — submit a raw request line, get a future for the
+// raw response line.  The router only ever sees this interface, so the same
+// routing/hedging/failover logic runs against in-process replicas
+// (LocalBackend, tests and benches) and real `pglb_serve --listen` processes
+// (TcpBackend, which speaks either line-JSON or the multiplexed binary
+// framing of docs/WIRE.md — the payload bytes are identical either way).
 //
 // Error contract: transport problems (dead peer, broken pipe, connect
 // refusal) surface as a BackendError thrown OUT OF THE FUTURE, never as a
@@ -41,10 +42,10 @@ class Backend {
   virtual const std::string& name() const = 0;
 
   /// Enqueue one raw request line.  The future yields the raw response line
-  /// or throws BackendError on transport failure.  Thread-safe; responses on
-  /// one backend preserve submission order (the line protocol answers in
-  /// input order), which is what lets TcpBackend multiplex one persistent
-  /// connection with FIFO matching.
+  /// or throws BackendError on transport failure.  Thread-safe.  Callers must
+  /// NOT assume futures complete in submission order: over the binary wire
+  /// (docs/WIRE.md) a backend answers out of order, matching responses to
+  /// requests by id.  Only the legacy line-JSON transport is FIFO.
   virtual std::future<std::string> submit(std::string line) = 0;
 };
 

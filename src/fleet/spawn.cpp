@@ -1,0 +1,96 @@
+#include "fleet/spawn.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/portfile.hpp"
+
+namespace pglb {
+
+namespace {
+
+std::string port_file_path(const SpawnOptions& options, const std::string& tag) {
+  return options.port_dir + "/" + tag + ".port";
+}
+
+}  // namespace
+
+ServeChild spawn_serve(const SpawnOptions& options, std::uint16_t port,
+                       const std::string& tag) {
+  std::string port_file;
+  if (port == 0) {
+    if (options.port_dir.empty()) {
+      throw std::runtime_error(
+          "spawn_serve: ephemeral port needs SpawnOptions.port_dir");
+    }
+    port_file = port_file_path(options, tag);
+    std::remove(port_file.c_str());  // a respawned slot must not read stale
+  }
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    std::vector<std::string> args = {
+        options.serve_path,
+        "--listen=" + std::to_string(port),
+        "--threads=" + std::to_string(options.threads),
+        "--scale=" + std::to_string(options.scale),
+        "--queue=" + std::to_string(options.queue)};
+    if (options.shed) args.emplace_back("--shed");
+    if (!options.wire.empty()) args.emplace_back("--wire=" + options.wire);
+    if (!port_file.empty()) args.emplace_back("--port-file=" + port_file);
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(options.serve_path.c_str(), argv.data());
+    std::perror("execv");
+    _exit(127);
+  }
+  return {pid, port};
+}
+
+std::uint16_t wait_serve_ready(ServeChild& child, const SpawnOptions& options,
+                               const std::string& tag,
+                               std::uint64_t timeout_ms) {
+  if (child.port == 0) {
+    child.port = wait_port_file(port_file_path(options, tag), timeout_ms);
+  }
+  wait_listening(child.port, timeout_ms);
+  return child.port;
+}
+
+void wait_listening(std::uint16_t port, std::uint64_t timeout_ms) {
+  for (std::uint64_t waited = 0;; waited += 50) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      addr.sin_port = htons(port);
+      const int rc =
+          ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      ::close(fd);
+      if (rc == 0) return;
+    }
+    if (waited >= timeout_ms) {
+      throw std::runtime_error("backend on port " + std::to_string(port) +
+                               " did not start listening");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace pglb

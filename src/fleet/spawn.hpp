@@ -1,0 +1,53 @@
+#pragma once
+// fork/exec helpers for standing up `pglb_serve --listen` replica processes,
+// shared by pglb_router and pglb_loadgen (which used to carry private
+// copies).  Replicas default to EPHEMERAL ports: the child binds port 0 and
+// publishes the kernel's choice through a port file (util/portfile.hpp), so
+// parallel CI runs never collide on a fixed range.  A fixed port still works
+// for anything that needs one.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include <sys/types.h>
+
+namespace pglb {
+
+struct SpawnOptions {
+  std::string serve_path = "./pglb_serve";
+  int threads = 4;
+  double scale = 1.0 / 256.0;
+  std::size_t queue = 256;
+  bool shed = false;
+  /// Child's --wire value ("" = child default).  "line" stands up a
+  /// line-JSON-only replica that declines the binary upgrade (docs/WIRE.md).
+  std::string wire;
+  /// Directory where ephemeral children publish <tag>.port; required when
+  /// spawning with port 0.
+  std::string port_dir;
+};
+
+struct ServeChild {
+  pid_t pid = -1;
+  std::uint16_t port = 0;  ///< 0 until an ephemeral child is waited on
+};
+
+/// Fork+exec one pglb_serve listening on `port` (0 = ephemeral).  `tag`
+/// names the port file; a respawn of the same slot reuses the tag (any stale
+/// file is removed before the fork, so the wait below can't read it).
+ServeChild spawn_serve(const SpawnOptions& options, std::uint16_t port,
+                       const std::string& tag);
+
+/// Resolve the child's live port — reads <port_dir>/<tag>.port for ephemeral
+/// children — then poll-connect until it accepts.  Updates `child.port` and
+/// returns it.  Throws after `timeout_ms`.
+std::uint16_t wait_serve_ready(ServeChild& child, const SpawnOptions& options,
+                               const std::string& tag,
+                               std::uint64_t timeout_ms);
+
+/// Poll-connect 127.0.0.1:`port` until the listener accepts (it may still be
+/// generating its proxy suite).  Throws after `timeout_ms`.
+void wait_listening(std::uint16_t port, std::uint64_t timeout_ms);
+
+}  // namespace pglb

@@ -4,84 +4,352 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "service/wire.hpp"
+
 namespace pglb {
 
-TcpBackend::TcpBackend(std::string name, std::uint16_t port, std::string host)
-    : name_(std::move(name)), host_(std::move(host)), port_(port) {}
+namespace {
+
+/// One breather between retries of a transiently failing syscall — long
+/// enough for the kernel to drain a buffer, short enough to be invisible.
+void transient_pause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+constexpr std::size_t kMaxIov = 64;
+
+/// Write every byte of every string in `batch` through gathered sendmsg()
+/// calls — the whole accumulated queue usually goes out in ONE syscall.
+/// EINTR retries immediately, transient pressure retries after a pause, a
+/// fatal errno returns false with `error` describing it.
+bool send_gathered(int fd, const std::vector<std::string>& batch,
+                   std::string* error) {
+  std::size_t index = 0;  // first message not yet fully written
+  std::size_t skip = 0;   // bytes of batch[index] already written
+  while (index < batch.size()) {
+    iovec iov[kMaxIov];
+    std::size_t iovcnt = 0;
+    for (std::size_t i = index; i < batch.size() && iovcnt < kMaxIov; ++i) {
+      const std::string& message = batch[i];
+      const std::size_t offset = (i == index) ? skip : 0;
+      iov[iovcnt].iov_base = const_cast<char*>(message.data()) + offset;
+      iov[iovcnt].iov_len = message.size() - offset;
+      ++iovcnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iovcnt;
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      switch (wire::classify_io_errno(errno)) {
+        case wire::IoClass::kRetry:
+          continue;
+        case wire::IoClass::kTransient:
+          transient_pause();
+          continue;
+        case wire::IoClass::kFatal:
+          *error = std::string("send: ") + std::strerror(errno);
+          return false;
+      }
+    }
+    // Advance past whatever the kernel took (partial writes land mid-string).
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (index < batch.size()) {
+      const std::size_t remaining = batch[index].size() - skip;
+      if (advanced < remaining) {
+        skip += advanced;
+        break;
+      }
+      advanced -= remaining;
+      skip = 0;
+      ++index;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpBackend::TcpBackend(std::string name, std::uint16_t port, std::string host,
+                       WireMode mode)
+    : name_(std::move(name)), host_(std::move(host)), port_(port), mode_(mode) {}
+
+TcpBackend::TcpBackend(std::string name, int connected_fd, WireMode mode)
+    : name_(std::move(name)),
+      host_("adopted"),
+      port_(0),
+      mode_(mode),
+      adopted_(true),
+      adopted_fd_(connected_fd) {}
 
 TcpBackend::~TcpBackend() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    // Wake the reader; it owns closing the descriptor on its way out.
-    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
-    fail_pending_locked("backend shut down");
+  std::unique_lock<std::mutex> lock(mutex_);
+  teardown_locked("backend shut down");
+  reap_locked(lock);
+  if (adopted_fd_ >= 0) {
+    ::close(adopted_fd_);  // adopted but never used
+    adopted_fd_ = -1;
   }
-  if (reader_.joinable()) reader_.join();
 }
 
 bool TcpBackend::connect_locked(std::string* error) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    *error = std::string("socket: ") + std::strerror(errno);
-    return false;
+  int fd = -1;
+  if (adopted_) {
+    if (adopted_fd_ < 0) {
+      *error = "adopted connection lost";
+      return false;
+    }
+    fd = adopted_fd_;
+    adopted_fd_ = -1;
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port_);
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      *error = "bad host '" + host_ + "'";
+      return false;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      const int saved = errno;
+      ::close(fd);
+      *error = std::string("connect: ") + std::strerror(saved);
+      return false;
+    }
+    // Messages are small and latency-sensitive; never wait on Nagle.  (The
+    // writer's own batching already coalesces what can be coalesced.)
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port_);
-  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+
+  std::string preamble;
+  if (!negotiate(fd, &preamble, error)) {
     ::close(fd);
-    *error = "bad host '" + host_ + "'";
     return false;
   }
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    *error = std::string("connect: ") + std::strerror(saved);
-    return false;
-  }
-  // Lines are small and latency-sensitive; never wait on Nagle.
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
   fd_ = fd;
-  reader_ = std::thread([this, fd] { reader_loop(fd); });
+  ++stats_.reconnects;
+  const std::uint64_t epoch = epoch_;
+  const bool binary = binary_;
+  reader_ = std::thread([this, fd, epoch, binary,
+                         carried = std::move(preamble)]() mutable {
+    reader_loop(fd, epoch, binary, std::move(carried));
+  });
+  writer_ = std::thread([this, fd, epoch] { writer_loop(fd, epoch); });
+  return true;
+}
+
+bool TcpBackend::negotiate(int fd, std::string* preamble, std::string* error) {
+  binary_ = false;
+  if (mode_ == WireMode::kLineJson) return true;
+
+  std::string hello = wire::hello_line();
+  hello.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < hello.size()) {
+    const ssize_t n =
+        ::send(fd, hello.data() + sent, hello.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      switch (wire::classify_io_errno(errno)) {
+        case wire::IoClass::kRetry:
+          continue;
+        case wire::IoClass::kTransient:
+          transient_pause();
+          continue;
+        case wire::IoClass::kFatal:
+          *error = std::string("handshake send: ") + std::strerror(errno);
+          return false;
+      }
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  // Read exactly one response line; bytes after the newline (a fast server's
+  // first frames) are carried over to the reader thread, never dropped.
+  std::string buffer;
+  std::size_t nl;
+  char chunk[512];
+  while ((nl = buffer.find('\n')) == std::string::npos) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0) {
+      *error = "handshake: peer closed the connection";
+      return false;
+    }
+    if (n < 0) {
+      switch (wire::classify_io_errno(errno)) {
+        case wire::IoClass::kRetry:
+          continue;
+        case wire::IoClass::kTransient:
+          transient_pause();
+          continue;
+        case wire::IoClass::kFatal:
+          *error = std::string("handshake read: ") + std::strerror(errno);
+          return false;
+      }
+      continue;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    if (buffer.size() > (1u << 20)) {
+      *error = "handshake: oversized response";
+      return false;
+    }
+  }
+  const std::string line = buffer.substr(0, nl);
+  *preamble = buffer.substr(nl + 1);
+
+  if (wire::is_hello_ack(line)) {
+    binary_ = true;
+    return true;
+  }
+  if (mode_ == WireMode::kBinary) {
+    *error = "server declined binary framing";
+    return false;
+  }
+  // An older server answered the hello with its usual typed parse error —
+  // that rejection IS the fallback signal.  Drop it (it answers no queued
+  // request) and stay on line-JSON.
   return true;
 }
 
 void TcpBackend::fail_pending_locked(const std::string& what) {
-  for (std::promise<std::string>& promise : pending_) {
+  for (std::promise<std::string>& promise : pending_fifo_) {
     promise.set_exception(std::make_exception_ptr(BackendError(name_, what)));
   }
-  pending_.clear();
+  pending_fifo_.clear();
+  for (auto& [id, promise] : pending_by_id_) {
+    promise.set_exception(std::make_exception_ptr(BackendError(name_, what)));
+  }
+  pending_by_id_.clear();
 }
 
-void TcpBackend::reader_loop(int fd) {
-  std::string buffer;
+void TcpBackend::teardown_locked(const std::string& what) {
+  if (fd_ >= 0) {
+    // Wake both IO threads out of their blocking syscalls.  Neither thread
+    // closes the descriptor — reap_locked does, after both have joined, so a
+    // thread can never race a close() and read from a recycled fd number.
+    ::shutdown(fd_, SHUT_RDWR);
+    dead_fd_ = fd_;
+    fd_ = -1;
+  }
+  ++epoch_;  // stale reader/writer loops notice and exit
+  binary_ = false;
+  sendq_.clear();
+  fail_pending_locked(what);
+  sendq_cv_.notify_all();
+}
+
+void TcpBackend::reap_locked(std::unique_lock<std::mutex>& lock) {
+  // Swap the threads out under the lock, join outside it: the exiting
+  // threads take the mutex for their own cleanup.
+  std::thread reader;
+  std::thread writer;
+  reader.swap(reader_);
+  writer.swap(writer_);
+  const int dead = dead_fd_;
+  dead_fd_ = -1;
+  lock.unlock();
+  if (reader.joinable()) reader.join();
+  if (writer.joinable()) writer.join();
+  if (dead >= 0) ::close(dead);
+  lock.lock();
+}
+
+void TcpBackend::reader_loop(int fd, std::uint64_t epoch, bool binary,
+                             std::string preamble) {
+  std::string buffer = std::move(preamble);
+  std::size_t start = 0;
   char chunk[1 << 16];
+  std::string failure = "connection lost";
+  bool desynced = false;
   for (;;) {
-    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) break;  // EOF or error: the stream ordering is gone
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t start = 0;
-    for (std::size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
-         start = nl + 1) {
-      std::string line = buffer.substr(start, nl - start);
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (pending_.empty()) continue;  // unsolicited line; drop
-      pending_.front().set_value(std::move(line));
-      pending_.pop_front();
+    // Drain everything already buffered (including the handshake carryover
+    // on the first pass) before blocking for more bytes.
+    if (binary) {
+      wire::Frame frame;
+      std::string error;
+      for (;;) {
+        const wire::DecodeStatus status =
+            wire::decode_frame(buffer, &start, &frame, &error);
+        if (status == wire::DecodeStatus::kNeedMore) break;
+        if (status == wire::DecodeStatus::kBad) {
+          failure = "frame error: " + error;
+          desynced = true;
+          break;
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (epoch_ != epoch) return;  // torn down; a newer connection owns state
+        const auto it = pending_by_id_.find(frame.id);
+        if (it == pending_by_id_.end()) continue;  // unsolicited id; drop
+        it->second.set_value(std::move(frame.payload));
+        pending_by_id_.erase(it);
+      }
+      if (desynced) break;
+    } else {
+      for (std::size_t nl; (nl = buffer.find('\n', start)) != std::string::npos;
+           start = nl + 1) {
+        std::string line = buffer.substr(start, nl - start);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (epoch_ != epoch) return;
+        if (pending_fifo_.empty()) continue;  // unsolicited line; drop
+        pending_fifo_.front().set_value(std::move(line));
+        pending_fifo_.pop_front();
+      }
     }
     buffer.erase(0, start);
+    start = 0;
+
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n == 0) break;  // EOF: peer closed
+    if (n < 0) {
+      const wire::IoClass io = wire::classify_io_errno(errno);
+      if (io == wire::IoClass::kRetry) continue;  // EINTR is not a dead peer
+      if (io == wire::IoClass::kTransient) {
+        transient_pause();
+        continue;
+      }
+      failure = std::string("read: ") + std::strerror(errno);
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  fail_pending_locked("connection lost");
-  if (fd_ == fd) fd_ = -1;
-  ::close(fd);
+  if (epoch_ == epoch) teardown_locked(failure);
+}
+
+void TcpBackend::writer_loop(int fd, std::uint64_t epoch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    sendq_cv_.wait(lock, [&] { return epoch_ != epoch || !sendq_.empty(); });
+    if (epoch_ != epoch) return;
+    std::vector<std::string> batch;
+    batch.swap(sendq_);
+    lock.unlock();
+    std::string error;
+    const bool ok = send_gathered(fd, batch, &error);
+    lock.lock();
+    if (epoch_ != epoch) return;  // torn down underneath the write
+    if (!ok) {
+      teardown_locked(error);
+      return;
+    }
+    ++stats_.batches;
+    stats_.messages += batch.size();
+  }
 }
 
 std::future<std::string> TcpBackend::submit(std::string line) {
@@ -90,38 +358,55 @@ std::future<std::string> TcpBackend::submit(std::string line) {
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (fd_ < 0) {
-    // Reap the previous connection's reader before starting a new one.  Done
-    // outside the lock: the exiting reader takes the mutex for its cleanup.
-    std::thread old;
-    old.swap(reader_);
-    lock.unlock();
-    if (old.joinable()) old.join();
-    lock.lock();
-    std::string error;
-    if (fd_ < 0 && !connect_locked(&error)) {
-      promise.set_exception(std::make_exception_ptr(BackendError(name_, error)));
-      return future;
+    // Reap the previous connection (join threads, close the fd) before
+    // dialing a new one.
+    reap_locked(lock);
+    if (fd_ < 0) {  // nobody else reconnected while reap dropped the lock
+      std::string error;
+      if (!connect_locked(&error)) {
+        promise.set_exception(
+            std::make_exception_ptr(BackendError(name_, error)));
+        return future;
+      }
     }
   }
 
-  line.push_back('\n');
-  // Queue the promise BEFORE writing: the response can race back on the
-  // reader thread the instant the last byte lands.
-  pending_.push_back(std::move(promise));
-  std::size_t sent = 0;
-  while (sent < line.size()) {
-    const ssize_t n =
-        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const std::string what = std::string("send: ") + std::strerror(errno);
-      fail_pending_locked(what);  // includes the promise just queued
-      ::shutdown(fd_, SHUT_RDWR);  // reader notices and closes the fd
-      break;
-    }
-    sent += static_cast<std::size_t>(n);
+  ++stats_.requests;
+  if (binary_) {
+    const std::uint64_t id = next_id_++;
+    std::string frame;
+    wire::append_frame(frame, wire::FrameType::kRequest, id, line);
+    pending_by_id_.emplace(id, std::move(promise));
+    sendq_.push_back(std::move(frame));
+  } else {
+    // Queue the promise BEFORE the bytes can hit the wire: the response can
+    // race back on the reader thread the instant the last byte lands.
+    line.push_back('\n');
+    pending_fifo_.push_back(std::move(promise));
+    sendq_.push_back(std::move(line));
   }
+  sendq_cv_.notify_one();
   return future;
+}
+
+void TcpBackend::set_port(std::uint16_t port) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  port_ = port;
+  if (fd_ >= 0) {
+    teardown_locked("endpoint moved to port " + std::to_string(port));
+  }
+}
+
+std::uint16_t TcpBackend::port() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return port_;
+}
+
+TcpBackend::Stats TcpBackend::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats snapshot = stats_;
+  snapshot.binary = fd_ >= 0 && binary_;
+  return snapshot;
 }
 
 }  // namespace pglb

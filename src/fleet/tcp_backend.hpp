@@ -1,37 +1,64 @@
 #pragma once
 // TCP backend: one `pglb_serve --listen <port>` process behind the Backend
-// interface, multiplexed over a single persistent loopback connection.
+// interface, multiplexed over a single persistent connection.
 //
-// The line protocol answers in input order per connection (PlanServer's
-// serve_stream reorders worker output), so the channel needs no request ids
-// on the wire: submit() appends the line and queues a promise; a reader
-// thread fulfils promises strictly FIFO as response lines arrive.  Requests
-// from many router threads pipeline on the one connection — exactly the
-// windowed-pipelining shape pglb_loadgen uses, now wrapped in a reusable
-// class.
+// Transport negotiation (docs/WIRE.md): on connect the backend sends one
+// `{"hello":...}` line.  A frame-aware server acks and the connection speaks
+// length-prefixed, request-id-tagged binary frames — many requests in flight,
+// responses matched by id in ANY order, so one slow request never stalls the
+// answers behind it.  An older server rejects the hello with its usual typed
+// parse error, and the backend falls back to plain line-JSON with FIFO
+// matching, byte-identical to the pre-upgrade protocol.
 //
-// Failure semantics: any read or write error fails EVERY pending promise
-// with BackendError (ordering is unrecoverable once the stream breaks) and
-// tears the connection down; the next submit() transparently reconnects.
-// The router turns those BackendErrors into failover + health bookkeeping.
+// Write path (the Grappa aggregator idiom): submit() never touches the
+// socket.  It enqueues the encoded frame/line on a per-connection send queue
+// and returns; a dedicated writer thread drains the queue, coalescing
+// whatever has accumulated into one gathered sendmsg() per wakeup.  Callers
+// are therefore never blocked behind a full socket buffer, and bursts of
+// small requests cost one syscall, not one each.
+//
+// Failure semantics: a fatal read or write error fails EVERY pending promise
+// with BackendError (for line mode the ordering is unrecoverable; for binary
+// mode the peer is simply gone) and tears the connection down; the next
+// submit() transparently reconnects and re-negotiates.  EINTR retries the
+// syscall; transient resource pressure (EAGAIN/ENOBUFS/ENOMEM) retries after
+// a breather — neither is a dead peer (wire::classify_io_errno).  The router
+// turns BackendErrors into failover + health bookkeeping.
 
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <vector>
 
 #include "fleet/backend.hpp"
 
 namespace pglb {
+
+/// Which transport submit() uses once connected.
+enum class WireMode {
+  kAuto,      ///< hello handshake; binary if acked, line-JSON otherwise
+  kLineJson,  ///< never send a hello: byte-identical legacy protocol
+  kBinary,    ///< hello required; a declined handshake is a connect failure
+};
 
 class TcpBackend : public Backend {
  public:
   /// Does not connect — the first submit() does (so a fleet can be declared
   /// before its processes finish starting).
   TcpBackend(std::string name, std::uint16_t port,
-             std::string host = "127.0.0.1");
+             std::string host = "127.0.0.1", WireMode mode = WireMode::kAuto);
+
+  /// Adopt an already-connected descriptor (tests: one end of a socketpair).
+  /// The backend owns and eventually closes `connected_fd`.  Negotiation
+  /// still happens on the first submit().  No reconnect on failure — once an
+  /// adopted stream breaks, every later submit fails with BackendError.
+  TcpBackend(std::string name, int connected_fd, WireMode mode);
+
   ~TcpBackend() override;
 
   TcpBackend(const TcpBackend&) = delete;
@@ -40,19 +67,53 @@ class TcpBackend : public Backend {
   const std::string& name() const override { return name_; }
   std::future<std::string> submit(std::string line) override;
 
+  /// Re-point the backend at a new port (an autoscaled replica respawned on
+  /// a fresh ephemeral port keeps its fleet name — and its rendezvous cache
+  /// keys — while the endpoint moves).  Any live connection is torn down;
+  /// pending requests fail with BackendError; the next submit() reconnects.
+  void set_port(std::uint16_t port);
+  std::uint16_t port() const;
+
+  /// Transport counters (docs/WIRE.md), mostly for tests and debugging.
+  struct Stats {
+    std::uint64_t requests = 0;    ///< lines/frames accepted by submit()
+    std::uint64_t batches = 0;     ///< writer wakeups that reached the kernel
+    std::uint64_t messages = 0;    ///< frames/lines flushed inside batches
+    std::uint64_t reconnects = 0;  ///< successful (re)connects
+    bool binary = false;           ///< live connection negotiated frames
+  };
+  Stats stats() const;
+
  private:
   bool connect_locked(std::string* error);
+  bool negotiate(int fd, std::string* preamble, std::string* error);
+  void teardown_locked(const std::string& what);
   void fail_pending_locked(const std::string& what);
-  void reader_loop(int fd);
+  void reap_locked(std::unique_lock<std::mutex>& lock);
+  void reader_loop(int fd, std::uint64_t epoch, bool binary,
+                   std::string preamble);
+  void writer_loop(int fd, std::uint64_t epoch);
 
   std::string name_;
   std::string host_;
   std::uint16_t port_;
+  WireMode mode_;
+  bool adopted_ = false;
 
-  std::mutex mutex_;
-  int fd_ = -1;                                 // -1 = disconnected
-  std::deque<std::promise<std::string>> pending_;
+  mutable std::mutex mutex_;
+  int fd_ = -1;        // -1 = disconnected
+  int dead_fd_ = -1;   // torn-down fd awaiting close once its threads join
+  int adopted_fd_ = -1;  // handed to the ctor, consumed by the first connect
+  std::uint64_t epoch_ = 0;  // bumped on every teardown; stale threads exit
+  bool binary_ = false;      // negotiated mode of the live connection
+  std::uint64_t next_id_ = 1;
+  std::deque<std::promise<std::string>> pending_fifo_;  // line mode
+  std::unordered_map<std::uint64_t, std::promise<std::string>> pending_by_id_;
+  std::vector<std::string> sendq_;  // encoded, ready-to-write messages
+  std::condition_variable sendq_cv_;
+  Stats stats_;
   std::thread reader_;
+  std::thread writer_;
 };
 
 }  // namespace pglb

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "service/wire.hpp"
 #include "util/fault.hpp"
 
 namespace pglb {
@@ -33,7 +34,12 @@ void PlanServer::stop() {
 
 void PlanServer::worker_loop() {
   while (auto job = queue_.pop()) {
-    job->done.set_value(handle_line(job->line));
+    std::string response = handle_line(job->line);
+    if (job->done_fn) {
+      job->done_fn(std::move(response));
+    } else {
+      job->done.set_value(std::move(response));
+    }
   }
 }
 
@@ -80,6 +86,22 @@ std::future<std::string> PlanServer::submit(std::string request_line) {
     return done.get_future();
   }
   return result;
+}
+
+void PlanServer::submit(std::string request_line,
+                        std::function<void(std::string)> done) {
+  Job job;
+  job.line = std::move(request_line);
+  job.done_fn = std::move(done);
+  if (options_.shed_when_full) {
+    if (!queue_.try_push(job)) job.done_fn(shed_response(job.line));
+    return;
+  }
+  if (!queue_.push(std::move(job))) {
+    // push() only moves the job out on success, but be defensive about the
+    // callback: a stopped server answers inline, exactly once.
+    job.done_fn(serialize_error("", "server is shutting down"));
+  }
 }
 
 std::string PlanServer::handle_line(const std::string& line) {
@@ -146,6 +168,24 @@ std::string PlanServer::handle_line(const std::string& line) {
 }
 
 std::size_t PlanServer::serve_stream(std::istream& in, std::ostream& out) {
+  // Sniff the first line: a wire hello upgrades the connection to the binary
+  // framing (docs/WIRE.md); anything else replays the classic line protocol
+  // byte-for-byte, first line included.
+  std::string first;
+  while (std::getline(in, first)) {
+    if (first.empty()) continue;
+    if (options_.allow_wire_upgrade && wire::is_hello_line(first)) {
+      metrics_.count("wire.binary_upgrades");
+      out << wire::hello_ack_line() << '\n' << std::flush;
+      return serve_frames(in, out);
+    }
+    return serve_lines(std::move(first), in, out);
+  }
+  return 0;  // stream was empty (or blank lines only)
+}
+
+std::size_t PlanServer::serve_lines(std::string first_line, std::istream& in,
+                                    std::ostream& out) {
   // In-order response writer on its own thread, so a slow request at the
   // head of the line never stops the reader from keeping the workers fed.
   std::mutex mutex;
@@ -168,8 +208,8 @@ std::size_t PlanServer::serve_stream(std::istream& in, std::ostream& out) {
   });
 
   std::size_t served = 0;
-  std::string line;
-  while (std::getline(in, line)) {
+  std::string line = std::move(first_line);
+  do {
     if (line.empty()) continue;
     auto future = submit(std::move(line));
     {
@@ -178,12 +218,99 @@ std::size_t PlanServer::serve_stream(std::istream& in, std::ostream& out) {
     }
     pending_cv.notify_one();
     ++served;
-  }
+  } while (std::getline(in, line));
   {
     std::lock_guard<std::mutex> lock(mutex);
     done_reading = true;
   }
   pending_cv.notify_one();
+  writer.join();
+  return served;
+}
+
+std::size_t PlanServer::serve_frames(std::istream& in, std::ostream& out) {
+  // Responses leave in completion order, tagged with the request id.  The
+  // writer thread swaps the whole outbox per wakeup and encodes it into one
+  // buffer for a single flushed write — small responses that finish close
+  // together coalesce into one syscall (the aggregation idiom, docs/WIRE.md).
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::pair<std::uint64_t, std::string>> outbox;
+  std::size_t inflight = 0;
+  bool done_reading = false;
+
+  std::thread writer([&] {
+    std::string batch;
+    while (true) {
+      std::deque<std::pair<std::uint64_t, std::string>> ready;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [&] {
+          return !outbox.empty() || (done_reading && inflight == 0);
+        });
+        if (outbox.empty()) return;
+        ready.swap(outbox);
+      }
+      batch.clear();
+      for (const auto& [id, payload] : ready) {
+        wire::append_frame(batch, wire::FrameType::kResponse, id, payload);
+      }
+      out.write(batch.data(), static_cast<std::streamsize>(batch.size()));
+      out.flush();
+    }
+  });
+
+  std::size_t served = 0;
+  char header[wire::kHeaderSize];
+  while (in.read(header, static_cast<std::streamsize>(wire::kHeaderSize))) {
+    std::size_t offset = 0;
+    wire::Frame frame;
+    std::string error;
+    // A bare header never decodes to kFrame (payload bytes still unread), but
+    // it fully validates magic/type/length, which is what gates reading on.
+    if (wire::decode_frame(std::string_view(header, wire::kHeaderSize), &offset,
+                           &frame, &error) == wire::DecodeStatus::kBad) {
+      metrics_.count("wire.bad_frames");
+      break;  // framing lost; nothing downstream is trustworthy
+    }
+    const std::uint32_t length = [&] {
+      std::uint32_t value = 0;
+      for (int i = 11; i >= 8; --i) {
+        value = (value << 8) | static_cast<std::uint8_t>(header[i]);
+      }
+      return value;
+    }();
+    std::string payload(length, '\0');
+    if (length > 0 &&
+        !in.read(payload.data(), static_cast<std::streamsize>(length))) {
+      break;  // torn mid-frame: peer vanished
+    }
+    const std::uint64_t id = [&] {
+      std::uint64_t value = 0;
+      for (int i = 19; i >= 12; --i) {
+        value = (value << 8) | static_cast<std::uint8_t>(header[i]);
+      }
+      return value;
+    }();
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      ++inflight;
+    }
+    // Note: notified under the lock so the writer cannot observe "drained and
+    // done" and exit between this callback's unlock and its notify.
+    submit(std::move(payload), [&, id](std::string response) {
+      std::lock_guard<std::mutex> lock(mutex);
+      outbox.emplace_back(id, std::move(response));
+      --inflight;
+      cv.notify_all();
+    });
+    ++served;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    done_reading = true;
+    cv.notify_all();
+  }
   writer.join();
   return served;
 }

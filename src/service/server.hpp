@@ -12,6 +12,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <future>
 #include <istream>
 #include <mutex>
@@ -97,6 +98,11 @@ struct ServerOptions {
   /// immediate "overloaded" response carrying the observed queue depth and a
   /// suggested retry-after.  Default keeps the original backpressure.
   bool shed_when_full = false;
+  /// When false, serve_stream never upgrades to the binary framing: a hello
+  /// line is handled as an ordinary request and earns the usual typed
+  /// parse-error response, exactly like a pre-wire server — which is the
+  /// signal a kAuto client reads as "fall back to line-JSON" (docs/WIRE.md).
+  bool allow_wire_upgrade = true;
 };
 
 class PlanServer {
@@ -114,9 +120,19 @@ class PlanServer {
   /// malformed input yields a serialized error response.
   std::future<std::string> submit(std::string request_line);
 
-  /// Pump a whole stream: one request per input line, one response per
-  /// output line, in input order (responses are reordered after the parallel
-  /// workers).  Returns the number of requests served.
+  /// Callback flavour for transports that complete out of order (the binary
+  /// wire path, docs/WIRE.md): `done` runs exactly once with the response —
+  /// on a worker thread normally, inline on the caller when the request is
+  /// shed or the server is stopped.  `done` must not block for long; the
+  /// frame writer only enqueues.
+  void submit(std::string request_line, std::function<void(std::string)> done);
+
+  /// Pump a whole stream.  A first line of `{"hello":...}` (wire::is_hello_line)
+  /// upgrades the connection to the multiplexed binary framing — responses go
+  /// out as id-tagged frames the moment they finish, in completion order,
+  /// coalesced into batched writes.  Any other first byte stays on the line
+  /// protocol byte-for-byte: one request per input line, one response per
+  /// output line, in input order.  Returns the number of requests served.
   std::size_t serve_stream(std::istream& in, std::ostream& out);
 
   /// Close the queue and join the workers (idempotent; the destructor calls
@@ -127,11 +143,18 @@ class PlanServer {
   struct Job {
     std::string line;
     std::promise<std::string> done;
+    /// When set, the worker calls this instead of fulfilling the promise.
+    std::function<void(std::string)> done_fn;
   };
 
   void worker_loop();
   std::string handle_line(const std::string& line);
   std::string shed_response(const std::string& line);
+  /// The classic line loop, seeded with the already-read first line.
+  std::size_t serve_lines(std::string first_line, std::istream& in,
+                          std::ostream& out);
+  /// The post-handshake binary loop: frames in, frames out, out of order.
+  std::size_t serve_frames(std::istream& in, std::ostream& out);
 
   Planner& planner_;
   ServiceMetrics& metrics_;

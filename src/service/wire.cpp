@@ -1,0 +1,150 @@
+#include "service/wire.hpp"
+
+#include <cerrno>
+
+#include "service/protocol.hpp"
+
+namespace pglb::wire {
+
+namespace {
+
+void append_u16(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((value >> shift) & 0xFF));
+  }
+}
+
+std::uint32_t read_u32(std::string_view bytes, std::size_t at) {
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+std::uint64_t read_u64(std::string_view bytes, std::size_t at) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(bytes[at + static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+}  // namespace
+
+void append_frame(std::string& out, FrameType type, std::uint64_t id,
+                  std::string_view payload) {
+  out.reserve(out.size() + kHeaderSize + payload.size());
+  append_u32(out, kMagic);
+  out.push_back(static_cast<char>(type));
+  out.push_back('\0');     // flags, reserved for compression/continuation bits
+  append_u16(out, 0);      // reserved
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append_u64(out, id);
+  out.append(payload);
+}
+
+DecodeStatus decode_frame(std::string_view buffer, std::size_t* offset,
+                          Frame* frame, std::string* error) {
+  const std::size_t at = *offset;
+  if (buffer.size() - at < kHeaderSize) return DecodeStatus::kNeedMore;
+  if (read_u32(buffer, at) != kMagic) {
+    if (error != nullptr) *error = "bad frame magic";
+    return DecodeStatus::kBad;
+  }
+  const auto raw_type = static_cast<std::uint8_t>(buffer[at + 4]);
+  if (raw_type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+    if (error != nullptr) {
+      *error = "unknown frame type " + std::to_string(raw_type);
+    }
+    return DecodeStatus::kBad;
+  }
+  const std::uint32_t length = read_u32(buffer, at + 8);
+  if (length > kMaxPayload) {
+    if (error != nullptr) {
+      *error = "frame payload of " + std::to_string(length) + " bytes exceeds cap";
+    }
+    return DecodeStatus::kBad;
+  }
+  if (buffer.size() - at < kHeaderSize + length) return DecodeStatus::kNeedMore;
+  frame->type = static_cast<FrameType>(raw_type);
+  frame->id = read_u64(buffer, at + 12);
+  frame->payload.assign(buffer.substr(at + kHeaderSize, length));
+  *offset = at + kHeaderSize + length;
+  return DecodeStatus::kFrame;
+}
+
+std::string hello_line() {
+  return R"({"hello":"pglb-wire","wire":)" + std::to_string(kVersion) + "}";
+}
+
+std::string hello_ack_line() {
+  return R"({"hello":"pglb-wire","ack":true,"wire":)" + std::to_string(kVersion) +
+         "}";
+}
+
+namespace {
+
+/// Shared schema check: an object whose "hello" is "pglb-wire" and whose
+/// "wire" covers the version we speak.  `require_ack` selects the server ack.
+bool is_hello_shaped(std::string_view line, bool require_ack) {
+  // Both hello and ack start with this exact prefix (our serializers emit
+  // fixed key order), so non-candidates skip the parse entirely.
+  if (line.substr(0, 9) != R"({"hello":)") return false;
+  try {
+    const JsonValue doc = parse_json(line);
+    const JsonValue* hello = doc.find("hello");
+    if (hello == nullptr || !hello->is_string() ||
+        hello->as_string() != "pglb-wire") {
+      return false;
+    }
+    const JsonValue* version = doc.find("wire");
+    if (version == nullptr || !version->is_number() ||
+        version->as_number() < static_cast<double>(kVersion)) {
+      return false;
+    }
+    const JsonValue* ack = doc.find("ack");
+    if (require_ack) {
+      return ack != nullptr && ack->is_bool() && ack->as_bool();
+    }
+    return ack == nullptr;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool is_hello_line(std::string_view line) { return is_hello_shaped(line, false); }
+
+bool is_hello_ack(std::string_view line) { return is_hello_shaped(line, true); }
+
+IoClass classify_io_errno(int error) noexcept {
+  switch (error) {
+    case EINTR:
+      return IoClass::kRetry;
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case ENOBUFS:
+    case ENOMEM:
+      return IoClass::kTransient;
+    default:
+      return IoClass::kFatal;
+  }
+}
+
+}  // namespace pglb::wire

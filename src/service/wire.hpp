@@ -1,0 +1,100 @@
+#pragma once
+// Multiplexed binary wire transport of the planning service (docs/WIRE.md).
+//
+// The line-JSON protocol answers strictly in input order over one connection,
+// so one slow request stalls every response behind it and every request burns
+// a write syscall.  This header defines the negotiated upgrade that fixes
+// both ends of that pipe:
+//
+//  - Frames: length-prefixed, request-id-tagged binary envelopes around the
+//    SAME JSON payloads the line protocol uses.  The id lets a server answer
+//    out of order and a client keep many requests in flight per connection
+//    with exact response matching — no FIFO coupling.  Because the payload
+//    bytes are unchanged, a plan served over frames is byte-identical to one
+//    served over lines.
+//  - Handshake: a client that wants frames sends one `{"hello":...}` JSON
+//    line first.  A frame-aware server answers with the ack line and switches
+//    the connection to binary; an older server answers with its usual typed
+//    parse-error response, which the client reads as "no frames here" and
+//    falls back to plain line-JSON — byte-identical to the pre-upgrade
+//    protocol, no version flag days, no flag-day restarts.
+//  - Errno classification: shared policy for blocking-socket IO loops.  EINTR
+//    retries immediately (a stray signal is not a dead peer), transient
+//    resource pressure retries after a breather, everything else tears the
+//    connection down.
+//
+// Framing and negotiation live in service/ (not fleet/) because BOTH ends
+// speak it: PlanServer::serve_stream upgrades inbound connections, and the
+// fleet's TcpBackend negotiates outbound ones.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pglb::wire {
+
+/// Protocol revision requested by the hello line and echoed by the ack.
+inline constexpr std::uint32_t kVersion = 1;
+
+/// First header field of every frame ("PGLB" read as a little-endian u32).
+/// A mismatch means the stream lost framing; the only safe move is teardown.
+inline constexpr std::uint32_t kMagic = 0x424C4750u;
+
+/// Header bytes: [u32 magic][u8 type][u8 flags][u16 reserved][u32 len][u64 id].
+inline constexpr std::size_t kHeaderSize = 20;
+
+/// Sanity cap on one payload — a length above this is a corrupt header, not a
+/// plausible plan request/response.
+inline constexpr std::uint32_t kMaxPayload = 64u << 20;
+
+enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  std::uint64_t id = 0;
+  std::string payload;  ///< the JSON text, no trailing newline
+};
+
+/// Append one encoded frame (header + payload) to `out`.  Appending several
+/// frames into one buffer before a single flushed write is the batching path.
+void append_frame(std::string& out, FrameType type, std::uint64_t id,
+                  std::string_view payload);
+
+enum class DecodeStatus {
+  kNeedMore,  ///< `buffer` ends mid-header or mid-payload; read more bytes
+  kFrame,     ///< one frame decoded; `offset` advanced past it
+  kBad,       ///< bad magic / type / length — the stream is desynchronized
+};
+
+/// Try to decode one frame from `buffer` at `offset`.  On kFrame the frame is
+/// filled and `offset` advances; on kBad `error` says what was wrong.
+DecodeStatus decode_frame(std::string_view buffer, std::size_t* offset,
+                          Frame* frame, std::string* error);
+
+// --- negotiation -----------------------------------------------------------
+
+/// Client -> server upgrade request (no trailing newline).
+std::string hello_line();
+
+/// Server -> client upgrade accept (no trailing newline).
+std::string hello_ack_line();
+
+/// True when `line` is a well-formed hello requesting a version we speak.
+/// Cheap prefix test first, full JSON parse only on candidates.
+bool is_hello_line(std::string_view line);
+
+/// True when `line` is the server's ack.  An old server's typed error
+/// response to the hello fails this test, which IS the fallback signal.
+bool is_hello_ack(std::string_view line);
+
+// --- blocking-socket errno policy ------------------------------------------
+
+enum class IoClass {
+  kRetry,      ///< EINTR: retry the syscall immediately
+  kTransient,  ///< resource pressure (ENOBUFS, ENOMEM, EAGAIN): brief pause, retry
+  kFatal,      ///< anything else: the connection is gone
+};
+
+IoClass classify_io_errno(int error) noexcept;
+
+}  // namespace pglb::wire

@@ -1,0 +1,66 @@
+#include "util/portfile.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/parse.hpp"
+
+namespace pglb {
+
+bool write_port_file(const std::string& path, std::uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return false;
+    out << port << '\n';
+    if (!out.flush()) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint16_t> read_port_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::string text;
+  if (!std::getline(in, text)) return std::nullopt;
+  const auto value = parse_int(text);
+  if (!value || *value <= 0 || *value > 65535) return std::nullopt;
+  return static_cast<std::uint16_t>(*value);
+}
+
+std::uint16_t wait_port_file(const std::string& path, std::uint64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (const auto port = read_port_file(path)) return *port;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      throw std::runtime_error("port file '" + path + "' did not appear within " +
+                               std::to_string(timeout_ms) + " ms");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+std::string make_port_dir() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string pattern =
+      std::string(tmpdir != nullptr && tmpdir[0] != '\0' ? tmpdir : "/tmp") +
+      "/pglb-ports-XXXXXX";
+  std::vector<char> buffer(pattern.begin(), pattern.end());
+  buffer.push_back('\0');
+  if (::mkdtemp(buffer.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed for '" + pattern + "'");
+  }
+  return std::string(buffer.data());
+}
+
+}  // namespace pglb

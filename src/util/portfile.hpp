@@ -1,0 +1,33 @@
+#pragma once
+// Port-file handshake for ephemeral listeners (docs/WIRE.md).
+//
+// Fixed port ranges collide on busy CI hosts: two parallel ctest runs both
+// ask for 7651 and one flakes.  The fix is to let the OS pick (`bind` port
+// 0), then publish the chosen port through the filesystem: the listener
+// writes "<port>\n" to an agreed path (atomically — temp file + rename, so a
+// reader never sees a half-written number) and the client polls that path
+// before connecting.  Every run gets its own private directory of port
+// files, so any number of runs share a host without coordination.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace pglb {
+
+/// Atomically publish `port` at `path` (writes `path.tmp`, then renames).
+/// Returns false on IO failure.
+bool write_port_file(const std::string& path, std::uint16_t port);
+
+/// Parse a published port.  Empty while the file is missing or malformed.
+std::optional<std::uint16_t> read_port_file(const std::string& path);
+
+/// Poll `path` until a port appears.  Throws std::runtime_error after
+/// `timeout_ms`.
+std::uint16_t wait_port_file(const std::string& path, std::uint64_t timeout_ms);
+
+/// Create a fresh private directory for one run's port files (mkdtemp under
+/// $TMPDIR, default /tmp).  Throws on failure.
+std::string make_port_dir();
+
+}  // namespace pglb

@@ -1,0 +1,200 @@
+// Wire framing (docs/WIRE.md): frame encode/decode round trips, incremental
+// decoding across arbitrary split points, desync detection (bad magic / type /
+// length), the hello/ack negotiation predicates, and the shared errno policy
+// for blocking-socket IO loops.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <string>
+
+#include "service/protocol.hpp"
+#include "service/wire.hpp"
+
+namespace pglb {
+namespace {
+
+using wire::DecodeStatus;
+using wire::Frame;
+using wire::FrameType;
+
+// --- framing ----------------------------------------------------------------
+
+TEST(WireFrame, RoundTripsTypeIdAndPayload) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 42,
+                     R"({"id":"q1","app":"pagerank"})");
+  ASSERT_EQ(buffer.size(), wire::kHeaderSize + 28);
+
+  Frame frame;
+  std::size_t offset = 0;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.type, FrameType::kRequest);
+  EXPECT_EQ(frame.id, 42u);
+  EXPECT_EQ(frame.payload, R"({"id":"q1","app":"pagerank"})");
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(WireFrame, HeaderLayoutIsLittleEndianPglb) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kResponse, 0x0102030405060708ull, "x");
+  // [u32 magic][u8 type][u8 flags][u16 reserved][u32 len][u64 id] — the magic
+  // reads "PGLB" in byte order, everything multi-byte is little-endian.
+  EXPECT_EQ(buffer.substr(0, 4), "PGLB");
+  EXPECT_EQ(buffer[4], 2);                        // type
+  EXPECT_EQ(buffer[5], 0);                        // flags
+  EXPECT_EQ(buffer[6], 0);                        // reserved
+  EXPECT_EQ(buffer[7], 0);
+  EXPECT_EQ(buffer[8], 1);                        // len = 1, LE
+  EXPECT_EQ(buffer[11], 0);
+  EXPECT_EQ(static_cast<unsigned char>(buffer[12]), 0x08);  // id low byte
+  EXPECT_EQ(static_cast<unsigned char>(buffer[19]), 0x01);  // id high byte
+}
+
+TEST(WireFrame, EmptyPayloadIsAValidFrame) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kResponse, 7, "");
+  Frame frame;
+  std::size_t offset = 0;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, nullptr),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.id, 7u);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireFrame, DecodesSeveralFramesFromOneBuffer) {
+  std::string buffer;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    wire::append_frame(buffer, FrameType::kResponse, id,
+                       "r" + std::to_string(id));
+  }
+  std::size_t offset = 0;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    Frame frame;
+    ASSERT_EQ(wire::decode_frame(buffer, &offset, &frame, nullptr),
+              DecodeStatus::kFrame);
+    EXPECT_EQ(frame.id, id);
+    EXPECT_EQ(frame.payload, "r" + std::to_string(id));
+  }
+  Frame frame;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, nullptr),
+            DecodeStatus::kNeedMore);  // buffer exhausted cleanly
+}
+
+TEST(WireFrame, NeedsMoreAtEverySplitPoint) {
+  // A reader may receive a frame split at ANY byte boundary; the decoder must
+  // report kNeedMore (never kBad, never a short frame) for every prefix.
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 9, "{\"id\":\"split\"}");
+  for (std::size_t cut = 0; cut < buffer.size(); ++cut) {
+    Frame frame;
+    std::size_t offset = 0;
+    EXPECT_EQ(wire::decode_frame(buffer.substr(0, cut), &offset, &frame, nullptr),
+              DecodeStatus::kNeedMore)
+        << "cut at " << cut;
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(WireFrame, BadMagicIsDesync) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 1, "x");
+  buffer[0] = 'Q';
+  Frame frame;
+  std::size_t offset = 0;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, &error),
+            DecodeStatus::kBad);
+  EXPECT_NE(error.find("magic"), std::string::npos);
+}
+
+TEST(WireFrame, UnknownTypeIsDesync) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 1, "x");
+  buffer[4] = 3;
+  Frame frame;
+  std::size_t offset = 0;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, &error),
+            DecodeStatus::kBad);
+  EXPECT_NE(error.find("type"), std::string::npos);
+}
+
+TEST(WireFrame, OversizeLengthIsDesyncNotAllocation) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 1, "x");
+  buffer[11] = '\x7F';  // length high byte: ~2 GiB, way past kMaxPayload
+  Frame frame;
+  std::size_t offset = 0;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, &error),
+            DecodeStatus::kBad);
+  EXPECT_NE(error.find("cap"), std::string::npos);
+}
+
+TEST(WireFrame, DecodeResumesAfterOffset) {
+  std::string buffer = "JUNK";
+  const std::size_t start = buffer.size();
+  wire::append_frame(buffer, FrameType::kResponse, 5, "tail");
+  Frame frame;
+  std::size_t offset = start;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, nullptr),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.id, 5u);
+  EXPECT_EQ(offset, buffer.size());
+}
+
+// --- negotiation ------------------------------------------------------------
+
+TEST(WireHello, HelloAndAckAreMutuallyExclusive) {
+  EXPECT_TRUE(wire::is_hello_line(wire::hello_line()));
+  EXPECT_FALSE(wire::is_hello_ack(wire::hello_line()));
+  EXPECT_TRUE(wire::is_hello_ack(wire::hello_ack_line()));
+  EXPECT_FALSE(wire::is_hello_line(wire::hello_ack_line()));
+}
+
+TEST(WireHello, TypedErrorResponseIsTheFallbackSignal) {
+  // A pre-wire server answers the hello with its usual typed parse error
+  // (unknown key "hello"); is_hello_ack must reject it, which the client
+  // reads as "speak line-JSON".
+  const std::string rejection = serialize_error("", "unknown key: hello");
+  EXPECT_FALSE(wire::is_hello_ack(rejection));
+  EXPECT_FALSE(wire::is_hello_line(rejection));
+}
+
+TEST(WireHello, PlanRequestsAreNeverHellos) {
+  EXPECT_FALSE(wire::is_hello_line(
+      R"({"id":"q1","app":"pagerank","machines":["c4.2xlarge"]})"));
+  EXPECT_FALSE(wire::is_hello_line(""));
+  EXPECT_FALSE(wire::is_hello_line("not json at all"));
+  EXPECT_FALSE(wire::is_hello_line(R"({"hello":"pglb-wire")"));  // truncated
+}
+
+TEST(WireHello, VersionGateRejectsOlderSpeakers) {
+  EXPECT_FALSE(wire::is_hello_line(R"({"hello":"pglb-wire","wire":0})"));
+  EXPECT_FALSE(wire::is_hello_line(R"({"hello":"pglb-wire"})"));
+  EXPECT_FALSE(wire::is_hello_line(R"({"hello":"other-protocol","wire":1})"));
+  // A newer client asking for >= our version is acceptable: the ack echoes
+  // OUR version and the client downshifts.
+  EXPECT_TRUE(wire::is_hello_line(R"({"hello":"pglb-wire","wire":2})"));
+}
+
+// --- errno policy -----------------------------------------------------------
+
+TEST(WireErrno, ClassifiesRetryTransientAndFatal) {
+  EXPECT_EQ(wire::classify_io_errno(EINTR), wire::IoClass::kRetry);
+  EXPECT_EQ(wire::classify_io_errno(EAGAIN), wire::IoClass::kTransient);
+  EXPECT_EQ(wire::classify_io_errno(EWOULDBLOCK), wire::IoClass::kTransient);
+  EXPECT_EQ(wire::classify_io_errno(ENOBUFS), wire::IoClass::kTransient);
+  EXPECT_EQ(wire::classify_io_errno(ENOMEM), wire::IoClass::kTransient);
+  EXPECT_EQ(wire::classify_io_errno(ECONNRESET), wire::IoClass::kFatal);
+  EXPECT_EQ(wire::classify_io_errno(EPIPE), wire::IoClass::kFatal);
+  EXPECT_EQ(wire::classify_io_errno(EBADF), wire::IoClass::kFatal);
+  EXPECT_EQ(wire::classify_io_errno(0), wire::IoClass::kFatal);
+}
+
+}  // namespace
+}  // namespace pglb

@@ -1,0 +1,209 @@
+// PlanServer's side of the wire upgrade (docs/WIRE.md): serve_stream sniffs
+// the first line — a hello upgrades the connection to id-tagged binary frames
+// answered in completion order, anything else stays on the byte-identical
+// line protocol.  Ends with a full-duplex integration: a binary TcpBackend
+// talking to a live PlanServer over a socketpair, responses byte-identical to
+// direct submission.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/server.hpp"
+#include "service/wire.hpp"
+
+#ifdef __unix__
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <ext/stdio_filebuf.h>  // libstdc++: iostream over a file descriptor
+
+#include "fleet/tcp_backend.hpp"
+#endif
+
+namespace pglb {
+namespace {
+
+PlannerOptions tiny_options() {
+  PlannerOptions options;
+  options.proxy_scale = 0.002;
+  return options;
+}
+
+std::string plan_line(int variant, int sequence) {
+  PlanRequest request;
+  request.id = "q" + std::to_string(sequence);
+  request.app = variant % 2 == 0 ? AppKind::kPageRank : AppKind::kColoring;
+  request.machines = variant % 4 < 2
+                         ? std::vector<std::string>{"m4.2xlarge", "c4.2xlarge"}
+                         : std::vector<std::string>{"xeon_server_s", "xeon_server_l"};
+  request.vertices = 1'000'000;
+  request.edges = 10'000'000 + static_cast<std::uint64_t>(variant % 4) * 1'000'000;
+  return serialize_request(request);
+}
+
+/// Split a serve_stream transcript into the ack line and the decoded frames.
+std::pair<std::string, std::map<std::uint64_t, std::string>> parse_frame_output(
+    const std::string& output) {
+  const std::size_t newline = output.find('\n');
+  EXPECT_NE(newline, std::string::npos);
+  std::map<std::uint64_t, std::string> responses;
+  std::size_t offset = newline + 1;
+  while (offset < output.size()) {
+    wire::Frame frame;
+    std::string error;
+    const auto status = wire::decode_frame(output, &offset, &frame, &error);
+    EXPECT_EQ(status, wire::DecodeStatus::kFrame) << error;
+    if (status != wire::DecodeStatus::kFrame) break;
+    EXPECT_EQ(frame.type, wire::FrameType::kResponse);
+    responses[frame.id] = frame.payload;
+  }
+  return {output.substr(0, newline), responses};
+}
+
+TEST(WireServer, HelloUpgradesAndAnswersFramesById) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 4, .queue_capacity = 16});
+  // Byte-identity reference: an independent server instance — plans are
+  // deterministic, so the same request line yields the same response bytes.
+  ServiceMetrics reference_metrics;
+  Planner reference_planner(tiny_options(), &reference_metrics);
+  PlanServer reference(reference_planner, reference_metrics,
+                       {.threads = 1, .queue_capacity = 16});
+
+  const std::vector<std::uint64_t> ids = {7, 99, 3};
+  std::string input = wire::hello_line() + "\n";
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    wire::append_frame(input, wire::FrameType::kRequest, ids[i],
+                       plan_line(static_cast<int>(i), static_cast<int>(i)));
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), ids.size());
+
+  const auto [ack, responses] = parse_frame_output(out.str());
+  EXPECT_TRUE(wire::is_hello_ack(ack));
+  ASSERT_EQ(responses.size(), ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::string expected =
+        reference.submit(plan_line(static_cast<int>(i), static_cast<int>(i)))
+            .get();
+    EXPECT_EQ(responses.at(ids[i]), expected) << "frame id " << ids[i];
+  }
+  EXPECT_EQ(metrics.counter("wire.binary_upgrades"), 1u);
+}
+
+TEST(WireServer, NonHelloFirstLineStaysOnTheLineProtocol) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+  ServiceMetrics reference_metrics;
+  Planner reference_planner(tiny_options(), &reference_metrics);
+  PlanServer reference(reference_planner, reference_metrics,
+                       {.threads = 1, .queue_capacity = 8});
+
+  std::istringstream in(plan_line(0, 0) + "\n" + plan_line(1, 1) + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 2u);
+  EXPECT_EQ(out.str(), reference.submit(plan_line(0, 0)).get() + "\n" +
+                           reference.submit(plan_line(1, 1)).get() + "\n");
+  EXPECT_EQ(metrics.counter("wire.binary_upgrades"), 0u);
+}
+
+TEST(WireServer, UpgradeDisabledAnswersHelloWithTypedError) {
+  // --wire=line replicas (mixed fleets, docs/WIRE.md): the hello gets the
+  // same typed parse error a pre-wire server would send, which a kAuto
+  // client reads as the fall-back-to-lines signal.
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics,
+                    {.threads = 2, .queue_capacity = 8,
+                     .allow_wire_upgrade = false});
+
+  std::istringstream in(wire::hello_line() + "\n" + plan_line(0, 0) + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 2u);
+
+  std::istringstream lines(out.str());
+  std::string first;
+  std::string second;
+  ASSERT_TRUE(std::getline(lines, first));
+  ASSERT_TRUE(std::getline(lines, second));
+  EXPECT_FALSE(wire::is_hello_ack(first));
+  EXPECT_NE(first.find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(second.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(metrics.counter("wire.binary_upgrades"), 0u);
+}
+
+TEST(WireServer, HelloThenEofServesNothingAndReturns) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+  std::istringstream in(wire::hello_line() + "\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0u);
+  EXPECT_TRUE(wire::is_hello_ack(out.str().substr(0, out.str().size() - 1)));
+}
+
+TEST(WireServer, GarbageAfterHandshakeIsCountedAndStopsTheStream) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+  std::istringstream in(wire::hello_line() + "\n" +
+                        std::string(wire::kHeaderSize, 'X'));
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0u);
+  EXPECT_EQ(metrics.counter("wire.bad_frames"), 1u);
+}
+
+#ifdef __unix__
+
+TEST(WireServerIntegration, BinaryBackendRoundTripsByteIdentical) {
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 4, .queue_capacity = 16});
+  ServiceMetrics reference_metrics;
+  Planner reference_planner(tiny_options(), &reference_metrics);
+  PlanServer reference(reference_planner, reference_metrics,
+                       {.threads = 1, .queue_capacity = 16});
+
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread serving([&server, fd = fds[1]] {
+    __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
+    __gnu_cxx::stdio_filebuf<char> out_buf(::dup(fd), std::ios::out);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    EXPECT_EQ(server.serve_stream(in, out), 8u);
+  });
+
+  {
+    TcpBackend backend("b0", fds[0], WireMode::kAuto);
+    std::vector<std::future<std::string>> futures;
+    for (int i = 0; i < 8; ++i) {
+      futures.push_back(backend.submit(plan_line(i, i)));
+    }
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(),
+                reference.submit(plan_line(i, i)).get())
+          << "request " << i;
+    }
+    EXPECT_TRUE(backend.stats().binary);
+  }  // backend teardown closes its end; the server sees EOF and returns
+
+  serving.join();
+  EXPECT_EQ(metrics.counter("wire.binary_upgrades"), 1u);
+  EXPECT_EQ(metrics.counter("requests_total"), 8u);
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace pglb

@@ -55,10 +55,12 @@
 #include "autoscale/autoscaler.hpp"
 #include "core/proxy_suite.hpp"
 #include "fleet/router.hpp"
+#include "fleet/spawn.hpp"
 #include "fleet/tcp_backend.hpp"
 #include "obs/registry.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
+#include "util/portfile.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -362,51 +364,15 @@ LoadReport run_against_server(const std::string& server_path, std::size_t reques
 }
 
 // --- fleet mode -------------------------------------------------------------
+// Children come from the shared spawn helpers (fleet/spawn.hpp): ephemeral
+// ports by default, published via the port-file handshake, so parallel ctest
+// runs never collide on a fixed port range.
 
-struct ServeChild {
-  pid_t pid = -1;
-  std::uint16_t port = 0;
-};
-
-ServeChild spawn_serve(const std::string& serve_path, std::uint16_t port,
-                       int threads, double scale, std::size_t queue) {
-  const pid_t pid = fork();
-  if (pid < 0) throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
-  if (pid == 0) {
-    std::vector<std::string> args = {serve_path,
-                                     "--listen=" + std::to_string(port),
-                                     "--threads=" + std::to_string(threads),
-                                     "--scale=" + std::to_string(scale),
-                                     "--queue=" + std::to_string(queue)};
-    std::vector<char*> argv_child;
-    argv_child.reserve(args.size() + 1);
-    for (std::string& arg : args) argv_child.push_back(arg.data());
-    argv_child.push_back(nullptr);
-    execv(serve_path.c_str(), argv_child.data());
-    std::perror("execv");
-    _exit(127);
-  }
-  return {pid, port};
-}
-
-void wait_listening(std::uint16_t port, std::uint64_t timeout_ms) {
-  for (std::uint64_t waited = 0;; waited += 50) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd >= 0) {
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(port);
-      const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-      ::close(fd);
-      if (rc == 0) return;
-    }
-    if (waited >= timeout_ms) {
-      throw std::runtime_error("backend on port " + std::to_string(port) +
-                               " did not start listening");
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
+WireMode wire_mode_from_name(const std::string& name) {
+  if (name == "auto") return WireMode::kAuto;
+  if (name == "line") return WireMode::kLineJson;
+  if (name == "binary") return WireMode::kBinary;
+  throw std::runtime_error("--wire must be auto, line, or binary");
 }
 
 /// Fleet-mode knobs beyond the basic spawn parameters: the configurable
@@ -420,16 +386,27 @@ struct RouterRunOptions {
   bool autoscale = false;
   std::uint64_t autoscale_ms = 50;  ///< controller sampling cadence
   AutoscalerOptions autoscaler;     ///< min_replicas is overwritten with the floor
+  WireMode wire = WireMode::kAuto;  ///< client transport (docs/WIRE.md)
 };
 
 /// Route the mix through an in-process fleet Router over K spawned backends.
 /// Backend 0 is SIGKILLed / restarted on the configured schedule — the
 /// router must absorb both transitions with typed responses only.
-LoadReport run_against_router(const std::string& serve_path, std::size_t requests,
-                              int threads, std::size_t distinct, double scale,
-                              std::size_t queue_capacity, std::uint64_t timeout_ms,
-                              std::size_t fleet_size, std::uint16_t base_port,
-                              std::uint64_t hedge_ms, const RouterRunOptions& run) {
+LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
+                              int threads, std::size_t distinct,
+                              std::uint64_t timeout_ms, std::size_t fleet_size,
+                              std::uint16_t base_port, std::uint64_t hedge_ms,
+                              const RouterRunOptions& run) {
+  if (base_port == 0) {
+    spawn_options.port_dir = make_port_dir();
+    std::cerr << "loadgen: port-dir " << spawn_options.port_dir << "\n";
+  }
+  const auto fixed_port = [&](std::size_t slot,
+                              std::uint16_t current) -> std::uint16_t {
+    if (base_port == 0) return 0;  // ephemeral: respawn picks a fresh port
+    return current != 0 ? current
+                        : static_cast<std::uint16_t>(base_port + slot);
+  };
   std::vector<ServeChild> children;
   const auto kill_children = [&] {
     for (ServeChild& child : children) {
@@ -443,19 +420,27 @@ LoadReport run_against_router(const std::string& serve_path, std::size_t request
   };
   try {
     for (std::size_t k = 0; k < fleet_size; ++k) {
-      const auto port = static_cast<std::uint16_t>(base_port + k);
-      children.push_back(spawn_serve(serve_path, port, threads, scale, queue_capacity));
+      children.push_back(spawn_serve(spawn_options, fixed_port(k, 0),
+                                     "b" + std::to_string(k)));
     }
-    for (const ServeChild& child : children) wait_listening(child.port, 30'000);
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      wait_serve_ready(children[k], spawn_options, "b" + std::to_string(k),
+                       30'000);
+    }
 
     RouterOptions options;
     options.hedge_delay_ms = hedge_ms;
     options.probe_interval_ms = 100;
     Registry router_metrics;
     auto router = std::make_unique<Router>(options, &router_metrics);
+    // Kept so respawns onto fresh ephemeral ports can re-point the existing
+    // backend (set_port) without disturbing its fleet slot.
+    std::vector<std::shared_ptr<TcpBackend>> tcp_backends;
     for (std::size_t k = 0; k < fleet_size; ++k) {
-      router->add_backend(std::make_shared<TcpBackend>("b" + std::to_string(k),
-                                                       children[k].port));
+      tcp_backends.push_back(
+          std::make_shared<TcpBackend>("b" + std::to_string(k),
+                                       children[k].port, "127.0.0.1", run.wire));
+      router->add_backend(tcp_backends.back());
     }
     router->start();
 
@@ -529,22 +514,27 @@ LoadReport run_against_router(const std::string& serve_path, std::size_t request
             }
             try {
               if (rejoin < children.size()) {
-                children[rejoin] = spawn_serve(serve_path, children[rejoin].port,
-                                               threads, scale, queue_capacity);
-                wait_listening(children[rejoin].port, 30'000);
+                const std::string tag = "b" + std::to_string(rejoin);
+                children[rejoin] = spawn_serve(
+                    spawn_options, fixed_port(rejoin, children[rejoin].port),
+                    tag);
+                wait_serve_ready(children[rejoin], spawn_options, tag, 30'000);
+                // The respawn may land on a fresh ephemeral port; re-point
+                // the existing backend (same name, same rendezvous keys).
+                tcp_backends[rejoin]->set_port(children[rejoin].port);
                 router->fleet().set_draining(rejoin, false);
                 router->fleet().record_success(rejoin);
                 std::cerr << "loadgen: autoscale: scale-up b" << rejoin
                           << " (rejoin)\n";
               } else {
-                const auto port =
-                    static_cast<std::uint16_t>(base_port + children.size());
-                children.push_back(
-                    spawn_serve(serve_path, port, threads, scale, queue_capacity));
-                wait_listening(port, 30'000);
+                const std::string tag = "b" + std::to_string(children.size());
+                children.push_back(spawn_serve(
+                    spawn_options, fixed_port(children.size(), 0), tag));
+                wait_serve_ready(children.back(), spawn_options, tag, 30'000);
                 const std::string name = "b" + std::to_string(children.size() - 1);
-                router->add_backend(std::make_shared<TcpBackend>(name, port),
-                                    up->weight);
+                tcp_backends.push_back(std::make_shared<TcpBackend>(
+                    name, children.back().port, "127.0.0.1", run.wire));
+                router->add_backend(tcp_backends.back(), up->weight);
                 std::cerr << "loadgen: autoscale: scale-up " << name << " ("
                           << up->spec.name << ")\n";
               }
@@ -588,9 +578,12 @@ LoadReport run_against_router(const std::string& serve_path, std::size_t request
           if (i == restart_at && fleet_size > 1) {
             std::lock_guard<std::mutex> lock(fleet_mutex);
             if (children[0].pid < 0) {
-              children[0] = spawn_serve(serve_path, children[0].port, threads,
-                                        scale, queue_capacity);
-              wait_listening(children[0].port, 30'000);
+              children[0] = spawn_serve(spawn_options,
+                                        fixed_port(0, children[0].port), "b0");
+              wait_serve_ready(children[0], spawn_options, "b0", 30'000);
+              // A fresh ephemeral port means the router's b0 must be
+              // re-pointed before its prober can see the replica again.
+              tcp_backends[0]->set_port(children[0].port);
               std::cerr << "loadgen: restarted backend b0 at request " << i << "\n";
             }
           }
@@ -731,10 +724,12 @@ int main(int argc, char** argv) {
     const auto timeout_ms = static_cast<std::uint64_t>(cli.get_int("timeout-ms", 0));
     const bool shed = cli.get_bool("shed", false);
     const auto fleet_size = static_cast<std::size_t>(cli.get_int("router", 0));
-    const auto base_port = static_cast<std::uint16_t>(cli.get_int("base-port", 7611));
+    // 0 = ephemeral backend ports via the port-file handshake (default).
+    const auto base_port = static_cast<std::uint16_t>(cli.get_int("base-port", 0));
     const auto hedge_ms = static_cast<std::uint64_t>(cli.get_int("hedge-ms", 0));
 
     RouterRunOptions run;
+    run.wire = wire_mode_from_name(cli.get_string("wire", "auto"));
     run.kill_at_pct = static_cast<std::size_t>(cli.get_int("kill-at", 40));
     run.restart_at_pct = static_cast<std::size_t>(cli.get_int("restart-at", 70));
     run.wave_peak_qps = cli.get_double("wave", 0.0);
@@ -778,10 +773,14 @@ int main(int argc, char** argv) {
         std::cerr << "pglb_loadgen: --router needs --server=PATH to pglb_serve\n";
         return 2;
       }
-      report = run_against_router(server_path, requests, threads, distinct,
-                                  planner_options.proxy_scale,
-                                  server_options.queue_capacity, timeout_ms,
-                                  fleet_size, base_port, hedge_ms, run);
+      SpawnOptions spawn_options;
+      spawn_options.serve_path = server_path;
+      spawn_options.threads = threads;
+      spawn_options.scale = planner_options.proxy_scale;
+      spawn_options.queue = server_options.queue_capacity;
+      report = run_against_router(spawn_options, requests, threads, distinct,
+                                  timeout_ms, fleet_size, base_port, hedge_ms,
+                                  run);
 #else
       std::cerr << "pglb_loadgen: --router mode is only available on POSIX builds\n";
       return 2;

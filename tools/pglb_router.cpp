@@ -3,11 +3,18 @@
 // Speaks the same line protocol as pglb_serve: one JSON request per stdin
 // line, one JSON response per stdout line, in input order, exit at EOF.
 //
-//   pglb_router --spawn=3 --serve=./pglb_serve --base-port=7601 --scale=0.004
+//   pglb_router --spawn=3 --serve=./pglb_serve --scale=0.004
 //   pglb_router --backends=7601,7602,7603
 //
-// --spawn=K forks K `pglb_serve --listen` children on consecutive ports and
-// reaps them at exit; --backends attaches to an already-running fleet.  A
+// --spawn=K forks K `pglb_serve --listen` children and reaps them at exit;
+// by default each child binds an OS-chosen ephemeral port and publishes it
+// via the port-file handshake (util/portfile.hpp) in a private directory
+// logged as "port-dir" — no fixed ranges, so parallel runs never collide.
+// --base-port=P restores consecutive fixed ports.  --backends attaches to an
+// already-running fleet.  Requests ride the negotiated binary wire transport
+// (docs/WIRE.md) when a backend speaks it; --wire=line forces the legacy
+// line-JSON client, --wire=binary refuses to fall back.  --line-backends=N
+// spawns the first N children as line-JSON-only replicas (a mixed fleet).  A
 // {"type":"metrics"} line answers from the ROUTER's registry (router.* and
 // per-backend fleet.* counters, route latency with full bucket vectors) plus
 // a "fleet" block with per-backend health — it never forwards, so it works
@@ -40,10 +47,12 @@
 
 #include "autoscale/autoscaler.hpp"
 #include "fleet/router.hpp"
+#include "fleet/spawn.hpp"
 #include "fleet/tcp_backend.hpp"
 #include "service/protocol.hpp"
 #include "util/cli.hpp"
 #include "util/parse.hpp"
+#include "util/portfile.hpp"
 
 #ifdef __unix__
 #include <arpa/inet.h>
@@ -76,11 +85,6 @@ void install_stop_handlers() {
   ::sigaction(SIGTERM, &action, nullptr);
 }
 
-struct ChildProcess {
-  pid_t pid = -1;
-  std::uint16_t port = 0;
-};
-
 std::vector<std::string> split_csv(const std::string& text) {
   std::vector<std::string> tokens;
   std::size_t start = 0;
@@ -96,49 +100,11 @@ std::vector<std::string> split_csv(const std::string& text) {
   return tokens;
 }
 
-ChildProcess spawn_serve(const std::string& serve_path, std::uint16_t port,
-                         int threads, double scale, std::size_t queue,
-                         bool shed) {
-  const pid_t pid = ::fork();
-  if (pid < 0) throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
-  if (pid == 0) {
-    std::vector<std::string> args = {serve_path,
-                                     "--listen=" + std::to_string(port),
-                                     "--threads=" + std::to_string(threads),
-                                     "--scale=" + std::to_string(scale),
-                                     "--queue=" + std::to_string(queue)};
-    if (shed) args.emplace_back("--shed");
-    std::vector<char*> argv;
-    argv.reserve(args.size() + 1);
-    for (std::string& arg : args) argv.push_back(arg.data());
-    argv.push_back(nullptr);
-    ::execv(serve_path.c_str(), argv.data());
-    std::perror("execv");
-    _exit(127);
-  }
-  return {pid, port};
-}
-
-/// Poll-connect until the backend accepts (it may still be generating its
-/// proxy suite).  Throws after `timeout_ms`.
-void wait_listening(std::uint16_t port, std::uint64_t timeout_ms) {
-  for (std::uint64_t waited = 0;; waited += 50) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd >= 0) {
-      sockaddr_in addr{};
-      addr.sin_family = AF_INET;
-      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-      addr.sin_port = htons(port);
-      const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-      ::close(fd);
-      if (rc == 0) return;
-    }
-    if (waited >= timeout_ms) {
-      throw std::runtime_error("backend on port " + std::to_string(port) +
-                               " did not start listening");
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
+WireMode wire_mode_from_name(const std::string& name) {
+  if (name == "auto") return WireMode::kAuto;
+  if (name == "line") return WireMode::kLineJson;
+  if (name == "binary") return WireMode::kBinary;
+  throw std::runtime_error("--wire must be auto, line, or binary");
 }
 
 /// Pump stdin->stdout through router.route() on `threads` workers, emitting
@@ -238,12 +204,14 @@ std::size_t pump(Router& router, Registry& metrics, int threads,
 
 int main(int argc, char** argv) {
   const Cli cli(argc, argv);
-  std::vector<ChildProcess> children;
+  std::vector<ServeChild> children;
   try {
     const auto spawn = static_cast<std::size_t>(cli.get_int("spawn", 0));
     const std::string backends_csv = cli.get_string("backends", "");
     const std::string serve_path = cli.get_string("serve", "./pglb_serve");
-    const auto base_port = static_cast<std::uint16_t>(cli.get_int("base-port", 7601));
+    // 0 = ephemeral ports published via the port-file handshake (default);
+    // nonzero restores the old consecutive fixed range.
+    const auto base_port = static_cast<std::uint16_t>(cli.get_int("base-port", 0));
     const int threads = static_cast<int>(cli.get_int("threads", 4));
     const int backend_threads = static_cast<int>(cli.get_int("backend-threads", 4));
     const double scale = cli.get_double("scale", 1.0 / 256.0);
@@ -251,6 +219,9 @@ int main(int argc, char** argv) {
     const bool shed = cli.get_bool("shed", false);
     const std::string weights_csv = cli.get_string("weights", "");
     const bool metrics_buckets = cli.get_bool("metrics-buckets", true);
+    const WireMode wire_mode = wire_mode_from_name(cli.get_string("wire", "auto"));
+    const auto line_backends =
+        static_cast<std::size_t>(cli.get_int("line-backends", 0));
 
     const bool autoscale = cli.get_bool("autoscale", false);
     AutoscalerOptions as_options;
@@ -293,15 +264,33 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    SpawnOptions spawn_options;
+    spawn_options.serve_path = serve_path;
+    spawn_options.threads = backend_threads;
+    spawn_options.scale = scale;
+    spawn_options.queue = queue;
+    spawn_options.shed = shed;
+    if (spawn > 0 && base_port == 0) {
+      spawn_options.port_dir = make_port_dir();
+      // The port-dir path is unique per run: liveness checks (smoke tests)
+      // pgrep for it instead of a fixed --listen port pattern.
+      std::cerr << "pglb_router: port-dir " << spawn_options.port_dir << "\n";
+    }
+
     std::vector<std::uint16_t> ports;
     if (spawn > 0) {
       for (std::size_t k = 0; k < spawn; ++k) {
-        const auto port = static_cast<std::uint16_t>(base_port + k);
+        SpawnOptions child_options = spawn_options;
+        if (k < line_backends) child_options.wire = "line";
+        const auto fixed = static_cast<std::uint16_t>(
+            base_port == 0 ? 0 : base_port + k);
         children.push_back(
-            spawn_serve(serve_path, port, backend_threads, scale, queue, shed));
-        ports.push_back(port);
+            spawn_serve(child_options, fixed, "b" + std::to_string(k)));
       }
-      for (const std::uint16_t port : ports) wait_listening(port, 30'000);
+      for (std::size_t k = 0; k < spawn; ++k) {
+        ports.push_back(wait_serve_ready(children[k], spawn_options,
+                                         "b" + std::to_string(k), 30'000));
+      }
     } else {
       for (const std::string& token : split_csv(backends_csv)) {
         const auto port = parse_int(token);
@@ -331,10 +320,15 @@ int main(int argc, char** argv) {
 
     Registry metrics;
     auto router = std::make_unique<Router>(options, &metrics);
+    // Kept alongside the router so respawns onto new ephemeral ports can
+    // re-point the existing backend (set_port) without disturbing its fleet
+    // slot or rendezvous keys.
+    std::vector<std::shared_ptr<TcpBackend>> tcp_backends;
     for (std::size_t i = 0; i < ports.size(); ++i) {
-      router->add_backend(
-          std::make_shared<TcpBackend>("b" + std::to_string(i), ports[i]),
-          weights.empty() ? 1.0 : weights[i]);
+      tcp_backends.push_back(std::make_shared<TcpBackend>(
+          "b" + std::to_string(i), ports[i], "127.0.0.1", wire_mode));
+      router->add_backend(tcp_backends.back(),
+                          weights.empty() ? 1.0 : weights[i]);
     }
     install_stop_handlers();
     router->start();
@@ -381,25 +375,33 @@ int main(int argc, char** argv) {
             }
             try {
               if (rejoin < children.size()) {
-                children[rejoin] = spawn_serve(serve_path, children[rejoin].port,
-                                               backend_threads, scale, queue, shed);
-                wait_listening(children[rejoin].port, 30'000);
+                const std::string tag = "b" + std::to_string(rejoin);
+                const auto fixed = static_cast<std::uint16_t>(
+                    base_port == 0 ? 0 : children[rejoin].port);
+                children[rejoin] = spawn_serve(spawn_options, fixed, tag);
+                const std::uint16_t port =
+                    wait_serve_ready(children[rejoin], spawn_options, tag, 30'000);
+                // The respawn may land on a brand-new ephemeral port;
+                // re-point the existing backend (same name, same rendezvous
+                // keys) at it.
+                tcp_backends[rejoin]->set_port(port);
                 router->fleet().set_draining(rejoin, false);
-                // wait_listening just proved liveness; clear the failure
+                // wait_serve_ready just proved liveness; clear the failure
                 // backoff the prober accrued against the empty slot.
                 router->fleet().record_success(rejoin);
                 std::cerr << "pglb_router: autoscale: scale-up b" << rejoin
-                          << " (rejoin) on port " << children[rejoin].port
-                          << "\n";
+                          << " (rejoin) on port " << port << "\n";
               } else {
-                const auto port =
-                    static_cast<std::uint16_t>(base_port + children.size());
-                children.push_back(spawn_serve(serve_path, port, backend_threads,
-                                               scale, queue, shed));
-                wait_listening(port, 30'000);
+                const std::string tag = "b" + std::to_string(children.size());
+                const auto fixed = static_cast<std::uint16_t>(
+                    base_port == 0 ? 0 : base_port + children.size());
+                children.push_back(spawn_serve(spawn_options, fixed, tag));
+                const std::uint16_t port =
+                    wait_serve_ready(children.back(), spawn_options, tag, 30'000);
                 const std::string name = "b" + std::to_string(replica_specs.size());
-                router->add_backend(std::make_shared<TcpBackend>(name, port),
-                                    up->weight);
+                tcp_backends.push_back(std::make_shared<TcpBackend>(
+                    name, port, "127.0.0.1", wire_mode));
+                router->add_backend(tcp_backends.back(), up->weight);
                 replica_specs.push_back(up->spec.name);
                 std::cerr << "pglb_router: autoscale: scale-up " << name << " ("
                           << up->spec.name << ") on port " << port << "\n";
@@ -459,20 +461,20 @@ int main(int argc, char** argv) {
 
     // Drained slots carry pid -1: skip them (kill(-1) would signal the whole
     // process group).
-    for (const ChildProcess& child : children) {
+    for (const ServeChild& child : children) {
       if (child.pid > 0) ::kill(child.pid, SIGTERM);
     }
-    for (const ChildProcess& child : children) {
+    for (const ServeChild& child : children) {
       int status = 0;
       if (child.pid > 0) ::waitpid(child.pid, &status, 0);
     }
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "pglb_router: " << e.what() << "\n";
-    for (const ChildProcess& child : children) {
+    for (const ServeChild& child : children) {
       if (child.pid > 0) ::kill(child.pid, SIGKILL);
     }
-    for (const ChildProcess& child : children) {
+    for (const ServeChild& child : children) {
       int status = 0;
       if (child.pid > 0) ::waitpid(child.pid, &status, 0);
     }

@@ -1,10 +1,17 @@
 // pglb_serve — the planning service front-end.  Reads one JSON request per
 // line (stdin by default, or a TCP socket with --listen), answers one JSON
 // response per line in input order, and exits at EOF.  See docs/SERVICE.md
-// for the protocol.
+// for the protocol.  A connection that opens with the wire hello is upgraded
+// to the multiplexed binary framing (docs/WIRE.md) unless --wire=line.
 //
 //   pglb_serve --threads=4 --queue=256 --scale=0.004 < requests.jsonl
 //   pglb_serve --listen=7447 --threads=8 --pool-threads=4
+//   pglb_serve --listen=0 --port-file=/tmp/run/b0.port   # ephemeral port
+//
+// --listen=0 binds an OS-chosen ephemeral port; --port-file=PATH publishes
+// the chosen port atomically for whoever spawned us (the port-file
+// handshake, util/portfile.hpp), so parallel CI runs never fight over a
+// fixed port range.
 //
 // --threads is the number of concurrent request workers; --pool-threads sizes
 // the planner's compute pool for proxy generation and profiling fan-out
@@ -31,6 +38,7 @@
 #include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
+#include "util/portfile.hpp"
 
 #ifdef __unix__
 #include <netinet/in.h>
@@ -77,10 +85,12 @@ void install_stop_handlers() {
   ::sigaction(SIGTERM, &action, nullptr);
 }
 
-/// Accept TCP connections on `port` one at a time, running the line protocol
-/// over each connection until the peer closes it.  Serves until SIGINT or
-/// SIGTERM (0) or a fatal listener error (1).
-int serve_socket(PlanServer& server, int port) {
+/// Accept TCP connections one at a time, running the protocol over each
+/// connection until the peer closes it.  `port` 0 binds an OS-chosen
+/// ephemeral port; a non-empty `port_file` publishes the bound port for the
+/// spawner (the port-file handshake).  Serves until SIGINT or SIGTERM (0) or
+/// a fatal listener error (1).
+int serve_socket(PlanServer& server, int port, const std::string& port_file) {
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     std::cerr << "pglb_serve: socket: " << std::strerror(errno) << "\n";
@@ -96,6 +106,24 @@ int serve_socket(PlanServer& server, int port) {
       ::listen(listener, 8) < 0) {
     std::cerr << "pglb_serve: bind/listen on port " << port << ": "
               << std::strerror(errno) << "\n";
+    ::close(listener);
+    return 1;
+  }
+  if (port == 0) {
+    // Learn which port the kernel picked.
+    sockaddr_in bound{};
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound),
+                      &bound_len) != 0) {
+      std::cerr << "pglb_serve: getsockname: " << std::strerror(errno) << "\n";
+      ::close(listener);
+      return 1;
+    }
+    port = static_cast<int>(ntohs(bound.sin_port));
+  }
+  if (!port_file.empty() &&
+      !write_port_file(port_file, static_cast<std::uint16_t>(port))) {
+    std::cerr << "pglb_serve: cannot publish port to " << port_file << "\n";
     ::close(listener);
     return 1;
   }
@@ -166,8 +194,17 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int("queue", 256));
     server_options.shed_when_full = cli.get_bool("shed", false);
 
+    const std::string wire = cli.get_string("wire", "auto");
+    if (wire != "auto" && wire != "line") {
+      std::cerr << "pglb_serve: --wire must be auto or line\n";
+      return 2;
+    }
+    server_options.allow_wire_upgrade = wire == "auto";
+
     const bool dump_metrics = cli.get_bool("dump-metrics", false);
+    const bool socket_mode = cli.has("listen");
     const int port = static_cast<int>(cli.get_int("listen", 0));
+    const std::string port_file = cli.get_string("port-file", "");
     const std::string trace_out = cli.get_string("trace-out", "");
     if (!trace_out.empty()) set_tracing_enabled(true);
 
@@ -181,9 +218,9 @@ int main(int argc, char** argv) {
     Planner planner(planner_options, &metrics);
     PlanServer server(planner, metrics, server_options);
 
-    if (port != 0) {
+    if (socket_mode) {
 #ifdef __unix__
-      const int status = serve_socket(server, port);
+      const int status = serve_socket(server, port, port_file);
       // Graceful-shutdown path (satellite: drain, then flush the trace).
       if (!trace_out.empty()) {
         write_chrome_trace(trace_out);

@@ -100,13 +100,18 @@ cd '${WORKDIR}'
 rm -f rin rout.jsonl rerr.log
 mkfifo rin
 exec 3<>rin   # hold the write end open: router stdin must not see EOF
-'${PGLB_ROUTER}' --spawn=3 --serve='${PGLB_SERVE}' --base-port=7641 \\
+'${PGLB_ROUTER}' --spawn=3 --serve='${PGLB_SERVE}' \\
     --backend-threads=2 --scale=0.002 --probe-ms=100 <rin >rout.jsonl 2>rerr.log &
 RPID=$!
 for i in $(seq 1 600); do
   grep -q 'fronting 3' rerr.log 2>/dev/null && break; sleep 0.1
 done
 grep -q 'fronting 3' rerr.log
+# Children bind ephemeral ports published under a per-run port-dir; its
+# unique path doubles as the pgrep needle for liveness checks (no fixed
+# port ranges, so parallel ctest runs cannot collide).
+PORTDIR=$(sed -n 's/^pglb_router: port-dir //p' rerr.log | head -1)
+[ -n \"$PORTDIR\" ]
 
 send() { printf '%s\\n' \"$1\" >&3; }
 await_lines() {
@@ -122,7 +127,7 @@ await_lines 2
 grep -q '\"id\":\"r1\",\"status\":\"ok\"' rout.jsonl
 grep -q '\"fleet\":{\"backends\":' rout.jsonl   # router-side metrics, never forwarded
 
-kill -KILL \"$(pgrep -f 'listen=7641' | head -1)\"   # one backend dies mid-run
+kill -KILL \"$(pgrep -f \"port-file=$PORTDIR\" | head -1)\"   # one backend dies mid-run
 send '{\"id\":\"r2\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}'
 await_lines 3
 grep -q '\"id\":\"r2\",\"status\":\"ok\"' rout.jsonl  # failover kept planning
@@ -130,7 +135,7 @@ grep -q '\"id\":\"r2\",\"status\":\"ok\"' rout.jsonl  # failover kept planning
 kill -TERM \"$RPID\"
 wait \"$RPID\"                                  # set -e: non-zero exit fails here
 grep -q 'drained after' rerr.log
-if pgrep -f 'listen=764[123]' >/dev/null; then
+if pgrep -f \"port-file=$PORTDIR\" >/dev/null; then
   echo 'pglb_serve children survived the drain' >&2; exit 1
 fi
 
@@ -140,11 +145,24 @@ fi
 printf '%s\\n%s\\n' \\
   '{\"id\":\"p1\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}' \\
   '{\"id\":\"p2\",\"app\":\"pagerank\",\"machines\":[\"bogus_box\"],\"vertices\":10,\"edges\":10}' \\
-  | '${PGLB_ROUTER}' --spawn=1 --serve='${PGLB_SERVE}' --base-port=7645 \\
+  | '${PGLB_ROUTER}' --spawn=1 --serve='${PGLB_SERVE}' \\
       --backend-threads=2 --scale=0.002 >pipe.jsonl 2>/dev/null
 [ \"$(wc -l <pipe.jsonl)\" -eq 2 ]             # one line per request, always
 grep -q '\"id\":\"p1\",\"status\":\"ok\"' pipe.jsonl
 grep -q '\"id\":\"p2\",\"status\":\"error\"' pipe.jsonl  # typed error passthrough
+
+# Mixed-fleet byte identity (docs/WIRE.md): one line-JSON-only replica plus
+# one binary-capable replica must serve responses byte-identical to a solo
+# pglb_serve — the binary framing carries the SAME payload bytes.
+printf '%s\\n%s\\n%s\\n%s\\n' \\
+  '{\"id\":\"w1\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}' \\
+  '{\"id\":\"w2\",\"app\":\"coloring\",\"machines\":[\"xeon_server_s\",\"xeon_server_l\"],\"alpha\":2.1}' \\
+  '{\"id\":\"w3\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}' \\
+  '{\"id\":\"w4\",\"app\":\"pagerank\",\"machines\":[\"bogus_box\"],\"alpha\":2.1}' >wreq.jsonl
+'${PGLB_SERVE}' --threads=2 --scale=0.002 <wreq.jsonl >solo.jsonl 2>/dev/null
+'${PGLB_ROUTER}' --spawn=2 --line-backends=1 --serve='${PGLB_SERVE}' \\
+    --backend-threads=2 --scale=0.002 <wreq.jsonl >mixed.jsonl 2>/dev/null
+cmp solo.jsonl mixed.jsonl
 ")
   execute_process(COMMAND bash ${router_script}
                   RESULT_VARIABLE code OUTPUT_VARIABLE out ERROR_VARIABLE err)
@@ -159,7 +177,8 @@ grep -q '\"id\":\"p2\",\"status\":\"error\"' pipe.jsonl  # typed error passthrou
   # two apps each at --scale=0.01) builds queue pressure; the control loop
   # must scale up to max-replicas=3 (two extra replicas), drain back to the
   # floor once the burst passes, and expose a populated (cost, p99) Pareto
-  # block in the router-side metrics (ports 7651+).
+  # block in the router-side metrics.  Replicas bind ephemeral ports (the
+  # port-file handshake); the per-run port-dir path is the pgrep needle.
   set(autoscale_script ${WORKDIR}/autoscale_smoke.sh)
   file(WRITE ${autoscale_script}
 "set -eu
@@ -168,17 +187,20 @@ rm -f asin asout.jsonl aserr.log
 mkfifo asin
 exec 3<>asin  # hold the write end open: router stdin must not see EOF
 '${PGLB_ROUTER}' --spawn=1 --autoscale --max-replicas=3 --serve='${PGLB_SERVE}' \\
-    --base-port=7651 --scale=0.01 --threads=8 --autoscale-ms=20 --sustain=2 \\
+    --scale=0.01 --threads=8 --autoscale-ms=20 --sustain=2 \\
     --idle-samples=5 --cooldown-ms=200 --pressure=1.5 --idle=0.2 \\
     <asin >asout.jsonl 2>aserr.log &
 RPID=$!
-# A failed check must not leak the router or its replicas onto the smoke
-# ports: later runs would bind-collide and fail confusingly.
-trap 'set +e; kill -KILL \"$RPID\" 2>/dev/null; pkill -KILL -f \"listen=765[123]\" 2>/dev/null; true' EXIT
+# A failed check must not leak the router or its replicas: kill anything
+# still pointed at this run's private port-dir.
+PORTDIR=''
+trap 'set +e; kill -KILL \"$RPID\" 2>/dev/null; [ -n \"$PORTDIR\" ] && pkill -KILL -f \"port-file=$PORTDIR\" 2>/dev/null; true' EXIT
 for i in $(seq 1 600); do
   grep -q 'fronting 1' aserr.log 2>/dev/null && break; sleep 0.1
 done
 grep -q 'fronting 1' aserr.log
+PORTDIR=$(sed -n 's/^pglb_router: port-dir //p' aserr.log | head -1)
+[ -n \"$PORTDIR\" ]
 
 # 96 alphas spaced beyond the proxy coverage margin: every plan generates and
 # profiles a fresh proxy, so the burst holds queue pressure on the fleet.
@@ -210,7 +232,7 @@ tail -1 asout.jsonl | grep -q '\"frontier\":\\[{'
 kill -TERM \"$RPID\"
 wait \"$RPID\"                                  # set -e: non-zero exit fails here
 grep -q 'drained after' aserr.log
-if pgrep -f 'listen=765[123]' >/dev/null; then
+if pgrep -f \"port-file=$PORTDIR\" >/dev/null; then
   echo 'pglb_serve replicas survived the drain' >&2; exit 1
 fi
 ")
