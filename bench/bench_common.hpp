@@ -17,8 +17,11 @@
 #include "core/flow.hpp"
 #include "core/profiler.hpp"
 #include "core/proxy_suite.hpp"
+#include "engine/exec_report.hpp"
 #include "gen/corpus.hpp"
 #include "machine/catalog.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/math.hpp"
 #include "util/table.hpp"
@@ -72,6 +75,30 @@ inline void emit_table(const Table& table, bool csv) {
   } else {
     table.print(std::cout);
   }
+}
+
+/// --trace-out support for the multi-run benches: replay one representative
+/// configuration (PageRank on `graph`) once per estimator, bridging each
+/// run's virtual BSP schedule onto its OWN virtual track of the "pglb
+/// virtual cluster" process (pid 2), then write a single Chrome trace — open
+/// it and the estimators' schedules sit stacked for side-by-side comparison
+/// (balanced CCR barriers vs the stragglers prior work produces).
+inline void write_estimator_trace(
+    const std::string& trace_out, const EdgeList& graph, const Cluster& cluster,
+    const std::vector<std::pair<std::string, const CapabilityEstimator*>>& estimators,
+    FlowOptions options) {
+  if (trace_out.empty()) return;
+  set_tracing_enabled(true);
+  std::int32_t track = 0;
+  for (const auto& [label, estimator] : estimators) {
+    const auto result = run_flow(graph, AppKind::kPageRank, cluster, *estimator, options);
+    append_trace_spans(result.app.report, track++);
+    std::cerr << "trace track " << (track - 1) << ": " << label << "\n";
+  }
+  write_chrome_trace(trace_out);
+  set_tracing_enabled(false);
+  std::cerr << "trace written to " << trace_out << " ("
+            << estimators.size() << " virtual track(s), one per estimator)\n";
 }
 
 inline void check_unused_flags(const Cli& cli) {

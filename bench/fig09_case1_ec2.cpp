@@ -20,6 +20,9 @@ int main(int argc, char** argv) {
   // seeds smooths heuristic noise (the paper averages over repeated runs).
   const auto trials = static_cast<std::uint64_t>(cli.get_int("trials", 1));
   const bool csv = cli.get_bool("csv", false);
+  // --trace-out=<path>: also emit one Chrome trace replaying the PageRank run
+  // on the first graph once per estimator, each on its own virtual track.
+  const std::string trace_out = cli.get_string("trace-out", "");
   check_unused_flags(cli);
 
   print_header("Fig. 9 - Case 1: m4.2xlarge + c4.2xlarge EC2 cluster", "Fig. 9a-9d");
@@ -86,5 +89,13 @@ int main(int argc, char** argv) {
             << "   (paper: 1.16x average over prior work in Case 1)\n";
   std::cout << "best: " << format_speedup(best) << " at " << best_at
             << "   (paper: 1.45x max, CC/hybrid/amazon)\n";
+
+  if (!trace_out.empty()) {
+    options.seed = seed;
+    options.partitioner = PartitionerKind::kRandomHash;
+    write_estimator_trace(trace_out, graphs.front().graph, cluster,
+                          {{"prior-work (thread counts)", &prior}, {"ccr-guided", &ccr}},
+                          options);
+  }
   return 0;
 }

@@ -8,7 +8,8 @@
 namespace pglb::bench {
 
 inline void run_local_case(const Cluster& cluster, double scale, std::uint64_t seed,
-                           const std::string& paper_speedups) {
+                           const std::string& paper_speedups,
+                           const std::string& trace_out = "") {
   const auto graphs = load_natural_graphs(scale, seed);
   ProxySuite suite(scale, seed + 100);
   const auto pool = profile_cluster(cluster, suite, kAllApps);
@@ -63,6 +64,14 @@ inline void run_local_case(const Cluster& cluster, double scale, std::uint64_t s
             << format_speedup(ccr_best) << " max), " << format_percent(mean_of(ccr_saves))
             << " energy saved\n";
   std::cout << "  (paper: " << paper_speedups << ")\n";
+
+  if (!trace_out.empty()) {
+    write_estimator_trace(trace_out, graphs.front().graph, cluster,
+                          {{"default (uniform)", &uniform},
+                           {"prior-work (thread counts)", &prior},
+                           {"ccr-guided", &ccr}},
+                          options);
+  }
 }
 
 }  // namespace pglb::bench

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 1.0 / 256.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // --trace-out=<path>: one Chrome trace, each estimator on its own vtrack.
+  const std::string trace_out = cli.get_string("trace-out", "");
   check_unused_flags(cli);
 
   print_header("Fig. 10a - Case 2: local Xeon S + L, same frequency", "Fig. 10a");
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
   const Cluster cluster(
       {machine_by_name("xeon_server_s"), machine_by_name("xeon_server_l")});
   run_local_case(cluster, scale, seed,
-                 "prior 1.27x / 8.4% energy; ccr 1.45x avg, 1.67x max / 23.6% energy");
+                 "prior 1.27x / 8.4% energy; ccr 1.45x avg, 1.67x max / 23.6% energy",
+                 trace_out);
   return 0;
 }

@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   const Cli cli(argc, argv);
   const double scale = cli.get_double("scale", 1.0 / 256.0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  // --trace-out=<path>: one Chrome trace, each estimator on its own vtrack.
+  const std::string trace_out = cli.get_string("trace-out", "");
   check_unused_flags(cli);
 
   print_header("Fig. 10b - Case 3: Xeon S @ 1.8 GHz + Xeon L @ 2.5 GHz", "Fig. 10b");
@@ -20,6 +22,7 @@ int main(int argc, char** argv) {
   const Cluster cluster({with_frequency(machine_by_name("xeon_server_s"), 1.8),
                          machine_by_name("xeon_server_l")});
   run_local_case(cluster, scale, seed,
-                 "prior 1.37x / ~12% energy; ccr 1.58x avg / 26.4% energy");
+                 "prior 1.37x / ~12% energy; ccr 1.58x avg / 26.4% energy",
+                 trace_out);
   return 0;
 }

@@ -20,6 +20,6 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" \
   --target test_thread_pool test_parallel_determinism test_service_server \
            test_obs_trace test_resilience test_service_resilience \
            test_fleet test_fleet_resilience test_autoscale \
-           test_wire_server test_tcp_backend
+           test_wire_server test_tcp_backend test_persist
 ctest --test-dir "$BUILD_DIR" -L 'tsan|fault' --output-on-failure -j"$(nproc)"
 echo "check_tsan: all tsan- and fault-labelled tests passed"

@@ -124,6 +124,16 @@ ScaleDecision Autoscaler::decide(const FleetSample& sample) {
   return hold("steady");
 }
 
+void Autoscaler::record_warming(std::size_t keys_owned, std::size_t keys_warmed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++warm_passes_;
+  warm_keys_owned_ += keys_owned;
+  warm_keys_warmed_ += keys_warmed;
+  if (metrics_ != nullptr && keys_warmed > 0) {
+    metrics_->count("autoscale.keys_warmed", keys_warmed);
+  }
+}
+
 std::string Autoscaler::status_json() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\"policy\":\"";
@@ -144,7 +154,13 @@ std::string Autoscaler::status_json() const {
   append_json_number(out, static_cast<double>(drains_));
   out += ",\"last_decision\":";
   append_json_string(out, last_decision_);
-  out += ",\"pareto\":";
+  out += ",\"warming\":{\"passes\":";
+  append_json_number(out, static_cast<double>(warm_passes_));
+  out += ",\"keys_owned\":";
+  append_json_number(out, static_cast<double>(warm_keys_owned_));
+  out += ",\"keys_warmed\":";
+  append_json_number(out, static_cast<double>(warm_keys_warmed_));
+  out += "},\"pareto\":";
   out += pareto_json(options_.policy, last_ranking_);
   out.push_back('}');
   return out;

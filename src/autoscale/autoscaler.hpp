@@ -96,8 +96,14 @@ class Autoscaler {
   /// router's metrics responses as the "autoscale" block:
   ///   {"policy":...,"replicas":N,"min":...,"max":...,
   ///    "pressure_streak":...,"idle_streak":...,"last_decision":...,
-  ///    "scale_ups":...,"drains":...,"pareto":{...}}
+  ///    "scale_ups":...,"drains":...,"warming":{...},"pareto":{...}}
   std::string status_json() const;
+
+  /// The actuator reports each peer-warming pass it ran after a scale-up or
+  /// rejoin (docs/PERSIST.md): `keys_owned` keys rendezvous-ranked to the
+  /// newcomer, `keys_warmed` of them prefetched ok.  Feeds the "warming"
+  /// status block and the autoscale.keys_warmed counter.
+  void record_warming(std::size_t keys_owned, std::size_t keys_warmed);
 
   const AutoscalerOptions& options() const noexcept { return options_; }
 
@@ -117,6 +123,9 @@ class Autoscaler {
   std::string last_decision_ = "none";
   std::uint64_t scale_ups_ = 0;
   std::uint64_t drains_ = 0;
+  std::uint64_t warm_passes_ = 0;
+  std::uint64_t warm_keys_owned_ = 0;
+  std::uint64_t warm_keys_warmed_ = 0;
   std::vector<ScaleCandidate> last_ranking_;
 };
 

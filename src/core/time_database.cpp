@@ -32,6 +32,11 @@ void TimeDatabase::record(const Key& key, double seconds) {
   times_[key] = seconds;
 }
 
+void TimeDatabase::merge(const TimeDatabase& other) {
+  // map::insert never overwrites: present (live) entries win over `other`.
+  times_.insert(other.times_.begin(), other.times_.end());
+}
+
 std::optional<double> TimeDatabase::lookup(const Key& key) const {
   const auto it = times_.find(key);
   if (it == times_.end()) return std::nullopt;

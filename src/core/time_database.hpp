@@ -64,6 +64,12 @@ class TimeDatabase {
   std::vector<double> ccr_for(const Cluster& cluster, AppKind app,
                               double graph_alpha) const;
 
+  /// Absorb entries of `other` for keys not already present — the
+  /// snapshot-restore hook (docs/PERSIST.md): a reloaded pool merges UNDER
+  /// live entries, so a fresher in-memory time never regresses to its
+  /// persisted predecessor.
+  void merge(const TimeDatabase& other);
+
   std::size_t size() const noexcept { return times_.size(); }
   const std::map<Key, double>& entries() const noexcept { return times_; }
 

@@ -5,6 +5,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <sys/stat.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -36,6 +38,20 @@ ServeChild spawn_serve(const SpawnOptions& options, std::uint16_t port,
     port_file = port_file_path(options, tag);
     std::remove(port_file.c_str());  // a respawned slot must not read stale
   }
+  std::string snapshot_dir;
+  if (!options.snapshot_dir.empty()) {
+    // Per-replica snapshot home: two replicas must never clobber one
+    // warm.snap, and a respawned tag must find its predecessor's file.
+    if (::mkdir(options.snapshot_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      throw std::runtime_error("spawn_serve: cannot create snapshot dir " +
+                               options.snapshot_dir + ": " + std::strerror(errno));
+    }
+    snapshot_dir = options.snapshot_dir + "/" + tag;
+    if (::mkdir(snapshot_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      throw std::runtime_error("spawn_serve: cannot create snapshot dir " +
+                               snapshot_dir + ": " + std::strerror(errno));
+    }
+  }
 
   const pid_t pid = ::fork();
   if (pid < 0) {
@@ -51,6 +67,13 @@ ServeChild spawn_serve(const SpawnOptions& options, std::uint16_t port,
     if (options.shed) args.emplace_back("--shed");
     if (!options.wire.empty()) args.emplace_back("--wire=" + options.wire);
     if (!port_file.empty()) args.emplace_back("--port-file=" + port_file);
+    if (!snapshot_dir.empty()) {
+      args.emplace_back("--snapshot-dir=" + snapshot_dir);
+      if (options.snapshot_interval_ms > 0) {
+        args.emplace_back("--snapshot-interval-ms=" +
+                          std::to_string(options.snapshot_interval_ms));
+      }
+    }
     std::vector<char*> argv;
     argv.reserve(args.size() + 1);
     for (std::string& arg : args) argv.push_back(arg.data());

@@ -26,6 +26,12 @@ struct SpawnOptions {
   /// Directory where ephemeral children publish <tag>.port; required when
   /// spawning with port 0.
   std::string port_dir;
+  /// Durable warm state (docs/PERSIST.md): when non-empty, each child gets
+  /// `--snapshot-dir=<snapshot_dir>/<tag>` (created on demand), so a
+  /// respawned slot restores the snapshot its predecessor left behind.
+  std::string snapshot_dir;
+  /// Child's --snapshot-interval-ms (0 = save only on the SIGTERM drain).
+  std::uint64_t snapshot_interval_ms = 0;
 };
 
 struct ServeChild {

@@ -1,0 +1,234 @@
+#include "persist/snapshot.hpp"
+
+#include <array>
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace pglb::persist {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) noexcept {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (const char c : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void append_u32(std::string& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void append_f64(std::string& out, double value) {
+  append_u64(out, std::bit_cast<std::uint64_t>(value));
+}
+
+void append_string(std::string& out, std::string_view value) {
+  if (value.size() > kMaxSectionPayload) {
+    throw SnapshotError("snapshot string too long to encode");
+  }
+  append_u32(out, static_cast<std::uint32_t>(value.size()));
+  out.append(value);
+}
+
+std::string_view Cursor::take(std::size_t n) {
+  if (n > data_.size() - pos_) {
+    throw SnapshotError("snapshot payload truncated (wanted " + std::to_string(n) +
+                        " bytes, " + std::to_string(data_.size() - pos_) + " left)");
+  }
+  const std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint32_t Cursor::read_u32() {
+  const std::string_view bytes = take(4);
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(bytes[static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+std::uint64_t Cursor::read_u64() {
+  const std::string_view bytes = take(8);
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | static_cast<std::uint8_t>(bytes[static_cast<std::size_t>(i)]);
+  }
+  return value;
+}
+
+double Cursor::read_f64() { return std::bit_cast<double>(read_u64()); }
+
+std::string Cursor::read_string() {
+  const std::uint32_t length = read_u32();
+  if (length > kMaxSectionPayload) {
+    throw SnapshotError("snapshot string length " + std::to_string(length) +
+                        " exceeds cap");
+  }
+  return std::string(take(length));
+}
+
+// --- writer ----------------------------------------------------------------
+
+void SnapshotWriter::add_section(SectionType type, std::string payload) {
+  if (payload.size() > kMaxSectionPayload) {
+    throw SnapshotError("snapshot section payload exceeds " +
+                        std::to_string(kMaxSectionPayload) + " bytes");
+  }
+  sections_.push_back(
+      SnapshotSection{static_cast<std::uint32_t>(type), std::move(payload)});
+}
+
+std::string SnapshotWriter::encode() const {
+  std::string out;
+  append_u32(out, kMagic);
+  append_u32(out, kVersion);
+  append_u64(out, generation_);
+  const auto emit = [&out](std::uint32_t type, std::string_view payload) {
+    append_u32(out, type);
+    append_u32(out, static_cast<std::uint32_t>(payload.size()));
+    append_u32(out, crc32(payload));
+    out.append(payload);
+  };
+  for (const SnapshotSection& section : sections_) {
+    emit(section.type, section.payload);
+  }
+  emit(static_cast<std::uint32_t>(SectionType::kEnd), {});
+  return out;
+}
+
+void SnapshotWriter::write(const std::string& path) const {
+  const std::string encoded = encode();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("snapshot: cannot open " + tmp);
+    out.write(encoded.data(), static_cast<std::streamsize>(encoded.size()));
+    if (!out.flush()) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("snapshot: write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: rename to " + path + " failed");
+  }
+}
+
+// --- reader ----------------------------------------------------------------
+
+SnapshotReader SnapshotReader::parse(std::string_view bytes) {
+  if (bytes.size() < kFileHeaderSize) {
+    throw SnapshotError("snapshot shorter than its file header");
+  }
+  Cursor header(bytes.substr(0, kFileHeaderSize));
+  SnapshotReader reader;
+  if (header.read_u32() != kMagic) throw SnapshotError("snapshot has bad magic");
+  reader.version_ = header.read_u32();
+  if (reader.version_ > kVersion) {
+    throw SnapshotError("snapshot version " + std::to_string(reader.version_) +
+                        " is newer than this build (max " +
+                        std::to_string(kVersion) + ")");
+  }
+  reader.generation_ = header.read_u64();
+
+  std::size_t pos = kFileHeaderSize;
+  bool saw_end = false;
+  while (!saw_end) {
+    if (bytes.size() - pos < kSectionHeaderSize) {
+      throw SnapshotError("snapshot truncated mid section header");
+    }
+    Cursor section_header(bytes.substr(pos, kSectionHeaderSize));
+    const std::uint32_t type = section_header.read_u32();
+    const std::uint32_t length = section_header.read_u32();
+    const std::uint32_t checksum = section_header.read_u32();
+    pos += kSectionHeaderSize;
+    if (length > kMaxSectionPayload) {
+      throw SnapshotError("snapshot section length " + std::to_string(length) +
+                          " exceeds cap");
+    }
+    if (bytes.size() - pos < length) {
+      throw SnapshotError("snapshot truncated mid section payload");
+    }
+    const std::string_view payload = bytes.substr(pos, length);
+    pos += length;
+    if (crc32(payload) != checksum) {
+      throw SnapshotError("snapshot section type " + std::to_string(type) +
+                          " failed its CRC check");
+    }
+    if (type == static_cast<std::uint32_t>(SectionType::kEnd)) {
+      saw_end = true;
+      continue;
+    }
+    reader.sections_.push_back(SnapshotSection{type, std::string(payload)});
+  }
+  if (pos != bytes.size()) {
+    throw SnapshotError("snapshot has trailing bytes after its end marker");
+  }
+  return reader;
+}
+
+SnapshotReader SnapshotReader::read(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("snapshot: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) {
+    throw std::runtime_error("snapshot: read failed: " + path);
+  }
+  return parse(buffer.str());
+}
+
+const SnapshotSection* SnapshotReader::section(SectionType type) const noexcept {
+  for (const SnapshotSection& section : sections_) {
+    if (section.type == static_cast<std::uint32_t>(type)) return &section;
+  }
+  return nullptr;
+}
+
+std::optional<std::uint64_t> read_snapshot_generation(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string header(kFileHeaderSize, '\0');
+  if (!in.read(header.data(), static_cast<std::streamsize>(header.size()))) {
+    return std::nullopt;
+  }
+  try {
+    Cursor cursor(header);
+    if (cursor.read_u32() != kMagic) return std::nullopt;
+    cursor.read_u32();  // version: the generation field's offset is stable
+    return cursor.read_u64();
+  } catch (const SnapshotError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace pglb::persist

@@ -1,0 +1,95 @@
+#pragma once
+// Warm-state payloads over the snapshot container (docs/PERSIST.md): what a
+// planning replica persists on SIGTERM and lazily reloads on boot so a
+// restart does not trade a healthy cache for a profiling stampede.
+//
+// Two sections:
+//  - kProfileCache: the completed ProfileCache entries (key, hit count, and
+//    the full CCR profile including the proxy degree histogram) in recency
+//    order.  An entry restores to EXACTLY the inputs the deterministic
+//    planner arithmetic consumes, so a plan served from a restored entry is
+//    byte-identical to one served from a fresh profile.
+//  - kTimeDatabase: the planner's durable CCR pool (app, proxy alpha,
+//    machine class) -> seconds — the paper's Sec. III-B artifact, merged
+//    UNDER live entries on restore.
+//
+// Load policy (the Distributed-CC save/load_checkpoint shape): a missing
+// file is a quiet cold start; a corrupt, truncated, or future-version file
+// is a LOGGED cold start that bumps persist.snapshot_rejected — never a
+// crash, and never a partially trusted restore (decode validates every
+// value before anything touches the planner).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/time_database.hpp"
+#include "persist/snapshot.hpp"
+#include "service/profile_cache.hpp"
+
+namespace pglb {
+
+class Planner;
+class Registry;
+
+namespace persist {
+
+/// One decoded cache entry, pre-validated and ready to import.
+struct RestoredCacheEntry {
+  std::string key;
+  std::uint64_t hits = 0;
+  std::shared_ptr<ProfileEntry> entry;
+};
+
+std::string encode_profile_cache_section(
+    std::span<const ProfileCache::ExportedEntry> entries);
+
+/// Decode + validate a kProfileCache payload.  Throws SnapshotError on any
+/// malformed or implausible value (non-finite times, empty keys, ...).
+std::vector<RestoredCacheEntry> decode_profile_cache_section(
+    std::string_view payload);
+
+std::string encode_time_database_section(const TimeDatabase& db);
+
+/// Decode + validate a kTimeDatabase payload.  Throws SnapshotError on
+/// unknown app names or non-positive times.
+TimeDatabase decode_time_database_section(std::string_view payload);
+
+/// Where a replica's snapshot lives inside its --snapshot-dir.
+std::string warm_snapshot_path(const std::string& dir);
+
+/// Outcome of one save/load, for logging and tests.
+struct SnapshotIoResult {
+  bool ok = false;
+  /// Load only: the file existed but was corrupt/truncated/future-version
+  /// (persist.snapshot_rejected was bumped).  A missing file is ok=false
+  /// with rejected=false — the quiet cold start.
+  bool rejected = false;
+  std::uint64_t generation = 0;
+  std::size_t bytes = 0;
+  std::size_t cache_entries = 0;
+  std::size_t time_entries = 0;
+  std::string error;
+};
+
+/// Snapshot the planner's warm state into `<dir>/warm.snap` (atomic
+/// write-rename; generation = previous generation + 1).  Counts
+/// persist.snapshots_written / persist.snapshot_bytes_written into the
+/// global registry and, when given, `service_registry` (the per-server
+/// registry surfaced by metrics responses).  Never throws.
+SnapshotIoResult save_warm_snapshot(const Planner& planner, const std::string& dir,
+                                    Registry* service_registry = nullptr);
+
+/// Restore `<dir>/warm.snap` into the planner: cache entries re-inserted in
+/// recency order (stopping, without error, at capacity), time database
+/// merged under live entries.  Counts persist.snapshots_loaded /
+/// persist.snapshot_bytes_loaded / persist.keys_restored on success and
+/// persist.snapshot_rejected on a corrupt file.  Never throws.
+SnapshotIoResult load_warm_snapshot(Planner& planner, const std::string& dir,
+                                    Registry* service_registry = nullptr);
+
+}  // namespace persist
+}  // namespace pglb

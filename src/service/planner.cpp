@@ -129,6 +129,14 @@ ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
     for (std::size_t i = 0; i < classes.size(); ++i) {
       entry->class_times.emplace_back(classes[i], class_seconds[i]);
     }
+    // Mirror the fresh measurements into the durable CCR pool (the time
+    // database a warm-state snapshot carries, docs/PERSIST.md).
+    {
+      std::lock_guard<std::mutex> lock(time_db_mutex_);
+      for (std::size_t i = 0; i < classes.size(); ++i) {
+        time_db_.record({app, proxy_alpha, classes[i]}, class_seconds[i]);
+      }
+    }
     if (metrics_ != nullptr) {
       metrics_->count("profile_runs", classes.size());
     }
@@ -138,6 +146,16 @@ ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
     metrics_->count(computed ? "profile_cache_misses" : "profile_cache_hits");
   }
   return entry_ptr;
+}
+
+TimeDatabase Planner::time_database() const {
+  std::lock_guard<std::mutex> lock(time_db_mutex_);
+  return time_db_;
+}
+
+void Planner::merge_time_database(const TimeDatabase& restored) {
+  std::lock_guard<std::mutex> lock(time_db_mutex_);
+  time_db_.merge(restored);
 }
 
 PlanResponse Planner::degraded_plan(const PlanRequest& request,

@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "core/proxy_suite.hpp"
+#include "core/time_database.hpp"
 #include "service/metrics.hpp"
 #include "service/profile_cache.hpp"
 #include "service/protocol.hpp"
@@ -72,6 +73,34 @@ class Planner {
   ProfileCacheStats cache_stats() const { return cache_.stats(); }
   const PlannerOptions& options() const noexcept { return options_; }
 
+  // --- durable warm state (docs/PERSIST.md) --------------------------------
+
+  /// Completed cache entries in recency order — what a snapshot serializes.
+  std::vector<ProfileCache::ExportedEntry> export_cache() const {
+    return cache_.export_entries();
+  }
+
+  /// Re-insert a restored entry (no eviction, no hit/miss accounting).
+  /// Restored entries feed the SAME deterministic arithmetic as fresh
+  /// profiles, so a restored plan is byte-identical to a fresh one.
+  bool import_cache_entry(const std::string& key, ProfileCache::EntryPtr entry,
+                          std::uint64_t hits) {
+    return cache_.import_entry(key, std::move(entry), hits);
+  }
+
+  /// The `limit` hottest cache keys with hit counts (warm_keys responses).
+  std::vector<std::pair<std::string, std::uint64_t>> hot_keys(std::size_t limit) const {
+    return cache_.hot_keys(limit);
+  }
+
+  /// Copy of the planner's time database — every profiled (app, proxy alpha,
+  /// machine class) runtime observed by this process, the durable CCR pool
+  /// the snapshot carries alongside the cache.
+  TimeDatabase time_database() const;
+
+  /// Merge a restored time database under live entries (TimeDatabase::merge).
+  void merge_time_database(const TimeDatabase& restored);
+
   /// The pool this planner fans work out on (its own, or the global one).
   /// Shared with every pipeline stage the planner drives.
   ThreadPool& thread_pool() noexcept { return pool_or_global(owned_pool_.get()); }
@@ -108,6 +137,9 @@ class Planner {
 
   std::mutex alpha_mutex_;  ///< guards alpha_memo_
   std::unordered_map<std::string, double> alpha_memo_;
+
+  mutable std::mutex time_db_mutex_;  ///< guards time_db_
+  TimeDatabase time_db_;
 
   ProfileCache cache_;
 };

@@ -75,6 +75,7 @@ ProfileCache::EntryPtr ProfileCache::get(const std::string& key,
     const auto it = index_.find(key);
     if (it != index_.end()) {
       ++hits_;
+      ++it->second->hits;
       lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
       future = it->second->future;
     } else {
@@ -83,7 +84,7 @@ ProfileCache::EntryPtr ProfileCache::get(const std::string& key,
       owner = true;
       my_slot_id = next_slot_id_++;
       future = promise.get_future().share();
-      lru_.push_front(Slot{key, my_slot_id, future});
+      lru_.push_front(Slot{key, my_slot_id, 0, future});
       index_[key] = lru_.begin();
       if (lru_.size() > capacity_) {
         // Evict the least recently used slot.  A still-computing victim stays
@@ -133,12 +134,45 @@ ProfileCache::EntryPtr ProfileCache::get(const std::string& key,
   return future.get();
 }
 
+namespace {
+
+/// Whether `future` already resolved to a value (not an exception) — the
+/// only entries snapshots and occupancy accounting look at.  Never blocks.
+ProfileCache::EntryPtr completed_entry(
+    const std::shared_future<ProfileCache::EntryPtr>& future) {
+  if (future.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+    return nullptr;
+  }
+  try {
+    return future.get();
+  } catch (...) {
+    return nullptr;  // failed computation still being unwound by its owner
+  }
+}
+
+std::size_t approx_entry_bytes(const std::string& key, const ProfileEntry& entry) {
+  std::size_t bytes = key.size() + sizeof(ProfileEntry);
+  for (const auto& [name, _] : entry.class_times) {
+    bytes += name.size() + sizeof(std::pair<std::string, double>);
+  }
+  bytes += entry.proxy_total_degree.counts().size() * sizeof(std::uint64_t);
+  return bytes;
+}
+
+}  // namespace
+
 ProfileCacheStats ProfileCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t approx_bytes = 0;
+  for (const Slot& slot : lru_) {
+    if (const EntryPtr entry = completed_entry(slot.future)) {
+      approx_bytes += approx_entry_bytes(slot.key, *entry);
+    }
+  }
   return ProfileCacheStats{hits_,          misses_,
                            evictions_,     breaker_opens_,
                            breaker_rejections_, lru_.size(),
-                           capacity_};
+                           capacity_,      approx_bytes};
 }
 
 BreakerState ProfileCache::breaker_state(const std::string& key) const {
@@ -155,6 +189,50 @@ void ProfileCache::clear() {
   lru_.clear();
   index_.clear();
   breakers_.clear();
+}
+
+std::vector<ProfileCache::ExportedEntry> ProfileCache::export_entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ExportedEntry> out;
+  out.reserve(lru_.size());
+  for (const Slot& slot : lru_) {  // front = MRU, preserved by import order
+    if (EntryPtr entry = completed_entry(slot.future)) {
+      out.push_back(ExportedEntry{slot.key, slot.hits, std::move(entry)});
+    }
+  }
+  return out;
+}
+
+bool ProfileCache::import_entry(const std::string& key, EntryPtr entry,
+                                std::uint64_t hits) {
+  if (entry == nullptr) return false;
+  std::promise<EntryPtr> promise;
+  promise.set_value(std::move(entry));
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (lru_.size() >= capacity_ || index_.count(key) != 0) return false;
+  lru_.push_back(Slot{key, next_slot_id_++, hits, promise.get_future().share()});
+  index_[key] = std::prev(lru_.end());
+  return true;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ProfileCache::hot_keys(
+    std::size_t limit) const {
+  std::vector<std::pair<std::string, std::uint64_t>> keys;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    keys.reserve(lru_.size());
+    for (const Slot& slot : lru_) {
+      if (completed_entry(slot.future) != nullptr) {
+        keys.emplace_back(slot.key, slot.hits);
+      }
+    }
+  }
+  // Traversal order is MRU-first; a stable sort on hits keeps recency as the
+  // tie-break, so the report is deterministic for a given cache state.
+  std::stable_sort(keys.begin(), keys.end(),
+                   [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (keys.size() > limit) keys.resize(limit);
+  return keys;
 }
 
 }  // namespace pglb

@@ -90,6 +90,9 @@ struct ProfileCacheStats {
   std::uint64_t breaker_rejections = 0;  ///< get() calls shed by an open breaker
   std::size_t size = 0;
   std::size_t capacity = 0;
+  /// Estimated resident bytes of the completed entries (keys + class times +
+  /// degree histograms) — the cache.bytes occupancy gauge.
+  std::size_t approx_bytes = 0;
 
   double hit_rate() const noexcept {
     const double total = static_cast<double>(hits + misses);
@@ -120,10 +123,39 @@ class ProfileCache {
   /// Drop every entry and every breaker record (counters are kept).
   void clear();
 
+  // --- snapshot/restore (docs/PERSIST.md) ----------------------------------
+
+  /// One exportable cache entry: the key, how often it hit since insertion
+  /// (restored entries carry their pre-restart count forward), and the
+  /// completed profile.
+  struct ExportedEntry {
+    std::string key;
+    std::uint64_t hits = 0;
+    EntryPtr entry;
+  };
+
+  /// Completed entries in recency order (most recently used first).  Entries
+  /// still computing, failed, or evicted are not included — a snapshot only
+  /// ever carries profiles that were actually served.
+  std::vector<ExportedEntry> export_entries() const;
+
+  /// Insert a restored entry as an already-resolved future at the LRU end
+  /// (callers import in MRU-first export order, so recency is preserved).
+  /// Returns false — and imports nothing — when the key is already present
+  /// or the cache is full; restores never evict live entries and never count
+  /// as hits or misses.
+  bool import_entry(const std::string& key, EntryPtr entry, std::uint64_t hits);
+
+  /// The `limit` hottest completed keys with their hit counts, ordered by
+  /// hits descending (ties in recency order) — the warm_keys payload a
+  /// replica reports so a router can pre-warm a newcomer.
+  std::vector<std::pair<std::string, std::uint64_t>> hot_keys(std::size_t limit) const;
+
  private:
   struct Slot {
     std::string key;
     std::uint64_t id = 0;  ///< distinguishes re-inserted keys on the error path
+    std::uint64_t hits = 0;  ///< per-entry hit count (snapshots + warm_keys)
     std::shared_future<EntryPtr> future;
   };
 

@@ -284,6 +284,7 @@ PlanRequest parse_plan_request(const std::string& line) {
       const std::string& type = require_string(value, "type");
       if (type == "plan") request.type = RequestType::kPlan;
       else if (type == "metrics") request.type = RequestType::kMetrics;
+      else if (type == "warm_keys") request.type = RequestType::kWarmKeys;
       else throw ProtocolError("unknown request type '" + type + "'");
     } else if (key == "id") {
       request.id = require_string(value, "id");
@@ -316,12 +317,22 @@ PlanRequest parse_plan_request(const std::string& line) {
       const std::uint64_t timeout = require_count(value, "timeout_ms");
       if (timeout == 0) throw ProtocolError("field 'timeout_ms' must be positive");
       request.timeout_ms = timeout;
+    } else if (key == "limit") {
+      const std::uint64_t limit = require_count(value, "limit");
+      if (limit == 0) throw ProtocolError("field 'limit' must be positive");
+      request.limit = limit;
     } else {
       throw ProtocolError("unknown request field '" + key + "'");
     }
   }
 
-  if (request.type == RequestType::kMetrics) return request;
+  if (request.limit && request.type != RequestType::kWarmKeys) {
+    throw ProtocolError("field 'limit' is only valid on warm_keys requests");
+  }
+  if (request.type == RequestType::kMetrics ||
+      request.type == RequestType::kWarmKeys) {
+    return request;
+  }
 
   const JsonValue* app_field = document.find("app");
   if (app_field == nullptr) throw ProtocolError("missing required field 'app'");
@@ -339,11 +350,17 @@ PlanRequest parse_plan_request(const std::string& line) {
 
 std::string serialize_request(const PlanRequest& request) {
   std::string out = "{";
-  if (request.type == RequestType::kMetrics) {
-    out += "\"type\":\"metrics\"";
+  if (request.type == RequestType::kMetrics ||
+      request.type == RequestType::kWarmKeys) {
+    out += request.type == RequestType::kMetrics ? "\"type\":\"metrics\""
+                                                 : "\"type\":\"warm_keys\"";
     if (!request.id.empty()) {
       out += ",\"id\":";
       append_json_string(out, request.id);
+    }
+    if (request.limit && request.type == RequestType::kWarmKeys) {
+      out += ",\"limit\":";
+      append_json_number(out, static_cast<double>(*request.limit));
     }
     out += "}";
     return out;
@@ -509,6 +526,53 @@ std::string serialize_overloaded(const std::string& id, std::uint64_t queue_dept
   response.queue_depth = queue_depth;
   response.retry_after_ms = retry_after_ms;
   return serialize_response(response);
+}
+
+std::string serialize_warm_keys_response(const std::string& id,
+                                         std::span<const WarmKey> keys) {
+  std::string out = "{\"id\":";
+  append_json_string(out, id);
+  out += ",\"status\":\"ok\",\"warm_keys\":[";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"key\":";
+    append_json_string(out, keys[i].key);
+    out += ",\"hits\":";
+    append_json_number(out, static_cast<double>(keys[i].hits));
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<WarmKey> parse_warm_keys_response(const std::string& line) {
+  const JsonValue document = parse_json(line);
+  if (!document.is_object()) {
+    throw ProtocolError("warm_keys response must be a JSON object");
+  }
+  const JsonValue* status = document.find("status");
+  if (status == nullptr || !status->is_string() || status->as_string() != "ok") {
+    throw ProtocolError("warm_keys response is not ok");
+  }
+  const JsonValue* keys = document.find("warm_keys");
+  if (keys == nullptr || !keys->is_array()) {
+    throw ProtocolError("warm_keys response carries no warm_keys array");
+  }
+  std::vector<WarmKey> out;
+  out.reserve(keys->as_array().size());
+  for (const JsonValue& item : keys->as_array()) {
+    if (!item.is_object()) throw ProtocolError("warm_keys entry must be an object");
+    WarmKey warm;
+    const JsonValue* key = item.find("key");
+    if (key == nullptr) throw ProtocolError("warm_keys entry missing 'key'");
+    warm.key = require_string(*key, "key");
+    const JsonValue* hits = item.find("hits");
+    warm.hits = hits != nullptr
+                    ? static_cast<std::uint64_t>(require_number(*hits, "hits"))
+                    : 0;
+    out.push_back(std::move(warm));
+  }
+  return out;
 }
 
 }  // namespace pglb

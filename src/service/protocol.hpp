@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -70,7 +71,7 @@ JsonValue parse_json(std::string_view text);
 
 // --- planning requests -----------------------------------------------------
 
-enum class RequestType { kPlan, kMetrics };
+enum class RequestType { kPlan, kMetrics, kWarmKeys };
 
 struct PlanRequest {
   RequestType type = RequestType::kPlan;
@@ -85,6 +86,8 @@ struct PlanRequest {
   /// comes back as a typed "timeout" response instead of blocking.  Absent =
   /// the server's --default-timeout-ms (docs/ROBUSTNESS.md).
   std::optional<std::uint64_t> timeout_ms;
+  /// warm_keys only: cap on reported keys (absent = server default).
+  std::optional<std::uint64_t> limit;
 };
 
 /// Parse + validate one request line.  Requires: `app`, non-empty `machines`,
@@ -143,5 +146,23 @@ std::string serialize_error(const std::string& id, const std::string& message);
 /// Canned "overloaded" response for a request shed by admission control.
 std::string serialize_overloaded(const std::string& id, std::uint64_t queue_depth,
                                  std::uint64_t retry_after_ms);
+
+// --- warm-keys reports (docs/PERSIST.md) -----------------------------------
+
+/// One reported cache key: the profile key and its hit count on the replica.
+struct WarmKey {
+  std::string key;
+  std::uint64_t hits = 0;
+};
+
+/// {"id":...,"status":"ok","warm_keys":[{"key":...,"hits":N},...]} — the
+/// reply to a warm_keys request: the replica's hottest completed profile
+/// keys, hottest first.  Fixed key order like every other response.
+std::string serialize_warm_keys_response(const std::string& id,
+                                         std::span<const WarmKey> keys);
+
+/// Parse a warm_keys response line.  Throws ProtocolError when the line is
+/// not an ok warm_keys report (routers treat that as "peer has nothing").
+std::vector<WarmKey> parse_warm_keys_response(const std::string& line);
 
 }  // namespace pglb

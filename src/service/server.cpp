@@ -119,8 +119,28 @@ std::string PlanServer::handle_line(const std::string& line) {
     return serialize_error("", e.what());
   }
 
+  if (request.type == RequestType::kWarmKeys) {
+    // A replica's own hottest completed profile keys, for router-driven peer
+    // warming (docs/PERSIST.md).  Cheap: one cache walk, no planning.
+    const std::size_t limit =
+        request.limit ? static_cast<std::size_t>(*request.limit) : std::size_t{16};
+    std::vector<WarmKey> keys;
+    for (auto& [key, hits] : planner_.hot_keys(limit)) {
+      keys.push_back(WarmKey{std::move(key), hits});
+    }
+    return serialize_warm_keys_response(request.id, keys);
+  }
+
   if (request.type == RequestType::kMetrics) {
     const ProfileCacheStats cache = planner_.cache_stats();
+    // Occupancy as first-class gauges so fleet probes and operators read
+    // them uniformly alongside every other gauge, not only in the cache
+    // block below.
+    metrics_.registry().set_gauge("cache.entries", static_cast<double>(cache.size));
+    metrics_.registry().set_gauge("cache.evictions",
+                                  static_cast<double>(cache.evictions));
+    metrics_.registry().set_gauge("cache.bytes",
+                                  static_cast<double>(cache.approx_bytes));
     std::string extra = "\"cache\":{\"hits\":";
     append_json_number(extra, static_cast<double>(cache.hits));
     extra += ",\"misses\":";
@@ -133,6 +153,8 @@ std::string PlanServer::handle_line(const std::string& line) {
     append_json_number(extra, static_cast<double>(cache.capacity));
     extra += ",\"hit_rate\":";
     append_json_number(extra, cache.hit_rate());
+    extra += ",\"bytes\":";
+    append_json_number(extra, static_cast<double>(cache.approx_bytes));
     extra += ",\"breaker_opens\":";
     append_json_number(extra, static_cast<double>(cache.breaker_opens));
     extra += ",\"breaker_rejections\":";

@@ -344,5 +344,68 @@ TEST(ResponseRoundTrip, DegradedTagSurvivesAndEmptyStaysOffTheWire) {
   EXPECT_EQ(parsed.degraded, "thread_count");
 }
 
+// --- warm_keys (docs/PERSIST.md) -------------------------------------------
+
+TEST(RequestRoundTrip, WarmKeysRequest) {
+  PlanRequest request;
+  request.type = RequestType::kWarmKeys;
+  request.id = "w1";
+  request.limit = 8;
+  const std::string line = serialize_request(request);
+  EXPECT_NE(line.find("\"type\":\"warm_keys\""), std::string::npos);
+  const PlanRequest parsed = parse_plan_request(line);
+  EXPECT_EQ(parsed.type, RequestType::kWarmKeys);
+  EXPECT_EQ(parsed.id, "w1");
+  ASSERT_TRUE(parsed.limit.has_value());
+  EXPECT_EQ(*parsed.limit, 8u);
+  // Like metrics, warm_keys needs no machines/app/graph fields.
+  EXPECT_EQ(parse_plan_request(R"({"type":"warm_keys"})").type,
+            RequestType::kWarmKeys);
+}
+
+TEST(ParsePlanRequest, LimitOnlyValidOnWarmKeys) {
+  EXPECT_THROW(
+      parse_plan_request(
+          R"({"type":"plan","app":"pagerank","machines":["c4.2xlarge"],"alpha":2.1,"limit":4})"),
+      ProtocolError);
+  EXPECT_THROW(parse_plan_request(R"({"type":"warm_keys","limit":0})"),
+               ProtocolError);
+  EXPECT_THROW(parse_plan_request(R"({"type":"warm_keys","limit":-3})"),
+               ProtocolError);
+}
+
+TEST(WarmKeysResponse, RoundTripsAndIsByteStable) {
+  const std::vector<WarmKey> keys = {{"c4.2xlarge+m4.2xlarge|pagerank|2.1", 5},
+                                     {"c4.2xlarge|coloring|1.95", 0}};
+  const std::string line = serialize_warm_keys_response("w2", keys);
+  EXPECT_EQ(line, serialize_warm_keys_response("w2", keys));  // byte-stable
+  EXPECT_NE(line.find("\"status\":\"ok\""), std::string::npos);
+
+  const std::vector<WarmKey> parsed = parse_warm_keys_response(line);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed[0].key, keys[0].key);
+  EXPECT_EQ(parsed[0].hits, 5u);
+  EXPECT_EQ(parsed[1].key, keys[1].key);
+  EXPECT_EQ(parsed[1].hits, 0u);
+
+  // An empty report is a valid answer (a cold peer), not an error.
+  EXPECT_TRUE(parse_warm_keys_response(serialize_warm_keys_response("w3", {}))
+                  .empty());
+}
+
+TEST(WarmKeysResponse, RejectsNonReports) {
+  // Error responses, plan responses, and malformed entries all throw — the
+  // warming pass treats any of these as "peer has nothing".
+  EXPECT_THROW(parse_warm_keys_response(serialize_error("w4", "boom")),
+               ProtocolError);
+  EXPECT_THROW(parse_warm_keys_response(R"({"id":"x","status":"ok"})"),
+               ProtocolError);
+  EXPECT_THROW(
+      parse_warm_keys_response(
+          R"({"id":"x","status":"ok","warm_keys":[{"hits":3}]})"),
+      ProtocolError);
+  EXPECT_THROW(parse_warm_keys_response("not json"), ProtocolError);
+}
+
 }  // namespace
 }  // namespace pglb

@@ -26,7 +26,10 @@
 //   pglb_loadgen --requests=200 --router=3 --server=./pglb_serve --scale=0.004
 //
 // The kill/restart schedule is configurable: --kill-at=P / --restart-at=P
-// (percent of the run; outside (0,100) disables that event).  --wave=QPS
+// (percent of the run; outside (0,100) disables that event), and
+// --kill-mode=term downgrades the mid-run SIGKILL to a SIGTERM — the graceful
+// drain, under which a backend with --snapshot-dir (below) writes its warm
+// snapshot on the way out.  --wave=QPS
 // paces arrivals on a half-sine "diurnal" wave peaking at QPS instead of the
 // closed loop, and --churn gives every request a unique out-of-coverage
 // alpha (a guaranteed profile miss — sustained planning work).
@@ -40,6 +43,15 @@
 //
 //   pglb_loadgen --requests=96 --router=1 --server=./pglb_serve \
 //     --autoscale --wave=60 --churn --max-replicas=3
+//
+// Durable warm state (docs/PERSIST.md): --snapshot-dir=D hands each spawned
+// backend `--snapshot-dir=D/<tag>` so a SIGTERM'd backend snapshots its
+// profile cache and its restart restores it warm.  When the kill drill
+// restarts b0, the run prints a parseable `post-restart b0 cache:` line with
+// the hits/misses b0 accumulated SINCE the restart — the warm-restart gate
+// compares that line across a cold and a warm run.  --warm-limit=N (default
+// 0 = off, keeping existing gates byte-stable) adds the router-driven peer
+// warming pass after every autoscale scale-up or rejoin.
 
 #include <algorithm>
 #include <atomic>
@@ -57,6 +69,7 @@
 #include "fleet/router.hpp"
 #include "fleet/spawn.hpp"
 #include "fleet/tcp_backend.hpp"
+#include "fleet/warming.hpp"
 #include "obs/registry.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
@@ -129,6 +142,9 @@ struct LoadReport {
   };
   std::vector<BackendReport> backends;
   std::vector<LatencyBucket> route_buckets;
+  /// Kill drill: b0 was killed and restarted, so backends[0]'s cache stats
+  /// cover only its post-restart life (the warm-restart gate's signal).
+  bool b0_restarted = false;
   /// Autoscale mode: convergence evidence for the wave gate.
   bool autoscaled = false;
   std::uint64_t scale_ups = 0;
@@ -381,6 +397,8 @@ WireMode wire_mode_from_name(const std::string& name) {
 struct RouterRunOptions {
   std::size_t kill_at_pct = 40;     ///< SIGKILL b0 at this % of the run
   std::size_t restart_at_pct = 70;  ///< restart b0 at this % of the run
+  bool kill_term = false;           ///< SIGTERM (graceful drain) instead of SIGKILL
+  std::size_t warm_limit = 0;       ///< >0: peer-warm after autoscale spawns/rejoins
   double wave_peak_qps = 0.0;       ///< >0: half-sine arrival wave, else closed loop
   bool churn = false;               ///< unique out-of-coverage alpha per request
   bool autoscale = false;
@@ -526,6 +544,14 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
                 router->fleet().record_success(rejoin);
                 std::cerr << "loadgen: autoscale: scale-up b" << rejoin
                           << " (rejoin)\n";
+                if (run.warm_limit > 0) {
+                  WarmingOptions warm_options;
+                  warm_options.per_backend_limit = run.warm_limit;
+                  warm_options.max_prefetch = run.warm_limit;
+                  const WarmReport warm = warm_replica(
+                      router->fleet(), rejoin, warm_options, &router_metrics);
+                  autoscaler->record_warming(warm.keys_owned, warm.keys_warmed);
+                }
               } else {
                 const std::string tag = "b" + std::to_string(children.size());
                 children.push_back(spawn_serve(
@@ -537,6 +563,15 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
                 router->add_backend(tcp_backends.back(), up->weight);
                 std::cerr << "loadgen: autoscale: scale-up " << name << " ("
                           << up->spec.name << ")\n";
+                if (run.warm_limit > 0) {
+                  WarmingOptions warm_options;
+                  warm_options.per_backend_limit = run.warm_limit;
+                  warm_options.max_prefetch = run.warm_limit;
+                  const WarmReport warm =
+                      warm_replica(router->fleet(), tcp_backends.size() - 1,
+                                   warm_options, &router_metrics);
+                  autoscaler->record_warming(warm.keys_owned, warm.keys_warmed);
+                }
               }
             } catch (const std::exception& e) {
               std::cerr << "loadgen: autoscale: scale-up failed: " << e.what()
@@ -566,14 +601,17 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
           const std::size_t i = next.fetch_add(1);
           if (i >= requests) return;
           if (i == kill_at && fleet_size > 1) {
-            // Hard failure, not a drain: SIGKILL mid-connection.  The router
-            // sees BackendError, marks b0 down, and fails over.
+            // Default: hard failure, not a drain — SIGKILL mid-connection.
+            // The router sees BackendError, marks b0 down, and fails over.
+            // --kill-mode=term sends SIGTERM instead: the graceful drain,
+            // which lets a --snapshot-dir backend save its warm state.
             std::lock_guard<std::mutex> lock(fleet_mutex);
-            kill(children[0].pid, SIGKILL);
+            kill(children[0].pid, run.kill_term ? SIGTERM : SIGKILL);
             int status = 0;
             waitpid(children[0].pid, &status, 0);
             children[0].pid = -1;
-            std::cerr << "loadgen: killed backend b0 at request " << i << "\n";
+            std::cerr << "loadgen: " << (run.kill_term ? "terminated" : "killed")
+                      << " backend b0 at request " << i << "\n";
           }
           if (i == restart_at && fleet_size > 1) {
             std::lock_guard<std::mutex> lock(fleet_mutex);
@@ -584,6 +622,7 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
               // A fresh ephemeral port means the router's b0 must be
               // re-pointed before its prober can see the replica again.
               tcp_backends[0]->set_port(children[0].port);
+              report.b0_restarted = true;
               std::cerr << "loadgen: restarted backend b0 at request " << i << "\n";
             }
           }
@@ -732,6 +771,16 @@ int main(int argc, char** argv) {
     run.wire = wire_mode_from_name(cli.get_string("wire", "auto"));
     run.kill_at_pct = static_cast<std::size_t>(cli.get_int("kill-at", 40));
     run.restart_at_pct = static_cast<std::size_t>(cli.get_int("restart-at", 70));
+    const std::string kill_mode = cli.get_string("kill-mode", "kill");
+    if (kill_mode != "kill" && kill_mode != "term") {
+      std::cerr << "pglb_loadgen: --kill-mode must be kill or term\n";
+      return 2;
+    }
+    run.kill_term = kill_mode == "term";
+    run.warm_limit = static_cast<std::size_t>(cli.get_int("warm-limit", 0));
+    const std::string snapshot_dir = cli.get_string("snapshot-dir", "");
+    const auto snapshot_interval_ms =
+        static_cast<std::uint64_t>(cli.get_int("snapshot-interval-ms", 0));
     run.wave_peak_qps = cli.get_double("wave", 0.0);
     run.churn = cli.get_bool("churn", false);
     run.autoscale = cli.get_bool("autoscale", false);
@@ -778,6 +827,8 @@ int main(int argc, char** argv) {
       spawn_options.threads = threads;
       spawn_options.scale = planner_options.proxy_scale;
       spawn_options.queue = server_options.queue_capacity;
+      spawn_options.snapshot_dir = snapshot_dir;
+      spawn_options.snapshot_interval_ms = snapshot_interval_ms;
       report = run_against_router(spawn_options, requests, threads, distinct,
                                   timeout_ms, fleet_size, base_port, hedge_ms,
                                   run);
@@ -865,6 +916,19 @@ int main(int argc, char** argv) {
       }
       std::cout << "\n";
       fleet.print(std::cout);
+    }
+    if (report.b0_restarted && !report.backends.empty()) {
+      // Parseable signal for the warm-restart gate: b0's counters reset at
+      // the restart, so these hits/misses cover only its post-restart life.
+      // A warm restart (restored snapshot) hits where a cold one misses.
+      const LoadReport::BackendReport& b0 = report.backends.front();
+      const double total = b0.cache_hits + b0.cache_misses;
+      std::cout << "\npost-restart b0 cache: hits="
+                << static_cast<std::uint64_t>(b0.cache_hits)
+                << " misses=" << static_cast<std::uint64_t>(b0.cache_misses)
+                << " hit_rate="
+                << format_percent(total > 0.0 ? b0.cache_hits / total : 0.0)
+                << "\n";
     }
     if (!report.route_buckets.empty()) {
       // Full route-latency distribution (obs satellite): occupied geometric

@@ -31,6 +31,16 @@
 // replica draining, SIGTERMs it, and reaps it.  Rendezvous hashing re-homes
 // only the drained replica's keys.  The metrics response gains an
 // "autoscale" block with the live (cost, p99) Pareto frontier.
+//
+// Durable warm state (docs/PERSIST.md): --snapshot-dir=D hands every spawned
+// child `--snapshot-dir=D/<tag>` (plus --snapshot-interval-ms=N when given),
+// so a replica drained by the autoscaler snapshots its profile cache on the
+// way out and its rejoin restores it warm.  After every scale-up or rejoin
+// the controller also runs a peer-warming pass: it asks the other replicas
+// for their hottest profile keys, keeps the ones rendezvous hashing assigns
+// to the newcomer, and replays up to --warm-limit of them (hottest first) as
+// deadline-guarded plan requests against the newcomer — off the routing hot
+// path.  --warm-limit=0 disables warming.
 
 #include <algorithm>
 #include <atomic>
@@ -49,6 +59,7 @@
 #include "fleet/router.hpp"
 #include "fleet/spawn.hpp"
 #include "fleet/tcp_backend.hpp"
+#include "fleet/warming.hpp"
 #include "service/protocol.hpp"
 #include "util/cli.hpp"
 #include "util/parse.hpp"
@@ -241,6 +252,14 @@ int main(int argc, char** argv) {
     const auto autoscale_ms =
         static_cast<std::uint64_t>(cli.get_int("autoscale-ms", 200));
 
+    const std::string snapshot_dir = cli.get_string("snapshot-dir", "");
+    const auto snapshot_interval_ms =
+        static_cast<std::uint64_t>(cli.get_int("snapshot-interval-ms", 0));
+    WarmingOptions warm_options;
+    const auto warm_limit = static_cast<std::size_t>(cli.get_int("warm-limit", 16));
+    warm_options.per_backend_limit = warm_limit;
+    warm_options.max_prefetch = warm_limit;
+
     RouterOptions options;
     options.default_deadline_ms =
         static_cast<std::uint64_t>(cli.get_int("default-timeout-ms", 30'000));
@@ -270,6 +289,8 @@ int main(int argc, char** argv) {
     spawn_options.scale = scale;
     spawn_options.queue = queue;
     spawn_options.shed = shed;
+    spawn_options.snapshot_dir = snapshot_dir;
+    spawn_options.snapshot_interval_ms = snapshot_interval_ms;
     if (spawn > 0 && base_port == 0) {
       spawn_options.port_dir = make_port_dir();
       // The port-dir path is unique per run: liveness checks (smoke tests)
@@ -391,6 +412,14 @@ int main(int argc, char** argv) {
                 router->fleet().record_success(rejoin);
                 std::cerr << "pglb_router: autoscale: scale-up b" << rejoin
                           << " (rejoin) on port " << port << "\n";
+                if (warm_limit > 0) {
+                  const WarmReport warm =
+                      warm_replica(router->fleet(), rejoin, warm_options, &metrics);
+                  autoscaler->record_warming(warm.keys_owned, warm.keys_warmed);
+                  std::cerr << "pglb_router: warming: b" << rejoin << " owned "
+                            << warm.keys_owned << "/" << warm.keys_seen
+                            << " key(s), warmed " << warm.keys_warmed << "\n";
+                }
               } else {
                 const std::string tag = "b" + std::to_string(children.size());
                 const auto fixed = static_cast<std::uint16_t>(
@@ -405,6 +434,15 @@ int main(int argc, char** argv) {
                 replica_specs.push_back(up->spec.name);
                 std::cerr << "pglb_router: autoscale: scale-up " << name << " ("
                           << up->spec.name << ") on port " << port << "\n";
+                if (warm_limit > 0) {
+                  const std::size_t index = tcp_backends.size() - 1;
+                  const WarmReport warm =
+                      warm_replica(router->fleet(), index, warm_options, &metrics);
+                  autoscaler->record_warming(warm.keys_owned, warm.keys_warmed);
+                  std::cerr << "pglb_router: warming: " << name << " owned "
+                            << warm.keys_owned << "/" << warm.keys_seen
+                            << " key(s), warmed " << warm.keys_warmed << "\n";
+                }
               }
             } catch (const std::exception& e) {
               std::cerr << "pglb_router: autoscale: scale-up failed: "

@@ -28,14 +28,27 @@
 //   --default-timeout-ms=N  deadline for requests without their own timeout_ms
 //   --shed                  shed with "overloaded" responses instead of
 //                           blocking when the queue is at capacity
+//
+// Durable warm state (docs/PERSIST.md):
+//   --snapshot-dir=DIR          lazily restore DIR/warm.snap on boot (a
+//                               corrupt or missing snapshot is a logged cold
+//                               start, never a crash) and save the profile
+//                               cache + time database there on the SIGTERM
+//                               drain / EOF path
+//   --snapshot-interval-ms=N    additionally save every N ms on a dedicated
+//                               timer thread, off the worker pool
 
 #include <chrono>
+#include <condition_variable>
 #include <csignal>
+#include <cstdio>
 #include <iostream>
+#include <mutex>
 #include <thread>
 
 #include "obs/chrome_trace.hpp"
 #include "obs/trace.hpp"
+#include "persist/warm_state.hpp"
 #include "service/server.hpp"
 #include "util/cli.hpp"
 #include "util/portfile.hpp"
@@ -52,6 +65,81 @@
 using namespace pglb;
 
 namespace {
+
+/// Periodic warm-state saver: a dedicated timer thread (never one of the
+/// request workers) that snapshots every `interval_ms` until stopped.
+class PeriodicSnapshotter {
+ public:
+  PeriodicSnapshotter(Planner& planner, ServiceMetrics& metrics, std::string dir,
+                      std::uint64_t interval_ms)
+      : planner_(planner), metrics_(metrics), dir_(std::move(dir)) {
+    if (dir_.empty() || interval_ms == 0) return;
+    thread_ = std::thread([this, interval_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                                [this] { return stop_; })) {
+        lock.unlock();
+        const auto saved =
+            persist::save_warm_snapshot(planner_, dir_, &metrics_.registry());
+        if (!saved.ok) {
+          std::cerr << "pglb_serve: periodic snapshot failed: " << saved.error
+                    << "\n";
+        }
+        lock.lock();
+      }
+    });
+  }
+
+  ~PeriodicSnapshotter() { stop(); }
+
+  void stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    stop_cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  Planner& planner_;
+  ServiceMetrics& metrics_;
+  std::string dir_;
+  std::mutex mutex_;
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+/// Boot-time restore: missing snapshot = quiet cold start, corrupt snapshot
+/// = logged cold start with persist.snapshot_rejected bumped.
+void restore_warm_state(Planner& planner, ServiceMetrics& metrics,
+                        const std::string& dir) {
+  if (dir.empty()) return;
+  const auto loaded = persist::load_warm_snapshot(planner, dir, &metrics.registry());
+  if (loaded.ok) {
+    std::cerr << "pglb_serve: restored snapshot generation " << loaded.generation
+              << " (" << loaded.cache_entries << " cache entries, "
+              << loaded.time_entries << " time entries, " << loaded.bytes
+              << " bytes)\n";
+  } else if (loaded.rejected) {
+    std::cerr << "pglb_serve: snapshot rejected (" << loaded.error
+              << "); cold start\n";
+  }
+}
+
+void save_warm_state(Planner& planner, ServiceMetrics& metrics,
+                     const std::string& dir) {
+  if (dir.empty()) return;
+  const auto saved = persist::save_warm_snapshot(planner, dir, &metrics.registry());
+  if (saved.ok) {
+    std::cerr << "pglb_serve: snapshot generation " << saved.generation
+              << " written (" << saved.cache_entries << " cache entries, "
+              << saved.bytes << " bytes)\n";
+  } else {
+    std::cerr << "pglb_serve: snapshot save failed: " << saved.error << "\n";
+  }
+}
 
 #ifdef __unix__
 /// Graceful-shutdown state: the handler flips the flag and closes the
@@ -169,6 +257,9 @@ int serve_socket(PlanServer& server, int port, const std::string& port_file) {
   // every accepted request gets its response before the process exits.
   std::cerr << "pglb_serve: stop signal received, draining\n";
   server.stop();
+  // Clean shutdown: retract the published port so a spawner polling a reused
+  // port dir can never adopt this (now dead) port for a future replica.
+  if (!port_file.empty()) std::remove(port_file.c_str());
   return 0;
 }
 #endif
@@ -206,6 +297,9 @@ int main(int argc, char** argv) {
     const int port = static_cast<int>(cli.get_int("listen", 0));
     const std::string port_file = cli.get_string("port-file", "");
     const std::string trace_out = cli.get_string("trace-out", "");
+    const std::string snapshot_dir = cli.get_string("snapshot-dir", "");
+    const std::uint64_t snapshot_interval_ms =
+        static_cast<std::uint64_t>(cli.get_int("snapshot-interval-ms", 0));
     if (!trace_out.empty()) set_tracing_enabled(true);
 
     const auto unused = cli.unused_keys();
@@ -216,11 +310,21 @@ int main(int argc, char** argv) {
 
     ServiceMetrics metrics;
     Planner planner(planner_options, &metrics);
+    // Lazy warm-state restore BEFORE the first request can arrive: restored
+    // entries feed the same deterministic arithmetic as fresh profiles, so
+    // plans after a restart are byte-identical to the pre-restart replica's.
+    restore_warm_state(planner, metrics, snapshot_dir);
     PlanServer server(planner, metrics, server_options);
 
     if (socket_mode) {
 #ifdef __unix__
-      const int status = serve_socket(server, port, port_file);
+      int status = 0;
+      {
+        PeriodicSnapshotter snapshotter(planner, metrics, snapshot_dir,
+                                        snapshot_interval_ms);
+        status = serve_socket(server, port, port_file);
+      }  // timer thread joined before the final (authoritative) save below
+      if (status == 0) save_warm_state(planner, metrics, snapshot_dir);
       // Graceful-shutdown path (satellite: drain, then flush the trace).
       if (!trace_out.empty()) {
         write_chrome_trace(trace_out);
@@ -233,7 +337,13 @@ int main(int argc, char** argv) {
 #endif
     }
 
-    server.serve_stream(std::cin, std::cout);
+    {
+      PeriodicSnapshotter snapshotter(planner, metrics, snapshot_dir,
+                                      snapshot_interval_ms);
+      server.serve_stream(std::cin, std::cout);
+      server.stop();  // drain before the final save sees the cache
+    }
+    save_warm_state(planner, metrics, snapshot_dir);
     if (dump_metrics) {
       const ProfileCacheStats cache = planner.cache_stats();
       std::string extra = "\"cache\":{\"hits\":";

@@ -1,0 +1,107 @@
+# Warm-restart acceptance gate (docs/PERSIST.md): the same loadgen kill drill
+# run twice — once cold (no snapshot dir) and once warm (--snapshot-dir, with
+# --kill-mode=term so the doomed backend drains and writes its snapshot on the
+# way out).  Both runs SIGTERM b0 mid-run and restart it; loadgen resets b0's
+# counters at the restart, so its final `post-restart b0 cache:` line covers
+# only the restarted life.  A restored snapshot answers from the warm cache
+# where the cold restart recomputes, so the warm post-restart hit rate must be
+# at least the cold baseline.  Both loadgen invocations exit non-zero on ANY
+# non-typed failure, so this gate also re-asserts "zero failed requests".
+#
+# A third step corrupts the saved warm.snap in place and boots pglb_serve over
+# it: the corrupt snapshot must be a *logged cold start* — exit 0, plans still
+# served, and persist.snapshot_rejected visible in the metrics exposition.
+# Driven by ctest (see CMakeLists.txt in this directory).
+
+function(run_drill out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "drill run failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}\n${err}" PARENT_SCOPE)
+endfunction()
+
+# Extract the parseable post-restart counters loadgen prints after a drill.
+function(parse_post_restart text label out_hits out_misses)
+  if(NOT text MATCHES "post-restart b0 cache: hits=([0-9]+) misses=([0-9]+)")
+    message(FATAL_ERROR "${label} run printed no post-restart cache line:\n${text}")
+  endif()
+  set(${out_hits} ${CMAKE_MATCH_1} PARENT_SCOPE)
+  set(${out_misses} ${CMAKE_MATCH_2} PARENT_SCOPE)
+endfunction()
+
+set(snapdir ${WORKDIR}/warm_drill_snaps)
+file(REMOVE_RECURSE ${snapdir})
+
+set(drill_args --requests=120 --threads=4 --distinct=6 --scale=0.002
+    --router=3 --kill-mode=term --server=${PGLB_SERVE})
+
+run_drill(cold_out ${PGLB_LOADGEN} ${drill_args})
+run_drill(warm_out ${PGLB_LOADGEN} ${drill_args} --snapshot-dir=${snapdir})
+
+parse_post_restart("${cold_out}" "cold" cold_hits cold_misses)
+parse_post_restart("${warm_out}" "warm" warm_hits warm_misses)
+
+# The warm run's restart must actually have restored a snapshot, or the
+# comparison below proves nothing.
+if(NOT warm_out MATCHES "restored snapshot generation")
+  message(FATAL_ERROR "warm run never restored a snapshot:\n${warm_out}")
+endif()
+
+math(EXPR cold_total "${cold_hits} + ${cold_misses}")
+math(EXPR warm_total "${warm_hits} + ${warm_misses}")
+if(cold_total EQUAL 0 OR warm_total EQUAL 0)
+  message(FATAL_ERROR "post-restart b0 served no requests "
+          "(cold ${cold_hits}/${cold_misses}, warm ${warm_hits}/${warm_misses})")
+endif()
+
+# hit_rate_warm >= hit_rate_cold, cross-multiplied to stay in integers.
+math(EXPR lhs "${warm_hits} * ${cold_total}")
+math(EXPR rhs "${cold_hits} * ${warm_total}")
+if(lhs LESS rhs)
+  message(FATAL_ERROR "warm restart lost cache warmth: "
+          "cold hits=${cold_hits} misses=${cold_misses}, "
+          "warm hits=${warm_hits} misses=${warm_misses}")
+endif()
+message(STATUS "warm restart gate: cold ${cold_hits}/${cold_total} hits, "
+        "warm ${warm_hits}/${warm_total} hits")
+
+# Corrupt-snapshot injection: stomp one of the saved snapshots (7 bytes of
+# garbage — shorter than the file header, so the reader rejects it) and boot
+# a solo pglb_serve over that directory.  Must be a clean cold start: exit 0,
+# the plan answered, and the rejection counted in the metrics exposition.
+file(GLOB_RECURSE snaps ${snapdir}/*/warm.snap)
+if(NOT snaps)
+  message(FATAL_ERROR "warm run left no warm.snap under ${snapdir}")
+endif()
+list(GET snaps 0 victim)
+get_filename_component(victim_dir ${victim} DIRECTORY)
+file(WRITE ${victim} "CORRUPT")
+
+set(requests ${WORKDIR}/warm_drill_requests.jsonl)
+set(responses ${WORKDIR}/warm_drill_responses.jsonl)
+file(WRITE ${requests}
+"{\"id\":\"c1\",\"app\":\"pagerank\",\"machines\":[\"m4.2xlarge\",\"c4.2xlarge\"],\"vertices\":1000000,\"edges\":10000000}
+{\"type\":\"metrics\"}
+")
+execute_process(COMMAND ${PGLB_SERVE} --threads=2 --scale=0.002
+                --snapshot-dir=${victim_dir}
+                INPUT_FILE ${requests} OUTPUT_FILE ${responses}
+                RESULT_VARIABLE code ERROR_VARIABLE err)
+if(NOT code EQUAL 0)
+  message(FATAL_ERROR "pglb_serve crashed on a corrupt snapshot (${code}):\n${err}")
+endif()
+if(NOT err MATCHES "snapshot rejected")
+  message(FATAL_ERROR "corrupt snapshot was not rejected:\n${err}")
+endif()
+file(READ ${responses} response_text)
+if(NOT response_text MATCHES "\"id\":\"c1\",\"status\":\"ok\"")
+  message(FATAL_ERROR "cold start after corrupt snapshot failed to plan:\n${response_text}")
+endif()
+if(NOT response_text MATCHES "\"persist.snapshot_rejected\":[1-9]")
+  message(FATAL_ERROR "metrics exposition is missing persist.snapshot_rejected:\n${response_text}")
+endif()
+
+file(REMOVE ${requests} ${responses})
+file(REMOVE_RECURSE ${snapdir})
