@@ -1,5 +1,6 @@
 #include "fleet/registry.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "util/json.hpp"
@@ -52,7 +53,15 @@ std::shared_ptr<Backend> FleetRegistry::backend(std::size_t index) const {
 
 FleetMembership FleetRegistry::membership() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return {names_, weights_};
+  FleetMembership snapshot{names_, weights_};
+  // Straggler weight decay applies at snapshot time, so a recovery restores
+  // the configured weight with no stored state to undo.
+  for (std::size_t i = 0; i < health_.size(); ++i) {
+    if (health_[i].degraded) {
+      snapshot.weights[i] *= options_.straggler_weight_factor;
+    }
+  }
+  return snapshot;
 }
 
 std::string FleetRegistry::name(std::size_t index) const {
@@ -103,6 +112,41 @@ void FleetRegistry::record_failure(std::size_t index) {
   h.not_before_ms = options_.clock_ms() + backoff_ms(h.consecutive_failures);
 }
 
+bool FleetRegistry::record_latency(std::size_t index, double elapsed_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Health& h = health_[index];
+  h.ewma_ms = h.latency_samples == 0
+                  ? elapsed_ms
+                  : h.ewma_ms + options_.latency_ewma_alpha * (elapsed_ms - h.ewma_ms);
+  ++h.latency_samples;
+  if (h.latency_samples < options_.straggler_min_samples) return false;
+
+  // Judge against the median of the PEERS' EWMAs (self excluded, so one slow
+  // backend cannot drag the yardstick toward itself), each peer mature.
+  std::vector<double> peers;
+  peers.reserve(health_.size());
+  for (std::size_t i = 0; i < health_.size(); ++i) {
+    if (i == index) continue;
+    if (health_[i].latency_samples >= options_.straggler_min_samples) {
+      peers.push_back(health_[i].ewma_ms);
+    }
+  }
+  if (peers.empty()) return false;
+  const auto mid = peers.begin() + static_cast<std::ptrdiff_t>(peers.size() / 2);
+  std::nth_element(peers.begin(), mid, peers.end());
+  const double median = *mid;
+  if (median <= 0.0) return false;
+
+  if (!h.degraded && h.ewma_ms > options_.straggler_factor * median) {
+    h.degraded = true;
+    return true;
+  }
+  if (h.degraded && h.ewma_ms < options_.straggler_recovery_factor * median) {
+    h.degraded = false;
+  }
+  return false;
+}
+
 void FleetRegistry::defer(std::size_t index, std::uint64_t retry_after_ms,
                           std::uint64_t queue_depth) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -140,7 +184,8 @@ BackendStatus FleetRegistry::status(std::size_t index) const {
   const Health& h = health_[index];
   return {names_[index],          weights_[index], h.state,
           h.consecutive_failures, h.not_before_ms, h.successes,
-          h.failures,             h.inflight,      h.queue_depth};
+          h.failures,             h.inflight,      h.queue_depth,
+          h.degraded,             h.ewma_ms,       h.latency_samples};
 }
 
 std::string FleetRegistry::status_json() const {
@@ -165,6 +210,10 @@ std::string FleetRegistry::status_json() const {
     append_json_number(out, static_cast<double>(h.inflight));
     out += ",\"queue_depth\":";
     append_json_number(out, static_cast<double>(h.queue_depth));
+    out += ",\"degraded\":";
+    out += h.degraded ? "true" : "false";
+    out += ",\"ewma_ms\":";
+    append_json_number(out, h.ewma_ms);
     out.push_back('}');
   }
   out.push_back(']');

@@ -51,6 +51,27 @@ struct FleetOptions {
   std::uint64_t max_backoff_ms = 5'000;
   /// Injectable monotonic clock (milliseconds).  Defaults to steady_clock.
   std::function<std::uint64_t()> clock_ms;
+
+  // --- straggler detection (docs/CHAOS.md) ---------------------------------
+  // A chronically slow backend on a degraded link answers every request and
+  // so never goes down — but routing to it at full weight drags tail latency.
+  // record_latency() keeps a per-backend EWMA; a backend whose EWMA exceeds
+  // straggler_factor × the median of its peers' EWMAs is marked *degraded*:
+  // still up, still probed, but its rendezvous weight is multiplied by
+  // straggler_weight_factor so it wins proportionally fewer keys.  Recovery
+  // (EWMA back under straggler_recovery_factor × median) restores the weight
+  // — the gap between the two factors is the hysteresis that stops flapping.
+
+  /// Degrade threshold: EWMA > factor × peer median.
+  double straggler_factor = 4.0;
+  /// Recover threshold: EWMA < factor × peer median.  Must be < straggler_factor.
+  double straggler_recovery_factor = 2.0;
+  /// Samples a backend (and each peer consulted) needs before judgments.
+  std::uint64_t straggler_min_samples = 8;
+  /// Rendezvous weight multiplier while degraded.
+  double straggler_weight_factor = 0.25;
+  /// EWMA smoothing: new = old + alpha × (sample − old).
+  double latency_ewma_alpha = 0.2;
 };
 
 /// Point-in-time health of one backend, as reported by status_json().
@@ -64,6 +85,9 @@ struct BackendStatus {
   std::uint64_t failures = 0;       ///< transport failures observed
   std::uint64_t inflight = 0;       ///< router attempts launched, not harvested
   std::uint64_t queue_depth = 0;    ///< last depth a shed response reported
+  bool degraded = false;            ///< straggler: weight-decayed, still up
+  double ewma_ms = 0.0;             ///< smoothed end-to-end latency
+  std::uint64_t latency_samples = 0;
 };
 
 /// Point-in-time copy of the backend list for one routing decision — ranking
@@ -105,6 +129,11 @@ class FleetRegistry {
   /// exponential backoff for the (incremented) consecutive-failure count.
   void record_failure(std::size_t index);
 
+  /// One observed end-to-end latency for a harvested response from `index`.
+  /// Feeds the straggler EWMA (see FleetOptions); returns true exactly when
+  /// this sample flipped the backend to degraded (the router counts those).
+  bool record_latency(std::size_t index, double elapsed_ms);
+
   /// The backend shed with "overloaded": park it (no state change) until
   /// now + retry_after_ms, and remember the queue depth it reported (the
   /// autoscaler's shed-pressure signal; cleared by the next success).
@@ -138,6 +167,9 @@ class FleetRegistry {
     std::uint64_t failures = 0;
     std::uint64_t inflight = 0;
     std::uint64_t queue_depth = 0;
+    bool degraded = false;
+    double ewma_ms = 0.0;
+    std::uint64_t latency_samples = 0;
   };
 
   std::uint64_t backoff_ms(std::uint64_t consecutive_failures) const;

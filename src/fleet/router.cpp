@@ -105,6 +105,7 @@ std::string Router::route(const std::string& line) {
   struct InFlight {
     std::size_t index;
     bool is_hedge;
+    Clock::time_point launched;
     std::future<std::string> future;
   };
   std::vector<InFlight> inflight;
@@ -142,7 +143,7 @@ std::string Router::route(const std::string& line) {
       count("fleet." + fleet.names[index] + ".routed");
       set_inflight_gauge(fleet.names[index], fleet_.begin_attempt(index));
       inflight.push_back(
-          {index, is_hedge, fleet_.backend(index)->submit(line)});
+          {index, is_hedge, Clock::now(), fleet_.backend(index)->submit(line)});
       return true;
     }
     return false;
@@ -183,6 +184,16 @@ std::string Router::route(const std::string& line) {
           continue;
         }
         fleet_.record_success(attempt.index);
+        // Straggler bookkeeping (docs/CHAOS.md): every harvested answer is a
+        // latency sample; a backend whose smoothed latency runs far past its
+        // peers gets weight-decayed rather than waiting for it to go down.
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      attempt.launched)
+                .count();
+        if (fleet_.record_latency(attempt.index, elapsed_ms)) {
+          count("router.stragglers");
+        }
         set_queue_depth_gauge(fleet.names[attempt.index], 0);
         if (attempt.is_hedge) count("router.hedge_wins");
         if (tracing_enabled()) {

@@ -7,12 +7,15 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "service/wire.hpp"
+#include "util/rng.hpp"
 
 namespace pglb {
 
@@ -22,6 +25,22 @@ namespace {
 /// enough for the kernel to drain a buffer, short enough to be invisible.
 void transient_pause() {
   std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+std::uint64_t now_steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Deterministic per-backend jitter seed: the name hashed through splitmix64.
+std::uint64_t jitter_seed(const std::string& name) {
+  std::uint64_t seed = 0xC3A5C85C97CB3127ull;
+  for (const char c : name) {
+    seed = splitmix64(seed ^ static_cast<unsigned char>(c));
+  }
+  return seed;
 }
 
 constexpr std::size_t kMaxIov = 64;
@@ -79,16 +98,28 @@ bool send_gathered(int fd, const std::vector<std::string>& batch,
 }  // namespace
 
 TcpBackend::TcpBackend(std::string name, std::uint16_t port, std::string host,
-                       WireMode mode)
-    : name_(std::move(name)), host_(std::move(host)), port_(port), mode_(mode) {}
+                       WireMode mode, Registry* metrics)
+    : name_(std::move(name)),
+      host_(std::move(host)),
+      port_(port),
+      mode_(mode),
+      metrics_(metrics),
+      backoff_rng_(jitter_seed(name_)) {}
 
-TcpBackend::TcpBackend(std::string name, int connected_fd, WireMode mode)
+TcpBackend::TcpBackend(std::string name, int connected_fd, WireMode mode,
+                       Registry* metrics)
     : name_(std::move(name)),
       host_("adopted"),
       port_(0),
       mode_(mode),
+      metrics_(metrics),
       adopted_(true),
-      adopted_fd_(connected_fd) {}
+      adopted_fd_(connected_fd),
+      backoff_rng_(jitter_seed(name_)) {}
+
+Registry& TcpBackend::metrics_registry() const {
+  return metrics_ != nullptr ? *metrics_ : global_registry();
+}
 
 TcpBackend::~TcpBackend() {
   std::unique_lock<std::mutex> lock(mutex_);
@@ -101,6 +132,32 @@ TcpBackend::~TcpBackend() {
 }
 
 bool TcpBackend::connect_locked(std::string* error) {
+  if (dial_locked(error)) {
+    // Success resets the backoff ladder; the next failure starts small again.
+    connect_failure_streak_ = 0;
+    next_dial_at_ms_ = 0;
+    metrics_registry().set_gauge("wire.backoff_ms", 0.0);
+    metrics_registry().count("wire.reconnects");
+    return true;
+  }
+  ++stats_.connect_failures;
+  metrics_registry().count("wire.connect_failures");
+  ++connect_failure_streak_;
+  const std::uint64_t shift =
+      std::min<std::uint64_t>(connect_failure_streak_ - 1, 20);
+  const std::uint64_t window = std::min<std::uint64_t>(
+      reconnect_policy_.max_ms, reconnect_policy_.base_ms << shift);
+  // Uniform in [window/2, window]: enough spread that backends dialing the
+  // same recovered replica never thunder in phase, deterministic per name.
+  backoff_rng_ = splitmix64(backoff_rng_);
+  const std::uint64_t wait =
+      window == 0 ? 0 : window / 2 + backoff_rng_ % (window / 2 + 1);
+  next_dial_at_ms_ = now_steady_ms() + wait;
+  metrics_registry().set_gauge("wire.backoff_ms", static_cast<double>(wait));
+  return false;
+}
+
+bool TcpBackend::dial_locked(std::string* error) {
   int fd = -1;
   if (adopted_) {
     if (adopted_fd_ < 0) {
@@ -156,9 +213,12 @@ bool TcpBackend::connect_locked(std::string* error) {
 
 bool TcpBackend::negotiate(int fd, std::string* preamble, std::string* error) {
   binary_ = false;
+  crc_ = false;
   if (mode_ == WireMode::kLineJson) return true;
 
-  std::string hello = wire::hello_line();
+  // Always ask for CRC trailers alongside frames; a server that predates
+  // them ignores the extra key and its plain ack declines cleanly.
+  std::string hello = wire::hello_line(/*want_crc=*/true);
   hello.push_back('\n');
   std::size_t sent = 0;
   while (sent < hello.size()) {
@@ -214,6 +274,7 @@ bool TcpBackend::negotiate(int fd, std::string* preamble, std::string* error) {
 
   if (wire::is_hello_ack(line)) {
     binary_ = true;
+    crc_ = wire::ack_grants_crc(line);
     return true;
   }
   if (mode_ == WireMode::kBinary) {
@@ -248,6 +309,7 @@ void TcpBackend::teardown_locked(const std::string& what) {
   }
   ++epoch_;  // stale reader/writer loops notice and exit
   binary_ = false;
+  crc_ = false;
   sendq_.clear();
   fail_pending_locked(what);
   sendq_cv_.notify_all();
@@ -290,6 +352,20 @@ void TcpBackend::reader_loop(int fd, std::uint64_t epoch, bool binary,
           failure = "frame error: " + error;
           desynced = true;
           break;
+        }
+        if (status == wire::DecodeStatus::kCorrupt) {
+          // Damaged payload behind an intact length prefix: fail exactly
+          // this request (the router turns it into failover) and keep the
+          // connection — the stream never desynchronized.
+          metrics_registry().count("wire.crc_rejected");
+          std::lock_guard<std::mutex> lock(mutex_);
+          if (epoch_ != epoch) return;
+          const auto it = pending_by_id_.find(frame.id);
+          if (it == pending_by_id_.end()) continue;
+          it->second.set_exception(std::make_exception_ptr(
+              BackendError(name_, "response frame failed crc check")));
+          pending_by_id_.erase(it);
+          continue;
         }
         std::lock_guard<std::mutex> lock(mutex_);
         if (epoch_ != epoch) return;  // torn down; a newer connection owns state
@@ -362,6 +438,17 @@ std::future<std::string> TcpBackend::submit(std::string line) {
     // dialing a new one.
     reap_locked(lock);
     if (fd_ < 0) {  // nobody else reconnected while reap dropped the lock
+      // Inside a backoff window, fail fast instead of re-dialing: this is
+      // what keeps a dead (or just-recovering) replica from being hammered
+      // by every submit.  The router reads the BackendError as "down".
+      const std::uint64_t now = now_steady_ms();
+      if (!adopted_ && next_dial_at_ms_ > now) {
+        ++stats_.backoff_skips;
+        promise.set_exception(std::make_exception_ptr(BackendError(
+            name_, "reconnect backoff: next dial in " +
+                       std::to_string(next_dial_at_ms_ - now) + " ms")));
+        return future;
+      }
       std::string error;
       if (!connect_locked(&error)) {
         promise.set_exception(
@@ -375,7 +462,7 @@ std::future<std::string> TcpBackend::submit(std::string line) {
   if (binary_) {
     const std::uint64_t id = next_id_++;
     std::string frame;
-    wire::append_frame(frame, wire::FrameType::kRequest, id, line);
+    wire::append_frame(frame, wire::FrameType::kRequest, id, line, crc_);
     pending_by_id_.emplace(id, std::move(promise));
     sendq_.push_back(std::move(frame));
   } else {
@@ -392,9 +479,20 @@ std::future<std::string> TcpBackend::submit(std::string line) {
 void TcpBackend::set_port(std::uint16_t port) {
   std::lock_guard<std::mutex> lock(mutex_);
   port_ = port;
+  // A respawned replica is a fresh endpoint: forget the old one's backoff so
+  // the first submit dials immediately.
+  connect_failure_streak_ = 0;
+  next_dial_at_ms_ = 0;
   if (fd_ >= 0) {
     teardown_locked("endpoint moved to port " + std::to_string(port));
   }
+}
+
+void TcpBackend::set_reconnect_policy(ReconnectPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reconnect_policy_ = policy;
+  connect_failure_streak_ = 0;
+  next_dial_at_ms_ = 0;
 }
 
 std::uint16_t TcpBackend::port() const {
@@ -406,6 +504,7 @@ TcpBackend::Stats TcpBackend::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Stats snapshot = stats_;
   snapshot.binary = fd_ >= 0 && binary_;
+  snapshot.crc = fd_ >= 0 && crc_;
   return snapshot;
 }
 

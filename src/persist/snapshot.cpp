@@ -1,36 +1,16 @@
 #include "persist/snapshot.hpp"
 
-#include <array>
 #include <bit>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "util/crc32.hpp"
+
 namespace pglb::persist {
 
-namespace {
-
-std::array<std::uint32_t, 256> make_crc_table() {
-  std::array<std::uint32_t, 256> table{};
-  for (std::uint32_t i = 0; i < 256; ++i) {
-    std::uint32_t crc = i;
-    for (int bit = 0; bit < 8; ++bit) {
-      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
-    }
-    table[i] = crc;
-  }
-  return table;
-}
-
-}  // namespace
-
 std::uint32_t crc32(std::string_view bytes) noexcept {
-  static const std::array<std::uint32_t, 256> table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (const char c : bytes) {
-    crc = (crc >> 8) ^ table[(crc ^ static_cast<std::uint8_t>(c)) & 0xFFu];
-  }
-  return crc ^ 0xFFFFFFFFu;
+  return pglb::crc32_ieee(bytes);
 }
 
 void append_u32(std::string& out, std::uint32_t value) {

@@ -60,7 +60,9 @@ class SnapshotError : public std::runtime_error {
   explicit SnapshotError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// CRC-32 (IEEE 802.3, reflected) over `bytes`.
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`.  Thin alias for the shared
+/// pglb::crc32_ieee (util/crc32.hpp), kept so snapshot call sites read in
+/// container terms.
 std::uint32_t crc32(std::string_view bytes) noexcept;
 
 // --- little-endian payload primitives --------------------------------------

@@ -5,7 +5,9 @@
 #include <utility>
 
 #include "obs/trace.hpp"
+#include "service/fdio.hpp"
 #include "service/wire.hpp"
+#include "util/crc32.hpp"
 #include "util/fault.hpp"
 
 namespace pglb {
@@ -198,13 +200,35 @@ std::size_t PlanServer::serve_stream(std::istream& in, std::ostream& out) {
     if (first.empty()) continue;
     if (options_.allow_wire_upgrade && wire::is_hello_line(first)) {
       metrics_.count("wire.binary_upgrades");
-      out << wire::hello_ack_line() << '\n' << std::flush;
-      return serve_frames(in, out);
+      // CRC frames only when the client asked; the ack is the contract for
+      // BOTH directions of this connection (docs/WIRE.md).
+      const bool crc = wire::hello_wants_crc(first);
+      if (crc) metrics_.count("wire.crc_upgrades");
+      out << wire::hello_ack_line(crc) << '\n' << std::flush;
+      return serve_frames(in, out, crc);
     }
     return serve_lines(std::move(first), in, out);
   }
   return 0;  // stream was empty (or blank lines only)
 }
+
+#ifdef __unix__
+std::size_t PlanServer::serve_fd(int fd, std::ostream& out) {
+  FdInStreambuf in_buf(fd, options_.handshake_timeout_ms,
+                       options_.idle_timeout_ms);
+  std::istream in(&in_buf);
+  const std::size_t served = serve_stream(in, out);
+  if (in_buf.handshake_timed_out()) {
+    metrics_.count("wire.handshake_timeouts");
+    global_registry().count("wire.handshake_timeouts");
+  }
+  if (in_buf.idle_timed_out()) {
+    metrics_.count("wire.idle_reaped");
+    global_registry().count("wire.idle_reaped");
+  }
+  return served;
+}
+#endif
 
 std::size_t PlanServer::serve_lines(std::string first_line, std::istream& in,
                                     std::ostream& out) {
@@ -250,7 +274,8 @@ std::size_t PlanServer::serve_lines(std::string first_line, std::istream& in,
   return served;
 }
 
-std::size_t PlanServer::serve_frames(std::istream& in, std::ostream& out) {
+std::size_t PlanServer::serve_frames(std::istream& in, std::ostream& out,
+                                     bool crc) {
   // Responses leave in completion order, tagged with the request id.  The
   // writer thread swaps the whole outbox per wakeup and encodes it into one
   // buffer for a single flushed write — small responses that finish close
@@ -275,7 +300,7 @@ std::size_t PlanServer::serve_frames(std::istream& in, std::ostream& out) {
       }
       batch.clear();
       for (const auto& [id, payload] : ready) {
-        wire::append_frame(batch, wire::FrameType::kResponse, id, payload);
+        wire::append_frame(batch, wire::FrameType::kResponse, id, payload, crc);
       }
       out.write(batch.data(), static_cast<std::streamsize>(batch.size()));
       out.flush();
@@ -314,8 +339,42 @@ std::size_t PlanServer::serve_frames(std::istream& in, std::ostream& out) {
       }
       return value;
     }();
+    // Honor the CRC flag per frame (not only when negotiated): the length
+    // prefix keeps the stream in sync either way, so a damaged payload is
+    // rejected with a typed error on THIS id and the connection lives on.
+    if ((static_cast<std::uint8_t>(header[5]) & wire::kFlagCrc) != 0) {
+      char trailer[wire::kCrcTrailerSize];
+      if (!in.read(trailer, static_cast<std::streamsize>(sizeof trailer))) {
+        break;  // torn mid-trailer: peer vanished
+      }
+      std::uint32_t stated = 0;
+      for (int i = 3; i >= 0; --i) {
+        stated = (stated << 8) | static_cast<std::uint8_t>(trailer[i]);
+      }
+      if (stated != crc32_ieee(payload)) {
+        metrics_.count("wire.crc_rejected");
+        global_registry().count("wire.crc_rejected");
+        std::lock_guard<std::mutex> lock(mutex);
+        outbox.emplace_back(id,
+                            serialize_error("", "frame payload failed crc check"));
+        cv.notify_all();
+        ++served;
+        continue;
+      }
+    }
     {
       std::lock_guard<std::mutex> lock(mutex);
+      if (options_.max_inflight_frames > 0 &&
+          inflight >= options_.max_inflight_frames) {
+        // Typed pushback, same shape as queue shedding: the peer learns the
+        // depth and a retry hint instead of silently waiting in line.
+        metrics_.count("wire.inflight_shed");
+        global_registry().count("wire.inflight_shed");
+        outbox.emplace_back(id, shed_response(payload));
+        cv.notify_all();
+        ++served;
+        continue;
+      }
       ++inflight;
     }
     // Note: notified under the lock so the writer cannot observe "drained and

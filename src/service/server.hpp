@@ -103,6 +103,20 @@ struct ServerOptions {
   /// parse-error response, exactly like a pre-wire server — which is the
   /// signal a kAuto client reads as "fall back to line-JSON" (docs/WIRE.md).
   bool allow_wire_upgrade = true;
+  /// Slow-loris defense for serve_fd (docs/CHAOS.md): a connection whose
+  /// first byte does not arrive within this deadline is closed and counted
+  /// as wire.handshake_timeouts.  0 = wait forever (the istream overloads of
+  /// serve_stream always wait forever; deadlines need the fd).
+  std::uint64_t handshake_timeout_ms = 0;
+  /// Idle reaper for serve_fd: an established connection that goes this long
+  /// without sending a byte is closed and counted as wire.idle_reaped.
+  /// 0 = never reap.
+  std::uint64_t idle_timeout_ms = 0;
+  /// Per-connection cap on frames in flight in serve_frames.  A peer that
+  /// pipelines past the cap gets typed "overloaded" pushback per excess
+  /// frame (wire.inflight_shed) instead of monopolizing the worker queue.
+  /// 0 = unbounded (the pre-hardening behavior).
+  std::size_t max_inflight_frames = 0;
 };
 
 class PlanServer {
@@ -135,6 +149,15 @@ class PlanServer {
   /// output line, in input order.  Returns the number of requests served.
   std::size_t serve_stream(std::istream& in, std::ostream& out);
 
+#ifdef __unix__
+  /// serve_stream over a connected socket fd, with the handshake/idle
+  /// deadlines from ServerOptions enforced via poll() (service/fdio.hpp).
+  /// Does not close `fd`; responses go to `out` as usual.  A deadline expiry
+  /// reads as EOF to the serving loop and is counted as
+  /// wire.handshake_timeouts or wire.idle_reaped.
+  std::size_t serve_fd(int fd, std::ostream& out);
+#endif
+
   /// Close the queue and join the workers (idempotent; the destructor calls
   /// it).  Pending jobs are drained before the workers exit.
   void stop();
@@ -154,7 +177,8 @@ class PlanServer {
   std::size_t serve_lines(std::string first_line, std::istream& in,
                           std::ostream& out);
   /// The post-handshake binary loop: frames in, frames out, out of order.
-  std::size_t serve_frames(std::istream& in, std::ostream& out);
+  /// `crc` mirrors the negotiated hello: responses carry CRC trailers.
+  std::size_t serve_frames(std::istream& in, std::ostream& out, bool crc);
 
   Planner& planner_;
   ServiceMetrics& metrics_;

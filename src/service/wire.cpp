@@ -3,6 +3,7 @@
 #include <cerrno>
 
 #include "service/protocol.hpp"
+#include "util/crc32.hpp"
 
 namespace pglb::wire {
 
@@ -44,15 +45,17 @@ std::uint64_t read_u64(std::string_view bytes, std::size_t at) {
 }  // namespace
 
 void append_frame(std::string& out, FrameType type, std::uint64_t id,
-                  std::string_view payload) {
-  out.reserve(out.size() + kHeaderSize + payload.size());
+                  std::string_view payload, bool with_crc) {
+  out.reserve(out.size() + kHeaderSize + payload.size() +
+              (with_crc ? kCrcTrailerSize : 0));
   append_u32(out, kMagic);
   out.push_back(static_cast<char>(type));
-  out.push_back('\0');     // flags, reserved for compression/continuation bits
+  out.push_back(with_crc ? static_cast<char>(kFlagCrc) : '\0');
   append_u16(out, 0);      // reserved
   append_u32(out, static_cast<std::uint32_t>(payload.size()));
   append_u64(out, id);
   out.append(payload);
+  if (with_crc) append_u32(out, crc32_ieee(payload));
 }
 
 DecodeStatus decode_frame(std::string_view buffer, std::size_t* offset,
@@ -78,21 +81,38 @@ DecodeStatus decode_frame(std::string_view buffer, std::size_t* offset,
     }
     return DecodeStatus::kBad;
   }
-  if (buffer.size() - at < kHeaderSize + length) return DecodeStatus::kNeedMore;
+  const auto flags = static_cast<std::uint8_t>(buffer[at + 5]);
+  const std::size_t trailer = (flags & kFlagCrc) != 0 ? kCrcTrailerSize : 0;
+  if (buffer.size() - at < kHeaderSize + length + trailer) {
+    return DecodeStatus::kNeedMore;
+  }
   frame->type = static_cast<FrameType>(raw_type);
   frame->id = read_u64(buffer, at + 12);
-  frame->payload.assign(buffer.substr(at + kHeaderSize, length));
-  *offset = at + kHeaderSize + length;
+  const std::string_view payload = buffer.substr(at + kHeaderSize, length);
+  *offset = at + kHeaderSize + length + trailer;
+  if (trailer != 0) {
+    const std::uint32_t stated = read_u32(buffer, at + kHeaderSize + length);
+    const std::uint32_t actual = crc32_ieee(payload);
+    if (stated != actual) {
+      // Framing held (the length prefix is what keeps the stream in sync),
+      // so the caller can reject exactly this frame and keep reading.
+      frame->payload.clear();
+      if (error != nullptr) *error = "frame payload failed crc check";
+      return DecodeStatus::kCorrupt;
+    }
+  }
+  frame->payload.assign(payload);
   return DecodeStatus::kFrame;
 }
 
-std::string hello_line() {
-  return R"({"hello":"pglb-wire","wire":)" + std::to_string(kVersion) + "}";
+std::string hello_line(bool want_crc) {
+  return R"({"hello":"pglb-wire","wire":)" + std::to_string(kVersion) +
+         (want_crc ? R"(,"crc":true})" : "}");
 }
 
-std::string hello_ack_line() {
+std::string hello_ack_line(bool grant_crc) {
   return R"({"hello":"pglb-wire","ack":true,"wire":)" + std::to_string(kVersion) +
-         "}";
+         (grant_crc ? R"(,"crc":true})" : "}");
 }
 
 namespace {
@@ -130,6 +150,28 @@ bool is_hello_shaped(std::string_view line, bool require_ack) {
 bool is_hello_line(std::string_view line) { return is_hello_shaped(line, false); }
 
 bool is_hello_ack(std::string_view line) { return is_hello_shaped(line, true); }
+
+namespace {
+
+bool crc_key_true(std::string_view line) {
+  try {
+    const JsonValue doc = parse_json(line);
+    const JsonValue* crc = doc.find("crc");
+    return crc != nullptr && crc->is_bool() && crc->as_bool();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+bool hello_wants_crc(std::string_view line) {
+  return is_hello_line(line) && crc_key_true(line);
+}
+
+bool ack_grants_crc(std::string_view line) {
+  return is_hello_ack(line) && crc_key_true(line);
+}
 
 IoClass classify_io_errno(int error) noexcept {
   switch (error) {

@@ -47,6 +47,15 @@ inline constexpr std::size_t kHeaderSize = 20;
 /// plausible plan request/response.
 inline constexpr std::uint32_t kMaxPayload = 64u << 20;
 
+/// Flags bit: the payload is followed by a 4-byte little-endian CRC-32
+/// (util/crc32.hpp) over the payload bytes.  Negotiated via the "crc" key in
+/// the hello/ack exchange, so a peer that never asked for it never sees the
+/// trailer and the un-upgraded framing stays byte-identical.
+inline constexpr std::uint8_t kFlagCrc = 0x01;
+
+/// Bytes of the CRC trailer that kFlagCrc appends after the payload.
+inline constexpr std::size_t kCrcTrailerSize = 4;
+
 enum class FrameType : std::uint8_t { kRequest = 1, kResponse = 2 };
 
 struct Frame {
@@ -57,27 +66,37 @@ struct Frame {
 
 /// Append one encoded frame (header + payload) to `out`.  Appending several
 /// frames into one buffer before a single flushed write is the batching path.
+/// With `with_crc` the kFlagCrc bit is set and the CRC-32 trailer appended —
+/// only do this on connections whose hello/ack negotiated it.
 void append_frame(std::string& out, FrameType type, std::uint64_t id,
-                  std::string_view payload);
+                  std::string_view payload, bool with_crc = false);
 
 enum class DecodeStatus {
   kNeedMore,  ///< `buffer` ends mid-header or mid-payload; read more bytes
   kFrame,     ///< one frame decoded; `offset` advanced past it
   kBad,       ///< bad magic / type / length — the stream is desynchronized
+  kCorrupt,   ///< CRC mismatch: framing intact (`offset` advanced past the
+              ///< whole frame, id preserved) but the payload is untrustworthy.
+              ///< Reject THIS frame with a typed error; keep the connection.
 };
 
 /// Try to decode one frame from `buffer` at `offset`.  On kFrame the frame is
-/// filled and `offset` advances; on kBad `error` says what was wrong.
+/// filled and `offset` advances; on kBad `error` says what was wrong.  On
+/// kCorrupt the id/type are filled, the payload cleared, and `offset` still
+/// advances — the length prefix kept the stream in sync even though the bytes
+/// inside were damaged.
 DecodeStatus decode_frame(std::string_view buffer, std::size_t* offset,
                           Frame* frame, std::string* error);
 
 // --- negotiation -----------------------------------------------------------
 
-/// Client -> server upgrade request (no trailing newline).
-std::string hello_line();
+/// Client -> server upgrade request (no trailing newline).  `want_crc` adds
+/// "crc":true, asking the server to exchange CRC-trailed frames.
+std::string hello_line(bool want_crc = false);
 
-/// Server -> client upgrade accept (no trailing newline).
-std::string hello_ack_line();
+/// Server -> client upgrade accept (no trailing newline).  `grant_crc`
+/// confirms CRC-trailed frames for both directions of this connection.
+std::string hello_ack_line(bool grant_crc = false);
 
 /// True when `line` is a well-formed hello requesting a version we speak.
 /// Cheap prefix test first, full JSON parse only on candidates.
@@ -86,6 +105,15 @@ bool is_hello_line(std::string_view line);
 /// True when `line` is the server's ack.  An old server's typed error
 /// response to the hello fails this test, which IS the fallback signal.
 bool is_hello_ack(std::string_view line);
+
+/// True when a valid hello also asks for CRC frames ("crc":true).  A server
+/// that predates CRC ignores the extra key (is_hello_line tolerates it), so
+/// the client must check the ack before trusting trailers: see ack_grants_crc.
+bool hello_wants_crc(std::string_view line);
+
+/// True when a valid ack confirms CRC frames.  An old server's plain ack
+/// fails this, and the client falls back to untrailed frames.
+bool ack_grants_crc(std::string_view line);
 
 // --- blocking-socket errno policy ------------------------------------------
 

@@ -1,0 +1,15 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected) — the one checksum the repo speaks, shared
+// by the snapshot container (persist/snapshot.hpp) and the wire transport's
+// integrity-checked frames (service/wire.hpp).  Table-driven, byte at a
+// time; plenty for request/response-sized payloads.
+
+#include <cstdint>
+#include <string_view>
+
+namespace pglb {
+
+/// CRC-32 over `bytes` (polynomial 0xEDB88320, init/xorout 0xFFFFFFFF).
+std::uint32_t crc32_ieee(std::string_view bytes) noexcept;
+
+}  // namespace pglb

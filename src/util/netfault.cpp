@@ -1,0 +1,625 @@
+#include "util/netfault.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string_view>
+
+#include "obs/registry.hpp"
+#include "util/json.hpp"
+#include "util/parse.hpp"
+#include "util/rng.hpp"
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace pglb {
+
+namespace {
+
+[[noreturn]] void bad_spec(const std::string& fragment, const std::string& why) {
+  throw std::invalid_argument("netfault spec '" + fragment + "': " + why);
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::uint64_t parse_u64_or(const std::string& fragment, const std::string& text) {
+  const auto value = parse_int(text);
+  if (!value || *value < 0) bad_spec(fragment, "'" + text + "' is not a count");
+  return static_cast<std::uint64_t>(*value);
+}
+
+void parse_action(const std::string& fragment, const std::string& text,
+                  NetFaultRule& rule) {
+  const auto parts = split(text, ':');
+  if (parts[0] == "delay") {
+    if (parts.size() < 2 || parts.size() > 4) {
+      bad_spec(fragment, "delay needs ':<ms>[:<jitter_ms>[:<seed>]]'");
+    }
+    rule.action = NetFaultRule::Action::kDelay;
+    rule.delay_ms = parse_u64_or(fragment, parts[1]);
+    if (parts.size() >= 3) rule.jitter_ms = parse_u64_or(fragment, parts[2]);
+    if (parts.size() == 4) rule.seed = parse_u64_or(fragment, parts[3]);
+  } else if (parts[0] == "throttle") {
+    if (parts.size() != 2) bad_spec(fragment, "throttle needs ':<bytes_per_s>'");
+    rule.action = NetFaultRule::Action::kThrottle;
+    rule.bytes_per_s = parse_u64_or(fragment, parts[1]);
+    if (rule.bytes_per_s == 0) bad_spec(fragment, "throttle rate must be > 0");
+  } else if (parts[0] == "tear") {
+    if (parts.size() != 3) bad_spec(fragment, "tear needs ':<nbytes>:<stall_ms>'");
+    rule.action = NetFaultRule::Action::kTear;
+    rule.tear_bytes = parse_u64_or(fragment, parts[1]);
+    rule.stall_ms = parse_u64_or(fragment, parts[2]);
+    if (rule.tear_bytes == 0) bad_spec(fragment, "tear offset is 1-based bytes");
+  } else if (parts[0] == "reset") {
+    if (parts.size() != 1) bad_spec(fragment, "reset takes no argument");
+    rule.action = NetFaultRule::Action::kReset;
+  } else if (parts[0] == "blackhole") {
+    if (parts.size() != 1) bad_spec(fragment, "blackhole takes no argument");
+    rule.action = NetFaultRule::Action::kBlackhole;
+  } else if (parts[0] == "corrupt") {
+    if (parts.size() != 2 && parts.size() != 3) {
+      bad_spec(fragment, "corrupt needs ':<p>[:<seed>]'");
+    }
+    rule.action = NetFaultRule::Action::kCorrupt;
+    const auto p = parse_double(parts[1]);
+    if (!p || !(*p >= 0.0 && *p <= 1.0)) {
+      bad_spec(fragment, "probability must be in [0, 1]");
+    }
+    rule.probability = *p;
+    if (parts.size() == 3) rule.seed = parse_u64_or(fragment, parts[2]);
+  } else {
+    bad_spec(fragment,
+             "unknown action '" + parts[0] +
+                 "' (delay:<ms>[:<jitter>[:<seed>]], throttle:<bytes_per_s>, "
+                 "tear:<nbytes>:<stall_ms>, reset, blackhole, "
+                 "corrupt:<p>[:<seed>])");
+  }
+}
+
+void parse_window(const std::string& fragment, const std::string& text,
+                  NetFaultRule& rule) {
+  const auto parts = split(text, ':');
+  if (parts[0] != "from" || parts.size() < 2 || parts.size() > 3) {
+    bad_spec(fragment, "window is 'from:<t0_ms>[:<t1_ms>]'");
+  }
+  rule.from_ms = parse_u64_or(fragment, parts[1]);
+  if (parts.size() == 3) {
+    rule.until_ms = parse_u64_or(fragment, parts[2]);
+    if (rule.until_ms <= rule.from_ms) {
+      bad_spec(fragment, "window end must be after its start");
+    }
+  }
+}
+
+void parse_selector(const std::string& fragment, const std::string& text,
+                    NetFaultRule& rule) {
+  const auto parts = split(text, ':');
+  if (parts[0] == "route") {
+    if (parts.size() != 2) bad_spec(fragment, "route needs ':<k>'");
+    rule.route = static_cast<int>(parse_u64_or(fragment, parts[1]));
+  } else if (parts[0] == "conn") {
+    if (parts.size() != 2) bad_spec(fragment, "conn needs ':<n>'");
+    rule.conn = static_cast<int>(parse_u64_or(fragment, parts[1]));
+    if (rule.conn == 0) bad_spec(fragment, "conn is 1-based");
+  } else if (parts[0] == "dir") {
+    if (parts.size() != 2 || (parts[1] != "up" && parts[1] != "down")) {
+      bad_spec(fragment, "dir needs ':up' or ':down'");
+    }
+    rule.dir = parts[1] == "up" ? NetFaultRule::Dir::kUp
+                                : NetFaultRule::Dir::kDown;
+  } else {
+    bad_spec(fragment, "unknown selector '" + parts[0] +
+                           "' (route:<k>, conn:<n>, dir:up|down)");
+  }
+}
+
+/// Stable per-(route, conn, dir) key, mixed into corruption seeds so two
+/// connections never share a flip pattern.
+std::uint64_t conn_key(std::size_t route, std::uint64_t conn, bool upstream) {
+  return splitmix64((static_cast<std::uint64_t>(route) << 32) ^ (conn << 1) ^
+                    (upstream ? 1u : 0u));
+}
+
+}  // namespace
+
+std::vector<NetFaultRule> parse_netfault_rules(const std::string& text) {
+  // '|' is an equivalent rule separator: ';' is a list separator in CMake and
+  // a command separator in shells, so scripted drills need an alternative.
+  std::string normalized = text;
+  std::replace(normalized.begin(), normalized.end(), '|', ';');
+  std::vector<NetFaultRule> rules;
+  for (const std::string& fragment : split(normalized, ';')) {
+    if (fragment.empty()) continue;
+    NetFaultRule rule;
+    rule.text = fragment;
+    // Selectors ('%...') bind after the window ('@...'), so strip right to
+    // left: action [@window] [%selector,...]
+    std::string head = fragment;
+    const std::size_t pct = head.find('%');
+    std::string selectors;
+    if (pct != std::string::npos) {
+      selectors = head.substr(pct + 1);
+      head = head.substr(0, pct);
+    }
+    const std::size_t at = head.find('@');
+    if (at != std::string::npos) {
+      parse_window(fragment, head.substr(at + 1), rule);
+      head = head.substr(0, at);
+    }
+    if (head.empty()) bad_spec(fragment, "missing action");
+    parse_action(fragment, head, rule);
+    if (pct != std::string::npos) {
+      for (const std::string& selector : split(selectors, ',')) {
+        if (selector.empty()) bad_spec(fragment, "empty selector");
+        parse_selector(fragment, selector, rule);
+      }
+    }
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+NetFaultEngine::NetFaultEngine(std::vector<NetFaultRule> rules,
+                               std::uint64_t seed)
+    : seed_(seed) {
+  states_.reserve(rules.size());
+  for (NetFaultRule& rule : rules) {
+    RuleState state;
+    state.rng = splitmix64(rule.seed ^ seed_);
+    state.rule = std::move(rule);
+    states_.push_back(std::move(state));
+  }
+}
+
+std::uint64_t NetFaultEngine::on_accept(std::size_t route) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (route >= accepts_.size()) accepts_.resize(route + 1, 0);
+  return ++accepts_[route];
+}
+
+bool NetFaultEngine::matches(const NetFaultRule& rule, std::size_t route,
+                             std::uint64_t conn, bool upstream,
+                             std::uint64_t now_ms) const {
+  if (now_ms < rule.from_ms || now_ms >= rule.until_ms) return false;
+  if (rule.route >= 0 && static_cast<std::size_t>(rule.route) != route) {
+    return false;
+  }
+  if (rule.conn >= 0 && static_cast<std::uint64_t>(rule.conn) != conn) {
+    return false;
+  }
+  if (rule.dir == NetFaultRule::Dir::kUp && !upstream) return false;
+  if (rule.dir == NetFaultRule::Dir::kDown && upstream) return false;
+  return true;
+}
+
+void NetFaultEngine::fired(RuleState& state, std::size_t route,
+                           std::uint64_t conn) {
+  ++state.events;
+  state.conns.insert({route, conn});
+  global_registry().count("netfault.injected");
+}
+
+NetFaultChunkPlan NetFaultEngine::on_chunk(std::size_t route,
+                                           std::uint64_t conn, bool upstream,
+                                           std::uint64_t now_ms,
+                                           std::string& chunk) {
+  NetFaultChunkPlan plan;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t& offset = offsets_[{route, conn, upstream}];
+  const std::uint64_t chunk_offset = offset;
+  offset += chunk.size();
+  for (RuleState& state : states_) {
+    const NetFaultRule& rule = state.rule;
+    if (!matches(rule, route, conn, upstream, now_ms)) continue;
+    switch (rule.action) {
+      case NetFaultRule::Action::kDelay: {
+        std::uint64_t extra = 0;
+        if (rule.jitter_ms > 0) {
+          state.rng = splitmix64(state.rng);
+          extra = state.rng % (rule.jitter_ms + 1);
+        }
+        plan.pre_delay_ms += rule.delay_ms + extra;
+        fired(state, route, conn);
+        break;
+      }
+      case NetFaultRule::Action::kThrottle: {
+        plan.post_delay_ms +=
+            (static_cast<std::uint64_t>(chunk.size()) * 1000) / rule.bytes_per_s;
+        fired(state, route, conn);
+        break;
+      }
+      case NetFaultRule::Action::kTear: {
+        const auto key = std::make_tuple(route, conn, upstream);
+        if (chunk.empty() || state.torn.count(key) != 0) break;
+        state.torn.insert(key);
+        plan.tear_at = std::min<std::size_t>(
+            static_cast<std::size_t>(rule.tear_bytes), chunk.size());
+        plan.tear_stall_ms = std::max(plan.tear_stall_ms, rule.stall_ms);
+        fired(state, route, conn);
+        break;
+      }
+      case NetFaultRule::Action::kReset:
+        plan.reset = true;
+        fired(state, route, conn);
+        break;
+      case NetFaultRule::Action::kBlackhole:
+        plan.hold = true;
+        fired(state, route, conn);
+        break;
+      case NetFaultRule::Action::kCorrupt: {
+        // Keyed on the ABSOLUTE stream offset, so the flip pattern is
+        // independent of how reads sliced the stream into chunks.
+        const std::uint64_t base =
+            splitmix64(rule.seed ^ seed_ ^ conn_key(route, conn, upstream));
+        std::uint64_t flips = 0;
+        for (std::size_t i = 0; i < chunk.size(); ++i) {
+          const std::uint64_t draw = splitmix64(
+              base ^ ((chunk_offset + i) * 0x9E3779B97F4A7C15ull));
+          const double uniform =
+              static_cast<double>(draw >> 11) * 0x1.0p-53;
+          if (uniform < rule.probability) {
+            chunk[i] = static_cast<char>(
+                static_cast<unsigned char>(chunk[i]) ^
+                (1u << ((draw >> 56) & 7u)));
+            ++flips;
+          }
+        }
+        if (flips > 0) {
+          plan.corrupted += flips;
+          fired(state, route, conn);
+          state.events += flips - 1;  // fired() counted the first flip
+        }
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+bool NetFaultEngine::holding(std::size_t route, std::uint64_t conn,
+                             bool upstream, std::uint64_t now_ms) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const RuleState& state : states_) {
+    if (state.rule.action != NetFaultRule::Action::kBlackhole) continue;
+    if (matches(state.rule, route, conn, upstream, now_ms)) return true;
+  }
+  return false;
+}
+
+std::vector<NetFaultRuleCounters> NetFaultEngine::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<NetFaultRuleCounters> out;
+  out.reserve(states_.size());
+  for (const RuleState& state : states_) {
+    out.push_back({state.rule.text, state.conns.size(), state.events});
+  }
+  return out;
+}
+
+std::string NetFaultEngine::counters_json() const {
+  const std::vector<NetFaultRuleCounters> rules = counters();
+  std::string out = "{\"seed\":";
+  append_json_number(out, static_cast<double>(seed_));
+  out += ",\"rules\":[";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += "{\"rule\":";
+    append_json_string(out, rules[i].rule);
+    out += ",\"conns\":";
+    append_json_number(out, static_cast<double>(rules[i].conns));
+    out += ",\"events\":";
+    append_json_number(out, static_cast<double>(rules[i].events));
+    out.push_back('}');
+  }
+  out += "]}";
+  return out;
+}
+
+#ifdef __unix__
+
+namespace {
+
+bool write_all_fd(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == ENOBUFS || errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        continue;
+      }
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int dial(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0) {
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+struct ChaosProxy::Conn {
+  std::size_t route = 0;
+  std::uint64_t ordinal = 0;
+  int client = -1;
+  int upstream = -1;
+  std::thread up;
+  std::thread down;
+  std::atomic<int> live_pumps{2};
+};
+
+ChaosProxy::ChaosProxy(Options options)
+    : options_(std::move(options)),
+      engine_(parse_netfault_rules(options_.scenario), options_.seed) {}
+
+ChaosProxy::~ChaosProxy() { stop(); }
+
+void ChaosProxy::start() {
+  if (started_) return;
+  listeners_.assign(options_.targets.size(), -1);
+  ports_.assign(options_.targets.size(), 0);
+  for (std::size_t route = 0; route < options_.targets.size(); ++route) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("chaos: socket failed");
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // OS-chosen ephemeral port: parallel drills never collide
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+      ::close(fd);
+      throw std::runtime_error("chaos: bind/listen failed");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    listeners_[route] = fd;
+    ports_[route] = ntohs(bound.sin_port);
+  }
+  stop_ = false;
+  start_time_ = std::chrono::steady_clock::now();
+  started_ = true;
+  acceptors_.reserve(options_.targets.size());
+  for (std::size_t route = 0; route < options_.targets.size(); ++route) {
+    acceptors_.emplace_back([this, route] { accept_loop(route); });
+  }
+}
+
+std::uint16_t ChaosProxy::route_port(std::size_t k) const { return ports_[k]; }
+
+std::uint64_t ChaosProxy::elapsed_ms() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start_time_)
+          .count());
+}
+
+bool ChaosProxy::sleep_interruptible(std::uint64_t ms) const {
+  // Sliced so stop() never waits out a long injected delay.
+  while (ms > 0 && !stop_) {
+    const std::uint64_t slice = std::min<std::uint64_t>(ms, 20);
+    std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+    ms -= slice;
+  }
+  return !stop_;
+}
+
+void ChaosProxy::accept_loop(std::size_t route) {
+  const int listener = listeners_[route];
+  while (!stop_) {
+    const int client = ::accept(listener, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener was shut down
+    }
+    reap_finished_conns();
+    if (stop_) {
+      ::close(client);
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const int upstream = dial(options_.upstream_host, options_.targets[route]);
+    if (upstream < 0) {
+      ::close(client);  // no upstream: the peer sees a clean refusal-by-close
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->route = route;
+    conn->ordinal = engine_.on_accept(route);
+    conn->client = client;
+    conn->upstream = upstream;
+    Conn* raw = conn.get();
+    raw->up = std::thread([this, raw] { pump(raw, true); });
+    raw->down = std::thread([this, raw] { pump(raw, false); });
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.push_back(std::move(conn));
+    }
+  }
+}
+
+void ChaosProxy::reap_finished_conns() {
+  std::vector<std::unique_ptr<Conn>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.begin();
+    while (it != conns_.end()) {
+      if ((*it)->live_pumps.load() == 0) {
+        dead.push_back(std::move(*it));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& conn : dead) {
+    if (conn->up.joinable()) conn->up.join();
+    if (conn->down.joinable()) conn->down.join();
+    if (conn->client >= 0) ::close(conn->client);
+    if (conn->upstream >= 0) ::close(conn->upstream);
+  }
+}
+
+void ChaosProxy::pump(Conn* conn, bool upstream) {
+  const int src = upstream ? conn->client : conn->upstream;
+  const int dst = upstream ? conn->upstream : conn->client;
+  std::string held;  // blackholed bytes, flushed in order on heal
+  char buf[4096];
+  bool reset = false;
+  for (;;) {
+    if (stop_) break;
+    pollfd pfd{};
+    pfd.fd = src;
+    pfd.events = POLLIN;
+    // Short poll timeout: the heal check below must run even while the
+    // source is silent, or healed bytes would wait for fresh traffic.
+    const int ready = ::poll(&pfd, 1, 25);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const std::uint64_t now = elapsed_ms();
+    if (ready == 0) {
+      if (!held.empty() &&
+          !engine_.holding(conn->route, conn->ordinal, upstream, now)) {
+        if (!write_all_fd(dst, held)) break;
+        held.clear();
+      }
+      continue;
+    }
+    const ssize_t n = ::read(src, buf, sizeof buf);
+    if (n == 0) break;  // EOF: propagate the half-close below
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    std::string chunk(buf, static_cast<std::size_t>(n));
+    const NetFaultChunkPlan plan =
+        engine_.on_chunk(conn->route, conn->ordinal, upstream, now, chunk);
+    if (plan.pre_delay_ms > 0 && !sleep_interruptible(plan.pre_delay_ms)) break;
+    if (plan.reset) {
+      reset = true;
+      break;
+    }
+    if (plan.hold) {
+      held += chunk;
+      continue;
+    }
+    if (!held.empty()) {
+      // Healed: everything that was blackholed goes first, in order.
+      held += chunk;
+      chunk.swap(held);
+      held.clear();
+    }
+    if (plan.tear_at < chunk.size()) {
+      const std::string_view view(chunk);
+      if (!write_all_fd(dst, view.substr(0, plan.tear_at))) break;
+      if (!sleep_interruptible(plan.tear_stall_ms)) break;
+      if (!write_all_fd(dst, view.substr(plan.tear_at))) break;
+    } else if (!write_all_fd(dst, chunk)) {
+      break;
+    }
+    if (plan.post_delay_ms > 0 && !sleep_interruptible(plan.post_delay_ms)) {
+      break;
+    }
+  }
+  if (reset) {
+    // Abrupt teardown: linger(0) turns close into RST where the stack
+    // supports it; the shutdowns wake the sibling pump immediately.
+    linger lg{};
+    lg.l_onoff = 1;
+    lg.l_linger = 0;
+    ::setsockopt(conn->client, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::setsockopt(conn->upstream, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::shutdown(conn->client, SHUT_RDWR);
+    ::shutdown(conn->upstream, SHUT_RDWR);
+  } else {
+    // Propagate the half-close: the peer's reader sees EOF, its writer may
+    // still answer through the sibling pump.
+    ::shutdown(src, SHUT_RD);
+    ::shutdown(dst, SHUT_WR);
+  }
+  conn->live_pumps.fetch_sub(1);
+}
+
+void ChaosProxy::stop() {
+  if (!started_) return;
+  stop_ = true;
+  for (const int fd : listeners_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);  // wakes blocked accept()
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (const auto& conn : conns_) {
+      if (conn->client >= 0) ::shutdown(conn->client, SHUT_RDWR);
+      if (conn->upstream >= 0) ::shutdown(conn->upstream, SHUT_RDWR);
+    }
+  }
+  for (std::thread& acceptor : acceptors_) {
+    if (acceptor.joinable()) acceptor.join();
+  }
+  acceptors_.clear();
+  std::vector<std::unique_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->up.joinable()) conn->up.join();
+    if (conn->down.joinable()) conn->down.join();
+    if (conn->client >= 0) ::close(conn->client);
+    if (conn->upstream >= 0) ::close(conn->upstream);
+  }
+  for (int& fd : listeners_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  started_ = false;
+}
+
+#endif  // __unix__
+
+}  // namespace pglb

@@ -1,0 +1,227 @@
+#pragma once
+// Deterministic network chaos layer (docs/CHAOS.md).
+//
+// The in-process fault harness (util/fault.hpp) can fail or stall a call
+// site, but it cannot produce the failures a real network produces BETWEEN
+// processes: slow links, half-open partitions, frames torn mid-write,
+// connections reset under load, bytes flipped in flight.  This header adds
+// that missing layer in two pieces:
+//
+//  - NetFaultEngine: a pure, seeded rules engine.  Rules come from a
+//    PGLB_NETFAULTS-style grammar (the fault.* idiom: ';'-separated
+//    fragments, typed std::invalid_argument on any malformed fragment) and
+//    are evaluated per forwarded chunk.  All randomness is a splitmix64
+//    chain seeded from the rule, and byte corruption is keyed on the
+//    ABSOLUTE stream offset — so a scenario replays bit-identically no
+//    matter how the kernel slices reads into chunks.
+//  - ChaosProxy: a TCP forwarder (one listener per target port) that applies
+//    the engine's verdicts on live sockets.  Drills put it between the
+//    router and its replicas: `pglb_loadgen --chaos=<scenario>` spawns the
+//    `pglb_chaos` tool and points every TcpBackend at the proxy's ports.
+//
+// Grammar (one rule per ';'; '|' is an equivalent separator for shells and
+// CMake scripts where ';' is awkward):
+//
+//   rule     := action ['@' window] ['%' selector (',' selector)*]
+//   action   := delay:<ms>[:<jitter_ms>[:<seed>]]   add latency per chunk
+//             | throttle:<bytes_per_s>              pace by chunk size
+//             | tear:<nbytes>:<stall_ms>            once per conn+dir: forward
+//             |                                     nbytes, stall, resume
+//             | reset                               drop the connection hard
+//             | blackhole                           accept but never forward
+//             |                                     (held bytes flush on heal)
+//             | corrupt:<p>[:<seed>]                flip one bit per byte
+//             |                                     with probability p
+//   window   := from:<t0_ms>[:<t1_ms>]              active [t0, t1) since
+//                                                   proxy start; default always
+//   selector := route:<k>                           k-th target (0-based)
+//             | conn:<n>                            n-th accept on that route
+//             |                                     (1-based)
+//             | dir:up|down                         up = client->server bytes
+//
+// Example — the chaos_drill scenario: partition route 0 for 800 ms, heal,
+// then slow route 1, and reset the first connection to route 2:
+//
+//   blackhole@from:300:1100%route:0;delay:25:10@from:1500:2600%route:1;reset%route:2,conn:1
+//
+// Per-rule counters distinguish `conns` (distinct route/conn pairs the rule
+// ever fired on — deterministic for a fixed scenario and fleet topology)
+// from `events` (chunk-level firings — informative, timing-dependent).  Both
+// are exported through the obs registry and the proxy's metrics endpoint.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace pglb {
+
+struct NetFaultRule {
+  enum class Action { kDelay, kThrottle, kTear, kReset, kBlackhole, kCorrupt };
+  enum class Dir { kAny, kUp, kDown };
+
+  Action action = Action::kDelay;
+  std::uint64_t delay_ms = 0;       ///< delay: base latency per chunk
+  std::uint64_t jitter_ms = 0;      ///< delay: uniform extra in [0, jitter]
+  std::uint64_t bytes_per_s = 0;    ///< throttle: pacing rate
+  std::uint64_t tear_bytes = 0;     ///< tear: bytes forwarded before the stall
+  std::uint64_t stall_ms = 0;       ///< tear: stall length
+  double probability = 0.0;         ///< corrupt: per-byte bit-flip probability
+  std::uint64_t seed = 1;           ///< seeds the rule's splitmix64 chain
+
+  std::uint64_t from_ms = 0;                    ///< window start (proxy time)
+  std::uint64_t until_ms = ~std::uint64_t{0};   ///< window end, exclusive
+
+  int route = -1;              ///< selector: target index, -1 = any
+  int conn = -1;               ///< selector: accept ordinal (1-based), -1 = any
+  Dir dir = Dir::kAny;         ///< selector: direction
+
+  std::string text;            ///< original fragment, echoed in reports
+};
+
+/// Parse a scenario string; throws std::invalid_argument naming the offending
+/// fragment (the fault.* bad_spec contract).  Empty fragments are skipped, so
+/// a trailing ';' is harmless.
+std::vector<NetFaultRule> parse_netfault_rules(const std::string& text);
+
+/// Per-rule injection counters, in rule order.
+struct NetFaultRuleCounters {
+  std::string rule;        ///< the original fragment
+  std::uint64_t conns = 0; ///< distinct (route, conn) pairs ever fired on
+  std::uint64_t events = 0; ///< chunk-level firings
+};
+
+/// What the proxy must do with one chunk, as decided by every matching rule.
+/// Evaluation order per chunk: pre_delay, then reset, then hold, then tear,
+/// then the (possibly corrupted in place) bytes, then post_delay.
+struct NetFaultChunkPlan {
+  std::uint64_t pre_delay_ms = 0;   ///< delay rules, summed
+  bool reset = false;               ///< drop the connection now
+  bool hold = false;                ///< blackhole: buffer, do not forward
+  std::size_t tear_at = ~std::size_t{0};  ///< < chunk size: flush prefix,
+                                          ///< stall, flush the rest
+  std::uint64_t tear_stall_ms = 0;
+  std::uint64_t post_delay_ms = 0;  ///< throttle pacing for this chunk
+  std::uint64_t corrupted = 0;      ///< bytes flipped in place
+};
+
+/// Seeded rules engine.  Thread-safe; one instance serves every connection of
+/// a proxy.  Time is the caller's: milliseconds since whatever epoch the
+/// caller's scenario windows are written against (the proxy passes
+/// milliseconds since start(); tests pass literals).
+class NetFaultEngine {
+ public:
+  explicit NetFaultEngine(std::vector<NetFaultRule> rules,
+                          std::uint64_t seed = 1);
+
+  /// Register an accepted connection on `route`; returns its 1-based ordinal
+  /// (what the conn:<n> selector matches).
+  std::uint64_t on_accept(std::size_t route);
+
+  /// Evaluate every rule against one chunk, mutating `chunk` in place for
+  /// corruption and advancing the (route, conn, dir) stream offset.
+  NetFaultChunkPlan on_chunk(std::size_t route, std::uint64_t conn,
+                             bool upstream, std::uint64_t now_ms,
+                             std::string& chunk);
+
+  /// True while a blackhole window still covers (route, conn, dir): held
+  /// bytes must stay held.  The proxy polls this to flush on heal.
+  bool holding(std::size_t route, std::uint64_t conn, bool upstream,
+               std::uint64_t now_ms) const;
+
+  std::size_t rule_count() const { return states_.size(); }
+  std::vector<NetFaultRuleCounters> counters() const;
+
+  /// One-line JSON: {"seed":N,"rules":[{"rule":...,"conns":N,"events":N},...]}
+  /// — what the pglb_chaos control endpoint answers to "metrics".
+  std::string counters_json() const;
+
+ private:
+  struct RuleState {
+    NetFaultRule rule;
+    std::uint64_t events = 0;
+    std::uint64_t rng = 0;  ///< splitmix64 chain for delay jitter
+    std::set<std::pair<std::size_t, std::uint64_t>> conns;
+    /// tear fires once per (route, conn, dir).
+    std::set<std::tuple<std::size_t, std::uint64_t, bool>> torn;
+  };
+
+  bool matches(const NetFaultRule& rule, std::size_t route, std::uint64_t conn,
+               bool upstream, std::uint64_t now_ms) const;
+  void fired(RuleState& state, std::size_t route, std::uint64_t conn);
+
+  mutable std::mutex mutex_;
+  std::uint64_t seed_;
+  std::vector<RuleState> states_;
+  std::vector<std::uint64_t> accepts_;              ///< per-route ordinal
+  std::map<std::tuple<std::size_t, std::uint64_t, bool>, std::uint64_t>
+      offsets_;                                     ///< absolute stream offset
+};
+
+#ifdef __unix__
+
+/// Seeded TCP fault-injection proxy: one ephemeral-port listener per target,
+/// every accepted connection forwarded to 127.0.0.1:<target> through the
+/// engine.  start() binds and spawns the acceptors; stop() (idempotent, also
+/// run by the destructor) tears every socket and thread down.  All pump
+/// threads are joined — never detached — so the proxy is clean under tsan.
+class ChaosProxy {
+ public:
+  struct Options {
+    std::string upstream_host = "127.0.0.1";
+    std::vector<std::uint16_t> targets;  ///< route k forwards to targets[k]
+    std::string scenario;                ///< parse_netfault_rules grammar
+    std::uint64_t seed = 1;
+  };
+
+  /// Parses the scenario eagerly: a malformed rule throws here, not mid-drill.
+  explicit ChaosProxy(Options options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  void start();
+  void stop();
+
+  /// Listening port for route `k` (valid after start()).
+  std::uint16_t route_port(std::size_t k) const;
+
+  /// Milliseconds since start() — the clock scenario windows run on.
+  std::uint64_t elapsed_ms() const;
+
+  std::string metrics_json() const { return engine_.counters_json(); }
+  NetFaultEngine& engine() { return engine_; }
+
+ private:
+  struct Conn;
+
+  void accept_loop(std::size_t route);
+  void pump(Conn* conn, bool upstream);
+  void reap_finished_conns();
+  bool sleep_interruptible(std::uint64_t ms) const;
+
+  Options options_;
+  NetFaultEngine engine_;
+  std::vector<int> listeners_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<std::thread> acceptors_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_time_{};
+
+  mutable std::mutex conns_mutex_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+#endif  // __unix__
+
+}  // namespace pglb

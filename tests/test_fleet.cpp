@@ -224,7 +224,86 @@ TEST(FleetRegistryHealth, StatusJsonIsDeterministic) {
   EXPECT_EQ(fleet.status_json(),
             "[{\"name\":\"b0\",\"state\":\"down\",\"weight\":2,"
             "\"successes\":0,\"failures\":1,\"consecutive_failures\":1,"
-            "\"inflight\":0,\"queue_depth\":0}]");
+            "\"inflight\":0,\"queue_depth\":0,"
+            "\"degraded\":false,\"ewma_ms\":0}]");
+}
+
+// --- straggler detection (docs/CHAOS.md) ------------------------------------
+
+TEST(FleetRegistryStragglers, DegradeDecaysWeightAndRecoveryRestoresIt) {
+  FleetOptions options;
+  options.straggler_min_samples = 4;
+  FleetRegistry fleet(options);
+  fleet.add(std::make_shared<NullBackend>("b0"));
+  fleet.add(std::make_shared<NullBackend>("b1"));
+  fleet.add(std::make_shared<NullBackend>("b2"));
+
+  // A chronically slow replica on a degraded link: answers everything (so it
+  // never goes down) at 10x its peers' latency.
+  bool flipped = false;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_FALSE(fleet.record_latency(0, 10.0));
+    EXPECT_FALSE(fleet.record_latency(1, 10.0));
+    flipped = fleet.record_latency(2, 100.0) || flipped;
+  }
+  EXPECT_TRUE(flipped);  // record_latency reported the degrade transition once
+  EXPECT_TRUE(fleet.status(2).degraded);
+  EXPECT_FALSE(fleet.status(0).degraded);
+  EXPECT_EQ(fleet.status(2).state, BackendState::kUp);  // degraded != down
+  EXPECT_TRUE(fleet.eligible(2));
+
+  // The decay is applied at membership() snapshot time, so rendezvous ranking
+  // sees it while the configured weight itself is untouched.
+  const FleetMembership degraded = fleet.membership();
+  EXPECT_DOUBLE_EQ(degraded.weights[0], 1.0);
+  EXPECT_DOUBLE_EQ(degraded.weights[2], 0.25);
+  EXPECT_NE(fleet.status_json().find("\"degraded\":true"), std::string::npos);
+
+  // The link heals: the EWMA sinks back under the recovery threshold and the
+  // full weight comes back.
+  for (int i = 0; i < 64 && fleet.status(2).degraded; ++i) {
+    fleet.record_latency(0, 10.0);
+    fleet.record_latency(1, 10.0);
+    fleet.record_latency(2, 10.0);
+  }
+  EXPECT_FALSE(fleet.status(2).degraded);
+  EXPECT_DOUBLE_EQ(fleet.membership().weights[2], 1.0);
+}
+
+TEST(FleetRegistryStragglers, JudgmentsWaitForSamplesAndRespectHysteresis) {
+  FleetOptions options;
+  options.straggler_min_samples = 8;
+  FleetRegistry fleet(options);
+  fleet.add(std::make_shared<NullBackend>("b0"));
+  fleet.add(std::make_shared<NullBackend>("b1"));
+  fleet.add(std::make_shared<NullBackend>("b2"));
+
+  // Seven samples each: under the floor, no judgment no matter the ratio.
+  for (int i = 0; i < 7; ++i) {
+    fleet.record_latency(0, 10.0);
+    fleet.record_latency(1, 10.0);
+    EXPECT_FALSE(fleet.record_latency(2, 1000.0));
+  }
+  EXPECT_FALSE(fleet.status(2).degraded);
+  fleet.record_latency(0, 10.0);
+  fleet.record_latency(1, 10.0);
+  EXPECT_TRUE(fleet.record_latency(2, 1000.0));  // the 8th sample may judge
+
+  // Hysteresis: a backend sitting at 3x the peer median — between the 2x
+  // recovery and 4x degrade thresholds — is left alone in BOTH directions.
+  FleetOptions steady_options;
+  steady_options.straggler_min_samples = 4;
+  FleetRegistry steady(steady_options);
+  steady.add(std::make_shared<NullBackend>("s0"));
+  steady.add(std::make_shared<NullBackend>("s1"));
+  steady.add(std::make_shared<NullBackend>("s2"));
+  for (int i = 0; i < 16; ++i) {
+    steady.record_latency(0, 10.0);
+    steady.record_latency(1, 10.0);
+    EXPECT_FALSE(steady.record_latency(2, 30.0));
+  }
+  EXPECT_FALSE(steady.status(2).degraded);
+  EXPECT_DOUBLE_EQ(steady.membership().weights[2], 1.0);
 }
 
 // --- routing guarantees -----------------------------------------------------

@@ -1,0 +1,396 @@
+// Netfault grammar + engine + chaos proxy (docs/CHAOS.md).  The engine tests
+// pin the determinism contract — same scenario + seed means the same verdicts
+// and, for corruption, the same flipped bytes no matter how the stream was
+// chunked.  The proxy tests run a real forwarder against an in-process echo
+// server, covering pass-through, blackhole-then-heal, and reset.
+
+#include "util/netfault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifdef __unix__
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace pglb {
+namespace {
+
+TEST(NetFaultGrammar, ParsesTheDrillScenario) {
+  const auto rules = parse_netfault_rules(
+      "blackhole@from:300:1100%route:0;"
+      "delay:25:10@from:1500:2600%route:1;"
+      "reset%route:2,conn:1");
+  ASSERT_EQ(rules.size(), 3u);
+
+  EXPECT_EQ(rules[0].action, NetFaultRule::Action::kBlackhole);
+  EXPECT_EQ(rules[0].from_ms, 300u);
+  EXPECT_EQ(rules[0].until_ms, 1100u);
+  EXPECT_EQ(rules[0].route, 0);
+  EXPECT_EQ(rules[0].conn, -1);
+
+  EXPECT_EQ(rules[1].action, NetFaultRule::Action::kDelay);
+  EXPECT_EQ(rules[1].delay_ms, 25u);
+  EXPECT_EQ(rules[1].jitter_ms, 10u);
+  EXPECT_EQ(rules[1].route, 1);
+
+  EXPECT_EQ(rules[2].action, NetFaultRule::Action::kReset);
+  EXPECT_EQ(rules[2].route, 2);
+  EXPECT_EQ(rules[2].conn, 1);
+  EXPECT_EQ(rules[2].text, "reset%route:2,conn:1");
+}
+
+TEST(NetFaultGrammar, PipeIsAnEquivalentRuleSeparator) {
+  const auto semi = parse_netfault_rules("delay:5%route:0;reset%route:1");
+  const auto pipe = parse_netfault_rules("delay:5%route:0|reset%route:1");
+  ASSERT_EQ(semi.size(), 2u);
+  ASSERT_EQ(pipe.size(), 2u);
+  EXPECT_EQ(pipe[0].action, NetFaultRule::Action::kDelay);
+  EXPECT_EQ(pipe[1].action, NetFaultRule::Action::kReset);
+}
+
+TEST(NetFaultGrammar, ParsesEveryActionAndSelector) {
+  const auto rules = parse_netfault_rules(
+      "throttle:4096;tear:10:50%dir:up;corrupt:0.5:9%dir:down;delay:1:2:3");
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].action, NetFaultRule::Action::kThrottle);
+  EXPECT_EQ(rules[0].bytes_per_s, 4096u);
+  EXPECT_EQ(rules[1].action, NetFaultRule::Action::kTear);
+  EXPECT_EQ(rules[1].tear_bytes, 10u);
+  EXPECT_EQ(rules[1].stall_ms, 50u);
+  EXPECT_EQ(rules[1].dir, NetFaultRule::Dir::kUp);
+  EXPECT_EQ(rules[2].action, NetFaultRule::Action::kCorrupt);
+  EXPECT_DOUBLE_EQ(rules[2].probability, 0.5);
+  EXPECT_EQ(rules[2].seed, 9u);
+  EXPECT_EQ(rules[2].dir, NetFaultRule::Dir::kDown);
+  EXPECT_EQ(rules[3].seed, 3u);  // delay's optional jitter seed
+}
+
+TEST(NetFaultGrammar, EmptyFragmentsAreSkipped) {
+  EXPECT_TRUE(parse_netfault_rules("").empty());
+  EXPECT_EQ(parse_netfault_rules("reset;").size(), 1u);
+  EXPECT_EQ(parse_netfault_rules(";;delay:1;;").size(), 1u);
+}
+
+TEST(NetFaultGrammar, MalformedSpecsThrowNamingTheFragment) {
+  // The bad_spec contract: std::invalid_argument whose message carries the
+  // offending fragment, so a 5-rule scenario pinpoints its one typo.
+  const std::vector<std::string> bad = {
+      "warp:9",                 // unknown action
+      "delay",                  // missing argument
+      "delay:abc",              // not a number
+      "throttle:0",             // zero rate
+      "tear:0:50",              // zero tear offset
+      "corrupt:1.5",            // probability out of range
+      "reset@since:10",         // bad window keyword
+      "reset@from:100:50",      // window ends before it starts
+      "reset%conn:0",           // conn is 1-based
+      "reset%dir:sideways",     // unknown direction
+      "reset%shard:1",          // unknown selector
+  };
+  for (const std::string& spec : bad) {
+    try {
+      parse_netfault_rules(spec);
+      FAIL() << "accepted malformed spec: " << spec;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_NE(std::string(error.what()).find(spec), std::string::npos)
+          << "error for '" << spec << "' does not name it: " << error.what();
+    }
+  }
+}
+
+TEST(NetFaultEngine, AcceptOrdinalsArePerRoute) {
+  NetFaultEngine engine(parse_netfault_rules("reset"));
+  EXPECT_EQ(engine.on_accept(0), 1u);
+  EXPECT_EQ(engine.on_accept(0), 2u);
+  EXPECT_EQ(engine.on_accept(5), 1u);  // fresh route, fresh ordinal
+}
+
+TEST(NetFaultEngine, WindowAndSelectorsGateMatching) {
+  NetFaultEngine engine(
+      parse_netfault_rules("delay:7@from:100:200%route:1,conn:2,dir:up"));
+  std::string chunk = "x";
+  // Wrong time, route, conn, and direction each miss.
+  EXPECT_EQ(engine.on_chunk(1, 2, true, 99, chunk).pre_delay_ms, 0u);
+  EXPECT_EQ(engine.on_chunk(1, 2, true, 200, chunk).pre_delay_ms, 0u);  // end exclusive
+  EXPECT_EQ(engine.on_chunk(0, 2, true, 150, chunk).pre_delay_ms, 0u);
+  EXPECT_EQ(engine.on_chunk(1, 1, true, 150, chunk).pre_delay_ms, 0u);
+  EXPECT_EQ(engine.on_chunk(1, 2, false, 150, chunk).pre_delay_ms, 0u);
+  // Exact match fires.
+  EXPECT_EQ(engine.on_chunk(1, 2, true, 150, chunk).pre_delay_ms, 7u);
+}
+
+TEST(NetFaultEngine, DelayJitterReplaysUnderTheSameSeed) {
+  const std::string spec = "delay:10:20:5";
+  NetFaultEngine first(parse_netfault_rules(spec), 42);
+  NetFaultEngine second(parse_netfault_rules(spec), 42);
+  std::string chunk = "payload";
+  for (int i = 0; i < 16; ++i) {
+    std::string a = chunk, b = chunk;
+    const auto plan_a = first.on_chunk(0, 1, true, 0, a);
+    const auto plan_b = second.on_chunk(0, 1, true, 0, b);
+    EXPECT_EQ(plan_a.pre_delay_ms, plan_b.pre_delay_ms);
+    EXPECT_GE(plan_a.pre_delay_ms, 10u);
+    EXPECT_LE(plan_a.pre_delay_ms, 30u);
+  }
+}
+
+TEST(NetFaultEngine, ThrottlePacesByChunkSize) {
+  NetFaultEngine engine(parse_netfault_rules("throttle:1000"));
+  std::string chunk(250, 'x');
+  // 250 bytes at 1000 B/s = 250 ms of pacing.
+  EXPECT_EQ(engine.on_chunk(0, 1, true, 0, chunk).post_delay_ms, 250u);
+}
+
+TEST(NetFaultEngine, TearFiresOncePerConnectionAndDirection) {
+  NetFaultEngine engine(parse_netfault_rules("tear:4:30"));
+  std::string chunk(16, 'x');
+  const auto first = engine.on_chunk(0, 1, true, 0, chunk);
+  EXPECT_EQ(first.tear_at, 4u);
+  EXPECT_EQ(first.tear_stall_ms, 30u);
+  // Same conn+dir: never again.
+  EXPECT_EQ(engine.on_chunk(0, 1, true, 0, chunk).tear_at, ~std::size_t{0});
+  // Other direction and other conn: their own single tear each.
+  EXPECT_EQ(engine.on_chunk(0, 1, false, 0, chunk).tear_at, 4u);
+  EXPECT_EQ(engine.on_chunk(0, 2, true, 0, chunk).tear_at, 4u);
+  // A tear offset past the chunk clamps to its size.
+  NetFaultEngine big(parse_netfault_rules("tear:400:30"));
+  std::string small(8, 'y');
+  EXPECT_EQ(big.on_chunk(0, 1, true, 0, small).tear_at, 8u);
+}
+
+TEST(NetFaultEngine, BlackholeHoldsWithinItsWindow) {
+  NetFaultEngine engine(parse_netfault_rules("blackhole@from:100:200"));
+  std::string chunk = "data";
+  EXPECT_FALSE(engine.on_chunk(0, 1, true, 50, chunk).hold);
+  EXPECT_TRUE(engine.on_chunk(0, 1, true, 150, chunk).hold);
+  EXPECT_TRUE(engine.holding(0, 1, true, 150));
+  EXPECT_FALSE(engine.holding(0, 1, true, 200));  // healed: flush time
+}
+
+TEST(NetFaultEngine, CorruptionIsChunkBoundaryIndependent) {
+  // The flip pattern is keyed on the ABSOLUTE stream offset, so slicing the
+  // same stream differently must corrupt the same bytes the same way.
+  const std::string stream =
+      "The quick brown fox jumps over the lazy dog 0123456789";
+  const std::string spec = "corrupt:0.3:77";
+
+  NetFaultEngine whole_engine(parse_netfault_rules(spec), 1);
+  std::string whole = stream;
+  whole_engine.on_chunk(0, 1, true, 0, whole);
+  EXPECT_NE(whole, stream);  // p=0.3 over 55 bytes: astronomically unlikely to miss all
+
+  NetFaultEngine split_engine(parse_netfault_rules(spec), 1);
+  std::string rebuilt;
+  for (std::size_t at = 0; at < stream.size(); at += 7) {
+    std::string piece = stream.substr(at, 7);
+    split_engine.on_chunk(0, 1, true, 0, piece);
+    rebuilt += piece;
+  }
+  EXPECT_EQ(rebuilt, whole);
+
+  // A different connection gets a different pattern (no cross-conn replay).
+  NetFaultEngine other_conn(parse_netfault_rules(spec), 1);
+  std::string other = stream;
+  other_conn.on_chunk(0, 2, true, 0, other);
+  EXPECT_NE(other, whole);
+}
+
+TEST(NetFaultEngine, CountersDistinguishConnsFromEvents) {
+  NetFaultEngine engine(parse_netfault_rules("delay:1%route:0;reset%route:9"));
+  std::string chunk = "x";
+  engine.on_chunk(0, 1, true, 0, chunk);
+  engine.on_chunk(0, 1, true, 0, chunk);  // same conn, second event
+  engine.on_chunk(0, 2, false, 0, chunk);
+  const auto counters = engine.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].rule, "delay:1%route:0");
+  EXPECT_EQ(counters[0].conns, 2u);   // (0,1) and (0,2)
+  EXPECT_EQ(counters[0].events, 3u);  // three chunks fired
+  EXPECT_EQ(counters[1].conns, 0u);   // route 9 never saw traffic
+  EXPECT_EQ(counters[1].events, 0u);
+}
+
+TEST(NetFaultEngine, CountersJsonIsOneWellFormedLine) {
+  NetFaultEngine engine(parse_netfault_rules("delay:1"), 7);
+  std::string chunk = "x";
+  engine.on_chunk(0, 1, true, 0, chunk);
+  EXPECT_EQ(engine.counters_json(),
+            "{\"seed\":7,\"rules\":[{\"rule\":\"delay:1\",\"conns\":1,"
+            "\"events\":1}]}");
+}
+
+#ifdef __unix__
+
+/// Minimal echo server on an ephemeral loopback port: accepts one connection
+/// at a time and echoes bytes until EOF.  Runs until closed.
+class EchoServer {
+ public:
+  EchoServer() {
+    listener_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(listener_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    EXPECT_EQ(::listen(listener_, 8), 0);
+    socklen_t len = sizeof(addr);
+    ::getsockname(listener_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    thread_ = std::thread([this] {
+      while (true) {
+        const int conn = ::accept(listener_, nullptr, nullptr);
+        if (conn < 0) return;  // listener closed: shut down
+        char buf[512];
+        ssize_t n = 0;
+        while ((n = ::read(conn, buf, sizeof buf)) > 0) {
+          ssize_t sent = 0;
+          while (sent < n) {
+            const ssize_t w = ::write(conn, buf + sent, static_cast<size_t>(n - sent));
+            if (w <= 0) break;
+            sent += w;
+          }
+        }
+        ::close(conn);
+      }
+    });
+  }
+
+  ~EchoServer() {
+    ::shutdown(listener_, SHUT_RDWR);
+    ::close(listener_);
+    thread_.join();
+  }
+
+  std::uint16_t port() const { return port_; }
+
+ private:
+  int listener_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+int dial_local(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  return fd;
+}
+
+std::string read_exact(int fd, std::size_t want) {
+  std::string out;
+  char buf[512];
+  while (out.size() < want) {
+    const ssize_t n = ::read(fd, buf, std::min(sizeof buf, want - out.size()));
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+TEST(ChaosProxy, ForwardsCleanlyWithNoRules) {
+  EchoServer echo;
+  ChaosProxy::Options options;
+  options.targets = {echo.port()};
+  ChaosProxy proxy(std::move(options));
+  proxy.start();
+
+  const int fd = dial_local(proxy.route_port(0));
+  const std::string message = "hello through the proxy";
+  ASSERT_EQ(::write(fd, message.data(), message.size()),
+            static_cast<ssize_t>(message.size()));
+  EXPECT_EQ(read_exact(fd, message.size()), message);
+  ::close(fd);
+  proxy.stop();  // also exercises stop() before ~ChaosProxy
+}
+
+TEST(ChaosProxy, BlackholeHoldsThenFlushesOnHeal) {
+  EchoServer echo;
+  ChaosProxy::Options options;
+  options.targets = {echo.port()};
+  options.scenario = "blackhole@from:0:300%dir:up";
+  ChaosProxy proxy(std::move(options));
+  proxy.start();
+
+  const int fd = dial_local(proxy.route_port(0));
+  const std::string message = "partitioned";
+  const auto sent_at = std::chrono::steady_clock::now();
+  ASSERT_EQ(::write(fd, message.data(), message.size()),
+            static_cast<ssize_t>(message.size()));
+  // The echo comes back only after the partition heals at 300 ms.
+  EXPECT_EQ(read_exact(fd, message.size()), message);
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - sent_at)
+                          .count();
+  EXPECT_GE(waited, 250);  // held for (almost) the whole window
+  const auto counters = proxy.engine().counters();
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].conns, 1u);
+  EXPECT_GE(counters[0].events, 1u);
+  ::close(fd);
+}
+
+TEST(ChaosProxy, ResetTearsTheConnectionDown) {
+  EchoServer echo;
+  ChaosProxy::Options options;
+  options.targets = {echo.port()};
+  options.scenario = "reset%conn:1";
+  ChaosProxy proxy(std::move(options));
+  proxy.start();
+
+  const int fd = dial_local(proxy.route_port(0));
+  const std::string message = "doomed";
+  ASSERT_EQ(::write(fd, message.data(), message.size()),
+            static_cast<ssize_t>(message.size()));
+  EXPECT_TRUE(read_exact(fd, message.size()).empty());  // EOF or ECONNRESET
+  ::close(fd);
+
+  // The SECOND connection is past the conn:1 selector and flows normally.
+  const int fd2 = dial_local(proxy.route_port(0));
+  ASSERT_EQ(::write(fd2, message.data(), message.size()),
+            static_cast<ssize_t>(message.size()));
+  EXPECT_EQ(read_exact(fd2, message.size()), message);
+  ::close(fd2);
+}
+
+TEST(ChaosProxy, TearSplitsButDeliversEverything) {
+  EchoServer echo;
+  ChaosProxy::Options options;
+  options.targets = {echo.port()};
+  options.scenario = "tear:5:60%dir:up";
+  ChaosProxy proxy(std::move(options));
+  proxy.start();
+
+  const int fd = dial_local(proxy.route_port(0));
+  const std::string message = "torn-mid-frame-but-complete";
+  ASSERT_EQ(::write(fd, message.data(), message.size()),
+            static_cast<ssize_t>(message.size()));
+  EXPECT_EQ(read_exact(fd, message.size()), message);
+  ::close(fd);
+}
+
+TEST(ChaosProxy, MalformedScenarioThrowsAtConstruction) {
+  ChaosProxy::Options options;
+  options.targets = {1};
+  options.scenario = "warp:9";
+  EXPECT_THROW(ChaosProxy proxy(std::move(options)), std::invalid_argument);
+}
+
+#endif  // __unix__
+
+}  // namespace
+}  // namespace pglb

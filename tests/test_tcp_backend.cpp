@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "fleet/tcp_backend.hpp"
+#include "obs/registry.hpp"
 #include "service/protocol.hpp"
 #include "service/wire.hpp"
 
@@ -496,6 +497,87 @@ TEST(TcpBackendReconnect, SetPortMovesTheEndpoint) {
   new_server.join();
   ::close(old_listener);
   ::close(new_listener);
+}
+
+// --- jittered exponential reconnect backoff ---------------------------------
+
+/// A loopback port that refuses connections: bind it, read it, free it.
+std::uint16_t dead_port() {
+  std::uint16_t port = 0;
+  const int listener = listen_ephemeral(&port);
+  ::close(listener);
+  return port;
+}
+
+TEST(TcpBackendBackoff, FailsFastInsideTheWindowAndDoublesOnRepeat) {
+  const std::uint16_t port = dead_port();
+  Registry registry;
+  TcpBackend backend("b0", port, "127.0.0.1", WireMode::kAuto, &registry);
+  backend.set_reconnect_policy({.base_ms = 200, .max_ms = 800});
+
+  // First submit dials the dead port, fails, and arms a [100, 200] ms window.
+  EXPECT_THROW(backend.submit("one").get(), BackendError);
+  EXPECT_EQ(backend.stats().connect_failures, 1u);
+  EXPECT_EQ(registry.counter("wire.connect_failures"), 1u);
+  const double first_wait = registry.gauge("wire.backoff_ms");
+  EXPECT_GE(first_wait, 100.0);
+  EXPECT_LE(first_wait, 200.0);
+
+  // Inside the window, submits fail fast with a typed backoff error — the
+  // dead endpoint is NOT re-dialed (no reconnect storm).
+  try {
+    backend.submit("two").get();
+    FAIL() << "expected a fail-fast BackendError inside the backoff window";
+  } catch (const BackendError& error) {
+    EXPECT_NE(std::string(error.what()).find("backoff"), std::string::npos);
+  }
+  EXPECT_EQ(backend.stats().backoff_skips, 1u);
+  EXPECT_EQ(backend.stats().connect_failures, 1u);  // still the one dial
+
+  // Once the window expires the next submit really dials again; the second
+  // consecutive failure doubles the window to [200, 400] ms.
+  std::this_thread::sleep_for(std::chrono::milliseconds(220));
+  EXPECT_THROW(backend.submit("three").get(), BackendError);
+  EXPECT_EQ(backend.stats().connect_failures, 2u);
+  const double second_wait = registry.gauge("wire.backoff_ms");
+  EXPECT_GE(second_wait, 200.0);
+  EXPECT_LE(second_wait, 400.0);
+
+  // A respawned replica moves the endpoint: set_port forgets the backoff, the
+  // next submit dials immediately, and success resets the whole ladder.
+  std::uint16_t live_port = 0;
+  const int listener = listen_ephemeral(&live_port);
+  std::thread server(
+      [listener] { serve_one_binary_connection(listener, "recovered"); });
+  backend.set_port(live_port);
+  EXPECT_EQ(backend.submit("four").get(), "recovered");
+  EXPECT_EQ(backend.stats().reconnects, 1u);
+  EXPECT_EQ(registry.gauge("wire.backoff_ms"), 0.0);
+  EXPECT_EQ(registry.counter("wire.reconnects"), 1u);
+  server.join();
+  ::close(listener);
+}
+
+TEST(TcpBackendBackoff, JitterIsSeededPerNameSoDrillsReplay) {
+  // Same name + same policy => bit-identical jitter draws (the splitmix64
+  // chain is seeded off the backend name, docs/CHAOS.md).  Distinct fleet
+  // names walk distinct chains, so a fleet never thunders in phase.
+  const std::uint16_t port = dead_port();
+  const ReconnectPolicy policy{.base_ms = 400, .max_ms = 6400};
+  Registry first_registry;
+  Registry second_registry;
+  TcpBackend first("replica-7", port, "127.0.0.1", WireMode::kAuto,
+                   &first_registry);
+  TcpBackend second("replica-7", port, "127.0.0.1", WireMode::kAuto,
+                    &second_registry);
+  first.set_reconnect_policy(policy);
+  second.set_reconnect_policy(policy);
+  EXPECT_THROW(first.submit("x").get(), BackendError);
+  EXPECT_THROW(second.submit("x").get(), BackendError);
+  const double wait = first_registry.gauge("wire.backoff_ms");
+  EXPECT_EQ(wait, second_registry.gauge("wire.backoff_ms"));
+  EXPECT_GE(wait, 200.0);
+  EXPECT_LE(wait, 400.0);
 }
 
 }  // namespace

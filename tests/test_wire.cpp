@@ -182,6 +182,158 @@ TEST(WireHello, VersionGateRejectsOlderSpeakers) {
   EXPECT_TRUE(wire::is_hello_line(R"({"hello":"pglb-wire","wire":2})"));
 }
 
+// --- CRC trailer (docs/CHAOS.md) --------------------------------------------
+
+TEST(WireCrc, CrcFrameRoundTripsAndFlagsTheHeader) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 11, "payload",
+                     /*with_crc=*/true);
+  EXPECT_EQ(buffer.size(), wire::kHeaderSize + 7 + wire::kCrcTrailerSize);
+  EXPECT_EQ(buffer[5], wire::kFlagCrc);  // flags byte
+  Frame frame;
+  std::size_t offset = 0;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, nullptr),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.payload, "payload");
+  EXPECT_EQ(offset, buffer.size());
+}
+
+TEST(WireCrc, FlippedPayloadByteIsTypedCorruptionNotDesync) {
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 11, "payload", true);
+  buffer[wire::kHeaderSize + 2] ^= 0x20;  // corrupt one payload byte
+  const std::size_t start = buffer.size();
+  wire::append_frame(buffer, FrameType::kResponse, 12, "next", true);
+
+  Frame frame;
+  std::size_t offset = 0;
+  std::string error;
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, &error),
+            DecodeStatus::kCorrupt);
+  EXPECT_EQ(frame.id, 11u);  // id survives so the peer can answer typed
+  EXPECT_TRUE(frame.payload.empty());
+  EXPECT_NE(error.find("crc"), std::string::npos);
+  EXPECT_EQ(offset, start);  // stream stays in sync...
+
+  // ...so the NEXT frame decodes normally.
+  EXPECT_EQ(wire::decode_frame(buffer, &offset, &frame, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.id, 12u);
+  EXPECT_EQ(frame.payload, "next");
+}
+
+TEST(WireCrc, UncrcFramesInterleaveWithCrcFrames) {
+  // The flag is per-frame: a mixed stream (old peer frames + upgraded
+  // frames) decodes without any mode switch.
+  std::string buffer;
+  wire::append_frame(buffer, FrameType::kRequest, 1, "plain");
+  wire::append_frame(buffer, FrameType::kRequest, 2, "checked", true);
+  std::size_t offset = 0;
+  Frame frame;
+  ASSERT_EQ(wire::decode_frame(buffer, &offset, &frame, nullptr),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.id, 1u);
+  ASSERT_EQ(wire::decode_frame(buffer, &offset, &frame, nullptr),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.id, 2u);
+}
+
+TEST(WireCrc, HelloNegotiatesTheCrcUpgrade) {
+  EXPECT_TRUE(wire::is_hello_line(wire::hello_line(true)));
+  EXPECT_TRUE(wire::hello_wants_crc(wire::hello_line(true)));
+  EXPECT_FALSE(wire::hello_wants_crc(wire::hello_line(false)));
+  EXPECT_TRUE(wire::is_hello_ack(wire::hello_ack_line(true)));
+  EXPECT_TRUE(wire::ack_grants_crc(wire::hello_ack_line(true)));
+  EXPECT_FALSE(wire::ack_grants_crc(wire::hello_ack_line(false)));
+  // Old peers: plain hello/ack parse fine and simply decline the upgrade.
+  EXPECT_FALSE(wire::hello_wants_crc(R"({"hello":"pglb-wire","wire":1})"));
+}
+
+// --- fuzz corpus ------------------------------------------------------------
+// Seeded structure-aware mutations (truncate, bit-flip, oversize length) over
+// valid frame streams: the decoder must always answer kFrame, kNeedMore,
+// kCorrupt, or kBad — never crash, hang, or allocate absurdly — and after a
+// kBad the caller's contract (drop the connection) makes any outcome past the
+// first desync acceptable.
+
+std::uint64_t fuzz_next(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+void decode_all(const std::string& buffer) {
+  std::size_t offset = 0;
+  std::string error;
+  for (int steps = 0; steps < 1024; ++steps) {  // hang guard
+    Frame frame;
+    const DecodeStatus status =
+        wire::decode_frame(buffer, &offset, &frame, &error);
+    if (status == DecodeStatus::kNeedMore || status == DecodeStatus::kBad) {
+      return;  // clean drop either way
+    }
+    ASSERT_LE(frame.payload.size(), wire::kMaxPayload);
+    ASSERT_LE(offset, buffer.size());
+  }
+  FAIL() << "decoder failed to terminate on a " << buffer.size()
+         << "-byte buffer";
+}
+
+TEST(WireFuzz, MutatedStreamsNeverCrashOrDesyncTheDecoder) {
+  std::uint64_t rng = 0xC0FFEE;
+  for (int round = 0; round < 400; ++round) {
+    // Build a small valid stream: 1-4 frames, mixed CRC, varied payloads.
+    std::string buffer;
+    const std::size_t frames = 1 + fuzz_next(rng) % 4;
+    for (std::size_t f = 0; f < frames; ++f) {
+      const std::size_t size = fuzz_next(rng) % 64;
+      std::string payload;
+      for (std::size_t i = 0; i < size; ++i) {
+        payload.push_back(static_cast<char>(fuzz_next(rng) & 0xFF));
+      }
+      wire::append_frame(buffer,
+                         (fuzz_next(rng) & 1) ? FrameType::kRequest
+                                              : FrameType::kResponse,
+                         fuzz_next(rng), payload, (fuzz_next(rng) & 1) != 0);
+    }
+    // One seeded mutation per round.
+    switch (fuzz_next(rng) % 3) {
+      case 0:  // truncate anywhere
+        buffer.resize(fuzz_next(rng) % (buffer.size() + 1));
+        break;
+      case 1:  // flip one bit anywhere (header or payload)
+        if (!buffer.empty()) {
+          buffer[fuzz_next(rng) % buffer.size()] ^=
+              static_cast<char>(1u << (fuzz_next(rng) % 8));
+        }
+        break;
+      default:  // stomp a length field with an oversize value
+        if (buffer.size() >= wire::kHeaderSize) {
+          buffer[8] = static_cast<char>(fuzz_next(rng) & 0xFF);
+          buffer[9] = static_cast<char>(fuzz_next(rng) & 0xFF);
+          buffer[10] = static_cast<char>(fuzz_next(rng) & 0xFF);
+          buffer[11] = static_cast<char>(0x7F);
+        }
+        break;
+    }
+    decode_all(buffer);
+  }
+}
+
+TEST(WireFuzz, RandomGarbageIsRejectedOrStarved) {
+  std::uint64_t rng = 0xBAD5EED;
+  for (int round = 0; round < 200; ++round) {
+    std::string garbage;
+    const std::size_t size = fuzz_next(rng) % 256;
+    for (std::size_t i = 0; i < size; ++i) {
+      garbage.push_back(static_cast<char>(fuzz_next(rng) & 0xFF));
+    }
+    decode_all(garbage);
+  }
+}
+
 // --- errno policy -----------------------------------------------------------
 
 TEST(WireErrno, ClassifiesRetryTransientAndFatal) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <sstream>
@@ -163,6 +164,99 @@ TEST(WireServer, GarbageAfterHandshakeIsCountedAndStopsTheStream) {
   EXPECT_EQ(metrics.counter("wire.bad_frames"), 1u);
 }
 
+TEST(WireServer, CrcHelloNegotiatesTrailersBothWays) {
+  // A crc-requesting hello gets a crc-granting ack, and every response frame
+  // carries the trailer — which parse_frame_output validates by decoding.
+  // The payload bytes stay byte-identical to an untrailed server's.
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+  ServiceMetrics reference_metrics;
+  Planner reference_planner(tiny_options(), &reference_metrics);
+  PlanServer reference(reference_planner, reference_metrics,
+                       {.threads = 1, .queue_capacity = 8});
+
+  std::string input = wire::hello_line(true) + "\n";
+  wire::append_frame(input, wire::FrameType::kRequest, 21, plan_line(0, 0),
+                     /*with_crc=*/true);
+  wire::append_frame(input, wire::FrameType::kRequest, 22, plan_line(1, 1),
+                     /*with_crc=*/true);
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 2u);
+
+  const auto [ack, responses] = parse_frame_output(out.str());
+  EXPECT_TRUE(wire::is_hello_ack(ack));
+  EXPECT_TRUE(wire::ack_grants_crc(ack));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses.at(21), reference.submit(plan_line(0, 0)).get());
+  EXPECT_EQ(responses.at(22), reference.submit(plan_line(1, 1)).get());
+  // The raw transcript really contains flagged frames, not just clean ones.
+  EXPECT_NE(out.str().find(static_cast<char>(wire::kFlagCrc)),
+            std::string::npos);
+  EXPECT_EQ(metrics.counter("wire.crc_upgrades"), 1u);
+}
+
+TEST(WireServer, CorruptPayloadGetsTypedErrorAndTheStreamSurvives) {
+  // Flip one payload byte of a CRC frame in flight: the server must reject
+  // THAT id with a typed error and keep serving — corruption is a per-frame
+  // event, not a connection killer (docs/CHAOS.md).
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics, {.threads = 2, .queue_capacity = 8});
+
+  std::string damaged;
+  wire::append_frame(damaged, wire::FrameType::kRequest, 5, plan_line(0, 0),
+                     /*with_crc=*/true);
+  damaged[wire::kHeaderSize + 3] ^= 0x40;  // one bit, inside the payload
+  std::string input = wire::hello_line(true) + "\n" + damaged;
+  wire::append_frame(input, wire::FrameType::kRequest, 6, plan_line(1, 1),
+                     /*with_crc=*/true);
+
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 2u);
+
+  const auto [ack, responses] = parse_frame_output(out.str());
+  EXPECT_TRUE(wire::ack_grants_crc(ack));
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_NE(responses.at(5).find("\"status\":\"error\""), std::string::npos);
+  EXPECT_NE(responses.at(5).find("crc"), std::string::npos);
+  EXPECT_NE(responses.at(6).find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(metrics.counter("wire.crc_rejected"), 1u);
+  EXPECT_EQ(metrics.counter("wire.bad_frames"), 0u);
+}
+
+TEST(WireServer, InflightCapShedsWithTypedPushback) {
+  // One worker, a cap of one frame in flight, six frames arriving faster than
+  // any plan completes: the excess gets immediate "overloaded" responses on
+  // their own ids instead of monopolizing the queue.  Every id is answered.
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics,
+                    {.threads = 1, .queue_capacity = 16,
+                     .max_inflight_frames = 1});
+
+  std::string input = wire::hello_line() + "\n";
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    wire::append_frame(input, wire::FrameType::kRequest, id,
+                       plan_line(static_cast<int>(id), static_cast<int>(id)));
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 6u);
+
+  const auto [ack, responses] = parse_frame_output(out.str());
+  EXPECT_TRUE(wire::is_hello_ack(ack));
+  ASSERT_EQ(responses.size(), 6u);
+  std::size_t shed = 0;
+  for (const auto& [id, payload] : responses) {
+    if (payload.find("\"status\":\"overloaded\"") != std::string::npos) ++shed;
+  }
+  EXPECT_GE(shed, 1u);
+  EXPECT_EQ(metrics.counter("wire.inflight_shed"), shed);
+}
+
 #ifdef __unix__
 
 TEST(WireServerIntegration, BinaryBackendRoundTripsByteIdentical) {
@@ -201,6 +295,53 @@ TEST(WireServerIntegration, BinaryBackendRoundTripsByteIdentical) {
   serving.join();
   EXPECT_EQ(metrics.counter("wire.binary_upgrades"), 1u);
   EXPECT_EQ(metrics.counter("requests_total"), 8u);
+}
+
+TEST(WireServerIntegration, HandshakeDeadlineCutsOffASilentPeer) {
+  // Slow-loris defense (docs/CHAOS.md): a peer that connects and never sends
+  // a byte is cut off at the handshake deadline instead of parking a serving
+  // slot forever, and the cut is counted distinctly.
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics,
+                    {.threads = 2, .queue_capacity = 8,
+                     .handshake_timeout_ms = 80});
+
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::ostringstream out;
+  const auto before = std::chrono::steady_clock::now();
+  EXPECT_EQ(server.serve_fd(fds[1], out), 0u);  // peer open, silent
+  const auto waited = std::chrono::steady_clock::now() - before;
+  EXPECT_GE(waited, std::chrono::milliseconds(70));
+  EXPECT_EQ(out.str(), "");
+  EXPECT_EQ(metrics.counter("wire.handshake_timeouts"), 1u);
+  EXPECT_EQ(metrics.counter("wire.idle_reaped"), 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireServerIntegration, IdleDeadlineReapsAfterServingWhatArrived) {
+  // A connection that speaks and then goes quiet is served, then reaped at
+  // the idle deadline — the request it DID send is answered first.
+  ServiceMetrics metrics;
+  Planner planner(tiny_options(), &metrics);
+  PlanServer server(planner, metrics,
+                    {.threads = 2, .queue_capacity = 8,
+                     .idle_timeout_ms = 80});
+
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string request = plan_line(0, 0) + "\n";
+  ASSERT_EQ(::send(fds[0], request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_fd(fds[1], out), 1u);  // then silence until the reap
+  EXPECT_NE(out.str().find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_EQ(metrics.counter("wire.idle_reaped"), 1u);
+  EXPECT_EQ(metrics.counter("wire.handshake_timeouts"), 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 #endif  // __unix__

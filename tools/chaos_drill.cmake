@@ -1,0 +1,100 @@
+# Chaos acceptance gate (docs/CHAOS.md): the fleet loadgen drill behind the
+# pglb_chaos fault-injection proxy, running a scripted partition / heal /
+# slow-link / reset scenario:
+#
+#   rule[0]  blackhole route 0 from 300 ms to 1100 ms (partition, then heal)
+#   rule[1]  25 ms +/- 10 ms jitter on route 1 from 1500 ms to 2600 ms
+#   rule[2]  reset the first connection to route 2
+#
+# Three runs, all of which must exit 0 (pglb_loadgen exits non-zero on ANY
+# non-typed failure):
+#   1. baseline, no chaos, --plans-out
+#   2. chaos with a fixed seed, --plans-out
+#   3. chaos again, same seed
+#
+# Asserted:
+#   - response files byte-identical across all three runs (plans under
+#     partition == plans on a healthy network)
+#   - zero hard failures in the chaos runs ("errors=0")
+#   - per-rule `conns` counters identical across the two chaos runs (the
+#     deterministic replay contract)
+#   - blackhole and delay rules actually fired (events > 0)
+# Driven by ctest (see CMakeLists.txt in this directory).
+
+function(run_drill out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "drill run failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}\n${err}" PARENT_SCOPE)
+endfunction()
+
+# Extract one "chaos rule[i] <text> conns=N events=M" summary line.
+function(parse_rule text idx label out_conns out_events)
+  if(NOT text MATCHES "chaos rule\\[${idx}\\] [^\n]* conns=([0-9]+) events=([0-9]+)")
+    message(FATAL_ERROR "${label} run printed no chaos rule[${idx}] line:\n${text}")
+  endif()
+  set(${out_conns} ${CMAKE_MATCH_1} PARENT_SCOPE)
+  set(${out_events} ${CMAKE_MATCH_2} PARENT_SCOPE)
+endfunction()
+
+# '|' separates rules ('; ' is a CMake list separator); see util/netfault.hpp.
+set(scenario "blackhole@from:300:1100%route:0|delay:25:10@from:1500:2600%route:1|reset%route:2,conn:1")
+
+# --wave paces arrivals over ~7 s so traffic spans every scenario window;
+# --kill-at/--restart-at 0 disable the kill drill (chaos supplies the faults).
+set(drill_args --requests=96 --threads=4 --distinct=6 --scale=0.002
+    --router=3 --hedge-ms=100 --wave=40 --kill-at=0 --restart-at=0
+    --server=${PGLB_SERVE})
+set(chaos_args --chaos=${scenario} --chaos-proxy=${PGLB_CHAOS} --chaos-seed=7)
+
+set(base_plans ${WORKDIR}/chaos_drill_base.jsonl)
+set(one_plans ${WORKDIR}/chaos_drill_one.jsonl)
+set(two_plans ${WORKDIR}/chaos_drill_two.jsonl)
+file(REMOVE ${base_plans} ${one_plans} ${two_plans})
+
+run_drill(base_out ${PGLB_LOADGEN} ${drill_args} --plans-out=${base_plans})
+run_drill(one_out ${PGLB_LOADGEN} ${drill_args} ${chaos_args}
+          --plans-out=${one_plans})
+run_drill(two_out ${PGLB_LOADGEN} ${drill_args} ${chaos_args}
+          --plans-out=${two_plans})
+
+# Zero non-typed failures under chaos (exit codes already enforce this; the
+# parseable line re-asserts it against output-format drift).
+foreach(label_out IN ITEMS one_out two_out)
+  if(NOT ${label_out} MATCHES "chaos typed failures: errors=0 ")
+    message(FATAL_ERROR "${label_out}: hard failures under chaos:\n${${label_out}}")
+  endif()
+endforeach()
+
+# Plans byte-identical: healthy baseline == chaos run == chaos replay.
+file(READ ${base_plans} base_text)
+file(READ ${one_plans} one_text)
+file(READ ${two_plans} two_text)
+if(base_text STREQUAL "")
+  message(FATAL_ERROR "baseline run wrote no plans to ${base_plans}")
+endif()
+if(NOT base_text STREQUAL one_text)
+  message(FATAL_ERROR "plans diverged under chaos (baseline vs chaos run 1)")
+endif()
+if(NOT one_text STREQUAL two_text)
+  message(FATAL_ERROR "plans diverged between the two chaos runs")
+endif()
+
+# Deterministic replay: same scenario + seed => same per-rule conns counters,
+# and the partition/slow-link rules must actually have injected something.
+foreach(idx RANGE 2)
+  parse_rule("${one_out}" ${idx} "chaos-1" one_conns one_events)
+  parse_rule("${two_out}" ${idx} "chaos-2" two_conns two_events)
+  if(NOT one_conns EQUAL two_conns)
+    message(FATAL_ERROR "rule[${idx}] conns differ across replays: "
+            "${one_conns} vs ${two_conns}")
+  endif()
+  if(idx LESS 2 AND one_events EQUAL 0)
+    message(FATAL_ERROR "rule[${idx}] never fired (events=0):\n${one_out}")
+  endif()
+  message(STATUS "chaos rule[${idx}]: conns=${one_conns} events=${one_events}")
+endforeach()
+
+file(REMOVE ${base_plans} ${one_plans} ${two_plans})

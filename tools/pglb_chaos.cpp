@@ -1,0 +1,225 @@
+// pglb_chaos — deterministic link-fault injection proxy (docs/CHAOS.md).
+//
+// Sits between a router and its replicas: one ephemeral-port listener per
+// --targets entry, every accepted connection forwarded to 127.0.0.1:<target>
+// through the seeded NetFaultEngine (util/netfault.hpp), which injects
+// latency, throttling, torn writes, resets, blackhole partitions, and byte
+// corruption per a scripted scenario.
+//
+//   pglb_chaos --targets=7447,7448,7449 --port-dir=/tmp/run
+//              --control-port-file=/tmp/run/chaos.port
+//              --scenario='blackhole@from:300:1100%route:0' --seed=42
+//
+// Ports are published through the port-file handshake (util/portfile.hpp):
+// route k's listener at <port-dir>/chaos-r<k>.port.  The scenario comes from
+// --scenario or, failing that, the PGLB_NETFAULTS environment variable; a
+// malformed rule is a startup error naming the offending fragment, never a
+// mid-drill surprise.
+//
+// The control endpoint (its own ephemeral listener, published through
+// --control-port-file) answers one-line commands: "metrics" returns the
+// per-rule injection counters as one JSON line.  SIGINT/SIGTERM stops the
+// proxy cleanly — every pump thread joined, every port file retracted.
+
+#include <csignal>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/netfault.hpp"
+#include "util/parse.hpp"
+#include "util/portfile.hpp"
+
+#ifdef __unix__
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <ext/stdio_filebuf.h>  // libstdc++: iostream over a file descriptor
+#endif
+
+using namespace pglb;
+
+#ifdef __unix__
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_control_fd = -1;
+
+extern "C" void handle_stop_signal(int) {
+  g_stop = 1;
+  const int fd = g_control_fd;
+  if (fd >= 0) {
+    g_control_fd = -1;
+    ::close(fd);  // async-signal-safe; unblocks the control accept()
+  }
+}
+
+void install_stop_handlers() {
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: accept() must return EINTR/EBADF
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+std::vector<std::uint16_t> parse_targets(const std::string& text) {
+  std::vector<std::uint16_t> targets;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(',', start);
+    const std::string part = end == std::string::npos
+                                 ? text.substr(start)
+                                 : text.substr(start, end - start);
+    if (!part.empty()) {
+      const auto port = parse_int(part);
+      if (!port || *port <= 0 || *port > 65535) {
+        throw std::invalid_argument("--targets: '" + part +
+                                    "' is not a port number");
+      }
+      targets.push_back(static_cast<std::uint16_t>(*port));
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return targets;
+}
+
+/// Serve the control protocol until a stop signal: one command per line,
+/// "metrics" answers the engine's counters as one JSON line.
+int control_loop(ChaosProxy& proxy, const std::string& control_port_file) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::cerr << "pglb_chaos: socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  const int enable = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = 0;
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&address), sizeof(address)) < 0 ||
+      ::listen(listener, 8) < 0 ||
+      ::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    std::cerr << "pglb_chaos: control bind/listen: " << std::strerror(errno)
+              << "\n";
+    ::close(listener);
+    return 1;
+  }
+  const std::uint16_t port = ntohs(bound.sin_port);
+  if (!control_port_file.empty() && !write_port_file(control_port_file, port)) {
+    std::cerr << "pglb_chaos: cannot publish control port to "
+              << control_port_file << "\n";
+    ::close(listener);
+    return 1;
+  }
+  g_control_fd = listener;
+  install_stop_handlers();
+  std::cerr << "pglb_chaos: control on 127.0.0.1:" << port << "\n";
+  while (true) {
+    const int connection = ::accept(listener, nullptr, nullptr);
+    if (g_stop) {
+      if (connection >= 0) ::close(connection);
+      break;
+    }
+    if (connection < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "pglb_chaos: control accept: " << std::strerror(errno)
+                << "\n";
+      break;
+    }
+    __gnu_cxx::stdio_filebuf<char> in_buf(connection, std::ios::in);
+    __gnu_cxx::stdio_filebuf<char> out_buf(::dup(connection), std::ios::out);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line == "metrics") {
+        out << proxy.metrics_json() << "\n" << std::flush;
+      } else {
+        out << "{\"error\":\"unknown command\"}\n" << std::flush;
+      }
+    }
+  }
+  const int fd = g_control_fd;
+  g_control_fd = -1;
+  if (fd >= 0) ::close(fd);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  try {
+    ChaosProxy::Options options;
+    options.targets = parse_targets(cli.get_string("targets", ""));
+    options.upstream_host = cli.get_string("upstream-host", "127.0.0.1");
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    options.scenario = cli.get_string("scenario", "");
+    if (options.scenario.empty()) {
+      const char* env = std::getenv("PGLB_NETFAULTS");
+      if (env != nullptr) options.scenario = env;
+    }
+    const std::string port_dir = cli.get_string("port-dir", "");
+    const std::string control_port_file =
+        cli.get_string("control-port-file", "");
+    const auto unused = cli.unused_keys();
+    if (!unused.empty()) {
+      std::cerr << "pglb_chaos: unknown flag --" << unused.front() << "\n";
+      return 2;
+    }
+    if (options.targets.empty()) {
+      std::cerr << "pglb_chaos: --targets=port[,port...] is required\n";
+      return 2;
+    }
+
+    const std::size_t routes = options.targets.size();
+    ChaosProxy proxy(std::move(options));  // throws on a malformed scenario
+    proxy.start();
+    std::vector<std::string> port_files;
+    for (std::size_t route = 0; route < routes; ++route) {
+      const std::uint16_t port = proxy.route_port(route);
+      std::cerr << "pglb_chaos: route " << route << " on 127.0.0.1:" << port
+                << "\n";
+      if (!port_dir.empty()) {
+        const std::string path =
+            port_dir + "/chaos-r" + std::to_string(route) + ".port";
+        if (!write_port_file(path, port)) {
+          std::cerr << "pglb_chaos: cannot publish port to " << path << "\n";
+          return 1;
+        }
+        port_files.push_back(path);
+      }
+    }
+
+    const int status = control_loop(proxy, control_port_file);
+    std::cerr << "pglb_chaos: stopping\n";
+    proxy.stop();
+    std::cerr << "pglb_chaos: final " << proxy.metrics_json() << "\n";
+    for (const std::string& path : port_files) std::remove(path.c_str());
+    if (!control_port_file.empty()) std::remove(control_port_file.c_str());
+    return status;
+  } catch (const std::exception& e) {
+    std::cerr << "pglb_chaos: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+#else  // !__unix__
+
+int main() {
+  std::cerr << "pglb_chaos: only available on POSIX builds\n";
+  return 2;
+}
+
+#endif

@@ -44,6 +44,21 @@
 //   pglb_loadgen --requests=96 --router=1 --server=./pglb_serve \
 //     --autoscale --wave=60 --churn --max-replicas=3
 //
+// Chaos mode (docs/CHAOS.md): --chaos=SCENARIO (fleet mode only) spawns the
+// `pglb_chaos` fault-injection proxy between the router and its replicas and
+// points every TcpBackend at the proxy's ports.  The scenario uses the
+// netfault grammar (util/netfault.hpp); --chaos-seed seeds its RNG chains and
+// --chaos-proxy names the binary (default ./pglb_chaos).  After the run the
+// proxy's control endpoint is queried and a parseable per-rule summary is
+// printed:
+//
+//   chaos rule[0] blackhole@from:300:1100%route:0 conns=1 events=42
+//   chaos typed failures: errors=0 timeouts=0 overloaded=0
+//
+// --plans-out=FILE writes every response line, in request order, to FILE —
+// the chaos_drill gate diffs that file across chaos and no-chaos runs to
+// prove the plans stayed byte-identical under partition.
+//
 // Durable warm state (docs/PERSIST.md): --snapshot-dir=D hands each spawned
 // backend `--snapshot-dir=D/<tag>` so a SIGTERM'd backend snapshots its
 // profile cache and its restart restores it warm.  When the kill drill
@@ -57,6 +72,8 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -152,6 +169,10 @@ struct LoadReport {
   std::size_t final_replicas = 0;
   std::size_t floor_replicas = 0;
   std::size_t frontier_size = 0;  ///< machines on the live (cost, p99) frontier
+  /// Chaos mode: response lines in request order (--plans-out) and the final
+  /// per-rule injection counters from the proxy's control endpoint.
+  std::vector<std::string> responses;
+  std::string chaos_metrics_json;
 };
 
 /// Nonzero counter deltas of the process-wide registry across the run — what
@@ -405,7 +426,82 @@ struct RouterRunOptions {
   std::uint64_t autoscale_ms = 50;  ///< controller sampling cadence
   AutoscalerOptions autoscaler;     ///< min_replicas is overwritten with the floor
   WireMode wire = WireMode::kAuto;  ///< client transport (docs/WIRE.md)
+  // Chaos mode (docs/CHAOS.md).  Non-empty scenario = spawn the fault proxy
+  // and route every backend connection through it.
+  std::string chaos_scenario;
+  std::string chaos_proxy_path = "./pglb_chaos";
+  std::uint64_t chaos_seed = 1;
+  bool collect_responses = false;  ///< fill LoadReport::responses (--plans-out)
 };
+
+/// The spawned pglb_chaos proxy: per-route listener ports plus the control
+/// endpoint answering "metrics".
+struct ChaosChild {
+  pid_t pid = -1;
+  std::vector<std::uint16_t> ports;
+  std::uint16_t control_port = 0;
+};
+
+ChaosChild spawn_chaos(const RouterRunOptions& run,
+                       const std::vector<std::uint16_t>& targets,
+                       const std::string& port_dir) {
+  // Stale port files from a previous run in a reused dir would win the wait
+  // below; clear them before the fork.
+  const std::string control_file = port_dir + "/chaos-ctl.port";
+  std::remove(control_file.c_str());
+  std::string csv;
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    std::remove((port_dir + "/chaos-r" + std::to_string(k) + ".port").c_str());
+    if (k > 0) csv.push_back(',');
+    csv += std::to_string(targets[k]);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  if (pid == 0) {
+    std::vector<std::string> args = {run.chaos_proxy_path,
+                                     "--targets=" + csv,
+                                     "--port-dir=" + port_dir,
+                                     "--control-port-file=" + control_file,
+                                     "--scenario=" + run.chaos_scenario,
+                                     "--seed=" + std::to_string(run.chaos_seed)};
+    std::vector<char*> argv_child;
+    argv_child.reserve(args.size() + 1);
+    for (std::string& arg : args) argv_child.push_back(arg.data());
+    argv_child.push_back(nullptr);
+    execv(run.chaos_proxy_path.c_str(), argv_child.data());
+    std::perror("execv pglb_chaos");
+    _exit(127);
+  }
+  ChaosChild child;
+  child.pid = pid;
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    child.ports.push_back(wait_port_file(
+        port_dir + "/chaos-r" + std::to_string(k) + ".port", 10'000));
+  }
+  child.control_port = wait_port_file(control_file, 10'000);
+  return child;
+}
+
+/// One round-trip on the chaos control endpoint: "metrics" -> one JSON line.
+std::string chaos_metrics(std::uint16_t control_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(control_port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const char command[] = "metrics\n";
+  (void)!::write(fd, command, sizeof(command) - 1);
+  std::string line;
+  char byte = 0;
+  while (::read(fd, &byte, 1) == 1 && byte != '\n') line.push_back(byte);
+  ::close(fd);
+  return line;
+}
 
 /// Route the mix through an in-process fleet Router over K spawned backends.
 /// Backend 0 is SIGKILLed / restarted on the configured schedule — the
@@ -426,14 +522,21 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
                         : static_cast<std::uint16_t>(base_port + slot);
   };
   std::vector<ServeChild> children;
+  ChaosChild chaos;
   const auto kill_children = [&] {
     for (ServeChild& child : children) {
       if (child.pid > 0) kill(child.pid, SIGKILL);
     }
+    if (chaos.pid > 0) kill(chaos.pid, SIGKILL);
     for (ServeChild& child : children) {
       int status = 0;
       if (child.pid > 0) waitpid(child.pid, &status, 0);
       child.pid = -1;
+    }
+    if (chaos.pid > 0) {
+      int status = 0;
+      waitpid(chaos.pid, &status, 0);
+      chaos.pid = -1;
     }
   };
   try {
@@ -444,6 +547,22 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
     for (std::size_t k = 0; k < fleet_size; ++k) {
       wait_serve_ready(children[k], spawn_options, "b" + std::to_string(k),
                        30'000);
+    }
+
+    // Chaos interposition: spawn the fault proxy over the live replica ports
+    // and hand the router the PROXY ports instead.  Scenario windows run on
+    // the proxy's clock, which starts here — a few ms before the first
+    // request, so from:<ms> offsets are effectively run-relative.
+    std::vector<std::uint16_t> backend_ports;
+    for (const ServeChild& child : children) backend_ports.push_back(child.port);
+    if (!run.chaos_scenario.empty()) {
+      if (spawn_options.port_dir.empty()) {
+        spawn_options.port_dir = make_port_dir();
+      }
+      chaos = spawn_chaos(run, backend_ports, spawn_options.port_dir);
+      backend_ports = chaos.ports;
+      std::cerr << "loadgen: chaos proxy up (control port "
+                << chaos.control_port << ")\n";
     }
 
     RouterOptions options;
@@ -457,13 +576,14 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
     for (std::size_t k = 0; k < fleet_size; ++k) {
       tcp_backends.push_back(
           std::make_shared<TcpBackend>("b" + std::to_string(k),
-                                       children[k].port, "127.0.0.1", run.wire));
+                                       backend_ports[k], "127.0.0.1", run.wire));
       router->add_backend(tcp_backends.back());
     }
     router->start();
 
     LoadReport report;
     report.latencies_s.resize(requests);
+    if (run.collect_responses) report.responses.resize(requests);
     std::atomic<std::size_t> failed{0}, degraded{0}, timeouts{0}, overloaded{0};
     std::atomic<bool> first_error{false};
     std::atomic<std::size_t> next{0};
@@ -650,6 +770,7 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
           const Stopwatch timer;
           const std::string response_line = router->route(line);
           report.latencies_s[i] = timer.seconds();
+          if (run.collect_responses) report.responses[i] = response_line;
           const PlanResponse response = parse_plan_response(response_line);
           tally_response(response, response_line, failed, degraded, timeouts,
                          overloaded, first_error);
@@ -728,12 +849,17 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
     report.route_buckets = router_metrics.stage_buckets("router.route");
     report.service_counters = router_metrics.counters();
 
+    // The proxy's counters are final once the last response has been
+    // harvested; grab them while the control endpoint is still up.
+    if (chaos.pid > 0) report.chaos_metrics_json = chaos_metrics(chaos.control_port);
+
     router->stop();
     // Close the persistent connections BEFORE reaping: a backend blocked in
     // serve_stream needs the peer to disconnect to reach its drain path.
     router.reset();
     // Graceful this time: SIGTERM and reap, the drain contract under test in
-    // the smoke runs.
+    // the smoke runs.  The chaos proxy goes down LAST so the backends' drain
+    // traffic still flows through it.
     for (ServeChild& child : children) {
       if (child.pid > 0) kill(child.pid, SIGTERM);
     }
@@ -741,6 +867,12 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
       int status = 0;
       if (child.pid > 0) waitpid(child.pid, &status, 0);
       child.pid = -1;
+    }
+    if (chaos.pid > 0) {
+      kill(chaos.pid, SIGTERM);
+      int status = 0;
+      waitpid(chaos.pid, &status, 0);
+      chaos.pid = -1;
     }
     return report;
   } catch (...) {
@@ -797,6 +929,21 @@ int main(int argc, char** argv) {
         static_cast<std::uint32_t>(cli.get_int("idle-samples", 5));
     run.autoscaler.cooldown_ms =
         static_cast<std::uint64_t>(cli.get_int("cooldown-ms", 500));
+    run.chaos_scenario = cli.get_string("chaos", "");
+    run.chaos_proxy_path = cli.get_string("chaos-proxy", "./pglb_chaos");
+    run.chaos_seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed", 1));
+    const std::string plans_out = cli.get_string("plans-out", "");
+    run.collect_responses = !plans_out.empty();
+    if (!run.chaos_scenario.empty() && fleet_size == 0) {
+      std::cerr << "pglb_loadgen: --chaos needs fleet mode (--router=K)\n";
+      return 2;
+    }
+    if (!run.chaos_scenario.empty() && run.autoscale) {
+      // Autoscaled replicas spawn on fresh ports the proxy has no listener
+      // for; they would connect around the chaos layer and void the drill.
+      std::cerr << "pglb_loadgen: --chaos and --autoscale are incompatible\n";
+      return 2;
+    }
 
     PlannerOptions planner_options;
     planner_options.proxy_scale = cli.get_double("scale", 1.0 / 256.0);
@@ -939,6 +1086,43 @@ int main(int argc, char** argv) {
                   << bucket.count;
       }
       std::cout << "\n";
+    }
+
+    if (!run.chaos_scenario.empty()) {
+      // Parseable chaos summary (the chaos_drill gate's signal): one line per
+      // rule with its conns/events counters, then the typed-failure tally.
+      std::cout << "\nchaos scenario seed=" << run.chaos_seed << "\n";
+      if (report.chaos_metrics_json.empty()) {
+        std::cerr << "pglb_loadgen: chaos control endpoint unreachable\n";
+        return 1;
+      }
+      const JsonValue chaos = parse_json(report.chaos_metrics_json);
+      if (const JsonValue* rules = chaos.find("rules")) {
+        const auto& array = rules->as_array();
+        for (std::size_t r = 0; r < array.size(); ++r) {
+          std::cout << "chaos rule[" << r << "] "
+                    << array[r].find("rule")->as_string() << " conns="
+                    << static_cast<std::uint64_t>(
+                           array[r].find("conns")->as_number())
+                    << " events="
+                    << static_cast<std::uint64_t>(
+                           array[r].find("events")->as_number())
+                    << "\n";
+        }
+      }
+      std::cout << "chaos typed failures: errors=" << report.failed
+                << " timeouts=" << report.timeouts
+                << " overloaded=" << report.overloaded << "\n";
+    }
+    if (!plans_out.empty()) {
+      std::ofstream plans(plans_out, std::ios::trunc);
+      for (const std::string& line : report.responses) plans << line << "\n";
+      if (!plans) {
+        std::cerr << "pglb_loadgen: cannot write " << plans_out << "\n";
+        return 1;
+      }
+      std::cout << "plans written: " << plans_out << " ("
+                << report.responses.size() << " lines)\n";
     }
 
     if (report.autoscaled) {

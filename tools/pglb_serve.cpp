@@ -29,6 +29,16 @@
 //   --shed                  shed with "overloaded" responses instead of
 //                           blocking when the queue is at capacity
 //
+// Transport hardening (docs/CHAOS.md), socket mode only:
+//   --handshake-timeout-ms=N  close a connection whose first byte has not
+//                             arrived after N ms (slow-loris defense;
+//                             default 10000, 0 disables)
+//   --idle-timeout-ms=N       reap a connection idle for N ms after its
+//                             handshake (default 0 = never)
+//   --max-inflight=N          per-connection in-flight frame cap; excess
+//                             frames get typed "overloaded" pushback
+//                             (default 0 = unlimited)
+//
 // Durable warm state (docs/PERSIST.md):
 //   --snapshot-dir=DIR          lazily restore DIR/warm.snap on boot (a
 //                               corrupt or missing snapshot is a logged cold
@@ -245,11 +255,14 @@ int serve_socket(PlanServer& server, int port, const std::string& port_file) {
       return 1;
     }
     g_connection_fd = connection;
-    __gnu_cxx::stdio_filebuf<char> in_buf(connection, std::ios::in);
+    // serve_fd reads the socket through a deadline-aware streambuf so a peer
+    // that never sends its hello (or goes silent mid-session) is reaped by
+    // --handshake-timeout-ms / --idle-timeout-ms instead of pinning the
+    // accept loop forever.
     __gnu_cxx::stdio_filebuf<char> out_buf(::dup(connection), std::ios::out);
-    std::istream in(&in_buf);
     std::ostream out(&out_buf);
-    const std::size_t served = server.serve_stream(in, out);
+    const std::size_t served = server.serve_fd(connection, out);
+    ::close(connection);
     g_connection_fd = -1;
     std::cerr << "pglb_serve: connection closed after " << served << " requests\n";
   }
@@ -284,6 +297,12 @@ int main(int argc, char** argv) {
     server_options.queue_capacity =
         static_cast<std::size_t>(cli.get_int("queue", 256));
     server_options.shed_when_full = cli.get_bool("shed", false);
+    server_options.handshake_timeout_ms =
+        static_cast<std::uint64_t>(cli.get_int("handshake-timeout-ms", 10'000));
+    server_options.idle_timeout_ms =
+        static_cast<std::uint64_t>(cli.get_int("idle-timeout-ms", 0));
+    server_options.max_inflight_frames =
+        static_cast<std::size_t>(cli.get_int("max-inflight", 0));
 
     const std::string wire = cli.get_string("wire", "auto");
     if (wire != "auto" && wire != "line") {
