@@ -1,0 +1,47 @@
+#include "core/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pglb {
+
+const char* to_string(ReprofileMode mode) noexcept {
+  switch (mode) {
+    case ReprofileMode::kAuto: return "auto";
+    case ReprofileMode::kForce: return "force";
+    case ReprofileMode::kNever: return "never";
+  }
+  return "auto";
+}
+
+std::optional<ReprofileMode> reprofile_mode_from_string(std::string_view name) noexcept {
+  if (name == "auto") return ReprofileMode::kAuto;
+  if (name == "force") return ReprofileMode::kForce;
+  if (name == "never") return ReprofileMode::kNever;
+  return std::nullopt;
+}
+
+double histogram_distance(const ExactHistogram& a, const ExactHistogram& b) {
+  if (a.total() == 0 && b.total() == 0) return 0.0;
+  if (a.total() == 0 || b.total() == 0) return 1.0;
+  const std::size_t support =
+      std::max(a.counts().size(), b.counts().size());
+  double distance = 0.0;
+  for (std::size_t value = 0; value < support; ++value) {
+    distance += std::abs(a.probability(value) - b.probability(value));
+  }
+  return 0.5 * distance;
+}
+
+bool should_reprofile(const DriftPolicy& policy, const DriftStats& stats,
+                      double hist_distance) noexcept {
+  switch (policy.mode) {
+    case ReprofileMode::kForce: return true;
+    case ReprofileMode::kNever: return false;
+    case ReprofileMode::kAuto: break;
+  }
+  return stats.churn() > policy.churn_threshold ||
+         hist_distance > policy.histogram_threshold;
+}
+
+}  // namespace pglb

@@ -1,0 +1,77 @@
+#pragma once
+// Graph-drift statistics for incremental planning (docs/DYNAMIC.md).
+//
+// The proxy-guided pipeline profiles CCR against a synthetic stand-in whose
+// degree distribution matches the input graph at profiling time.  As a live
+// graph mutates, that snapshot goes stale in two measurable ways:
+//
+//  - edge churn: the fraction of the profiled edge count that has been added
+//    or removed since the profile was taken.  Cheap, monotone, and the
+//    first-order signal that the graph is simply a different size now.
+//  - distribution drift: total-variation distance between the degree
+//    distribution the proxy was matched to and the live one.  Catches the
+//    case churn misses — equal-sized graphs whose shape changed (a hub grew,
+//    the tail thickened) so the proxy's CCR no longer represents the work.
+//
+// A DriftPolicy turns the two signals into a re-profile decision; the delta
+// planner (src/dynamic/) re-runs CCR profiling only when the decision fires,
+// and otherwise patches the existing plan through the estimator arithmetic.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/histogram.hpp"
+
+namespace pglb {
+
+/// Mutation accounting since the last CCR profile of a base.
+struct DriftStats {
+  std::uint64_t added = 0;           ///< edges added since the last profile
+  std::uint64_t removed = 0;         ///< edges removed since the last profile
+  std::uint64_t profiled_edges = 0;  ///< live edge count at the last profile
+
+  /// (added + removed) / profiled_edges, the edge-churn fraction.  A base
+  /// profiled empty (nothing to be stale against) reports full churn as soon
+  /// as anything mutates.
+  double churn() const noexcept {
+    const double base = profiled_edges > 0 ? static_cast<double>(profiled_edges) : 1.0;
+    return static_cast<double>(added + removed) / base;
+  }
+
+  void reset(std::uint64_t live_edges) noexcept {
+    added = 0;
+    removed = 0;
+    profiled_edges = live_edges;
+  }
+};
+
+/// When the delta planner re-runs CCR profiling (the `reprofile` request
+/// field; docs/DYNAMIC.md).
+enum class ReprofileMode {
+  kAuto,   ///< re-profile when either drift threshold is exceeded
+  kForce,  ///< always re-profile (the scratch-equivalence path)
+  kNever,  ///< never re-profile; patch and re-cost only
+};
+
+const char* to_string(ReprofileMode mode) noexcept;
+std::optional<ReprofileMode> reprofile_mode_from_string(std::string_view name) noexcept;
+
+struct DriftPolicy {
+  double churn_threshold = 0.05;      ///< re-profile above 5% edge churn
+  double histogram_threshold = 0.10;  ///< re-profile above 0.10 TV distance
+  ReprofileMode mode = ReprofileMode::kAuto;
+};
+
+/// Total-variation distance between the value distributions of two exact
+/// histograms: 0.5 * sum_v |P_a(v) - P_b(v)|, in [0, 1].  Two empty
+/// histograms are identical (0); an empty vs a non-empty one is maximally
+/// distant (1).
+double histogram_distance(const ExactHistogram& a, const ExactHistogram& b);
+
+/// The re-profile decision: force/never short-circuit, auto compares both
+/// drift signals against the policy thresholds.
+bool should_reprofile(const DriftPolicy& policy, const DriftStats& stats,
+                      double hist_distance) noexcept;
+
+}  // namespace pglb

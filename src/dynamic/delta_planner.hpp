@@ -1,0 +1,126 @@
+#pragma once
+// Delta planning: first-class `delta` requests over named mutable base
+// graphs (docs/DYNAMIC.md).
+//
+// A base is created by the first delta that names it (carrying `app` +
+// `machines` alongside its mutation batch) and lives server-side as a
+// LiveGraph plus a maintained streamed-partition assignment.  Subsequent
+// deltas apply their batches atomically, extend the assignment through the
+// saved scorer state (partition/incremental.hpp) — or a cheap recompute for
+// chunking/random_hash — and re-cost the plan through the ordinary Planner
+// path with the base's PINNED alpha, so the expensive CCR profile is a
+// guaranteed cache hit while drift stays in bounds.
+//
+// Drift (core/drift.hpp) is tracked against the degree histogram snapshotted
+// at the last profile.  When the policy fires (or reprofile=force), the base
+// refits alpha from its live size, invalidates its profile key, re-plans —
+// re-running CCR profiling — and then COMPACTS and rebuilds its assignment
+// by replaying the surviving edges through a fresh scorer state.  That
+// replay is byte-identical to a from-scratch plan of the mutated graph,
+// which is the dynamic_drill equivalence gate.
+//
+// Concurrency: one mutex serializes the base registry, one mutex per base
+// serializes its mutations — deltas to the same base are totally ordered,
+// deltas to different bases proceed in parallel, and results are
+// bit-identical at any server thread count.  Bases are never erased (a
+// failed creation leaves a non-ready stub that the next creation attempt
+// re-initializes), so per-base pointers stay stable without refcounting.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/drift.hpp"
+#include "dynamic/mutation.hpp"
+#include "partition/incremental.hpp"
+#include "service/planner.hpp"
+
+namespace pglb::dynamic {
+
+struct DeltaOptions {
+  std::size_t max_bases = 64;        ///< registry cap; typed error beyond
+  std::size_t max_batch = 1'000'000; ///< mutations per request; typed error beyond
+  DriftPolicy default_policy;        ///< thresholds when the request has none
+  std::uint64_t default_seed = 42;   ///< partition seed when creation has none
+};
+
+class DeltaPlanner {
+ public:
+  explicit DeltaPlanner(Planner& planner, DeltaOptions options = {},
+                        ServiceMetrics* metrics = nullptr);
+
+  /// Serve one delta request end to end, returning the full response line:
+  /// an ok plan response extended with a `delta` block, or a typed error.
+  /// Never throws for bad requests; batch application is atomic, so a
+  /// rejected batch leaves the base exactly as it was.
+  std::string handle(const PlanRequest& request);
+
+  std::size_t base_count() const;
+
+  /// Live base names, sorted (diagnostics and tests).
+  std::vector<std::string> base_names() const;
+
+  // --- durable warm state (docs/PERSIST.md, section kDynamicState) ---------
+
+  /// Serialize every ready base (graph, owners, scorer state, drift) with
+  /// the persist payload primitives — the kDynamicState section body.
+  std::string encode_state() const;
+
+  /// Restore bases from an encode_state() payload.  Validates fully before
+  /// touching the registry; throws persist::SnapshotError on any defect.
+  /// Existing bases with the same name are left untouched (live state wins
+  /// over a snapshot).  Returns the number of bases restored.
+  std::size_t restore_state(const std::string& payload);
+
+ private:
+  struct BaseState {
+    std::mutex mutex;          ///< serializes mutations to this base
+    bool ready = false;        ///< creation completed (plan succeeded)
+    AppKind app = AppKind::kPageRank;
+    std::vector<std::string> machines;
+    PartitionerKind kind = PartitionerKind::kHybrid;
+    std::uint64_t seed = 0;
+    double pinned_alpha = 0.0;     ///< refit only on re-profile
+    std::string profile_key;       ///< invalidated when drift fires
+    LiveGraph graph;
+    std::vector<MachineId> owners; ///< slot-aligned; kInvalidMachine = dead
+    std::vector<double> weights;   ///< normalized shares of the current plan
+    std::unique_ptr<IncrementalState> inc;  ///< null for recompute kinds
+    DriftStats drift;
+    ExactHistogram profiled_hist;  ///< degree snapshot at the last profile
+    std::uint64_t version = 0;     ///< batches applied since creation
+  };
+
+  std::string handle_creation(BaseState& base, const std::string& name,
+                              const PlanRequest& request);
+  std::string handle_update(BaseState& base, const std::string& name,
+                            const PlanRequest& request);
+
+  /// Rebuild `base.owners` from scratch over the live edge list (fresh
+  /// scorer state, or the stateless partitioner for recompute kinds).
+  void rebuild_assignment(BaseState& base);
+
+  /// Extend the assignment with one applied batch: assign added slots in
+  /// order, then retract removed ones.
+  void extend_assignment(BaseState& base, const LiveGraph::BatchResult& applied);
+
+  /// The ok response line with the delta block spliced in, plus observed
+  /// partition metrics and the live-state digest.
+  std::string finish(BaseState& base, const std::string& name,
+                     PlanResponse& response, bool reprofiled,
+                     std::uint64_t moved, double hist_distance);
+
+  void count(const char* name, std::uint64_t value = 1);
+
+  Planner& planner_;
+  DeltaOptions options_;
+  ServiceMetrics* metrics_;
+
+  mutable std::mutex registry_mutex_;  ///< guards bases_ (map mutations)
+  std::map<std::string, std::unique_ptr<BaseState>> bases_;
+};
+
+}  // namespace pglb::dynamic

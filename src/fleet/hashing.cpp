@@ -43,6 +43,12 @@ double routing_proxy_alpha(double alpha) noexcept {
 }
 
 std::string routing_key(const PlanRequest& request) {
+  // Delta requests are STATEFUL: every delta for a base must land on the
+  // replica holding that base's live graph and scorer state, so they route
+  // by base name alone (docs/DYNAMIC.md) — not by the profile-key mirror,
+  // which would scatter a base's stream as its creation parameters are
+  // omitted on updates.
+  if (request.type == RequestType::kDelta) return "dyn|" + request.base;
   // Same shape as Planner::profile_key(): sorted+deduped classes, app name,
   // canonical proxy alpha.
   std::vector<std::string> classes = request.machines;

@@ -49,6 +49,19 @@ void write_edge_list_text(const EdgeList& graph, const std::string& path) {
 }
 
 EdgeList read_edge_list_text(const std::string& path) {
+  {
+    // Format sniff: a MatrixMarket file announces itself with a "%%" banner
+    // on the first line, which SNAP text can never produce ('%' is not a
+    // digit or '#').  Delegate so pipelines pointed at .mtx inputs keep
+    // working without a format flag; a "%%" banner that is not a valid
+    // MatrixMarket header is rejected by read_matrix_market as usual.
+    std::ifstream sniff(path);
+    if (!sniff) io_fail("read_edge_list_text: cannot open", path);
+    std::string first;
+    if (std::getline(sniff, first) && first.rfind("%%", 0) == 0) {
+      return read_matrix_market(path);
+    }
+  }
   std::ifstream in(path);
   if (!in) io_fail("read_edge_list_text: cannot open", path);
   std::vector<Edge> edges;

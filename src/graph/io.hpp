@@ -16,6 +16,11 @@ void write_edge_list_text(const EdgeList& graph, const std::string& path);
 
 /// Read SNAP-style text.  Vertex ids are used verbatim; the vertex space is
 /// [0, max id + 1).  Throws std::runtime_error on parse/IO failure.
+/// A first line starting with "%%" is recognized as a MatrixMarket banner
+/// and the whole file is delegated to read_matrix_market — so .mtx corpora
+/// feed any tool that takes SNAP text, with no format flag.  A "%%" banner
+/// that is not valid MatrixMarket is an error (never silently parsed as
+/// SNAP).
 EdgeList read_edge_list_text(const std::string& path);
 
 /// Binary round-trip.

@@ -1,0 +1,96 @@
+#pragma once
+// Resumable scorer state for the streaming partitioners (docs/DYNAMIC.md).
+//
+// The streaming family (hybrid, HDRF, oblivious, grid) assigns edges one at a
+// time against evolving per-vertex / per-machine state.  An IncrementalState
+// externalizes exactly that state so the delta planner can keep extending an
+// assignment as mutation batches arrive instead of re-partitioning from
+// scratch.
+//
+// The contract that makes the scratch-equivalence gate work: each
+// implementation's assign loop is the corresponding Partitioner's loop body,
+// verbatim.  Feeding an entire graph through a FRESH state as one batch
+// yields the same assignment, bit for bit, as Partitioner::partition on that
+// graph — that is both the unit test and how the delta planner rebuilds its
+// state after a full re-profile.
+//
+// Retraction is the documented approximation: removing an edge returns its
+// load to the pool (and rolls back degree counters where the scorer keeps
+// them), but replica masks stay monotone — un-replicating a vertex would
+// require re-deriving which surviving edges pinned it, which is exactly the
+// from-scratch work this subsystem avoids.  Drift tracking (src/core/drift.*)
+// bounds how long the approximation is allowed to accumulate before a full
+// re-profile resets everything.
+//
+// chunking and random_hash need no scorer state (supports() == false): the
+// delta planner recomputes them over the live edge list each batch, which is
+// already O(E) cheap by construction.  ginger is offline-iterative and is
+// rejected at the protocol layer.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/edge_list.hpp"
+#include "partition/factory.hpp"
+#include "persist/snapshot.hpp"
+
+namespace pglb {
+
+class IncrementalState {
+ public:
+  virtual ~IncrementalState() = default;
+
+  virtual PartitionerKind kind() const noexcept = 0;
+
+  /// Grow per-vertex state to cover ids in [0, count).  Growth only; the
+  /// vertex space never shrinks between full rebuilds.
+  virtual void ensure_vertices(VertexId count) = 0;
+
+  /// Assign every edge of `batch` in order, appending one owner per edge to
+  /// `out`.  Endpoints must be covered by ensure_vertices first.  Stateful:
+  /// each call continues where the previous one stopped, and one call over a
+  /// whole graph from a fresh state reproduces the scratch partitioner.
+  virtual void assign_batch(std::span<const Edge> batch,
+                            std::vector<MachineId>& out) = 0;
+
+  /// Roll back the load (and degree counters) edge `e`, previously assigned
+  /// to `owner`, contributed.  Replica masks are intentionally left monotone;
+  /// see the header comment.
+  virtual void retract(const Edge& e, MachineId owner) = 0;
+
+  /// Serialize internal state with the persist payload primitives.  Weights,
+  /// seed, and options are NOT encoded — the caller owns those and passes
+  /// them back to decode().
+  virtual void encode(std::string& out) const = 0;
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  /// True for the streaming family that carries scorer state.
+  static bool supports(PartitionerKind kind) noexcept;
+
+  /// Fresh state for `kind`.  Validates like the scratch partitioner
+  /// (positive weights; machine-count limits) and throws
+  /// std::invalid_argument on the same inputs, or on an unsupported kind.
+  static std::unique_ptr<IncrementalState> create(
+      PartitionerKind kind, std::span<const double> weights, std::uint64_t seed,
+      const PartitionerOptions& options = {});
+
+  /// create() followed by restoring an encode()d payload.  Throws
+  /// persist::SnapshotError on malformed bytes.
+  static std::unique_ptr<IncrementalState> decode(
+      PartitionerKind kind, persist::Cursor& cursor,
+      std::span<const double> weights, std::uint64_t seed,
+      const PartitionerOptions& options = {});
+
+ protected:
+  explicit IncrementalState(std::uint64_t seed) : seed_(seed) {}
+
+  virtual void decode_state(persist::Cursor& cursor) = 0;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace pglb

@@ -51,6 +51,7 @@ inline constexpr std::uint32_t kMaxSectionPayload = 64u << 20;
 enum class SectionType : std::uint32_t {
   kProfileCache = 1,
   kTimeDatabase = 2,
+  kDynamicState = 3,  ///< delta-planner base registry (docs/DYNAMIC.md)
   kEnd = 0xFFFFFFFFu,  ///< empty terminator; required, so truncation is loud
 };
 

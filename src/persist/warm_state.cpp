@@ -4,6 +4,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "dynamic/delta_planner.hpp"
 #include "obs/registry.hpp"
 #include "service/planner.hpp"
 
@@ -141,7 +142,8 @@ std::string warm_snapshot_path(const std::string& dir) {
 }
 
 SnapshotIoResult save_warm_snapshot(const Planner& planner, const std::string& dir,
-                                    Registry* service_registry) {
+                                    Registry* service_registry,
+                                    const dynamic::DeltaPlanner* delta) {
   SnapshotIoResult result;
   const std::string path = warm_snapshot_path(dir);
   try {
@@ -151,6 +153,10 @@ SnapshotIoResult save_warm_snapshot(const Planner& planner, const std::string& d
     writer.add_section(SectionType::kProfileCache,
                        encode_profile_cache_section(entries));
     writer.add_section(SectionType::kTimeDatabase, encode_time_database_section(db));
+    if (delta != nullptr && delta->base_count() > 0) {
+      writer.add_section(SectionType::kDynamicState, delta->encode_state());
+      result.dynamic_bases = delta->base_count();
+    }
     result.bytes = writer.encode().size();
     writer.write(path);
     result.ok = true;
@@ -167,7 +173,8 @@ SnapshotIoResult save_warm_snapshot(const Planner& planner, const std::string& d
 }
 
 SnapshotIoResult load_warm_snapshot(Planner& planner, const std::string& dir,
-                                    Registry* service_registry) {
+                                    Registry* service_registry,
+                                    dynamic::DeltaPlanner* delta) {
   SnapshotIoResult result;
   const std::string path = warm_snapshot_path(dir);
   std::string bytes;
@@ -190,6 +197,19 @@ SnapshotIoResult load_warm_snapshot(Planner& planner, const std::string& dir,
     TimeDatabase db;
     if (const SnapshotSection* section = reader.section(SectionType::kTimeDatabase)) {
       db = decode_time_database_section(section->payload);
+    }
+    // The dynamic section restores first: restore_state validates every base
+    // before any reaches its registry, so a defective section throws here —
+    // before the planner is touched — and the whole load stays a clean
+    // rejection rather than a partially trusted restore.
+    if (delta != nullptr) {
+      if (const SnapshotSection* section =
+              reader.section(SectionType::kDynamicState)) {
+        result.dynamic_bases =
+            delta->restore_state(std::string(section->payload));
+        count_into(service_registry, "persist.bases_restored",
+                   result.dynamic_bases);
+      }
     }
     // Validation is complete — only now touch the planner, so a snapshot that
     // fails halfway through decode leaves no partial restore behind.

@@ -12,6 +12,10 @@
 //  - kTimeDatabase: the planner's durable CCR pool (app, proxy alpha,
 //    machine class) -> seconds — the paper's Sec. III-B artifact, merged
 //    UNDER live entries on restore.
+//  - kDynamicState (optional): the delta planner's base registry — live
+//    graphs, maintained assignments, scorer state, drift — so a restarted
+//    replica resumes its delta streams without re-ingesting history
+//    (docs/DYNAMIC.md).  Old binaries CRC-check and skip this section.
 //
 // Load policy (the Distributed-CC save/load_checkpoint shape): a missing
 // file is a quiet cold start; a corrupt, truncated, or future-version file
@@ -34,6 +38,10 @@ namespace pglb {
 
 class Planner;
 class Registry;
+
+namespace dynamic {
+class DeltaPlanner;
+}  // namespace dynamic
 
 namespace persist {
 
@@ -72,6 +80,7 @@ struct SnapshotIoResult {
   std::size_t bytes = 0;
   std::size_t cache_entries = 0;
   std::size_t time_entries = 0;
+  std::size_t dynamic_bases = 0;
   std::string error;
 };
 
@@ -80,16 +89,25 @@ struct SnapshotIoResult {
 /// persist.snapshots_written / persist.snapshot_bytes_written into the
 /// global registry and, when given, `service_registry` (the per-server
 /// registry surfaced by metrics responses).  Never throws.
+/// When `delta` is given, its ready bases are serialized into a
+/// kDynamicState section (omitted entirely when the registry is empty, so
+/// delta-free snapshots keep their pre-dynamic bytes).
 SnapshotIoResult save_warm_snapshot(const Planner& planner, const std::string& dir,
-                                    Registry* service_registry = nullptr);
+                                    Registry* service_registry = nullptr,
+                                    const dynamic::DeltaPlanner* delta = nullptr);
 
 /// Restore `<dir>/warm.snap` into the planner: cache entries re-inserted in
 /// recency order (stopping, without error, at capacity), time database
 /// merged under live entries.  Counts persist.snapshots_loaded /
 /// persist.snapshot_bytes_loaded / persist.keys_restored on success and
 /// persist.snapshot_rejected on a corrupt file.  Never throws.
+/// When `delta` is given and the file carries a kDynamicState section, the
+/// base registry is restored through DeltaPlanner::restore_state (live bases
+/// win over snapshot ones; a defective section rejects the WHOLE load, same
+/// as any other section).  Counts persist.bases_restored.
 SnapshotIoResult load_warm_snapshot(Planner& planner, const std::string& dir,
-                                    Registry* service_registry = nullptr);
+                                    Registry* service_registry = nullptr,
+                                    dynamic::DeltaPlanner* delta = nullptr);
 
 }  // namespace persist
 }  // namespace pglb

@@ -148,6 +148,15 @@ ProfileCache::EntryPtr Planner::profile(const std::vector<std::string>& classes,
   return entry_ptr;
 }
 
+bool Planner::invalidate_profile(const std::string& key) {
+  const bool removed = cache_.invalidate(key);
+  if (removed) {
+    if (metrics_ != nullptr) metrics_->count("cache.invalidations");
+    global_registry().count("cache.invalidations");
+  }
+  return removed;
+}
+
 TimeDatabase Planner::time_database() const {
   std::lock_guard<std::mutex> lock(time_db_mutex_);
   return time_db_;

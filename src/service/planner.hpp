@@ -73,6 +73,16 @@ class Planner {
   ProfileCacheStats cache_stats() const { return cache_.stats(); }
   const PlannerOptions& options() const noexcept { return options_; }
 
+  /// Explicitly evict one profile key (delta-driven staleness; the next plan
+  /// over the key re-profiles).  Counts cache.invalidations when an entry was
+  /// actually removed.  Returns ProfileCache::invalidate's result.
+  bool invalidate_profile(const std::string& key);
+
+  /// Per-key invalidation generations, key-sorted (metrics payload).
+  std::vector<std::pair<std::string, std::uint64_t>> cache_generations() const {
+    return cache_.generations();
+  }
+
   // --- durable warm state (docs/PERSIST.md) --------------------------------
 
   /// Completed cache entries in recency order — what a snapshot serializes.

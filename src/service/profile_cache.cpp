@@ -170,9 +170,37 @@ ProfileCacheStats ProfileCache::stats() const {
     }
   }
   return ProfileCacheStats{hits_,          misses_,
-                           evictions_,     breaker_opens_,
-                           breaker_rejections_, lru_.size(),
-                           capacity_,      approx_bytes};
+                           evictions_,     invalidations_,
+                           breaker_opens_, breaker_rejections_,
+                           lru_.size(),    capacity_,
+                           approx_bytes};
+}
+
+bool ProfileCache::invalidate(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++invalidations_;
+  ++generations_[key];
+  return true;
+}
+
+std::uint64_t ProfileCache::generation(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = generations_.find(key);
+  return it != generations_.end() ? it->second : 0;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ProfileCache::generations() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.assign(generations_.begin(), generations_.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 BreakerState ProfileCache::breaker_state(const std::string& key) const {

@@ -86,6 +86,7 @@ struct ProfileCacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;       ///< explicit invalidate() removals
   std::uint64_t breaker_opens = 0;       ///< closed/half-open -> open edges
   std::uint64_t breaker_rejections = 0;  ///< get() calls shed by an open breaker
   std::size_t size = 0;
@@ -122,6 +123,24 @@ class ProfileCache {
 
   /// Drop every entry and every breaker record (counters are kept).
   void clear();
+
+  // --- invalidation (docs/DYNAMIC.md) --------------------------------------
+
+  /// Explicitly evict `key` (delta-driven staleness, as opposed to capacity
+  /// pressure).  Returns true when an entry was removed; bumps the key's
+  /// generation and the invalidations counter either way only on removal.
+  /// An in-flight computation survives through its waiters' shared_future —
+  /// it just loses cache residency, exactly like a capacity eviction.
+  bool invalidate(const std::string& key);
+
+  /// How many times `key` has been invalidated since process start (0 for
+  /// never-invalidated keys) — exported per key in the metrics response so
+  /// delta-driven eviction is observable.
+  std::uint64_t generation(const std::string& key) const;
+
+  /// All (key, generation) pairs with generation > 0, key-sorted for a
+  /// deterministic metrics payload.
+  std::vector<std::pair<std::string, std::uint64_t>> generations() const;
 
   // --- snapshot/restore (docs/PERSIST.md) ----------------------------------
 
@@ -177,10 +196,12 @@ class ProfileCache {
   std::list<Slot> lru_;  ///< front = most recently used
   std::unordered_map<std::string, std::list<Slot>::iterator> index_;
   std::unordered_map<std::string, Breaker> breakers_;
+  std::unordered_map<std::string, std::uint64_t> generations_;
   std::uint64_t next_slot_id_ = 1;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t invalidations_ = 0;
   std::uint64_t breaker_opens_ = 0;
   std::uint64_t breaker_rejections_ = 0;
 };

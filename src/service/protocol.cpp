@@ -262,6 +262,51 @@ const std::string& require_string(const JsonValue& value, const char* key) {
   return value.as_string();
 }
 
+VertexId require_vertex(const JsonValue& value, const char* key) {
+  const std::uint64_t n = require_count(value, key);
+  if (n >= kInvalidVertex) {
+    throw ProtocolError(std::string("field '") + key + "' is out of vertex-id range");
+  }
+  return static_cast<VertexId>(n);
+}
+
+dynamic::Mutation parse_mutation(const JsonValue& item) {
+  if (!item.is_object()) throw ProtocolError("mutations[] entries must be objects");
+  dynamic::Mutation m;
+  bool saw_op = false, saw_src = false, saw_dst = false, saw_id = false;
+  for (const auto& [key, value] : item.as_object()) {
+    if (key == "op") {
+      const auto op = dynamic::mutation_op_from_string(require_string(value, "op"));
+      if (!op) throw ProtocolError("unknown mutation op '" + value.as_string() + "'");
+      m.op = *op;
+      saw_op = true;
+    } else if (key == "src") {
+      m.src = require_vertex(value, "src");
+      saw_src = true;
+    } else if (key == "dst") {
+      m.dst = require_vertex(value, "dst");
+      saw_dst = true;
+    } else if (key == "id") {
+      m.src = require_vertex(value, "id");
+      saw_id = true;
+    } else {
+      throw ProtocolError("unknown mutation field '" + key + "'");
+    }
+  }
+  if (!saw_op) throw ProtocolError("mutation missing 'op'");
+  const bool edge_op = m.op == dynamic::MutationOp::kAddEdge ||
+                       m.op == dynamic::MutationOp::kRemoveEdge;
+  if (edge_op && (!saw_src || !saw_dst || saw_id)) {
+    throw ProtocolError(std::string("mutation op '") + dynamic::to_string(m.op) +
+                        "' requires 'src' and 'dst' (and no 'id')");
+  }
+  if (!edge_op && (!saw_id || saw_src || saw_dst)) {
+    throw ProtocolError(std::string("mutation op '") + dynamic::to_string(m.op) +
+                        "' requires 'id' (and no 'src'/'dst')");
+  }
+  return m;
+}
+
 void append_double_array(std::string& out, std::span<const double> values) {
   out.push_back('[');
   for (std::size_t i = 0; i < values.size(); ++i) {
@@ -279,12 +324,14 @@ PlanRequest parse_plan_request(const std::string& line) {
 
   PlanRequest request;
   bool saw_vertices = false, saw_edges = false;
+  bool saw_base = false, saw_mutations = false;
   for (const auto& [key, value] : document.as_object()) {
     if (key == "type") {
       const std::string& type = require_string(value, "type");
       if (type == "plan") request.type = RequestType::kPlan;
       else if (type == "metrics") request.type = RequestType::kMetrics;
       else if (type == "warm_keys") request.type = RequestType::kWarmKeys;
+      else if (type == "delta") request.type = RequestType::kDelta;
       else throw ProtocolError("unknown request type '" + type + "'");
     } else if (key == "id") {
       request.id = require_string(value, "id");
@@ -321,6 +368,30 @@ PlanRequest parse_plan_request(const std::string& line) {
       const std::uint64_t limit = require_count(value, "limit");
       if (limit == 0) throw ProtocolError("field 'limit' must be positive");
       request.limit = limit;
+    } else if (key == "base") {
+      request.base = require_string(value, "base");
+      saw_base = true;
+    } else if (key == "mutations") {
+      if (!value.is_array()) throw ProtocolError("field 'mutations' must be an array");
+      saw_mutations = true;
+      request.mutations.reserve(value.as_array().size());
+      for (const JsonValue& item : value.as_array()) {
+        request.mutations.push_back(parse_mutation(item));
+      }
+    } else if (key == "reprofile") {
+      const auto mode = reprofile_mode_from_string(require_string(value, "reprofile"));
+      if (!mode) {
+        throw ProtocolError("field 'reprofile' must be 'auto', 'force', or 'never'");
+      }
+      request.reprofile = *mode;
+    } else if (key == "drift_churn" || key == "drift_hist") {
+      const double threshold = require_number(value, key.c_str());
+      if (!(threshold >= 0.0) || !std::isfinite(threshold)) {
+        throw ProtocolError("field '" + key + "' must be a non-negative number");
+      }
+      (key == "drift_churn" ? request.drift_churn : request.drift_hist) = threshold;
+    } else if (key == "seed") {
+      request.seed = require_count(value, "seed");
     } else {
       throw ProtocolError("unknown request field '" + key + "'");
     }
@@ -329,8 +400,33 @@ PlanRequest parse_plan_request(const std::string& line) {
   if (request.limit && request.type != RequestType::kWarmKeys) {
     throw ProtocolError("field 'limit' is only valid on warm_keys requests");
   }
+  if (request.type != RequestType::kDelta &&
+      (saw_base || saw_mutations || request.reprofile || request.drift_churn ||
+       request.drift_hist || request.seed)) {
+    throw ProtocolError(
+        "fields 'base', 'mutations', 'reprofile', 'drift_churn', 'drift_hist', "
+        "and 'seed' are only valid on delta requests");
+  }
   if (request.type == RequestType::kMetrics ||
       request.type == RequestType::kWarmKeys) {
+    return request;
+  }
+  if (request.type == RequestType::kDelta) {
+    if (!saw_base || request.base.empty()) {
+      throw ProtocolError("delta requests require a non-empty 'base' key");
+    }
+    if (!saw_mutations) {
+      throw ProtocolError("delta requests require a 'mutations' array (may be empty)");
+    }
+    if (request.alpha || saw_vertices || saw_edges) {
+      throw ProtocolError(
+          "delta requests derive 'alpha'/'vertices'/'edges' from the base graph");
+    }
+    const bool saw_app = document.find("app") != nullptr;
+    if (saw_app != !request.machines.empty()) {
+      throw ProtocolError(
+          "delta base creation requires both 'app' and a non-empty 'machines'");
+    }
     return request;
   }
 
@@ -361,6 +457,67 @@ std::string serialize_request(const PlanRequest& request) {
     if (request.limit && request.type == RequestType::kWarmKeys) {
       out += ",\"limit\":";
       append_json_number(out, static_cast<double>(*request.limit));
+    }
+    out += "}";
+    return out;
+  }
+  if (request.type == RequestType::kDelta) {
+    out += "\"type\":\"delta\",\"id\":";
+    append_json_string(out, request.id);
+    out += ",\"base\":";
+    append_json_string(out, request.base);
+    if (!request.machines.empty()) {
+      out += ",\"app\":";
+      append_json_string(out, to_string(request.app));
+      out += ",\"machines\":[";
+      for (std::size_t i = 0; i < request.machines.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        append_json_string(out, request.machines[i]);
+      }
+      out += "]";
+    }
+    out += ",\"mutations\":[";
+    for (std::size_t i = 0; i < request.mutations.size(); ++i) {
+      const dynamic::Mutation& m = request.mutations[i];
+      if (i > 0) out.push_back(',');
+      out += "{\"op\":";
+      append_json_string(out, dynamic::to_string(m.op));
+      if (m.op == dynamic::MutationOp::kAddEdge ||
+          m.op == dynamic::MutationOp::kRemoveEdge) {
+        out += ",\"src\":";
+        append_json_number(out, static_cast<double>(m.src));
+        out += ",\"dst\":";
+        append_json_number(out, static_cast<double>(m.dst));
+      } else {
+        out += ",\"id\":";
+        append_json_number(out, static_cast<double>(m.src));
+      }
+      out += "}";
+    }
+    out += "]";
+    if (request.reprofile) {
+      out += ",\"reprofile\":";
+      append_json_string(out, to_string(*request.reprofile));
+    }
+    if (request.drift_churn) {
+      out += ",\"drift_churn\":";
+      append_json_number(out, *request.drift_churn);
+    }
+    if (request.drift_hist) {
+      out += ",\"drift_hist\":";
+      append_json_number(out, *request.drift_hist);
+    }
+    if (request.seed) {
+      out += ",\"seed\":";
+      append_json_number(out, static_cast<double>(*request.seed));
+    }
+    if (request.partitioner) {
+      out += ",\"partitioner\":";
+      append_json_string(out, to_string(*request.partitioner));
+    }
+    if (request.timeout_ms) {
+      out += ",\"timeout_ms\":";
+      append_json_number(out, static_cast<double>(*request.timeout_ms));
     }
     out += "}";
     return out;
@@ -543,6 +700,78 @@ std::string serialize_warm_keys_response(const std::string& id,
   }
   out += "]}";
   return out;
+}
+
+std::string serialize_delta_block(const DeltaInfo& info) {
+  std::string out = "{\"base\":";
+  append_json_string(out, info.base);
+  out += ",\"version\":";
+  append_json_number(out, static_cast<double>(info.version));
+  out += ",\"live_vertices\":";
+  append_json_number(out, static_cast<double>(info.live_vertices));
+  out += ",\"live_edges\":";
+  append_json_number(out, static_cast<double>(info.live_edges));
+  out += ",\"churn\":";
+  append_json_number(out, info.churn);
+  out += ",\"hist_distance\":";
+  append_json_number(out, info.hist_distance);
+  out += info.reprofiled ? ",\"reprofiled\":true" : ",\"reprofiled\":false";
+  out += ",\"digest\":\"";
+  // 16 lowercase hex digits: a u64 does not round-trip through a JSON double.
+  static const char kHex[] = "0123456789abcdef";
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    out.push_back(kHex[(info.digest >> shift) & 0xF]);
+  }
+  out += "\",\"moved_edges\":";
+  append_json_number(out, static_cast<double>(info.moved_edges));
+  out += ",\"replication_factor\":";
+  append_json_number(out, info.replication_factor);
+  out += ",\"imbalance\":";
+  append_json_number(out, info.imbalance);
+  out += "}";
+  return out;
+}
+
+std::optional<DeltaInfo> parse_delta_block(const std::string& line) {
+  const JsonValue document = parse_json(line);
+  if (!document.is_object()) throw ProtocolError("response must be a JSON object");
+  const JsonValue* block = document.find("delta");
+  if (block == nullptr) return std::nullopt;
+  if (!block->is_object()) throw ProtocolError("field 'delta' must be an object");
+
+  DeltaInfo info;
+  const auto number_or = [&](const char* key, double fallback) {
+    const JsonValue* v = block->find(key);
+    return v != nullptr ? require_number(*v, key) : fallback;
+  };
+  const JsonValue* base = block->find("base");
+  if (base != nullptr) info.base = require_string(*base, "base");
+  info.version = static_cast<std::uint64_t>(number_or("version", 0.0));
+  info.live_vertices = static_cast<std::uint64_t>(number_or("live_vertices", 0.0));
+  info.live_edges = static_cast<std::uint64_t>(number_or("live_edges", 0.0));
+  info.churn = number_or("churn", 0.0);
+  info.hist_distance = number_or("hist_distance", 0.0);
+  const JsonValue* reprofiled = block->find("reprofiled");
+  if (reprofiled != nullptr) {
+    if (!reprofiled->is_bool()) throw ProtocolError("field 'reprofiled' must be a bool");
+    info.reprofiled = reprofiled->as_bool();
+  }
+  if (const JsonValue* digest = block->find("digest"); digest != nullptr) {
+    const std::string& hex = require_string(*digest, "digest");
+    if (hex.size() != 16) throw ProtocolError("field 'digest' must be 16 hex digits");
+    std::uint64_t value = 0;
+    for (const char c : hex) {
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+      else throw ProtocolError("field 'digest' must be 16 hex digits");
+    }
+    info.digest = value;
+  }
+  info.moved_edges = static_cast<std::uint64_t>(number_or("moved_edges", 0.0));
+  info.replication_factor = number_or("replication_factor", 0.0);
+  info.imbalance = number_or("imbalance", 0.0);
+  return info;
 }
 
 std::vector<WarmKey> parse_warm_keys_response(const std::string& line) {

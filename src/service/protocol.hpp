@@ -15,6 +15,8 @@
 #include <variant>
 #include <vector>
 
+#include "core/drift.hpp"
+#include "dynamic/mutation.hpp"
 #include "machine/app_profile.hpp"
 #include "partition/factory.hpp"
 #include "util/json.hpp"
@@ -71,7 +73,7 @@ JsonValue parse_json(std::string_view text);
 
 // --- planning requests -----------------------------------------------------
 
-enum class RequestType { kPlan, kMetrics, kWarmKeys };
+enum class RequestType { kPlan, kMetrics, kWarmKeys, kDelta };
 
 struct PlanRequest {
   RequestType type = RequestType::kPlan;
@@ -88,6 +90,19 @@ struct PlanRequest {
   std::optional<std::uint64_t> timeout_ms;
   /// warm_keys only: cap on reported keys (absent = server default).
   std::optional<std::uint64_t> limit;
+
+  // --- delta only (docs/DYNAMIC.md) ---
+  /// Name of the mutable base graph this delta extends.  A delta whose base
+  /// does not exist yet must also carry `app` + `machines` (creation); after
+  /// that, updates name the base alone.
+  std::string base;
+  /// The mutation batch, applied atomically in order (may be empty — an
+  /// empty batch re-costs, and with reprofile=force re-profiles, the base).
+  std::vector<dynamic::Mutation> mutations;
+  std::optional<double> drift_churn;       ///< churn threshold override
+  std::optional<double> drift_hist;        ///< TV-distance threshold override
+  std::optional<ReprofileMode> reprofile;  ///< auto (default) / force / never
+  std::optional<std::uint64_t> seed;       ///< partition seed at base creation
 };
 
 /// Parse + validate one request line.  Requires: `app`, non-empty `machines`,
@@ -164,5 +179,33 @@ std::string serialize_warm_keys_response(const std::string& id,
 /// Parse a warm_keys response line.  Throws ProtocolError when the line is
 /// not an ok warm_keys report (routers treat that as "peer has nothing").
 std::vector<WarmKey> parse_warm_keys_response(const std::string& line);
+
+// --- delta responses (docs/DYNAMIC.md) -------------------------------------
+
+/// The `delta` sub-object an ok delta response appends to the plan payload.
+/// The plan portion of the line stays byte-identical to a plain plan
+/// response for the same inputs — the block is strictly additive, which is
+/// what the scratch-equivalence gate compares around.
+struct DeltaInfo {
+  std::string base;
+  std::uint64_t version = 0;        ///< batches applied to the base so far
+  std::uint64_t live_vertices = 0;
+  std::uint64_t live_edges = 0;
+  double churn = 0.0;               ///< drift since the last profile
+  double hist_distance = 0.0;       ///< TV distance vs the profiled histogram
+  bool reprofiled = false;          ///< this request re-ran CCR profiling
+  std::uint64_t digest = 0;         ///< FNV over (src,dst,owner) in slot order
+  std::uint64_t moved_edges = 0;    ///< owners changed by this batch
+  double replication_factor = 0.0;  ///< observed on the maintained assignment
+  double imbalance = 0.0;           ///< observed weighted imbalance
+};
+
+/// `{"base":...,...}` with fixed key order; digest serializes as a hex
+/// string (u64 does not fit a JSON double).
+std::string serialize_delta_block(const DeltaInfo& info);
+
+/// Extract the `delta` block from a full response line, or nullopt when the
+/// line carries none.  Throws ProtocolError on a malformed block.
+std::optional<DeltaInfo> parse_delta_block(const std::string& line);
 
 }  // namespace pglb

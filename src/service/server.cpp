@@ -16,6 +16,7 @@ PlanServer::PlanServer(Planner& planner, ServiceMetrics& metrics, ServerOptions 
     : planner_(planner),
       metrics_(metrics),
       options_(options),
+      delta_planner_(planner, {}, &metrics),
       queue_(options.queue_capacity) {
   const int threads = options.threads > 0 ? options.threads : 1;
   workers_.reserve(static_cast<std::size_t>(threads));
@@ -121,6 +122,20 @@ std::string PlanServer::handle_line(const std::string& line) {
     return serialize_error("", e.what());
   }
 
+  if (request.type == RequestType::kDelta) {
+    // Delta planning over a named mutable base graph (docs/DYNAMIC.md).  The
+    // DeltaPlanner owns the whole path — batch application, incremental
+    // assignment, drift-gated re-profiling — and always returns a complete
+    // response line (ok-with-delta-block or a typed error).
+    PGLB_TRACE_SPAN("serve.delta", "serve");
+    const StageTimer timer(&metrics_, "delta");
+    std::string line_out = delta_planner_.handle(request);
+    if (line_out.find("\"status\":\"ok\"") == std::string::npos) {
+      metrics_.count("requests_failed");
+    }
+    return line_out;
+  }
+
   if (request.type == RequestType::kWarmKeys) {
     // A replica's own hottest completed profile keys, for router-driven peer
     // warming (docs/PERSIST.md).  Cheap: one cache walk, no planning.
@@ -161,7 +176,20 @@ std::string PlanServer::handle_line(const std::string& line) {
     append_json_number(extra, static_cast<double>(cache.breaker_opens));
     extra += ",\"breaker_rejections\":";
     append_json_number(extra, static_cast<double>(cache.breaker_rejections));
-    extra += "},\"faults\":{\"enabled\":";
+    extra += ",\"invalidations\":";
+    append_json_number(extra, static_cast<double>(cache.invalidations));
+    // Per-key invalidation generations (key-sorted, >0 only), so operators
+    // can see WHICH profile keys drift keeps churning, not just how many.
+    extra += ",\"generations\":{";
+    bool first_generation = true;
+    for (const auto& [key, generation] : planner_.cache_generations()) {
+      if (!first_generation) extra += ',';
+      first_generation = false;
+      append_json_string(extra, key);
+      extra += ':';
+      append_json_number(extra, static_cast<double>(generation));
+    }
+    extra += "}},\"faults\":{\"enabled\":";
     append_json_number(extra, FaultRegistry::instance().enabled() ? 1.0 : 0.0);
     extra += ",\"injected\":";
     append_json_number(extra,

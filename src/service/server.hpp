@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "dynamic/delta_planner.hpp"
 #include "service/metrics.hpp"
 #include "service/planner.hpp"
 
@@ -162,6 +163,11 @@ class PlanServer {
   /// it).  Pending jobs are drained before the workers exit.
   void stop();
 
+  /// The delta-planning subsystem behind this server's `delta` requests
+  /// (docs/DYNAMIC.md).  Exposed so snapshots can persist/restore its base
+  /// registry (docs/PERSIST.md) and tests can inspect it directly.
+  dynamic::DeltaPlanner& delta_planner() noexcept { return delta_planner_; }
+
  private:
   struct Job {
     std::string line;
@@ -183,6 +189,7 @@ class PlanServer {
   Planner& planner_;
   ServiceMetrics& metrics_;
   ServerOptions options_;
+  dynamic::DeltaPlanner delta_planner_;
   BoundedQueue<Job> queue_;
   std::vector<std::thread> workers_;
 };

@@ -159,6 +159,48 @@ TEST_F(GraphIoTest, MatrixMarketRejectsBadInputs) {
   EXPECT_THROW(read_matrix_market(truncated), std::runtime_error);
 }
 
+TEST_F(GraphIoTest, TextReaderSniffsMatrixMarketBanner) {
+  // A .mtx file fed to the SNAP-text reader must parse as MatrixMarket
+  // (1-based ids, banner honored) with no format flag.
+  const auto path = temp_path("sniff.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate pattern general\n"
+        << "% comment\n"
+        << "3 3 2\n"
+        << "1 2\n"
+        << "3 1\n";
+  }
+  const auto via_text = read_edge_list_text(path);
+  const auto via_mtx = read_matrix_market(path);
+  ASSERT_EQ(via_text.num_edges(), 2u);
+  EXPECT_EQ(via_text.num_vertices(), via_mtx.num_vertices());
+  for (EdgeId i = 0; i < via_text.num_edges(); ++i) {
+    EXPECT_EQ(via_text.edge(i), via_mtx.edge(i));
+  }
+  EXPECT_EQ(via_text.edge(0), (Edge{0, 1}));  // 1-based on disk, 0-based here
+}
+
+TEST_F(GraphIoTest, TextReaderRejectsMalformedBanner) {
+  // A "%%" first line that is not valid MatrixMarket is an error — it must
+  // never fall back to being skipped as a SNAP comment.
+  const auto path = temp_path("badbanner.mtx");
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMonket matrix coordinate pattern general\n0\t1\n";
+  }
+  EXPECT_THROW(read_edge_list_text(path), std::runtime_error);
+
+  // Even a bare "%%" first line trips the sniff: it must error as a broken
+  // banner, not be skipped like a '#' comment.
+  const auto stray = temp_path("stray.txt");
+  {
+    std::ofstream out(stray);
+    out << "%% \n0\t1\n";
+  }
+  EXPECT_THROW(read_edge_list_text(stray), std::runtime_error);
+}
+
 TEST_F(GraphIoTest, TextFootprintMatchesActualFileSize) {
   ErdosRenyiConfig config;
   config.num_vertices = 1000;

@@ -114,6 +114,51 @@ TEST(ProfileCache, ClearKeepsCounters) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(ProfileCache, InvalidateEvictsBumpsGenerationAndCounts) {
+  ProfileCache cache(4);
+  int computes = 0;
+  const auto compute = [&] { ++computes; return entry_with_alpha(2.0); };
+
+  cache.get("k", compute);
+  EXPECT_EQ(cache.generation("k"), 0u);
+  EXPECT_TRUE(cache.invalidate("k"));
+  ProfileCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(stats.size, 0u);
+  EXPECT_EQ(stats.evictions, 0u);  // explicit, not capacity pressure
+  EXPECT_EQ(cache.generation("k"), 1u);
+
+  // The next get is a genuine miss that recomputes.
+  cache.get("k", compute);
+  EXPECT_EQ(computes, 2);
+  EXPECT_EQ(cache.stats().misses, 2u);
+
+  // Invalidating an absent key is a no-op on every counter.
+  EXPECT_FALSE(cache.invalidate("never_inserted"));
+  stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 1u);
+  EXPECT_EQ(cache.generation("never_inserted"), 0u);
+}
+
+TEST(ProfileCache, GenerationsReportNonZeroKeySorted) {
+  ProfileCache cache(4);
+  const auto compute = [] { return entry_with_alpha(2.0); };
+  cache.get("b", compute);
+  cache.get("a", compute);
+  cache.get("c", compute);
+  cache.invalidate("c");
+  cache.invalidate("b");
+  cache.get("b", compute);
+  cache.invalidate("b");
+
+  const auto generations = cache.generations();
+  ASSERT_EQ(generations.size(), 2u);  // "a" was never invalidated
+  EXPECT_EQ(generations[0].first, "b");
+  EXPECT_EQ(generations[0].second, 2u);
+  EXPECT_EQ(generations[1].first, "c");
+  EXPECT_EQ(generations[1].second, 1u);
+}
+
 // --- Planner over the cache ------------------------------------------------
 
 PlannerOptions tiny_options() {
@@ -220,6 +265,30 @@ TEST(PlannerCache, ErrorsDoNotPolluteCache) {
   EXPECT_FALSE(response.error.empty());
   EXPECT_EQ(planner.cache_stats().misses, 0u);
   EXPECT_EQ(planner.cache_stats().size, 0u);
+}
+
+TEST(PlannerCache, InvalidateProfileForcesAByteIdenticalReprofile) {
+  // The delta planner's drift path: invalidate the pinned key, re-plan, and
+  // the fresh profile must reproduce the exact response bytes (determinism),
+  // with the extra miss and the invalidation both observable.
+  Planner planner(tiny_options());
+  const PlanRequest request = basic_request();
+  const std::string first = serialize_response(planner.plan(request));
+  const std::string key = planner.profile_key(request);
+
+  EXPECT_TRUE(planner.invalidate_profile(key));
+  EXPECT_FALSE(planner.invalidate_profile(key));  // already evicted
+
+  EXPECT_EQ(serialize_response(planner.plan(request)), first);
+  const ProfileCacheStats stats = planner.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.invalidations, 1u);
+
+  const auto generations = planner.cache_generations();
+  ASSERT_EQ(generations.size(), 1u);
+  EXPECT_EQ(generations[0].first, key);
+  EXPECT_EQ(generations[0].second, 1u);
 }
 
 TEST(PlannerCache, PlanFieldsAreConsistent) {

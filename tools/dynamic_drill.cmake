@@ -1,0 +1,110 @@
+# Dynamic-planning acceptance gate (docs/DYNAMIC.md): the loadgen mutate
+# drill against a 3-replica fleet, plus in-process determinism replays.
+#
+# Runs (all must exit 0 — pglb_loadgen exits non-zero on ANY non-typed
+# failure, client/server live-state desync, or equivalence mismatch):
+#   1. fleet, reprofile=auto  — the seeded stream churns ~2% of the base
+#      edges, far below the 5% drift threshold, so every update batch must
+#      patch + re-cost off the pinned profile (zero re-profiles)
+#   2. fleet, reprofile=force — every update batch re-runs CCR profiling
+#   3-5. in-process at PGLB_THREADS=1/2/8, reprofile=auto
+#
+# Asserted:
+#   - run 1 reprofiled 0 update batches; run 2 reprofiled all of them
+#   - run 2 burned >= 5x the CCR cells (profile_single_machine calls) of
+#     run 1 — the "incremental profiles >= 5x fewer cells" gate
+#   - every run printed "mutate equivalence: ok": the forced full re-profile
+#     of the streamed base is byte-identical (plan portion) and
+#     digest-identical (assignment) to a from-scratch base of the mutated
+#     graph
+#   - response files byte-identical across PGLB_THREADS=1/2/8 AND across
+#     fleet-vs-in-process — deterministic replay at any thread count
+# Driven by ctest (see CMakeLists.txt in this directory).
+
+function(run_drill out_var)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE code OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "drill run failed (${code}): ${ARGN}\n${out}\n${err}")
+  endif()
+  set(${out_var} "${out}\n${err}" PARENT_SCOPE)
+endfunction()
+
+# Extract the parseable "mutate <what>: N" gate lines.
+function(parse_count text label what out_var)
+  if(NOT text MATCHES "mutate ${what}: ([0-9]+)")
+    message(FATAL_ERROR "${label} run printed no 'mutate ${what}:' line:\n${text}")
+  endif()
+  set(${out_var} ${CMAKE_MATCH_1} PARENT_SCOPE)
+endfunction()
+
+function(assert_equivalence text label)
+  if(NOT text MATCHES "mutate equivalence: ok")
+    message(FATAL_ERROR "${label} run failed the equivalence gate:\n${text}")
+  endif()
+endfunction()
+
+set(batches 20)
+set(common_args --mutate=${batches} --mutate-edits=8 --mutate-vertices=2048
+    --threads=4 --scale=0.002)
+set(fleet_args --router=3 --server=${PGLB_SERVE})
+
+set(auto_plans ${WORKDIR}/dynamic_drill_auto.jsonl)
+set(force_plans ${WORKDIR}/dynamic_drill_force.jsonl)
+file(REMOVE ${auto_plans} ${force_plans})
+
+# 1. Fleet, auto: drift stays in bounds, so the pinned profile absorbs the
+# whole stream.
+run_drill(auto_out ${PGLB_LOADGEN} ${common_args} ${fleet_args}
+          --plans-out=${auto_plans})
+assert_equivalence("${auto_out}" "fleet-auto")
+parse_count("${auto_out}" "fleet-auto" "reprofiles" auto_reprofiles)
+parse_count("${auto_out}" "fleet-auto" "profile cells" auto_cells)
+if(NOT auto_reprofiles EQUAL 0)
+  message(FATAL_ERROR "auto run re-profiled ${auto_reprofiles} update batches "
+          "(drift should stay under threshold):\n${auto_out}")
+endif()
+
+# 2. Fleet, force: every batch re-runs CCR profiling.
+run_drill(force_out ${PGLB_LOADGEN} ${common_args} ${fleet_args}
+          --reprofile=force --plans-out=${force_plans})
+assert_equivalence("${force_out}" "fleet-force")
+parse_count("${force_out}" "fleet-force" "reprofiles" force_reprofiles)
+parse_count("${force_out}" "fleet-force" "profile cells" force_cells)
+if(NOT force_reprofiles EQUAL ${batches})
+  message(FATAL_ERROR "force run re-profiled ${force_reprofiles} of "
+          "${batches} update batches:\n${force_out}")
+endif()
+
+# The headline gate: a stream churning <5% of the edges must cost the
+# incremental path >= 5x fewer CCR cells than from-scratch re-profiling.
+math(EXPR cells_bound "${force_cells} / 5")
+if(auto_cells EQUAL 0 OR auto_cells GREATER ${cells_bound})
+  message(FATAL_ERROR "incremental path not >=5x cheaper: auto=${auto_cells} "
+          "cells vs force=${force_cells} cells")
+endif()
+message(STATUS "dynamic drill: auto=${auto_cells} cells, "
+        "force=${force_cells} cells (>=5x)")
+
+# 3-5. Determinism: the same auto stream in-process at 1/2/8 planner threads
+# must produce byte-identical response files — and match the fleet run too.
+file(READ ${auto_plans} fleet_text)
+if(fleet_text STREQUAL "")
+  message(FATAL_ERROR "fleet-auto run wrote no plans to ${auto_plans}")
+endif()
+foreach(nthreads 1 2 8)
+  set(plans ${WORKDIR}/dynamic_drill_t${nthreads}.jsonl)
+  file(REMOVE ${plans})
+  run_drill(t_out ${CMAKE_COMMAND} -E env PGLB_THREADS=${nthreads}
+            ${PGLB_LOADGEN} ${common_args} --plans-out=${plans})
+  assert_equivalence("${t_out}" "threads-${nthreads}")
+  file(READ ${plans} t_text)
+  if(NOT t_text STREQUAL fleet_text)
+    message(FATAL_ERROR "responses diverged at PGLB_THREADS=${nthreads} "
+            "(vs the fleet run)")
+  endif()
+  file(REMOVE ${plans})
+endforeach()
+message(STATUS "dynamic drill: deterministic at PGLB_THREADS=1/2/8")
+
+file(REMOVE ${auto_plans} ${force_plans})

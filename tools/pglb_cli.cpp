@@ -13,6 +13,14 @@
 //   pglb run       --graph=g.txt --app=pagerank --machines=...
 //                  --estimator=ccr --pool=pool.tsv --algorithm=hybrid
 //                  --scale=0.004
+//   pglb delta     --graph=g.txt --app=pagerank --machines=...
+//                  --mutations=ops.txt --batch=64 --reprofile=auto
+//
+// `delta` drives the incremental planning subsystem (docs/DYNAMIC.md)
+// in-process: it creates a named base from --graph, then streams the ops in
+// --mutations (one per line: `add SRC DST`, `remove SRC DST`, `addv ID`,
+// `removev ID`; '#' comments) in batches of --batch (0 = one batch),
+// printing the maintained plan after each batch.
 
 #include <fstream>
 #include <iostream>
@@ -20,6 +28,7 @@
 
 #include "baselines/dynamic_migration.hpp"
 #include "core/flow.hpp"
+#include "dynamic/delta_planner.hpp"
 #include "core/online.hpp"
 #include "core/time_database.hpp"
 #include "gen/alpha_solver.hpp"
@@ -320,6 +329,134 @@ int cmd_run(const Cli& cli) {
   return 0;
 }
 
+/// One textual mutation op per line: `add SRC DST`, `remove SRC DST`,
+/// `addv ID`, `removev ID`; blank lines and '#' comments skipped.
+std::vector<dynamic::Mutation> read_mutation_ops(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<dynamic::Mutation> ops;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ss(line);
+    std::string op;
+    if (!(ss >> op) || op.front() == '#') continue;
+    const auto bad = [&](const char* what) -> std::runtime_error {
+      return std::runtime_error(path + ":" + std::to_string(line_no) + ": " + what);
+    };
+    std::uint64_t a = 0, b = 0;
+    if (op == "add" || op == "remove") {
+      if (!(ss >> a >> b)) throw bad("expected SRC DST");
+      if (a >= kInvalidVertex || b >= kInvalidVertex) throw bad("vertex id overflow");
+      ops.push_back(op == "add"
+                        ? dynamic::Mutation::add_edge(static_cast<VertexId>(a),
+                                                      static_cast<VertexId>(b))
+                        : dynamic::Mutation::remove_edge(static_cast<VertexId>(a),
+                                                         static_cast<VertexId>(b)));
+    } else if (op == "addv" || op == "removev") {
+      if (!(ss >> a)) throw bad("expected ID");
+      if (a >= kInvalidVertex) throw bad("vertex id overflow");
+      ops.push_back(op == "addv"
+                        ? dynamic::Mutation::add_vertex(static_cast<VertexId>(a))
+                        : dynamic::Mutation::remove_vertex(static_cast<VertexId>(a)));
+    } else {
+      throw bad("unknown op (add, remove, addv, removev)");
+    }
+  }
+  return ops;
+}
+
+void print_delta_response(const std::string& label, const std::string& line) {
+  const PlanResponse response = parse_plan_response(line);
+  if (!response.ok) {
+    std::cout << label << ": " << to_string(response.status) << " — "
+              << response.error << "\n";
+    return;
+  }
+  std::cout << label << ": " << response.partitioner << ", makespan "
+            << format_double(response.makespan_seconds, 4) << "s";
+  if (const auto delta = parse_delta_block(line)) {
+    std::cout << " | v" << delta->version << ", " << delta->live_vertices
+              << " vertices, " << delta->live_edges << " edges, churn "
+              << format_percent(delta->churn) << ", hist "
+              << format_double(delta->hist_distance, 3)
+              << (delta->reprofiled ? ", REPROFILED" : "") << ", moved "
+              << delta->moved_edges << ", replication "
+              << format_double(delta->replication_factor, 3);
+  }
+  std::cout << "\n";
+}
+
+int cmd_delta(const Cli& cli) {
+  const std::string path = cli.get_string("graph", "");
+  if (path.empty()) throw std::invalid_argument("--graph=FILE is required");
+  const auto machines = split_csv(cli.get_string("machines", ""));
+  if (machines.empty()) throw std::invalid_argument("--machines=a,b,... is required");
+
+  PlannerOptions planner_options;
+  planner_options.proxy_scale = cli.get_double("scale", 1.0 / 256.0);
+  ServiceMetrics metrics;
+  Planner planner(planner_options, &metrics);
+  dynamic::DeltaPlanner delta(planner, {}, &metrics);
+
+  PlanRequest request;
+  request.type = RequestType::kDelta;
+  request.base = cli.get_string("base", "cli");
+  request.app = app_from_name(cli.get_string("app", "pagerank"));
+  request.machines = machines;
+  request.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  if (cli.has("algorithm")) {
+    request.partitioner = partitioner_from_string(cli.get_string("algorithm", ""));
+  }
+  const std::string reprofile = cli.get_string("reprofile", "auto");
+  request.reprofile = reprofile_mode_from_string(reprofile);
+  if (cli.has("drift-churn")) request.drift_churn = cli.get_double("drift-churn", 0.05);
+  if (cli.has("drift-hist")) request.drift_hist = cli.get_double("drift-hist", 0.10);
+
+  // Creation batch: the whole input graph as one mutation stream.
+  const EdgeList graph = read_graph_any(path);
+  request.id = "create";
+  request.mutations.reserve(graph.num_vertices() + graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    request.mutations.push_back(dynamic::Mutation::add_vertex(v));
+  }
+  for (const Edge& e : graph.edges()) {
+    request.mutations.push_back(dynamic::Mutation::add_edge(e.src, e.dst));
+  }
+  const std::string created = delta.handle(request);
+  print_delta_response("create " + request.base, created);
+  if (!parse_plan_response(created).ok) return 1;
+
+  const std::string mutations_path = cli.get_string("mutations", "");
+  if (mutations_path.empty()) return 0;
+  const std::vector<dynamic::Mutation> ops = read_mutation_ops(mutations_path);
+  const auto batch_size = static_cast<std::size_t>(cli.get_int("batch", 0));
+
+  // Updates name the base alone: no app/machines, no creation-only fields.
+  PlanRequest update;
+  update.type = RequestType::kDelta;
+  update.base = request.base;
+  update.reprofile = request.reprofile;
+  update.drift_churn = request.drift_churn;
+  update.drift_hist = request.drift_hist;
+  std::size_t offset = 0, batch_no = 0;
+  while (offset < ops.size()) {
+    const std::size_t take =
+        batch_size == 0 ? ops.size() - offset
+                        : std::min(batch_size, ops.size() - offset);
+    update.id = "batch" + std::to_string(batch_no);
+    update.mutations.assign(ops.begin() + static_cast<std::ptrdiff_t>(offset),
+                            ops.begin() + static_cast<std::ptrdiff_t>(offset + take));
+    const std::string line = delta.handle(update);
+    print_delta_response(update.id, line);
+    if (!parse_plan_response(line).ok) return 1;
+    offset += take;
+    ++batch_no;
+  }
+  return 0;
+}
+
 int cmd_relabel(const Cli& cli) {
   const std::string in_path = cli.get_string("graph", "");
   const std::string out_path = cli.get_string("out", "");
@@ -344,7 +481,8 @@ int cmd_relabel(const Cli& cli) {
 }
 
 int usage() {
-  std::cerr << "usage: pglb <generate|stats|alpha|machines|profile|partition|run|relabel> "
+  std::cerr << "usage: pglb <generate|stats|alpha|machines|profile|partition|run|"
+               "relabel|delta> "
                "[flags]\n(see the header of tools/pglb_cli.cpp for examples)\n";
   return 2;
 }
@@ -360,6 +498,7 @@ int dispatch(const std::string& command, const Cli& cli) {
   if (command == "partition") return cmd_partition(cli);
   if (command == "run") return cmd_run(cli);
   if (command == "relabel") return cmd_relabel(cli);
+  if (command == "delta") return cmd_delta(cli);
   return usage();
 }
 

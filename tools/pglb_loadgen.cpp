@@ -59,6 +59,26 @@
 // the chaos_drill gate diffs that file across chaos and no-chaos runs to
 // prove the plans stayed byte-identical under partition.
 //
+// Mutate mode (docs/DYNAMIC.md): --mutate=B streams B deterministic mutation
+// batches against a delta base instead of the plan mix — in-process by
+// default, or through a spawned fleet with --router=K (delta requests
+// rendezvous on the base name, so the whole stream lands on one replica).
+// The client keeps a LiveGraph mirror and cross-checks the server's reported
+// live counts after every batch (desync = hard failure).  After the stream
+// it forces a re-profile of the base and creates a from-scratch base of the
+// mutated graph, then compares the two responses byte-for-byte (plan
+// portion) and digest-for-digest (assignment) — the dynamic_drill
+// equivalence gate.  Parseable output:
+//
+//   mutate reprofiles: R
+//   mutate profile cells: N
+//   mutate equivalence: ok
+//
+// Knobs: --mutate-edits=E (ops per batch), --mutate-vertices=V (base graph
+// size), --mutate-seed=S, --reprofile=auto|force|never, --drift-churn=X,
+// --drift-hist=Y, --algorithm=KIND.  --plans-out works here too — the drill
+// replays the stream at several PGLB_THREADS settings and diffs the files.
+//
 // Durable warm state (docs/PERSIST.md): --snapshot-dir=D hands each spawned
 // backend `--snapshot-dir=D/<tag>` so a SIGTERM'd backend snapshots its
 // profile cache and its restart restores it warm.  When the kill drill
@@ -74,15 +94,20 @@
 #include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "autoscale/autoscaler.hpp"
 #include "core/proxy_suite.hpp"
+#include "dynamic/mutation.hpp"
+#include "gen/powerlaw.hpp"
+#include "partition/factory.hpp"
 #include "fleet/router.hpp"
 #include "fleet/spawn.hpp"
 #include "fleet/tcp_backend.hpp"
@@ -272,6 +297,193 @@ LoadReport run_in_process(std::size_t requests, int threads, std::size_t distinc
   report.cache_misses = static_cast<double>(cache.misses);
   report.cache_hit_rate = cache.hit_rate();
   report.service_counters = metrics.registry().counters();
+  return report;
+}
+
+// --- mutate mode (docs/DYNAMIC.md) ------------------------------------------
+
+struct MutateOptions {
+  std::size_t batches = 0;        ///< 0 = mutate mode off
+  std::size_t edits = 8;          ///< mutations per batch
+  VertexId base_vertices = 2048;  ///< base graph size (power law, alpha 2.1)
+  std::uint64_t seed = 42;        ///< graph, stream, and partition seed
+  std::string base = "dyn0";
+  std::optional<ReprofileMode> reprofile;
+  std::optional<double> drift_churn;
+  std::optional<double> drift_hist;
+  std::optional<PartitionerKind> algorithm;
+};
+
+struct MutateReport {
+  std::vector<std::string> responses;  ///< in request order (--plans-out)
+  std::size_t failed = 0;              ///< non-ok responses + desyncs
+  std::size_t reprofiles = 0;          ///< update batches that re-ran CCR
+  std::uint64_t profile_cells = 0;     ///< filled by the driver (per mode)
+  bool equivalence_ok = false;
+  std::string detail;                  ///< first failure diagnostic
+};
+
+/// Stream the seeded mutation mix through `send` (one request line in, one
+/// response line out — PlanServer::submit or Router::route), keeping a
+/// client-side LiveGraph mirror, then run the incremental-vs-scratch
+/// equivalence check.  Sequential by design: deltas to one base are totally
+/// ordered server-side anyway, and a deterministic send order is what makes
+/// the --plans-out file comparable across thread counts.
+MutateReport run_mutate(const std::function<std::string(const std::string&)>& send,
+                        const MutateOptions& mutate) {
+  MutateReport report;
+  dynamic::LiveGraph mirror;
+
+  // One round trip: send, tally, parse the delta block, and cross-check the
+  // server's live counts against the mirror — a mismatch means the two sides
+  // diverged and every later determinism claim is void, so it is a hard
+  // failure, not a tolerated degradation.
+  const auto roundtrip =
+      [&](const PlanRequest& request,
+          bool count_reprofile) -> std::optional<DeltaInfo> {
+    const std::string line = send(serialize_request(request));
+    report.responses.push_back(line);
+    const PlanResponse response = parse_plan_response(line);
+    if (response.status != PlanStatus::kOk) {
+      ++report.failed;
+      if (report.detail.empty()) report.detail = line;
+      return std::nullopt;
+    }
+    std::optional<DeltaInfo> delta = parse_delta_block(line);
+    if (!delta) {
+      ++report.failed;
+      if (report.detail.empty()) report.detail = "missing delta block: " + line;
+      return std::nullopt;
+    }
+    if (delta->live_edges != mirror.live_edge_count() ||
+        delta->live_vertices != mirror.live_vertex_count()) {
+      ++report.failed;
+      if (report.detail.empty()) {
+        report.detail = "live-state desync on id=" + request.id + " (server " +
+                        std::to_string(delta->live_vertices) + "v/" +
+                        std::to_string(delta->live_edges) + "e, mirror " +
+                        std::to_string(mirror.live_vertex_count()) + "v/" +
+                        std::to_string(mirror.live_edge_count()) + "e)";
+      }
+      return std::nullopt;
+    }
+    if (count_reprofile && delta->reprofiled) ++report.reprofiles;
+    return delta;
+  };
+
+  // Creation: the deterministic base graph as one batch of add_vertex +
+  // add_edge mutations, in generator order.
+  PowerLawConfig config;
+  config.num_vertices = mutate.base_vertices;
+  config.alpha = 2.1;
+  config.seed = mutate.seed;
+  const EdgeList graph = generate_powerlaw(config);
+
+  PlanRequest create;
+  create.type = RequestType::kDelta;
+  create.id = "create";
+  create.base = mutate.base;
+  create.app = AppKind::kPageRank;
+  create.machines = {"xeon_server_s", "xeon_server_l"};
+  create.partitioner = mutate.algorithm;
+  create.seed = mutate.seed;
+  create.reprofile = mutate.reprofile;
+  create.drift_churn = mutate.drift_churn;
+  create.drift_hist = mutate.drift_hist;
+  create.mutations.reserve(static_cast<std::size_t>(graph.num_vertices()) +
+                           graph.edges().size());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    create.mutations.push_back(dynamic::Mutation::add_vertex(v));
+  }
+  for (const Edge& edge : graph.edges()) {
+    create.mutations.push_back(dynamic::Mutation::add_edge(edge.src, edge.dst));
+  }
+  mirror.apply(create.mutations);
+  if (!roundtrip(create, false)) return report;
+
+  // The update stream: each batch is generated against the mirror BEFORE it
+  // is applied, exactly as the server will see it.
+  for (std::size_t b = 0; b < mutate.batches; ++b) {
+    PlanRequest update;
+    update.type = RequestType::kDelta;
+    update.id = "m" + std::to_string(b);
+    update.base = mutate.base;
+    update.reprofile = mutate.reprofile;
+    update.drift_churn = mutate.drift_churn;
+    update.drift_hist = mutate.drift_hist;
+    update.mutations =
+        dynamic::generate_mutation_batch(mirror, mutate.seed, b, mutate.edits);
+    mirror.apply(update.mutations);
+    if (!roundtrip(update, true)) return report;
+  }
+
+  // Equivalence gate.  Force an empty-batch re-profile of the streamed base
+  // (compacts + replays through a fresh scorer state), then create a
+  // from-scratch base from the mirror's survivors — alive vertices in id
+  // order, live edges in slot order, the sequence compact() preserves.  The
+  // two ok responses must agree byte-for-byte on the plan portion and value-
+  // for-value on the assignment digest.
+  PlanRequest equiv;
+  equiv.type = RequestType::kDelta;
+  equiv.id = "equiv";
+  equiv.base = mutate.base;
+  equiv.reprofile = ReprofileMode::kForce;
+  const std::optional<DeltaInfo> inc = roundtrip(equiv, false);
+  if (!inc) return report;
+  const std::string inc_line = report.responses.back();
+
+  PlanRequest scratch;
+  scratch.type = RequestType::kDelta;
+  scratch.id = "equiv";
+  scratch.base = mutate.base + "__scratch";
+  scratch.app = create.app;
+  scratch.machines = create.machines;
+  scratch.partitioner = mutate.algorithm;
+  scratch.seed = mutate.seed;
+  for (VertexId v = 0; v < mirror.num_vertices(); ++v) {
+    if (mirror.vertex_alive(v)) {
+      scratch.mutations.push_back(dynamic::Mutation::add_vertex(v));
+    }
+  }
+  for (std::size_t i = 0; i < mirror.slot_count(); ++i) {
+    if (!mirror.dead(i)) {
+      scratch.mutations.push_back(
+          dynamic::Mutation::add_edge(mirror.slot(i).src, mirror.slot(i).dst));
+    }
+  }
+  // The scratch base's live counts equal the mirror's, so roundtrip's desync
+  // check applies unchanged.
+  const std::optional<DeltaInfo> scr = roundtrip(scratch, false);
+  if (!scr) return report;
+  const std::string scratch_line = report.responses.back();
+
+  const auto plan_prefix = [](const std::string& line) {
+    const std::size_t pos = line.find(",\"delta\":");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+  };
+  report.equivalence_ok = plan_prefix(inc_line) == plan_prefix(scratch_line) &&
+                          inc->digest == scr->digest &&
+                          inc->live_vertices == scr->live_vertices &&
+                          inc->live_edges == scr->live_edges;
+  if (!report.equivalence_ok && report.detail.empty()) {
+    report.detail = "equivalence mismatch:\n  inc:     " + inc_line +
+                    "\n  scratch: " + scratch_line;
+  }
+  return report;
+}
+
+/// In-process mutate driver: the PlanServer owns a DeltaPlanner, and the
+/// shared ServiceMetrics counts every profile_single_machine call.
+MutateReport run_mutate_in_process(const MutateOptions& mutate,
+                                   const PlannerOptions& planner_options,
+                                   const ServerOptions& server_options) {
+  ServiceMetrics metrics;
+  Planner planner(planner_options, &metrics);
+  PlanServer server(planner, metrics, server_options);
+  MutateReport report = run_mutate(
+      [&](const std::string& line) { return server.submit(line).get(); },
+      mutate);
+  report.profile_cells = metrics.counter("profile_runs");
   return report;
 }
 
@@ -880,6 +1092,92 @@ LoadReport run_against_router(SpawnOptions spawn_options, std::size_t requests,
     throw;
   }
 }
+
+/// Fleet-mode mutate driver: spawn K backends, route the stream through the
+/// Router (delta requests rendezvous on "dyn|<base>", so the whole stream
+/// pins to one replica), and sum profile_runs across every backend's metrics
+/// response.  No kill schedule, no hedging: a hedged or failed-over delta
+/// would land on a replica that has never seen the base and fail typed — the
+/// drill wants the deterministic stream, not the failover drill.
+MutateReport run_mutate_router(SpawnOptions spawn_options,
+                               std::size_t fleet_size, std::uint16_t base_port,
+                               WireMode wire, const MutateOptions& mutate) {
+  if (base_port == 0) {
+    spawn_options.port_dir = make_port_dir();
+    std::cerr << "loadgen: port-dir " << spawn_options.port_dir << "\n";
+  }
+  std::vector<ServeChild> children;
+  const auto kill_children = [&] {
+    for (ServeChild& child : children) {
+      if (child.pid > 0) kill(child.pid, SIGKILL);
+    }
+    for (ServeChild& child : children) {
+      int status = 0;
+      if (child.pid > 0) waitpid(child.pid, &status, 0);
+      child.pid = -1;
+    }
+  };
+  try {
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      const std::uint16_t port =
+          base_port == 0 ? 0 : static_cast<std::uint16_t>(base_port + k);
+      children.push_back(spawn_serve(spawn_options, port, "b" + std::to_string(k)));
+    }
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      wait_serve_ready(children[k], spawn_options, "b" + std::to_string(k),
+                       30'000);
+    }
+
+    RouterOptions options;
+    options.hedge_delay_ms = 0;  // deltas are stateful; never hedge them
+    options.probe_interval_ms = 100;
+    Registry router_metrics;
+    auto router = std::make_unique<Router>(options, &router_metrics);
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      router->add_backend(std::make_shared<TcpBackend>(
+          "b" + std::to_string(k), children[k].port, "127.0.0.1", wire));
+    }
+    router->start();
+
+    MutateReport report = run_mutate(
+        [&](const std::string& line) { return router->route(line); }, mutate);
+
+    // Aggregate CCR cells: each backend's service counters carry its own
+    // profile_runs; the stream pinned to one replica but the scratch base may
+    // rendezvous elsewhere, so sum the fleet.
+    for (std::size_t k = 0; k < fleet_size; ++k) {
+      try {
+        auto future = router->fleet().backend(k)->submit(
+            R"({"type":"metrics","id":"mutate-final"})");
+        const JsonValue metrics = parse_json(future.get());
+        if (const JsonValue* counters = metrics.find("counters")) {
+          if (const JsonValue* v = counters->find("profile_runs")) {
+            report.profile_cells +=
+                static_cast<std::uint64_t>(v->as_number());
+          }
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "loadgen: metrics harvest from b" << k
+                  << " failed: " << e.what() << "\n";
+      }
+    }
+
+    router->stop();
+    router.reset();  // disconnect before the graceful reap
+    for (ServeChild& child : children) {
+      if (child.pid > 0) kill(child.pid, SIGTERM);
+    }
+    for (ServeChild& child : children) {
+      int status = 0;
+      if (child.pid > 0) waitpid(child.pid, &status, 0);
+      child.pid = -1;
+    }
+    return report;
+  } catch (...) {
+    kill_children();
+    throw;
+  }
+}
 #endif
 
 }  // namespace
@@ -934,6 +1232,29 @@ int main(int argc, char** argv) {
     run.chaos_seed = static_cast<std::uint64_t>(cli.get_int("chaos-seed", 1));
     const std::string plans_out = cli.get_string("plans-out", "");
     run.collect_responses = !plans_out.empty();
+
+    MutateOptions mutate;
+    mutate.batches = static_cast<std::size_t>(cli.get_int("mutate", 0));
+    mutate.edits = static_cast<std::size_t>(cli.get_int("mutate-edits", 8));
+    mutate.base_vertices =
+        static_cast<VertexId>(cli.get_int("mutate-vertices", 2048));
+    mutate.seed = static_cast<std::uint64_t>(cli.get_int("mutate-seed", 42));
+    mutate.base = cli.get_string("mutate-base", "dyn0");
+    const std::string reprofile_name = cli.get_string("reprofile", "");
+    if (!reprofile_name.empty()) {
+      const auto mode = reprofile_mode_from_string(reprofile_name);
+      if (!mode) {
+        std::cerr << "pglb_loadgen: --reprofile must be auto, force, or never\n";
+        return 2;
+      }
+      mutate.reprofile = *mode;
+    }
+    const double drift_churn = cli.get_double("drift-churn", -1.0);
+    if (drift_churn >= 0.0) mutate.drift_churn = drift_churn;
+    const double drift_hist = cli.get_double("drift-hist", -1.0);
+    if (drift_hist >= 0.0) mutate.drift_hist = drift_hist;
+    const std::string algorithm = cli.get_string("algorithm", "");
+    if (!algorithm.empty()) mutate.algorithm = partitioner_from_string(algorithm);
     if (!run.chaos_scenario.empty() && fleet_size == 0) {
       std::cerr << "pglb_loadgen: --chaos needs fleet mode (--router=K)\n";
       return 2;
@@ -958,6 +1279,77 @@ int main(int argc, char** argv) {
     if (!unused.empty()) {
       std::cerr << "pglb_loadgen: unknown flag --" << unused.front() << "\n";
       return 2;
+    }
+
+    if (mutate.batches > 0) {
+      if (!run.chaos_scenario.empty() || run.autoscale) {
+        std::cerr << "pglb_loadgen: --mutate is incompatible with --chaos and "
+                     "--autoscale\n";
+        return 2;
+      }
+      MutateReport m;
+      if (fleet_size > 0) {
+#ifdef __unix__
+        if (server_path.empty()) {
+          std::cerr << "pglb_loadgen: --router needs --server=PATH to "
+                       "pglb_serve\n";
+          return 2;
+        }
+        SpawnOptions spawn_options;
+        spawn_options.serve_path = server_path;
+        spawn_options.threads = threads;
+        spawn_options.scale = planner_options.proxy_scale;
+        spawn_options.queue = server_options.queue_capacity;
+        spawn_options.snapshot_dir = snapshot_dir;
+        spawn_options.snapshot_interval_ms = snapshot_interval_ms;
+        m = run_mutate_router(spawn_options, fleet_size, base_port, run.wire,
+                              mutate);
+#else
+        std::cerr << "pglb_loadgen: --router mode is only available on POSIX "
+                     "builds\n";
+        return 2;
+#endif
+      } else if (!server_path.empty()) {
+        std::cerr << "pglb_loadgen: --mutate runs in-process or with "
+                     "--router=K, not --server pipes\n";
+        return 2;
+      } else {
+        m = run_mutate_in_process(mutate, planner_options, server_options);
+      }
+
+      Table table({"metric", "value"});
+      table.row().cell("mutate batches").cell(
+          static_cast<std::uint64_t>(mutate.batches));
+      table.row().cell("edits per batch").cell(
+          static_cast<std::uint64_t>(mutate.edits));
+      table.row().cell("base vertices").cell(
+          static_cast<std::uint64_t>(mutate.base_vertices));
+      table.row().cell("responses").cell(
+          static_cast<std::uint64_t>(m.responses.size()));
+      table.row().cell("failed").cell(static_cast<std::uint64_t>(m.failed));
+      table.print(std::cout);
+
+      // Parseable gate lines (the dynamic_drill signal).
+      std::cout << "\nmutate reprofiles: " << m.reprofiles << "\n";
+      std::cout << "mutate profile cells: " << m.profile_cells << "\n";
+      std::cout << "mutate equivalence: "
+                << (m.equivalence_ok ? "ok" : "MISMATCH") << "\n";
+      if (!plans_out.empty()) {
+        std::ofstream plans(plans_out, std::ios::trunc);
+        for (const std::string& line : m.responses) plans << line << "\n";
+        if (!plans) {
+          std::cerr << "pglb_loadgen: cannot write " << plans_out << "\n";
+          return 1;
+        }
+        std::cout << "plans written: " << plans_out << " ("
+                  << m.responses.size() << " lines)\n";
+      }
+      if (m.failed > 0 || !m.equivalence_ok) {
+        std::cerr << "pglb_loadgen: mutate run failed: "
+                  << (m.detail.empty() ? "unknown" : m.detail) << "\n";
+        return 1;
+      }
+      return 0;
     }
 
     const auto registry_before = global_registry().counters();

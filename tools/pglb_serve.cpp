@@ -81,16 +81,17 @@ namespace {
 class PeriodicSnapshotter {
  public:
   PeriodicSnapshotter(Planner& planner, ServiceMetrics& metrics, std::string dir,
-                      std::uint64_t interval_ms)
-      : planner_(planner), metrics_(metrics), dir_(std::move(dir)) {
+                      std::uint64_t interval_ms,
+                      const dynamic::DeltaPlanner* delta = nullptr)
+      : planner_(planner), metrics_(metrics), dir_(std::move(dir)), delta_(delta) {
     if (dir_.empty() || interval_ms == 0) return;
     thread_ = std::thread([this, interval_ms] {
       std::unique_lock<std::mutex> lock(mutex_);
       while (!stop_cv_.wait_for(lock, std::chrono::milliseconds(interval_ms),
                                 [this] { return stop_; })) {
         lock.unlock();
-        const auto saved =
-            persist::save_warm_snapshot(planner_, dir_, &metrics_.registry());
+        const auto saved = persist::save_warm_snapshot(
+            planner_, dir_, &metrics_.registry(), delta_);
         if (!saved.ok) {
           std::cerr << "pglb_serve: periodic snapshot failed: " << saved.error
                     << "\n";
@@ -115,6 +116,7 @@ class PeriodicSnapshotter {
   Planner& planner_;
   ServiceMetrics& metrics_;
   std::string dir_;
+  const dynamic::DeltaPlanner* delta_;
   std::mutex mutex_;
   std::condition_variable stop_cv_;
   bool stop_ = false;
@@ -124,14 +126,16 @@ class PeriodicSnapshotter {
 /// Boot-time restore: missing snapshot = quiet cold start, corrupt snapshot
 /// = logged cold start with persist.snapshot_rejected bumped.
 void restore_warm_state(Planner& planner, ServiceMetrics& metrics,
-                        const std::string& dir) {
+                        const std::string& dir,
+                        dynamic::DeltaPlanner* delta = nullptr) {
   if (dir.empty()) return;
-  const auto loaded = persist::load_warm_snapshot(planner, dir, &metrics.registry());
+  const auto loaded =
+      persist::load_warm_snapshot(planner, dir, &metrics.registry(), delta);
   if (loaded.ok) {
     std::cerr << "pglb_serve: restored snapshot generation " << loaded.generation
               << " (" << loaded.cache_entries << " cache entries, "
-              << loaded.time_entries << " time entries, " << loaded.bytes
-              << " bytes)\n";
+              << loaded.time_entries << " time entries, " << loaded.dynamic_bases
+              << " delta bases, " << loaded.bytes << " bytes)\n";
   } else if (loaded.rejected) {
     std::cerr << "pglb_serve: snapshot rejected (" << loaded.error
               << "); cold start\n";
@@ -139,9 +143,11 @@ void restore_warm_state(Planner& planner, ServiceMetrics& metrics,
 }
 
 void save_warm_state(Planner& planner, ServiceMetrics& metrics,
-                     const std::string& dir) {
+                     const std::string& dir,
+                     const dynamic::DeltaPlanner* delta = nullptr) {
   if (dir.empty()) return;
-  const auto saved = persist::save_warm_snapshot(planner, dir, &metrics.registry());
+  const auto saved =
+      persist::save_warm_snapshot(planner, dir, &metrics.registry(), delta);
   if (saved.ok) {
     std::cerr << "pglb_serve: snapshot generation " << saved.generation
               << " written (" << saved.cache_entries << " cache entries, "
@@ -329,21 +335,28 @@ int main(int argc, char** argv) {
 
     ServiceMetrics metrics;
     Planner planner(planner_options, &metrics);
-    // Lazy warm-state restore BEFORE the first request can arrive: restored
-    // entries feed the same deterministic arithmetic as fresh profiles, so
-    // plans after a restart are byte-identical to the pre-restart replica's.
-    restore_warm_state(planner, metrics, snapshot_dir);
+    // The server owns the delta planner, so it is constructed BEFORE the
+    // warm-state restore — the restore repopulates its base registry too.
+    // No request can arrive until serve_stream/serve_socket starts pumping,
+    // so the restore still beats the first request.
     PlanServer server(planner, metrics, server_options);
+    // Lazy warm-state restore: restored entries feed the same deterministic
+    // arithmetic as fresh profiles, so plans after a restart are
+    // byte-identical to the pre-restart replica's.
+    restore_warm_state(planner, metrics, snapshot_dir, &server.delta_planner());
 
     if (socket_mode) {
 #ifdef __unix__
       int status = 0;
       {
         PeriodicSnapshotter snapshotter(planner, metrics, snapshot_dir,
-                                        snapshot_interval_ms);
+                                        snapshot_interval_ms,
+                                        &server.delta_planner());
         status = serve_socket(server, port, port_file);
       }  // timer thread joined before the final (authoritative) save below
-      if (status == 0) save_warm_state(planner, metrics, snapshot_dir);
+      if (status == 0) {
+        save_warm_state(planner, metrics, snapshot_dir, &server.delta_planner());
+      }
       // Graceful-shutdown path (satellite: drain, then flush the trace).
       if (!trace_out.empty()) {
         write_chrome_trace(trace_out);
@@ -358,11 +371,12 @@ int main(int argc, char** argv) {
 
     {
       PeriodicSnapshotter snapshotter(planner, metrics, snapshot_dir,
-                                      snapshot_interval_ms);
+                                      snapshot_interval_ms,
+                                      &server.delta_planner());
       server.serve_stream(std::cin, std::cout);
       server.stop();  // drain before the final save sees the cache
     }
-    save_warm_state(planner, metrics, snapshot_dir);
+    save_warm_state(planner, metrics, snapshot_dir, &server.delta_planner());
     if (dump_metrics) {
       const ProfileCacheStats cache = planner.cache_stats();
       std::string extra = "\"cache\":{\"hits\":";
